@@ -1,0 +1,41 @@
+//! BLAS-1 kernel benchmarks: the building blocks of the naive solver
+//! (paper Fig. 3). Serial vs rayon-parallel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kpm_num::vector::{axpy, axpy_par, dot, dot_par, nrm2, scal};
+use kpm_num::{Complex64, Vector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_blas1(c: &mut Criterion) {
+    let n = 1 << 18;
+    let mut rng = StdRng::seed_from_u64(1);
+    let x = Vector::random(n, &mut rng).into_vec();
+    let mut y = Vector::random(n, &mut rng).into_vec();
+    let a = Complex64::new(0.5, -0.25);
+
+    let mut g = c.benchmark_group("blas1");
+    g.throughput(Throughput::Bytes((n * 16) as u64));
+    g.bench_function(BenchmarkId::new("axpy", n), |b| {
+        b.iter(|| axpy(a, &x, &mut y))
+    });
+    g.bench_function(BenchmarkId::new("axpy_par", n), |b| {
+        b.iter(|| axpy_par(a, &x, &mut y))
+    });
+    g.bench_function(BenchmarkId::new("scal", n), |b| {
+        b.iter(|| scal(a, &mut y))
+    });
+    g.bench_function(BenchmarkId::new("nrm2", n), |b| b.iter(|| nrm2(&x)));
+    g.bench_function(BenchmarkId::new("dot", n), |b| b.iter(|| dot(&x, &y)));
+    g.bench_function(BenchmarkId::new("dot_par", n), |b| {
+        b.iter(|| dot_par(&x, &y))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_blas1
+}
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Format ablation: SELL-C-sigma conversion cost and the effect of the
+//! sorting window sigma on fill-in (beta) and SpMV speed — the design
+//! trade-off paper Section IV-A discusses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kpm_num::{Complex64, Vector};
+use kpm_sparse::SellMatrix;
+use kpm_topo::model::random_hermitian;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_formats(c: &mut Criterion) {
+    // Irregular rows make sigma matter; the TI matrix is too regular.
+    let h = random_hermitian(4096, 12, 9);
+    let n = h.nrows();
+    let mut rng = StdRng::seed_from_u64(5);
+    let x = Vector::random(n, &mut rng).into_vec();
+    let mut y = vec![Complex64::default(); n];
+
+    let mut g = c.benchmark_group("sell_sigma_ablation");
+    for sigma_factor in [1usize, 4, 32] {
+        let c_height = 32usize;
+        let sigma = if sigma_factor == 1 { 1 } else { c_height * sigma_factor };
+        let sell = SellMatrix::from_crs(&h, c_height, sigma);
+        eprintln!(
+            "sigma = {sigma}: beta = {:.3} ({} stored vs {} nnz)",
+            sell.beta(),
+            sell.stored_elements(),
+            sell.nnz()
+        );
+        g.bench_function(BenchmarkId::new("spmv_sigma", sigma), |b| {
+            b.iter(|| sell.spmv(&x, &mut y))
+        });
+    }
+    g.bench_function("convert_crs_to_sell32", |b| {
+        b.iter(|| SellMatrix::from_crs(&h, 32, 128))
+    });
+    g.finish();
+
+    // The paper's Section IV-A claim: for SpMMV, CRS ("SELL-1") is at
+    // least as good as a SIMD-aware SELL layout, because vectorization
+    // happens across the block vector and SELL only adds fill-in.
+    let mut g = c.benchmark_group("spmmv_format_ablation");
+    use kpm_num::BlockVector;
+    let r = 8;
+    let x = BlockVector::random(n, r, &mut rng);
+    let mut yb = BlockVector::zeros(n, r);
+    g.bench_function("crs_spmmv", |b| {
+        b.iter(|| kpm_sparse::spmv::spmmv(&h, &x, &mut yb))
+    });
+    let sell = SellMatrix::from_crs(&h, 32, 128);
+    g.bench_function("sell32_spmmv", |b| b.iter(|| sell.spmmv(&x, &mut yb)));
+    // Cache blocking (paper Section VII outlook, ref. [31]).
+    use kpm_sparse::blocked::CacheBlockedCrs;
+    for cb in [256usize, 1024] {
+        let blocked = CacheBlockedCrs::from_crs(&h, cb);
+        g.bench_function(format!("cache_blocked_{cb}"), |b| {
+            b.iter(|| blocked.spmmv(&x, &mut yb))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(12);
+    targets = bench_formats
+}
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! The three optimization stages head to head (the kernel-level view of
+//! paper Fig. 11): one full KPM moment computation per stage, identical
+//! arithmetic, different data traffic.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kpm_core::solver::{kpm_moments, KpmParams, KpmVariant};
+use kpm_topo::{ScaleFactors, TopoHamiltonian};
+
+fn bench_stages(c: &mut Criterion) {
+    let h = TopoHamiltonian::clean(12, 12, 6).assemble();
+    let sf = ScaleFactors::from_gershgorin(&h, 0.01);
+    let params = KpmParams {
+        num_moments: 32,
+        num_random: 8,
+        seed: 4,
+        parallel: false,
+    };
+    let mut g = c.benchmark_group("kpm_stages");
+    for (name, variant) in [
+        ("naive", KpmVariant::Naive),
+        ("stage1_aug_spmv", KpmVariant::AugSpmv),
+        ("stage2_aug_spmmv", KpmVariant::AugSpmmv),
+    ] {
+        g.bench_function(BenchmarkId::new(name, h.nrows()), |b| {
+            b.iter(|| kpm_moments(&h, sf, &params, variant))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_stages
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Regenerates paper Fig. 1: the density of states of the clean 3D
+//! topological insulator, full band plus the zoom around E = 0 where
+//! the surface states live.
+//!
+//! Default domain is a scaled-down 160x160x40 (the paper's production
+//! 1600x1600x40 is available via --nx/--ny/--nz if you have the time
+//! and memory: the generator and solver handle any size).
+
+use kpm_bench::{arg_usize, benchmark_matrix, print_header};
+use kpm_core::dos::reconstruct;
+use kpm_core::solver::{kpm_moments, KpmParams, KpmVariant};
+use kpm_core::Kernel;
+
+fn main() {
+    let nx = arg_usize("--nx", 160);
+    let ny = arg_usize("--ny", 160);
+    let nz = arg_usize("--nz", 40);
+    let m = arg_usize("--m", 2048);
+    let r = arg_usize("--r", 32);
+    let (h, sf) = benchmark_matrix(nx, ny, nz);
+    eprintln!(
+        "matrix: N = {}, Nnz = {} ({}x{}x{})",
+        h.nrows(),
+        h.nnz(),
+        nx,
+        ny,
+        nz
+    );
+    let params = KpmParams {
+        num_moments: m,
+        num_random: r,
+        seed: 2015,
+        parallel: true,
+    };
+    let set = kpm_moments(&h, sf, &params, KpmVariant::AugSpmmv);
+    let curve = reconstruct(&set, Kernel::Jackson, sf, 2048);
+
+    print_header("Fig. 1 (left): DOS over the full band", &["E", "DOS"]);
+    for (e, v) in curve.energies.iter().zip(&curve.values).step_by(32) {
+        println!("{e:.4}\t{v:.6}");
+    }
+    print_header("Fig. 1 (right): zoom around E = 0", &["E", "DOS"]);
+    for (e, v) in curve.energies.iter().zip(&curve.values) {
+        if e.abs() <= 0.15 {
+            println!("{e:.5}\t{v:.6}");
+            println!("csv,fig1zoom,{e},{v}");
+        }
+    }
+    println!("# integral over band: {:.4} (exact: 1)", curve.integral());
+}

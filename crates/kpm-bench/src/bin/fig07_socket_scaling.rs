@@ -1,0 +1,60 @@
+//! Regenerates paper Fig. 7: intra-socket scaling of `aug_spmv` vs
+//! `aug_spmmv` (R = 32) with the roofline prediction.
+//!
+//! Two outputs:
+//! 1. *Model* curves for the paper's IVB socket (the machine we model
+//!    but cannot run on): the memory-bound kernel saturates at
+//!    b/B_min(1) ~ 22 Gflop/s; the blocked kernel scales linearly.
+//! 2. *Measured* curves on THIS host: the same kernels run on 1..P
+//!    rayon threads over the paper's 100x100x40 matrix. The shape —
+//!    saturation vs linear scaling — is the reproduced claim.
+
+use kpm_bench::{arg_usize, benchmark_matrix, measure_aug_spmmv, measure_aug_spmv, measure_host_bandwidth, print_header};
+use kpm_perfmodel::balance::min_code_balance;
+use kpm_perfmodel::machine::IVB;
+use kpm_perfmodel::roofline::socket_scaling;
+
+fn main() {
+    let r = arg_usize("--r", 32);
+
+    // --- Model: IVB, as in the paper. ---
+    print_header(
+        "Fig. 7 model (IVB): Gflop/s vs cores",
+        &["cores", "aug_spmv", "aug_spmmv(R=32)", "roofline(spmv)"],
+    );
+    let b1 = min_code_balance(13.0, 1);
+    let b32 = min_code_balance(13.0, r);
+    // Single-core kernel rates calibrated to the paper's figure:
+    // ~5.5 Gflop/s for either kernel on one IVB core.
+    let p1 = 5.5;
+    let roof = IVB.mem_bw_gbs / b1;
+    for cores in 1..=IVB.cores {
+        let spmv = socket_scaling(&IVB, b1, p1, cores);
+        let spmmv = socket_scaling(&IVB, b32, p1, cores);
+        println!("{cores}\t{spmv:.1}\t{spmmv:.1}\t{roof:.1}");
+        println!("csv,fig7model,{cores},{spmv},{spmmv},{roof}");
+    }
+
+    // --- Measurement on this host. ---
+    let nx = arg_usize("--nx", 100);
+    let ny = arg_usize("--ny", 100);
+    let nz = arg_usize("--nz", 40);
+    let (h, sf) = benchmark_matrix(nx, ny, nz);
+    let max_threads = arg_usize("--threads", rayon::current_num_threads().min(16));
+    let reps = arg_usize("--reps", 3);
+    let host_bw = measure_host_bandwidth();
+    eprintln!("host attainable bandwidth ~ {host_bw:.1} GB/s");
+    print_header(
+        &format!("Fig. 7 measured (this host, {}x{}x{}, N={})", nx, ny, nz, h.nrows()),
+        &["threads", "aug_spmv", "aug_spmmv(R)", "roofline(spmv)"],
+    );
+    let host_roof = host_bw / b1;
+    let mut threads = 1;
+    while threads <= max_threads {
+        let spmv = measure_aug_spmv(&h, sf, threads, reps);
+        let spmmv = measure_aug_spmmv(&h, sf, r, threads, reps);
+        println!("{threads}\t{spmv:.2}\t{spmmv:.2}\t{host_roof:.2}");
+        println!("csv,fig7host,{threads},{spmv},{spmmv},{host_roof}");
+        threads *= 2;
+    }
+}

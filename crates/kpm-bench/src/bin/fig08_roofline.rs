@@ -1,0 +1,39 @@
+//! Regenerates paper Fig. 8: the custom roofline for the augmented
+//! SpM(M)V kernel on IVB vs block width R, with the measured-Omega
+//! annotations.
+//!
+//! Omega = V_meas/V_KPM comes from replaying the kernel's access stream
+//! through the LLC cache simulator (our stand-in for LIKWID); the
+//! model is P* = min(P_MEM, P_LLC) (paper Eq. 11). The host-measured
+//! kernel performance is printed alongside for the shape comparison.
+
+use kpm_bench::{arg_usize, benchmark_matrix, measure_aug_spmmv, print_header};
+use kpm_perfmodel::machine::IVB;
+use kpm_perfmodel::omega::{llc_config, measure_omega};
+use kpm_perfmodel::roofline::custom_roofline;
+
+fn main() {
+    let nx = arg_usize("--nx", 100);
+    let ny = arg_usize("--ny", 100);
+    let nz = arg_usize("--nz", 40);
+    let (h, sf) = benchmark_matrix(nx, ny, nz);
+    eprintln!("matrix: N = {}, Nnz = {}", h.nrows(), h.nnz());
+    let llc = llc_config(&IVB);
+    let reps = arg_usize("--reps", 3);
+    let threads = arg_usize("--threads", rayon::current_num_threads().min(16));
+
+    print_header(
+        "Fig. 8 (IVB model + host measurement)",
+        &["R", "Omega", "B=Omega*Bmin", "P_MEM", "P_LLC", "P*", "host Gflop/s"],
+    );
+    for r in [1usize, 2, 4, 8, 16, 32] {
+        let om = measure_omega(&h, r, llc);
+        let pt = custom_roofline(&IVB, 13.0, r, om.omega.max(1.0));
+        let host = measure_aug_spmmv(&h, sf, r, threads, reps);
+        println!(
+            "{r}\t{:.3}\t{:.3}\t{:.1}\t{:.1}\t{:.1}\t{host:.2}",
+            pt.omega, pt.balance, pt.p_mem, pt.p_llc, pt.p_star
+        );
+        println!("csv,fig8,{r},{},{},{},{},{},{host}", pt.omega, pt.balance, pt.p_mem, pt.p_llc, pt.p_star);
+    }
+}

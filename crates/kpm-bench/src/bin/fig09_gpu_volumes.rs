@@ -1,0 +1,40 @@
+//! Regenerates paper Fig. 9: measured data volume per memory-system
+//! component (DRAM / L2 / TEX) on the K20m for the simple SpMMV
+//! kernel, as a function of the block width R.
+//!
+//! Volumes come from the trace-driven GPU simulator (our stand-in for
+//! nvprof). The reproduced shape: TEX volume grows linearly with R
+//! (matrix broadcast), while the accumulated volume *per block vector
+//! column* shrinks because the matrix amortizes.
+
+use kpm_bench::{arg_usize, benchmark_matrix, print_header};
+use kpm_simgpu::{simulate, GpuDevice, GpuKernel};
+
+fn main() {
+    let nx = arg_usize("--nx", 64);
+    let ny = arg_usize("--ny", 64);
+    let nz = arg_usize("--nz", 24);
+    let (h, _sf) = benchmark_matrix(nx, ny, nz);
+    eprintln!("matrix: N = {}, Nnz = {}", h.nrows(), h.nnz());
+    let dev = GpuDevice::k20m();
+
+    print_header(
+        "Fig. 9 (K20m, simple SpMMV): data volume per sweep [MB]",
+        &["R", "TEX", "L2", "DRAM", "DRAM/column"],
+    );
+    for r in [1usize, 8, 16, 32, 64] {
+        let rep = simulate(&dev, &h, r, GpuKernel::PlainSpmmv);
+        let t = rep.traffic;
+        println!(
+            "{r}\t{:.1}\t{:.1}\t{:.1}\t{:.2}",
+            t.tex_bytes as f64 / 1e6,
+            t.l2_bytes as f64 / 1e6,
+            t.dram_bytes() as f64 / 1e6,
+            t.dram_bytes() as f64 / r as f64 / 1e6
+        );
+        println!(
+            "csv,fig9,{r},{},{},{}",
+            t.tex_bytes, t.l2_bytes, t.dram_bytes()
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! Regenerates paper Fig. 10: measured bandwidth per memory-system
+//! component on the K20m for the three kernels: (a) simple SpMMV,
+//! (b) augmented SpMMV without on-the-fly dots, (c) fully augmented
+//! SpMMV.
+//!
+//! Reproduced shape: at R = 1 all kernels draw full DRAM bandwidth
+//! (~150 GB/s); with growing R the DRAM bandwidth falls while L2/TEX
+//! saturate — the bottleneck moves into the cache hierarchy. The fused
+//! kernel (c) runs all levels at a significantly lower level
+//! (instruction latency), yet still beats separate dot computation.
+
+use kpm_bench::{arg_usize, benchmark_matrix, print_header};
+use kpm_simgpu::{simulate, GpuDevice, GpuKernel};
+
+fn main() {
+    let nx = arg_usize("--nx", 64);
+    let ny = arg_usize("--ny", 64);
+    let nz = arg_usize("--nz", 24);
+    let (h, _sf) = benchmark_matrix(nx, ny, nz);
+    eprintln!("matrix: N = {}, Nnz = {}", h.nrows(), h.nnz());
+    let dev = GpuDevice::k20m();
+    let kernels = [
+        ("(a) spmmv", GpuKernel::PlainSpmmv),
+        ("(b) aug_nodot", GpuKernel::AugNoDot),
+        ("(c) aug_full", GpuKernel::AugFull),
+    ];
+    for (label, k) in kernels {
+        print_header(
+            &format!("Fig. 10 {label} on K20m: bandwidth [GB/s]"),
+            &["R", "TEX", "L2", "DRAM", "bottleneck", "Gflop/s"],
+        );
+        for r in [1usize, 8, 16, 32, 64] {
+            let rep = simulate(&dev, &h, r, k);
+            println!(
+                "{r}\t{:.0}\t{:.0}\t{:.0}\t{:?}\t{:.1}",
+                rep.timing.tex_gbs,
+                rep.timing.l2_gbs,
+                rep.timing.dram_gbs,
+                rep.timing.bottleneck,
+                rep.gflops()
+            );
+            println!(
+                "csv,fig10,{label},{r},{},{},{},{}",
+                rep.timing.tex_gbs,
+                rep.timing.l2_gbs,
+                rep.timing.dram_gbs,
+                rep.gflops()
+            );
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Regenerates paper Fig. 11: node-level performance of each
+//! optimization stage on a Piz Daint node (SNB + K20X), with the
+//! parallel efficiency of the heterogeneous runs.
+
+use kpm_bench::{arg_usize, benchmark_matrix, print_header};
+use kpm_hetsim::node::{node_performance, Stage};
+use kpm_perfmodel::machine::SNB;
+use kpm_simgpu::GpuDevice;
+
+fn main() {
+    let r = arg_usize("--r", 32);
+    let (h, _sf) = benchmark_matrix(32, 16, 8);
+    let gpu = GpuDevice::k20x();
+    print_header(
+        "Fig. 11 (Piz Daint node: SNB + K20X) [Gflop/s]",
+        &["stage", "SNB", "K20X", "SNB+K20X", "par. efficiency"],
+    );
+    for (name, stage) in [
+        ("Naive", Stage::Naive),
+        ("Opt. stage 1", Stage::Stage1),
+        ("Opt. stage 2", Stage::Stage2),
+    ] {
+        let p = node_performance(&SNB, &gpu, stage, r, &h, 1.3);
+        println!(
+            "{name}\t{:.1}\t{:.1}\t{:.1}\t{:.0}%",
+            p.cpu_gflops,
+            p.gpu_gflops,
+            p.het_gflops,
+            100.0 * p.efficiency
+        );
+        println!(
+            "csv,fig11,{name},{},{},{},{}",
+            p.cpu_gflops, p.gpu_gflops, p.het_gflops, p.efficiency
+        );
+    }
+    let naive = node_performance(&SNB, &gpu, Stage::Naive, r, &h, 1.3);
+    let s2 = node_performance(&SNB, &gpu, Stage::Stage2, r, &h, 1.3);
+    println!(
+        "# total speed-up naive-CPU -> het-stage2: {:.1}x (paper: >10x)",
+        s2.het_gflops / naive.cpu_gflops
+    );
+    println!(
+        "# GPU-only speed-up naive -> stage2: {:.2}x (paper: 2.3x)",
+        s2.gpu_gflops / naive.gpu_gflops
+    );
+    println!(
+        "# heterogeneous gain over GPU-only: {:.2}x (paper: 1.36x)",
+        s2.het_gflops / s2.gpu_gflops
+    );
+}

@@ -1,0 +1,46 @@
+//! Regenerates paper Fig. 12: weak scaling ("Square" and "Bar") and
+//! strong scaling of the full heterogeneous KPM solver on the modelled
+//! Piz Daint, up to 1024 nodes.
+
+use kpm_bench::{arg_usize, benchmark_matrix, print_header};
+use kpm_hetsim::cluster::{ClusterModel, Domain};
+
+fn main() {
+    let max_nodes = arg_usize("--nodes", 1024);
+    let (bench, _sf) = benchmark_matrix(32, 16, 8);
+    let model = ClusterModel::piz_daint(&bench, 32);
+
+    print_header(
+        "Fig. 12 weak scaling, Square",
+        &["nodes", "domain", "Tflop/s", "efficiency"],
+    );
+    for p in model.weak_scaling_square(max_nodes) {
+        println!(
+            "{}\t{}x{}x{}\t{:.2}\t{:.3}",
+            p.nodes, p.domain.nx, p.domain.ny, p.domain.nz, p.tflops, p.efficiency
+        );
+        println!("csv,fig12square,{},{},{}", p.nodes, p.tflops, p.efficiency);
+    }
+
+    print_header(
+        "Fig. 12 weak scaling, Bar",
+        &["nodes", "domain", "Tflop/s", "efficiency"],
+    );
+    for p in model.weak_scaling_bar(max_nodes) {
+        println!(
+            "{}\t{}x{}x{}\t{:.2}\t{:.3}",
+            p.nodes, p.domain.nx, p.domain.ny, p.domain.nz, p.tflops, p.efficiency
+        );
+        println!("csv,fig12bar,{},{},{}", p.nodes, p.tflops, p.efficiency);
+    }
+
+    print_header(
+        "Fig. 12 strong scaling (Square base 400x400x40 from 4 nodes)",
+        &["nodes", "Tflop/s", "efficiency"],
+    );
+    let domain = Domain { nx: 400, ny: 400, nz: 40 };
+    for p in model.strong_scaling(domain, &[4, 16, 64, 256, 1024]) {
+        println!("{}\t{:.2}\t{:.3}", p.nodes, p.tflops, p.efficiency);
+        println!("csv,fig12strong,{},{},{}", p.nodes, p.tflops, p.efficiency);
+    }
+}

@@ -1,0 +1,16 @@
+//! Regenerates the code-balance curve of paper Eqs. (5)-(7):
+//! B_min(R) = (260/R + 48)/138 bytes/flop for the topological-insulator
+//! workload, from 2.23 B/F at R = 1 to the 0.35 B/F asymptote.
+
+use kpm_bench::print_header;
+use kpm_perfmodel::balance::{asymptotic_balance, min_code_balance};
+
+fn main() {
+    print_header("Code balance B_min(R), Eqs. (5)-(7)", &["R", "B_min (B/F)"]);
+    for r in [1usize, 2, 4, 8, 16, 32, 64, 128, 256] {
+        let b = min_code_balance(13.0, r);
+        println!("{r}\t{b:.4}");
+        println!("csv,balance,{r},{b}");
+    }
+    println!("inf\t{:.4}  (Eq. 7 asymptote)", asymptotic_balance(13.0));
+}

@@ -1,0 +1,118 @@
+//! One-shot reproduction report: every *model/simulator-based* table
+//! and figure of the paper in a single run (the host-measurement
+//! figures 7/8 have their own binaries since they take minutes).
+//!
+//! ```sh
+//! cargo run --release -p kpm-bench --bin report_all
+//! ```
+
+use kpm_bench::{benchmark_matrix, print_header};
+use kpm_hetsim::cluster::{ClusterModel, Domain};
+use kpm_hetsim::node::{node_performance, Stage};
+use kpm_perfmodel::balance::{asymptotic_balance, min_code_balance};
+use kpm_perfmodel::machine::{CATALOG, SNB};
+use kpm_perfmodel::omega::{llc_config, measure_omega};
+use kpm_perfmodel::roofline::custom_roofline;
+use kpm_simgpu::{simulate, GpuDevice, GpuKernel};
+
+fn main() {
+    println!("reproduction report: Kreutzer et al., IPDPS 2015");
+    println!("(model- and simulator-based results; see EXPERIMENTS.md for host runs)");
+
+    // --- Table II + machine balance. ---
+    print_header("Table II", &["name", "b GB/s", "LLC MiB", "Ppeak", "balance B/F"]);
+    for m in CATALOG {
+        println!(
+            "{}\t{}\t{}\t{}\t{:.3}",
+            m.name,
+            m.mem_bw_gbs,
+            m.llc_mib,
+            m.peak_gflops,
+            m.machine_balance()
+        );
+    }
+
+    // --- Eqs. 5-7. ---
+    print_header("Code balance B_min(R)", &["R", "B/F"]);
+    for r in [1usize, 4, 16, 32, 64] {
+        println!("{r}\t{:.4}", min_code_balance(13.0, r));
+    }
+    println!("inf\t{:.4}", asymptotic_balance(13.0));
+
+    // --- Fig. 8 model (Omega from the cache simulator). ---
+    let (h, _sf) = benchmark_matrix(64, 64, 24);
+    let llc = llc_config(&kpm_perfmodel::machine::IVB);
+    print_header("Fig. 8 model (IVB)", &["R", "Omega", "P_MEM", "P_LLC", "P*"]);
+    for r in [1usize, 4, 8, 16, 32] {
+        let om = measure_omega(&h, r, llc);
+        let pt = custom_roofline(&kpm_perfmodel::machine::IVB, 13.0, r, om.omega.max(1.0));
+        println!(
+            "{r}\t{:.3}\t{:.1}\t{:.1}\t{:.1}",
+            pt.omega, pt.p_mem, pt.p_llc, pt.p_star
+        );
+    }
+
+    // --- Figs. 9/10 (GPU simulator, condensed). ---
+    let dev = GpuDevice::k20m();
+    print_header(
+        "Figs. 9/10 (K20m, aug_spmmv full)",
+        &["R", "TEX MB", "L2 MB", "DRAM MB", "DRAM GB/s", "bottleneck", "Gflop/s"],
+    );
+    for r in [1usize, 16, 32] {
+        let rep = simulate(&dev, &h, r, GpuKernel::AugFull);
+        println!(
+            "{r}\t{:.0}\t{:.0}\t{:.0}\t{:.0}\t{:?}\t{:.1}",
+            rep.traffic.tex_bytes as f64 / 1e6,
+            rep.traffic.l2_bytes as f64 / 1e6,
+            rep.traffic.dram_bytes() as f64 / 1e6,
+            rep.timing.dram_gbs,
+            rep.timing.bottleneck,
+            rep.gflops()
+        );
+    }
+
+    // --- Fig. 11. ---
+    let bench = benchmark_matrix(32, 16, 8).0;
+    let gpu = GpuDevice::k20x();
+    print_header("Fig. 11 (SNB + K20X)", &["stage", "CPU", "GPU", "CPU+GPU", "eff"]);
+    for (name, stage) in [
+        ("naive", Stage::Naive),
+        ("stage1", Stage::Stage1),
+        ("stage2", Stage::Stage2),
+    ] {
+        let p = node_performance(&SNB, &gpu, stage, 32, &bench, 1.3);
+        println!(
+            "{name}\t{:.1}\t{:.1}\t{:.1}\t{:.0}%",
+            p.cpu_gflops,
+            p.gpu_gflops,
+            p.het_gflops,
+            100.0 * p.efficiency
+        );
+    }
+
+    // --- Fig. 12 + Table III. ---
+    let model = ClusterModel::piz_daint(&bench, 32);
+    print_header("Fig. 12 (weak scaling)", &["case", "nodes", "Tflop/s", "eff"]);
+    for p in model.weak_scaling_square(1024) {
+        println!("square\t{}\t{:.2}\t{:.3}", p.nodes, p.tflops, p.efficiency);
+    }
+    for p in model.weak_scaling_bar(1024) {
+        println!("bar\t{}\t{:.2}\t{:.3}", p.nodes, p.tflops, p.efficiency);
+    }
+    let d = Domain {
+        nx: 400,
+        ny: 400,
+        nz: 40,
+    };
+    for p in model.strong_scaling(d, &[4, 16, 64, 256, 1024]) {
+        println!("strong\t{}\t{:.2}\t{:.3}", p.nodes, p.tflops, p.efficiency);
+    }
+    print_header("Table III", &["version", "Tflop/s", "nodes", "node-h"]);
+    for row in model.table3() {
+        println!(
+            "{}\t{:.1}\t{}\t{:.0}",
+            row.version, row.tflops, row.nodes, row.node_hours
+        );
+    }
+    println!("\n# paper: aug_spmv 14.9/288/164, aug_spmmv* 107/1024/81, aug_spmmv 116/1024/75");
+}

@@ -1,0 +1,53 @@
+//! Regenerates paper Table I: minimum transferred bytes and executed
+//! flops for each function of the naive KPM-DOS solver, plus the
+//! traffic evolution of Eq. (4) across the optimization stages.
+
+use kpm_bench::{arg_usize, print_header};
+use kpm_perfmodel::traffic::{
+    naive_solver_traffic, solver_flops, stage1_solver_traffic, stage2_solver_traffic, table1,
+};
+
+fn main() {
+    let nx = arg_usize("--nx", 100);
+    let ny = arg_usize("--ny", 100);
+    let nz = arg_usize("--nz", 40);
+    let r = arg_usize("--r", 32);
+    let m = arg_usize("--m", 2000);
+    let n = 4 * nx * ny * nz;
+    let nnz = 13 * n;
+
+    print_header(
+        &format!("Table I (N = {n}, Nnz = {nnz}, R = {r}, M = {m})"),
+        &["func", "calls", "bytes/call", "flops/call", "total GB", "total Gflop"],
+    );
+    for f in table1(n, nnz, r, m) {
+        println!(
+            "{}\t{}\t{}\t{}\t{:.2}\t{:.2}",
+            f.name,
+            f.calls,
+            f.bytes_per_call,
+            f.flops_per_call,
+            f.total_bytes() as f64 / 1e9,
+            f.total_flops() as f64 / 1e9
+        );
+        println!(
+            "csv,table1,{},{},{},{}",
+            f.name, f.calls, f.bytes_per_call, f.flops_per_call
+        );
+    }
+    let flops = solver_flops(n, nnz, r, m);
+    println!(
+        "KPM (total)\t1\t-\t-\t{:.2}\t{:.2}",
+        naive_solver_traffic(n, nnz, r, m) as f64 / 1e9,
+        flops as f64 / 1e9
+    );
+
+    print_header("Eq. (4): solver minimum traffic per stage", &["stage", "bytes (GB)", "vs naive"]);
+    let v0 = naive_solver_traffic(n, nnz, r, m) as f64;
+    let v1 = stage1_solver_traffic(n, nnz, r, m) as f64;
+    let v2 = stage2_solver_traffic(n, nnz, r, m) as f64;
+    for (name, v) in [("naive", v0), ("aug_spmv", v1), ("aug_spmmv", v2)] {
+        println!("{name}\t{:.2}\t{:.3}x", v / 1e9, v / v0);
+        println!("csv,eq4,{name},{v}");
+    }
+}

@@ -1,0 +1,32 @@
+//! Regenerates paper Table II: the architecture catalog, plus derived
+//! machine balance (the quantity the paper's Section I argues about).
+
+use kpm_bench::print_header;
+use kpm_perfmodel::machine::CATALOG;
+
+fn main() {
+    print_header(
+        "Table II",
+        &[
+            "name", "clock MHz", "SIMD B", "cores/SMX", "b GB/s", "LLC MiB", "Ppeak Gflop/s",
+            "balance B/F",
+        ],
+    );
+    for m in CATALOG {
+        println!(
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:.3}",
+            m.name,
+            m.clock_mhz,
+            m.simd_bytes,
+            m.cores,
+            m.mem_bw_gbs,
+            m.llc_mib,
+            m.peak_gflops,
+            m.machine_balance()
+        );
+        println!(
+            "csv,table2,{},{},{},{},{},{},{}",
+            m.name, m.clock_mhz, m.simd_bytes, m.cores, m.mem_bw_gbs, m.llc_mib, m.peak_gflops
+        );
+    }
+}

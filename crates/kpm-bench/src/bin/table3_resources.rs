@@ -1,0 +1,34 @@
+//! Regenerates paper Table III: resources required to solve the largest
+//! system (N ~ 6.5e9, R = 32, M = 2000) with the three solver variants:
+//! throughput-mode aug_spmv, blocked aug_spmmv with per-iteration
+//! global reductions (*), and the fully optimized aug_spmmv.
+
+use kpm_bench::{benchmark_matrix, print_header};
+use kpm_hetsim::cluster::ClusterModel;
+
+fn main() {
+    let (bench, _sf) = benchmark_matrix(32, 16, 8);
+    let model = ClusterModel::piz_daint(&bench, 32);
+    print_header(
+        "Table III (largest system, R = 32, M = 2000)",
+        &["version", "Tflop/s", "nodes", "node hours"],
+    );
+    let rows = model.table3();
+    for row in &rows {
+        println!(
+            "{}\t{:.1}\t{}\t{:.0}",
+            row.version, row.tflops, row.nodes, row.node_hours
+        );
+        println!(
+            "csv,table3,{},{},{},{}",
+            row.version, row.tflops, row.nodes, row.node_hours
+        );
+    }
+    println!(
+        "# paper: aug_spmv 14.9/288/164, aug_spmmv* 107/1024/81, aug_spmmv 116/1024/75"
+    );
+    println!(
+        "# throughput-mode cost factor: {:.2}x (paper: 2.2x)",
+        rows[0].node_hours / rows[2].node_hours
+    );
+}

@@ -1,0 +1,146 @@
+//! Chebyshev polynomials of the first kind.
+//!
+//! KPM expands spectral functions in Chebyshev polynomials `T_m(x)`
+//! because their two-term recurrence maps onto repeated SpMVs and their
+//! orthogonality relation makes moment inversion trivial (paper
+//! Section II; the review is paper ref. [7]).
+
+/// Evaluates `T_m(x)` by the stable trigonometric form for `|x| <= 1`
+/// and the recurrence outside.
+pub fn t(m: usize, x: f64) -> f64 {
+    if (-1.0..=1.0).contains(&x) {
+        (m as f64 * x.acos()).cos()
+    } else {
+        // |x| > 1 occurs only in tests; use the hyperbolic form.
+        let s = if x < 0.0 && m % 2 == 1 { -1.0 } else { 1.0 };
+        s * (m as f64 * x.abs().acosh()).cosh()
+    }
+}
+
+/// Evaluates `T_0..T_{m_max}` at `x` via the recurrence, filling `out`
+/// (length `m_max + 1`). Matches the matrix-level recurrence the solver
+/// executes, so round-off behaviour is comparable.
+pub fn t_all(m_max: usize, x: f64, out: &mut Vec<f64>) {
+    out.clear();
+    out.reserve(m_max + 1);
+    out.push(1.0);
+    if m_max == 0 {
+        return;
+    }
+    out.push(x);
+    for m in 2..=m_max {
+        let next = 2.0 * x * out[m - 1] - out[m - 2];
+        out.push(next);
+    }
+}
+
+/// The `K` Chebyshev nodes `x_k = cos(π (k + 1/2) / K)`, in ascending
+/// order. Gauss–Chebyshev quadrature on these nodes integrates
+/// `f(x)/√(1-x²)` exactly for polynomial `f` up to degree `2K-1`:
+/// `∫ f(x)/√(1-x²) dx ≈ (π/K) Σ_k f(x_k)`.
+pub fn chebyshev_nodes(k: usize) -> Vec<f64> {
+    let mut nodes: Vec<f64> = (0..k)
+        .map(|i| (std::f64::consts::PI * (i as f64 + 0.5) / k as f64).cos())
+        .collect();
+    nodes.reverse(); // ascending
+    nodes
+}
+
+/// Evaluates the damped Chebyshev series
+/// `S(x) = g_0 μ_0 + 2 Σ_{m=1}^{M-1} g_m μ_m T_m(x)`
+/// (the bracket of the KPM reconstruction formula).
+pub fn damped_series(mu: &[f64], g: &[f64], x: f64) -> f64 {
+    assert_eq!(mu.len(), g.len(), "moments/kernel length mismatch");
+    if mu.is_empty() {
+        return 0.0;
+    }
+    // Clenshaw-style forward recurrence on T_m.
+    let mut acc = g[0] * mu[0];
+    let mut tm1 = 1.0; // T_0
+    let mut tm = x; // T_1
+    for m in 1..mu.len() {
+        acc += 2.0 * g[m] * mu[m] * tm;
+        let next = 2.0 * x * tm - tm1;
+        tm1 = tm;
+        tm = next;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_order_polynomials() {
+        for &x in &[-1.0, -0.3, 0.0, 0.7, 1.0] {
+            assert!((t(0, x) - 1.0).abs() < 1e-14);
+            assert!((t(1, x) - x).abs() < 1e-14);
+            assert!((t(2, x) - (2.0 * x * x - 1.0)).abs() < 1e-13);
+            assert!((t(3, x) - (4.0 * x * x * x - 3.0 * x)).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn recurrence_matches_closed_form() {
+        let mut buf = Vec::new();
+        for &x in &[-0.95, -0.2, 0.4, 0.99] {
+            t_all(30, x, &mut buf);
+            for m in 0..=30 {
+                assert!((buf[m] - t(m, x)).abs() < 1e-10, "m={m} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_by_one_inside_interval() {
+        for m in 0..50 {
+            for i in 0..20 {
+                let x = -1.0 + 2.0 * i as f64 / 19.0;
+                assert!(t(m, x).abs() <= 1.0 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn nodes_are_ascending_and_inside() {
+        let nodes = chebyshev_nodes(64);
+        assert_eq!(nodes.len(), 64);
+        for w in nodes.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(nodes[0] > -1.0 && nodes[63] < 1.0);
+    }
+
+    #[test]
+    fn quadrature_orthogonality() {
+        // (π/K) Σ_k T_m(x_k) = π δ_{m0} for m < 2K.
+        let k = 32;
+        let nodes = chebyshev_nodes(k);
+        for m in 0..2 * k {
+            let s: f64 = nodes.iter().map(|&x| t(m, x)).sum::<f64>() * std::f64::consts::PI
+                / k as f64;
+            let want = if m == 0 { std::f64::consts::PI } else { 0.0 };
+            assert!((s - want).abs() < 1e-10, "m={m}: {s}");
+        }
+    }
+
+    #[test]
+    fn damped_series_reduces_to_single_term() {
+        // mu = e_2 (only T_2), g = 1: S(x) = 2 T_2(x).
+        let mu = [0.0, 0.0, 1.0];
+        let g = [1.0, 1.0, 1.0];
+        for &x in &[-0.8, 0.1, 0.6] {
+            assert!((damped_series(&mu, &g, x) - 2.0 * t(2, x)).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn hyperbolic_branch_consistent_at_boundary() {
+        for m in 0..10 {
+            let inside = t(m, 1.0);
+            let outside = t(m, 1.0 + 1e-12);
+            assert!((inside - outside).abs() < 1e-6);
+        }
+    }
+}

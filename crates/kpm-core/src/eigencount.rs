@@ -1,0 +1,161 @@
+//! Eigenvalue counting in spectral windows.
+//!
+//! The paper motivates KPM-DOS with "eigenvalue counting for
+//! predetermination of sub-space sizes in projection-based eigensolvers"
+//! (refs. [8] di Napoli/Polizzi/Saad and [22] FEAST robustness): before
+//! launching a contour/projection eigensolver one needs the number of
+//! eigenvalues inside the search interval to size the subspace. This
+//! module provides that estimate directly from KPM moments, including a
+//! variant that integrates the damped Chebyshev series *analytically*
+//! (no sampling grid) via the Chebyshev antiderivative identity
+//! `∫ T_m(x)/√(1-x²) dx = -sin(m·arccos x)/m`.
+
+use kpm_sparse::CrsMatrix;
+use kpm_topo::ScaleFactors;
+
+use crate::kernels::Kernel;
+use crate::moments::MomentSet;
+use crate::solver::{kpm_moments, KpmParams, KpmVariant};
+
+/// Analytic integral of the damped KPM density over the Chebyshev
+/// window `[x_lo, x_hi] ⊆ [-1, 1]`:
+///
+/// `∫ ρ̃(x) dx = (1/π)[ g₀μ₀·(θ_lo - θ_hi) + 2 Σ_m g_m μ_m (sin(m θ_lo) - sin(m θ_hi))/m ]`
+///
+/// with `θ = arccos x` (θ decreases as x grows).
+pub fn window_fraction(moments: &MomentSet, kernel: Kernel, x_lo: f64, x_hi: f64) -> f64 {
+    assert!(x_lo <= x_hi, "window must be ordered");
+    let x_lo = x_lo.clamp(-1.0, 1.0);
+    let x_hi = x_hi.clamp(-1.0, 1.0);
+    let theta_lo = x_lo.acos(); // larger angle
+    let theta_hi = x_hi.acos(); // smaller angle
+    let g = kernel.coefficients(moments.len());
+    let mu = moments.as_slice();
+    if mu.is_empty() {
+        return 0.0;
+    }
+    let mut acc = g[0] * mu[0] * (theta_lo - theta_hi);
+    for m in 1..mu.len() {
+        let mf = m as f64;
+        acc += 2.0 * g[m] * mu[m] * ((mf * theta_lo).sin() - (mf * theta_hi).sin()) / mf;
+    }
+    acc / std::f64::consts::PI
+}
+
+/// Estimated number of eigenvalues of `h` in the energy window
+/// `[e_lo, e_hi]` from precomputed moments.
+pub fn count_from_moments(
+    moments: &MomentSet,
+    kernel: Kernel,
+    sf: ScaleFactors,
+    dim: usize,
+    e_lo: f64,
+    e_hi: f64,
+) -> f64 {
+    let frac = window_fraction(moments, kernel, sf.to_chebyshev(e_lo), sf.to_chebyshev(e_hi));
+    frac * dim as f64
+}
+
+/// End-to-end convenience: runs KPM on `h` and returns the estimated
+/// eigenvalue count in `[e_lo, e_hi]` — the subspace size a FEAST-like
+/// solver should allocate for that window.
+pub fn estimate_count(
+    h: &CrsMatrix,
+    params: &KpmParams,
+    e_lo: f64,
+    e_hi: f64,
+) -> f64 {
+    let sf = ScaleFactors::from_gershgorin(h, 0.01);
+    let moments = kpm_moments(h, sf, params, KpmVariant::AugSpmmv);
+    count_from_moments(&moments, Kernel::Jackson, sf, h.nrows(), e_lo, e_hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kpm_topo::model::{chain_1d, chain_1d_eigenvalues, exact_eigenvalues, random_hermitian};
+
+    fn params(m: usize, r: usize) -> KpmParams {
+        KpmParams {
+            num_moments: m,
+            num_random: r,
+            seed: 60,
+            parallel: false,
+        }
+    }
+
+    #[test]
+    fn full_window_counts_all_states() {
+        let h = random_hermitian(100, 3, 1);
+        let sf = ScaleFactors::from_gershgorin(&h, 0.01);
+        let set = kpm_moments(&h, sf, &params(64, 16), KpmVariant::AugSpmmv);
+        let frac = window_fraction(&set, Kernel::Jackson, -1.0, 1.0);
+        assert!((frac - 1.0).abs() < 1e-9, "full window fraction: {frac}");
+    }
+
+    #[test]
+    fn analytic_window_matches_grid_integration() {
+        let h = random_hermitian(120, 4, 2);
+        let sf = ScaleFactors::from_gershgorin(&h, 0.01);
+        let set = kpm_moments(&h, sf, &params(96, 16), KpmVariant::AugSpmmv);
+        let analytic = count_from_moments(&set, Kernel::Jackson, sf, 120, -0.8, 0.4);
+        let curve = crate::dos::reconstruct(&set, Kernel::Jackson, sf, 8192);
+        let grid = curve.integral_window(-0.8, 0.4) * 120.0;
+        assert!(
+            (analytic - grid).abs() < 0.5,
+            "analytic {analytic} vs grid {grid}"
+        );
+    }
+
+    #[test]
+    fn chain_counts_match_analytic_spectrum() {
+        let n = 200;
+        let h = chain_1d(n, 1.0);
+        let evs = chain_1d_eigenvalues(n, 1.0);
+        let estimate = estimate_count(&h, &params(128, 32), -1.0, 1.0);
+        let exact = evs.iter().filter(|e| e.abs() <= 1.0).count() as f64;
+        assert!(
+            (estimate - exact).abs() < 0.1 * n as f64,
+            "estimate {estimate} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn counts_are_additive_over_disjoint_windows() {
+        let h = random_hermitian(80, 3, 7);
+        let sf = ScaleFactors::from_gershgorin(&h, 0.01);
+        let set = kpm_moments(&h, sf, &params(64, 8), KpmVariant::AugSpmmv);
+        let a = window_fraction(&set, Kernel::Jackson, -1.0, 0.0);
+        let b = window_fraction(&set, Kernel::Jackson, 0.0, 1.0);
+        let whole = window_fraction(&set, Kernel::Jackson, -1.0, 1.0);
+        assert!((a + b - whole).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subspace_sizing_use_case() {
+        // The refs [8]/[22] workflow: pick a window, get a subspace
+        // size; it must upper-bound the true count only loosely but
+        // never be wildly off.
+        let h = random_hermitian(150, 4, 9);
+        let evs = exact_eigenvalues(&h);
+        let (e_lo, e_hi) = (-0.5, 0.5);
+        let exact = evs.iter().filter(|e| **e >= e_lo && **e <= e_hi).count() as f64;
+        let est = estimate_count(&h, &params(128, 48), e_lo, e_hi);
+        assert!((est - exact).abs() < 0.15 * 150.0, "est {est} vs exact {exact}");
+    }
+
+    #[test]
+    fn window_outside_spectrum_counts_nothing() {
+        let h = chain_1d(60, 1.0);
+        // Spectrum is in (-2, 2); count in the rescaled window beyond it.
+        let est = estimate_count(&h, &params(64, 8), 2.5, 3.0);
+        assert!(est.abs() < 0.5, "outside-window count: {est}");
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be ordered")]
+    fn reversed_window_panics() {
+        let set = MomentSet::zeros(4);
+        window_fraction(&set, Kernel::Jackson, 0.5, -0.5);
+    }
+}

@@ -1,0 +1,146 @@
+//! Damping kernels for the truncated Chebyshev expansion.
+//!
+//! Truncating the KPM series at `M` moments produces Gibbs oscillations;
+//! multiplying the moments by kernel coefficients `g_m` restores
+//! positivity and controls resolution (Weiße et al., Rev. Mod. Phys. 78,
+//! 275 (2006) — paper ref. [7]). Jackson is the standard choice for
+//! densities of states; Lorentz for Green-function-like quantities;
+//! Dirichlet (`g_m = 1`) is the raw truncation.
+
+/// A damping kernel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Kernel {
+    /// The Jackson kernel — optimal resolution for DOS; the broadening
+    /// at `x = 0` is `≈ π / M`.
+    Jackson,
+    /// The Lorentz kernel with parameter `λ` (typical: 3–5); yields
+    /// Lorentzian broadening, matching retarded Green functions.
+    Lorentz(f64),
+    /// No damping (sharp truncation; exhibits Gibbs oscillations).
+    Dirichlet,
+}
+
+impl Kernel {
+    /// The coefficients `g_0 .. g_{m_count-1}` for `m_count` moments.
+    pub fn coefficients(&self, m_count: usize) -> Vec<f64> {
+        match *self {
+            Kernel::Jackson => jackson(m_count),
+            Kernel::Lorentz(lambda) => lorentz(m_count, lambda),
+            Kernel::Dirichlet => vec![1.0; m_count],
+        }
+    }
+}
+
+/// Jackson kernel coefficients for `n` moments:
+/// `g_m = [(n - m + 1) cos(πm/(n+1)) + sin(πm/(n+1)) cot(π/(n+1))] / (n+1)`.
+fn jackson(n: usize) -> Vec<f64> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let np1 = n as f64 + 1.0;
+    let cot = 1.0 / (std::f64::consts::PI / np1).tan();
+    (0..n)
+        .map(|m| {
+            let arg = std::f64::consts::PI * m as f64 / np1;
+            ((n as f64 - m as f64 + 1.0) * arg.cos() + arg.sin() * cot) / np1
+        })
+        .collect()
+}
+
+/// Lorentz kernel coefficients: `g_m = sinh(λ(1 - m/n)) / sinh(λ)`.
+fn lorentz(n: usize, lambda: f64) -> Vec<f64> {
+    assert!(lambda > 0.0, "Lorentz kernel parameter must be positive");
+    (0..n)
+        .map(|m| (lambda * (1.0 - m as f64 / n as f64)).sinh() / lambda.sinh())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jackson_g0_is_one_and_decreasing() {
+        let g = Kernel::Jackson.coefficients(128);
+        assert!((g[0] - 1.0).abs() < 1e-12);
+        for w in g.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12, "Jackson coefficients must decay");
+        }
+        assert!(g[127] > 0.0 && g[127] < 1e-2);
+    }
+
+    #[test]
+    fn lorentz_g0_is_one_and_positive() {
+        let g = Kernel::Lorentz(4.0).coefficients(64);
+        assert!((g[0] - 1.0).abs() < 1e-12);
+        for &v in &g {
+            assert!(v > 0.0 && v <= 1.0);
+        }
+    }
+
+    #[test]
+    fn dirichlet_is_all_ones() {
+        assert_eq!(Kernel::Dirichlet.coefficients(5), vec![1.0; 5]);
+    }
+
+    #[test]
+    fn jackson_kernel_is_positive_definite() {
+        // The Jackson-damped delta approximation must be non-negative
+        // everywhere: reconstruct delta(x - x0) from exact moments
+        // mu_m = T_m(x0) and check positivity on a grid.
+        use crate::chebyshev::{damped_series, t};
+        let m_count = 64;
+        let x0 = 0.31;
+        let mu: Vec<f64> = (0..m_count).map(|m| t(m, x0)).collect();
+        let g = Kernel::Jackson.coefficients(m_count);
+        for i in 0..201 {
+            let x = -0.999 + 1.998 * i as f64 / 200.0;
+            let v = damped_series(&mu, &g, x);
+            assert!(v > -1e-10, "Jackson reconstruction negative at {x}: {v}");
+        }
+    }
+
+    #[test]
+    fn dirichlet_shows_gibbs_oscillations() {
+        // Same reconstruction without damping must go negative.
+        use crate::chebyshev::{damped_series, t};
+        let m_count = 64;
+        let x0 = 0.31;
+        let mu: Vec<f64> = (0..m_count).map(|m| t(m, x0)).collect();
+        let g = Kernel::Dirichlet.coefficients(m_count);
+        let has_negative = (0..201).any(|i| {
+            let x = -0.999 + 1.998 * i as f64 / 200.0;
+            damped_series(&mu, &g, x) < -1e-6
+        });
+        assert!(has_negative, "sharp truncation should oscillate below zero");
+    }
+
+    #[test]
+    fn jackson_resolution_narrows_with_more_moments() {
+        // FWHM of the delta reconstruction shrinks ~ 1/M.
+        use crate::chebyshev::{damped_series, t};
+        let width = |m_count: usize| -> f64 {
+            let mu: Vec<f64> = (0..m_count).map(|m| t(m, 0.0)).collect();
+            let g = Kernel::Jackson.coefficients(m_count);
+            let peak = damped_series(&mu, &g, 0.0);
+            let mut half_width = 1.0;
+            for i in 1..2000 {
+                let x = i as f64 / 2000.0;
+                if damped_series(&mu, &g, x) < peak / 2.0 {
+                    half_width = x;
+                    break;
+                }
+            }
+            half_width
+        };
+        let w32 = width(32);
+        let w128 = width(128);
+        assert!(w128 < w32 / 2.0, "w32={w32} w128={w128}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn lorentz_requires_positive_lambda() {
+        Kernel::Lorentz(0.0).coefficients(4);
+    }
+}

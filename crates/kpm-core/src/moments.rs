@@ -1,0 +1,168 @@
+//! Chebyshev moments and the stochastic trace estimator.
+//!
+//! One KPM run over a starting vector `|ν₀⟩` yields the scalar products
+//! `η_{2m} = ⟨ν_m|ν_m⟩` and `η_{2m+1} = ⟨ν_{m+1}|ν_m⟩` (paper Fig. 3).
+//! The Chebyshev product identities convert them into twice as many
+//! moments as matrix sweeps:
+//!
+//! ```text
+//! μ_{2m}   = 2 η_{2m}   − μ₀
+//! μ_{2m+1} = 2 η_{2m+1} − μ₁
+//! ```
+//!
+//! The density of states needs the trace `tr[T_m(H̃)]`, estimated as the
+//! average of `⟨r|T_m(H̃)|r⟩` over `R` random unit vectors (paper
+//! Section II). Moments of a Hermitian operator are real; the imaginary
+//! parts of the η products are pure stochastic noise and are dropped.
+
+use kpm_num::Complex64;
+
+/// A set of Chebyshev moments `μ_0 .. μ_{M-1}`, averaged over however
+/// many random vectors have been accumulated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MomentSet {
+    mu: Vec<f64>,
+    runs: usize,
+}
+
+impl MomentSet {
+    /// Builds the moment set of a *single* KPM run from the initial
+    /// moments `μ₀ = ⟨ν₀|ν₀⟩`, `μ₁ = ⟨ν₁|ν₀⟩` and the per-iteration
+    /// pairs `(η_{2m}, η_{2m+1})` for `m = 1 .. M/2`.
+    pub fn from_eta(mu0: f64, mu1: f64, eta: &[(f64, Complex64)]) -> Self {
+        let mut mu = Vec::with_capacity(2 + 2 * eta.len());
+        mu.push(mu0);
+        mu.push(mu1);
+        for &(even, odd) in eta {
+            mu.push(2.0 * even - mu0);
+            mu.push(2.0 * odd.re - mu1);
+        }
+        Self { mu, runs: 1 }
+    }
+
+    /// A zeroed accumulator for `m_count` moments.
+    pub fn zeros(m_count: usize) -> Self {
+        Self {
+            mu: vec![0.0; m_count],
+            runs: 0,
+        }
+    }
+
+    /// Adds another run (or average of runs) into this accumulator.
+    /// The stored moments remain running *averages*.
+    pub fn accumulate(&mut self, other: &MomentSet) {
+        assert_eq!(self.mu.len(), other.mu.len(), "moment count mismatch");
+        let total = self.runs + other.runs;
+        assert!(total > 0, "cannot accumulate two empty moment sets");
+        let wa = self.runs as f64 / total as f64;
+        let wb = other.runs as f64 / total as f64;
+        for (a, b) in self.mu.iter_mut().zip(&other.mu) {
+            *a = *a * wa + *b * wb;
+        }
+        self.runs = total;
+    }
+
+    /// Number of moments `M`.
+    pub fn len(&self) -> usize {
+        self.mu.len()
+    }
+
+    /// True if no moments are stored.
+    pub fn is_empty(&self) -> bool {
+        self.mu.is_empty()
+    }
+
+    /// Number of random vectors averaged into this set.
+    pub fn runs(&self) -> usize {
+        self.runs
+    }
+
+    /// The averaged moments.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.mu
+    }
+
+    /// Consumes the set, returning the averaged moments.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.mu
+    }
+
+    /// Maximum absolute difference to another set (validation helper:
+    /// all three solver variants must agree to rounding).
+    pub fn max_abs_diff(&self, other: &MomentSet) -> f64 {
+        assert_eq!(self.mu.len(), other.mu.len(), "moment count mismatch");
+        self.mu
+            .iter()
+            .zip(&other.mu)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_eta_applies_product_identities() {
+        let mu0 = 1.0;
+        let mu1 = 0.25;
+        let eta = vec![
+            (0.8, Complex64::new(0.3, 0.01)),
+            (0.6, Complex64::new(-0.2, -0.02)),
+        ];
+        let set = MomentSet::from_eta(mu0, mu1, &eta);
+        assert_eq!(set.len(), 6);
+        let mu = set.as_slice();
+        assert_eq!(mu[0], 1.0);
+        assert_eq!(mu[1], 0.25);
+        assert_eq!(mu[2], 2.0 * 0.8 - 1.0);
+        assert_eq!(mu[3], 2.0 * 0.3 - 0.25);
+        assert_eq!(mu[4], 2.0 * 0.6 - 1.0);
+        assert_eq!(mu[5], 2.0 * (-0.2) - 0.25);
+    }
+
+    #[test]
+    fn accumulate_averages_with_run_weights() {
+        let a = MomentSet::from_eta(1.0, 0.0, &[(1.0, Complex64::default())]);
+        let b = MomentSet::from_eta(3.0, 0.0, &[(2.0, Complex64::default())]);
+        let mut acc = MomentSet::zeros(4);
+        acc.accumulate(&a);
+        acc.accumulate(&b);
+        assert_eq!(acc.runs(), 2);
+        assert_eq!(acc.as_slice()[0], 2.0); // (1+3)/2
+    }
+
+    #[test]
+    fn weighted_accumulation_is_associative() {
+        let a = MomentSet::from_eta(1.0, 0.5, &[]);
+        let b = MomentSet::from_eta(2.0, -0.5, &[]);
+        let c = MomentSet::from_eta(4.0, 1.5, &[]);
+        let mut left = MomentSet::zeros(2);
+        left.accumulate(&a);
+        left.accumulate(&b);
+        left.accumulate(&c);
+        let mut right = MomentSet::zeros(2);
+        let mut bc = MomentSet::zeros(2);
+        bc.accumulate(&b);
+        bc.accumulate(&c);
+        right.accumulate(&a);
+        right.accumulate(&bc);
+        assert!(left.max_abs_diff(&right) < 1e-14);
+        assert_eq!(left.runs(), right.runs());
+    }
+
+    #[test]
+    fn max_abs_diff_zero_for_identical() {
+        let a = MomentSet::from_eta(1.0, 0.1, &[(0.5, Complex64::new(0.2, 0.0))]);
+        assert_eq!(a.max_abs_diff(&a.clone()), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "moment count mismatch")]
+    fn mismatched_lengths_panic() {
+        let a = MomentSet::zeros(4);
+        let b = MomentSet::zeros(6);
+        a.max_abs_diff(&b);
+    }
+}

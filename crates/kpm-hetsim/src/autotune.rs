@@ -1,0 +1,156 @@
+//! Automatic load-balancing weights (paper Section VII, outlook).
+//!
+//! The paper tunes the per-process weights "experimentally" and names
+//! automatic weight determination as future work ("take this burden
+//! away from the user"). This module implements it two ways:
+//!
+//! * [`weights_from_rates`] — the paper's own "good guess": weights
+//!   proportional to measured single-device performance,
+//! * [`refine_weights`] — iterative refinement from observed per-rank
+//!   sweep times: a rank that finished early gets more rows. Under the
+//!   linear cost model `t_i = rows_i / speed_i` one step lands exactly
+//!   on the balanced distribution; measurement noise is handled by
+//!   damping.
+
+/// Weights proportional to per-device sustained rates (Gflop/s or any
+/// consistent unit). The paper: "a good guess is to calculate the
+/// weights from the single-device performance numbers."
+pub fn weights_from_rates(rates: &[f64]) -> Vec<f64> {
+    assert!(!rates.is_empty(), "need at least one device");
+    assert!(rates.iter().all(|r| *r > 0.0), "rates must be positive");
+    let total: f64 = rates.iter().sum();
+    rates.iter().map(|r| r / total).collect()
+}
+
+/// One refinement step: given current `weights` and the measured
+/// per-rank sweep times, returns improved weights. `damping` in (0, 1]
+/// controls how far to move (1 = full correction, appropriate for
+/// noise-free measurements).
+pub fn refine_weights(weights: &[f64], times: &[f64], damping: f64) -> Vec<f64> {
+    assert_eq!(weights.len(), times.len(), "one time per rank");
+    assert!((0.0..=1.0).contains(&damping) && damping > 0.0, "damping in (0,1]");
+    assert!(times.iter().all(|t| *t > 0.0), "times must be positive");
+    // Implied speed of rank i: rows_i / t_i ∝ w_i / t_i. Balanced
+    // weights are proportional to speeds.
+    let speeds: Vec<f64> = weights.iter().zip(times).map(|(w, t)| w / t).collect();
+    let total: f64 = speeds.iter().sum();
+    let target: Vec<f64> = speeds.iter().map(|s| s / total).collect();
+    let total_w: f64 = weights.iter().sum();
+    let mut out: Vec<f64> = weights
+        .iter()
+        .zip(&target)
+        .map(|(w, t)| (1.0 - damping) * (w / total_w) + damping * t)
+        .collect();
+    let norm: f64 = out.iter().sum();
+    for w in &mut out {
+        *w /= norm;
+    }
+    out
+}
+
+/// Load imbalance of a sweep: `max(times) / mean(times) - 1`
+/// (0 = perfectly balanced).
+pub fn imbalance(times: &[f64]) -> f64 {
+    assert!(!times.is_empty(), "need at least one time");
+    let max = times.iter().cloned().fold(f64::MIN, f64::max);
+    let mean: f64 = times.iter().sum::<f64>() / times.len() as f64;
+    max / mean - 1.0
+}
+
+/// Runs the refinement loop against a cost model `time(rows_fraction,
+/// rank)` until the imbalance drops below `tol` or `max_iters` is hit.
+/// Returns the final weights and the imbalance trace.
+pub fn balance_with_model<F>(
+    initial: &[f64],
+    time_model: F,
+    tol: f64,
+    max_iters: usize,
+) -> (Vec<f64>, Vec<f64>)
+where
+    F: Fn(f64, usize) -> f64,
+{
+    let mut weights: Vec<f64> = {
+        let s: f64 = initial.iter().sum();
+        initial.iter().map(|w| w / s).collect()
+    };
+    let mut trace = Vec::new();
+    for _ in 0..max_iters {
+        let times: Vec<f64> = weights
+            .iter()
+            .enumerate()
+            .map(|(i, w)| time_model(*w, i))
+            .collect();
+        let imb = imbalance(&times);
+        trace.push(imb);
+        if imb < tol {
+            break;
+        }
+        weights = refine_weights(&weights, &times, 1.0);
+    }
+    (weights, trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_normalize_to_unit_sum() {
+        let w = weights_from_rates(&[46.0, 85.0]); // SNB, K20X stage-2
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((w[1] / w[0] - 85.0 / 46.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_refinement_step_balances_linear_model() {
+        // Devices with speeds 1 : 2 : 4, starting from equal weights.
+        let speeds = [1.0, 2.0, 4.0];
+        let w0 = vec![1.0 / 3.0; 3];
+        let times: Vec<f64> = w0.iter().zip(&speeds).map(|(w, s)| w / s).collect();
+        let w1 = refine_weights(&w0, &times, 1.0);
+        // Balanced: weights proportional to speed.
+        for (w, s) in w1.iter().zip(&speeds) {
+            assert!((w - s / 7.0).abs() < 1e-12);
+        }
+        let t1: Vec<f64> = w1.iter().zip(&speeds).map(|(w, s)| w / s).collect();
+        assert!(imbalance(&t1) < 1e-12);
+    }
+
+    #[test]
+    fn damping_moves_part_way() {
+        let w0 = [0.5, 0.5];
+        let times = [2.0, 1.0];
+        let half = refine_weights(&w0, &times, 0.5);
+        let full = refine_weights(&w0, &times, 1.0);
+        assert!(half[1] > w0[1] && half[1] < full[1]);
+    }
+
+    #[test]
+    fn balance_loop_converges_with_nonlinear_model() {
+        // Speeds differ and there is a fixed per-sweep overhead on rank
+        // 0 (the "sacrificed core" effect): the loop still converges.
+        let model = |w: f64, rank: usize| -> f64 {
+            let speed = [30.0f64, 80.0][rank];
+            let overhead = [3e-3f64, 0.0][rank];
+            w / speed + overhead
+        };
+        let (weights, trace) = balance_with_model(&[1.0, 1.0], model, 1e-3, 50);
+        assert!(trace.last().unwrap() < &1e-3, "trace: {trace:?}");
+        // GPU rank ends with the lion's share.
+        assert!(weights[1] > 0.7, "{weights:?}");
+        // Imbalance decreased from the first iterate.
+        assert!(trace[0] > *trace.last().unwrap());
+    }
+
+    #[test]
+    fn imbalance_metric() {
+        assert!(imbalance(&[1.0, 1.0, 1.0]) < 1e-15);
+        assert!((imbalance(&[2.0, 1.0, 1.0]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "rates must be positive")]
+    fn zero_rate_rejected() {
+        weights_from_rates(&[1.0, 0.0]);
+    }
+}

@@ -1,0 +1,318 @@
+//! The distributed blocked KPM solver (functional layer).
+//!
+//! Executes optimization stage 2 (paper Fig. 5) across ranks: every rank
+//! owns a weighted row block, exchanges halo rows of the current
+//! Chebyshev block before each sweep, runs the local augmented SpMMV,
+//! and contributes partial scalar products. Two reduction policies
+//! reproduce the paper's Table III comparison:
+//!
+//! * `reduce_every_iteration = false` — the optimized scheme: partial η
+//!   sums accumulate locally and a *single* global reduction runs at the
+//!   very end (paper Section II: "a careful implementation reduces the
+//!   amount of global reductions ... to a single one").
+//! * `reduce_every_iteration = true` — the `aug_spmmv()*` variant with
+//!   one global reduction per iteration.
+
+use kpm_num::{BlockVector, Complex64, Vector};
+use kpm_sparse::aug::{aug_spmmv_rect, spmmv_rect};
+use kpm_sparse::CrsMatrix;
+use kpm_topo::ScaleFactors;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use kpm_core::moments::MomentSet;
+use kpm_core::solver::KpmParams;
+
+use crate::decomp::{decompose, partition_rows, LocalProblem};
+use crate::runtime::{Communicator, World};
+
+/// Result of a distributed KPM run.
+#[derive(Debug, Clone)]
+pub struct DistReport {
+    /// The stochastically averaged Chebyshev moments (identical on all
+    /// ranks; validated against the single-process solver).
+    pub moments: MomentSet,
+    /// Total halo payload bytes sent across all ranks and iterations.
+    pub halo_bytes: u64,
+    /// Number of global reductions performed.
+    pub global_reductions: usize,
+}
+
+/// Runs the distributed blocked KPM over `weights.len()` ranks.
+///
+/// Starting vectors are generated exactly as in
+/// [`kpm_core::solver::kpm_moments`], so for equal seeds the moments
+/// must agree with the shared-memory stage-2 solver up to reduction
+/// order.
+pub fn distributed_kpm(
+    h: &CrsMatrix,
+    sf: ScaleFactors,
+    params: &KpmParams,
+    weights: &[f64],
+    reduce_every_iteration: bool,
+) -> DistReport {
+    assert_eq!(h.nrows(), h.ncols(), "KPM needs a square matrix");
+    let n = h.nrows();
+    let r = params.num_random;
+    let iters = params.iterations();
+
+    // Identical starting vectors to the shared-memory solver.
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let starts: Vec<Vector> = (0..r)
+        .map(|_| {
+            let mut v = Vector::random(n, &mut rng);
+            v.normalize();
+            v
+        })
+        .collect();
+
+    let ranges = partition_rows(n, weights, 4.min(n));
+    let parts = decompose(h, &ranges);
+
+    let results = World::run(parts.len(), |mut comm| {
+        let local = &parts[comm.rank()];
+        rank_main(&mut comm, local, sf, &starts, iters, reduce_every_iteration)
+    });
+
+    // All ranks return identical reduced data; take rank 0's.
+    let (eta_flat, halo_sent, reductions) = results.into_iter().next().expect("rank 0 result");
+    let halo_bytes: u64 = halo_sent;
+
+    // Unflatten: [mu0[j], mu1[j]] ++ per-iteration [(even[j], odd[j])].
+    let mut acc = MomentSet::zeros(params.num_moments);
+    for j in 0..r {
+        let mu0 = eta_flat[j].re;
+        let mu1 = eta_flat[r + j].re;
+        let mut eta = Vec::with_capacity(iters);
+        for m in 0..iters {
+            let base = 2 * r + m * 2 * r;
+            let even = eta_flat[base + j].re;
+            let odd = eta_flat[base + r + j];
+            eta.push((even, odd));
+        }
+        acc.accumulate(&MomentSet::from_eta(mu0, mu1, &eta));
+    }
+    DistReport {
+        moments: acc,
+        halo_bytes,
+        global_reductions: reductions,
+    }
+}
+
+/// Per-rank worker: returns the globally reduced flat η array, the
+/// all-rank total of halo bytes, and the reduction count.
+fn rank_main(
+    comm: &mut Communicator,
+    local: &LocalProblem,
+    sf: ScaleFactors,
+    starts: &[Vector],
+    iters: usize,
+    reduce_every_iteration: bool,
+) -> (Vec<Complex64>, u64, usize) {
+    let r = starts.len();
+    let n_local = local.n_local();
+    let n_ext = local.matrix.ncols();
+    let mut reductions = 0usize;
+    let mut halo_sent = 0u64;
+
+    // Halo slot offsets per recv-plan group (groups appear in ascending
+    // owner order, matching the sorted halo layout).
+    let mut slot_offsets = Vec::with_capacity(local.recv_plan.len());
+    let mut off = n_local;
+    for (_, rows) in &local.recv_plan {
+        slot_offsets.push(off);
+        off += rows.len();
+    }
+    debug_assert_eq!(off, n_ext);
+
+    // V holds the current Chebyshev block on the extended index space;
+    // W the previous/next one.
+    let mut v = BlockVector::zeros(n_ext, r);
+    let mut w = BlockVector::zeros(n_ext, r);
+    for (j, s) in starts.iter().enumerate() {
+        for i in 0..n_local {
+            v.set(i, j, s[local.row_begin + i]);
+        }
+    }
+
+    // --- Initialization: mu0, nu1 = H~ nu0, mu1 (local partials). ---
+    let mut tag = 0u64;
+    exchange_halo(comm, local, &mut v, &slot_offsets, &mut halo_sent, &mut tag);
+    let mut mu0 = vec![Complex64::default(); r];
+    for i in 0..n_local {
+        let row = v.row(i);
+        for j in 0..r {
+            mu0[j] += Complex64::real(row[j].norm_sqr());
+        }
+    }
+    spmmv_rect(&local.matrix, &v, &mut w);
+    let mut mu1 = vec![Complex64::default(); r];
+    for i in 0..n_local {
+        // w <- a (w - b v) on local rows; mu1 += conj(w) v.
+        #[allow(clippy::needless_range_loop)] // j indexes three aligned arrays
+        for j in 0..r {
+            let wi = (w.get(i, j) - v.get(i, j).scale(sf.b)).scale(sf.a);
+            w.set(i, j, wi);
+            mu1[j] = wi.conj().mul_add(v.get(i, j), mu1[j]);
+        }
+    }
+
+    // Local eta storage: flat layout [mu0 | mu1 | iter0(even|odd) | ...].
+    let mut eta_flat: Vec<Complex64> = Vec::with_capacity(2 * r + iters * 2 * r);
+    eta_flat.extend_from_slice(&mu0);
+    eta_flat.extend_from_slice(&mu1);
+
+    // --- Chebyshev loop. ---
+    for _m in 0..iters {
+        v.swap(&mut w);
+        exchange_halo(comm, local, &mut v, &slot_offsets, &mut halo_sent, &mut tag);
+        let dots = aug_spmmv_rect(&local.matrix, sf.a, sf.b, &v, &mut w);
+        if reduce_every_iteration {
+            let mut pair: Vec<Complex64> = Vec::with_capacity(2 * r);
+            pair.extend(dots.eta_even.iter().map(|&x| Complex64::real(x)));
+            pair.extend_from_slice(&dots.eta_odd);
+            let reduced = comm.allreduce_sum(&pair);
+            reductions += 1;
+            eta_flat.extend_from_slice(&reduced);
+        } else {
+            eta_flat.extend(dots.eta_even.iter().map(|&x| Complex64::real(x)));
+            eta_flat.extend_from_slice(&dots.eta_odd);
+        }
+    }
+
+    // --- Final reduction(s). ---
+    let reduced = if reduce_every_iteration {
+        // Only the init moments still need summing; the per-iteration
+        // entries are already global.
+        let head = comm.allreduce_sum(&eta_flat[..2 * r]);
+        reductions += 1;
+        let mut all = head;
+        all.extend_from_slice(&eta_flat[2 * r..]);
+        all
+    } else {
+        reductions += 1;
+        comm.allreduce_sum(&eta_flat)
+    };
+    let halo_total = comm
+        .allreduce_scalar(Complex64::real(halo_sent as f64))
+        .re as u64;
+    (reduced, halo_total, reductions)
+}
+
+/// One halo exchange of the current block `v`.
+fn exchange_halo(
+    comm: &mut Communicator,
+    local: &LocalProblem,
+    v: &mut BlockVector,
+    slot_offsets: &[usize],
+    halo_sent: &mut u64,
+    tag: &mut u64,
+) {
+    let r = v.width();
+    let t = *tag;
+    *tag += 1;
+    for (dst, rows) in &local.send_plan {
+        let mut buf = Vec::with_capacity(rows.len() * r);
+        for &lr in rows {
+            buf.extend_from_slice(v.row(lr as usize));
+        }
+        *halo_sent += (buf.len() * 16) as u64;
+        comm.send(*dst, t, buf);
+    }
+    for (g, (src, rows)) in local.recv_plan.iter().enumerate() {
+        let buf = comm.recv(*src, t);
+        assert_eq!(buf.len(), rows.len() * r, "halo payload size mismatch");
+        let base = slot_offsets[g];
+        for (i, chunk) in buf.chunks(r).enumerate() {
+            v.row_mut(base + i).copy_from_slice(chunk);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kpm_core::solver::{kpm_moments, KpmVariant};
+    use kpm_topo::model::random_hermitian;
+    use kpm_topo::TopoHamiltonian;
+
+    fn params(m: usize, r: usize) -> KpmParams {
+        KpmParams {
+            num_moments: m,
+            num_random: r,
+            seed: 777,
+            parallel: false,
+        }
+    }
+
+    #[test]
+    fn two_ranks_match_shared_memory_solver() {
+        let h = TopoHamiltonian::clean(4, 4, 3).assemble();
+        let sf = ScaleFactors::from_gershgorin(&h, 0.01);
+        let p = params(32, 4);
+        let reference = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv);
+        let dist = distributed_kpm(&h, sf, &p, &[1.0, 1.0], false);
+        assert!(
+            reference.max_abs_diff(&dist.moments) < 1e-9,
+            "diff = {}",
+            reference.max_abs_diff(&dist.moments)
+        );
+        assert_eq!(dist.global_reductions, 1);
+        assert!(dist.halo_bytes > 0);
+    }
+
+    #[test]
+    fn weighted_heterogeneous_split_matches_too() {
+        // CPU:GPU-like weights (1 : 2.3) over 3 ranks.
+        let h = TopoHamiltonian::clean(4, 4, 2).assemble();
+        let sf = ScaleFactors::from_gershgorin(&h, 0.01);
+        let p = params(16, 2);
+        let reference = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv);
+        let dist = distributed_kpm(&h, sf, &p, &[1.0, 2.3, 0.7], false);
+        assert!(reference.max_abs_diff(&dist.moments) < 1e-9);
+    }
+
+    #[test]
+    fn per_iteration_reduction_gives_identical_moments() {
+        let h = random_hermitian(160, 3, 5);
+        let sf = ScaleFactors::from_gershgorin(&h, 0.01);
+        let p = params(16, 3);
+        let end = distributed_kpm(&h, sf, &p, &[1.0, 1.0], false);
+        let every = distributed_kpm(&h, sf, &p, &[1.0, 1.0], true);
+        assert!(end.moments.max_abs_diff(&every.moments) < 1e-10);
+        // M/2 - 1 iterations + 1 init reduction.
+        assert_eq!(every.global_reductions, p.iterations() + 1);
+        assert_eq!(end.global_reductions, 1);
+    }
+
+    #[test]
+    fn four_ranks_on_random_matrix() {
+        let h = random_hermitian(240, 4, 9);
+        let sf = ScaleFactors::from_gershgorin(&h, 0.01);
+        let p = params(24, 2);
+        let reference = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv);
+        let dist = distributed_kpm(&h, sf, &p, &[1.0; 4], false);
+        assert!(reference.max_abs_diff(&dist.moments) < 1e-9);
+    }
+
+    #[test]
+    fn single_rank_needs_no_halo() {
+        let h = random_hermitian(100, 3, 11);
+        let sf = ScaleFactors::from_gershgorin(&h, 0.01);
+        let p = params(16, 2);
+        let dist = distributed_kpm(&h, sf, &p, &[1.0], false);
+        assert_eq!(dist.halo_bytes, 0);
+        let reference = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv);
+        assert!(reference.max_abs_diff(&dist.moments) < 1e-9);
+    }
+
+    #[test]
+    fn halo_traffic_grows_with_rank_count() {
+        let h = TopoHamiltonian::clean(4, 4, 6).assemble();
+        let sf = ScaleFactors::from_gershgorin(&h, 0.01);
+        let p = params(16, 2);
+        let two = distributed_kpm(&h, sf, &p, &[1.0; 2], false);
+        let four = distributed_kpm(&h, sf, &p, &[1.0; 4], false);
+        assert!(four.halo_bytes > two.halo_bytes);
+    }
+}

@@ -1,0 +1,34 @@
+//! Heterogeneous and distributed execution (paper Section VI).
+//!
+//! The paper runs KPM data-parallel across CPU sockets and GPUs — one
+//! MPI process per device, weighted row distribution, halo exchange —
+//! on up to 1024 nodes of Piz Daint. This crate reproduces that stack
+//! in two complementary layers:
+//!
+//! * a **functional layer** that really executes the distributed
+//!   algorithm, with OS threads standing in for MPI ranks:
+//!   - [`runtime`] — a typed message-passing runtime (send/recv,
+//!     barrier, allreduce) built on crossbeam channels,
+//!   - [`decomp`] — weighted 1-D row-block decomposition and the halo
+//!     communication plan derived from the matrix sparsity pattern,
+//!   - [`dist`] — the distributed blocked KPM solver; its moments are
+//!     validated against the single-process solver,
+//! * a **performance layer** that models the machines we cannot run on:
+//!   - [`node`] — node-level performance per optimization stage for
+//!     CPU, GPU and CPU+GPU execution (paper Fig. 11),
+//!   - [`cluster`] — weak/strong scaling on the modelled Cray XC30
+//!     (paper Fig. 12) and the resource-efficiency comparison of
+//!     blocking vs throughput mode (paper Table III),
+//!   - [`autotune`] — automatic load-balancing weights, the paper's
+//!     Section VII outlook item, including iterative refinement from
+//!     observed sweep times.
+
+pub mod autotune;
+pub mod cluster;
+pub mod decomp;
+pub mod dist;
+pub mod node;
+pub mod runtime;
+
+pub use decomp::{partition_rows, LocalProblem};
+pub use runtime::{Communicator, World};

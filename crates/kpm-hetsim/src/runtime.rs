@@ -1,0 +1,253 @@
+//! MPI-like message-passing runtime over OS threads.
+//!
+//! The paper uses one MPI process per device "already on the node level"
+//! so the same code scales from one heterogeneous node to the full
+//! machine (Section VI-A). This module provides that programming model
+//! in-process: [`World::run`] spawns one thread per rank and hands each
+//! a [`Communicator`] with point-to-point send/recv, barrier, and
+//! allreduce collectives. Message channels are unbounded, so sends
+//! never block (eager MPI semantics for the message sizes used here).
+
+use std::sync::{Arc, Barrier};
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use kpm_num::Complex64;
+
+/// A tagged message payload.
+#[derive(Debug, Clone)]
+pub struct Message {
+    /// Sender rank.
+    pub from: usize,
+    /// User tag (e.g. iteration number).
+    pub tag: u64,
+    /// Payload.
+    pub data: Vec<Complex64>,
+}
+
+/// Per-rank communication endpoint.
+pub struct Communicator {
+    rank: usize,
+    size: usize,
+    senders: Vec<Sender<Message>>, // senders[d] delivers to rank d
+    inbox: Receiver<Message>,
+    /// Messages received but not yet matched by tag/source.
+    stash: Vec<Message>,
+    barrier: Arc<Barrier>,
+}
+
+impl Communicator {
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total number of ranks.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Sends `data` to rank `to` with `tag`. Never blocks.
+    pub fn send(&self, to: usize, tag: u64, data: Vec<Complex64>) {
+        assert!(to < self.size, "destination rank out of range");
+        self.senders[to]
+            .send(Message {
+                from: self.rank,
+                tag,
+                data,
+            })
+            .expect("receiver thread alive for the World's lifetime");
+    }
+
+    /// Receives the next message from `from` with `tag`, blocking until
+    /// it arrives. Out-of-order arrivals are stashed and matched later.
+    pub fn recv(&mut self, from: usize, tag: u64) -> Vec<Complex64> {
+        if let Some(pos) = self
+            .stash
+            .iter()
+            .position(|m| m.from == from && m.tag == tag)
+        {
+            return self.stash.swap_remove(pos).data;
+        }
+        loop {
+            let msg = self.inbox.recv().expect("world alive");
+            if msg.from == from && msg.tag == tag {
+                return msg.data;
+            }
+            self.stash.push(msg);
+        }
+    }
+
+    /// Synchronizes all ranks.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// Global element-wise sum of `local` over all ranks; every rank
+    /// returns the identical result. Deterministic reduction order
+    /// (by ascending rank at rank 0, then broadcast), so the result does
+    /// not depend on timing.
+    pub fn allreduce_sum(&mut self, local: &[Complex64]) -> Vec<Complex64> {
+        const TAG_GATHER: u64 = u64::MAX - 1;
+        const TAG_BCAST: u64 = u64::MAX - 2;
+        if self.size == 1 {
+            return local.to_vec();
+        }
+        if self.rank == 0 {
+            let mut acc = local.to_vec();
+            for src in 1..self.size {
+                let part = self.recv(src, TAG_GATHER);
+                assert_eq!(part.len(), acc.len(), "allreduce length mismatch");
+                for (a, b) in acc.iter_mut().zip(&part) {
+                    *a += *b;
+                }
+            }
+            for dst in 1..self.size {
+                self.send(dst, TAG_BCAST, acc.clone());
+            }
+            acc
+        } else {
+            self.send(0, TAG_GATHER, local.to_vec());
+            self.recv(0, TAG_BCAST)
+        }
+    }
+
+    /// Global sum of a scalar.
+    pub fn allreduce_scalar(&mut self, x: Complex64) -> Complex64 {
+        self.allreduce_sum(&[x])[0]
+    }
+}
+
+/// A fixed-size group of ranks running one closure each.
+pub struct World;
+
+impl World {
+    /// Runs `f(communicator)` on `size` ranks (threads) and returns each
+    /// rank's result, indexed by rank.
+    pub fn run<T, F>(size: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Communicator) -> T + Send + Sync,
+    {
+        assert!(size >= 1, "need at least one rank");
+        let mut senders = Vec::with_capacity(size);
+        let mut receivers = Vec::with_capacity(size);
+        for _ in 0..size {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let barrier = Arc::new(Barrier::new(size));
+        let mut comms: Vec<Communicator> = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, inbox)| Communicator {
+                rank,
+                size,
+                senders: senders.clone(),
+                inbox,
+                stash: Vec::new(),
+                barrier: Arc::clone(&barrier),
+            })
+            .collect();
+        drop(senders);
+
+        crossbeam::scope(|scope| {
+            let mut handles = Vec::with_capacity(size);
+            for comm in comms.drain(..) {
+                let fref = &f;
+                handles.push(scope.spawn(move |_| fref(comm)));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank thread must not panic"))
+                .collect()
+        })
+        .expect("world scope")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(re: f64) -> Complex64 {
+        Complex64::real(re)
+    }
+
+    #[test]
+    fn ranks_are_distinct_and_sized() {
+        let got = World::run(4, |comm| (comm.rank(), comm.size()));
+        assert_eq!(got, vec![(0, 4), (1, 4), (2, 4), (3, 4)]);
+    }
+
+    #[test]
+    fn ring_send_recv() {
+        let got = World::run(3, |mut comm| {
+            let next = (comm.rank() + 1) % comm.size();
+            let prev = (comm.rank() + comm.size() - 1) % comm.size();
+            comm.send(next, 7, vec![c(comm.rank() as f64)]);
+            comm.recv(prev, 7)[0].re
+        });
+        assert_eq!(got, vec![2.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn out_of_order_tags_are_stashed() {
+        let got = World::run(2, |mut comm| {
+            if comm.rank() == 0 {
+                // Send tag 2 first, then tag 1.
+                comm.send(1, 2, vec![c(20.0)]);
+                comm.send(1, 1, vec![c(10.0)]);
+                0.0
+            } else {
+                // Receive in the opposite order.
+                let a = comm.recv(0, 1)[0].re;
+                let b = comm.recv(0, 2)[0].re;
+                a + b
+            }
+        });
+        assert_eq!(got[1], 30.0);
+    }
+
+    #[test]
+    fn allreduce_sums_across_ranks() {
+        let got = World::run(5, |mut comm| {
+            let local = vec![c(comm.rank() as f64), c(1.0)];
+            let sum = comm.allreduce_sum(&local);
+            (sum[0].re, sum[1].re)
+        });
+        for (a, b) in got {
+            assert_eq!(a, 10.0); // 0+1+2+3+4
+            assert_eq!(b, 5.0);
+        }
+    }
+
+    #[test]
+    fn allreduce_scalar_deterministic() {
+        let a = World::run(7, |mut comm| {
+            comm.allreduce_scalar(Complex64::new(0.1 * comm.rank() as f64, -1.0))
+        });
+        let b = World::run(7, |mut comm| {
+            comm.allreduce_scalar(Complex64::new(0.1 * comm.rank() as f64, -1.0))
+        });
+        assert_eq!(a, b);
+        assert!((a[0].im + 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn barrier_does_not_deadlock() {
+        let got = World::run(4, |comm| {
+            for _ in 0..10 {
+                comm.barrier();
+            }
+            comm.rank()
+        });
+        assert_eq!(got.len(), 4);
+    }
+
+    #[test]
+    fn single_rank_world() {
+        let got = World::run(1, |mut comm| comm.allreduce_scalar(c(42.0)).re);
+        assert_eq!(got, vec![42.0]);
+    }
+}

@@ -1,0 +1,74 @@
+//! Byte and flop accounting constants (paper Section III).
+//!
+//! The paper's traffic and balance formulas are parameterized by the size
+//! of one matrix/vector data element `S_d`, the size of one index element
+//! `S_i`, and the flop cost of one complex addition `F_a` and one complex
+//! multiplication `F_m`. For double-complex arithmetic with 32-bit local
+//! indices these are 16, 4, 2 and 6 respectively — the values used in
+//! Eqs. (5)-(7) of the paper.
+
+/// Size in bytes of one matrix/vector data element (double complex).
+pub const S_D: usize = 16;
+
+/// Size in bytes of one matrix index element (32-bit local index).
+pub const S_I: usize = 4;
+
+/// Flops per complex addition.
+pub const F_A: usize = 2;
+
+/// Flops per complex multiplication.
+pub const F_M: usize = 6;
+
+/// Flop count of the whole KPM-DOS solver (paper Table I, last row):
+/// `R*M/2 * [Nnz*(F_a + F_m) + N*(7*F_a/2 + 9*F_m/2)]`.
+///
+/// The per-row vector term charges, per inner iteration and per vector:
+/// the shift/scale/recurrence updates and the two on-the-fly scalar
+/// products of the augmented kernel.
+#[inline]
+pub fn kpm_flops(n: usize, nnz: usize, r: usize, m: usize) -> usize {
+    r * m / 2 * (nnz * (F_A + F_M) + n * (7 * F_A / 2 + 9 * F_M / 2))
+}
+
+/// Flops per inner iteration of one augmented SpM(M)V sweep, i.e.
+/// [`kpm_flops`] without the `R*M/2` outer factor but with the block
+/// width folded into the vector term.
+#[inline]
+pub fn aug_spmmv_flops(n: usize, nnz: usize, r: usize) -> usize {
+    r * (nnz * (F_A + F_M) + n * (7 * F_A / 2 + 9 * F_M / 2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_match_paper() {
+        assert_eq!(S_D, 16);
+        assert_eq!(S_I, 4);
+        assert_eq!(F_A, 2);
+        assert_eq!(F_M, 6);
+        // Denominator of Eq. (5): 13*(2+6) + (7*2/2 + 9*6/2) = 104 + 34 = 138
+        let nnzr = 13;
+        let denom = nnzr * (F_A + F_M) + (7 * F_A / 2 + 9 * F_M / 2);
+        assert_eq!(denom, 138);
+    }
+
+    #[test]
+    fn kpm_flops_scales_linearly_in_r_and_m() {
+        let n = 1000;
+        let nnz = 13 * n;
+        let base = kpm_flops(n, nnz, 1, 2);
+        assert_eq!(kpm_flops(n, nnz, 4, 2), 4 * base);
+        assert_eq!(kpm_flops(n, nnz, 1, 8), 4 * base);
+    }
+
+    #[test]
+    fn aug_spmmv_flops_is_per_iteration_slice() {
+        let n = 64;
+        let nnz = 13 * n;
+        let r = 8;
+        let m = 10;
+        assert_eq!(aug_spmmv_flops(n, nnz, r) * m / 2, kpm_flops(n, nnz, r, m));
+    }
+}

@@ -1,0 +1,399 @@
+//! Block vectors of width `R`.
+//!
+//! The stage-2 optimization of the paper (Fig. 5) interprets the `R`
+//! independent KPM starting vectors as one *block vector* so the sparse
+//! matrix is streamed once per iteration instead of `R` times. For the
+//! augmented SpMMV kernel to access the right-hand sides contiguously,
+//! the block must be stored in **row-major (interleaved)** order: element
+//! `(row, col)` lives at `row * R + col` (paper Section IV-A). That is
+//! the layout of [`BlockVector`].
+//!
+//! [`ColMajorBlock`] stores the transposed layout (each column
+//! contiguous). It exists for the layout ablation: the paper notes that
+//! transposing may be required when an application's native layout is
+//! column-major, and the ablation bench quantifies the penalty of running
+//! SpMMV directly on the unfavourable layout.
+
+use rand::Rng;
+
+use crate::aligned::AlignedVec;
+use crate::complex::Complex64;
+use crate::vector::{dot, Vector};
+
+/// A dense `rows x width` block of complex numbers in row-major
+/// (interleaved) storage: entry `(i, j)` is at index `i * width + j`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockVector {
+    rows: usize,
+    width: usize,
+    /// 64-byte-aligned interleaved storage (the paper's AVX kernels
+    /// require aligned block-vector loads).
+    data: AlignedVec,
+}
+
+impl BlockVector {
+    /// Creates a zero block of `rows` rows and `width` columns.
+    pub fn zeros(rows: usize, width: usize) -> Self {
+        assert!(width > 0, "block width must be positive");
+        Self {
+            rows,
+            width,
+            data: AlignedVec::zeroed(rows * width),
+        }
+    }
+
+    /// Builds a block from `width` equal-length column vectors.
+    pub fn from_columns(columns: &[Vector]) -> Self {
+        assert!(!columns.is_empty(), "need at least one column");
+        let rows = columns[0].len();
+        assert!(
+            columns.iter().all(|c| c.len() == rows),
+            "all columns must have equal length"
+        );
+        let width = columns.len();
+        let mut b = Self::zeros(rows, width);
+        for (j, col) in columns.iter().enumerate() {
+            for (i, &z) in col.as_slice().iter().enumerate() {
+                b.data[i * width + j] = z;
+            }
+        }
+        b
+    }
+
+    /// Splits the block back into column vectors.
+    pub fn to_columns(&self) -> Vec<Vector> {
+        (0..self.width).map(|j| self.column(j)).collect()
+    }
+
+    /// Extracts column `j` as an owned vector.
+    pub fn column(&self, j: usize) -> Vector {
+        assert!(j < self.width, "column index out of range");
+        Vector::from_vec(
+            (0..self.rows)
+                .map(|i| self.data[i * self.width + j])
+                .collect(),
+        )
+    }
+
+    /// Overwrites column `j` from a vector.
+    pub fn set_column(&mut self, j: usize, col: &Vector) {
+        assert!(j < self.width, "column index out of range");
+        assert_eq!(col.len(), self.rows, "column length mismatch");
+        for (i, &z) in col.as_slice().iter().enumerate() {
+            self.data[i * self.width + j] = z;
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Block width `R`.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Entry `(i, j)`.
+    #[inline(always)]
+    pub fn get(&self, i: usize, j: usize) -> Complex64 {
+        self.data[i * self.width + j]
+    }
+
+    /// Sets entry `(i, j)`.
+    #[inline(always)]
+    pub fn set(&mut self, i: usize, j: usize, z: Complex64) {
+        self.data[i * self.width + j] = z;
+    }
+
+    /// Borrows row `i` (contiguous, length `width`).
+    #[inline(always)]
+    pub fn row(&self, i: usize) -> &[Complex64] {
+        &self.data[i * self.width..(i + 1) * self.width]
+    }
+
+    /// Mutably borrows row `i`.
+    #[inline(always)]
+    pub fn row_mut(&mut self, i: usize) -> &mut [Complex64] {
+        &mut self.data[i * self.width..(i + 1) * self.width]
+    }
+
+    /// Borrows the whole interleaved storage.
+    pub fn as_slice(&self) -> &[Complex64] {
+        &self.data
+    }
+
+    /// Mutably borrows the whole interleaved storage.
+    pub fn as_mut_slice(&mut self) -> &mut [Complex64] {
+        &mut self.data
+    }
+
+    /// Fills all entries with uniform random values in `[-1,1]^2`.
+    pub fn fill_random<R: Rng>(&mut self, rng: &mut R) {
+        for z in self.data.as_mut_slice() {
+            *z = Complex64::new(rng.gen_range(-1.0..=1.0), rng.gen_range(-1.0..=1.0));
+        }
+    }
+
+    /// A random block.
+    pub fn random<R: Rng>(rows: usize, width: usize, rng: &mut R) -> Self {
+        let mut b = Self::zeros(rows, width);
+        b.fill_random(rng);
+        b
+    }
+
+    /// Column-wise sesquilinear dot products `<x_j | y_j>` for all `j`.
+    ///
+    /// This is the blocked form of the paper's `eta` computation: each
+    /// entry of the result corresponds to one of the `R` independent KPM
+    /// runs.
+    pub fn columnwise_dot(&self, other: &Self) -> Vec<Complex64> {
+        assert_eq!(self.rows, other.rows, "row count mismatch");
+        assert_eq!(self.width, other.width, "width mismatch");
+        let mut acc = vec![Complex64::default(); self.width];
+        // Row-major traversal: streams both blocks once, accumulating all
+        // R dot products on the fly — the same access pattern the fused
+        // kernels use.
+        for i in 0..self.rows {
+            let xr = self.row(i);
+            let yr = other.row(i);
+            for j in 0..self.width {
+                acc[j] = xr[j].conj().mul_add(yr[j], acc[j]);
+            }
+        }
+        acc
+    }
+
+    /// Column-wise squared norms `<x_j | x_j>`.
+    pub fn columnwise_nrm2(&self) -> Vec<f64> {
+        self.columnwise_dot(self).iter().map(|z| z.re).collect()
+    }
+
+    /// Swaps the contents of two blocks (the `swap(|W>, |V>)` step of the
+    /// blocked algorithm, paper Fig. 5). O(1): only pointers move.
+    pub fn swap(&mut self, other: &mut Self) {
+        assert_eq!(self.rows, other.rows, "row count mismatch");
+        assert_eq!(self.width, other.width, "width mismatch");
+        std::mem::swap(&mut self.data, &mut other.data);
+    }
+
+    /// Maximum absolute difference to another block.
+    pub fn max_abs_diff(&self, other: &Self) -> f64 {
+        assert_eq!(self.data.len(), other.data.len());
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (*a - *b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// A dense block in column-major storage: entry `(i, j)` is at
+/// `j * rows + i`, i.e. each column is contiguous.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColMajorBlock {
+    rows: usize,
+    width: usize,
+    data: Vec<Complex64>,
+}
+
+impl ColMajorBlock {
+    /// Creates a zero block.
+    pub fn zeros(rows: usize, width: usize) -> Self {
+        assert!(width > 0, "block width must be positive");
+        Self {
+            rows,
+            width,
+            data: vec![Complex64::default(); rows * width],
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Block width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Entry `(i, j)`.
+    #[inline(always)]
+    pub fn get(&self, i: usize, j: usize) -> Complex64 {
+        self.data[j * self.rows + i]
+    }
+
+    /// Sets entry `(i, j)`.
+    #[inline(always)]
+    pub fn set(&mut self, i: usize, j: usize, z: Complex64) {
+        self.data[j * self.rows + i] = z;
+    }
+
+    /// Borrows column `j` (contiguous).
+    pub fn col(&self, j: usize) -> &[Complex64] {
+        &self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Mutably borrows column `j`.
+    pub fn col_mut(&mut self, j: usize) -> &mut [Complex64] {
+        &mut self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Converts from the interleaved layout (explicit transpose).
+    pub fn from_row_major(b: &BlockVector) -> Self {
+        let mut c = Self::zeros(b.rows(), b.width());
+        for i in 0..b.rows() {
+            for j in 0..b.width() {
+                c.set(i, j, b.get(i, j));
+            }
+        }
+        c
+    }
+
+    /// Converts to the interleaved layout (explicit transpose).
+    pub fn to_row_major(&self) -> BlockVector {
+        let mut b = BlockVector::zeros(self.rows, self.width);
+        for i in 0..self.rows {
+            for j in 0..self.width {
+                b.set(i, j, self.get(i, j));
+            }
+        }
+        b
+    }
+
+    /// Column-wise dot products, computed per contiguous column.
+    pub fn columnwise_dot(&self, other: &Self) -> Vec<Complex64> {
+        assert_eq!(self.rows, other.rows, "row count mismatch");
+        assert_eq!(self.width, other.width, "width mismatch");
+        (0..self.width)
+            .map(|j| dot(self.col(j), other.col(j)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn from_columns_roundtrip() {
+        let mut r = rng();
+        let cols: Vec<Vector> = (0..4).map(|_| Vector::random(17, &mut r)).collect();
+        let b = BlockVector::from_columns(&cols);
+        assert_eq!(b.rows(), 17);
+        assert_eq!(b.width(), 4);
+        let back = b.to_columns();
+        assert_eq!(cols, back);
+    }
+
+    #[test]
+    fn interleaved_layout_is_row_major() {
+        let mut b = BlockVector::zeros(3, 2);
+        b.set(1, 0, Complex64::real(5.0));
+        b.set(1, 1, Complex64::real(7.0));
+        // Row 1 occupies indices 2 and 3 of the flat storage.
+        assert_eq!(b.as_slice()[2], Complex64::real(5.0));
+        assert_eq!(b.as_slice()[3], Complex64::real(7.0));
+        assert_eq!(b.row(1), &[Complex64::real(5.0), Complex64::real(7.0)]);
+    }
+
+    #[test]
+    fn columnwise_dot_matches_per_column_dot() {
+        let mut r = rng();
+        let x = BlockVector::random(211, 8, &mut r);
+        let y = BlockVector::random(211, 8, &mut r);
+        let blocked = x.columnwise_dot(&y);
+        for j in 0..8 {
+            let xc = x.column(j);
+            let yc = y.column(j);
+            let want = dot(xc.as_slice(), yc.as_slice());
+            assert!(blocked[j].approx_eq(want, 1e-10), "column {j}");
+        }
+    }
+
+    #[test]
+    fn columnwise_nrm2_nonnegative() {
+        let b = BlockVector::random(100, 5, &mut rng());
+        for n in b.columnwise_nrm2() {
+            assert!(n > 0.0);
+        }
+    }
+
+    #[test]
+    fn swap_exchanges_contents() {
+        let mut r = rng();
+        let mut a = BlockVector::random(10, 3, &mut r);
+        let mut b = BlockVector::random(10, 3, &mut r);
+        let (a0, b0) = (a.clone(), b.clone());
+        a.swap(&mut b);
+        assert_eq!(a, b0);
+        assert_eq!(b, a0);
+    }
+
+    #[test]
+    fn set_column_overwrites() {
+        let mut r = rng();
+        let mut b = BlockVector::zeros(9, 2);
+        let c = Vector::random(9, &mut r);
+        b.set_column(1, &c);
+        assert_eq!(b.column(1), c);
+        assert_eq!(b.column(0), Vector::zeros(9));
+    }
+
+    #[test]
+    fn col_major_roundtrip() {
+        let b = BlockVector::random(23, 6, &mut rng());
+        let c = ColMajorBlock::from_row_major(&b);
+        assert_eq!(c.to_row_major(), b);
+        for i in 0..23 {
+            for j in 0..6 {
+                assert_eq!(c.get(i, j), b.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn col_major_dot_matches_row_major() {
+        let mut r = rng();
+        let x = BlockVector::random(301, 4, &mut r);
+        let y = BlockVector::random(301, 4, &mut r);
+        let cx = ColMajorBlock::from_row_major(&x);
+        let cy = ColMajorBlock::from_row_major(&y);
+        let a = x.columnwise_dot(&y);
+        let b = cx.columnwise_dot(&cy);
+        for (u, v) in a.iter().zip(&b) {
+            assert!(u.approx_eq(*v, 1e-10));
+        }
+    }
+
+    #[test]
+    fn max_abs_diff_detects_perturbation() {
+        let mut r = rng();
+        let a = BlockVector::random(50, 2, &mut r);
+        let mut b = a.clone();
+        assert_eq!(a.max_abs_diff(&b), 0.0);
+        let z = b.get(20, 1);
+        b.set(20, 1, z + Complex64::real(1e-3));
+        assert!((a.max_abs_diff(&b) - 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_panics() {
+        BlockVector::zeros(4, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn ragged_columns_panic() {
+        let cols = vec![Vector::zeros(3), Vector::zeros(4)];
+        BlockVector::from_columns(&cols);
+    }
+}

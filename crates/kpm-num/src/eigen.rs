@@ -1,0 +1,338 @@
+//! Dense Hermitian eigensolver (cyclic complex Jacobi).
+//!
+//! The KPM is validated against exact spectra of small systems: the
+//! integration tests compare the KPM density of states with histograms
+//! of exactly computed eigenvalues. A full LAPACK is out of scope (and
+//! off the approved dependency list), but the cyclic Jacobi method is
+//! compact, unconditionally stable for Hermitian matrices, and plenty
+//! fast for the `n ≲ 10³` validation problems.
+
+use crate::complex::Complex64;
+
+/// A dense Hermitian matrix stored row-major, used only for validation.
+#[derive(Debug, Clone)]
+pub struct DenseHermitian {
+    n: usize,
+    data: Vec<Complex64>,
+}
+
+impl DenseHermitian {
+    /// Builds from a row-major buffer of length `n*n`; the strictly
+    /// lower triangle is overwritten with the conjugate of the upper one
+    /// so the stored matrix is exactly Hermitian.
+    pub fn from_row_major(n: usize, mut data: Vec<Complex64>) -> Self {
+        assert_eq!(data.len(), n * n, "buffer must be n*n");
+        for i in 0..n {
+            data[i * n + i] = Complex64::real(data[i * n + i].re);
+            for j in (i + 1)..n {
+                data[j * n + i] = data[i * n + j].conj();
+            }
+        }
+        Self { n, data }
+    }
+
+    /// Dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Entry `(i, j)`.
+    #[inline(always)]
+    pub fn get(&self, i: usize, j: usize) -> Complex64 {
+        self.data[i * self.n + j]
+    }
+
+    #[inline(always)]
+    fn set(&mut self, i: usize, j: usize, z: Complex64) {
+        self.data[i * self.n + j] = z;
+    }
+
+    /// Frobenius norm of the strict off-diagonal part.
+    pub fn offdiag_norm(&self) -> f64 {
+        let mut s = 0.0;
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if i != j {
+                    s += self.get(i, j).norm_sqr();
+                }
+            }
+        }
+        s.sqrt()
+    }
+
+    /// Computes all eigenvalues by cyclic Jacobi sweeps, returned in
+    /// ascending order. Converges quadratically; `tol` bounds the final
+    /// off-diagonal Frobenius norm relative to the matrix norm.
+    pub fn eigenvalues(self, tol: f64) -> Vec<f64> {
+        self.eigen_decomposition(tol).0
+    }
+
+    /// Full eigen-decomposition `A = U Λ U†`: returns the ascending
+    /// eigenvalues and, aligned with them, the orthonormal eigenvectors
+    /// (each of length `n`).
+    pub fn eigen_decomposition(mut self, tol: f64) -> (Vec<f64>, Vec<Vec<Complex64>>) {
+        let n = self.n;
+        if n == 0 {
+            return (Vec::new(), Vec::new());
+        }
+        // Accumulated transform, starts as the identity.
+        let mut u = vec![Complex64::default(); n * n];
+        for i in 0..n {
+            u[i * n + i] = Complex64::real(1.0);
+        }
+        let scale: f64 = self
+            .data
+            .iter()
+            .map(|z| z.norm_sqr())
+            .sum::<f64>()
+            .sqrt()
+            .max(f64::MIN_POSITIVE);
+        let max_sweeps = 60;
+        for _ in 0..max_sweeps {
+            if self.offdiag_norm() <= tol * scale {
+                break;
+            }
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    self.rotate_with(p, q, Some(&mut u));
+                }
+            }
+        }
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            self.get(a, a)
+                .re
+                .partial_cmp(&self.get(b, b).re)
+                .expect("finite eigenvalues")
+        });
+        let evs: Vec<f64> = order.iter().map(|&i| self.get(i, i).re).collect();
+        let vecs: Vec<Vec<Complex64>> = order
+            .iter()
+            .map(|&col| (0..n).map(|row| u[row * n + col]).collect())
+            .collect();
+        (evs, vecs)
+    }
+
+    /// One complex Jacobi rotation annihilating entry `(p, q)`.
+    ///
+    /// The 2×2 Hermitian sub-problem `[[α, g], [ḡ, β]]` is reduced to a
+    /// real symmetric one by the phase `D = diag(1, e^{-iφ})` with
+    /// `φ = arg g`, then rotated by the classic Jacobi angle. The full
+    /// transform `A ← U† A U` with `U = D·R` touches only rows/columns
+    /// `p` and `q`.
+    /// Optionally accumulates the transform into the row-major matrix
+    /// `u` (`U <- U · J`).
+    fn rotate_with(&mut self, p: usize, q: usize, u: Option<&mut Vec<Complex64>>) {
+        let g = self.get(p, q);
+        let gabs = g.abs();
+        if gabs == 0.0 {
+            return;
+        }
+        let alpha = self.get(p, p).re;
+        let beta = self.get(q, q).re;
+        let phase = g / gabs; // e^{i φ}
+
+        let tau = (beta - alpha) / (2.0 * gabs);
+        let t = if tau >= 0.0 {
+            1.0 / (tau + (1.0 + tau * tau).sqrt())
+        } else {
+            -1.0 / (-tau + (1.0 + tau * tau).sqrt())
+        };
+        let c = 1.0 / (1.0 + t * t).sqrt();
+        let s = t * c;
+
+        // U columns: u_p = (c, -s·e^{-iφ})ᵀ, u_q = (s, c·e^{-iφ})ᵀ in the
+        // (p, q) subspace.
+        let upp = Complex64::real(c);
+        let uqp = phase.conj().scale(-s);
+        let upq = Complex64::real(s);
+        let uqq = phase.conj().scale(c);
+
+        let n = self.n;
+        // A ← A·U on columns p, q.
+        for i in 0..n {
+            let aip = self.get(i, p);
+            let aiq = self.get(i, q);
+            self.set(i, p, aip * upp + aiq * uqp);
+            self.set(i, q, aip * upq + aiq * uqq);
+        }
+        // Accumulate the eigenvector transform the same way.
+        if let Some(u) = u {
+            for i in 0..n {
+                let uip = u[i * n + p];
+                let uiq = u[i * n + q];
+                u[i * n + p] = uip * upp + uiq * uqp;
+                u[i * n + q] = uip * upq + uiq * uqq;
+            }
+        }
+        // A ← U†·A on rows p, q.
+        for j in 0..n {
+            let apj = self.get(p, j);
+            let aqj = self.get(q, j);
+            self.set(p, j, upp.conj() * apj + uqp.conj() * aqj);
+            self.set(q, j, upq.conj() * apj + uqq.conj() * aqj);
+        }
+        // Clean the rotated pair exactly.
+        self.set(p, q, Complex64::default());
+        self.set(q, p, Complex64::default());
+        let app = self.get(p, p);
+        let aqq = self.get(q, q);
+        self.set(p, p, Complex64::real(app.re));
+        self.set(q, q, Complex64::real(aqq.re));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(re: f64, im: f64) -> Complex64 {
+        Complex64::new(re, im)
+    }
+
+    #[test]
+    fn diagonal_matrix_returns_sorted_diagonal() {
+        let n = 4;
+        let mut data = vec![Complex64::default(); n * n];
+        for (i, v) in [3.0, -1.0, 2.0, 0.5].iter().enumerate() {
+            data[i * n + i] = Complex64::real(*v);
+        }
+        let evs = DenseHermitian::from_row_major(n, data).eigenvalues(1e-12);
+        assert_eq!(evs, vec![-1.0, 0.5, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn pauli_x_eigenvalues() {
+        let data = vec![c(0.0, 0.0), c(1.0, 0.0), c(1.0, 0.0), c(0.0, 0.0)];
+        let evs = DenseHermitian::from_row_major(2, data).eigenvalues(1e-14);
+        assert!((evs[0] + 1.0).abs() < 1e-12);
+        assert!((evs[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pauli_y_eigenvalues() {
+        let data = vec![c(0.0, 0.0), c(0.0, -1.0), c(0.0, 1.0), c(0.0, 0.0)];
+        let evs = DenseHermitian::from_row_major(2, data).eigenvalues(1e-14);
+        assert!((evs[0] + 1.0).abs() < 1e-12);
+        assert!((evs[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tridiagonal_chain_matches_analytic_spectrum() {
+        // Open 1D chain with hopping 1: E_k = 2 cos(k π / (n+1)).
+        let n = 12;
+        let mut data = vec![Complex64::default(); n * n];
+        for i in 0..n - 1 {
+            data[i * n + i + 1] = Complex64::real(1.0);
+        }
+        let mut evs = DenseHermitian::from_row_major(n, data).eigenvalues(1e-13);
+        let mut exact: Vec<f64> = (1..=n)
+            .map(|k| 2.0 * (k as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos())
+            .collect();
+        exact.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        evs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (got, want) in evs.iter().zip(&exact) {
+            assert!((got - want).abs() < 1e-10, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn trace_and_frobenius_invariants_preserved() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(17);
+        let n = 20;
+        let mut data = vec![Complex64::default(); n * n];
+        for i in 0..n {
+            for j in 0..n {
+                data[i * n + j] = c(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0));
+            }
+        }
+        let m = DenseHermitian::from_row_major(n, data);
+        let trace: f64 = (0..n).map(|i| m.get(i, i).re).sum();
+        let frob: f64 = (0..n)
+            .flat_map(|i| (0..n).map(move |j| (i, j)))
+            .map(|(i, j)| m.get(i, j).norm_sqr())
+            .sum();
+        let evs = m.eigenvalues(1e-13);
+        let tr_evs: f64 = evs.iter().sum();
+        let frob_evs: f64 = evs.iter().map(|e| e * e).sum();
+        assert!((trace - tr_evs).abs() < 1e-8 * trace.abs().max(1.0));
+        assert!((frob - frob_evs).abs() < 1e-8 * frob);
+    }
+
+    #[test]
+    fn eigenvalues_within_gershgorin_disks() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(19);
+        let n = 15;
+        let mut data = vec![Complex64::default(); n * n];
+        for i in 0..n {
+            for j in 0..n {
+                data[i * n + j] = c(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0));
+            }
+        }
+        let m = DenseHermitian::from_row_major(n, data);
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for i in 0..n {
+            let d = m.get(i, i).re;
+            let rad: f64 = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| m.get(i, j).abs())
+                .sum();
+            lo = lo.min(d - rad);
+            hi = hi.max(d + rad);
+        }
+        for e in m.eigenvalues(1e-12) {
+            assert!(e >= lo - 1e-10 && e <= hi + 1e-10);
+        }
+    }
+
+    #[test]
+    fn eigenvectors_satisfy_eigen_equation() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(23);
+        let n = 18;
+        let mut data = vec![Complex64::default(); n * n];
+        for i in 0..n {
+            for j in 0..n {
+                data[i * n + j] = c(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0));
+            }
+        }
+        let m = DenseHermitian::from_row_major(n, data);
+        let a = m.clone();
+        let (evs, vecs) = m.eigen_decomposition(1e-13);
+        for (lambda, v) in evs.iter().zip(&vecs) {
+            // ||A v - lambda v|| small.
+            let mut res = 0.0;
+            for i in 0..n {
+                let mut av = Complex64::default();
+                for j in 0..n {
+                    av = a.get(i, j).mul_add(v[j], av);
+                }
+                res += (av - v[i].scale(*lambda)).norm_sqr();
+            }
+            assert!(res.sqrt() < 1e-7, "residual {}", res.sqrt());
+        }
+        // Orthonormality of the first few pairs.
+        for i in 0..4 {
+            for j in 0..4 {
+                let mut d = Complex64::default();
+                for k in 0..n {
+                    d = vecs[i][k].conj().mul_add(vecs[j][k], d);
+                }
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((d.re - want).abs() < 1e-8 && d.im.abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let evs = DenseHermitian::from_row_major(0, vec![]).eigenvalues(1e-12);
+        assert!(evs.is_empty());
+    }
+}

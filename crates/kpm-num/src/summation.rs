@@ -1,0 +1,139 @@
+//! Accurate summation helpers.
+//!
+//! The stochastic trace estimator averages dot products over many random
+//! vectors and many Chebyshev moments; naive left-to-right summation of
+//! millions of terms loses accuracy and makes results depend on the
+//! parallel reduction order. The kernels in this workspace reduce with
+//! pairwise summation (the same scheme a tree reduction over threads or
+//! warps produces), and the tests use Kahan summation as an accuracy
+//! reference.
+
+use crate::complex::Complex64;
+
+/// Pairwise (cascade) summation of real values.
+///
+/// Error grows like `O(log n)` instead of `O(n)`, and the result is
+/// independent of chunking at power-of-two boundaries, which keeps serial
+/// and tree-parallel reductions comparable.
+pub fn pairwise_sum(values: &[f64]) -> f64 {
+    const BASE: usize = 64;
+    if values.len() <= BASE {
+        return values.iter().sum();
+    }
+    let mid = values.len() / 2;
+    pairwise_sum(&values[..mid]) + pairwise_sum(&values[mid..])
+}
+
+/// Pairwise summation of complex values.
+pub fn pairwise_sum_complex(values: &[Complex64]) -> Complex64 {
+    const BASE: usize = 64;
+    if values.len() <= BASE {
+        return values.iter().sum();
+    }
+    let mid = values.len() / 2;
+    pairwise_sum_complex(&values[..mid]) + pairwise_sum_complex(&values[mid..])
+}
+
+/// Kahan (compensated) summation accumulator for real values.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Kahan {
+    sum: f64,
+    comp: f64,
+}
+
+impl Kahan {
+    /// Creates a zeroed accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one term.
+    #[inline]
+    pub fn add(&mut self, x: f64) {
+        let y = x - self.comp;
+        let t = self.sum + y;
+        self.comp = (t - self.sum) - y;
+        self.sum = t;
+    }
+
+    /// The compensated total.
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.sum
+    }
+}
+
+/// Kahan summation of a slice, as a convenience wrapper.
+pub fn kahan_sum(values: &[f64]) -> f64 {
+    let mut acc = Kahan::new();
+    for &v in values {
+        acc.add(v);
+    }
+    acc.total()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairwise_matches_exact_on_small_input() {
+        let v = [1.0, 2.0, 3.0, 4.5];
+        assert_eq!(pairwise_sum(&v), 10.5);
+    }
+
+    #[test]
+    fn pairwise_beats_naive_on_ill_conditioned_sum() {
+        // 1 followed by many tiny terms that naive summation drops.
+        let n = 1 << 20;
+        let tiny = 1e-16;
+        let mut v = vec![tiny; n];
+        v[0] = 1.0;
+        let exact = 1.0 + (n as f64 - 1.0) * tiny;
+        let naive: f64 = v.iter().sum();
+        let pw = pairwise_sum(&v);
+        assert!((pw - exact).abs() <= (naive - exact).abs());
+        assert!((pw - exact).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kahan_recovers_tiny_terms() {
+        let mut acc = Kahan::new();
+        acc.add(1.0);
+        for _ in 0..1000 {
+            acc.add(1e-17);
+        }
+        assert!((acc.total() - (1.0 + 1000.0 * 1e-17)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn kahan_sum_wrapper_matches_accumulator() {
+        let v: Vec<f64> = (0..100).map(|i| (i as f64).sin()).collect();
+        let mut acc = Kahan::new();
+        for &x in &v {
+            acc.add(x);
+        }
+        assert_eq!(kahan_sum(&v), acc.total());
+    }
+
+    #[test]
+    fn complex_pairwise_sums_parts_independently() {
+        let v: Vec<Complex64> = (0..200)
+            .map(|i| Complex64::new(i as f64, -(i as f64)))
+            .collect();
+        let s = pairwise_sum_complex(&v);
+        let expect = (199.0 * 200.0) / 2.0;
+        assert!((s.re - expect).abs() < 1e-9);
+        assert!((s.im + expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_sums_are_zero() {
+        assert_eq!(pairwise_sum(&[]), 0.0);
+        assert_eq!(kahan_sum(&[]), 0.0);
+        assert_eq!(
+            pairwise_sum_complex(&[]),
+            Complex64::new(0.0, 0.0)
+        );
+    }
+}

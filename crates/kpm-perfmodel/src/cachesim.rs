@@ -1,0 +1,387 @@
+//! Set-associative LRU cache simulator.
+//!
+//! The paper *measures* data volumes with LIKWID (CPU) and nvprof (GPU)
+//! to obtain the excess-traffic factor Ω = V_meas/V_KPM and the
+//! per-cache-level volumes of Figs. 9/10. We have no hardware counters,
+//! so this module provides the measurement instrument instead: a
+//! trace-driven, inclusive, write-back/write-allocate LRU cache
+//! hierarchy. Kernels replay their memory access streams through it and
+//! read off per-level volumes.
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity_bytes: usize,
+    /// Cache line size in bytes.
+    pub line_bytes: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> usize {
+        let lines = self.capacity_bytes / self.line_bytes;
+        assert!(lines >= self.ways, "capacity too small for associativity");
+        lines / self.ways
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Way {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    stamp: u64,
+}
+
+/// One set-associative LRU cache level.
+#[derive(Debug, Clone)]
+pub struct CacheLevel {
+    cfg: CacheConfig,
+    sets: usize,
+    ways: Vec<Way>, // sets * cfg.ways
+    clock: u64,
+    /// Lines served by this level (hits).
+    pub hits: u64,
+    /// Lines this level had to fetch from below.
+    pub misses: u64,
+    /// Dirty lines written back below.
+    pub writebacks: u64,
+}
+
+/// Result of probing one line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Probe {
+    /// Line present.
+    Hit,
+    /// Line absent; if `victim_dirty`, a dirty line was evicted and must
+    /// be written to the level below.
+    Miss {
+        /// Whether the evicted line was dirty.
+        victim_dirty: bool,
+    },
+}
+
+impl CacheLevel {
+    /// Creates an empty (cold) cache.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let sets = cfg.sets();
+        Self {
+            cfg,
+            sets,
+            ways: vec![Way::default(); sets * cfg.ways],
+            clock: 0,
+            hits: 0,
+            misses: 0,
+            writebacks: 0,
+        }
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(&self) -> usize {
+        self.cfg.line_bytes
+    }
+
+    /// Probes (and fills on miss) the line containing `addr`; marks it
+    /// dirty on writes.
+    pub fn access_line(&mut self, line_index: u64, write: bool) -> Probe {
+        self.clock += 1;
+        let set = (line_index % self.sets as u64) as usize;
+        let tag = line_index / self.sets as u64;
+        let base = set * self.cfg.ways;
+        let ways = &mut self.ways[base..base + self.cfg.ways];
+
+        for w in ways.iter_mut() {
+            if w.valid && w.tag == tag {
+                w.stamp = self.clock;
+                w.dirty |= write;
+                self.hits += 1;
+                return Probe::Hit;
+            }
+        }
+        // Miss: pick invalid way or the LRU victim.
+        self.misses += 1;
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|w| if w.valid { w.stamp } else { 0 })
+            .expect("cache has at least one way");
+        let victim_dirty = victim.valid && victim.dirty;
+        if victim_dirty {
+            self.writebacks += 1;
+        }
+        *victim = Way {
+            tag,
+            valid: true,
+            dirty: write,
+            stamp: self.clock,
+        };
+        Probe::Miss { victim_dirty }
+    }
+
+    /// Number of valid dirty lines currently held (what an end-of-kernel
+    /// flush would write back).
+    pub fn flush_dirty_count(&self) -> u64 {
+        self.ways.iter().filter(|w| w.valid && w.dirty).count() as u64
+    }
+
+    /// Resets contents and counters.
+    pub fn reset(&mut self) {
+        self.ways.fill(Way::default());
+        self.clock = 0;
+        self.hits = 0;
+        self.misses = 0;
+        self.writebacks = 0;
+    }
+}
+
+/// Per-level traffic accumulated by a [`MemoryHierarchy`] replay.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TrafficReport {
+    /// Bytes served by each cache level (hit traffic), outermost last.
+    pub level_bytes: Vec<u64>,
+    /// Bytes transferred from memory (misses of the last level plus
+    /// write-backs that reach memory).
+    pub memory_bytes: u64,
+}
+
+/// An inclusive multi-level cache hierarchy with memory behind it.
+///
+/// Accesses walk the levels from innermost to outermost; the first level
+/// that holds the line serves it. Dirty evictions cascade outward and
+/// ultimately count as memory write traffic.
+#[derive(Debug, Clone)]
+pub struct MemoryHierarchy {
+    levels: Vec<CacheLevel>,
+    /// Bytes served per level (line granularity).
+    served: Vec<u64>,
+    /// Bytes read from / written to memory.
+    pub memory_read: u64,
+    /// Write-back bytes arriving at memory.
+    pub memory_write: u64,
+}
+
+impl MemoryHierarchy {
+    /// Builds a hierarchy from inner to outer cache configurations. All
+    /// levels must share the same line size (as the modelled machines
+    /// do: 64 B on CPUs, 128 B L2 / 32 B TEX sectors are approximated by
+    /// one size chosen by the caller per experiment).
+    pub fn new(configs: &[CacheConfig]) -> Self {
+        assert!(!configs.is_empty(), "need at least one cache level");
+        let line = configs[0].line_bytes;
+        assert!(
+            configs.iter().all(|c| c.line_bytes == line),
+            "all levels must share one line size"
+        );
+        Self {
+            levels: configs.iter().map(|&c| CacheLevel::new(c)).collect(),
+            served: vec![0; configs.len()],
+            memory_read: 0,
+            memory_write: 0,
+        }
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(&self) -> usize {
+        self.levels[0].line_bytes()
+    }
+
+    /// Replays one access of `size` bytes at `addr` through the
+    /// hierarchy.
+    pub fn access(&mut self, addr: u64, size: usize, write: bool) {
+        let line = self.line_bytes() as u64;
+        let first = addr / line;
+        let last = (addr + size as u64 - 1) / line;
+        for l in first..=last {
+            self.access_one_line(l, write);
+        }
+    }
+
+    /// Convenience: read access.
+    pub fn read(&mut self, addr: u64, size: usize) {
+        self.access(addr, size, false);
+    }
+
+    /// Convenience: write access.
+    pub fn write(&mut self, addr: u64, size: usize) {
+        self.access(addr, size, true);
+    }
+
+    fn access_one_line(&mut self, line_index: u64, write: bool) {
+        let line_bytes = self.line_bytes() as u64;
+        for (i, level) in self.levels.iter_mut().enumerate() {
+            match level.access_line(line_index, write && i == 0) {
+                Probe::Hit => {
+                    self.served[i] += line_bytes;
+                    return;
+                }
+                Probe::Miss { victim_dirty } => {
+                    if victim_dirty {
+                        // Write-back: inclusive model sends it to memory
+                        // (outer levels hold the line already; the dirty
+                        // data must eventually reach memory either way).
+                        self.memory_write += line_bytes;
+                    }
+                }
+            }
+        }
+        self.memory_read += line_bytes;
+    }
+
+    /// Flushes remaining dirty lines to memory (end-of-kernel
+    /// accounting) and returns the traffic report.
+    pub fn finish(mut self) -> TrafficReport {
+        for level in &self.levels {
+            for w in &level.ways {
+                if w.valid && w.dirty {
+                    self.memory_write += level.cfg.line_bytes as u64;
+                }
+            }
+        }
+        TrafficReport {
+            level_bytes: self.served.clone(),
+            memory_bytes: self.memory_read + self.memory_write,
+        }
+    }
+
+    /// Bytes read from memory so far (no flush).
+    pub fn memory_read_bytes(&self) -> u64 {
+        self.memory_read
+    }
+
+    /// Bytes served by level `i` so far.
+    pub fn served_bytes(&self, i: usize) -> u64 {
+        self.served[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CacheConfig {
+        CacheConfig {
+            capacity_bytes: 1024,
+            line_bytes: 64,
+            ways: 4,
+        }
+    }
+
+    #[test]
+    fn config_geometry() {
+        assert_eq!(tiny().sets(), 4);
+    }
+
+    #[test]
+    fn non_power_of_two_sets_supported() {
+        // Real LLCs (e.g. IVB: 25 MiB, 20-way) do not have power-of-two
+        // set counts; modulo indexing handles them.
+        let cfg = CacheConfig {
+            capacity_bytes: 960,
+            line_bytes: 64,
+            ways: 5,
+        };
+        assert_eq!(cfg.sets(), 3);
+        let mut lvl = CacheLevel::new(cfg);
+        assert_eq!(lvl.access_line(7, false), Probe::Miss { victim_dirty: false });
+        assert_eq!(lvl.access_line(7, false), Probe::Hit);
+    }
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut h = MemoryHierarchy::new(&[tiny()]);
+        h.read(0, 8);
+        h.read(8, 8); // same line
+        assert_eq!(h.memory_read_bytes(), 64);
+        assert_eq!(h.served_bytes(0), 64);
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_thrashes() {
+        let mut h = MemoryHierarchy::new(&[tiny()]);
+        // Stream 4 KiB twice: 64 lines > 16-line cache, LRU gives zero
+        // reuse on the second pass.
+        for pass in 0..2 {
+            let _ = pass;
+            for i in 0..64u64 {
+                h.read(i * 64, 64);
+            }
+        }
+        assert_eq!(h.memory_read_bytes(), 2 * 64 * 64);
+    }
+
+    #[test]
+    fn working_set_smaller_than_cache_is_served_once() {
+        let mut h = MemoryHierarchy::new(&[tiny()]);
+        // 512 B = 8 lines fit in the 16-line cache.
+        for pass in 0..4 {
+            let _ = pass;
+            for i in 0..8u64 {
+                h.read(i * 64, 64);
+            }
+        }
+        assert_eq!(h.memory_read_bytes(), 8 * 64);
+        assert_eq!(h.served_bytes(0), 3 * 8 * 64);
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back() {
+        let mut h = MemoryHierarchy::new(&[tiny()]);
+        // Dirty the whole cache, then stream enough reads to evict all.
+        for i in 0..16u64 {
+            h.write(i * 64, 64);
+        }
+        for i in 100..132u64 {
+            h.read(i * 64, 64);
+        }
+        assert_eq!(h.memory_write, 16 * 64);
+    }
+
+    #[test]
+    fn finish_flushes_dirty_lines() {
+        let mut h = MemoryHierarchy::new(&[tiny()]);
+        h.write(0, 64);
+        let report = h.finish();
+        assert_eq!(report.memory_bytes, 64 /*read*/ + 64 /*flush*/);
+    }
+
+    #[test]
+    fn two_level_hierarchy_filters_traffic() {
+        let l1 = CacheConfig {
+            capacity_bytes: 512,
+            line_bytes: 64,
+            ways: 2,
+        };
+        let l2 = tiny(); // 1 KiB
+        let mut h = MemoryHierarchy::new(&[l1, l2]);
+        // Working set of 1 KiB: fits L2 but not L1 (512 B).
+        for pass in 0..3 {
+            let _ = pass;
+            for i in 0..16u64 {
+                h.read(i * 64, 64);
+            }
+        }
+        // Memory sees the stream once; L2 serves the L1 misses of the
+        // later passes.
+        assert_eq!(h.memory_read_bytes(), 16 * 64);
+        assert!(h.served_bytes(1) > 0, "L2 must serve re-reads");
+    }
+
+    #[test]
+    fn straddling_access_touches_two_lines() {
+        let mut h = MemoryHierarchy::new(&[tiny()]);
+        h.read(60, 8); // bytes 60..68 cross the line boundary at 64
+        assert_eq!(h.memory_read_bytes(), 128);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut lvl = CacheLevel::new(tiny());
+        lvl.access_line(5, false);
+        assert_eq!(lvl.misses, 1);
+        lvl.reset();
+        assert_eq!(lvl.misses, 0);
+        assert_eq!(lvl.access_line(5, false), Probe::Miss { victim_dirty: false });
+    }
+}

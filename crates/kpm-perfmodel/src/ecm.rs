@@ -1,0 +1,218 @@
+//! Multi-level cache-aware roofline (the refinement of paper ref. [5]).
+//!
+//! The paper's custom roofline (Eq. 11) considers main memory and one
+//! cache level. Aktulga et al. (paper ref. [5]) refine SpMMV bounds
+//! further by charging *each* cache level with its own traffic and
+//! bandwidth: `P* = min(P_peak, min_l b_l / B_l)` where
+//! `B_l = V_l / F` is the per-level code balance of the loop. This
+//! module implements that generalized model and plugs into the cache
+//! simulator's per-level volumes.
+
+use crate::cachesim::TrafficReport;
+use crate::machine::Machine;
+
+/// One memory level of the generalized roofline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelBound {
+    /// Level name ("L2", "L3", "MEM", ...).
+    pub name: String,
+    /// Attainable bandwidth of this level in GB/s.
+    pub bandwidth_gbs: f64,
+    /// Traffic this loop draws from the level, in bytes.
+    pub bytes: u64,
+}
+
+impl LevelBound {
+    /// The performance ceiling this level imposes on a loop executing
+    /// `flops` floating-point operations: `b_l / B_l` in Gflop/s.
+    pub fn ceiling_gflops(&self, flops: u64) -> f64 {
+        assert!(flops > 0, "flop count must be positive");
+        if self.bytes == 0 {
+            f64::INFINITY
+        } else {
+            self.bandwidth_gbs * flops as f64 / self.bytes as f64
+        }
+    }
+}
+
+/// The model prediction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EcmPrediction {
+    /// Predicted performance in Gflop/s.
+    pub p_star: f64,
+    /// Name of the binding level ("CORE" if peak-bound).
+    pub binding: String,
+    /// All per-level ceilings for inspection.
+    pub ceilings: Vec<(String, f64)>,
+}
+
+/// Evaluates `P* = min(P_peak, min_l b_l/B_l)` for a loop with the
+/// given per-level traffic.
+pub fn predict(peak_gflops: f64, levels: &[LevelBound], flops: u64) -> EcmPrediction {
+    assert!(!levels.is_empty(), "need at least one memory level");
+    let mut p_star = peak_gflops;
+    let mut binding = "CORE".to_string();
+    let mut ceilings = Vec::with_capacity(levels.len());
+    for l in levels {
+        let c = l.ceiling_gflops(flops);
+        ceilings.push((l.name.clone(), c));
+        if c < p_star {
+            p_star = c;
+            binding = l.name.clone();
+        }
+    }
+    EcmPrediction {
+        p_star,
+        binding,
+        ceilings,
+    }
+}
+
+/// Builds the level list for a CPU from a cache-simulator traffic
+/// report: `level_bandwidths_gbs[i]` is the attainable bandwidth of
+/// simulated cache level `i` (inner to outer); memory uses the
+/// machine's attainable DRAM bandwidth.
+pub fn levels_from_traffic(
+    machine: &Machine,
+    report: &TrafficReport,
+    level_names: &[&str],
+    level_bandwidths_gbs: &[f64],
+) -> Vec<LevelBound> {
+    assert_eq!(
+        report.level_bytes.len(),
+        level_bandwidths_gbs.len(),
+        "one bandwidth per simulated level"
+    );
+    assert_eq!(level_names.len(), level_bandwidths_gbs.len());
+    let mut levels: Vec<LevelBound> = report
+        .level_bytes
+        .iter()
+        .zip(level_names.iter().zip(level_bandwidths_gbs))
+        .map(|(&bytes, (name, &bw))| LevelBound {
+            name: (*name).to_string(),
+            bandwidth_gbs: bw,
+            bytes,
+        })
+        .collect();
+    levels.push(LevelBound {
+        name: "MEM".to_string(),
+        bandwidth_gbs: machine.mem_bw_gbs,
+        bytes: report.memory_bytes,
+    });
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::IVB;
+
+    fn level(name: &str, bw: f64, bytes: u64) -> LevelBound {
+        LevelBound {
+            name: name.to_string(),
+            bandwidth_gbs: bw,
+            bytes,
+        }
+    }
+
+    #[test]
+    fn single_level_reduces_to_classic_roofline() {
+        // 1 Gflop of work, 2.23 GB from memory at 50 GB/s -> 22.4 Gflop/s.
+        let levels = [level("MEM", 50.0, 2_231_884_057)];
+        let p = predict(176.0, &levels, 1_000_000_000);
+        assert!((p.p_star - 22.4).abs() < 0.1);
+        assert_eq!(p.binding, "MEM");
+    }
+
+    #[test]
+    fn peak_bound_when_all_levels_fast() {
+        let levels = [level("L3", 300.0, 1), level("MEM", 50.0, 1)];
+        let p = predict(176.0, &levels, 1_000_000_000);
+        assert_eq!(p.p_star, 176.0);
+        assert_eq!(p.binding, "CORE");
+    }
+
+    #[test]
+    fn binding_level_is_the_slowest_ratio() {
+        // L3 carries 4x the memory traffic but has 6x the bandwidth:
+        // memory still binds.
+        let flops = 1_000_000_000u64;
+        let levels = [
+            level("L3", 300.0, 8_000_000_000),
+            level("MEM", 50.0, 2_000_000_000),
+        ];
+        let p = predict(1e6, &levels, flops);
+        assert_eq!(p.binding, "MEM");
+        assert!((p.p_star - 25.0).abs() < 1e-9);
+        // Push more L3 traffic: binding flips.
+        let levels = [
+            level("L3", 300.0, 20_000_000_000),
+            level("MEM", 50.0, 2_000_000_000),
+        ];
+        let p = predict(1e6, &levels, flops);
+        assert_eq!(p.binding, "L3");
+    }
+
+    #[test]
+    fn zero_traffic_level_imposes_no_bound() {
+        let levels = [level("L2", 100.0, 0), level("MEM", 50.0, 1_000_000_000)];
+        let p = predict(176.0, &levels, 1_000_000_000);
+        assert_eq!(p.binding, "MEM");
+        assert!((p.p_star - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn levels_from_traffic_appends_memory() {
+        let report = TrafficReport {
+            level_bytes: vec![100, 200],
+            memory_bytes: 50,
+        };
+        let levels = levels_from_traffic(&IVB, &report, &["L2", "L3"], &[400.0, 250.0]);
+        assert_eq!(levels.len(), 3);
+        assert_eq!(levels[2].name, "MEM");
+        assert_eq!(levels[2].bytes, 50);
+        assert_eq!(levels[2].bandwidth_gbs, 50.0);
+        assert_eq!(levels[0].bytes, 100);
+    }
+
+    #[test]
+    fn two_level_ecm_on_simulated_spmmv_traffic() {
+        // End to end: replay the aug_spmmv stream through an L2+L3
+        // hierarchy and predict with per-level bandwidths. The result
+        // must lie at or below the single-level Eq. 11 prediction
+        // (more constraints can only lower the bound).
+        use crate::cachesim::{CacheConfig, MemoryHierarchy};
+        let l2 = CacheConfig {
+            capacity_bytes: 256 * 1024,
+            line_bytes: 64,
+            ways: 8,
+        };
+        let l3 = CacheConfig {
+            capacity_bytes: 2 * 1024 * 1024,
+            line_bytes: 64,
+            ways: 16,
+        };
+        let mut mem = MemoryHierarchy::new(&[l2, l3]);
+        // Synthetic stream: 1 MB matrix + repeated 512 KiB vector block.
+        for pass in 0..4 {
+            let _ = pass;
+            for i in 0..8192u64 {
+                mem.read(i * 64, 64);
+            }
+        }
+        let report = mem.finish();
+        let flops = 100_000_000u64;
+        let levels = levels_from_traffic(&IVB, &report, &["L2", "L3"], &[400.0, 250.0]);
+        let multi = predict(IVB.peak_gflops, &levels, flops);
+        let single = predict(
+            IVB.peak_gflops,
+            &[LevelBound {
+                name: "MEM".into(),
+                bandwidth_gbs: IVB.mem_bw_gbs,
+                bytes: report.memory_bytes,
+            }],
+            flops,
+        );
+        assert!(multi.p_star <= single.p_star + 1e-9);
+    }
+}

@@ -1,0 +1,154 @@
+//! The roofline model (paper Eqs. 9–11).
+//!
+//! `P* = min(P_peak, b/B)` bounds the performance of a loop with code
+//! balance `B` on a machine with peak `P_peak` and memory bandwidth `b`
+//! (Williams et al., paper ref. [25]). For kernels that decouple from
+//! main memory, the refined bound `P* = min(P_MEM, P_LLC)` (Eq. 11)
+//! replaces the peak by a cache-limited ceiling obtained from a
+//! cache-resident benchmark.
+
+use crate::balance::actual_balance;
+use crate::machine::Machine;
+
+/// The classic roofline bound `P* = min(P_peak, b/B)` in Gflop/s for a
+/// code balance `B` in bytes/flop (paper Eq. 9).
+pub fn roofline(machine: &Machine, balance: f64) -> f64 {
+    assert!(balance > 0.0, "code balance must be positive");
+    machine.peak_gflops.min(machine.mem_bw_gbs / balance)
+}
+
+/// The memory-bound limit `P_MEM = b/B` alone (paper Eq. 10).
+pub fn memory_bound(machine: &Machine, balance: f64) -> f64 {
+    assert!(balance > 0.0, "code balance must be positive");
+    machine.mem_bw_gbs / balance
+}
+
+/// The cache-aware roofline `P* = min(P_MEM, P_LLC)` (paper Eq. 11),
+/// using the machine's calibrated LLC ceiling.
+pub fn roofline_llc(machine: &Machine, balance: f64) -> f64 {
+    memory_bound(machine, balance).min(machine.llc_ceiling_gflops)
+}
+
+/// Prediction for the intra-socket scaling of paper Fig. 7: with `n`
+/// of the machine's cores active, performance is bounded by both the
+/// (shared) bandwidth ceiling and linear in-core scaling of the
+/// single-core kernel performance `p1`.
+pub fn socket_scaling(machine: &Machine, balance: f64, p1_gflops: f64, n: usize) -> f64 {
+    assert!(n >= 1 && n <= machine.cores, "core count out of range");
+    (p1_gflops * n as f64).min(memory_bound(machine, balance))
+}
+
+/// A full custom-roofline evaluation for the augmented SpM(M)V kernel at
+/// block width `r` (one point of paper Fig. 8).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RooflinePoint {
+    /// Block vector width R.
+    pub r: usize,
+    /// Excess-traffic factor Ω at this R.
+    pub omega: f64,
+    /// Actual code balance B = Ω·B_min(R).
+    pub balance: f64,
+    /// Memory-bound ceiling `P_MEM = b/B`.
+    pub p_mem: f64,
+    /// LLC ceiling `P_LLC`.
+    pub p_llc: f64,
+    /// The model prediction `min(P_MEM, P_LLC)`.
+    pub p_star: f64,
+}
+
+/// Evaluates the custom roofline at block width `r` given a measured Ω.
+pub fn custom_roofline(machine: &Machine, nnzr: f64, r: usize, omega: f64) -> RooflinePoint {
+    let balance = actual_balance(nnzr, r, omega);
+    let p_mem = memory_bound(machine, balance);
+    let p_llc = machine.llc_ceiling_gflops;
+    RooflinePoint {
+        r,
+        omega,
+        balance,
+        p_mem,
+        p_llc,
+        p_star: p_mem.min(p_llc),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::balance::min_code_balance;
+    use crate::machine::{IVB, K20M};
+
+    #[test]
+    fn roofline_is_min_of_both_ceilings() {
+        // Very high balance -> memory bound; very low -> peak bound.
+        assert_eq!(roofline(&IVB, 100.0), 0.5);
+        assert_eq!(roofline(&IVB, 1e-6), IVB.peak_gflops);
+    }
+
+    #[test]
+    fn spmv_r1_prediction_matches_paper_fig7() {
+        // Paper Fig. 7: the aug_spmv roofline on IVB saturates around
+        // 22 Gflop/s (b=50 GB/s over B=2.23 B/F with Omega = 1).
+        let b1 = min_code_balance(13.0, 1);
+        let p = roofline(&IVB, b1);
+        assert!((p - 22.4).abs() < 0.5, "P* = {p}");
+    }
+
+    #[test]
+    fn large_r_decouples_from_memory_on_ivb() {
+        // At R = 32 the memory-bound ceiling exceeds the LLC ceiling:
+        // the bottleneck has moved into the cache (paper Fig. 8).
+        let b32 = min_code_balance(13.0, 32);
+        assert!(memory_bound(&IVB, b32) > IVB.llc_ceiling_gflops);
+        let pt = custom_roofline(&IVB, 13.0, 32, 1.0);
+        assert_eq!(pt.p_star, IVB.llc_ceiling_gflops);
+        // While at R = 1 it is memory bound.
+        let pt1 = custom_roofline(&IVB, 13.0, 1, 1.0);
+        assert!(pt1.p_star < IVB.llc_ceiling_gflops);
+        assert_eq!(pt1.p_star, pt1.p_mem);
+    }
+
+    #[test]
+    fn omega_lowers_the_memory_ceiling() {
+        // Paper Fig. 8 annotation: Omega grows with R (1.16 -> 1.54),
+        // lowering P_MEM although B_min alone would suggest otherwise.
+        let clean = custom_roofline(&IVB, 13.0, 32, 1.0);
+        let dirty = custom_roofline(&IVB, 13.0, 32, 1.54);
+        assert!(dirty.p_mem < clean.p_mem);
+        assert!((dirty.balance / clean.balance - 1.54).abs() < 1e-12);
+    }
+
+    #[test]
+    fn socket_scaling_saturates() {
+        // Single-core kernel perf of ~4.5 Gflop/s: memory-bound kernel
+        // saturates the socket before all 10 cores are busy.
+        let b1 = min_code_balance(13.0, 1);
+        let p_sat = memory_bound(&IVB, b1);
+        let mut prev = 0.0;
+        let mut saturated = false;
+        for n in 1..=10 {
+            let p = socket_scaling(&IVB, b1, 4.5, n);
+            assert!(p >= prev);
+            prev = p;
+            if (p - p_sat).abs() < 1e-12 {
+                saturated = true;
+            }
+        }
+        assert!(saturated, "memory-bound kernel must hit the bandwidth roof");
+        // The blocked kernel (R=32) with the same per-core performance
+        // scales linearly through all 10 cores.
+        let b32 = min_code_balance(13.0, 32);
+        for n in 1..=10 {
+            let p = socket_scaling(&IVB, b32, 4.5, n);
+            assert!((p - 4.5 * n as f64).abs() < 1e-9, "n={n}");
+        }
+    }
+
+    #[test]
+    fn gpu_r1_is_memory_bound_at_150gbs() {
+        // Paper Fig. 10: at R = 1 the K20m draws its full 150 GB/s.
+        let b1 = min_code_balance(13.0, 1);
+        let p = roofline(&K20M, b1);
+        assert!((p - 150.0 / b1).abs() < 1e-9);
+        assert!(p < K20M.peak_gflops / 10.0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Kepler-class GPU device model.
+
+use kpm_perfmodel::cachesim::CacheConfig;
+use kpm_perfmodel::machine::{Machine, K20M, K20X};
+
+/// Which kernel of paper Fig. 10 runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GpuKernel {
+    /// Panel (a): plain SpMMV (`y = A x`, no shift/scale/dots).
+    PlainSpmmv,
+    /// Panel (b): augmented SpMMV without on-the-fly dot products.
+    AugNoDot,
+    /// Panel (c): the fully augmented kernel with fused dot products
+    /// (warp-shuffle reductions) — instruction latency becomes the
+    /// bottleneck.
+    AugFull,
+}
+
+/// Achievable-bandwidth ceilings of one kernel class on one device, in
+/// GB/s. These play the role of the measured saturation levels in paper
+/// Fig. 10: the simulator derives *volumes* from the access trace and
+/// geometry, while the attainable throughput per memory level is a
+/// device/kernel property calibrated once against the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BandwidthCeilings {
+    /// DRAM ceiling.
+    pub dram_gbs: f64,
+    /// L2 ceiling.
+    pub l2_gbs: f64,
+    /// Texture / read-only data cache ceiling (delivered bytes).
+    pub tex_gbs: f64,
+}
+
+/// A Kepler-class GPU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuDevice {
+    /// Table II entry this device corresponds to.
+    pub machine: Machine,
+    /// Threads per warp (32 on all modern NVIDIA parts).
+    pub warp_size: usize,
+    /// Maximum (and used) thread block size.
+    pub block_dim: usize,
+    /// Shared L2 cache geometry.
+    pub l2: CacheConfig,
+    /// Per-SMX read-only (texture) cache geometry.
+    pub tex: CacheConfig,
+    /// Ceilings for the streaming kernels (panels a and b).
+    pub streaming_ceilings: BandwidthCeilings,
+    /// Ceilings for the fused-dot kernel (panel c) — lower across the
+    /// board because warp-shuffle reduction chains serialize issue.
+    pub fused_ceilings: BandwidthCeilings,
+}
+
+/// GPU cache line / transaction granularity used by the simulator.
+/// Kepler's L2 uses 128-byte lines (TEX sectors are 32 B; modelling both
+/// at 128 B granularity slightly overestimates TEX volume at tiny R,
+/// which is irrelevant for the studied R range).
+pub const GPU_LINE_BYTES: usize = 128;
+
+impl GpuDevice {
+    /// NVIDIA Tesla K20m (ECC disabled), the node-level benchmark GPU.
+    pub fn k20m() -> Self {
+        Self::kepler(K20M)
+    }
+
+    /// NVIDIA Tesla K20X (ECC enabled), the Piz Daint GPU.
+    pub fn k20x() -> Self {
+        Self::kepler(K20X)
+    }
+
+    fn kepler(machine: Machine) -> Self {
+        let bw = machine.mem_bw_gbs;
+        Self {
+            machine,
+            warp_size: 32,
+            block_dim: 1024,
+            l2: CacheConfig {
+                capacity_bytes: machine.llc_bytes(),
+                line_bytes: GPU_LINE_BYTES,
+                ways: 16,
+            },
+            tex: CacheConfig {
+                // One SMX's view: 48 KiB, 4-way class geometry.
+                capacity_bytes: 48 * 1024,
+                line_bytes: GPU_LINE_BYTES,
+                ways: 4,
+            },
+            // Streaming kernels draw full DRAM bandwidth at R = 1 and
+            // saturate L2/TEX at roughly 4x/6x DRAM for larger R
+            // (paper Fig. 10 a, b).
+            streaming_ceilings: BandwidthCeilings {
+                dram_gbs: bw,
+                l2_gbs: 4.0 * bw,
+                tex_gbs: 4.5 * bw,
+            },
+            // The fused kernel is latency-limited: all levels run at a
+            // substantially lower level (paper Fig. 10 c). The factors
+            // are calibrated so the full aug_spmmv lands at the paper's
+            // ~60 Gflop/s per K20 at R = 32.
+            fused_ceilings: BandwidthCeilings {
+                dram_gbs: 0.33 * bw,
+                l2_gbs: 0.82 * bw,
+                tex_gbs: 1.75 * bw,
+            },
+        }
+    }
+
+    /// The ceilings that apply to `kernel`.
+    pub fn ceilings(&self, kernel: GpuKernel) -> BandwidthCeilings {
+        match kernel {
+            GpuKernel::PlainSpmmv | GpuKernel::AugNoDot => self.streaming_ceilings,
+            GpuKernel::AugFull => self.fused_ceilings,
+        }
+    }
+
+    /// How many threads serve one matrix row at block width `r`: one
+    /// per right-hand-side column (paper Fig. 6: warps are arranged
+    /// along block vector rows).
+    pub fn threads_per_row(&self, r: usize) -> usize {
+        r
+    }
+
+    /// Number of warps that cooperate on one row (`ceil(R/32)`); for
+    /// `R < 32` a warp spans several rows instead.
+    pub fn warps_per_row(&self, r: usize) -> usize {
+        r.div_ceil(self.warp_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k20m_matches_table_ii() {
+        let d = GpuDevice::k20m();
+        assert_eq!(d.machine.name, "K20m");
+        assert_eq!(d.machine.cores, 13);
+        assert_eq!(d.l2.capacity_bytes, 5 * 1024 * 1024 / 4); // 1.25 MiB
+        assert_eq!(d.warp_size, 32);
+        assert_eq!(d.block_dim, 1024);
+    }
+
+    #[test]
+    fn ceilings_ordered_dram_l2_tex() {
+        for d in [GpuDevice::k20m(), GpuDevice::k20x()] {
+            for k in [GpuKernel::PlainSpmmv, GpuKernel::AugNoDot, GpuKernel::AugFull] {
+                let c = d.ceilings(k);
+                assert!(c.dram_gbs < c.l2_gbs && c.l2_gbs < c.tex_gbs);
+            }
+        }
+    }
+
+    #[test]
+    fn fused_ceilings_below_streaming() {
+        let d = GpuDevice::k20m();
+        let s = d.ceilings(GpuKernel::AugNoDot);
+        let f = d.ceilings(GpuKernel::AugFull);
+        assert!(f.dram_gbs < s.dram_gbs);
+        assert!(f.l2_gbs < s.l2_gbs);
+        assert!(f.tex_gbs < s.tex_gbs);
+    }
+
+    #[test]
+    fn streaming_dram_ceiling_is_attainable_bandwidth() {
+        assert_eq!(
+            GpuDevice::k20m().ceilings(GpuKernel::PlainSpmmv).dram_gbs,
+            150.0
+        );
+        assert_eq!(
+            GpuDevice::k20x().ceilings(GpuKernel::PlainSpmmv).dram_gbs,
+            170.0
+        );
+    }
+
+    #[test]
+    fn warp_coverage() {
+        let d = GpuDevice::k20m();
+        assert_eq!(d.warps_per_row(1), 1);
+        assert_eq!(d.warps_per_row(32), 1);
+        assert_eq!(d.warps_per_row(33), 2);
+        assert_eq!(d.warps_per_row(64), 2);
+    }
+}

@@ -1,0 +1,192 @@
+//! The two-path GPU memory system.
+//!
+//! Kepler routes `const __restrict__` loads through the per-SMX
+//! read-only (texture) cache with relaxed coalescing rules; all other
+//! global accesses go straight to L2 (paper Section V-B). The simulator
+//! therefore exposes two access paths:
+//!
+//! * [`GpuMemory::read_const`] — TEX → L2 → DRAM, with a *fan-out*
+//!   parameter counting how many threads receive the loaded value.
+//!   Delivered bytes (`value size × fan-out`) is what saturates the TEX
+//!   port and is the quantity that "scales linearly with R" in paper
+//!   Fig. 9.
+//! * [`GpuMemory::read_global`] / [`GpuMemory::write_global`] —
+//!   L2 → DRAM with write-allocate/write-back.
+
+use kpm_perfmodel::cachesim::{CacheConfig, CacheLevel, Probe};
+
+use crate::device::GPU_LINE_BYTES;
+
+/// Per-level traffic of one simulated kernel launch.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct GpuTraffic {
+    /// Bytes delivered by the read-only (texture) path to threads.
+    pub tex_bytes: u64,
+    /// Bytes transacted at the L2 interface (TEX refills + global
+    /// accesses, line granularity).
+    pub l2_bytes: u64,
+    /// Bytes read from DRAM.
+    pub dram_read: u64,
+    /// Bytes written back to DRAM.
+    pub dram_write: u64,
+}
+
+impl GpuTraffic {
+    /// Total DRAM traffic.
+    pub fn dram_bytes(&self) -> u64 {
+        self.dram_read + self.dram_write
+    }
+}
+
+/// The simulated memory system of one GPU.
+#[derive(Debug, Clone)]
+pub struct GpuMemory {
+    tex: CacheLevel,
+    l2: CacheLevel,
+    traffic: GpuTraffic,
+}
+
+impl GpuMemory {
+    /// Creates a cold memory system with the given cache geometries.
+    pub fn new(tex: CacheConfig, l2: CacheConfig) -> Self {
+        assert_eq!(tex.line_bytes, GPU_LINE_BYTES, "TEX line size fixed at 128 B");
+        assert_eq!(l2.line_bytes, GPU_LINE_BYTES, "L2 line size fixed at 128 B");
+        Self {
+            tex: CacheLevel::new(tex),
+            l2: CacheLevel::new(l2),
+            traffic: GpuTraffic::default(),
+        }
+    }
+
+    /// Read-only-path load of `size` bytes at `addr`, broadcast to
+    /// `fanout` threads.
+    pub fn read_const(&mut self, addr: u64, size: usize, fanout: usize) {
+        self.traffic.tex_bytes += (size * fanout) as u64;
+        let line = GPU_LINE_BYTES as u64;
+        let first = addr / line;
+        let last = (addr + size as u64 - 1) / line;
+        for l in first..=last {
+            if let Probe::Miss { .. } = self.tex.access_line(l, false) {
+                // TEX is a read-only cache: misses refill from L2, no
+                // write-backs on this path.
+                self.l2_line(l, false);
+            }
+        }
+    }
+
+    /// Global-path read (bypasses TEX).
+    pub fn read_global(&mut self, addr: u64, size: usize) {
+        self.for_lines(addr, size, |mem, l| mem.l2_line(l, false));
+    }
+
+    /// Global-path write (write-allocate, write-back).
+    pub fn write_global(&mut self, addr: u64, size: usize) {
+        self.for_lines(addr, size, |mem, l| mem.l2_line(l, true));
+    }
+
+    fn for_lines(&mut self, addr: u64, size: usize, mut f: impl FnMut(&mut Self, u64)) {
+        let line = GPU_LINE_BYTES as u64;
+        let first = addr / line;
+        let last = (addr + size as u64 - 1) / line;
+        for l in first..=last {
+            f(self, l);
+        }
+    }
+
+    fn l2_line(&mut self, line_index: u64, write: bool) {
+        let line = GPU_LINE_BYTES as u64;
+        self.traffic.l2_bytes += line;
+        match self.l2.access_line(line_index, write) {
+            Probe::Hit => {}
+            Probe::Miss { victim_dirty } => {
+                self.traffic.dram_read += line;
+                if victim_dirty {
+                    self.traffic.dram_write += line;
+                }
+            }
+        }
+    }
+
+    /// Flushes dirty L2 lines (end-of-kernel) and returns the traffic.
+    pub fn finish(mut self) -> GpuTraffic {
+        self.traffic.dram_write += self.l2.flush_dirty_count() * GPU_LINE_BYTES as u64;
+        self.traffic
+    }
+
+    /// Traffic so far, without flushing.
+    pub fn traffic(&self) -> GpuTraffic {
+        self.traffic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(capacity: usize) -> CacheConfig {
+        CacheConfig {
+            capacity_bytes: capacity,
+            line_bytes: GPU_LINE_BYTES,
+            ways: 4,
+        }
+    }
+
+    fn mem() -> GpuMemory {
+        GpuMemory::new(small(4 * 1024), small(64 * 1024))
+    }
+
+    #[test]
+    fn const_fanout_counts_delivered_bytes() {
+        let mut m = mem();
+        m.read_const(0, 16, 32); // one element broadcast to a warp
+        assert_eq!(m.traffic().tex_bytes, 512);
+        // One line fetched through L2 from DRAM.
+        assert_eq!(m.traffic().l2_bytes, 128);
+        assert_eq!(m.traffic().dram_read, 128);
+    }
+
+    #[test]
+    fn tex_hit_does_not_touch_l2() {
+        let mut m = mem();
+        m.read_const(0, 16, 1);
+        let l2_before = m.traffic().l2_bytes;
+        m.read_const(0, 16, 1); // same line: TEX hit
+        assert_eq!(m.traffic().l2_bytes, l2_before);
+        assert_eq!(m.traffic().tex_bytes, 32);
+    }
+
+    #[test]
+    fn global_write_back_reaches_dram_on_eviction_or_flush() {
+        let mut m = mem();
+        m.write_global(0, 128);
+        assert_eq!(m.traffic().dram_write, 0); // still cached dirty
+        let t = m.finish();
+        assert_eq!(t.dram_write, 128);
+        assert_eq!(t.dram_read, 128); // write-allocate fill
+    }
+
+    #[test]
+    fn global_reads_bypass_tex() {
+        let mut m = mem();
+        m.read_global(0, 128);
+        m.read_const(0, 16, 1);
+        // The const read misses TEX (line not there) even though L2 has
+        // it: L2 serves the refill without DRAM traffic.
+        let t = m.traffic();
+        assert_eq!(t.dram_read, 128);
+        assert_eq!(t.l2_bytes, 256);
+    }
+
+    #[test]
+    fn l2_capacity_limits_reuse() {
+        let mut m = mem(); // 64 KiB L2 = 512 lines
+        for i in 0..1024u64 {
+            m.read_global(i * 128, 128);
+        }
+        // Second pass: working set (128 KiB) exceeds L2, all miss again.
+        for i in 0..1024u64 {
+            m.read_global(i * 128, 128);
+        }
+        assert_eq!(m.traffic().dram_read, 2 * 1024 * 128);
+    }
+}

@@ -1,0 +1,115 @@
+//! Timing model: volumes → run time → bandwidths and Gflop/s.
+//!
+//! The run time of a launch is determined by its most loaded memory
+//! level: `t = max_level (V_level / ceiling_level)`. The resulting
+//! per-level bandwidths `V_level / t` are exactly what paper Fig. 10
+//! plots — the binding level runs at its ceiling, all others below.
+
+use crate::device::{GpuDevice, GpuKernel};
+use crate::memory::GpuTraffic;
+
+/// Which memory level bound the launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bottleneck {
+    /// DRAM interface saturated.
+    Dram,
+    /// L2 interface saturated.
+    L2,
+    /// Texture/read-only path saturated (or, for the fused kernel,
+    /// the latency-deflated TEX ceiling — the paper's "latency"
+    /// bottleneck manifests on the most loaded port).
+    Tex,
+}
+
+/// Time and achieved bandwidths of one launch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Timing {
+    /// Run time in seconds.
+    pub seconds: f64,
+    /// Achieved DRAM bandwidth in GB/s.
+    pub dram_gbs: f64,
+    /// Achieved L2 bandwidth in GB/s.
+    pub l2_gbs: f64,
+    /// Achieved TEX bandwidth in GB/s.
+    pub tex_gbs: f64,
+    /// The level that set the run time.
+    pub bottleneck: Bottleneck,
+}
+
+/// Evaluates the timing model for one launch.
+pub fn evaluate(device: &GpuDevice, kernel: GpuKernel, traffic: GpuTraffic) -> Timing {
+    let c = device.ceilings(kernel);
+    let t_dram = traffic.dram_bytes() as f64 / (c.dram_gbs * 1e9);
+    let t_l2 = traffic.l2_bytes as f64 / (c.l2_gbs * 1e9);
+    let t_tex = traffic.tex_bytes as f64 / (c.tex_gbs * 1e9);
+    let (seconds, bottleneck) = [
+        (t_dram, Bottleneck::Dram),
+        (t_l2, Bottleneck::L2),
+        (t_tex, Bottleneck::Tex),
+    ]
+    .into_iter()
+    .max_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"))
+    .expect("three candidates");
+    assert!(seconds > 0.0, "empty launch");
+    Timing {
+        seconds,
+        dram_gbs: traffic.dram_bytes() as f64 / seconds / 1e9,
+        l2_gbs: traffic.l2_bytes as f64 / seconds / 1e9,
+        tex_gbs: traffic.tex_bytes as f64 / seconds / 1e9,
+        bottleneck,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traffic(dram: u64, l2: u64, tex: u64) -> GpuTraffic {
+        GpuTraffic {
+            tex_bytes: tex,
+            l2_bytes: l2,
+            dram_read: dram,
+            dram_write: 0,
+        }
+    }
+
+    #[test]
+    fn dram_heavy_launch_is_dram_bound_at_ceiling() {
+        let d = GpuDevice::k20m();
+        let t = evaluate(&d, GpuKernel::PlainSpmmv, traffic(150_000_000_000, 1, 1));
+        assert_eq!(t.bottleneck, Bottleneck::Dram);
+        assert!((t.seconds - 1.0).abs() < 1e-9);
+        assert!((t.dram_gbs - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tex_heavy_launch_is_tex_bound() {
+        let d = GpuDevice::k20m();
+        let t = evaluate(&d, GpuKernel::AugNoDot, traffic(1, 1, 900_000_000_000));
+        assert_eq!(t.bottleneck, Bottleneck::Tex);
+        assert!((t.tex_gbs - d.streaming_ceilings.tex_gbs).abs() < 1e-6);
+    }
+
+    #[test]
+    fn non_binding_levels_run_below_their_ceilings() {
+        let d = GpuDevice::k20m();
+        let t = evaluate(
+            &d,
+            GpuKernel::AugNoDot,
+            traffic(100_000_000_000, 200_000_000_000, 100_000_000_000),
+        );
+        let c = d.ceilings(GpuKernel::AugNoDot);
+        assert!(t.dram_gbs <= c.dram_gbs + 1e-6);
+        assert!(t.l2_gbs <= c.l2_gbs + 1e-6);
+        assert!(t.tex_gbs <= c.tex_gbs + 1e-6);
+    }
+
+    #[test]
+    fn fused_kernel_same_traffic_takes_longer() {
+        let d = GpuDevice::k20m();
+        let tr = traffic(10_000_000_000, 20_000_000_000, 30_000_000_000);
+        let s = evaluate(&d, GpuKernel::AugNoDot, tr);
+        let f = evaluate(&d, GpuKernel::AugFull, tr);
+        assert!(f.seconds > s.seconds);
+    }
+}

@@ -1,0 +1,175 @@
+//! Width-specialized (unrolled) augmented kernels.
+//!
+//! Paper Section IV-B: "A custom code generator was used to create
+//! fully unrolled versions of the kernel codes for different
+//! combinations of the SELL chunk height and the block vector width."
+//! Rust's const generics replace the external code generator: the
+//! kernel is compiled once per block width `R`, with the inner
+//! `for j in 0..R` loops fully unrollable and the row accumulator held
+//! in a fixed-size array (registers, not memory). [`aug_spmmv_auto`]
+//! dispatches to the specialization when one exists for the requested
+//! width and falls back to the dynamic-width kernel otherwise — the
+//! same structure as the paper's generated-kernel registry.
+
+use kpm_num::BlockVector;
+
+use crate::aug::{aug_spmmv, AugDotsBlock};
+use crate::crs::CrsMatrix;
+
+/// The block widths with compiled specializations (the paper generates
+/// kernels for the widths its experiments sweep).
+pub const SPECIALIZED_WIDTHS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// Augmented SpMMV with the block width fixed at compile time.
+///
+/// Identical semantics to [`crate::aug::aug_spmmv`]; the inner loops
+/// run over `[Complex64; R]` so the optimizer unrolls and vectorizes
+/// them (the hand-written AVX intrinsics of the paper's generator,
+/// delegated to LLVM).
+pub fn aug_spmmv_fixed<const R: usize>(
+    h: &CrsMatrix,
+    a: f64,
+    b: f64,
+    v: &BlockVector,
+    w: &mut BlockVector,
+) -> AugDotsBlock {
+    assert_eq!(h.nrows(), h.ncols(), "augmented kernels need a square matrix");
+    assert_eq!(v.rows(), h.ncols(), "block v dimension mismatch");
+    assert_eq!(w.rows(), h.nrows(), "block w dimension mismatch");
+    assert_eq!(v.width(), R, "block width must equal the specialization");
+    assert_eq!(w.width(), R, "block width must equal the specialization");
+
+    let mut eta_even = [0.0f64; R];
+    let mut eta_odd = [kpm_num::complex::ZERO; R];
+    for r in 0..h.nrows() {
+        let cols = h.row_cols(r);
+        let vals = h.row_vals(r);
+        let mut acc = [kpm_num::complex::ZERO; R];
+        for (hv, &c) in vals.iter().zip(cols) {
+            let xrow = v.row(c as usize);
+            for j in 0..R {
+                acc[j] = hv.mul_add(xrow[j], acc[j]);
+            }
+        }
+        let vrow = v.row(r);
+        let wrow = w.row_mut(r);
+        for j in 0..R {
+            let vr = vrow[j];
+            let wr = (acc[j] - vr.scale(b)).scale(2.0 * a) - wrow[j];
+            wrow[j] = wr;
+            eta_even[j] += vr.norm_sqr();
+            eta_odd[j] = wr.conj().mul_add(vr, eta_odd[j]);
+        }
+    }
+    AugDotsBlock {
+        eta_even: eta_even.to_vec(),
+        eta_odd: eta_odd.to_vec(),
+    }
+}
+
+/// Dispatching front end: uses the compile-time specialization for the
+/// supported widths, the dynamic kernel otherwise. Semantically
+/// identical either way.
+pub fn aug_spmmv_auto(
+    h: &CrsMatrix,
+    a: f64,
+    b: f64,
+    v: &BlockVector,
+    w: &mut BlockVector,
+) -> AugDotsBlock {
+    match v.width() {
+        1 => aug_spmmv_fixed::<1>(h, a, b, v, w),
+        2 => aug_spmmv_fixed::<2>(h, a, b, v, w),
+        4 => aug_spmmv_fixed::<4>(h, a, b, v, w),
+        8 => aug_spmmv_fixed::<8>(h, a, b, v, w),
+        16 => aug_spmmv_fixed::<16>(h, a, b, v, w),
+        32 => aug_spmmv_fixed::<32>(h, a, b, v, w),
+        _ => aug_spmmv(h, a, b, v, w),
+    }
+}
+
+/// True if a compiled specialization exists for width `r`.
+pub fn has_specialization(r: usize) -> bool {
+    SPECIALIZED_WIDTHS.contains(&r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+    use kpm_num::Complex64;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_hermitian(n: usize, seed: u64) -> CrsMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut coo = CooMatrix::new(n, n);
+        for r in 0..n {
+            coo.push(r, r, Complex64::real(rng.gen_range(-1.0..1.0)));
+            for _ in 0..3 {
+                let c = rng.gen_range(0..n);
+                if c != r {
+                    let v = Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0));
+                    coo.push(r, c, v);
+                    coo.push(c, r, v.conj());
+                }
+            }
+        }
+        coo.to_crs()
+    }
+
+    #[test]
+    fn every_specialization_matches_dynamic_kernel() {
+        let n = 120;
+        let h = random_hermitian(n, 100);
+        let mut rng = StdRng::seed_from_u64(101);
+        for &r in &SPECIALIZED_WIDTHS {
+            let v = BlockVector::random(n, r, &mut rng);
+            let w0 = BlockVector::random(n, r, &mut rng);
+            let mut w_dyn = w0.clone();
+            let mut w_fix = w0;
+            let d_dyn = aug_spmmv(&h, 0.4, -0.15, &v, &mut w_dyn);
+            let d_fix = aug_spmmv_auto(&h, 0.4, -0.15, &v, &mut w_fix);
+            assert_eq!(w_dyn, w_fix, "R={r}");
+            for j in 0..r {
+                assert!((d_dyn.eta_even[j] - d_fix.eta_even[j]).abs() < 1e-13, "R={r}");
+                assert!(d_dyn.eta_odd[j].approx_eq(d_fix.eta_odd[j], 1e-13), "R={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn unsupported_width_falls_back() {
+        assert!(!has_specialization(5));
+        let n = 60;
+        let h = random_hermitian(n, 102);
+        let mut rng = StdRng::seed_from_u64(103);
+        let v = BlockVector::random(n, 5, &mut rng);
+        let w0 = BlockVector::random(n, 5, &mut rng);
+        let mut w_dyn = w0.clone();
+        let mut w_auto = w0;
+        let d1 = aug_spmmv(&h, 1.0, 0.0, &v, &mut w_dyn);
+        let d2 = aug_spmmv_auto(&h, 1.0, 0.0, &v, &mut w_auto);
+        assert_eq!(w_dyn, w_auto);
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    #[should_panic(expected = "block width must equal the specialization")]
+    fn wrong_width_rejected() {
+        let h = random_hermitian(10, 104);
+        let mut rng = StdRng::seed_from_u64(105);
+        let v = BlockVector::random(10, 4, &mut rng);
+        let mut w = BlockVector::random(10, 4, &mut rng);
+        aug_spmmv_fixed::<8>(&h, 1.0, 0.0, &v, &mut w);
+    }
+
+    #[test]
+    fn registry_is_consistent() {
+        for &r in &SPECIALIZED_WIDTHS {
+            assert!(has_specialization(r));
+        }
+        assert!(!has_specialization(0));
+        assert!(!has_specialization(64));
+    }
+}

@@ -1,0 +1,273 @@
+//! Matrix Market I/O.
+//!
+//! The de-facto interchange format for sparse matrices (used by
+//! SuiteSparse, GHOST — the paper's released library — and every SpMV
+//! paper's benchmark suite). Supports the `matrix coordinate complex`
+//! flavour with `general` or `hermitian` symmetry; Hermitian files
+//! store only the lower triangle, as the spec requires.
+//!
+//! Only `std` is used — no new dependencies.
+
+use std::io::{self, BufRead, Write};
+
+use kpm_num::Complex64;
+
+use crate::coo::CooMatrix;
+use crate::crs::CrsMatrix;
+
+/// Errors produced by the Matrix Market reader.
+#[derive(Debug)]
+pub enum MmError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structural problem with the file contents.
+    Parse(String),
+}
+
+impl std::fmt::Display for MmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MmError::Io(e) => write!(f, "I/O error: {e}"),
+            MmError::Parse(msg) => write!(f, "Matrix Market parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MmError {}
+
+impl From<io::Error> for MmError {
+    fn from(e: io::Error) -> Self {
+        MmError::Io(e)
+    }
+}
+
+fn parse_err(msg: impl Into<String>) -> MmError {
+    MmError::Parse(msg.into())
+}
+
+/// Writes `m` in `matrix coordinate complex general` format
+/// (one-based indices, full pattern).
+pub fn write_general<W: Write>(m: &CrsMatrix, out: &mut W) -> io::Result<()> {
+    writeln!(out, "%%MatrixMarket matrix coordinate complex general")?;
+    writeln!(out, "% written by kpm-repro")?;
+    writeln!(out, "{} {} {}", m.nrows(), m.ncols(), m.nnz())?;
+    for r in 0..m.nrows() {
+        for (k, &c) in m.row_cols(r).iter().enumerate() {
+            let v = m.row_vals(r)[k];
+            writeln!(out, "{} {} {:e} {:e}", r + 1, c + 1, v.re, v.im)?;
+        }
+    }
+    Ok(())
+}
+
+/// Writes a Hermitian matrix in `matrix coordinate complex hermitian`
+/// format: only entries with `row >= col` are stored.
+pub fn write_hermitian<W: Write>(m: &CrsMatrix, out: &mut W) -> io::Result<()> {
+    assert!(m.is_hermitian(), "matrix must be Hermitian for hermitian output");
+    let lower: usize = (0..m.nrows())
+        .map(|r| m.row_cols(r).iter().filter(|&&c| (c as usize) <= r).count())
+        .sum();
+    writeln!(out, "%%MatrixMarket matrix coordinate complex hermitian")?;
+    writeln!(out, "% written by kpm-repro")?;
+    writeln!(out, "{} {} {}", m.nrows(), m.ncols(), lower)?;
+    for r in 0..m.nrows() {
+        for (k, &c) in m.row_cols(r).iter().enumerate() {
+            if (c as usize) <= r {
+                let v = m.row_vals(r)[k];
+                writeln!(out, "{} {} {:e} {:e}", r + 1, c + 1, v.re, v.im)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Reads a `matrix coordinate complex` file in `general` or
+/// `hermitian` symmetry (also accepts `real`/`integer` values and
+/// `symmetric` symmetry, promoting them to complex).
+pub fn read<R: BufRead>(input: R) -> Result<CrsMatrix, MmError> {
+    let mut lines = input.lines();
+
+    // Header.
+    let header = lines
+        .next()
+        .ok_or_else(|| parse_err("empty file"))??;
+    let tokens: Vec<String> = header
+        .split_whitespace()
+        .map(|t| t.to_ascii_lowercase())
+        .collect();
+    if tokens.len() < 5 || tokens[0] != "%%matrixmarket" || tokens[1] != "matrix" {
+        return Err(parse_err(format!("bad header: {header}")));
+    }
+    if tokens[2] != "coordinate" {
+        return Err(parse_err("only coordinate format is supported"));
+    }
+    let field = tokens[3].as_str();
+    if !matches!(field, "complex" | "real" | "integer") {
+        return Err(parse_err(format!("unsupported field type: {field}")));
+    }
+    let symmetry = tokens[4].as_str();
+    if !matches!(symmetry, "general" | "hermitian" | "symmetric") {
+        return Err(parse_err(format!("unsupported symmetry: {symmetry}")));
+    }
+    let complex_values = field == "complex";
+
+    // Size line (after comments).
+    let mut size_line = None;
+    for line in lines.by_ref() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        size_line = Some(t.to_string());
+        break;
+    }
+    let size_line = size_line.ok_or_else(|| parse_err("missing size line"))?;
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| t.parse().map_err(|_| parse_err("bad size line")))
+        .collect::<Result<_, _>>()?;
+    if dims.len() != 3 {
+        return Err(parse_err("size line must be 'rows cols nnz'"));
+    }
+    let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
+
+    let mut coo = CooMatrix::with_capacity(nrows, ncols, nnz);
+    let mut seen = 0usize;
+    for line in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let parts: Vec<&str> = t.split_whitespace().collect();
+        let want = if complex_values { 4 } else { 3 };
+        if parts.len() != want {
+            return Err(parse_err(format!("bad entry line: {t}")));
+        }
+        let r: usize = parts[0].parse().map_err(|_| parse_err("bad row index"))?;
+        let c: usize = parts[1].parse().map_err(|_| parse_err("bad col index"))?;
+        if r < 1 || r > nrows || c < 1 || c > ncols {
+            return Err(parse_err(format!("index out of range: {r} {c}")));
+        }
+        let re: f64 = parts[2].parse().map_err(|_| parse_err("bad real part"))?;
+        let im: f64 = if complex_values {
+            parts[3].parse().map_err(|_| parse_err("bad imag part"))?
+        } else {
+            0.0
+        };
+        let v = Complex64::new(re, im);
+        coo.push(r - 1, c - 1, v);
+        if symmetry != "general" && r != c {
+            let mirrored = if symmetry == "hermitian" { v.conj() } else { v };
+            coo.push(c - 1, r - 1, mirrored);
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(parse_err(format!("expected {nnz} entries, found {seen}")));
+    }
+    Ok(coo.to_crs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+    use std::io::BufReader;
+
+    fn hermitian3() -> CrsMatrix {
+        let mut m = CooMatrix::new(3, 3);
+        m.push(0, 0, Complex64::real(2.0));
+        m.push(0, 1, Complex64::new(1.0, 1.0));
+        m.push(1, 0, Complex64::new(1.0, -1.0));
+        m.push(1, 2, Complex64::new(0.0, 2.0));
+        m.push(2, 1, Complex64::new(0.0, -2.0));
+        m.push(2, 2, Complex64::real(-0.5));
+        m.to_crs()
+    }
+
+    #[test]
+    fn general_roundtrip() {
+        let m = hermitian3();
+        let mut buf = Vec::new();
+        write_general(&m, &mut buf).unwrap();
+        let back = read(BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn hermitian_roundtrip_restores_upper_triangle() {
+        let m = hermitian3();
+        let mut buf = Vec::new();
+        write_hermitian(&m, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.contains("hermitian"));
+        // Only the lower triangle is stored...
+        let entries = text
+            .lines()
+            .filter(|l| !l.starts_with('%'))
+            .skip(1)
+            .count();
+        assert_eq!(entries, 4); // (1,1), (2,1), (3,2), (3,3)
+        // ...but the read matrix is the full Hermitian one.
+        let back = read(BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(m, back);
+        assert!(back.is_hermitian());
+    }
+
+    #[test]
+    fn real_symmetric_file_promoted_to_complex() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    % comment\n\
+                    2 2 2\n\
+                    1 1 1.5\n\
+                    2 1 -0.5\n";
+        let m = read(BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(m.get(0, 0), Complex64::real(1.5));
+        assert_eq!(m.get(0, 1), Complex64::real(-0.5));
+        assert_eq!(m.get(1, 0), Complex64::real(-0.5));
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        let text = "%%MatrixMarket matrix array complex general\n1 1 1\n1 1 0 0\n";
+        assert!(matches!(
+            read(BufReader::new(text.as_bytes())),
+            Err(MmError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_entry_count_rejected() {
+        let text = "%%MatrixMarket matrix coordinate complex general\n2 2 3\n1 1 1 0\n";
+        let err = read(BufReader::new(text.as_bytes())).unwrap_err();
+        assert!(err.to_string().contains("expected 3 entries"));
+    }
+
+    #[test]
+    fn out_of_range_index_rejected() {
+        let text = "%%MatrixMarket matrix coordinate complex general\n2 2 1\n3 1 1 0\n";
+        assert!(read(BufReader::new(text.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn topological_insulator_roundtrip() {
+        // The actual workload survives a write/read cycle.
+        use kpm_num::Complex64 as C;
+        let mut coo = CooMatrix::new(8, 8);
+        for i in 0..8usize {
+            coo.push(i, i, C::real(i as f64 - 4.0));
+            if i + 1 < 8 {
+                let v = C::new(0.5, 0.25);
+                coo.push(i, i + 1, v);
+                coo.push(i + 1, i, v.conj());
+            }
+        }
+        let m = coo.to_crs();
+        let mut buf = Vec::new();
+        write_hermitian(&m, &mut buf).unwrap();
+        let back = read(BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(m, back);
+    }
+}

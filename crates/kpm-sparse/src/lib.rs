@@ -1,0 +1,39 @@
+//! Sparse-matrix substrate for the KPM reproduction.
+//!
+//! Provides the matrix storage formats and multiplication kernels the
+//! paper builds on:
+//!
+//! * [`coo`] — a coordinate-format builder used during matrix assembly,
+//! * [`crs`] — Compressed Row Storage (CRS, a.k.a. CSR; identical to
+//!   SELL-1 in the paper's terminology), the format used for all SpMMV
+//!   kernels because vectorization happens across the block vector
+//!   (paper Section IV-A),
+//! * [`sell`] — the SELL-C-σ format of Kreutzer et al. (SIAM J. Sci.
+//!   Comput. 2014), the SIMD-friendly unified CPU/GPU format used for
+//!   single-vector SpMV,
+//! * [`spmv`] — plain sparse matrix (multiple) vector multiplication,
+//! * [`aug`] — the paper's *augmented* kernels: `aug_spmv()` (Fig. 4)
+//!   and `aug_spmmv()` (Fig. 5), which fuse the shift, scale, recurrence
+//!   update and both Chebyshev scalar products into the matrix sweep,
+//! * [`blocked`] — cache-blocked SpMMV, the outlook optimization of
+//!   paper Section VII (ref. [31]),
+//! * [`stats`] — sparsity-structure analysis (diagonal detection,
+//!   bandwidth, row-length histograms) matching the paper's discussion
+//!   of the topological-insulator matrix structure,
+//! * [`io`] — Matrix Market reading/writing (std-only),
+//! * [`gen`] — width-specialized (const-generic) kernel instances, the
+//!   Rust analogue of the paper's custom code generator (Section IV-B).
+
+pub mod aug;
+pub mod blocked;
+pub mod coo;
+pub mod crs;
+pub mod gen;
+pub mod io;
+pub mod sell;
+pub mod spmv;
+pub mod stats;
+
+pub use coo::CooMatrix;
+pub use crs::CrsMatrix;
+pub use sell::SellMatrix;

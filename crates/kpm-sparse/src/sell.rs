@@ -1,0 +1,355 @@
+//! SELL-C-σ: the unified SIMD/SIMT sparse format.
+//!
+//! SELL-C-σ (Kreutzer et al., SIAM J. Sci. Comput. 36(5), 2014 — ref. [13]
+//! of the paper) packs rows into *chunks* of height `C`; within a chunk
+//! all rows are padded to the chunk's maximum length and stored
+//! column-major, so a SIMD unit (or GPU warp) of width `C` processes `C`
+//! rows in lockstep. To limit zero fill-in, rows are sorted by descending
+//! length within windows of `σ` consecutive rows before chunking.
+//!
+//! `SELL-1-1` is exactly CRS. For the augmented SpMMV kernels of the
+//! paper CRS suffices (vectorization happens across the block vector),
+//! but single-vector SpMV benefits from `C` equal to the SIMD width —
+//! this module exists both for that kernel and for the format ablation
+//! benches.
+
+use kpm_num::{BlockVector, Complex64};
+
+use crate::crs::CrsMatrix;
+
+/// A sparse matrix in SELL-C-σ format.
+#[derive(Debug, Clone)]
+pub struct SellMatrix {
+    nrows: usize,
+    ncols: usize,
+    nnz: usize,
+    chunk_height: usize,
+    sigma: usize,
+    /// `perm[i]` = original row stored at SELL row `i`.
+    perm: Vec<u32>,
+    /// Chunk start offsets into `cols`/`vals`; length = n_chunks + 1.
+    chunk_ptr: Vec<u64>,
+    /// Per-chunk padded row length.
+    chunk_len: Vec<u32>,
+    /// Column indices, column-major within each chunk, zero-padded.
+    cols: Vec<u32>,
+    /// Values, column-major within each chunk, zero-padded.
+    vals: Vec<Complex64>,
+}
+
+impl SellMatrix {
+    /// Converts a CRS matrix to SELL-C-σ.
+    ///
+    /// `chunk_height` is `C` (the SIMD/warp width); `sigma` is the
+    /// sorting window in rows and must be a multiple of `chunk_height`
+    /// (or 1 for no sorting).
+    pub fn from_crs(crs: &CrsMatrix, chunk_height: usize, sigma: usize) -> Self {
+        assert!(chunk_height >= 1, "chunk height must be >= 1");
+        assert!(
+            sigma == 1 || sigma.is_multiple_of(chunk_height),
+            "sigma must be 1 or a multiple of the chunk height"
+        );
+        let nrows = crs.nrows();
+
+        // Sort rows by descending length within sigma-windows.
+        let mut perm: Vec<u32> = (0..nrows as u32).collect();
+        if sigma > 1 {
+            for window in perm.chunks_mut(sigma) {
+                window.sort_by_key(|&r| std::cmp::Reverse(crs.row_len(r as usize)));
+            }
+        }
+
+        let n_chunks = nrows.div_ceil(chunk_height);
+        let mut chunk_ptr = Vec::with_capacity(n_chunks + 1);
+        let mut chunk_len = Vec::with_capacity(n_chunks);
+        chunk_ptr.push(0u64);
+        let mut total = 0u64;
+        for ci in 0..n_chunks {
+            let lo = ci * chunk_height;
+            let hi = (lo + chunk_height).min(nrows);
+            let maxlen = (lo..hi)
+                .map(|i| crs.row_len(perm[i] as usize))
+                .max()
+                .unwrap_or(0) as u32;
+            chunk_len.push(maxlen);
+            total += maxlen as u64 * chunk_height as u64;
+            chunk_ptr.push(total);
+        }
+
+        let mut cols = vec![0u32; total as usize];
+        let mut vals = vec![Complex64::default(); total as usize];
+        #[allow(clippy::needless_range_loop)] // chunk index drives several arrays
+        for ci in 0..n_chunks {
+            let base = chunk_ptr[ci] as usize;
+            let lo = ci * chunk_height;
+            for lane in 0..chunk_height {
+                let sell_row = lo + lane;
+                if sell_row >= nrows {
+                    continue; // padding lanes of the last chunk stay zero
+                }
+                let orig = perm[sell_row] as usize;
+                let rc = crs.row_cols(orig);
+                let rv = crs.row_vals(orig);
+                for (j, (&c, &v)) in rc.iter().zip(rv).enumerate() {
+                    // Column-major within the chunk: element j of lane
+                    // `lane` lives at base + j*C + lane.
+                    let idx = base + j * chunk_height + lane;
+                    cols[idx] = c;
+                    vals[idx] = v;
+                }
+            }
+        }
+
+        Self {
+            nrows,
+            ncols: crs.ncols(),
+            nnz: crs.nnz(),
+            chunk_height,
+            sigma,
+            perm,
+            chunk_ptr,
+            chunk_len,
+            cols,
+            vals,
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of logical non-zeros (excluding fill-in padding).
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// The chunk height `C`.
+    pub fn chunk_height(&self) -> usize {
+        self.chunk_height
+    }
+
+    /// The sorting window `σ`.
+    pub fn sigma(&self) -> usize {
+        self.sigma
+    }
+
+    /// Number of stored elements including zero fill-in.
+    pub fn stored_elements(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Chunk occupancy `β = nnz / stored` ∈ (0, 1]; 1 means no fill-in.
+    pub fn beta(&self) -> f64 {
+        if self.vals.is_empty() {
+            1.0
+        } else {
+            self.nnz as f64 / self.vals.len() as f64
+        }
+    }
+
+    /// Sparse matrix-vector multiplication `y = A x` in SELL order:
+    /// chunks are processed column-by-column so all `C` lanes advance in
+    /// lockstep, mirroring the SIMD/SIMT execution of the paper.
+    pub fn spmv(&self, x: &[Complex64], y: &mut [Complex64]) {
+        assert_eq!(x.len(), self.ncols, "spmv: x dimension mismatch");
+        assert_eq!(y.len(), self.nrows, "spmv: y dimension mismatch");
+        let c = self.chunk_height;
+        let n_chunks = self.chunk_ptr.len() - 1;
+        let mut acc = vec![Complex64::default(); c];
+        for ci in 0..n_chunks {
+            let base = self.chunk_ptr[ci] as usize;
+            let len = self.chunk_len[ci] as usize;
+            acc[..c].fill(Complex64::default());
+            for j in 0..len {
+                let off = base + j * c;
+                #[allow(clippy::needless_range_loop)] // lockstep lane loop
+                for lane in 0..c {
+                    let col = self.cols[off + lane] as usize;
+                    let val = self.vals[off + lane];
+                    // Padding entries have val == 0, so the FMA is a no-op.
+                    acc[lane] = val.mul_add(x[col], acc[lane]);
+                }
+            }
+            let lo = ci * c;
+            #[allow(clippy::needless_range_loop)] // lockstep lane loop
+            for lane in 0..c {
+                let sell_row = lo + lane;
+                if sell_row < self.nrows {
+                    y[self.perm[sell_row] as usize] = acc[lane];
+                }
+            }
+        }
+    }
+
+    /// Sparse matrix *multiple* vector multiplication `Y = A X` over
+    /// row-major blocks in SELL order.
+    ///
+    /// Provided to *demonstrate* the paper's Section IV-A observation:
+    /// for SpMMV, vectorization happens across the block vector, so the
+    /// SIMD-aware SELL layout buys nothing over CRS and its fill-in
+    /// (beta < 1) makes it strictly more expensive -- see the
+    /// `bench_formats` ablation.
+    pub fn spmmv(&self, x: &BlockVector, y: &mut BlockVector) {
+        assert_eq!(x.rows(), self.ncols, "spmmv: x dimension mismatch");
+        assert_eq!(y.rows(), self.nrows, "spmmv: y dimension mismatch");
+        assert_eq!(x.width(), y.width(), "spmmv: block width mismatch");
+        let c = self.chunk_height;
+        let r_width = x.width();
+        let n_chunks = self.chunk_ptr.len() - 1;
+        let mut acc = vec![Complex64::default(); c * r_width];
+        for ci in 0..n_chunks {
+            let base = self.chunk_ptr[ci] as usize;
+            let len = self.chunk_len[ci] as usize;
+            acc.fill(Complex64::default());
+            for j in 0..len {
+                let off = base + j * c;
+                for lane in 0..c {
+                    let val = self.vals[off + lane];
+                    if val == Complex64::default() {
+                        continue; // padding
+                    }
+                    let col = self.cols[off + lane] as usize;
+                    let xrow = x.row(col);
+                    let arow = &mut acc[lane * r_width..(lane + 1) * r_width];
+                    for k in 0..r_width {
+                        arow[k] = val.mul_add(xrow[k], arow[k]);
+                    }
+                }
+            }
+            let lo = ci * c;
+            #[allow(clippy::needless_range_loop)] // lockstep lane loop
+            for lane in 0..c {
+                let sell_row = lo + lane;
+                if sell_row < self.nrows {
+                    let orig = self.perm[sell_row] as usize;
+                    y.row_mut(orig)
+                        .copy_from_slice(&acc[lane * r_width..(lane + 1) * r_width]);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+    use crate::spmv::spmv;
+    use kpm_num::Vector;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_crs(nrows: usize, ncols: usize, per_row: usize, seed: u64) -> CrsMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut coo = CooMatrix::new(nrows, ncols);
+        for r in 0..nrows {
+            // Variable row lengths to exercise sorting and padding.
+            let len = 1 + rng.gen_range(0..per_row.max(1));
+            for _ in 0..len {
+                let c = rng.gen_range(0..ncols);
+                coo.push(r, c, Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)));
+            }
+        }
+        coo.to_crs()
+    }
+
+    #[test]
+    fn sell_1_1_is_crs() {
+        let crs = random_crs(40, 40, 5, 1);
+        let sell = SellMatrix::from_crs(&crs, 1, 1);
+        assert_eq!(sell.beta(), 1.0);
+        assert_eq!(sell.stored_elements(), crs.nnz());
+    }
+
+    #[test]
+    fn spmv_matches_crs_for_various_c_sigma() {
+        let crs = random_crs(123, 123, 9, 7);
+        let mut rng = StdRng::seed_from_u64(99);
+        let x = Vector::random(123, &mut rng).into_vec();
+        let mut y_ref = vec![Complex64::default(); 123];
+        spmv(&crs, &x, &mut y_ref);
+        for (c, sigma) in [(1usize, 1usize), (4, 1), (4, 8), (8, 32), (32, 32), (16, 123_usize.next_power_of_two())] {
+            let sigma = if sigma == 1 { 1 } else { (sigma / c).max(1) * c };
+            let sell = SellMatrix::from_crs(&crs, c, sigma);
+            let mut y = vec![Complex64::default(); 123];
+            sell.spmv(&x, &mut y);
+            for (a, b) in y.iter().zip(&y_ref) {
+                assert!(a.approx_eq(*b, 1e-12), "C={c} sigma={sigma}");
+            }
+        }
+    }
+
+    #[test]
+    fn sorting_reduces_fill_in() {
+        // Highly irregular rows: sorting within a big window should
+        // produce beta at least as good as no sorting.
+        let crs = random_crs(256, 256, 31, 3);
+        let unsorted = SellMatrix::from_crs(&crs, 32, 1);
+        let sorted = SellMatrix::from_crs(&crs, 32, 256);
+        assert!(sorted.beta() >= unsorted.beta());
+        assert!(sorted.beta() <= 1.0 && unsorted.beta() > 0.0);
+    }
+
+    #[test]
+    fn non_multiple_rows_padded_chunk() {
+        // 10 rows with C=4 -> 3 chunks, last one half empty.
+        let crs = random_crs(10, 10, 3, 5);
+        let sell = SellMatrix::from_crs(&crs, 4, 1);
+        let mut rng = StdRng::seed_from_u64(11);
+        let x = Vector::random(10, &mut rng).into_vec();
+        let mut y_ref = vec![Complex64::default(); 10];
+        let mut y = vec![Complex64::default(); 10];
+        spmv(&crs, &x, &mut y_ref);
+        sell.spmv(&x, &mut y);
+        for (a, b) in y.iter().zip(&y_ref) {
+            assert!(a.approx_eq(*b, 1e-12));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the chunk height")]
+    fn bad_sigma_rejected() {
+        let crs = random_crs(8, 8, 2, 1);
+        SellMatrix::from_crs(&crs, 4, 6);
+    }
+
+    #[test]
+    fn sell_spmmv_matches_crs_spmmv() {
+        use crate::spmv::spmmv;
+        use kpm_num::BlockVector;
+        let crs = random_crs(97, 97, 7, 13);
+        let mut rng = StdRng::seed_from_u64(14);
+        let x = BlockVector::random(97, 5, &mut rng);
+        let mut y_ref = BlockVector::zeros(97, 5);
+        spmmv(&crs, &x, &mut y_ref);
+        for (c, sigma) in [(1usize, 1usize), (4, 8), (16, 32)] {
+            let sell = SellMatrix::from_crs(&crs, c, sigma);
+            let mut y = BlockVector::zeros(97, 5);
+            sell.spmmv(&x, &mut y);
+            assert!(y.max_abs_diff(&y_ref) < 1e-12, "C={c} sigma={sigma}");
+        }
+    }
+
+    #[test]
+    fn beta_accounts_padding() {
+        // One long row among short ones forces fill-in without sorting.
+        let mut coo = CooMatrix::new(4, 8);
+        for c in 0..8 {
+            coo.push(0, c, Complex64::real(1.0));
+        }
+        coo.push(1, 0, Complex64::real(1.0));
+        coo.push(2, 0, Complex64::real(1.0));
+        coo.push(3, 0, Complex64::real(1.0));
+        let crs = coo.to_crs();
+        let sell = SellMatrix::from_crs(&crs, 4, 1);
+        // Chunk of 4 rows padded to length 8 -> 32 stored, 11 nnz.
+        assert_eq!(sell.stored_elements(), 32);
+        assert!((sell.beta() - 11.0 / 32.0).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,234 @@
+//! The 4×4 Dirac Γ-matrices of the topological-insulator model.
+//!
+//! The paper writes the Hamiltonian in terms of five matrices Γ⁰…Γ⁴.
+//! Γ⁰ is the 4×4 identity; Γ¹…Γ⁴ form a Hermitian Clifford algebra,
+//! `{Γᵃ, Γᵇ} = 2δ_ab`. We use the standard Dirac representation
+//!
+//! ```text
+//! Γ¹ = τ_z ⊗ σ₀   (the "mass" matrix β)
+//! Γ² = τ_x ⊗ σ_x
+//! Γ³ = τ_x ⊗ σ_y
+//! Γ⁴ = τ_x ⊗ σ_z
+//! ```
+//!
+//! where τ acts on the orbital and σ on the spin degree of freedom. The
+//! paper notes the precise representation is irrelevant for the
+//! performance study; what matters — and what the tests pin down — is
+//! Hermiticity, the anticommutation relations, and the non-zero pattern
+//! that yields `N_nz ≈ 13·N`.
+
+use kpm_num::Complex64;
+
+/// A dense 4×4 complex matrix, row-major.
+pub type Gamma = [[Complex64; 4]; 4];
+
+const O: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+const P: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+const M: Complex64 = Complex64 { re: -1.0, im: 0.0 };
+const PI_: Complex64 = Complex64 { re: 0.0, im: 1.0 };
+const MI: Complex64 = Complex64 { re: 0.0, im: -1.0 };
+
+/// Γ⁰ — the 4×4 identity; couples to the scalar potential `V_n`.
+pub const GAMMA0: Gamma = [
+    [P, O, O, O],
+    [O, P, O, O],
+    [O, O, P, O],
+    [O, O, O, P],
+];
+
+/// Γ¹ = τ_z ⊗ σ₀ — diagonal "mass" matrix.
+pub const GAMMA1: Gamma = [
+    [P, O, O, O],
+    [O, P, O, O],
+    [O, O, M, O],
+    [O, O, O, M],
+];
+
+/// Γ² = τ_x ⊗ σ_x.
+pub const GAMMA2: Gamma = [
+    [O, O, O, P],
+    [O, O, P, O],
+    [O, P, O, O],
+    [P, O, O, O],
+];
+
+/// Γ³ = τ_x ⊗ σ_y.
+pub const GAMMA3: Gamma = [
+    [O, O, O, MI],
+    [O, O, PI_, O],
+    [O, MI, O, O],
+    [PI_, O, O, O],
+];
+
+/// Γ⁴ = τ_x ⊗ σ_z.
+pub const GAMMA4: Gamma = [
+    [O, O, P, O],
+    [O, O, O, M],
+    [P, O, O, O],
+    [O, M, O, O],
+];
+
+/// All five Γ-matrices indexed as the paper indexes them (`GAMMAS[a]` is
+/// Γᵃ).
+pub const GAMMAS: [Gamma; 5] = [GAMMA0, GAMMA1, GAMMA2, GAMMA3, GAMMA4];
+
+/// Matrix product of two 4×4 blocks.
+pub fn matmul(a: &Gamma, b: &Gamma) -> Gamma {
+    let mut c = [[O; 4]; 4];
+    for i in 0..4 {
+        for j in 0..4 {
+            let mut acc = O;
+            for (k, bk) in b.iter().enumerate() {
+                acc = a[i][k].mul_add(bk[j], acc);
+            }
+            c[i][j] = acc;
+        }
+    }
+    c
+}
+
+/// Sum of two 4×4 blocks.
+pub fn matadd(a: &Gamma, b: &Gamma) -> Gamma {
+    let mut c = [[O; 4]; 4];
+    for i in 0..4 {
+        for j in 0..4 {
+            c[i][j] = a[i][j] + b[i][j];
+        }
+    }
+    c
+}
+
+/// Scales a 4×4 block by a complex factor.
+pub fn matscale(s: Complex64, a: &Gamma) -> Gamma {
+    let mut c = [[O; 4]; 4];
+    for i in 0..4 {
+        for j in 0..4 {
+            c[i][j] = s * a[i][j];
+        }
+    }
+    c
+}
+
+/// Conjugate transpose of a 4×4 block.
+pub fn dagger(a: &Gamma) -> Gamma {
+    let mut c = [[O; 4]; 4];
+    for i in 0..4 {
+        for j in 0..4 {
+            c[i][j] = a[j][i].conj();
+        }
+    }
+    c
+}
+
+/// The hopping block `T_j = -t (Γ¹ - i Γ^{j+1}) / 2` attached to the
+/// bond `n → n + ê_j` (paper Eq. 1); `j` is the direction 1, 2 or 3.
+pub fn hopping_block(t: f64, j: usize) -> Gamma {
+    assert!((1..=3).contains(&j), "direction must be 1, 2 or 3");
+    let g1 = matscale(Complex64::real(-t / 2.0), &GAMMA1);
+    let gj = matscale(Complex64::new(0.0, t / 2.0), &GAMMAS[j + 1]);
+    matadd(&g1, &gj)
+}
+
+/// The on-site block `V·Γ⁰ + 2·Γ¹`.
+pub fn onsite_block(v: f64) -> Gamma {
+    matadd(
+        &matscale(Complex64::real(v), &GAMMA0),
+        &matscale(Complex64::real(2.0), &GAMMA1),
+    )
+}
+
+/// Number of non-zero entries in a 4×4 block.
+pub fn block_nnz(a: &Gamma) -> usize {
+    a.iter()
+        .flatten()
+        .filter(|z| **z != Complex64::default())
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx_eq(a: &Gamma, b: &Gamma) -> bool {
+        (0..4).all(|i| (0..4).all(|j| a[i][j].approx_eq(b[i][j], 1e-14)))
+    }
+
+    #[test]
+    fn gammas_are_hermitian() {
+        for (idx, g) in GAMMAS.iter().enumerate() {
+            assert!(approx_eq(g, &dagger(g)), "Gamma{idx} not Hermitian");
+        }
+    }
+
+    #[test]
+    fn gammas_square_to_identity() {
+        for (idx, g) in GAMMAS.iter().enumerate() {
+            assert!(approx_eq(&matmul(g, g), &GAMMA0), "Gamma{idx}^2 != 1");
+        }
+    }
+
+    #[test]
+    fn gammas_anticommute() {
+        for a in 1..5 {
+            for b in (a + 1)..5 {
+                let ab = matmul(&GAMMAS[a], &GAMMAS[b]);
+                let ba = matmul(&GAMMAS[b], &GAMMAS[a]);
+                let sum = matadd(&ab, &ba);
+                assert!(
+                    sum.iter().flatten().all(|z| z.abs() < 1e-14),
+                    "Gamma{a} and Gamma{b} do not anticommute"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hopping_block_has_8_nonzeros() {
+        // Γ¹ is diagonal (4 entries), Γ^{j+1} is anti-block-diagonal
+        // (4 entries, disjoint support) → 8 per hopping block. With 6
+        // neighbours and the diagonal on-site block this yields the
+        // paper's N_nz ≈ 13·N.
+        for j in 1..=3 {
+            assert_eq!(block_nnz(&hopping_block(1.0, j)), 8, "direction {j}");
+        }
+    }
+
+    #[test]
+    fn onsite_block_is_diagonal() {
+        let b = onsite_block(0.5);
+        assert_eq!(block_nnz(&b), 4);
+        for i in 0..4 {
+            for j in 0..4 {
+                if i != j {
+                    assert_eq!(b[i][j], Complex64::default());
+                }
+            }
+        }
+        assert_eq!(b[0][0], Complex64::real(2.5));
+        assert_eq!(b[2][2], Complex64::real(-1.5));
+    }
+
+    #[test]
+    fn onsite_block_zero_potential_keeps_mass_term() {
+        let b = onsite_block(0.0);
+        assert_eq!(b[0][0], Complex64::real(2.0));
+        assert_eq!(b[3][3], Complex64::real(-2.0));
+    }
+
+    #[test]
+    fn hopping_plus_dagger_is_gamma1_part() {
+        // T_j + T_j† = -t Γ¹ (the anti-Hermitian Γ^{j+1} part cancels).
+        for j in 1..=3 {
+            let t = hopping_block(2.0, j);
+            let sum = matadd(&t, &dagger(&t));
+            let want = matscale(Complex64::real(-2.0), &GAMMA1);
+            assert!(approx_eq(&sum, &want));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "direction must be")]
+    fn invalid_direction_panics() {
+        hopping_block(1.0, 4);
+    }
+}

@@ -1,0 +1,187 @@
+//! On-site potentials `V_n`.
+//!
+//! The external electric potential of paper Eq. (1) creates the
+//! quantum-dot superlattice structure studied in Fig. 2 (`V_Dot = 0.153`,
+//! dot spacing `D = 100`, dot radius `R = 25`).
+
+use crate::lattice::Lattice3D;
+
+/// The on-site potential landscape `V_n`.
+#[derive(Debug, Clone)]
+pub enum Potential {
+    /// `V_n = 0` everywhere — the clean topological insulator of Fig. 1.
+    Zero,
+    /// Constant `V_n = v` (shifts the whole spectrum by `v`).
+    Uniform(f64),
+    /// A square superlattice of circular quantum dots imposed on the top
+    /// surface of the sample (paper Fig. 2).
+    QuantumDots {
+        /// Dot strength `V_Dot` (paper: 0.153).
+        strength: f64,
+        /// Superlattice period `D` in lattice constants (paper: 100).
+        period: usize,
+        /// Dot radius `R` in lattice constants (paper: 25).
+        radius: f64,
+        /// Number of surface layers (in z, measured from z = 0) over
+        /// which the gate potential acts.
+        depth: usize,
+    },
+    /// Uncorrelated on-site disorder in `[-w/2, w/2]`, reproducible from
+    /// the given seed (used by robustness tests; disorder physics as in
+    /// paper ref. [20]).
+    Disorder {
+        /// Disorder strength `w`.
+        width: f64,
+        /// RNG seed so the landscape is a pure function of the site.
+        seed: u64,
+    },
+}
+
+impl Potential {
+    /// The paper's Fig. 2 parameter set.
+    pub fn paper_quantum_dots() -> Self {
+        Potential::QuantumDots {
+            strength: 0.153,
+            period: 100,
+            radius: 25.0,
+            depth: 1,
+        }
+    }
+
+    /// Evaluates `V_n` at lattice site `(x, y, z)`.
+    pub fn value(&self, lattice: &Lattice3D, x: usize, y: usize, z: usize) -> f64 {
+        match *self {
+            Potential::Zero => 0.0,
+            Potential::Uniform(v) => v,
+            Potential::QuantumDots {
+                strength,
+                period,
+                radius,
+                depth,
+            } => {
+                if z >= depth {
+                    return 0.0;
+                }
+                // Distance to the nearest dot centre of the square
+                // superlattice; dot centres sit at (period/2 + i*period,
+                // period/2 + j*period).
+                let p = period as f64;
+                let dx = wrapped_offset(x as f64, p);
+                let dy = wrapped_offset(y as f64, p);
+                if (dx * dx + dy * dy).sqrt() <= radius {
+                    strength
+                } else {
+                    0.0
+                }
+            }
+            Potential::Disorder { width, seed } => {
+                let site = lattice.site(x, y, z) as u64;
+                // SplitMix64 over (seed, site): deterministic, stateless.
+                let mut h = seed ^ site.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                h ^= h >> 30;
+                h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                h ^= h >> 27;
+                h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+                h ^= h >> 31;
+                let u = (h >> 11) as f64 / (1u64 << 53) as f64; // [0,1)
+                width * (u - 0.5)
+            }
+        }
+    }
+}
+
+/// Signed distance from `coord` to the nearest superlattice dot-centre
+/// coordinate (centres at `p/2 + k·p`).
+fn wrapped_offset(coord: f64, p: f64) -> f64 {
+    let rel = (coord - p / 2.0).rem_euclid(p);
+    if rel > p / 2.0 {
+        rel - p
+    } else {
+        rel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lat() -> Lattice3D {
+        Lattice3D::paper_default(200, 200, 4)
+    }
+
+    #[test]
+    fn zero_everywhere() {
+        let l = lat();
+        assert_eq!(Potential::Zero.value(&l, 3, 7, 2), 0.0);
+    }
+
+    #[test]
+    fn uniform_everywhere() {
+        let l = lat();
+        assert_eq!(Potential::Uniform(-0.4).value(&l, 0, 0, 0), -0.4);
+        assert_eq!(Potential::Uniform(-0.4).value(&l, 199, 199, 3), -0.4);
+    }
+
+    #[test]
+    fn dot_centre_has_potential_far_field_does_not() {
+        let l = lat();
+        let p = Potential::paper_quantum_dots();
+        // Dot centre at (50, 50) on the surface layer.
+        assert_eq!(p.value(&l, 50, 50, 0), 0.153);
+        // Inside radius 25.
+        assert_eq!(p.value(&l, 60, 60, 0), 0.153);
+        // Corner between dots: distance to nearest centre is ~sqrt(2)*50.
+        assert_eq!(p.value(&l, 0, 0, 0), 0.0);
+        // Below the surface layer the gate does not reach.
+        assert_eq!(p.value(&l, 50, 50, 1), 0.0);
+    }
+
+    #[test]
+    fn dots_repeat_with_period() {
+        let l = lat();
+        let p = Potential::paper_quantum_dots();
+        assert_eq!(p.value(&l, 150, 50, 0), 0.153); // next cell in x
+        assert_eq!(p.value(&l, 150, 150, 0), 0.153); // diagonal cell
+    }
+
+    #[test]
+    fn dot_edge_is_sharp() {
+        let l = lat();
+        let p = Potential::paper_quantum_dots();
+        assert_eq!(p.value(&l, 75, 50, 0), 0.153); // exactly at radius 25
+        assert_eq!(p.value(&l, 76, 50, 0), 0.0); // one site beyond
+    }
+
+    #[test]
+    fn disorder_is_deterministic_and_bounded() {
+        let l = lat();
+        let p = Potential::Disorder { width: 2.0, seed: 7 };
+        let a = p.value(&l, 10, 20, 1);
+        let b = p.value(&l, 10, 20, 1);
+        assert_eq!(a, b);
+        let mut distinct = false;
+        for x in 0..50 {
+            let v = p.value(&l, x, 0, 0);
+            assert!(v >= -1.0 && v < 1.0);
+            if (v - a).abs() > 1e-12 {
+                distinct = true;
+            }
+        }
+        assert!(distinct, "disorder should vary between sites");
+    }
+
+    #[test]
+    fn disorder_mean_is_near_zero() {
+        let l = lat();
+        let p = Potential::Disorder { width: 1.0, seed: 123 };
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for x in 0..200 {
+            for y in 0..200 {
+                sum += p.value(&l, x, y, 0);
+                count += 1;
+            }
+        }
+        assert!((sum / count as f64).abs() < 0.01);
+    }
+}

@@ -1,0 +1,54 @@
+//! Heterogeneous, distributed KPM: the paper's data-parallel execution
+//! model (one process per device, weighted row distribution, halo
+//! exchange) running functionally on OS-thread "ranks", validated
+//! against the shared-memory solver.
+//!
+//! ```sh
+//! cargo run --release --example heterogeneous_node
+//! ```
+
+use kpm_repro::core::solver::{kpm_moments, KpmParams, KpmVariant};
+use kpm_repro::hetsim::dist::distributed_kpm;
+use kpm_repro::topo::{ScaleFactors, TopoHamiltonian};
+
+fn main() {
+    let ham = TopoHamiltonian::clean(12, 12, 6);
+    let h = ham.assemble();
+    let sf = ScaleFactors::from_gershgorin(&h, 0.01);
+    println!("matrix: N = {}, Nnz = {}", h.nrows(), h.nnz());
+
+    let params = KpmParams {
+        num_moments: 128,
+        num_random: 8,
+        seed: 99,
+        parallel: false, // ranks are the parallelism here
+    };
+
+    // Reference: single-process stage-2 solver.
+    let reference = kpm_moments(&h, sf, &params, KpmVariant::AugSpmmv);
+
+    // A heterogeneous "node": a slow CPU rank and a fast GPU rank, the
+    // GPU weighted 2.3x (the paper tunes weights from single-device
+    // performance). Plus a second node's worth of ranks.
+    let weights = [1.0, 2.3, 1.0, 2.3];
+    let report = distributed_kpm(&h, sf, &params, &weights, false);
+    println!(
+        "4 ranks (weights {weights:?}): moment deviation {:.2e}, halo payload {} kB, {} global reduction(s)",
+        reference.max_abs_diff(&report.moments),
+        report.halo_bytes / 1024,
+        report.global_reductions
+    );
+
+    // The Table III comparison, functionally: a global reduction per
+    // iteration computes the same moments with many more reductions.
+    let star = distributed_kpm(&h, sf, &params, &weights, true);
+    println!(
+        "aug_spmmv()* variant: deviation {:.2e}, {} global reductions (vs {})",
+        report.moments.max_abs_diff(&star.moments),
+        star.global_reductions,
+        report.global_reductions
+    );
+
+    assert!(reference.max_abs_diff(&report.moments) < 1e-9);
+    println!("distributed and shared-memory solvers agree: OK");
+}

@@ -1,0 +1,72 @@
+//! Performance-engineering walkthrough: the paper's model pipeline on
+//! one workload — code balance, Omega from the cache simulator, the
+//! custom roofline, and the predicted node-level gains.
+//!
+//! ```sh
+//! cargo run --release --example roofline_report
+//! ```
+
+use kpm_repro::hetsim::node::{node_performance, Stage};
+use kpm_repro::perfmodel::balance::{asymptotic_balance, min_code_balance};
+use kpm_repro::perfmodel::machine::{IVB, SNB};
+use kpm_repro::perfmodel::omega::{llc_config, measure_omega};
+use kpm_repro::perfmodel::roofline::custom_roofline;
+use kpm_repro::simgpu::GpuDevice;
+use kpm_repro::topo::TopoHamiltonian;
+
+fn main() {
+    let h = TopoHamiltonian::clean(48, 48, 16).assemble();
+    println!(
+        "workload: N = {}, Nnz = {} ({:.1} nnz/row)\n",
+        h.nrows(),
+        h.nnz(),
+        h.avg_nnz_per_row()
+    );
+
+    println!("step 1 — code balance (paper Eqs. 5-7):");
+    for r in [1usize, 4, 16, 32] {
+        println!("  B_min(R={r:>2}) = {:.3} bytes/flop", min_code_balance(13.0, r));
+    }
+    println!("  asymptote    = {:.3} bytes/flop\n", asymptotic_balance(13.0));
+
+    println!("step 2 — Omega from the LLC cache simulator (paper Eq. 8):");
+    let llc = llc_config(&IVB);
+    let mut omegas = Vec::new();
+    for r in [1usize, 8, 32] {
+        let om = measure_omega(&h, r, llc);
+        println!(
+            "  R={r:>2}: V_min = {:>6.1} MB, V_meas = {:>6.1} MB, Omega = {:.3}",
+            om.v_min as f64 / 1e6,
+            om.v_meas as f64 / 1e6,
+            om.omega
+        );
+        omegas.push((r, om.omega.max(1.0)));
+    }
+
+    println!("\nstep 3 — custom roofline on IVB (paper Eq. 11):");
+    for (r, omega) in omegas {
+        let pt = custom_roofline(&IVB, 13.0, r, omega);
+        let bound = if pt.p_mem < pt.p_llc { "memory" } else { "LLC" };
+        println!(
+            "  R={r:>2}: P_MEM = {:>5.1}, P_LLC = {:>5.1} => P* = {:>5.1} Gflop/s ({bound}-bound)",
+            pt.p_mem, pt.p_llc, pt.p_star
+        );
+    }
+
+    println!("\nstep 4 — what it buys at the node level (SNB + K20X):");
+    let gpu = GpuDevice::k20x();
+    for (name, stage) in [
+        ("naive   ", Stage::Naive),
+        ("stage 1 ", Stage::Stage1),
+        ("stage 2 ", Stage::Stage2),
+    ] {
+        let p = node_performance(&SNB, &gpu, stage, 32, &h, 1.3);
+        println!(
+            "  {name}: CPU {:>5.1} | GPU {:>5.1} | CPU+GPU {:>6.1} Gflop/s ({:.0}% efficiency)",
+            p.cpu_gflops,
+            p.gpu_gflops,
+            p.het_gflops,
+            100.0 * p.efficiency
+        );
+    }
+}

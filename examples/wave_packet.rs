@@ -1,0 +1,42 @@
+//! Wave-packet dynamics with Chebyshev time evolution — the KPM
+//! recurrence applied to e^{-iHt} (review ref. [7] of the paper): a
+//! surface-localized electron spreading through the topological
+//! insulator, with exactly conserved norm.
+//!
+//! ```sh
+//! cargo run --release --example wave_packet
+//! ```
+
+use kpm_repro::core::evolution::{evolve, survival_amplitude};
+use kpm_repro::num::{Complex64, Vector};
+use kpm_repro::topo::{ScaleFactors, TopoHamiltonian};
+
+fn main() {
+    let ham = TopoHamiltonian::clean(10, 10, 4);
+    let h = ham.assemble();
+    let sf = ScaleFactors::from_gershgorin(&h, 0.01);
+    let lat = ham.lattice;
+    println!("matrix: N = {}, Nnz = {}", h.nrows(), h.nnz());
+
+    // Start on the top surface, centre of the sample, orbital 0.
+    let start_site = lat.site(5, 5, 0);
+    let mut data = vec![Complex64::default(); h.nrows()];
+    data[4 * start_site] = Complex64::real(1.0);
+    let psi0 = Vector::from_vec(data);
+
+    println!("# t\tnorm\t|<psi0|psi(t)>|^2\tspread (participation ratio)");
+    for step in 0..=8 {
+        let t = step as f64 * 0.75;
+        let psi_t = evolve(&h, sf, &psi0, t);
+        let surv = survival_amplitude(&h, sf, &psi0, t).norm_sqr();
+        let p4: f64 = psi_t.as_slice().iter().map(|z| z.norm_sqr().powi(2)).sum();
+        println!(
+            "{t:.2}\t{:.12}\t{:.4}\t{:.1}",
+            psi_t.norm(),
+            surv,
+            1.0 / p4
+        );
+    }
+    println!("# norm stays 1 to machine precision (unitary propagation);");
+    println!("# the survival probability decays as the packet leaks into the bulk.");
+}

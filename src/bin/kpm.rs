@@ -1,0 +1,255 @@
+//! `kpm` — command-line front end for the KPM library.
+//!
+//! ```text
+//! kpm generate --nx 20 --ny 20 --nz 10 --out ti.mtx     # write a TI matrix
+//! kpm info ti.mtx                                       # structure report
+//! kpm dos ti.mtx --moments 512 --random 16              # DOS as CSV
+//! kpm dos --nx 20 --ny 20 --nz 10                       # ... without a file
+//! kpm count ti.mtx --from -0.5 --to 0.5                 # eigenvalue count
+//! ```
+//!
+//! Matrices are exchanged in Matrix Market format (`coordinate complex
+//! hermitian/general`), so the tool interoperates with SuiteSparse-style
+//! collections.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+use kpm_repro::core::dos::reconstruct;
+use kpm_repro::core::eigencount::count_from_moments;
+use kpm_repro::core::solver::{kpm_moments, KpmParams, KpmVariant};
+use kpm_repro::core::Kernel;
+use kpm_repro::sparse::{io as mmio, stats, CrsMatrix};
+use kpm_repro::topo::{ScaleFactors, TopoHamiltonian};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("dos") => cmd_dos(&args[1..]),
+        Some("count") => cmd_count(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            eprintln!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("kpm: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  kpm generate --nx N --ny N --nz N [--potential dots] --out FILE.mtx
+  kpm info FILE.mtx
+  kpm dos [FILE.mtx | --nx N --ny N --nz N] [--moments M] [--random R] [--points K]
+  kpm count [FILE.mtx | --nx N --ny N --nz N] --from E --to E [--moments M] [--random R]";
+
+/// `--flag value` lookup.
+fn opt<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn opt_usize(args: &[String], name: &str, default: usize) -> Result<usize, String> {
+    match opt(args, name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("bad value for {name}: {v}")),
+    }
+}
+
+fn opt_f64(args: &[String], name: &str) -> Result<Option<f64>, String> {
+    match opt(args, name) {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("bad value for {name}: {v}")),
+    }
+}
+
+/// The positional (non-flag) argument, if any.
+fn positional(args: &[String]) -> Option<&str> {
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            skip = true;
+            continue;
+        }
+        return Some(a);
+    }
+    None
+}
+
+/// Loads the matrix: either a Matrix Market file (positional argument)
+/// or a generated topological-insulator system (`--nx/--ny/--nz`).
+fn load_matrix(args: &[String]) -> Result<CrsMatrix, String> {
+    if let Some(path) = positional(args) {
+        let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+        return mmio::read(BufReader::new(file)).map_err(|e| e.to_string());
+    }
+    let nx = opt_usize(args, "--nx", 0)?;
+    if nx == 0 {
+        return Err(format!("need a FILE.mtx or --nx/--ny/--nz\n{USAGE}"));
+    }
+    let ny = opt_usize(args, "--ny", nx)?;
+    let nz = opt_usize(args, "--nz", nx)?;
+    let ham = match opt(args, "--potential") {
+        Some("dots") => TopoHamiltonian::quantum_dot_superlattice(nx, ny, nz),
+        Some(other) => return Err(format!("unknown potential '{other}' (try: dots)")),
+        None => TopoHamiltonian::clean(nx, ny, nz),
+    };
+    Ok(ham.assemble())
+}
+
+fn solver_params(args: &[String]) -> Result<KpmParams, String> {
+    Ok(KpmParams {
+        num_moments: opt_usize(args, "--moments", 256)?,
+        num_random: opt_usize(args, "--random", 8)?,
+        seed: opt_usize(args, "--seed", 2015)? as u64,
+        parallel: true,
+    })
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let out_path = opt(args, "--out").ok_or("generate needs --out FILE.mtx")?;
+    let h = load_matrix(args)?;
+    let file = File::create(out_path).map_err(|e| format!("cannot create {out_path}: {e}"))?;
+    let mut w = BufWriter::new(file);
+    mmio::write_hermitian(&h, &mut w).map_err(|e| e.to_string())?;
+    eprintln!(
+        "wrote {out_path}: {} rows, {} non-zeros",
+        h.nrows(),
+        h.nnz()
+    );
+    Ok(())
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let h = load_matrix(args)?;
+    let s = stats::analyze(&h, 8.max(h.nrows() / 100));
+    println!("rows x cols   : {} x {}", s.nrows, s.ncols);
+    println!("non-zeros     : {} ({:.2} per row)", s.nnz, s.avg_row_len);
+    println!("row lengths   : {}..{}", s.min_row_len, s.max_row_len);
+    println!("bandwidth     : {}", s.bandwidth);
+    println!("hermitian     : {}", h.is_hermitian());
+    println!("stencil       : {}", s.is_stencil());
+    let (lo, hi) = h.gershgorin_bounds();
+    println!("gershgorin    : [{lo:.4}, {hi:.4}]");
+    println!("diagonals     : {} detected", s.diagonals.len());
+    for d in s.diagonals.iter().take(16) {
+        println!(
+            "  offset {:>8}: {:>9} entries ({:.0}% occupied)",
+            d.offset,
+            d.count,
+            100.0 * d.occupancy
+        );
+    }
+    let corners = s.corner_diagonals(0.5);
+    if !corners.is_empty() {
+        println!("corner diags  : {corners:?} (periodic wrap-arounds)");
+    }
+    Ok(())
+}
+
+fn cmd_dos(args: &[String]) -> Result<(), String> {
+    let h = load_matrix(args)?;
+    if !h.is_hermitian() {
+        return Err("KPM-DOS needs a Hermitian matrix".into());
+    }
+    let params = solver_params(args)?;
+    let points = opt_usize(args, "--points", 1024)?;
+    let sf = ScaleFactors::from_gershgorin(&h, 0.01);
+    eprintln!(
+        "N = {}, Nnz = {}, M = {}, R = {}",
+        h.nrows(),
+        h.nnz(),
+        params.num_moments,
+        params.num_random
+    );
+    let moments = kpm_moments(&h, sf, &params, KpmVariant::AugSpmmv);
+    let curve = reconstruct(&moments, Kernel::Jackson, sf, points);
+    println!("energy,dos");
+    for (e, v) in curve.energies.iter().zip(&curve.values) {
+        println!("{e},{v}");
+    }
+    Ok(())
+}
+
+fn cmd_count(args: &[String]) -> Result<(), String> {
+    let h = load_matrix(args)?;
+    if !h.is_hermitian() {
+        return Err("KPM-DOS needs a Hermitian matrix".into());
+    }
+    let e_lo = opt_f64(args, "--from")?.ok_or("count needs --from E")?;
+    let e_hi = opt_f64(args, "--to")?.ok_or("count needs --to E")?;
+    if e_lo >= e_hi {
+        return Err("--from must be below --to".into());
+    }
+    let params = solver_params(args)?;
+    let sf = ScaleFactors::from_gershgorin(&h, 0.01);
+    let moments = kpm_moments(&h, sf, &params, KpmVariant::AugSpmmv);
+    let count = count_from_moments(&moments, Kernel::Jackson, sf, h.nrows(), e_lo, e_hi);
+    println!(
+        "estimated eigenvalues in [{e_lo}, {e_hi}]: {count:.1} of {}",
+        h.nrows()
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn opt_parsing() {
+        let a = args(&["--nx", "12", "file.mtx", "--moments", "64"]);
+        assert_eq!(opt(&a, "--nx"), Some("12"));
+        assert_eq!(opt_usize(&a, "--moments", 0).unwrap(), 64);
+        assert_eq!(opt_usize(&a, "--missing", 7).unwrap(), 7);
+        assert!(opt_usize(&args(&["--nx", "abc"]), "--nx", 0).is_err());
+    }
+
+    #[test]
+    fn positional_skips_flag_values() {
+        let a = args(&["--nx", "12", "file.mtx"]);
+        assert_eq!(positional(&a), Some("file.mtx"));
+        let b = args(&["--nx", "12"]);
+        assert_eq!(positional(&b), None);
+    }
+
+    #[test]
+    fn load_generated_matrix() {
+        let a = args(&["--nx", "4", "--ny", "4", "--nz", "2"]);
+        let h = load_matrix(&a).unwrap();
+        assert_eq!(h.nrows(), 4 * 4 * 4 * 2);
+        assert!(h.is_hermitian());
+    }
+
+    #[test]
+    fn load_requires_source() {
+        assert!(load_matrix(&args(&["--moments", "64"])).is_err());
+    }
+
+    #[test]
+    fn unknown_potential_rejected() {
+        let a = args(&["--nx", "4", "--potential", "banana"]);
+        assert!(load_matrix(&a).is_err());
+    }
+}

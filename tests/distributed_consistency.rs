@@ -1,0 +1,101 @@
+//! Integration: the distributed heterogeneous executor reproduces the
+//! shared-memory solver bit-for-bit in physics content across rank
+//! counts, weight distributions and reduction policies.
+
+use kpm_repro::core::dos::reconstruct;
+use kpm_repro::core::solver::{kpm_moments, KpmParams, KpmVariant};
+use kpm_repro::core::Kernel;
+use kpm_repro::hetsim::dist::distributed_kpm;
+use kpm_repro::hetsim::partition_rows;
+use kpm_repro::topo::{ScaleFactors, TopoHamiltonian};
+
+fn params(m: usize, r: usize) -> KpmParams {
+    KpmParams {
+        num_moments: m,
+        num_random: r,
+        seed: 31337,
+        parallel: false,
+    }
+}
+
+#[test]
+fn rank_count_sweep_matches_reference() {
+    let h = TopoHamiltonian::clean(6, 4, 3).assemble();
+    let sf = ScaleFactors::from_gershgorin(&h, 0.01);
+    let p = params(32, 3);
+    let reference = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv);
+    for ranks in [1usize, 2, 3, 5, 8] {
+        let weights = vec![1.0; ranks];
+        let report = distributed_kpm(&h, sf, &p, &weights, false);
+        assert!(
+            reference.max_abs_diff(&report.moments) < 1e-9,
+            "ranks = {ranks}: diff = {}",
+            reference.max_abs_diff(&report.moments)
+        );
+    }
+}
+
+#[test]
+fn extreme_weight_skew_still_correct() {
+    let h = TopoHamiltonian::clean(4, 4, 4).assemble();
+    let sf = ScaleFactors::from_gershgorin(&h, 0.01);
+    let p = params(16, 2);
+    let reference = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv);
+    // A 20:1 device-speed ratio.
+    let report = distributed_kpm(&h, sf, &p, &[20.0, 1.0], false);
+    assert!(reference.max_abs_diff(&report.moments) < 1e-9);
+}
+
+#[test]
+fn distributed_dos_equals_shared_memory_dos() {
+    let h = TopoHamiltonian::quantum_dot_superlattice(6, 6, 2).assemble();
+    let sf = ScaleFactors::from_gershgorin(&h, 0.01);
+    let p = params(64, 4);
+    let shared = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv);
+    let dist = distributed_kpm(&h, sf, &p, &[1.0, 2.0, 1.5], false);
+    let dos_a = reconstruct(&shared, Kernel::Jackson, sf, 512);
+    let dos_b = reconstruct(&dist.moments, Kernel::Jackson, sf, 512);
+    for (a, b) in dos_a.values.iter().zip(&dos_b.values) {
+        assert!((a - b).abs() < 1e-8);
+    }
+}
+
+#[test]
+fn reduction_policy_does_not_change_results() {
+    let h = TopoHamiltonian::clean(5, 5, 2).assemble();
+    let sf = ScaleFactors::from_gershgorin(&h, 0.01);
+    let p = params(24, 3);
+    let end = distributed_kpm(&h, sf, &p, &[1.0, 1.3, 0.6], false);
+    let star = distributed_kpm(&h, sf, &p, &[1.0, 1.3, 0.6], true);
+    assert!(end.moments.max_abs_diff(&star.moments) < 1e-10);
+    assert!(star.global_reductions > end.global_reductions);
+}
+
+#[test]
+fn partition_respects_weights_and_covers() {
+    let ranges = partition_rows(4000, &[1.0, 2.0, 1.0], 4);
+    assert_eq!(ranges[0].0, 0);
+    assert_eq!(ranges.last().unwrap().1, 4000);
+    let sizes: Vec<usize> = ranges.iter().map(|(b, e)| e - b).collect();
+    assert!(sizes[1] > sizes[0] && sizes[1] > sizes[2]);
+    let total: usize = sizes.iter().sum();
+    assert_eq!(total, 4000);
+}
+
+#[test]
+fn halo_traffic_counts_match_plan() {
+    // The reported halo volume must equal (iterations + init) times the
+    // per-sweep plan volume summed over ranks.
+    let h = TopoHamiltonian::clean(4, 4, 4).assemble();
+    let sf = ScaleFactors::from_gershgorin(&h, 0.01);
+    let p = params(16, 2);
+    let report = distributed_kpm(&h, sf, &p, &[1.0, 1.0], false);
+    let ranges = partition_rows(h.nrows(), &[1.0, 1.0], 4);
+    let parts = kpm_repro::hetsim::decomp::decompose(&h, &ranges);
+    let per_sweep: u64 = parts
+        .iter()
+        .map(|q| q.send_bytes_per_sweep(p.num_random))
+        .sum();
+    let exchanges = (p.iterations() + 1) as u64; // init + loop sweeps
+    assert_eq!(report.halo_bytes, per_sweep * exchanges);
+}

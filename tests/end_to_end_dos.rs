@@ -1,0 +1,268 @@
+//! End-to-end integration: topological-insulator Hamiltonian → KPM-DOS
+//! (all three optimization stages) → spectral reconstruction, validated
+//! against exact diagonalization.
+
+use kpm_repro::core::dos::{moment_integral, reconstruct};
+use kpm_repro::core::lanczos::lanczos_bounds;
+use kpm_repro::core::solver::{kpm_moments, KpmParams, KpmVariant};
+use kpm_repro::core::Kernel;
+use kpm_repro::topo::model::exact_eigenvalues;
+use kpm_repro::topo::{Lattice3D, Potential, ScaleFactors, TopoHamiltonian};
+
+fn params(m: usize, r: usize) -> KpmParams {
+    KpmParams {
+        num_moments: m,
+        num_random: r,
+        seed: 20150527, // IPDPS 2015
+        parallel: true,
+    }
+}
+
+#[test]
+fn all_three_stages_agree_on_the_physics_workload() {
+    let h = TopoHamiltonian::quantum_dot_superlattice(6, 6, 3).assemble();
+    let sf = ScaleFactors::from_gershgorin(&h, 0.01);
+    let p = params(64, 4);
+    let naive = kpm_moments(&h, sf, &p, KpmVariant::Naive);
+    let s1 = kpm_moments(&h, sf, &p, KpmVariant::AugSpmv);
+    let s2 = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv);
+    assert!(naive.max_abs_diff(&s1) < 1e-10);
+    assert!(naive.max_abs_diff(&s2) < 1e-10);
+}
+
+#[test]
+fn kpm_dos_matches_exact_spectrum_histogram() {
+    // Small enough for the dense Jacobi eigensolver: compare eigenvalue
+    // counts in several windows.
+    let h = TopoHamiltonian::clean(3, 3, 3).assemble(); // N = 108
+    let n = h.nrows();
+    let sf = ScaleFactors::from_gershgorin(&h, 0.01);
+    let set = kpm_moments(&h, sf, &params(256, 64), KpmVariant::AugSpmmv);
+    let curve = reconstruct(&set, Kernel::Jackson, sf, 4096);
+    let evs = exact_eigenvalues(&h);
+    assert_eq!(evs.len(), n);
+
+    for (lo, hi) in [(-6.0, -2.0), (-2.0, 2.0), (2.0, 6.0)] {
+        let exact = evs.iter().filter(|e| **e >= lo && **e < hi).count() as f64;
+        let kpm = curve.integral_window(lo, hi) * n as f64;
+        // Stochastic trace + Jackson broadening: demand agreement to a
+        // few states.
+        assert!(
+            (kpm - exact).abs() < 0.12 * n as f64,
+            "window [{lo},{hi}]: KPM {kpm:.1} vs exact {exact}"
+        );
+    }
+    // Total state count is exact up to quadrature error.
+    assert!((curve.integral() - 1.0).abs() < 0.02);
+    assert!((moment_integral(&set, Kernel::Jackson) - 1.0).abs() < 1e-10);
+}
+
+#[test]
+fn lanczos_and_gershgorin_bounds_both_contain_spectrum() {
+    let h = TopoHamiltonian::clean(4, 4, 2).assemble();
+    let evs = exact_eigenvalues(&h);
+    let (emin, emax) = (evs[0], *evs.last().unwrap());
+    let (glo, ghi) = h.gershgorin_bounds();
+    assert!(glo <= emin && ghi >= emax);
+    let (llo, lhi) = lanczos_bounds(&h, 40, 1);
+    assert!(llo <= emin + 1e-9 && lhi >= emax - 1e-9);
+    // Lanczos is at least as tight.
+    assert!(lhi - llo <= ghi - glo + 1e-9);
+}
+
+#[test]
+fn quantum_dots_shift_spectral_weight() {
+    // The gate potential moves states: DOS with dots differs from the
+    // clean DOS near E = 0 but total weight is conserved.
+    let lat = Lattice3D::paper_default(8, 8, 3);
+    let clean = TopoHamiltonian {
+        lattice: lat,
+        t: 1.0,
+        potential: Potential::Zero,
+    }
+    .assemble();
+    let dotted = TopoHamiltonian {
+        lattice: lat,
+        t: 1.0,
+        potential: Potential::QuantumDots {
+            strength: 1.0,
+            period: 8,
+            radius: 2.5,
+            depth: 1,
+        },
+    }
+    .assemble();
+    let p = params(128, 8);
+    let sf_c = ScaleFactors::from_gershgorin(&clean, 0.01);
+    let sf_d = ScaleFactors::from_gershgorin(&dotted, 0.01);
+    let dos_c = reconstruct(
+        &kpm_moments(&clean, sf_c, &p, KpmVariant::AugSpmmv),
+        Kernel::Jackson,
+        sf_c,
+        1024,
+    );
+    let dos_d = reconstruct(
+        &kpm_moments(&dotted, sf_d, &p, KpmVariant::AugSpmmv),
+        Kernel::Jackson,
+        sf_d,
+        1024,
+    );
+    assert!((dos_c.integral() - dos_d.integral()).abs() < 0.03);
+    let diff: f64 = (-10..=10)
+        .map(|i| {
+            let e = i as f64 * 0.05;
+            (dos_c.value_at(e) - dos_d.value_at(e)).abs()
+        })
+        .sum();
+    assert!(diff > 1e-3, "dots must modify the low-energy DOS: {diff}");
+}
+
+#[test]
+fn dirichlet_vs_jackson_gibbs_behaviour_end_to_end() {
+    let h = TopoHamiltonian::clean(4, 4, 2).assemble();
+    let sf = ScaleFactors::from_gershgorin(&h, 0.01);
+    let set = kpm_moments(&h, sf, &params(128, 16), KpmVariant::AugSpmmv);
+    let jackson = reconstruct(&set, Kernel::Jackson, sf, 1024);
+    let dirichlet = reconstruct(&set, Kernel::Dirichlet, sf, 1024);
+    let j_min = jackson.values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let d_min = dirichlet.values.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(j_min > -1e-6, "Jackson DOS must be non-negative: {j_min}");
+    assert!(d_min < j_min, "sharp truncation must oscillate lower");
+}
+
+#[test]
+fn disorder_broadens_the_spectrum() {
+    // Physics of paper ref. [20] ("Fate of topological-insulator
+    // surface states under strong disorder"): on-site disorder widens
+    // the spectral support and fills structure in the DOS.
+    let lat = Lattice3D::paper_default(6, 6, 3);
+    let clean = TopoHamiltonian {
+        lattice: lat,
+        t: 1.0,
+        potential: Potential::Zero,
+    }
+    .assemble();
+    let dirty = TopoHamiltonian {
+        lattice: lat,
+        t: 1.0,
+        potential: Potential::Disorder { width: 4.0, seed: 99 },
+    }
+    .assemble();
+    let (clo, chi) = clean.gershgorin_bounds();
+    let (dlo, dhi) = dirty.gershgorin_bounds();
+    assert!(dlo < clo && dhi > chi, "disorder widens Gershgorin bounds");
+
+    // DOS: the clean system has a bulk gap around E = 0 (low DOS);
+    // strong disorder fills it.
+    let p = params(128, 8);
+    let sfc = ScaleFactors::from_gershgorin(&clean, 0.01);
+    let sfd = ScaleFactors::from_gershgorin(&dirty, 0.01);
+    let dos_c = reconstruct(
+        &kpm_moments(&clean, sfc, &p, KpmVariant::AugSpmmv),
+        Kernel::Jackson,
+        sfc,
+        1024,
+    );
+    let dos_d = reconstruct(
+        &kpm_moments(&dirty, sfd, &p, KpmVariant::AugSpmmv),
+        Kernel::Jackson,
+        sfd,
+        1024,
+    );
+    let gap_c = dos_c.integral_window(-0.4, 0.4);
+    let gap_d = dos_d.integral_window(-0.4, 0.4);
+    assert!(
+        gap_d > gap_c,
+        "disorder must add states near E=0: clean {gap_c}, dirty {gap_d}"
+    );
+}
+
+#[test]
+fn lorentz_kernel_broadens_but_conserves_weight() {
+    let h = TopoHamiltonian::clean(4, 4, 2).assemble();
+    let sf = ScaleFactors::from_gershgorin(&h, 0.01);
+    let set = kpm_moments(&h, sf, &params(128, 8), KpmVariant::AugSpmmv);
+    let curve = reconstruct(&set, Kernel::Lorentz(4.0), sf, 2048);
+    assert!((curve.integral() - 1.0).abs() < 0.02);
+}
+
+#[test]
+fn ldos_moments_match_exact_eigenvector_expansion() {
+    // The spectral theorem check the LDOS machinery must pass:
+    // mu_m(site) = (1/4) sum_orbitals sum_n |psi_n(4*site+o)|^2 T_m(x_n),
+    // with (E_n, psi_n) from the dense Jacobi eigensolver.
+    use kpm_repro::core::chebyshev::t;
+    use kpm_repro::core::ldos::site_moments;
+    use kpm_repro::topo::model::to_dense_hermitian;
+
+    let h = TopoHamiltonian::clean(2, 2, 2).assemble(); // N = 32
+    let sf = ScaleFactors::from_gershgorin(&h, 0.01);
+    let (evs, vecs) = to_dense_hermitian(&h).eigen_decomposition(1e-13);
+
+    let site = 3usize;
+    let m_count = 24usize;
+    let kpm = site_moments(&h, sf, site, m_count);
+
+    for m in 0..m_count {
+        let mut exact = 0.0;
+        for o in 0..4 {
+            let row = 4 * site + o;
+            for (e, v) in evs.iter().zip(&vecs) {
+                exact += v[row].norm_sqr() * t(m, sf.to_chebyshev(*e));
+            }
+        }
+        exact /= 4.0; // site_moments averages the four orbital runs
+        assert!(
+            (kpm.as_slice()[m] - exact).abs() < 1e-8,
+            "m={m}: KPM {} vs exact {exact}",
+            kpm.as_slice()[m]
+        );
+    }
+}
+
+#[test]
+fn graphene_dos_has_dirac_dip_and_van_hove_peaks() {
+    // Second application workload (paper ref. [21]): the honeycomb
+    // lattice DOS vanishes ~linearly at E = 0 and peaks at |E| = t.
+    use kpm_repro::topo::graphene::{clean_graphene, GrapheneLattice};
+    let lat = GrapheneLattice::new(48, 48);
+    let h = clean_graphene(lat, 1.0);
+    let sf = ScaleFactors::from_bounds(-3.0, 3.0, 0.02);
+    let set = kpm_moments(&h, sf, &params(256, 8), KpmVariant::AugSpmmv);
+    let dos = reconstruct(&set, Kernel::Jackson, sf, 2048);
+    let at_zero = dos.value_at(0.0);
+    let at_vanhove = dos.value_at(1.0).max(dos.value_at(-1.0));
+    assert!(
+        at_vanhove > 4.0 * at_zero,
+        "van Hove {at_vanhove} vs Dirac point {at_zero}"
+    );
+    // Particle-hole symmetry of the reconstruction.
+    assert!((dos.value_at(0.7) - dos.value_at(-0.7)).abs() < 0.1 * dos.value_at(0.7));
+    assert!((dos.integral() - 1.0).abs() < 0.02);
+}
+
+#[test]
+fn wave_packet_spreads_under_evolution() {
+    // Chebyshev propagation on the TI: a site-localized packet must
+    // spread (participation ratio grows) while the norm stays 1.
+    use kpm_repro::core::evolution::evolve;
+    use kpm_repro::num::{Complex64, Vector};
+    let h = TopoHamiltonian::clean(6, 6, 3).assemble();
+    let sf = ScaleFactors::from_gershgorin(&h, 0.01);
+    let n = h.nrows();
+    let mut data = vec![Complex64::default(); n];
+    data[4 * 20] = Complex64::real(1.0);
+    let psi0 = Vector::from_vec(data);
+    let participation = |v: &Vector| -> f64 {
+        let p4: f64 = v.as_slice().iter().map(|z| z.norm_sqr().powi(2)).sum();
+        1.0 / p4
+    };
+    let psi_t = evolve(&h, sf, &psi0, 3.0);
+    assert!((psi_t.norm() - 1.0).abs() < 1e-10);
+    assert!(
+        participation(&psi_t) > 5.0 * participation(&psi0),
+        "packet must spread: {} -> {}",
+        participation(&psi0),
+        participation(&psi_t)
+    );
+}

@@ -1,0 +1,51 @@
+//! Integration: Matrix Market persistence composes with the whole KPM
+//! pipeline — a matrix written to disk, read back, and solved gives
+//! identical physics.
+
+use std::io::BufReader;
+
+use kpm_repro::core::solver::{kpm_moments, KpmParams, KpmVariant};
+use kpm_repro::sparse::io::{read, write_general, write_hermitian};
+use kpm_repro::sparse::stats;
+use kpm_repro::topo::{ScaleFactors, TopoHamiltonian};
+
+#[test]
+fn ti_matrix_survives_mm_roundtrip_bitwise() {
+    let h = TopoHamiltonian::quantum_dot_superlattice(6, 6, 3).assemble();
+    let mut buf = Vec::new();
+    write_hermitian(&h, &mut buf).unwrap();
+    let back = read(BufReader::new(buf.as_slice())).unwrap();
+    assert_eq!(h, back);
+}
+
+#[test]
+fn kpm_moments_identical_on_loaded_matrix() {
+    let h = TopoHamiltonian::clean(5, 5, 3).assemble();
+    let mut buf = Vec::new();
+    write_general(&h, &mut buf).unwrap();
+    let loaded = read(BufReader::new(buf.as_slice())).unwrap();
+
+    let p = KpmParams {
+        num_moments: 32,
+        num_random: 4,
+        seed: 5,
+        parallel: false,
+    };
+    let sf = ScaleFactors::from_gershgorin(&h, 0.01);
+    let a = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv);
+    let b = kpm_moments(&loaded, sf, &p, KpmVariant::AugSpmmv);
+    assert_eq!(a.max_abs_diff(&b), 0.0, "identical matrix, identical moments");
+}
+
+#[test]
+fn structure_report_stable_across_roundtrip() {
+    let h = TopoHamiltonian::clean(6, 4, 3).assemble();
+    let mut buf = Vec::new();
+    write_hermitian(&h, &mut buf).unwrap();
+    let back = read(BufReader::new(buf.as_slice())).unwrap();
+    let sa = stats::analyze(&h, 4);
+    let sb = stats::analyze(&back, 4);
+    assert_eq!(sa.nnz, sb.nnz);
+    assert_eq!(sa.bandwidth, sb.bandwidth);
+    assert_eq!(sa.diagonals.len(), sb.diagonals.len());
+}

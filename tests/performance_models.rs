@@ -1,0 +1,145 @@
+//! Integration: the performance models reproduce the paper's published
+//! numbers — code balance (Eqs. 5-7), the Fig. 8 roofline regimes, the
+//! Fig. 10 bottleneck shift, the Fig. 11 node-level ratios, the Fig. 12
+//! scaling shapes and the Table III resource comparison.
+
+use kpm_repro::hetsim::cluster::{ClusterModel, Domain};
+use kpm_repro::hetsim::node::{node_performance, Stage};
+use kpm_repro::perfmodel::balance::min_code_balance;
+use kpm_repro::perfmodel::machine::{IVB, SNB};
+use kpm_repro::perfmodel::omega::{llc_config, measure_omega};
+use kpm_repro::perfmodel::roofline::{custom_roofline, roofline};
+use kpm_repro::simgpu::{simulate, GpuDevice, GpuKernel};
+use kpm_repro::topo::TopoHamiltonian;
+
+fn bench_matrix() -> kpm_repro::sparse::CrsMatrix {
+    TopoHamiltonian::clean(32, 16, 8).assemble()
+}
+
+#[test]
+fn paper_eq6_and_eq7_balance_values() {
+    assert!((min_code_balance(13.0, 1) - 2.23).abs() < 0.01);
+    assert!((min_code_balance(13.0, 10_000) - 0.35).abs() < 0.01);
+}
+
+#[test]
+fn fig8_regime_change_happens_between_r4_and_r8() {
+    // On IVB with Omega = 1 the kernel leaves the memory-bound regime
+    // once b/B exceeds P_LLC: between R = 4 and R = 8.
+    let at = |r: usize| custom_roofline(&IVB, 13.0, r, 1.0);
+    assert_eq!(at(4).p_star, at(4).p_mem, "R=4 memory bound");
+    assert_eq!(at(8).p_star, at(8).p_llc, "R=8 LLC bound");
+}
+
+#[test]
+fn fig8_omega_annotation_reproduced() {
+    // Paper annotates Omega ~ 1.16 at R = 16 and 1.54 at R = 32 for the
+    // 100x100x40 domain on the IVB LLC. A reduced domain with the same
+    // planar structure reproduces the trend; the full domain (run via
+    // fig08_roofline) reproduces the values.
+    let h = TopoHamiltonian::clean(64, 64, 24).assemble();
+    let llc = llc_config(&IVB);
+    let o1 = measure_omega(&h, 1, llc).omega;
+    let o32 = measure_omega(&h, 32, llc).omega;
+    assert!(o1 < 1.1, "R=1 should be near minimal traffic: {o1}");
+    assert!(o32 > 1.3 && o32 < 1.9, "R=32 Omega: {o32}");
+}
+
+#[test]
+fn fig10_dram_bound_at_r1_cache_bound_at_r32() {
+    use kpm_repro::simgpu::timing::Bottleneck;
+    let d = GpuDevice::k20m();
+    let h = bench_matrix();
+    for kernel in [GpuKernel::PlainSpmmv, GpuKernel::AugNoDot] {
+        let r1 = simulate(&d, &h, 1, kernel);
+        assert_eq!(r1.timing.bottleneck, Bottleneck::Dram);
+        assert!((r1.timing.dram_gbs - 150.0).abs() < 1.0, "full DRAM bw at R=1");
+        let r32 = simulate(&d, &h, 32, kernel);
+        assert_ne!(r32.timing.bottleneck, Bottleneck::Dram);
+        assert!(r32.timing.dram_gbs < 150.0);
+    }
+}
+
+#[test]
+fn fig10_fused_kernel_runs_all_levels_lower() {
+    let d = GpuDevice::k20m();
+    let h = bench_matrix();
+    let nodot = simulate(&d, &h, 32, GpuKernel::AugNoDot);
+    let full = simulate(&d, &h, 32, GpuKernel::AugFull);
+    assert!(full.timing.dram_gbs < nodot.timing.dram_gbs);
+    assert!(full.timing.l2_gbs < nodot.timing.l2_gbs);
+    assert!(full.timing.tex_gbs < nodot.timing.tex_gbs);
+}
+
+#[test]
+fn fig11_headline_ratios() {
+    let h = bench_matrix();
+    let gpu = GpuDevice::k20x();
+    let naive = node_performance(&SNB, &gpu, Stage::Naive, 32, &h, 1.3);
+    let s2 = node_performance(&SNB, &gpu, Stage::Stage2, 32, &h, 1.3);
+    // GPU-only algorithmic speedup ~2.3x.
+    let gpu_speedup = s2.gpu_gflops / naive.gpu_gflops;
+    assert!((gpu_speedup - 2.3).abs() < 0.5, "{gpu_speedup}");
+    // Heterogeneous gain over GPU-only ~1.36x.
+    let het_gain = s2.het_gflops / s2.gpu_gflops;
+    assert!((het_gain - 1.36).abs() < 0.15, "{het_gain}");
+    // Total node speedup > 10x.
+    assert!(s2.het_gflops / naive.cpu_gflops > 10.0);
+    // Parallel efficiency 85-90% band (plus small model slack).
+    assert!(s2.efficiency > 0.83 && s2.efficiency < 0.95, "{}", s2.efficiency);
+}
+
+#[test]
+fn fig12_reaches_100_tflops_at_1024_nodes() {
+    let model = ClusterModel::piz_daint(&bench_matrix(), 32);
+    let square = model.weak_scaling_square(1024);
+    let last = square.last().unwrap();
+    assert_eq!(last.nodes, 1024);
+    assert!(last.tflops > 100.0, "paper: >100 Tflop/s; got {}", last.tflops);
+    // Largest Bar system: matrix with > 6.5e9 rows.
+    let bar = model.weak_scaling_bar(1024);
+    assert!(bar.last().unwrap().domain.rows() > 6_500_000_000 - 100_000_000);
+}
+
+#[test]
+fn fig12_square_dip_at_4_nodes_then_flat() {
+    let model = ClusterModel::piz_daint(&bench_matrix(), 32);
+    let pts = model.weak_scaling_square(1024);
+    assert!(pts[1].efficiency < pts[0].efficiency, "dip when y-cuts appear");
+    // After the dip the efficiency stays nearly constant.
+    for w in pts[1..].windows(2) {
+        assert!((w[0].efficiency - w[1].efficiency).abs() < 0.03);
+    }
+}
+
+#[test]
+fn table3_within_factor_1p5_of_paper() {
+    let model = ClusterModel::piz_daint(&bench_matrix(), 32);
+    let rows = model.table3();
+    let paper = [(14.9, 164.0), (107.0, 81.0), (116.0, 75.0)];
+    for (row, (p_tflops, p_hours)) in rows.iter().zip(paper) {
+        let tf_ratio = row.tflops / p_tflops;
+        let nh_ratio = row.node_hours / p_hours;
+        assert!(
+            tf_ratio > 1.0 / 1.5 && tf_ratio < 1.5,
+            "{}: {} Tflop/s vs paper {p_tflops}",
+            row.version,
+            row.tflops
+        );
+        assert!(
+            nh_ratio > 1.0 / 1.5 && nh_ratio < 1.5,
+            "{}: {} node-h vs paper {p_hours}",
+            row.version,
+            row.node_hours
+        );
+    }
+}
+
+#[test]
+fn roofline_consistency_between_modules() {
+    // Eq. 9 and Eq. 11 agree when the LLC ceiling is not binding.
+    let b = min_code_balance(13.0, 1);
+    let p9 = roofline(&IVB, b);
+    let p11 = custom_roofline(&IVB, 13.0, 1, 1.0).p_star;
+    assert!((p9 - p11).abs() < 1e-9);
+}

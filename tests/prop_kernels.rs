@@ -1,0 +1,248 @@
+//! Property-based tests (proptest) on the core kernels and data
+//! structures: the fused kernels must equal the naive BLAS-1 chain for
+//! *any* Hermitian matrix and block width, formats must round-trip, and
+//! the KPM moment invariants must hold.
+
+use kpm_repro::core::solver::{kpm_moments, KpmParams, KpmVariant};
+use kpm_repro::num::vector::{axpy, dot, nrm2, scal};
+use kpm_repro::num::{BlockVector, Complex64, Vector};
+use kpm_repro::sparse::aug::{aug_spmmv, aug_spmv};
+use kpm_repro::sparse::spmv::{spmv, spmmv};
+use kpm_repro::sparse::{CooMatrix, CrsMatrix, SellMatrix};
+use kpm_repro::topo::ScaleFactors;
+use proptest::prelude::*;
+
+/// Strategy: a random Hermitian matrix of dimension `4..=40` with a few
+/// off-diagonal pairs per row, plus matching seed data.
+fn hermitian_matrix() -> impl Strategy<Value = CrsMatrix> {
+    (4usize..=40, 0usize..=4, any::<u64>()).prop_map(|(n, per_row, seed)| {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut coo = CooMatrix::new(n, n);
+        for r in 0..n {
+            coo.push(r, r, Complex64::real(rng.gen_range(-1.0..1.0)));
+            for _ in 0..per_row {
+                let c = rng.gen_range(0..n);
+                if c != r {
+                    let v = Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0));
+                    coo.push(r, c, v);
+                    coo.push(c, r, v.conj());
+                }
+            }
+        }
+        coo.to_crs()
+    })
+}
+
+fn cvec(n: usize, seed: u64) -> Vec<Complex64> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    Vector::random(n, &mut rng).into_vec()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generated_matrices_are_hermitian(h in hermitian_matrix()) {
+        prop_assert!(h.is_hermitian());
+    }
+
+    #[test]
+    fn aug_spmv_equals_naive_chain(h in hermitian_matrix(), a in -2.0f64..2.0, b in -1.0f64..1.0, seed in any::<u64>()) {
+        let n = h.nrows();
+        let v = cvec(n, seed);
+        let w0 = cvec(n, seed.wrapping_add(1));
+
+        // Naive: u = Hv; u -= b v; w = -w; w += 2a u; dots separately.
+        let mut u = vec![Complex64::default(); n];
+        spmv(&h, &v, &mut u);
+        axpy(Complex64::real(-b), &v, &mut u);
+        let mut w_naive = w0.clone();
+        scal(Complex64::real(-1.0), &mut w_naive);
+        axpy(Complex64::real(2.0 * a), &u, &mut w_naive);
+        let even_ref = nrm2(&v);
+        let odd_ref = dot(&w_naive, &v);
+
+        let mut w_aug = w0;
+        let dots = aug_spmv(&h, a, b, &v, &mut w_aug);
+        for (x, y) in w_aug.iter().zip(&w_naive) {
+            prop_assert!(x.approx_eq(*y, 1e-10));
+        }
+        prop_assert!((dots.eta_even - even_ref).abs() < 1e-8);
+        prop_assert!(dots.eta_odd.approx_eq(odd_ref, 1e-8));
+    }
+
+    #[test]
+    fn aug_spmmv_equals_columnwise_aug_spmv(h in hermitian_matrix(), r in 1usize..=8, seed in any::<u64>()) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let n = h.nrows();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let v = BlockVector::random(n, r, &mut rng);
+        let w0 = BlockVector::random(n, r, &mut rng);
+        let mut w = w0.clone();
+        let dots = aug_spmmv(&h, 0.7, -0.2, &v, &mut w);
+        for j in 0..r {
+            let vc = v.column(j).into_vec();
+            let mut wc = w0.column(j).into_vec();
+            let d = aug_spmv(&h, 0.7, -0.2, &vc, &mut wc);
+            let got = w.column(j).into_vec();
+            for (x, y) in got.iter().zip(&wc) {
+                prop_assert!(x.approx_eq(*y, 1e-10));
+            }
+            prop_assert!((dots.eta_even[j] - d.eta_even).abs() < 1e-8);
+            prop_assert!(dots.eta_odd[j].approx_eq(d.eta_odd, 1e-8));
+        }
+    }
+
+    #[test]
+    fn sell_spmv_equals_crs_spmv(h in hermitian_matrix(), c_exp in 0u32..=5, seed in any::<u64>()) {
+        let c = 1usize << c_exp;
+        let sigma = if c == 1 { 1 } else { 4 * c };
+        let sell = SellMatrix::from_crs(&h, c, sigma);
+        let x = cvec(h.nrows(), seed);
+        let mut y_crs = vec![Complex64::default(); h.nrows()];
+        let mut y_sell = y_crs.clone();
+        spmv(&h, &x, &mut y_crs);
+        sell.spmv(&x, &mut y_sell);
+        for (a, b) in y_crs.iter().zip(&y_sell) {
+            prop_assert!(a.approx_eq(*b, 1e-10));
+        }
+        prop_assert!(sell.beta() <= 1.0 + 1e-12);
+        prop_assert_eq!(sell.nnz(), h.nnz());
+    }
+
+    #[test]
+    fn spmmv_linearity(h in hermitian_matrix(), r in 1usize..=4, seed in any::<u64>()) {
+        // A(x + y) = Ax + Ay, columnwise over the block.
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let n = h.nrows();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = BlockVector::random(n, r, &mut rng);
+        let y = BlockVector::random(n, r, &mut rng);
+        let mut xy = BlockVector::zeros(n, r);
+        for i in 0..n {
+            for j in 0..r {
+                xy.set(i, j, x.get(i, j) + y.get(i, j));
+            }
+        }
+        let mut ax = BlockVector::zeros(n, r);
+        let mut ay = BlockVector::zeros(n, r);
+        let mut axy = BlockVector::zeros(n, r);
+        spmmv(&h, &x, &mut ax);
+        spmmv(&h, &y, &mut ay);
+        spmmv(&h, &xy, &mut axy);
+        for i in 0..n {
+            for j in 0..r {
+                prop_assert!(axy.get(i, j).approx_eq(ax.get(i, j) + ay.get(i, j), 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn moments_bounded_and_mu0_unit(h in hermitian_matrix(), seed in any::<u64>()) {
+        let sf = ScaleFactors::from_gershgorin(&h, 0.05);
+        let p = KpmParams { num_moments: 16, num_random: 2, seed, parallel: false };
+        let set = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv);
+        prop_assert!((set.as_slice()[0] - 1.0).abs() < 1e-10);
+        for &mu in set.as_slice() {
+            prop_assert!(mu.abs() <= 1.0 + 1e-9);
+            prop_assert!(mu.is_finite());
+        }
+    }
+
+    #[test]
+    fn rayleigh_quotient_within_gershgorin(h in hermitian_matrix(), seed in any::<u64>()) {
+        let n = h.nrows();
+        let v = cvec(n, seed);
+        let mut hv = vec![Complex64::default(); n];
+        spmv(&h, &v, &mut hv);
+        let den = nrm2(&v);
+        prop_assume!(den > 1e-12);
+        let q = dot(&v, &hv).re / den;
+        let (lo, hi) = h.gershgorin_bounds();
+        prop_assert!(q >= lo - 1e-9 && q <= hi + 1e-9);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn warp_executor_equals_cpu_kernel(h in hermitian_matrix(), r in 1usize..=40, seed in any::<u64>()) {
+        use kpm_repro::simgpu::warp_exec::aug_spmmv_warp_exec;
+        use kpm_repro::simgpu::GpuDevice;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let d = GpuDevice::k20m();
+        let n = h.nrows();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let v = BlockVector::random(n, r, &mut rng);
+        let w0 = BlockVector::random(n, r, &mut rng);
+        let mut w_cpu = w0.clone();
+        let mut w_gpu = w0;
+        let d_cpu = aug_spmmv(&h, 0.3, 0.2, &v, &mut w_cpu);
+        let d_gpu = aug_spmmv_warp_exec(&d, &h, 0.3, 0.2, &v, &mut w_gpu);
+        prop_assert_eq!(w_cpu, w_gpu);
+        for j in 0..r {
+            prop_assert!((d_cpu.eta_even[j] - d_gpu.eta_even[j]).abs() < 1e-8);
+            prop_assert!(d_cpu.eta_odd[j].approx_eq(d_gpu.eta_odd[j], 1e-8));
+        }
+    }
+
+    #[test]
+    fn evolution_preserves_norm_for_any_hermitian(h in hermitian_matrix(), t in -5.0f64..5.0, seed in any::<u64>()) {
+        use kpm_repro::core::evolution::evolve;
+        let sf = ScaleFactors::from_gershgorin(&h, 0.05);
+        let mut v = Vector::from_vec(cvec(h.nrows(), seed));
+        prop_assume!(v.norm() > 1e-9);
+        v.normalize();
+        let out = evolve(&h, sf, &v, t);
+        prop_assert!((out.norm() - 1.0).abs() < 1e-9, "norm {}", out.norm());
+    }
+
+    #[test]
+    fn mm_roundtrip_any_hermitian(h in hermitian_matrix()) {
+        use kpm_repro::sparse::io::{read, write_hermitian};
+        use std::io::BufReader;
+        let mut buf = Vec::new();
+        write_hermitian(&h, &mut buf).unwrap();
+        let back = read(BufReader::new(buf.as_slice())).unwrap();
+        prop_assert_eq!(h, back);
+    }
+
+    #[test]
+    fn cache_blocked_matches_plain_any_matrix(h in hermitian_matrix(), cb in 1usize..=64, seed in any::<u64>()) {
+        use kpm_repro::sparse::blocked::CacheBlockedCrs;
+        use kpm_repro::sparse::spmv::spmmv;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let n = h.nrows();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = BlockVector::random(n, 3, &mut rng);
+        let mut y_ref = BlockVector::zeros(n, 3);
+        spmmv(&h, &x, &mut y_ref);
+        let blocked = CacheBlockedCrs::from_crs(&h, cb);
+        let mut y = BlockVector::zeros(n, 3);
+        blocked.spmmv(&x, &mut y);
+        prop_assert!(y.max_abs_diff(&y_ref) < 1e-10);
+    }
+
+    #[test]
+    fn eigencount_fraction_bounded(h in hermitian_matrix(), seed in any::<u64>()) {
+        use kpm_repro::core::eigencount::window_fraction;
+        use kpm_repro::core::solver::kpm_moments;
+        let sf = ScaleFactors::from_gershgorin(&h, 0.05);
+        let p = KpmParams { num_moments: 16, num_random: 2, seed, parallel: false };
+        let set = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv);
+        let f = window_fraction(&set, kpm_repro::core::Kernel::Jackson, -0.5, 0.5);
+        // Jackson-damped fractions stay within [-eps, 1+eps].
+        prop_assert!(f > -1e-6 && f < 1.0 + 1e-6, "fraction {f}");
+        let whole = window_fraction(&set, kpm_repro::core::Kernel::Jackson, -1.0, 1.0);
+        prop_assert!((whole - 1.0).abs() < 1e-9);
+    }
+}
