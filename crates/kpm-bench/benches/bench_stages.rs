@@ -22,7 +22,7 @@ fn bench_stages(c: &mut Criterion) {
         ("stage2_aug_spmmv", KpmVariant::AugSpmmv),
     ] {
         g.bench_function(BenchmarkId::new(name, h.nrows()), |b| {
-            b.iter(|| kpm_moments(&h, sf, &params, variant))
+            b.iter(|| kpm_moments(&h, sf, &params, variant).unwrap())
         });
     }
     g.finish();

@@ -32,7 +32,7 @@ fn main() {
         seed: 2015,
         parallel: true,
     };
-    let set = kpm_moments(&h, sf, &params, KpmVariant::AugSpmmv);
+    let set = kpm_moments(&h, sf, &params, KpmVariant::AugSpmmv).unwrap();
     let curve = reconstruct(&set, Kernel::Jackson, sf, 2048);
 
     print_header("Fig. 1 (left): DOS over the full band", &["E", "DOS"]);

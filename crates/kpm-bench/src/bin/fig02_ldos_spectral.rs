@@ -32,7 +32,7 @@ fn main() {
     eprintln!("matrix: N = {}, Nnz = {}", h.nrows(), h.nnz());
 
     let stride = arg_usize("--stride", 2);
-    let map = ldos_map(&h, sf, &ham.lattice, 0, 0.0, stride, m, Kernel::Jackson);
+    let map = ldos_map(&h, sf, &ham.lattice, 0, 0.0, stride, m, Kernel::Jackson).unwrap();
     print_header("Fig. 2 (left): LDOS(x, y; z=0, E=0)", &["x", "y", "LDOS"]);
     for ((x, y), v) in map.xs.iter().zip(&map.ys).zip(&map.values) {
         println!("{x}\t{y}\t{v:.6}");
@@ -48,7 +48,7 @@ fn main() {
         m,
         Kernel::Jackson,
         256,
-    );
+    ).unwrap();
     print_header("Fig. 2 (right): A(kx, E) near the zone centre", &["kx/pi", "E_peak", "A_peak"]);
     for (kx, curve) in cut.kx.iter().zip(&cut.curves) {
         // Print the dominant low-energy feature of each momentum.

@@ -86,8 +86,8 @@ mod tests {
         let mut buf = Vec::new();
         for &x in &[-0.95, -0.2, 0.4, 0.99] {
             t_all(30, x, &mut buf);
-            for m in 0..=30 {
-                assert!((buf[m] - t(m, x)).abs() < 1e-10, "m={m} x={x}");
+            for (m, &tm) in buf.iter().enumerate() {
+                assert!((tm - t(m, x)).abs() < 1e-10, "m={m} x={x}");
             }
         }
     }

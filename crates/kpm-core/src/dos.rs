@@ -140,7 +140,7 @@ mod tests {
                 .collect(),
         );
         v.normalize();
-        let set = moments_from_start(&h, sf, &v, 128, false);
+        let set = moments_from_start(&h, sf, &v, 128, false).unwrap();
         let curve = reconstruct(&set, Kernel::Jackson, sf, 400);
         assert!(
             (curve.peak_energy() - e_mode).abs() < 0.05,
@@ -160,7 +160,7 @@ mod tests {
             seed: 5,
             parallel: false,
         };
-        let set = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv);
+        let set = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv).unwrap();
         let curve = reconstruct(&set, Kernel::Jackson, sf, 1024);
         assert!((moment_integral(&set, Kernel::Jackson) - 1.0).abs() < 1e-10);
         assert!((curve.integral() - 1.0).abs() < 0.02, "{}", curve.integral());
@@ -176,7 +176,7 @@ mod tests {
             seed: 6,
             parallel: false,
         };
-        let set = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv);
+        let set = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv).unwrap();
         let curve = reconstruct(&set, Kernel::Jackson, sf, 600);
         for (e, v) in curve.energies.iter().zip(&curve.values) {
             assert!(*v > -1e-6, "negative DOS {v} at E={e}");
@@ -196,7 +196,7 @@ mod tests {
             seed: 7,
             parallel: false,
         };
-        let set = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv);
+        let set = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv).unwrap();
         let curve = reconstruct(&set, Kernel::Jackson, sf, 2048);
         let evs = exact_eigenvalues(&h);
         let (e_lo, e_hi) = (-1.0, 1.0);

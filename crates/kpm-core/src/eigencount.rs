@@ -16,6 +16,7 @@ use kpm_topo::ScaleFactors;
 use crate::kernels::Kernel;
 use crate::moments::MomentSet;
 use crate::solver::{kpm_moments, KpmParams, KpmVariant};
+use kpm_num::KpmError;
 
 /// Analytic integral of the damped KPM density over the Chebyshev
 /// window `[x_lo, x_hi] ⊆ [-1, 1]`:
@@ -64,10 +65,17 @@ pub fn estimate_count(
     params: &KpmParams,
     e_lo: f64,
     e_hi: f64,
-) -> f64 {
+) -> Result<f64, KpmError> {
     let sf = ScaleFactors::from_gershgorin(h, 0.01);
-    let moments = kpm_moments(h, sf, params, KpmVariant::AugSpmmv);
-    count_from_moments(&moments, Kernel::Jackson, sf, h.nrows(), e_lo, e_hi)
+    let moments = kpm_moments(h, sf, params, KpmVariant::AugSpmmv)?;
+    Ok(count_from_moments(
+        &moments,
+        Kernel::Jackson,
+        sf,
+        h.nrows(),
+        e_lo,
+        e_hi,
+    ))
 }
 
 #[cfg(test)]
@@ -88,7 +96,7 @@ mod tests {
     fn full_window_counts_all_states() {
         let h = random_hermitian(100, 3, 1);
         let sf = ScaleFactors::from_gershgorin(&h, 0.01);
-        let set = kpm_moments(&h, sf, &params(64, 16), KpmVariant::AugSpmmv);
+        let set = kpm_moments(&h, sf, &params(64, 16), KpmVariant::AugSpmmv).unwrap();
         let frac = window_fraction(&set, Kernel::Jackson, -1.0, 1.0);
         assert!((frac - 1.0).abs() < 1e-9, "full window fraction: {frac}");
     }
@@ -97,7 +105,7 @@ mod tests {
     fn analytic_window_matches_grid_integration() {
         let h = random_hermitian(120, 4, 2);
         let sf = ScaleFactors::from_gershgorin(&h, 0.01);
-        let set = kpm_moments(&h, sf, &params(96, 16), KpmVariant::AugSpmmv);
+        let set = kpm_moments(&h, sf, &params(96, 16), KpmVariant::AugSpmmv).unwrap();
         let analytic = count_from_moments(&set, Kernel::Jackson, sf, 120, -0.8, 0.4);
         let curve = crate::dos::reconstruct(&set, Kernel::Jackson, sf, 8192);
         let grid = curve.integral_window(-0.8, 0.4) * 120.0;
@@ -112,7 +120,7 @@ mod tests {
         let n = 200;
         let h = chain_1d(n, 1.0);
         let evs = chain_1d_eigenvalues(n, 1.0);
-        let estimate = estimate_count(&h, &params(128, 32), -1.0, 1.0);
+        let estimate = estimate_count(&h, &params(128, 32), -1.0, 1.0).unwrap();
         let exact = evs.iter().filter(|e| e.abs() <= 1.0).count() as f64;
         assert!(
             (estimate - exact).abs() < 0.1 * n as f64,
@@ -124,7 +132,7 @@ mod tests {
     fn counts_are_additive_over_disjoint_windows() {
         let h = random_hermitian(80, 3, 7);
         let sf = ScaleFactors::from_gershgorin(&h, 0.01);
-        let set = kpm_moments(&h, sf, &params(64, 8), KpmVariant::AugSpmmv);
+        let set = kpm_moments(&h, sf, &params(64, 8), KpmVariant::AugSpmmv).unwrap();
         let a = window_fraction(&set, Kernel::Jackson, -1.0, 0.0);
         let b = window_fraction(&set, Kernel::Jackson, 0.0, 1.0);
         let whole = window_fraction(&set, Kernel::Jackson, -1.0, 1.0);
@@ -140,7 +148,7 @@ mod tests {
         let evs = exact_eigenvalues(&h);
         let (e_lo, e_hi) = (-0.5, 0.5);
         let exact = evs.iter().filter(|e| **e >= e_lo && **e <= e_hi).count() as f64;
-        let est = estimate_count(&h, &params(128, 48), e_lo, e_hi);
+        let est = estimate_count(&h, &params(128, 48), e_lo, e_hi).unwrap();
         assert!((est - exact).abs() < 0.15 * 150.0, "est {est} vs exact {exact}");
     }
 
@@ -148,7 +156,7 @@ mod tests {
     fn window_outside_spectrum_counts_nothing() {
         let h = chain_1d(60, 1.0);
         // Spectrum is in (-2, 2); count in the rescaled window beyond it.
-        let est = estimate_count(&h, &params(64, 8), 2.5, 3.0);
+        let est = estimate_count(&h, &params(64, 8), 2.5, 3.0).unwrap();
         assert!(est.abs() < 0.5, "outside-window count: {est}");
     }
 

@@ -103,7 +103,7 @@ mod tests {
             seed: 11,
             parallel: false,
         };
-        let set = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv);
+        let set = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv).unwrap();
         let dos = reconstruct(&set, Kernel::Jackson, sf, 257);
         let green = reconstruct_green(&set, Kernel::Jackson, sf, 257);
         for ((e, rho), gv) in dos.energies.iter().zip(&dos.values).zip(&green.values) {
@@ -149,7 +149,7 @@ mod tests {
             seed: 12,
             parallel: false,
         };
-        let set = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv);
+        let set = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv).unwrap();
         let g = Kernel::Jackson.coefficients(set.len());
 
         let k = 20_001; // odd, fine grid for the PV integral

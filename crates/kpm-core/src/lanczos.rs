@@ -89,7 +89,7 @@ mod tests {
         // the full ||r|| instead of the last Ritz-vector component), so
         // allow some slack on the outside.
         assert!(lo <= -1.9 && lo > -3.5, "lo = {lo}");
-        assert!(hi >= 1.9 && hi < 3.5, "hi = {hi}");
+        assert!((1.9..3.5).contains(&hi), "hi = {hi}");
     }
 
     #[test]

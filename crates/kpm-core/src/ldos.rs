@@ -9,7 +9,7 @@
 //! i.e. a KPM run per orbital with the unit vector `e_{4n+o}` as start —
 //! no stochastic trace involved.
 
-use kpm_num::{Complex64, Vector};
+use kpm_num::{Complex64, KpmError, Vector};
 use kpm_sparse::CrsMatrix;
 use kpm_topo::{Lattice3D, ScaleFactors};
 use rayon::prelude::*;
@@ -25,8 +25,18 @@ pub fn site_moments(
     sf: ScaleFactors,
     site: usize,
     num_moments: usize,
-) -> MomentSet {
-    assert!(4 * site + 3 < h.nrows(), "site index out of range");
+) -> Result<MomentSet, KpmError> {
+    if 4 * site + 3 >= h.nrows() {
+        return Err(KpmError::InvalidParams {
+            what: "site",
+            details: format!(
+                "site index out of range (site {site} needs rows {}..{}, matrix has {})",
+                4 * site,
+                4 * site + 4,
+                h.nrows()
+            ),
+        });
+    }
     let n = h.nrows();
     let mut acc = MomentSet::zeros(num_moments);
     for o in 0..4 {
@@ -34,9 +44,9 @@ pub fn site_moments(
         data[4 * site + o] = Complex64::real(1.0);
         let start = Vector::from_vec(data);
         // The inner kernels stay serial: parallelism is across sites.
-        acc.accumulate(&moments_from_start(h, sf, &start, num_moments, false));
+        acc.accumulate(&moments_from_start(h, sf, &start, num_moments, false)?);
     }
-    acc
+    Ok(acc)
 }
 
 /// The full LDOS curve `ρ_n(E)` of one site. The per-orbital moment
@@ -49,13 +59,13 @@ pub fn site_ldos(
     num_moments: usize,
     kernel: Kernel,
     n_points: usize,
-) -> DosCurve {
-    let set = site_moments(h, sf, site, num_moments);
+) -> Result<DosCurve, KpmError> {
+    let set = site_moments(h, sf, site, num_moments)?;
     let mut curve = reconstruct(&set, kernel, sf, n_points);
     for v in &mut curve.values {
         *v *= 4.0;
     }
-    curve
+    Ok(curve)
 }
 
 /// A sampled LDOS map over the surface layer (fixed `z`), evaluated at
@@ -94,9 +104,19 @@ pub fn ldos_map(
     stride: usize,
     num_moments: usize,
     kernel: Kernel,
-) -> LdosMap {
-    assert!(z < lattice.nz, "layer out of range");
-    assert!(stride >= 1, "stride must be positive");
+) -> Result<LdosMap, KpmError> {
+    if z >= lattice.nz {
+        return Err(KpmError::InvalidParams {
+            what: "z",
+            details: format!("layer out of range (z = {z}, nz = {})", lattice.nz),
+        });
+    }
+    if stride < 1 {
+        return Err(KpmError::InvalidParams {
+            what: "stride",
+            details: "stride must be positive".to_string(),
+        });
+    }
     let coords: Vec<(usize, usize)> = (0..lattice.ny)
         .step_by(stride)
         .flat_map(|y| (0..lattice.nx).step_by(stride).map(move |x| (x, y)))
@@ -105,15 +125,15 @@ pub fn ldos_map(
         .par_iter()
         .map(|&(x, y)| {
             let site = lattice.site(x, y, z);
-            let curve = site_ldos(h, sf, site, num_moments, kernel, 512);
-            curve.value_at(energy)
+            let curve = site_ldos(h, sf, site, num_moments, kernel, 512)?;
+            Ok(curve.value_at(energy))
         })
-        .collect();
-    LdosMap {
+        .collect::<Result<_, KpmError>>()?;
+    Ok(LdosMap {
         xs: coords.iter().map(|c| c.0).collect(),
         ys: coords.iter().map(|c| c.1).collect(),
         values,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -127,7 +147,7 @@ mod tests {
         let ham = TopoHamiltonian::clean(4, 4, 2);
         let h = ham.assemble();
         let sf = ScaleFactors::from_gershgorin(&h, 0.01);
-        let curve = site_ldos(&h, sf, 5, 64, Kernel::Jackson, 1024);
+        let curve = site_ldos(&h, sf, 5, 64, Kernel::Jackson, 1024).unwrap();
         // 4 orbitals -> integral 4.
         assert!((curve.integral() - 4.0).abs() < 0.1, "{}", curve.integral());
     }
@@ -139,7 +159,7 @@ mod tests {
         let h = ham.assemble();
         let sf = ScaleFactors::from_gershgorin(&h, 0.01);
         let lat = ham.lattice;
-        let map = ldos_map(&h, sf, &lat, 0, 0.0, 1, 32, Kernel::Jackson);
+        let map = ldos_map(&h, sf, &lat, 0, 0.0, 1, 32, Kernel::Jackson).unwrap();
         let v0 = map.values[0];
         for v in &map.values {
             assert!((v - v0).abs() < 1e-8 * v0.abs().max(1.0), "{v} vs {v0}");
@@ -167,8 +187,8 @@ mod tests {
         let sf = ScaleFactors::from_gershgorin(&h, 0.01);
         let lat = ham.lattice;
         // Dot centre (4,4); far corner (0,0).
-        let inside = site_ldos(&h, sf, lat.site(4, 4, 0), 64, Kernel::Jackson, 256);
-        let outside = site_ldos(&h, sf, lat.site(0, 0, 0), 64, Kernel::Jackson, 256);
+        let inside = site_ldos(&h, sf, lat.site(4, 4, 0), 64, Kernel::Jackson, 256).unwrap();
+        let outside = site_ldos(&h, sf, lat.site(0, 0, 0), 64, Kernel::Jackson, 256).unwrap();
         let diff: f64 = inside
             .values
             .iter()
@@ -191,16 +211,17 @@ mod tests {
         e0[0] = Complex64::real(1.0);
         let mut em = vec![Complex64::default(); 64];
         em[32] = Complex64::real(1.0);
-        let end = moments_from_start(&h, sf, &Vector::from_vec(e0), 64, false);
-        let mid = moments_from_start(&h, sf, &Vector::from_vec(em), 64, false);
+        let end = moments_from_start(&h, sf, &Vector::from_vec(e0), 64, false).unwrap();
+        let mid = moments_from_start(&h, sf, &Vector::from_vec(em), 64, false).unwrap();
         assert!(end.max_abs_diff(&mid) > 1e-3);
     }
 
     #[test]
-    #[should_panic(expected = "site index out of range")]
-    fn bad_site_panics() {
+    fn bad_site_rejected() {
         let h = chain_1d(16, 1.0);
         let sf = ScaleFactors::from_bounds(-2.0, 2.0, 0.05);
-        site_moments(&h, sf, 4, 8); // site 4 needs rows 16..19
+        // Site 4 needs rows 16..19, which the 16-row matrix lacks.
+        let err = site_moments(&h, sf, 4, 8).expect_err("out-of-range site");
+        assert!(err.to_string().contains("site index out of range"), "{err}");
     }
 }

@@ -25,6 +25,7 @@
 //!   `e^{-iHt}|ψ⟩` (wave-packet dynamics on the same recurrence).
 
 pub mod chebyshev;
+pub mod checkpoint;
 pub mod dos;
 pub mod eigencount;
 pub mod evolution;
@@ -36,6 +37,9 @@ pub mod moments;
 pub mod solver;
 pub mod spectral;
 
+pub use checkpoint::{
+    CheckpointStore, DirCheckpointStore, EtaCheckpoint, MemoryCheckpointStore, RankCheckpoint,
+};
 pub use dos::DosCurve;
 pub use kernels::Kernel;
 pub use moments::MomentSet;

@@ -11,7 +11,7 @@
 //! *algorithm is untouched* and only the implementation changes.
 
 use kpm_num::vector::{axpy, axpy_par, dot, dot_par, nrm2, nrm2_par, scal, scal_par};
-use kpm_num::{BlockVector, Complex64, Vector};
+use kpm_num::{BlockVector, Complex64, KpmError, Vector};
 use kpm_sparse::aug::{aug_spmmv_par, aug_spmv, aug_spmv_par};
 use kpm_sparse::gen::aug_spmmv_auto;
 use kpm_sparse::spmv::{spmv, spmv_par};
@@ -20,7 +20,47 @@ use kpm_topo::ScaleFactors;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::checkpoint::{CheckpointStore, EtaCheckpoint, RankCheckpoint};
 use crate::moments::MomentSet;
+
+/// Divergence guardrail: a partial `η_even = ‖ν_m‖²` may never exceed
+/// this multiple of `µ0 = ‖ν_0‖²`. With correct scale factors the
+/// Chebyshev polynomials are bounded by 1 on the spectrum, so the norm
+/// cannot grow at all; growth past this factor means the spectrum pokes
+/// out of `[-1, 1]` and the recurrence is diverging exponentially.
+const DIVERGENCE_FACTOR: f64 = 1e3;
+
+/// Numerical guardrail applied every sweep in every variant: NaN/Inf in
+/// a moment partial aborts with `NonFinite`; exponential growth aborts
+/// with `SpectralBoundsViolated` carrying the offending iteration.
+fn check_partials(
+    iteration: usize,
+    even: f64,
+    odd: Complex64,
+    mu0: f64,
+) -> Result<(), KpmError> {
+    if !even.is_finite() {
+        return Err(KpmError::NonFinite {
+            context: "eta_even",
+            iteration,
+        });
+    }
+    if !odd.is_finite() {
+        return Err(KpmError::NonFinite {
+            context: "eta_odd",
+            iteration,
+        });
+    }
+    let bound = DIVERGENCE_FACTOR * mu0.max(1.0);
+    if even > bound {
+        return Err(KpmError::SpectralBoundsViolated {
+            iteration,
+            value: even,
+            bound,
+        });
+    }
+    Ok(())
+}
 
 /// Which implementation stage executes the KPM iteration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,14 +100,52 @@ impl Default for KpmParams {
 }
 
 impl KpmParams {
-    /// Matrix sweeps per random vector.
+    /// Matrix sweeps per random vector. Callers reach this only through
+    /// entry points that ran [`KpmParams::validate`], so the evenness
+    /// invariant is a debug assertion here.
     pub fn iterations(&self) -> usize {
-        assert!(
+        debug_assert!(
             self.num_moments >= 2 && self.num_moments.is_multiple_of(2),
             "num_moments must be even and >= 2"
         );
         self.num_moments / 2 - 1
     }
+
+    /// Checks the user-facing parameter invariants, returning a typed
+    /// error instead of panicking on bad input.
+    pub fn validate(&self) -> Result<(), KpmError> {
+        if self.num_moments < 2 || !self.num_moments.is_multiple_of(2) {
+            return Err(KpmError::InvalidParams {
+                what: "num_moments",
+                details: format!(
+                    "num_moments must be even and >= 2 (got {})",
+                    self.num_moments
+                ),
+            });
+        }
+        if self.num_random < 1 {
+            return Err(KpmError::InvalidParams {
+                what: "num_random",
+                details: "need at least one random vector".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Checks that `h` is square, as KPM requires.
+fn validate_square(h: &CrsMatrix) -> Result<(), KpmError> {
+    if h.nrows() != h.ncols() {
+        return Err(KpmError::InvalidMatrix {
+            what: "shape",
+            details: format!(
+                "KPM needs a square matrix (got {} x {})",
+                h.nrows(),
+                h.ncols()
+            ),
+        });
+    }
+    Ok(())
 }
 
 /// Runs KPM-DOS: estimates the Chebyshev moments
@@ -79,23 +157,29 @@ pub fn kpm_moments(
     sf: ScaleFactors,
     params: &KpmParams,
     variant: KpmVariant,
-) -> MomentSet {
-    assert_eq!(h.nrows(), h.ncols(), "KPM needs a square matrix");
-    assert!(params.num_random >= 1, "need at least one random vector");
-    let mut rng = StdRng::seed_from_u64(params.seed);
-    let starts: Vec<Vector> = (0..params.num_random)
-        .map(|_| {
-            let mut v = Vector::random(h.nrows(), &mut rng);
-            v.normalize();
-            v
-        })
-        .collect();
+) -> Result<MomentSet, KpmError> {
+    validate_square(h)?;
+    params.validate()?;
+    let starts = starting_vectors(h.nrows(), params);
 
     match variant {
         KpmVariant::Naive => run_vector_variant(h, sf, params, &starts, false),
         KpmVariant::AugSpmv => run_vector_variant(h, sf, params, &starts, true),
         KpmVariant::AugSpmmv => run_blocked_variant(h, sf, params, &starts),
     }
+}
+
+/// The normalized random starting vectors — a pure function of the seed,
+/// shared with the distributed solver so moments agree exactly.
+pub fn starting_vectors(n: usize, params: &KpmParams) -> Vec<Vector> {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    (0..params.num_random)
+        .map(|_| {
+            let mut v = Vector::random(n, &mut rng);
+            v.normalize();
+            v
+        })
+        .collect()
 }
 
 /// Computes the moments `μ_m = ⟨φ|T_m(H̃)|φ⟩` of a *given* (not
@@ -107,13 +191,15 @@ pub fn moments_from_start(
     start: &Vector,
     num_moments: usize,
     parallel: bool,
-) -> MomentSet {
+) -> Result<MomentSet, KpmError> {
+    validate_square(h)?;
     let params = KpmParams {
         num_moments,
         num_random: 1,
         seed: 0,
         parallel,
     };
+    params.validate()?;
     single_run_aug(h, sf, &params, start)
 }
 
@@ -124,17 +210,17 @@ fn run_vector_variant(
     params: &KpmParams,
     starts: &[Vector],
     fused: bool,
-) -> MomentSet {
+) -> Result<MomentSet, KpmError> {
     let mut acc = MomentSet::zeros(params.num_moments);
     for v0 in starts {
         let set = if fused {
-            single_run_aug(h, sf, params, v0)
+            single_run_aug(h, sf, params, v0)?
         } else {
-            single_run_naive(h, sf, params, v0)
+            single_run_naive(h, sf, params, v0)?
         };
         acc.accumulate(&set);
     }
-    acc
+    Ok(acc)
 }
 
 /// Shared initialization: `ν₁ = H̃ν₀`, `μ₀ = ⟨ν₀|ν₀⟩`, `μ₁ = ⟨ν₁|ν₀⟩`.
@@ -175,7 +261,7 @@ fn single_run_naive(
     sf: ScaleFactors,
     params: &KpmParams,
     v0: &Vector,
-) -> MomentSet {
+) -> Result<MomentSet, KpmError> {
     let n = h.nrows();
     let par = params.parallel;
     // Loop invariant at iteration m: v = ν_{m-1}, w = ν_m.
@@ -185,23 +271,25 @@ fn single_run_naive(
     let two_a = Complex64::real(2.0 * sf.a);
     let minus_b = Complex64::real(-sf.b);
     let minus_one = Complex64::real(-1.0);
-    for _m in 0..params.iterations() {
+    for m in 0..params.iterations() {
         std::mem::swap(&mut v, &mut w); // v = ν_m, w = ν_{m-1}
-        if par {
+        let pair = if par {
             spmv_par(h, &v, &mut u); // u = H v
             axpy_par(minus_b, &v, &mut u); // u = u - b v
             scal_par(minus_one, &mut w); // w = -w
             axpy_par(two_a, &u, &mut w); // w = w + 2a u  (= ν_{m+1})
-            eta.push((nrm2_par(&v), dot_par(&w, &v)));
+            (nrm2_par(&v), dot_par(&w, &v))
         } else {
             spmv(h, &v, &mut u);
             axpy(minus_b, &v, &mut u);
             scal(minus_one, &mut w);
             axpy(two_a, &u, &mut w);
-            eta.push((nrm2(&v), dot(&w, &v)));
-        }
+            (nrm2(&v), dot(&w, &v))
+        };
+        check_partials(m, pair.0, pair.1, mu0)?;
+        eta.push(pair);
     }
-    MomentSet::from_eta(mu0, mu1, &eta)
+    Ok(MomentSet::from_eta(mu0, mu1, &eta))
 }
 
 /// The stage-1 loop (paper Fig. 4): one fused `aug_spmv()` per
@@ -211,20 +299,21 @@ fn single_run_aug(
     sf: ScaleFactors,
     params: &KpmParams,
     v0: &Vector,
-) -> MomentSet {
+) -> Result<MomentSet, KpmError> {
     let par = params.parallel;
     let (mut v, mut w, mu0, mu1) = init_recurrence(h, sf, v0, par);
     let mut eta = Vec::with_capacity(params.iterations());
-    for _m in 0..params.iterations() {
+    for m in 0..params.iterations() {
         std::mem::swap(&mut v, &mut w);
         let dots = if par {
             aug_spmv_par(h, sf.a, sf.b, &v, &mut w)
         } else {
             aug_spmv(h, sf.a, sf.b, &v, &mut w)
         };
+        check_partials(m, dots.eta_even, dots.eta_odd, mu0)?;
         eta.push((dots.eta_even, dots.eta_odd));
     }
-    MomentSet::from_eta(mu0, mu1, &eta)
+    Ok(MomentSet::from_eta(mu0, mu1, &eta))
 }
 
 /// The stage-2 loop (paper Fig. 5): all `R` random vectors advance
@@ -235,7 +324,7 @@ fn run_blocked_variant(
     sf: ScaleFactors,
     params: &KpmParams,
     starts: &[Vector],
-) -> MomentSet {
+) -> Result<MomentSet, KpmError> {
     let r = starts.len();
     let par = params.parallel;
 
@@ -255,7 +344,7 @@ fn run_blocked_variant(
     let mut w = BlockVector::from_columns(&w_cols);
 
     let mut eta: Vec<Vec<(f64, Complex64)>> = vec![Vec::with_capacity(params.iterations()); r];
-    for _m in 0..params.iterations() {
+    for m in 0..params.iterations() {
         v.swap(&mut w);
         let dots = if par {
             aug_spmmv_par(h, sf.a, sf.b, &v, &mut w)
@@ -265,6 +354,7 @@ fn run_blocked_variant(
             aug_spmmv_auto(h, sf.a, sf.b, &v, &mut w)
         };
         for (j, eta_j) in eta.iter_mut().enumerate() {
+            check_partials(m, dots.eta_even[j], dots.eta_odd[j], mu0[j])?;
             eta_j.push((dots.eta_even[j], dots.eta_odd[j]));
         }
     }
@@ -273,7 +363,174 @@ fn run_blocked_variant(
     for j in 0..r {
         acc.accumulate(&MomentSet::from_eta(mu0[j], mu1[j], &eta[j]));
     }
+    Ok(acc)
+}
+
+/// Checkpoint/restart policy for [`kpm_moments_checkpointed`].
+pub struct SolverCheckpointing<'a> {
+    /// Where checkpoints are written and restarts read from.
+    pub store: &'a dyn CheckpointStore,
+    /// Sweeps between checkpoints (≥ 1).
+    pub interval: usize,
+    /// Test hook: simulate a crash (return `Err(RankCrashed)`) when a
+    /// *fresh* run reaches this sweep. A run resumed from a checkpoint
+    /// never crashes here, so write → crash → resume roundtrips in one
+    /// process.
+    pub crash_at: Option<usize>,
+}
+
+/// The stage-2 blocked solver with checkpoint/restart: identical
+/// arithmetic to [`kpm_moments`] with [`KpmVariant::AugSpmmv`], but the
+/// recurrence state `(m, ν_m, ν_{m+1}, η prefix)` is serialized into
+/// `ckpt.store` every `ckpt.interval` sweeps, and on entry the newest
+/// consistent checkpoint (if any) is restored instead of starting over.
+///
+/// Because η values are recorded *as computed* and never recomputed, the
+/// resumed run reproduces the uninterrupted moments bit for bit.
+pub fn kpm_moments_checkpointed(
+    h: &CrsMatrix,
+    sf: ScaleFactors,
+    params: &KpmParams,
+    ckpt: &SolverCheckpointing<'_>,
+) -> Result<MomentSet, KpmError> {
+    validate_square(h)?;
+    params.validate()?;
+    if ckpt.interval == 0 {
+        return Err(KpmError::InvalidParams {
+            what: "interval",
+            details: "checkpoint interval must be >= 1 sweeps".to_string(),
+        });
+    }
+    let n = h.nrows();
+    let r = params.num_random;
+    let iters = params.iterations();
+
+    // η in the flat distributed layout: [µ0 | µ1 | per-sweep (even | odd)].
+    let mut eta_flat: Vec<Complex64>;
+    let mut v: BlockVector;
+    let mut w: BlockVector;
+    let start_iter: usize;
+
+    match crate::checkpoint::latest_consistent(ckpt.store, n)? {
+        Some(it) => {
+            let rck = ckpt.store.load_rank(it, 0)?.ok_or_else(|| {
+                KpmError::CheckpointMissing {
+                    details: format!("rank 0 record at iteration {it}"),
+                }
+            })?;
+            let eck = ckpt.store.load_eta(it)?.ok_or_else(|| {
+                KpmError::CheckpointMissing {
+                    details: format!("eta record at iteration {it}"),
+                }
+            })?;
+            if rck.width != r || eck.width != r || rck.row_end - rck.row_begin != n {
+                return Err(KpmError::CheckpointCorrupt {
+                    details: "checkpoint geometry does not match this run".to_string(),
+                });
+            }
+            v = block_from_interleaved(&rck.v, n, r);
+            w = block_from_interleaved(&rck.w, n, r);
+            eta_flat = eck.eta;
+            start_iter = it;
+        }
+        None => {
+            let starts = starting_vectors(n, params);
+            let mut mu0 = vec![Complex64::default(); r];
+            let mut mu1 = vec![Complex64::default(); r];
+            let mut v_cols = Vec::with_capacity(r);
+            let mut w_cols = Vec::with_capacity(r);
+            for (j, v0) in starts.iter().enumerate() {
+                let (vv, ww, m0, m1) = init_recurrence(h, sf, v0, params.parallel);
+                mu0[j] = Complex64::real(m0);
+                mu1[j] = Complex64::real(m1);
+                v_cols.push(Vector::from_vec(vv));
+                w_cols.push(Vector::from_vec(ww));
+            }
+            v = BlockVector::from_columns(&v_cols);
+            w = BlockVector::from_columns(&w_cols);
+            eta_flat = Vec::with_capacity(2 * r + iters * 2 * r);
+            eta_flat.extend_from_slice(&mu0);
+            eta_flat.extend_from_slice(&mu1);
+            start_iter = 0;
+        }
+    }
+
+    for m in start_iter..iters {
+        if start_iter == 0 && ckpt.crash_at == Some(m) {
+            return Err(KpmError::RankCrashed { rank: 0 });
+        }
+        v.swap(&mut w);
+        let dots = if params.parallel {
+            aug_spmmv_par(h, sf.a, sf.b, &v, &mut w)
+        } else {
+            aug_spmmv_auto(h, sf.a, sf.b, &v, &mut w)
+        };
+        for j in 0..r {
+            check_partials(m, dots.eta_even[j], dots.eta_odd[j], eta_flat[j].re)?;
+            eta_flat.push(Complex64::real(dots.eta_even[j]));
+        }
+        eta_flat.extend_from_slice(&dots.eta_odd);
+        let done = m + 1;
+        if done.is_multiple_of(ckpt.interval) && done < iters {
+            ckpt.store.save_rank(&RankCheckpoint {
+                iteration: done,
+                rank: 0,
+                row_begin: 0,
+                row_end: n,
+                width: r,
+                halo_sent: 0,
+                v: interleave_block(&v),
+                w: interleave_block(&w),
+            })?;
+            ckpt.store.save_eta(&EtaCheckpoint {
+                iteration: done,
+                width: r,
+                eta: eta_flat.clone(),
+            })?;
+        }
+    }
+
+    Ok(moments_from_flat_eta(&eta_flat, params.num_moments, r, iters))
+}
+
+/// Rebuilds a [`MomentSet`] from the flat η layout shared by the
+/// checkpointed and the distributed solver.
+pub fn moments_from_flat_eta(
+    eta_flat: &[Complex64],
+    num_moments: usize,
+    r: usize,
+    iters: usize,
+) -> MomentSet {
+    debug_assert_eq!(eta_flat.len(), 2 * r + iters * 2 * r);
+    let mut acc = MomentSet::zeros(num_moments);
+    for j in 0..r {
+        let mu0 = eta_flat[j].re;
+        let mu1 = eta_flat[r + j].re;
+        let mut eta = Vec::with_capacity(iters);
+        for m in 0..iters {
+            let base = 2 * r + m * 2 * r;
+            eta.push((eta_flat[base + j].re, eta_flat[base + r + j]));
+        }
+        acc.accumulate(&MomentSet::from_eta(mu0, mu1, &eta));
+    }
     acc
+}
+
+fn block_from_interleaved(data: &[Complex64], rows: usize, width: usize) -> BlockVector {
+    debug_assert_eq!(data.len(), rows * width);
+    let mut b = BlockVector::zeros(rows, width);
+    for i in 0..rows {
+        b.row_mut(i).copy_from_slice(&data[i * width..(i + 1) * width]);
+    }
+    b
+}
+
+fn interleave_block(b: &BlockVector) -> Vec<Complex64> {
+    let mut out = Vec::with_capacity(b.rows() * b.width());
+    for i in 0..b.rows() {
+        out.extend_from_slice(b.row(i));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -297,9 +554,9 @@ mod tests {
         let h = random_hermitian(200, 4, 7);
         let sf = ScaleFactors::from_gershgorin(&h, 0.01);
         let p = params(64, 4);
-        let naive = kpm_moments(&h, sf, &p, KpmVariant::Naive);
-        let stage1 = kpm_moments(&h, sf, &p, KpmVariant::AugSpmv);
-        let stage2 = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv);
+        let naive = kpm_moments(&h, sf, &p, KpmVariant::Naive).unwrap();
+        let stage1 = kpm_moments(&h, sf, &p, KpmVariant::AugSpmv).unwrap();
+        let stage2 = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv).unwrap();
         assert!(naive.max_abs_diff(&stage1) < 1e-10, "naive vs stage1");
         assert!(naive.max_abs_diff(&stage2) < 1e-10, "naive vs stage2");
     }
@@ -309,9 +566,9 @@ mod tests {
         let h = random_hermitian(300, 4, 11);
         let sf = ScaleFactors::from_gershgorin(&h, 0.01);
         let mut p = params(32, 2);
-        let serial = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv);
+        let serial = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv).unwrap();
         p.parallel = true;
-        let parallel = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv);
+        let parallel = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv).unwrap();
         assert!(serial.max_abs_diff(&parallel) < 1e-9);
     }
 
@@ -319,7 +576,7 @@ mod tests {
     fn mu0_is_one_for_normalized_starts() {
         let h = random_hermitian(150, 3, 13);
         let sf = ScaleFactors::from_gershgorin(&h, 0.01);
-        let set = kpm_moments(&h, sf, &params(16, 3), KpmVariant::AugSpmv);
+        let set = kpm_moments(&h, sf, &params(16, 3), KpmVariant::AugSpmv).unwrap();
         assert!((set.as_slice()[0] - 1.0).abs() < 1e-12);
         assert_eq!(set.runs(), 3);
         assert_eq!(set.len(), 16);
@@ -331,7 +588,7 @@ mod tests {
         let ham = TopoHamiltonian::clean(4, 4, 3);
         let h = ham.assemble();
         let sf = ScaleFactors::from_gershgorin(&h, 0.01);
-        let set = kpm_moments(&h, sf, &params(64, 2), KpmVariant::AugSpmmv);
+        let set = kpm_moments(&h, sf, &params(64, 2), KpmVariant::AugSpmmv).unwrap();
         for (m, &mu) in set.as_slice().iter().enumerate() {
             assert!(mu.abs() <= 1.0 + 1e-9, "mu[{m}] = {mu}");
         }
@@ -361,7 +618,7 @@ mod tests {
         let e_mode = 2.0 * kq.cos();
         assert!(evs.iter().any(|e| (e - e_mode).abs() < 1e-12));
 
-        let set = moments_from_start(&h, sf, &v, 48, false);
+        let set = moments_from_start(&h, sf, &v, 48, false).unwrap();
         let x = sf.to_chebyshev(e_mode);
         for (m, &mu) in set.as_slice().iter().enumerate() {
             assert!(
@@ -381,7 +638,7 @@ mod tests {
         let sf = ScaleFactors::from_bounds(-2.0, 2.0, 0.05);
         let exact_mu1 = -sf.a * sf.b; // = 0 here, b = 0
         let err = |r: usize| -> f64 {
-            let set = kpm_moments(&h, sf, &params(8, r), KpmVariant::AugSpmmv);
+            let set = kpm_moments(&h, sf, &params(8, r), KpmVariant::AugSpmmv).unwrap();
             (set.as_slice()[1] - exact_mu1).abs()
         };
         // With 64x more vectors the stochastic error should clearly drop.
@@ -391,7 +648,6 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "even")]
     fn odd_moment_count_rejected() {
         let h = chain_1d(10, 1.0);
         let sf = ScaleFactors::from_bounds(-2.0, 2.0, 0.05);
@@ -401,6 +657,89 @@ mod tests {
             seed: 0,
             parallel: false,
         };
-        kpm_moments(&h, sf, &p, KpmVariant::Naive);
+        let err = kpm_moments(&h, sf, &p, KpmVariant::Naive).expect_err("odd M must be rejected");
+        assert!(
+            matches!(err, KpmError::InvalidParams { what: "num_moments", .. }),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("even"), "{err}");
+    }
+
+    #[test]
+    fn zero_random_vectors_rejected() {
+        let h = chain_1d(10, 1.0);
+        let sf = ScaleFactors::from_bounds(-2.0, 2.0, 0.05);
+        let p = KpmParams {
+            num_moments: 8,
+            num_random: 0,
+            seed: 0,
+            parallel: false,
+        };
+        let err = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv).expect_err("R = 0 is invalid");
+        assert!(matches!(err, KpmError::InvalidParams { what: "num_random", .. }));
+    }
+
+    #[test]
+    fn undersized_scale_factors_trip_the_divergence_guardrail() {
+        // Spectrum of the chain is [-2, 2]; claim it is [-0.5, 0.5] so
+        // ‖H̃‖ > 1 and the recurrence grows exponentially.
+        let h = chain_1d(64, 1.0);
+        let sf = ScaleFactors::from_bounds(-0.5, 0.5, 0.0);
+        let err = kpm_moments(&h, sf, &params(128, 1), KpmVariant::Naive)
+            .expect_err("divergence must be detected");
+        match err {
+            KpmError::SpectralBoundsViolated { iteration, value, bound } => {
+                assert!(iteration < 128, "iteration {iteration} out of range");
+                assert!(value > bound, "value {value} <= bound {bound}");
+            }
+            other => panic!("expected SpectralBoundsViolated, got {other:?}"),
+        }
+        // All variants detect it, at the same iteration.
+        let err2 = kpm_moments(&h, sf, &params(128, 1), KpmVariant::AugSpmmv)
+            .expect_err("blocked variant must also detect divergence");
+        assert!(matches!(err2, KpmError::SpectralBoundsViolated { .. }));
+    }
+
+    #[test]
+    fn checkpointed_run_matches_plain_run_bitwise() {
+        use crate::checkpoint::MemoryCheckpointStore;
+        let h = random_hermitian(120, 4, 3);
+        let sf = ScaleFactors::from_gershgorin(&h, 0.01);
+        let p = params(32, 3);
+        let plain = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv).unwrap();
+        let store = MemoryCheckpointStore::new();
+        let ckpt = SolverCheckpointing {
+            store: &store,
+            interval: 4,
+            crash_at: None,
+        };
+        let checkpointed = kpm_moments_checkpointed(&h, sf, &p, &ckpt).unwrap();
+        assert_eq!(plain.as_slice(), checkpointed.as_slice(), "not bitwise equal");
+    }
+
+    #[test]
+    fn crash_and_resume_reproduces_the_uninterrupted_moments() {
+        use crate::checkpoint::MemoryCheckpointStore;
+        let h = random_hermitian(100, 3, 5);
+        let sf = ScaleFactors::from_gershgorin(&h, 0.01);
+        let p = params(40, 2); // 19 sweeps
+        let reference = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv).unwrap();
+
+        let store = MemoryCheckpointStore::new();
+        let crash_mid = SolverCheckpointing {
+            store: &store,
+            interval: 3,
+            crash_at: Some(p.iterations() / 2),
+        };
+        let err = kpm_moments_checkpointed(&h, sf, &p, &crash_mid)
+            .expect_err("the injected crash must fire");
+        assert!(matches!(err, KpmError::RankCrashed { rank: 0 }));
+
+        // Resume from the surviving store; the crash hook does not fire
+        // on resumed runs.
+        let resumed = kpm_moments_checkpointed(&h, sf, &p, &crash_mid).unwrap();
+        let diff = reference.max_abs_diff(&resumed);
+        assert!(diff < 1e-12, "resume diverged from fault-free run: {diff}");
+        assert_eq!(reference.as_slice(), resumed.as_slice(), "not bitwise equal");
     }
 }

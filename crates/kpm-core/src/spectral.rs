@@ -10,7 +10,7 @@
 //! with `|k,σ⟩` the normalized plane wave with spinor component `σ`,
 //! computed as one KPM run per spinor channel.
 
-use kpm_num::{Complex64, Vector};
+use kpm_num::{Complex64, KpmError, Vector};
 use kpm_sparse::CrsMatrix;
 use kpm_topo::{Lattice3D, ScaleFactors};
 use rayon::prelude::*;
@@ -42,13 +42,13 @@ pub fn momentum_moments(
     lattice: &Lattice3D,
     k: (f64, f64, f64),
     num_moments: usize,
-) -> MomentSet {
+) -> Result<MomentSet, KpmError> {
     let mut acc = MomentSet::zeros(num_moments);
     for spinor in 0..4 {
         let start = plane_wave(lattice, k, spinor);
-        acc.accumulate(&moments_from_start(h, sf, &start, num_moments, false));
+        acc.accumulate(&moments_from_start(h, sf, &start, num_moments, false)?);
     }
-    acc
+    Ok(acc)
 }
 
 /// The spectral function `A(k, E)` on an energy grid. Normalization:
@@ -62,13 +62,13 @@ pub fn spectral_function(
     num_moments: usize,
     kernel: Kernel,
     n_points: usize,
-) -> DosCurve {
-    let set = momentum_moments(h, sf, lattice, k, num_moments);
+) -> Result<DosCurve, KpmError> {
+    let set = momentum_moments(h, sf, lattice, k, num_moments)?;
     let mut curve = reconstruct(&set, kernel, sf, n_points);
     for v in &mut curve.values {
         *v *= 4.0;
     }
-    curve
+    Ok(curve)
 }
 
 /// A line cut through momentum space: `A(k_x, E)` for `n_k` momenta
@@ -94,16 +94,21 @@ pub fn spectral_cut(
     num_moments: usize,
     kernel: Kernel,
     n_points: usize,
-) -> SpectralCut {
-    assert!(n_k >= 2, "need at least two momenta");
+) -> Result<SpectralCut, KpmError> {
+    if n_k < 2 {
+        return Err(KpmError::InvalidParams {
+            what: "n_k",
+            details: "need at least two momenta".to_string(),
+        });
+    }
     let kx: Vec<f64> = (0..n_k)
         .map(|i| -k_max + 2.0 * k_max * i as f64 / (n_k - 1) as f64)
         .collect();
     let curves: Vec<DosCurve> = kx
         .par_iter()
         .map(|&k| spectral_function(h, sf, lattice, (k, 0.0, 0.0), num_moments, kernel, n_points))
-        .collect();
-    SpectralCut { kx, curves }
+        .collect::<Result<_, KpmError>>()?;
+    Ok(SpectralCut { kx, curves })
 }
 
 #[cfg(test)]
@@ -139,7 +144,7 @@ mod tests {
         let h = ham.assemble();
         let sf = ScaleFactors::from_gershgorin(&h, 0.01);
         let k = (2.0 * std::f64::consts::PI / 6.0, 0.0, 0.0); // allowed momentum
-        let curve = spectral_function(&h, sf, &ham.lattice, k, 256, Kernel::Jackson, 1024);
+        let curve = spectral_function(&h, sf, &ham.lattice, k, 256, Kernel::Jackson, 1024).unwrap();
         let evs = TopoHamiltonian::bloch_eigenvalues(1.0, 0.0, k.0, k.1, k.2);
         let (e_minus, e_plus) = (evs[0], evs[2]);
         // The curve should be large near both band energies and small
@@ -157,7 +162,8 @@ mod tests {
         let h = ham.assemble();
         let sf = ScaleFactors::from_gershgorin(&h, 0.01);
         let curve =
-            spectral_function(&h, sf, &ham.lattice, (0.0, 0.0, 0.0), 128, Kernel::Jackson, 2048);
+            spectral_function(&h, sf, &ham.lattice, (0.0, 0.0, 0.0), 128, Kernel::Jackson, 2048)
+                .unwrap();
         assert!((curve.integral() - 4.0).abs() < 0.05, "{}", curve.integral());
     }
 
@@ -177,7 +183,8 @@ mod tests {
             96,
             Kernel::Jackson,
             256,
-        );
+        )
+        .unwrap();
         assert_eq!(cut.kx.len(), 5);
         assert!((cut.kx[2]).abs() < 1e-12);
         // A(k,E) = A(-k,E): the full curves must coincide (up to

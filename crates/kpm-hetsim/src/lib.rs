@@ -7,12 +7,17 @@
 //!
 //! * a **functional layer** that really executes the distributed
 //!   algorithm, with OS threads standing in for MPI ranks:
-//!   - [`runtime`] — a typed message-passing runtime (send/recv,
-//!     barrier, allreduce) built on crossbeam channels,
+//!   - [`runtime`] — a typed message-passing runtime (send/recv with
+//!     deadlines, barrier, allreduce) over std channels, with typed
+//!     errors instead of panics on communication failure,
+//!   - [`fault`] — deterministic fault injection (message drop /
+//!     duplication / delay, scheduled rank crashes) attachable to a
+//!     world via [`runtime::WorldConfig`],
 //!   - [`decomp`] — weighted 1-D row-block decomposition and the halo
 //!     communication plan derived from the matrix sparsity pattern,
 //!   - [`dist`] — the distributed blocked KPM solver; its moments are
-//!     validated against the single-process solver,
+//!     validated against the single-process solver, plus a resilient
+//!     driver that checkpoints and restarts across injected crashes,
 //! * a **performance layer** that models the machines we cannot run on:
 //!   - [`node`] — node-level performance per optimization stage for
 //!     CPU, GPU and CPU+GPU execution (paper Fig. 11),
@@ -27,8 +32,10 @@ pub mod autotune;
 pub mod cluster;
 pub mod decomp;
 pub mod dist;
+pub mod fault;
 pub mod node;
 pub mod runtime;
 
 pub use decomp::{partition_rows, LocalProblem};
-pub use runtime::{Communicator, World};
+pub use fault::{FaultPlan, FaultStats};
+pub use runtime::{Communicator, World, WorldConfig, WorldOutcome};

@@ -310,11 +310,11 @@ mod tests {
         let x = BlockVector::random(211, 8, &mut r);
         let y = BlockVector::random(211, 8, &mut r);
         let blocked = x.columnwise_dot(&y);
-        for j in 0..8 {
+        for (j, got) in blocked.iter().enumerate() {
             let xc = x.column(j);
             let yc = y.column(j);
             let want = dot(xc.as_slice(), yc.as_slice());
-            assert!(blocked[j].approx_eq(want, 1e-10), "column {j}");
+            assert!(got.approx_eq(want, 1e-10), "column {j}");
         }
     }
 

@@ -310,8 +310,8 @@ mod tests {
             let mut res = 0.0;
             for i in 0..n {
                 let mut av = Complex64::default();
-                for j in 0..n {
-                    av = a.get(i, j).mul_add(v[j], av);
+                for (j, vj) in v.iter().enumerate() {
+                    av = a.get(i, j).mul_add(*vj, av);
                 }
                 res += (av - v[i].scale(*lambda)).norm_sqr();
             }
@@ -321,8 +321,8 @@ mod tests {
         for i in 0..4 {
             for j in 0..4 {
                 let mut d = Complex64::default();
-                for k in 0..n {
-                    d = vecs[i][k].conj().mul_add(vecs[j][k], d);
+                for (vi, vj) in vecs[i].iter().zip(&vecs[j]) {
+                    d = vi.conj().mul_add(*vj, d);
                 }
                 let want = if i == j { 1.0 } else { 0.0 };
                 assert!((d.re - want).abs() < 1e-8 && d.im.abs() < 1e-8);

@@ -22,9 +22,11 @@ pub mod aligned;
 pub mod block;
 pub mod complex;
 pub mod eigen;
+pub mod error;
 pub mod summation;
 pub mod vector;
 
 pub use block::BlockVector;
 pub use complex::Complex64;
+pub use error::{KpmError, KpmResult};
 pub use vector::Vector;

@@ -10,7 +10,7 @@
 //! column indices inside kernels (`S_i = 4`), 64-bit row pointers so the
 //! total non-zero count may exceed 4·10⁹ in large-scale runs.
 
-use kpm_num::Complex64;
+use kpm_num::{Complex64, KpmError};
 
 /// A sparse matrix in CRS format.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,6 +27,9 @@ impl CrsMatrix {
     /// `row_ptr` has `nrows + 1` monotone entries, `cols`/`vals` have
     /// matching length `row_ptr[nrows]`, and all column indices are in
     /// range and strictly increasing within each row.
+    ///
+    /// Panics on invalid input; use [`CrsMatrix::try_from_raw`] to get a
+    /// typed error instead.
     pub fn from_raw(
         nrows: usize,
         ncols: usize,
@@ -34,31 +37,87 @@ impl CrsMatrix {
         cols: Vec<u32>,
         vals: Vec<Complex64>,
     ) -> Self {
-        assert_eq!(row_ptr.len(), nrows + 1, "row_ptr length must be nrows+1");
-        assert_eq!(row_ptr[0], 0, "row_ptr must start at 0");
-        assert_eq!(
-            *row_ptr.last().unwrap() as usize,
-            cols.len(),
-            "row_ptr must end at nnz"
-        );
-        assert_eq!(cols.len(), vals.len(), "cols/vals length mismatch");
+        Self::try_from_raw(nrows, ncols, row_ptr, cols, vals).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`CrsMatrix::from_raw`]: returns
+    /// `Err(KpmError::InvalidMatrix)` describing the first violated
+    /// invariant instead of panicking.
+    pub fn try_from_raw(
+        nrows: usize,
+        ncols: usize,
+        row_ptr: Vec<u64>,
+        cols: Vec<u32>,
+        vals: Vec<Complex64>,
+    ) -> Result<Self, KpmError> {
+        fn bad(what: &'static str, details: String) -> KpmError {
+            KpmError::InvalidMatrix { what, details }
+        }
+        if row_ptr.len() != nrows + 1 {
+            return Err(bad(
+                "row_ptr",
+                format!(
+                    "row_ptr length must be nrows+1 (got {}, nrows = {nrows})",
+                    row_ptr.len()
+                ),
+            ));
+        }
+        if row_ptr[0] != 0 {
+            return Err(bad(
+                "row_ptr",
+                format!("row_ptr must start at 0 (got {})", row_ptr[0]),
+            ));
+        }
+        let nnz = *row_ptr.last().unwrap() as usize;
+        if nnz != cols.len() {
+            return Err(bad(
+                "row_ptr",
+                format!("row_ptr must end at nnz (got {nnz}, cols.len() = {})", cols.len()),
+            ));
+        }
+        if cols.len() != vals.len() {
+            return Err(bad(
+                "cols/vals",
+                format!(
+                    "cols/vals length mismatch ({} vs {})",
+                    cols.len(),
+                    vals.len()
+                ),
+            ));
+        }
         for r in 0..nrows {
-            assert!(row_ptr[r] <= row_ptr[r + 1], "row_ptr must be monotone");
+            if row_ptr[r] > row_ptr[r + 1] {
+                return Err(bad(
+                    "row_ptr",
+                    format!("row_ptr must be monotone (row {r})"),
+                ));
+            }
             let (lo, hi) = (row_ptr[r] as usize, row_ptr[r + 1] as usize);
             for k in lo..hi {
-                assert!((cols[k] as usize) < ncols, "column index out of range");
-                if k > lo {
-                    assert!(cols[k - 1] < cols[k], "columns must be strictly increasing in row");
+                if cols[k] as usize >= ncols {
+                    return Err(bad(
+                        "cols",
+                        format!(
+                            "column index out of range (row {r}: col {} >= ncols {ncols})",
+                            cols[k]
+                        ),
+                    ));
+                }
+                if k > lo && cols[k - 1] >= cols[k] {
+                    return Err(bad(
+                        "cols",
+                        format!("columns must be strictly increasing in row {r}"),
+                    ));
                 }
             }
         }
-        Self {
+        Ok(Self {
             nrows,
             ncols,
             row_ptr,
             cols,
             vals,
-        }
+        })
     }
 
     /// The `n x n` identity matrix.
@@ -303,9 +362,9 @@ mod tests {
     fn to_dense_roundtrip() {
         let m = hermitian3();
         let d = m.to_dense();
-        for r in 0..3 {
-            for cidx in 0..3 {
-                assert_eq!(d[r][cidx], m.get(r, cidx));
+        for (r, row) in d.iter().enumerate() {
+            for (cidx, val) in row.iter().enumerate() {
+                assert_eq!(*val, m.get(r, cidx));
             }
         }
     }

@@ -44,11 +44,31 @@ impl SellMatrix {
     /// sorting window in rows and must be a multiple of `chunk_height`
     /// (or 1 for no sorting).
     pub fn from_crs(crs: &CrsMatrix, chunk_height: usize, sigma: usize) -> Self {
-        assert!(chunk_height >= 1, "chunk height must be >= 1");
-        assert!(
-            sigma == 1 || sigma.is_multiple_of(chunk_height),
-            "sigma must be 1 or a multiple of the chunk height"
-        );
+        Self::try_from_crs(crs, chunk_height, sigma).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`SellMatrix::from_crs`]: returns
+    /// `Err(KpmError::InvalidParams)` on a bad `C`/`σ` combination
+    /// instead of panicking.
+    pub fn try_from_crs(
+        crs: &CrsMatrix,
+        chunk_height: usize,
+        sigma: usize,
+    ) -> Result<Self, kpm_num::KpmError> {
+        if chunk_height < 1 {
+            return Err(kpm_num::KpmError::InvalidParams {
+                what: "chunk_height",
+                details: "chunk height must be >= 1".to_string(),
+            });
+        }
+        if sigma != 1 && !sigma.is_multiple_of(chunk_height) {
+            return Err(kpm_num::KpmError::InvalidParams {
+                what: "sigma",
+                details: format!(
+                    "sigma must be 1 or a multiple of the chunk height (sigma = {sigma}, C = {chunk_height})"
+                ),
+            });
+        }
         let nrows = crs.nrows();
 
         // Sort rows by descending length within sigma-windows.
@@ -100,7 +120,7 @@ impl SellMatrix {
             }
         }
 
-        Self {
+        Ok(Self {
             nrows,
             ncols: crs.ncols(),
             nnz: crs.nnz(),
@@ -111,7 +131,7 @@ impl SellMatrix {
             chunk_len,
             cols,
             vals,
-        }
+        })
     }
 
     /// Number of rows.

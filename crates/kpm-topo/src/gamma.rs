@@ -168,6 +168,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // a/b index a pair out of GAMMAS
     fn gammas_anticommute() {
         for a in 1..5 {
             for b in (a + 1)..5 {
@@ -197,10 +198,10 @@ mod tests {
     fn onsite_block_is_diagonal() {
         let b = onsite_block(0.5);
         assert_eq!(block_nnz(&b), 4);
-        for i in 0..4 {
-            for j in 0..4 {
+        for (i, row) in b.iter().enumerate() {
+            for (j, z) in row.iter().enumerate() {
                 if i != j {
-                    assert_eq!(b[i][j], Complex64::default());
+                    assert_eq!(*z, Complex64::default());
                 }
             }
         }

@@ -162,7 +162,7 @@ mod tests {
         let mut distinct = false;
         for x in 0..50 {
             let v = p.value(&l, x, 0, 0);
-            assert!(v >= -1.0 && v < 1.0);
+            assert!((-1.0..1.0).contains(&v));
             if (v - a).abs() > 1e-12 {
                 distinct = true;
             }

@@ -46,9 +46,9 @@ fn main() {
     // All three optimization stages compute the same moments — the
     // paper's point: the algorithm is untouched, only the data traffic
     // changes. Verify it.
-    let naive = kpm_moments(&h, sf, &params, KpmVariant::Naive);
-    let stage1 = kpm_moments(&h, sf, &params, KpmVariant::AugSpmv);
-    let stage2 = kpm_moments(&h, sf, &params, KpmVariant::AugSpmmv);
+    let naive = kpm_moments(&h, sf, &params, KpmVariant::Naive).unwrap();
+    let stage1 = kpm_moments(&h, sf, &params, KpmVariant::AugSpmv).unwrap();
+    let stage2 = kpm_moments(&h, sf, &params, KpmVariant::AugSpmmv).unwrap();
     println!(
         "moment agreement: naive-vs-stage1 {:.2e}, naive-vs-stage2 {:.2e}",
         naive.max_abs_diff(&stage1),

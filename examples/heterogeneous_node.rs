@@ -25,13 +25,13 @@ fn main() {
     };
 
     // Reference: single-process stage-2 solver.
-    let reference = kpm_moments(&h, sf, &params, KpmVariant::AugSpmmv);
+    let reference = kpm_moments(&h, sf, &params, KpmVariant::AugSpmmv).unwrap();
 
     // A heterogeneous "node": a slow CPU rank and a fast GPU rank, the
     // GPU weighted 2.3x (the paper tunes weights from single-device
     // performance). Plus a second node's worth of ranks.
     let weights = [1.0, 2.3, 1.0, 2.3];
-    let report = distributed_kpm(&h, sf, &params, &weights, false);
+    let report = distributed_kpm(&h, sf, &params, &weights, false).unwrap();
     println!(
         "4 ranks (weights {weights:?}): moment deviation {:.2e}, halo payload {} kB, {} global reduction(s)",
         reference.max_abs_diff(&report.moments),
@@ -41,7 +41,7 @@ fn main() {
 
     // The Table III comparison, functionally: a global reduction per
     // iteration computes the same moments with many more reductions.
-    let star = distributed_kpm(&h, sf, &params, &weights, true);
+    let star = distributed_kpm(&h, sf, &params, &weights, true).unwrap();
     println!(
         "aug_spmmv()* variant: deviation {:.2e}, {} global reductions (vs {})",
         report.moments.max_abs_diff(&star.moments),

@@ -31,7 +31,7 @@ fn main() {
         seed: 1,
         parallel: true,
     };
-    let moments = kpm_moments(&h, sf, &params, KpmVariant::AugSpmmv);
+    let moments = kpm_moments(&h, sf, &params, KpmVariant::AugSpmmv).unwrap();
 
     // 4. Reconstruct the DOS with Jackson damping and print it.
     let dos = reconstruct(&moments, Kernel::Jackson, sf, 400);

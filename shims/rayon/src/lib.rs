@@ -1,0 +1,135 @@
+//! Offline stand-in for the slice of the `rayon` API this workspace
+//! uses. `par_iter`/`par_chunks`/… return the corresponding *standard*
+//! iterators, so downstream combinator chains (`zip`, `enumerate`,
+//! `map`, `for_each`, `sum`, `collect`) compile unchanged but execute
+//! sequentially. Every `*_par` kernel in the workspace is validated
+//! against its serial twin, so semantics are identical; only speed is
+//! lost until a real work-stealing pool can be vendored.
+
+/// Number of threads a real pool would use on this host.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build`]; never produced.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error (shim; unreachable)")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: if self.num_threads == 0 {
+                current_num_threads()
+            } else {
+                self.num_threads
+            },
+        })
+    }
+}
+
+/// A "pool" that runs closures on the calling thread.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        op()
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+pub mod prelude {
+    //! Extension traits giving slices and `Vec`s the `par_*` methods.
+
+    /// `par_iter`/`par_chunks` on shared slices.
+    pub trait ParallelSlice<T> {
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    /// `par_iter_mut`/`par_chunks_mut` on mutable slices.
+    pub trait ParallelSliceMut<T> {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    #[allow(clippy::useless_vec)] // exercising Vec receivers specifically
+    fn par_iter_matches_iter() {
+        let v = vec![1, 2, 3, 4];
+        let s: i32 = v.par_iter().sum();
+        assert_eq!(s, 10);
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_through() {
+        let mut v = vec![0u32; 8];
+        v.par_chunks_mut(3)
+            .enumerate()
+            .for_each(|(i, c)| c.iter_mut().for_each(|x| *x = i as u32));
+        assert_eq!(v, [0, 0, 0, 1, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn pool_installs_on_caller() {
+        let pool = super::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        assert_eq!(pool.install(|| 7), 7);
+        assert_eq!(pool.current_num_threads(), 4);
+        assert!(super::current_num_threads() >= 1);
+    }
+}

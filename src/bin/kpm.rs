@@ -179,7 +179,7 @@ fn cmd_dos(args: &[String]) -> Result<(), String> {
         params.num_moments,
         params.num_random
     );
-    let moments = kpm_moments(&h, sf, &params, KpmVariant::AugSpmmv);
+    let moments = kpm_moments(&h, sf, &params, KpmVariant::AugSpmmv).map_err(|e| e.to_string())?;
     let curve = reconstruct(&moments, Kernel::Jackson, sf, points);
     println!("energy,dos");
     for (e, v) in curve.energies.iter().zip(&curve.values) {
@@ -200,7 +200,7 @@ fn cmd_count(args: &[String]) -> Result<(), String> {
     }
     let params = solver_params(args)?;
     let sf = ScaleFactors::from_gershgorin(&h, 0.01);
-    let moments = kpm_moments(&h, sf, &params, KpmVariant::AugSpmmv);
+    let moments = kpm_moments(&h, sf, &params, KpmVariant::AugSpmmv).map_err(|e| e.to_string())?;
     let count = count_from_moments(&moments, Kernel::Jackson, sf, h.nrows(), e_lo, e_hi);
     println!(
         "estimated eigenvalues in [{e_lo}, {e_hi}]: {count:.1} of {}",

@@ -23,10 +23,10 @@ fn rank_count_sweep_matches_reference() {
     let h = TopoHamiltonian::clean(6, 4, 3).assemble();
     let sf = ScaleFactors::from_gershgorin(&h, 0.01);
     let p = params(32, 3);
-    let reference = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv);
+    let reference = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv).unwrap();
     for ranks in [1usize, 2, 3, 5, 8] {
         let weights = vec![1.0; ranks];
-        let report = distributed_kpm(&h, sf, &p, &weights, false);
+        let report = distributed_kpm(&h, sf, &p, &weights, false).unwrap();
         assert!(
             reference.max_abs_diff(&report.moments) < 1e-9,
             "ranks = {ranks}: diff = {}",
@@ -40,9 +40,9 @@ fn extreme_weight_skew_still_correct() {
     let h = TopoHamiltonian::clean(4, 4, 4).assemble();
     let sf = ScaleFactors::from_gershgorin(&h, 0.01);
     let p = params(16, 2);
-    let reference = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv);
+    let reference = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv).unwrap();
     // A 20:1 device-speed ratio.
-    let report = distributed_kpm(&h, sf, &p, &[20.0, 1.0], false);
+    let report = distributed_kpm(&h, sf, &p, &[20.0, 1.0], false).unwrap();
     assert!(reference.max_abs_diff(&report.moments) < 1e-9);
 }
 
@@ -51,8 +51,8 @@ fn distributed_dos_equals_shared_memory_dos() {
     let h = TopoHamiltonian::quantum_dot_superlattice(6, 6, 2).assemble();
     let sf = ScaleFactors::from_gershgorin(&h, 0.01);
     let p = params(64, 4);
-    let shared = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv);
-    let dist = distributed_kpm(&h, sf, &p, &[1.0, 2.0, 1.5], false);
+    let shared = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv).unwrap();
+    let dist = distributed_kpm(&h, sf, &p, &[1.0, 2.0, 1.5], false).unwrap();
     let dos_a = reconstruct(&shared, Kernel::Jackson, sf, 512);
     let dos_b = reconstruct(&dist.moments, Kernel::Jackson, sf, 512);
     for (a, b) in dos_a.values.iter().zip(&dos_b.values) {
@@ -65,8 +65,8 @@ fn reduction_policy_does_not_change_results() {
     let h = TopoHamiltonian::clean(5, 5, 2).assemble();
     let sf = ScaleFactors::from_gershgorin(&h, 0.01);
     let p = params(24, 3);
-    let end = distributed_kpm(&h, sf, &p, &[1.0, 1.3, 0.6], false);
-    let star = distributed_kpm(&h, sf, &p, &[1.0, 1.3, 0.6], true);
+    let end = distributed_kpm(&h, sf, &p, &[1.0, 1.3, 0.6], false).unwrap();
+    let star = distributed_kpm(&h, sf, &p, &[1.0, 1.3, 0.6], true).unwrap();
     assert!(end.moments.max_abs_diff(&star.moments) < 1e-10);
     assert!(star.global_reductions > end.global_reductions);
 }
@@ -89,7 +89,7 @@ fn halo_traffic_counts_match_plan() {
     let h = TopoHamiltonian::clean(4, 4, 4).assemble();
     let sf = ScaleFactors::from_gershgorin(&h, 0.01);
     let p = params(16, 2);
-    let report = distributed_kpm(&h, sf, &p, &[1.0, 1.0], false);
+    let report = distributed_kpm(&h, sf, &p, &[1.0, 1.0], false).unwrap();
     let ranges = partition_rows(h.nrows(), &[1.0, 1.0], 4);
     let parts = kpm_repro::hetsim::decomp::decompose(&h, &ranges);
     let per_sweep: u64 = parts

@@ -23,9 +23,9 @@ fn all_three_stages_agree_on_the_physics_workload() {
     let h = TopoHamiltonian::quantum_dot_superlattice(6, 6, 3).assemble();
     let sf = ScaleFactors::from_gershgorin(&h, 0.01);
     let p = params(64, 4);
-    let naive = kpm_moments(&h, sf, &p, KpmVariant::Naive);
-    let s1 = kpm_moments(&h, sf, &p, KpmVariant::AugSpmv);
-    let s2 = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv);
+    let naive = kpm_moments(&h, sf, &p, KpmVariant::Naive).unwrap();
+    let s1 = kpm_moments(&h, sf, &p, KpmVariant::AugSpmv).unwrap();
+    let s2 = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv).unwrap();
     assert!(naive.max_abs_diff(&s1) < 1e-10);
     assert!(naive.max_abs_diff(&s2) < 1e-10);
 }
@@ -37,7 +37,7 @@ fn kpm_dos_matches_exact_spectrum_histogram() {
     let h = TopoHamiltonian::clean(3, 3, 3).assemble(); // N = 108
     let n = h.nrows();
     let sf = ScaleFactors::from_gershgorin(&h, 0.01);
-    let set = kpm_moments(&h, sf, &params(256, 64), KpmVariant::AugSpmmv);
+    let set = kpm_moments(&h, sf, &params(256, 64), KpmVariant::AugSpmmv).unwrap();
     let curve = reconstruct(&set, Kernel::Jackson, sf, 4096);
     let evs = exact_eigenvalues(&h);
     assert_eq!(evs.len(), n);
@@ -96,13 +96,13 @@ fn quantum_dots_shift_spectral_weight() {
     let sf_c = ScaleFactors::from_gershgorin(&clean, 0.01);
     let sf_d = ScaleFactors::from_gershgorin(&dotted, 0.01);
     let dos_c = reconstruct(
-        &kpm_moments(&clean, sf_c, &p, KpmVariant::AugSpmmv),
+        &kpm_moments(&clean, sf_c, &p, KpmVariant::AugSpmmv).unwrap(),
         Kernel::Jackson,
         sf_c,
         1024,
     );
     let dos_d = reconstruct(
-        &kpm_moments(&dotted, sf_d, &p, KpmVariant::AugSpmmv),
+        &kpm_moments(&dotted, sf_d, &p, KpmVariant::AugSpmmv).unwrap(),
         Kernel::Jackson,
         sf_d,
         1024,
@@ -121,7 +121,7 @@ fn quantum_dots_shift_spectral_weight() {
 fn dirichlet_vs_jackson_gibbs_behaviour_end_to_end() {
     let h = TopoHamiltonian::clean(4, 4, 2).assemble();
     let sf = ScaleFactors::from_gershgorin(&h, 0.01);
-    let set = kpm_moments(&h, sf, &params(128, 16), KpmVariant::AugSpmmv);
+    let set = kpm_moments(&h, sf, &params(128, 16), KpmVariant::AugSpmmv).unwrap();
     let jackson = reconstruct(&set, Kernel::Jackson, sf, 1024);
     let dirichlet = reconstruct(&set, Kernel::Dirichlet, sf, 1024);
     let j_min = jackson.values.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -158,13 +158,13 @@ fn disorder_broadens_the_spectrum() {
     let sfc = ScaleFactors::from_gershgorin(&clean, 0.01);
     let sfd = ScaleFactors::from_gershgorin(&dirty, 0.01);
     let dos_c = reconstruct(
-        &kpm_moments(&clean, sfc, &p, KpmVariant::AugSpmmv),
+        &kpm_moments(&clean, sfc, &p, KpmVariant::AugSpmmv).unwrap(),
         Kernel::Jackson,
         sfc,
         1024,
     );
     let dos_d = reconstruct(
-        &kpm_moments(&dirty, sfd, &p, KpmVariant::AugSpmmv),
+        &kpm_moments(&dirty, sfd, &p, KpmVariant::AugSpmmv).unwrap(),
         Kernel::Jackson,
         sfd,
         1024,
@@ -181,7 +181,7 @@ fn disorder_broadens_the_spectrum() {
 fn lorentz_kernel_broadens_but_conserves_weight() {
     let h = TopoHamiltonian::clean(4, 4, 2).assemble();
     let sf = ScaleFactors::from_gershgorin(&h, 0.01);
-    let set = kpm_moments(&h, sf, &params(128, 8), KpmVariant::AugSpmmv);
+    let set = kpm_moments(&h, sf, &params(128, 8), KpmVariant::AugSpmmv).unwrap();
     let curve = reconstruct(&set, Kernel::Lorentz(4.0), sf, 2048);
     assert!((curve.integral() - 1.0).abs() < 0.02);
 }
@@ -201,7 +201,7 @@ fn ldos_moments_match_exact_eigenvector_expansion() {
 
     let site = 3usize;
     let m_count = 24usize;
-    let kpm = site_moments(&h, sf, site, m_count);
+    let kpm = site_moments(&h, sf, site, m_count).unwrap();
 
     for m in 0..m_count {
         let mut exact = 0.0;
@@ -228,7 +228,7 @@ fn graphene_dos_has_dirac_dip_and_van_hove_peaks() {
     let lat = GrapheneLattice::new(48, 48);
     let h = clean_graphene(lat, 1.0);
     let sf = ScaleFactors::from_bounds(-3.0, 3.0, 0.02);
-    let set = kpm_moments(&h, sf, &params(256, 8), KpmVariant::AugSpmmv);
+    let set = kpm_moments(&h, sf, &params(256, 8), KpmVariant::AugSpmmv).unwrap();
     let dos = reconstruct(&set, Kernel::Jackson, sf, 2048);
     let at_zero = dos.value_at(0.0);
     let at_vanhove = dos.value_at(1.0).max(dos.value_at(-1.0));

@@ -34,8 +34,8 @@ fn auto_weights_from_modelled_rates_balance_the_distributed_solver() {
         seed: 42,
         parallel: false,
     };
-    let reference = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv);
-    let dist = distributed_kpm(&h, sf, &p, &weights, false);
+    let reference = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv).unwrap();
+    let dist = distributed_kpm(&h, sf, &p, &weights, false).unwrap();
     assert!(reference.max_abs_diff(&dist.moments) < 1e-9);
 }
 
@@ -108,7 +108,7 @@ fn specialized_dispatch_active_in_solver_for_paper_widths() {
                 parallel: false,
             },
             KpmVariant::AugSpmmv,
-        );
+        ).unwrap();
         let parallel = kpm_moments(
             &h,
             sf,
@@ -119,7 +119,7 @@ fn specialized_dispatch_active_in_solver_for_paper_widths() {
                 parallel: true,
             },
             KpmVariant::AugSpmmv,
-        );
+        ).unwrap();
         assert!(serial.max_abs_diff(&parallel) < 1e-9, "R={r}");
     }
 }

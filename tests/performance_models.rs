@@ -3,7 +3,7 @@
 //! Fig. 10 bottleneck shift, the Fig. 11 node-level ratios, the Fig. 12
 //! scaling shapes and the Table III resource comparison.
 
-use kpm_repro::hetsim::cluster::{ClusterModel, Domain};
+use kpm_repro::hetsim::cluster::ClusterModel;
 use kpm_repro::hetsim::node::{node_performance, Stage};
 use kpm_repro::perfmodel::balance::min_code_balance;
 use kpm_repro::perfmodel::machine::{IVB, SNB};
