@@ -22,9 +22,7 @@ fn bench_blas1(c: &mut Criterion) {
     g.bench_function(BenchmarkId::new("axpy_par", n), |b| {
         b.iter(|| axpy_par(a, &x, &mut y))
     });
-    g.bench_function(BenchmarkId::new("scal", n), |b| {
-        b.iter(|| scal(a, &mut y))
-    });
+    g.bench_function(BenchmarkId::new("scal", n), |b| b.iter(|| scal(a, &mut y)));
     g.bench_function(BenchmarkId::new("nrm2", n), |b| b.iter(|| nrm2(&x)));
     g.bench_function(BenchmarkId::new("dot", n), |b| b.iter(|| dot(&x, &y)));
     g.bench_function(BenchmarkId::new("dot_par", n), |b| {

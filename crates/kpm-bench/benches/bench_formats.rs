@@ -20,7 +20,11 @@ fn bench_formats(c: &mut Criterion) {
     let mut g = c.benchmark_group("sell_sigma_ablation");
     for sigma_factor in [1usize, 4, 32] {
         let c_height = 32usize;
-        let sigma = if sigma_factor == 1 { 1 } else { c_height * sigma_factor };
+        let sigma = if sigma_factor == 1 {
+            1
+        } else {
+            c_height * sigma_factor
+        };
         let sell = SellMatrix::from_crs(&h, c_height, sigma);
         eprintln!(
             "sigma = {sigma}: beta = {:.3} ({} stored vs {} nnz)",

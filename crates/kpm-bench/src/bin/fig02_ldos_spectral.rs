@@ -48,8 +48,12 @@ fn main() {
         m,
         Kernel::Jackson,
         256,
-    ).unwrap();
-    print_header("Fig. 2 (right): A(kx, E) near the zone centre", &["kx/pi", "E_peak", "A_peak"]);
+    )
+    .unwrap();
+    print_header(
+        "Fig. 2 (right): A(kx, E) near the zone centre",
+        &["kx/pi", "E_peak", "A_peak"],
+    );
     for (kx, curve) in cut.kx.iter().zip(&cut.curves) {
         // Print the dominant low-energy feature of each momentum.
         let mut best = (0.0f64, 0.0f64);
@@ -58,7 +62,12 @@ fn main() {
                 best = (*e, *v);
             }
         }
-        println!("{:.4}\t{:.4}\t{:.4}", kx / std::f64::consts::PI, best.0, best.1);
+        println!(
+            "{:.4}\t{:.4}\t{:.4}",
+            kx / std::f64::consts::PI,
+            best.0,
+            best.1
+        );
         println!("csv,fig2spectral,{kx},{},{}", best.0, best.1);
     }
 }

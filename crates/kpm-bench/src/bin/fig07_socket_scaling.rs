@@ -9,7 +9,10 @@
 //!    rayon threads over the paper's 100x100x40 matrix. The shape —
 //!    saturation vs linear scaling — is the reproduced claim.
 
-use kpm_bench::{arg_usize, benchmark_matrix, measure_aug_spmmv, measure_aug_spmv, measure_host_bandwidth, print_header};
+use kpm_bench::{
+    arg_usize, benchmark_matrix, measure_aug_spmmv, measure_aug_spmv, measure_host_bandwidth,
+    print_header,
+};
 use kpm_perfmodel::balance::min_code_balance;
 use kpm_perfmodel::machine::IVB;
 use kpm_perfmodel::roofline::socket_scaling;
@@ -45,7 +48,13 @@ fn main() {
     let host_bw = measure_host_bandwidth();
     eprintln!("host attainable bandwidth ~ {host_bw:.1} GB/s");
     print_header(
-        &format!("Fig. 7 measured (this host, {}x{}x{}, N={})", nx, ny, nz, h.nrows()),
+        &format!(
+            "Fig. 7 measured (this host, {}x{}x{}, N={})",
+            nx,
+            ny,
+            nz,
+            h.nrows()
+        ),
         &["threads", "aug_spmv", "aug_spmmv(R)", "roofline(spmv)"],
     );
     let host_roof = host_bw / b1;

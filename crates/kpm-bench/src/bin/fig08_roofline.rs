@@ -24,7 +24,15 @@ fn main() {
 
     print_header(
         "Fig. 8 (IVB model + host measurement)",
-        &["R", "Omega", "B=Omega*Bmin", "P_MEM", "P_LLC", "P*", "host Gflop/s"],
+        &[
+            "R",
+            "Omega",
+            "B=Omega*Bmin",
+            "P_MEM",
+            "P_LLC",
+            "P*",
+            "host Gflop/s",
+        ],
     );
     for r in [1usize, 2, 4, 8, 16, 32] {
         let om = measure_omega(&h, r, llc);
@@ -34,6 +42,9 @@ fn main() {
             "{r}\t{:.3}\t{:.3}\t{:.1}\t{:.1}\t{:.1}\t{host:.2}",
             pt.omega, pt.balance, pt.p_mem, pt.p_llc, pt.p_star
         );
-        println!("csv,fig8,{r},{},{},{},{},{},{host}", pt.omega, pt.balance, pt.p_mem, pt.p_llc, pt.p_star);
+        println!(
+            "csv,fig8,{r},{},{},{},{},{},{host}",
+            pt.omega, pt.balance, pt.p_mem, pt.p_llc, pt.p_star
+        );
     }
 }

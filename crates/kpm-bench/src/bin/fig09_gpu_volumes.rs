@@ -34,7 +34,9 @@ fn main() {
         );
         println!(
             "csv,fig9,{r},{},{},{}",
-            t.tex_bytes, t.l2_bytes, t.dram_bytes()
+            t.tex_bytes,
+            t.l2_bytes,
+            t.dram_bytes()
         );
     }
 }

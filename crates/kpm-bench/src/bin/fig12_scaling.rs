@@ -38,7 +38,11 @@ fn main() {
         "Fig. 12 strong scaling (Square base 400x400x40 from 4 nodes)",
         &["nodes", "Tflop/s", "efficiency"],
     );
-    let domain = Domain { nx: 400, ny: 400, nz: 40 };
+    let domain = Domain {
+        nx: 400,
+        ny: 400,
+        nz: 40,
+    };
     for p in model.strong_scaling(domain, &[4, 16, 64, 256, 1024]) {
         println!("{}\t{:.2}\t{:.3}", p.nodes, p.tflops, p.efficiency);
         println!("csv,fig12strong,{},{},{}", p.nodes, p.tflops, p.efficiency);

@@ -20,7 +20,10 @@ fn main() {
     println!("(model- and simulator-based results; see EXPERIMENTS.md for host runs)");
 
     // --- Table II + machine balance. ---
-    print_header("Table II", &["name", "b GB/s", "LLC MiB", "Ppeak", "balance B/F"]);
+    print_header(
+        "Table II",
+        &["name", "b GB/s", "LLC MiB", "Ppeak", "balance B/F"],
+    );
     for m in CATALOG {
         println!(
             "{}\t{}\t{}\t{}\t{:.3}",
@@ -42,7 +45,10 @@ fn main() {
     // --- Fig. 8 model (Omega from the cache simulator). ---
     let (h, _sf) = benchmark_matrix(64, 64, 24);
     let llc = llc_config(&kpm_perfmodel::machine::IVB);
-    print_header("Fig. 8 model (IVB)", &["R", "Omega", "P_MEM", "P_LLC", "P*"]);
+    print_header(
+        "Fig. 8 model (IVB)",
+        &["R", "Omega", "P_MEM", "P_LLC", "P*"],
+    );
     for r in [1usize, 4, 8, 16, 32] {
         let om = measure_omega(&h, r, llc);
         let pt = custom_roofline(&kpm_perfmodel::machine::IVB, 13.0, r, om.omega.max(1.0));
@@ -56,7 +62,15 @@ fn main() {
     let dev = GpuDevice::k20m();
     print_header(
         "Figs. 9/10 (K20m, aug_spmmv full)",
-        &["R", "TEX MB", "L2 MB", "DRAM MB", "DRAM GB/s", "bottleneck", "Gflop/s"],
+        &[
+            "R",
+            "TEX MB",
+            "L2 MB",
+            "DRAM MB",
+            "DRAM GB/s",
+            "bottleneck",
+            "Gflop/s",
+        ],
     );
     for r in [1usize, 16, 32] {
         let rep = simulate(&dev, &h, r, GpuKernel::AugFull);
@@ -74,7 +88,10 @@ fn main() {
     // --- Fig. 11. ---
     let bench = benchmark_matrix(32, 16, 8).0;
     let gpu = GpuDevice::k20x();
-    print_header("Fig. 11 (SNB + K20X)", &["stage", "CPU", "GPU", "CPU+GPU", "eff"]);
+    print_header(
+        "Fig. 11 (SNB + K20X)",
+        &["stage", "CPU", "GPU", "CPU+GPU", "eff"],
+    );
     for (name, stage) in [
         ("naive", Stage::Naive),
         ("stage1", Stage::Stage1),
@@ -92,7 +109,10 @@ fn main() {
 
     // --- Fig. 12 + Table III. ---
     let model = ClusterModel::piz_daint(&bench, 32);
-    print_header("Fig. 12 (weak scaling)", &["case", "nodes", "Tflop/s", "eff"]);
+    print_header(
+        "Fig. 12 (weak scaling)",
+        &["case", "nodes", "Tflop/s", "eff"],
+    );
     for p in model.weak_scaling_square(1024) {
         println!("square\t{}\t{:.2}\t{:.3}", p.nodes, p.tflops, p.efficiency);
     }

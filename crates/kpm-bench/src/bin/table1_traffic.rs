@@ -18,7 +18,14 @@ fn main() {
 
     print_header(
         &format!("Table I (N = {n}, Nnz = {nnz}, R = {r}, M = {m})"),
-        &["func", "calls", "bytes/call", "flops/call", "total GB", "total Gflop"],
+        &[
+            "func",
+            "calls",
+            "bytes/call",
+            "flops/call",
+            "total GB",
+            "total Gflop",
+        ],
     );
     for f in table1(n, nnz, r, m) {
         println!(
@@ -42,7 +49,10 @@ fn main() {
         flops as f64 / 1e9
     );
 
-    print_header("Eq. (4): solver minimum traffic per stage", &["stage", "bytes (GB)", "vs naive"]);
+    print_header(
+        "Eq. (4): solver minimum traffic per stage",
+        &["stage", "bytes (GB)", "vs naive"],
+    );
     let v0 = naive_solver_traffic(n, nnz, r, m) as f64;
     let v1 = stage1_solver_traffic(n, nnz, r, m) as f64;
     let v2 = stage2_solver_traffic(n, nnz, r, m) as f64;

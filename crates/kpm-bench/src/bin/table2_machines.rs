@@ -8,7 +8,13 @@ fn main() {
     print_header(
         "Table II",
         &[
-            "name", "clock MHz", "SIMD B", "cores/SMX", "b GB/s", "LLC MiB", "Ppeak Gflop/s",
+            "name",
+            "clock MHz",
+            "SIMD B",
+            "cores/SMX",
+            "b GB/s",
+            "LLC MiB",
+            "Ppeak Gflop/s",
             "balance B/F",
         ],
     );

@@ -24,9 +24,7 @@ fn main() {
             row.version, row.tflops, row.nodes, row.node_hours
         );
     }
-    println!(
-        "# paper: aug_spmv 14.9/288/164, aug_spmmv* 107/1024/81, aug_spmmv 116/1024/75"
-    );
+    println!("# paper: aug_spmv 14.9/288/164, aug_spmmv* 107/1024/81, aug_spmmv 116/1024/75");
     println!(
         "# throughput-mode cost factor: {:.2}x (paper: 2.2x)",
         rows[0].node_hours / rows[2].node_hours

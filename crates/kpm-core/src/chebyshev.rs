@@ -118,8 +118,8 @@ mod tests {
         let k = 32;
         let nodes = chebyshev_nodes(k);
         for m in 0..2 * k {
-            let s: f64 = nodes.iter().map(|&x| t(m, x)).sum::<f64>() * std::f64::consts::PI
-                / k as f64;
+            let s: f64 =
+                nodes.iter().map(|&x| t(m, x)).sum::<f64>() * std::f64::consts::PI / k as f64;
             let want = if m == 0 { std::f64::consts::PI } else { 0.0 };
             assert!((s - want).abs() < 1e-10, "m={m}: {s}");
         }

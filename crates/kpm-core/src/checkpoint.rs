@@ -103,10 +103,7 @@ pub trait CheckpointStore: Send + Sync {
 
 /// Finds the newest iteration that has an η record plus a *complete*
 /// tiling of rows `0..n` by rank records — the restart point.
-pub fn latest_consistent(
-    store: &dyn CheckpointStore,
-    n: usize,
-) -> Result<Option<usize>, KpmError> {
+pub fn latest_consistent(store: &dyn CheckpointStore, n: usize) -> Result<Option<usize>, KpmError> {
     let mut iters = store.eta_iterations()?;
     iters.sort_unstable();
     for &it in iters.iter().rev() {
@@ -536,8 +533,12 @@ mod tests {
             row_end: (rank + 1) * rows,
             width,
             halo_sent: 12345,
-            v: (0..n).map(|i| Complex64::new(i as f64, -(i as f64))).collect(),
-            w: (0..n).map(|i| Complex64::new(0.5 * i as f64, 2.0)).collect(),
+            v: (0..n)
+                .map(|i| Complex64::new(i as f64, -(i as f64)))
+                .collect(),
+            w: (0..n)
+                .map(|i| Complex64::new(0.5 * i as f64, 2.0))
+                .collect(),
         }
     }
 

@@ -163,7 +163,11 @@ mod tests {
         let set = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv).unwrap();
         let curve = reconstruct(&set, Kernel::Jackson, sf, 1024);
         assert!((moment_integral(&set, Kernel::Jackson) - 1.0).abs() < 1e-10);
-        assert!((curve.integral() - 1.0).abs() < 0.02, "{}", curve.integral());
+        assert!(
+            (curve.integral() - 1.0).abs() < 0.02,
+            "{}",
+            curve.integral()
+        );
     }
 
     #[test]

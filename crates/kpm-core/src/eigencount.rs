@@ -53,7 +53,12 @@ pub fn count_from_moments(
     e_lo: f64,
     e_hi: f64,
 ) -> f64 {
-    let frac = window_fraction(moments, kernel, sf.to_chebyshev(e_lo), sf.to_chebyshev(e_hi));
+    let frac = window_fraction(
+        moments,
+        kernel,
+        sf.to_chebyshev(e_lo),
+        sf.to_chebyshev(e_hi),
+    );
     frac * dim as f64
 }
 
@@ -149,7 +154,10 @@ mod tests {
         let (e_lo, e_hi) = (-0.5, 0.5);
         let exact = evs.iter().filter(|e| **e >= e_lo && **e <= e_hi).count() as f64;
         let est = estimate_count(&h, &params(128, 48), e_lo, e_hi).unwrap();
-        assert!((est - exact).abs() < 0.15 * 150.0, "est {est} vs exact {exact}");
+        assert!(
+            (est - exact).abs() < 0.15 * 150.0,
+            "est {est} vs exact {exact}"
+        );
     }
 
     #[test]

@@ -188,7 +188,11 @@ mod tests {
         psi.normalize();
         for &t in &[0.3f64, 2.0, 7.5, -4.0] {
             let out = evolve(&h, sf, &psi, t);
-            assert!((out.norm() - 1.0).abs() < 1e-10, "t={t}: norm {}", out.norm());
+            assert!(
+                (out.norm() - 1.0).abs() < 1e-10,
+                "t={t}: norm {}",
+                out.norm()
+            );
         }
     }
 

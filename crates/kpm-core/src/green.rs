@@ -158,7 +158,9 @@ mod tests {
         // so Gauss-Chebyshev quadrature absorbs it).
         let series: Vec<f64> = nodes
             .iter()
-            .map(|&xp| crate::chebyshev::damped_series(set.as_slice(), &g, xp) / std::f64::consts::PI)
+            .map(|&xp| {
+                crate::chebyshev::damped_series(set.as_slice(), &g, xp) / std::f64::consts::PI
+            })
             .collect();
         let x = 0.27;
         let pv: f64 = nodes

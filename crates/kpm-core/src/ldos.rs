@@ -195,7 +195,10 @@ mod tests {
             .zip(&outside.values)
             .map(|(a, b)| (a - b).abs())
             .sum();
-        assert!(diff > 0.05, "dot potential should modulate the LDOS: {diff}");
+        assert!(
+            diff > 0.05,
+            "dot potential should modulate the LDOS: {diff}"
+        );
     }
 
     #[test]

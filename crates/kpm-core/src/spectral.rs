@@ -161,10 +161,21 @@ mod tests {
         let ham = periodic_clean(4, 4, 4);
         let h = ham.assemble();
         let sf = ScaleFactors::from_gershgorin(&h, 0.01);
-        let curve =
-            spectral_function(&h, sf, &ham.lattice, (0.0, 0.0, 0.0), 128, Kernel::Jackson, 2048)
-                .unwrap();
-        assert!((curve.integral() - 4.0).abs() < 0.05, "{}", curve.integral());
+        let curve = spectral_function(
+            &h,
+            sf,
+            &ham.lattice,
+            (0.0, 0.0, 0.0),
+            128,
+            Kernel::Jackson,
+            2048,
+        )
+        .unwrap();
+        assert!(
+            (curve.integral() - 4.0).abs() < 0.05,
+            "{}",
+            curve.integral()
+        );
     }
 
     #[test]

@@ -28,7 +28,10 @@ pub fn weights_from_rates(rates: &[f64]) -> Vec<f64> {
 /// noise-free measurements).
 pub fn refine_weights(weights: &[f64], times: &[f64], damping: f64) -> Vec<f64> {
     assert_eq!(weights.len(), times.len(), "one time per rank");
-    assert!((0.0..=1.0).contains(&damping) && damping > 0.0, "damping in (0,1]");
+    assert!(
+        (0.0..=1.0).contains(&damping) && damping > 0.0,
+        "damping in (0,1]"
+    );
     assert!(times.iter().all(|t| *t > 0.0), "times must be positive");
     // Implied speed of rank i: rows_i / t_i ∝ w_i / t_i. Balanced
     // weights are proportional to speeds.

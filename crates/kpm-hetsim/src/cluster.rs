@@ -310,8 +310,7 @@ impl ClusterModel {
         };
         let m = 2000usize;
         let sweeps = (m / 2) as f64;
-        let total_flops =
-            self.r as f64 * domain.rows() as f64 * (13.0 * 8.0 + 34.0) * sweeps;
+        let total_flops = self.r as f64 * domain.rows() as f64 * (13.0 * 8.0 + 34.0) * sweeps;
 
         let mut rows = Vec::new();
         // Throughput mode: R independent aug_spmv runs (the paper ran
@@ -452,8 +451,12 @@ mod tests {
         assert_eq!(best.nodes, 1024);
         assert!(spmv.tflops < star.tflops && star.tflops < best.tflops);
         // Paper: 164 vs 75 node-hours (2.2x); the model lands near 2x.
-        assert!(spmv.node_hours > 1.8 * best.node_hours,
-            "throughput mode must cost ~2x: {} vs {}", spmv.node_hours, best.node_hours);
+        assert!(
+            spmv.node_hours > 1.8 * best.node_hours,
+            "throughput mode must cost ~2x: {} vs {}",
+            spmv.node_hours,
+            best.node_hours
+        );
         // Single end reduction buys ~8% (paper: 8%).
         let gain = best.tflops / star.tflops;
         assert!(gain > 1.03 && gain < 1.2, "reduction gain = {gain}");
@@ -469,12 +472,20 @@ mod tests {
         let bench = TopoHamiltonian::clean(32, 16, 8).assemble();
         let plain = ClusterModel::piz_daint(&bench, 32);
         let piped = ClusterModel::piz_daint(&bench, 32).with_pipelining();
-        let d = Domain { nx: 6400, ny: 6400, nz: 40 };
+        let d = Domain {
+            nx: 6400,
+            ny: 6400,
+            nz: 40,
+        };
         let t_plain = plain.sustained_tflops(d, 32, 32, Stage::Stage2, false);
         let t_piped = piped.sustained_tflops(d, 32, 32, Stage::Stage2, false);
         assert!(t_piped > t_plain, "{t_piped} vs {t_plain}");
         // Strong-scaling tail benefits more (comm-dominated).
-        let small = Domain { nx: 400, ny: 400, nz: 40 };
+        let small = Domain {
+            nx: 400,
+            ny: 400,
+            nz: 40,
+        };
         let s_plain = plain.strong_scaling(small, &[4, 256]);
         let s_piped = piped.strong_scaling(small, &[4, 256]);
         let gain_small = s_piped[1].tflops / s_plain[1].tflops;

@@ -15,10 +15,7 @@ use kpm_sparse::CrsMatrix;
 pub fn partition_rows(n: usize, weights: &[f64], align: usize) -> Vec<(usize, usize)> {
     assert!(!weights.is_empty(), "need at least one weight");
     assert!(align >= 1, "alignment must be positive");
-    assert!(
-        weights.iter().all(|w| *w > 0.0),
-        "weights must be positive"
-    );
+    assert!(weights.iter().all(|w| *w > 0.0), "weights must be positive");
     let total: f64 = weights.iter().sum();
     let mut ranges = Vec::with_capacity(weights.len());
     let mut begin = 0usize;
@@ -80,7 +77,11 @@ impl LocalProblem {
 /// Builds every rank's [`LocalProblem`] from the global matrix and the
 /// row ranges of [`partition_rows`].
 pub fn decompose(h: &CrsMatrix, ranges: &[(usize, usize)]) -> Vec<LocalProblem> {
-    assert_eq!(h.nrows(), h.ncols(), "decomposition expects a square matrix");
+    assert_eq!(
+        h.nrows(),
+        h.ncols(),
+        "decomposition expects a square matrix"
+    );
     assert_eq!(
         ranges.last().map(|r| r.1),
         Some(h.nrows()),

@@ -154,9 +154,7 @@ impl FaultPlan {
             duplicate: draw() < self.dup_prob,
             delay: if draw() < self.delay_prob {
                 let frac = draw();
-                Some(Duration::from_secs_f64(
-                    self.max_delay.as_secs_f64() * frac,
-                ))
+                Some(Duration::from_secs_f64(self.max_delay.as_secs_f64() * frac))
             } else {
                 None
             },

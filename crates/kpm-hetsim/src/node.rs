@@ -60,7 +60,10 @@ const PCIE_BW_GBS: f64 = 6.0;
 /// cores (paper: the full socket when CPU-only, cores-1 when a GPU
 /// must be managed).
 pub fn cpu_performance(machine: &Machine, stage: Stage, r: usize, cores: usize, omega: f64) -> f64 {
-    assert!(cores >= 1 && cores <= machine.cores, "core count out of range");
+    assert!(
+        cores >= 1 && cores <= machine.cores,
+        "core count out of range"
+    );
     let nnzr = 13.0;
     let b = stage_balance(stage, nnzr, r) * omega;
     let p_mem = memory_bound(machine, b);

@@ -145,7 +145,11 @@ mod tests {
     fn many_sizes_stay_aligned() {
         for len in [1usize, 3, 7, 64, 65, 4097] {
             let v = AlignedVec::zeroed(len);
-            assert_eq!(v.as_slice().as_ptr() as usize % BUFFER_ALIGN, 0, "len={len}");
+            assert_eq!(
+                v.as_slice().as_ptr() as usize % BUFFER_ALIGN,
+                0,
+                "len={len}"
+            );
         }
     }
 

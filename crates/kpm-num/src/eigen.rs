@@ -278,10 +278,7 @@ mod tests {
         let mut hi = f64::NEG_INFINITY;
         for i in 0..n {
             let d = m.get(i, i).re;
-            let rad: f64 = (0..n)
-                .filter(|&j| j != i)
-                .map(|j| m.get(i, j).abs())
-                .sum();
+            let rad: f64 = (0..n).filter(|&j| j != i).map(|j| m.get(i, j).abs()).sum();
             lo = lo.min(d - rad);
             hi = hi.max(d + rad);
         }

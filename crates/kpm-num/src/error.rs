@@ -23,10 +23,7 @@ pub enum KpmError {
         details: String,
     },
     /// User-supplied matrix data is structurally invalid.
-    InvalidMatrix {
-        what: &'static str,
-        details: String,
-    },
+    InvalidMatrix { what: &'static str, details: String },
     /// A NaN or infinity surfaced during the moment iteration.
     NonFinite {
         /// Which quantity went non-finite (e.g. `"eta_even"`).
@@ -58,36 +55,21 @@ pub enum KpmError {
         waited_ms: u64,
     },
     /// A rank died (simulated crash, panic, or early exit).
-    RankCrashed {
-        rank: usize,
-    },
+    RankCrashed { rank: usize },
     /// A send could not be delivered because the destination's inbox is
     /// gone (the receiving rank has terminated).
-    SendFailed {
-        from: usize,
-        to: usize,
-        tag: u64,
-    },
+    SendFailed { from: usize, to: usize, tag: u64 },
     /// The out-of-order receive stash hit its capacity: the rank is
     /// being flooded with messages it never matches (message storm).
-    StashOverflow {
-        rank: usize,
-        capacity: usize,
-    },
+    StashOverflow { rank: usize, capacity: usize },
     /// After a world completed, undelivered messages remained — a
     /// protocol leak.
-    MessageLeak {
-        undelivered: usize,
-    },
+    MessageLeak { undelivered: usize },
     /// A checkpoint record failed validation (bad magic, version,
     /// length, or checksum).
-    CheckpointCorrupt {
-        details: String,
-    },
+    CheckpointCorrupt { details: String },
     /// The checkpoint requested for resume does not exist.
-    CheckpointMissing {
-        details: String,
-    },
+    CheckpointMissing { details: String },
     /// A resilient run gave up after the configured restart budget.
     RestartsExhausted {
         attempts: usize,
@@ -95,9 +77,7 @@ pub enum KpmError {
         last_error: String,
     },
     /// An I/O failure in a file-backed checkpoint store.
-    Io {
-        details: String,
-    },
+    Io { details: String },
 }
 
 impl fmt::Display for KpmError {
@@ -112,25 +92,40 @@ impl fmt::Display for KpmError {
             KpmError::NonFinite { context, iteration } => {
                 write!(f, "non-finite {context} at iteration {iteration}")
             }
-            KpmError::SpectralBoundsViolated { iteration, value, bound } => write!(
+            KpmError::SpectralBoundsViolated {
+                iteration,
+                value,
+                bound,
+            } => write!(
                 f,
                 "spectral bounds violated at iteration {iteration}: |partial| = {value:e} \
                  exceeds {bound:e}; the scale factors do not cover the spectrum"
             ),
-            KpmError::RankUnreachable { rank, peer, tag, waited_ms } => write!(
+            KpmError::RankUnreachable {
+                rank,
+                peer,
+                tag,
+                waited_ms,
+            } => write!(
                 f,
                 "rank {rank}: peer {peer} unreachable (tag {tag}, waited {waited_ms} ms)"
             ),
             KpmError::RankCrashed { rank } => write!(f, "rank {rank} crashed"),
             KpmError::SendFailed { from, to, tag } => {
-                write!(f, "send {from} -> {to} (tag {tag}) failed: receiver is gone")
+                write!(
+                    f,
+                    "send {from} -> {to} (tag {tag}) failed: receiver is gone"
+                )
             }
             KpmError::StashOverflow { rank, capacity } => write!(
                 f,
                 "rank {rank}: receive stash overflow (capacity {capacity} unmatched messages)"
             ),
             KpmError::MessageLeak { undelivered } => {
-                write!(f, "{undelivered} undelivered message(s) after world shutdown")
+                write!(
+                    f,
+                    "{undelivered} undelivered message(s) after world shutdown"
+                )
             }
             KpmError::CheckpointCorrupt { details } => {
                 write!(f, "corrupt checkpoint: {details}")
@@ -138,7 +133,10 @@ impl fmt::Display for KpmError {
             KpmError::CheckpointMissing { details } => {
                 write!(f, "checkpoint missing: {details}")
             }
-            KpmError::RestartsExhausted { attempts, last_error } => write!(
+            KpmError::RestartsExhausted {
+                attempts,
+                last_error,
+            } => write!(
                 f,
                 "gave up after {attempts} attempt(s); last error: {last_error}"
             ),

@@ -131,9 +131,6 @@ mod tests {
     fn empty_sums_are_zero() {
         assert_eq!(pairwise_sum(&[]), 0.0);
         assert_eq!(kahan_sum(&[]), 0.0);
-        assert_eq!(
-            pairwise_sum_complex(&[]),
-            Complex64::new(0.0, 0.0)
-        );
+        assert_eq!(pairwise_sum_complex(&[]), Complex64::new(0.0, 0.0));
     }
 }

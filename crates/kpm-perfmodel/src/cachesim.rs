@@ -284,7 +284,12 @@ mod tests {
         };
         assert_eq!(cfg.sets(), 3);
         let mut lvl = CacheLevel::new(cfg);
-        assert_eq!(lvl.access_line(7, false), Probe::Miss { victim_dirty: false });
+        assert_eq!(
+            lvl.access_line(7, false),
+            Probe::Miss {
+                victim_dirty: false
+            }
+        );
         assert_eq!(lvl.access_line(7, false), Probe::Hit);
     }
 
@@ -382,6 +387,11 @@ mod tests {
         assert_eq!(lvl.misses, 1);
         lvl.reset();
         assert_eq!(lvl.misses, 0);
-        assert_eq!(lvl.access_line(5, false), Probe::Miss { victim_dirty: false });
+        assert_eq!(
+            lvl.access_line(5, false),
+            Probe::Miss {
+                victim_dirty: false
+            }
+        );
     }
 }

@@ -144,7 +144,11 @@ mod tests {
     #[test]
     fn ceilings_ordered_dram_l2_tex() {
         for d in [GpuDevice::k20m(), GpuDevice::k20x()] {
-            for k in [GpuKernel::PlainSpmmv, GpuKernel::AugNoDot, GpuKernel::AugFull] {
+            for k in [
+                GpuKernel::PlainSpmmv,
+                GpuKernel::AugNoDot,
+                GpuKernel::AugFull,
+            ] {
                 let c = d.ceilings(k);
                 assert!(c.dram_gbs < c.l2_gbs && c.l2_gbs < c.tex_gbs);
             }

@@ -131,7 +131,9 @@ mod tests {
         let d = GpuDevice::k20m();
         let h = matrix();
         let v8 = simulate(&d, &h, 8, GpuKernel::PlainSpmmv).traffic.tex_bytes;
-        let v32 = simulate(&d, &h, 32, GpuKernel::PlainSpmmv).traffic.tex_bytes;
+        let v32 = simulate(&d, &h, 32, GpuKernel::PlainSpmmv)
+            .traffic
+            .tex_bytes;
         let ratio = v32 as f64 / v8 as f64;
         assert!((ratio - 4.0).abs() < 0.35, "ratio = {ratio}");
     }
@@ -187,8 +189,7 @@ mod tests {
         // the fused one, so they run at the latency-deflated DRAM
         // ceiling, not at streaming speed.
         let extra_bytes = 4.0 * (h.nrows() * r * 16) as f64;
-        let separate =
-            nodot.timing.seconds + extra_bytes / (d.fused_ceilings.dram_gbs * 1e9);
+        let separate = nodot.timing.seconds + extra_bytes / (d.fused_ceilings.dram_gbs * 1e9);
         assert!(
             full.timing.seconds < separate,
             "fused {} vs separate {}",

@@ -49,7 +49,10 @@ pub struct GpuMemory {
 impl GpuMemory {
     /// Creates a cold memory system with the given cache geometries.
     pub fn new(tex: CacheConfig, l2: CacheConfig) -> Self {
-        assert_eq!(tex.line_bytes, GPU_LINE_BYTES, "TEX line size fixed at 128 B");
+        assert_eq!(
+            tex.line_bytes, GPU_LINE_BYTES,
+            "TEX line size fixed at 128 B"
+        );
         assert_eq!(l2.line_bytes, GPU_LINE_BYTES, "L2 line size fixed at 128 B");
         Self {
             tex: CacheLevel::new(tex),

@@ -94,8 +94,8 @@ pub fn warp_divergence_efficiency(device: &GpuDevice, h: &CrsMatrix, r: usize) -
 mod tests {
     use super::*;
     use crate::device::GpuDevice;
-    use kpm_sparse::CooMatrix;
     use kpm_num::Complex64;
+    use kpm_sparse::CooMatrix;
 
     #[test]
     fn r32_is_the_sweet_spot() {

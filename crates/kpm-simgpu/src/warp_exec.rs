@@ -117,11 +117,13 @@ pub fn aug_spmmv_warp_exec(
         // Phase 1: SpMMV + recurrence, lanes in lockstep. Each lane
         // (wi, lane) owns (row + lane/seg, column chunk wi*ws + lane%seg).
         // acc[lane] per warp; several warps when R > warpSize.
-        let mut warp_acc: Vec<Vec<Complex64>> =
-            vec![vec![Complex64::default(); ws]; warps_per_row];
+        let mut warp_acc: Vec<Vec<Complex64>> = vec![vec![Complex64::default(); ws]; warps_per_row];
         // Lockstep over the *maximum* row length in the warp (the
         // divergence the occupancy module quantifies).
-        let max_len = (row..row + rows_here).map(|i| h.row_len(i)).max().unwrap_or(0);
+        let max_len = (row..row + rows_here)
+            .map(|i| h.row_len(i))
+            .max()
+            .unwrap_or(0);
         for k in 0..max_len {
             for (wi, acc) in warp_acc.iter_mut().enumerate() {
                 #[allow(clippy::needless_range_loop)] // lockstep lane loop

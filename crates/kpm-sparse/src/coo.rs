@@ -19,8 +19,10 @@ pub struct CooMatrix {
 impl CooMatrix {
     /// Creates an empty `nrows x ncols` builder.
     pub fn new(nrows: usize, ncols: usize) -> Self {
-        assert!(nrows <= u32::MAX as usize && ncols <= u32::MAX as usize,
-            "COO builder uses 32-bit local indices (the paper's S_i = 4); dimension too large");
+        assert!(
+            nrows <= u32::MAX as usize && ncols <= u32::MAX as usize,
+            "COO builder uses 32-bit local indices (the paper's S_i = 4); dimension too large"
+        );
         Self {
             nrows,
             ncols,

@@ -72,7 +72,10 @@ impl CrsMatrix {
         if nnz != cols.len() {
             return Err(bad(
                 "row_ptr",
-                format!("row_ptr must end at nnz (got {nnz}, cols.len() = {})", cols.len()),
+                format!(
+                    "row_ptr must end at nnz (got {nnz}, cols.len() = {})",
+                    cols.len()
+                ),
             ));
         }
         if cols.len() != vals.len() {
@@ -381,13 +384,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "strictly increasing")]
     fn unsorted_columns_rejected() {
-        CrsMatrix::from_raw(
-            1,
-            3,
-            vec![0, 2],
-            vec![2, 0],
-            vec![Complex64::real(1.0); 2],
-        );
+        CrsMatrix::from_raw(1, 3, vec![0, 2], vec![2, 0], vec![Complex64::real(1.0); 2]);
     }
 
     #[test]

@@ -63,7 +63,10 @@ pub fn write_general<W: Write>(m: &CrsMatrix, out: &mut W) -> io::Result<()> {
 /// Writes a Hermitian matrix in `matrix coordinate complex hermitian`
 /// format: only entries with `row >= col` are stored.
 pub fn write_hermitian<W: Write>(m: &CrsMatrix, out: &mut W) -> io::Result<()> {
-    assert!(m.is_hermitian(), "matrix must be Hermitian for hermitian output");
+    assert!(
+        m.is_hermitian(),
+        "matrix must be Hermitian for hermitian output"
+    );
     let lower: usize = (0..m.nrows())
         .map(|r| m.row_cols(r).iter().filter(|&&c| (c as usize) <= r).count())
         .sum();
@@ -88,9 +91,7 @@ pub fn read<R: BufRead>(input: R) -> Result<CrsMatrix, MmError> {
     let mut lines = input.lines();
 
     // Header.
-    let header = lines
-        .next()
-        .ok_or_else(|| parse_err("empty file"))??;
+    let header = lines.next().ok_or_else(|| parse_err("empty file"))??;
     let tokens: Vec<String> = header
         .split_whitespace()
         .map(|t| t.to_ascii_lowercase())
@@ -204,13 +205,9 @@ mod tests {
         let text = String::from_utf8(buf.clone()).unwrap();
         assert!(text.contains("hermitian"));
         // Only the lower triangle is stored...
-        let entries = text
-            .lines()
-            .filter(|l| !l.starts_with('%'))
-            .skip(1)
-            .count();
+        let entries = text.lines().filter(|l| !l.starts_with('%')).skip(1).count();
         assert_eq!(entries, 4); // (1,1), (2,1), (3,2), (3,3)
-        // ...but the read matrix is the full Hermitian one.
+                                // ...but the read matrix is the full Hermitian one.
         let back = read(BufReader::new(buf.as_slice())).unwrap();
         assert_eq!(m, back);
         assert!(back.is_hermitian());

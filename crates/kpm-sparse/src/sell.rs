@@ -273,7 +273,11 @@ mod tests {
             let len = 1 + rng.gen_range(0..per_row.max(1));
             for _ in 0..len {
                 let c = rng.gen_range(0..ncols);
-                coo.push(r, c, Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)));
+                coo.push(
+                    r,
+                    c,
+                    Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)),
+                );
             }
         }
         coo.to_crs()
@@ -294,8 +298,19 @@ mod tests {
         let x = Vector::random(123, &mut rng).into_vec();
         let mut y_ref = vec![Complex64::default(); 123];
         spmv(&crs, &x, &mut y_ref);
-        for (c, sigma) in [(1usize, 1usize), (4, 1), (4, 8), (8, 32), (32, 32), (16, 123_usize.next_power_of_two())] {
-            let sigma = if sigma == 1 { 1 } else { (sigma / c).max(1) * c };
+        for (c, sigma) in [
+            (1usize, 1usize),
+            (4, 1),
+            (4, 8),
+            (8, 32),
+            (32, 32),
+            (16, 123_usize.next_power_of_two()),
+        ] {
+            let sigma = if sigma == 1 {
+                1
+            } else {
+                (sigma / c).max(1) * c
+            };
             let sell = SellMatrix::from_crs(&crs, c, sigma);
             let mut y = vec![Complex64::default(); 123];
             sell.spmv(&x, &mut y);

@@ -29,44 +29,19 @@ const PI_: Complex64 = Complex64 { re: 0.0, im: 1.0 };
 const MI: Complex64 = Complex64 { re: 0.0, im: -1.0 };
 
 /// Γ⁰ — the 4×4 identity; couples to the scalar potential `V_n`.
-pub const GAMMA0: Gamma = [
-    [P, O, O, O],
-    [O, P, O, O],
-    [O, O, P, O],
-    [O, O, O, P],
-];
+pub const GAMMA0: Gamma = [[P, O, O, O], [O, P, O, O], [O, O, P, O], [O, O, O, P]];
 
 /// Γ¹ = τ_z ⊗ σ₀ — diagonal "mass" matrix.
-pub const GAMMA1: Gamma = [
-    [P, O, O, O],
-    [O, P, O, O],
-    [O, O, M, O],
-    [O, O, O, M],
-];
+pub const GAMMA1: Gamma = [[P, O, O, O], [O, P, O, O], [O, O, M, O], [O, O, O, M]];
 
 /// Γ² = τ_x ⊗ σ_x.
-pub const GAMMA2: Gamma = [
-    [O, O, O, P],
-    [O, O, P, O],
-    [O, P, O, O],
-    [P, O, O, O],
-];
+pub const GAMMA2: Gamma = [[O, O, O, P], [O, O, P, O], [O, P, O, O], [P, O, O, O]];
 
 /// Γ³ = τ_x ⊗ σ_y.
-pub const GAMMA3: Gamma = [
-    [O, O, O, MI],
-    [O, O, PI_, O],
-    [O, MI, O, O],
-    [PI_, O, O, O],
-];
+pub const GAMMA3: Gamma = [[O, O, O, MI], [O, O, PI_, O], [O, MI, O, O], [PI_, O, O, O]];
 
 /// Γ⁴ = τ_x ⊗ σ_z.
-pub const GAMMA4: Gamma = [
-    [O, O, P, O],
-    [O, O, O, M],
-    [P, O, O, O],
-    [O, M, O, O],
-];
+pub const GAMMA4: Gamma = [[O, O, P, O], [O, O, O, M], [P, O, O, O], [O, M, O, O]];
 
 /// All five Γ-matrices indexed as the paper indexes them (`GAMMAS[a]` is
 /// Γᵃ).

@@ -49,11 +49,7 @@ impl GrapheneLattice {
     pub fn neighbors_of_a(&self, x: usize, y: usize) -> [usize; 3] {
         let xm = (x + self.nx - 1) % self.nx;
         let ym = (y + self.ny - 1) % self.ny;
-        [
-            self.site(x, y, 1),
-            self.site(xm, y, 1),
-            self.site(x, ym, 1),
-        ]
+        [self.site(x, y, 1), self.site(xm, y, 1), self.site(x, ym, 1)]
     }
 }
 
@@ -70,7 +66,11 @@ where
             for s in 0..2 {
                 let v = potential(x, y, s);
                 if v != 0.0 {
-                    coo.push(lattice.site(x, y, s), lattice.site(x, y, s), Complex64::real(v));
+                    coo.push(
+                        lattice.site(x, y, s),
+                        lattice.site(x, y, s),
+                        Complex64::real(v),
+                    );
                 }
             }
             let a = lattice.site(x, y, 0);
@@ -100,8 +100,18 @@ pub fn graphene_quantum_dots(
 ) -> CrsMatrix {
     graphene_hamiltonian(lattice, t, move |x, y, _| {
         let p = period as f64;
-        let dx = (x as f64 - p / 2.0).rem_euclid(p) - if (x as f64 - p / 2.0).rem_euclid(p) > p / 2.0 { p } else { 0.0 };
-        let dy = (y as f64 - p / 2.0).rem_euclid(p) - if (y as f64 - p / 2.0).rem_euclid(p) > p / 2.0 { p } else { 0.0 };
+        let dx = (x as f64 - p / 2.0).rem_euclid(p)
+            - if (x as f64 - p / 2.0).rem_euclid(p) > p / 2.0 {
+                p
+            } else {
+                0.0
+            };
+        let dy = (y as f64 - p / 2.0).rem_euclid(p)
+            - if (y as f64 - p / 2.0).rem_euclid(p) > p / 2.0 {
+                p
+            } else {
+                0.0
+            };
         if (dx * dx + dy * dy).sqrt() <= radius {
             strength
         } else {
@@ -113,9 +123,7 @@ pub fn graphene_quantum_dots(
 /// The two Bloch band energies of clean graphene at momentum
 /// `(kx, ky)` (in reciprocal-cell units): `E = ±t·|1 + e^{ikx} + e^{iky}|`.
 pub fn graphene_bloch_energies(t: f64, kx: f64, ky: f64) -> [f64; 2] {
-    let f = Complex64::real(1.0)
-        + Complex64::new(0.0, kx).exp()
-        + Complex64::new(0.0, ky).exp();
+    let f = Complex64::real(1.0) + Complex64::new(0.0, kx).exp() + Complex64::new(0.0, ky).exp();
     let e = t * f.abs();
     [-e, e]
 }

@@ -190,8 +190,7 @@ impl TopoHamiltonian {
     /// against exact plane-wave states.
     pub fn bloch_eigenvalues(t: f64, v: f64, kx: f64, ky: f64, kz: f64) -> [f64; 4] {
         let mass = 2.0 - t * (kx.cos() + ky.cos() + kz.cos());
-        let kin = t * t
-            * (kx.sin() * kx.sin() + ky.sin() * ky.sin() + kz.sin() * kz.sin());
+        let kin = t * t * (kx.sin() * kx.sin() + ky.sin() * ky.sin() + kz.sin() * kz.sin());
         let e = (mass * mass + kin).sqrt();
         [v - e, v - e, v + e, v + e]
     }
@@ -235,7 +234,10 @@ mod tests {
             TopoHamiltonian {
                 lattice: Lattice3D::periodic(3, 3, 3),
                 t: 0.7,
-                potential: Potential::Disorder { width: 1.0, seed: 3 },
+                potential: Potential::Disorder {
+                    width: 1.0,
+                    seed: 3,
+                },
             },
         ] {
             assert!(ham.assemble().is_hermitian());
@@ -305,9 +307,7 @@ mod tests {
         let n = h.nrows();
         for _ in 0..5 {
             let v: Vec<Complex64> = (0..n)
-                .map(|_| {
-                    Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
-                })
+                .map(|_| Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
                 .collect();
             let mut hv = vec![Complex64::default(); n];
             spmv(&h, &v, &mut hv);
@@ -369,11 +369,17 @@ mod tests {
         // far beyond the stencil width: not a band matrix.
         assert!(!stats.is_band_matrix(16 * lat.nx));
         let corners = stats.corner_diagonals(0.5);
-        assert!(!corners.is_empty(), "periodic BCs must create corner diagonals");
+        assert!(
+            !corners.is_empty(),
+            "periodic BCs must create corner diagonals"
+        );
         // x-wrap: site offset (Nx-1) -> matrix offset 4*(Nx-1) block.
         let xwrap = 4 * (lat.nx as i64 - 1);
         assert!(
-            stats.diagonals.iter().any(|d| (d.offset - xwrap).abs() <= 3),
+            stats
+                .diagonals
+                .iter()
+                .any(|d| (d.offset - xwrap).abs() <= 3),
             "x wrap-around diagonal near {xwrap} expected"
         );
     }

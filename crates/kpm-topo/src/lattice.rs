@@ -34,8 +34,16 @@ pub struct Lattice3D {
 impl Lattice3D {
     /// Creates a lattice with explicit boundary conditions.
     pub fn new(nx: usize, ny: usize, nz: usize, boundary: [Boundary; 3]) -> Self {
-        assert!(nx > 0 && ny > 0 && nz > 0, "lattice extents must be positive");
-        Self { nx, ny, nz, boundary }
+        assert!(
+            nx > 0 && ny > 0 && nz > 0,
+            "lattice extents must be positive"
+        );
+        Self {
+            nx,
+            ny,
+            nz,
+            boundary,
+        }
     }
 
     /// The paper's configuration: periodic in x and y, open in z.

@@ -69,7 +69,10 @@ pub fn random_hermitian(n: usize, per_row: usize, seed: u64) -> CrsMatrix {
 pub fn to_dense_hermitian(m: &CrsMatrix) -> DenseHermitian {
     assert_eq!(m.nrows(), m.ncols(), "matrix must be square");
     let n = m.nrows();
-    assert!(n <= 2048, "dense conversion is for validation-sized systems");
+    assert!(
+        n <= 2048,
+        "dense conversion is for validation-sized systems"
+    );
     let mut data = vec![Complex64::default(); n * n];
     for r in 0..n {
         for (k, &c) in m.row_cols(r).iter().enumerate() {

@@ -155,7 +155,10 @@ mod tests {
     #[test]
     fn disorder_is_deterministic_and_bounded() {
         let l = lat();
-        let p = Potential::Disorder { width: 2.0, seed: 7 };
+        let p = Potential::Disorder {
+            width: 2.0,
+            seed: 7,
+        };
         let a = p.value(&l, 10, 20, 1);
         let b = p.value(&l, 10, 20, 1);
         assert_eq!(a, b);
@@ -173,7 +176,10 @@ mod tests {
     #[test]
     fn disorder_mean_is_near_zero() {
         let l = lat();
-        let p = Potential::Disorder { width: 1.0, seed: 123 };
+        let p = Potential::Disorder {
+            width: 1.0,
+            seed: 123,
+        };
         let mut sum = 0.0;
         let mut count = 0usize;
         for x in 0..200 {

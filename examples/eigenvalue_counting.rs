@@ -28,7 +28,13 @@ fn main() {
 
     let evs = exact_eigenvalues(&h);
     println!("# window\tKPM estimate\texact count");
-    for (lo, hi) in [(-6.0, -3.0), (-3.0, -1.0), (-1.0, 1.0), (1.0, 3.0), (3.0, 6.0)] {
+    for (lo, hi) in [
+        (-6.0, -3.0),
+        (-3.0, -1.0),
+        (-1.0, 1.0),
+        (1.0, 3.0),
+        (3.0, 6.0),
+    ] {
         let est = estimate_count(&h, &params, lo, hi).unwrap();
         let exact = evs.iter().filter(|e| **e >= lo && **e < hi).count();
         println!("[{lo:+.1}, {hi:+.1})\t{est:8.1}\t{exact:8}");

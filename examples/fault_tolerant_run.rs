@@ -24,8 +24,8 @@ fn main() {
         seed: 42,
         parallel: false,
     };
-    let reference = kpm_moments(&h, sf, &params, KpmVariant::AugSpmmv)
-        .expect("fault-free reference run");
+    let reference =
+        kpm_moments(&h, sf, &params, KpmVariant::AugSpmmv).expect("fault-free reference run");
     println!(
         "N = {}, M = {}, R = {}, ranks = 3",
         h.nrows(),
@@ -35,15 +35,16 @@ fn main() {
 
     // --- Lossless message faults: moments must be bitwise identical to
     // the fault-free *distributed* run (same reduction order). ---
-    let clean = distributed_kpm(&h, sf, &params, &[1.0; 3], false)
-        .expect("fault-free distributed run");
+    let clean =
+        distributed_kpm(&h, sf, &params, &[1.0; 3], false).expect("fault-free distributed run");
     let noisy = Arc::new(
         FaultPlan::new(1)
             .with_message_duplication(0.3)
             .with_message_delays(0.3, Duration::from_millis(2)),
     );
-    let faulty = distributed_kpm_faulty(&h, sf, &params, &[1.0; 3], false, Some(Arc::clone(&noisy)))
-        .expect("lossless faults must not fail the run");
+    let faulty =
+        distributed_kpm_faulty(&h, sf, &params, &[1.0; 3], false, Some(Arc::clone(&noisy)))
+            .expect("lossless faults must not fail the run");
     let stats = noisy.stats();
     println!(
         "duplication/delay plan: {} duplicated, {} delayed -> bitwise identical: {}",

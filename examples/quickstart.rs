@@ -35,7 +35,10 @@ fn main() {
 
     // 4. Reconstruct the DOS with Jackson damping and print it.
     let dos = reconstruct(&moments, Kernel::Jackson, sf, 400);
-    println!("# E\tDOS(E)   (integrates to {:.4} per site)", dos.integral());
+    println!(
+        "# E\tDOS(E)   (integrates to {:.4} per site)",
+        dos.integral()
+    );
     for (e, v) in dos.energies.iter().zip(&dos.values).step_by(8) {
         println!("{e:+.3}\t{v:.5}");
     }

@@ -25,9 +25,15 @@ fn main() {
 
     println!("step 1 — code balance (paper Eqs. 5-7):");
     for r in [1usize, 4, 16, 32] {
-        println!("  B_min(R={r:>2}) = {:.3} bytes/flop", min_code_balance(13.0, r));
+        println!(
+            "  B_min(R={r:>2}) = {:.3} bytes/flop",
+            min_code_balance(13.0, r)
+        );
     }
-    println!("  asymptote    = {:.3} bytes/flop\n", asymptotic_balance(13.0));
+    println!(
+        "  asymptote    = {:.3} bytes/flop\n",
+        asymptotic_balance(13.0)
+    );
 
     println!("step 2 — Omega from the LLC cache simulator (paper Eq. 8):");
     let llc = llc_config(&IVB);

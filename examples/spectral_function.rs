@@ -28,8 +28,16 @@ fn main() {
     for ik in 0..=8 {
         // Momenta allowed by the finite lattice: q = 2 pi m / Nx.
         let q = 2.0 * std::f64::consts::PI * ik as f64 / 16.0;
-        let curve = spectral_function(&h, sf, &ham.lattice, (q, q, 0.0), 512, Kernel::Jackson, 2048)
-            .unwrap();
+        let curve = spectral_function(
+            &h,
+            sf,
+            &ham.lattice,
+            (q, q, 0.0),
+            512,
+            Kernel::Jackson,
+            2048,
+        )
+        .unwrap();
         let exact = TopoHamiltonian::bloch_eigenvalues(1.0, 0.0, q, q, 0.0);
 
         // Locate the two spectral peaks (lower and upper band).

@@ -30,12 +30,7 @@ fn main() {
         let psi_t = evolve(&h, sf, &psi0, t);
         let surv = survival_amplitude(&h, sf, &psi0, t).norm_sqr();
         let p4: f64 = psi_t.as_slice().iter().map(|z| z.norm_sqr().powi(2)).sum();
-        println!(
-            "{t:.2}\t{:.12}\t{:.4}\t{:.1}",
-            psi_t.norm(),
-            surv,
-            1.0 / p4
-        );
+        println!("{t:.2}\t{:.12}\t{:.4}\t{:.1}", psi_t.norm(), surv, 1.0 / p4);
     }
     println!("# norm stays 1 to machine precision (unitary propagation);");
     println!("# the survival probability decays as the packet leaks into the bulk.");

@@ -124,8 +124,13 @@ fn measuring() -> bool {
     std::env::args().any(|a| a == "--bench")
 }
 
-fn run_one<F>(group: &str, sample_size: usize, throughput: Option<Throughput>, id: BenchmarkId, mut f: F)
-where
+fn run_one<F>(
+    group: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    id: BenchmarkId,
+    mut f: F,
+) where
     F: FnMut(&mut Bencher),
 {
     let mut b = Bencher {
@@ -142,7 +147,8 @@ where
         println!("bench {label}: no samples");
         return;
     }
-    b.samples.sort_by(|a, b| a.partial_cmp(b).expect("finite sample times"));
+    b.samples
+        .sort_by(|a, b| a.partial_cmp(b).expect("finite sample times"));
     let median = b.samples[b.samples.len() / 2];
     let rate = match throughput {
         Some(Throughput::Bytes(n)) => format!(", {:.3} GB/s", n as f64 / median / 1e9),

@@ -127,7 +127,10 @@ mod tests {
 
     #[test]
     fn pool_installs_on_caller() {
-        let pool = super::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
         assert_eq!(pool.install(|| 7), 7);
         assert_eq!(pool.current_num_threads(), 4);
         assert!(super::current_num_threads() >= 1);

@@ -125,7 +125,11 @@ fn dirichlet_vs_jackson_gibbs_behaviour_end_to_end() {
     let jackson = reconstruct(&set, Kernel::Jackson, sf, 1024);
     let dirichlet = reconstruct(&set, Kernel::Dirichlet, sf, 1024);
     let j_min = jackson.values.iter().cloned().fold(f64::INFINITY, f64::min);
-    let d_min = dirichlet.values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let d_min = dirichlet
+        .values
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
     assert!(j_min > -1e-6, "Jackson DOS must be non-negative: {j_min}");
     assert!(d_min < j_min, "sharp truncation must oscillate lower");
 }
@@ -145,7 +149,10 @@ fn disorder_broadens_the_spectrum() {
     let dirty = TopoHamiltonian {
         lattice: lat,
         t: 1.0,
-        potential: Potential::Disorder { width: 4.0, seed: 99 },
+        potential: Potential::Disorder {
+            width: 4.0,
+            seed: 99,
+        },
     }
     .assemble();
     let (clo, chi) = clean.gershgorin_bounds();

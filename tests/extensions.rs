@@ -65,7 +65,12 @@ fn pipelined_cluster_beats_blocking_cluster_everywhere() {
         let sq_plain = plain.weak_scaling_square(nodes);
         let sq_piped = piped.weak_scaling_square(nodes);
         let (a, b) = (sq_plain.last().unwrap(), sq_piped.last().unwrap());
-        assert!(b.tflops >= a.tflops, "{nodes} nodes: {} vs {}", b.tflops, a.tflops);
+        assert!(
+            b.tflops >= a.tflops,
+            "{nodes} nodes: {} vs {}",
+            b.tflops,
+            a.tflops
+        );
     }
 }
 
@@ -108,7 +113,8 @@ fn specialized_dispatch_active_in_solver_for_paper_widths() {
                 parallel: false,
             },
             KpmVariant::AugSpmmv,
-        ).unwrap();
+        )
+        .unwrap();
         let parallel = kpm_moments(
             &h,
             sf,
@@ -119,7 +125,8 @@ fn specialized_dispatch_active_in_solver_for_paper_widths() {
                 parallel: true,
             },
             KpmVariant::AugSpmmv,
-        ).unwrap();
+        )
+        .unwrap();
         assert!(serial.max_abs_diff(&parallel) < 1e-9, "R={r}");
     }
 }

@@ -84,7 +84,10 @@ fn rank_crash_at_half_m_recovers_via_checkpoint() {
     let res = distributed_kpm_resilient(&h, sf, &p, &[1.0, 1.0], Some(plan), &cfg, &store)
         .expect("crash must be survived");
     assert_eq!(res.restarts, 1);
-    assert!(!res.resumed_from.is_empty() && res.resumed_from[0] > 0, "restarted from scratch");
+    assert!(
+        !res.resumed_from.is_empty() && res.resumed_from[0] > 0,
+        "restarted from scratch"
+    );
     let diff = reference.max_abs_diff(&res.report.moments);
     assert!(diff < 1e-10, "recovered moments diverged by {diff}");
 }
@@ -107,10 +110,20 @@ fn recv_on_crashed_peer_times_out_within_deadline() {
                 .expect_err("rank 1 is dead; recv must fail");
             let waited = t0.elapsed();
             assert!(
-                matches!(err, KpmError::RankUnreachable { peer: 1, tag: 42, .. }),
+                matches!(
+                    err,
+                    KpmError::RankUnreachable {
+                        peer: 1,
+                        tag: 42,
+                        ..
+                    }
+                ),
                 "{err:?}"
             );
-            assert!(waited >= deadline, "returned before the deadline: {waited:?}");
+            assert!(
+                waited >= deadline,
+                "returned before the deadline: {waited:?}"
+            );
             assert!(
                 waited < deadline + Duration::from_secs(2),
                 "deadline overshot: {waited:?}"
@@ -141,8 +154,8 @@ fn checkpoint_crash_resume_roundtrip() {
         interval: 4,
         crash_at: Some(p.iterations() / 2),
     };
-    let err = kpm_moments_checkpointed(&h, sf, &p, &crashing)
-        .expect_err("injected crash must surface");
+    let err =
+        kpm_moments_checkpointed(&h, sf, &p, &crashing).expect_err("injected crash must surface");
     assert!(matches!(err, KpmError::RankCrashed { .. }), "{err:?}");
     let resume_at = latest_consistent(&store, h.nrows())
         .unwrap()
@@ -175,7 +188,10 @@ fn message_storm_hits_stash_bound() {
             // Rank 1 waits for a tag rank 0 never sends; the storm of
             // unconsumed tags must trip the stash bound first.
             match comm.recv(0, u64::MAX) {
-                Err(KpmError::StashOverflow { rank: 1, capacity: 8 }) => Ok(1),
+                Err(KpmError::StashOverflow {
+                    rank: 1,
+                    capacity: 8,
+                }) => Ok(1),
                 other => panic!("expected stash overflow, got {other:?}"),
             }
         },
@@ -198,7 +214,11 @@ fn unscaled_spectrum_trips_divergence_guardrail() {
     let err = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv)
         .expect_err("divergent recurrence must be detected");
     match err {
-        KpmError::SpectralBoundsViolated { iteration, value, bound } => {
+        KpmError::SpectralBoundsViolated {
+            iteration,
+            value,
+            bound,
+        } => {
             assert!(iteration < p.iterations());
             assert!(value > bound);
         }

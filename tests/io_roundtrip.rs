@@ -34,7 +34,11 @@ fn kpm_moments_identical_on_loaded_matrix() {
     let sf = ScaleFactors::from_gershgorin(&h, 0.01);
     let a = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv).unwrap();
     let b = kpm_moments(&loaded, sf, &p, KpmVariant::AugSpmmv).unwrap();
-    assert_eq!(a.max_abs_diff(&b), 0.0, "identical matrix, identical moments");
+    assert_eq!(
+        a.max_abs_diff(&b),
+        0.0,
+        "identical matrix, identical moments"
+    );
 }
 
 #[test]

@@ -7,7 +7,7 @@ use kpm_repro::core::solver::{kpm_moments, KpmParams, KpmVariant};
 use kpm_repro::num::vector::{axpy, dot, nrm2, scal};
 use kpm_repro::num::{BlockVector, Complex64, Vector};
 use kpm_repro::sparse::aug::{aug_spmmv, aug_spmv};
-use kpm_repro::sparse::spmv::{spmv, spmmv};
+use kpm_repro::sparse::spmv::{spmmv, spmv};
 use kpm_repro::sparse::{CooMatrix, CrsMatrix, SellMatrix};
 use kpm_repro::topo::ScaleFactors;
 use proptest::prelude::*;
