@@ -1,0 +1,116 @@
+//! Emits `BENCH_stages.json`: achieved GF/s and modeled minimum B/F of
+//! the three optimization stages (naive SpMV, fused `aug_spmv`, blocked
+//! `aug_spmmv`) over block widths R ∈ {1, 4, 16, 32}.
+//!
+//! Unlike the `fig*` binaries this one measures through the `kpm-obs`
+//! kernel probes: each stage runs the full instrumented solver at width
+//! R, and the per-kernel accumulators provide both the achieved rate
+//! and the paper's minimum-traffic code balance (Eq. 5). The output is
+//! a machine-readable artifact checked into the repository root.
+//!
+//! ```text
+//! bench_stages_json [--nx N] [--ny N] [--nz N] [--moments M] [--out FILE]
+//! ```
+
+use std::fmt::Write as _;
+
+use kpm_bench::{arg_usize, benchmark_matrix};
+use kpm_core::solver::{kpm_moments, KpmParams, KpmVariant};
+use kpm_obs::json::num;
+use kpm_obs::probe::KernelKind;
+
+/// One (stage, R) measurement.
+struct StagePoint {
+    stage: &'static str,
+    r: usize,
+    calls: u64,
+    gflops: f64,
+    min_bf: f64,
+}
+
+fn main() {
+    let nx = arg_usize("--nx", 20);
+    let ny = arg_usize("--ny", 20);
+    let nz = arg_usize("--nz", 10);
+    let moments = arg_usize("--moments", 64);
+    let out = std::env::args()
+        .collect::<Vec<_>>()
+        .windows(2)
+        .find(|w| w[0] == "--out")
+        .map(|w| w[1].clone())
+        .unwrap_or_else(|| "BENCH_stages.json".to_string());
+
+    let (h, sf) = benchmark_matrix(nx, ny, nz);
+    eprintln!(
+        "matrix: N = {}, Nnz = {}, M = {moments}",
+        h.nrows(),
+        h.nnz()
+    );
+    kpm_obs::set_enabled(true);
+
+    let stages: [(&str, KpmVariant, KernelKind); 3] = [
+        ("naive", KpmVariant::Naive, KernelKind::Spmv),
+        ("aug_spmv", KpmVariant::AugSpmv, KernelKind::AugSpmv),
+        ("aug_spmmv", KpmVariant::AugSpmmv, KernelKind::AugSpmmv),
+    ];
+    let mut points: Vec<StagePoint> = Vec::new();
+    for r in [1usize, 4, 16, 32] {
+        let params = KpmParams {
+            num_moments: moments,
+            num_random: r,
+            seed: 2015,
+            parallel: true,
+        };
+        for (stage, variant, kind) in stages {
+            kpm_obs::reset();
+            kpm_obs::set_enabled(true);
+            kpm_moments(&h, sf, &params, variant).expect("solver run");
+            let rep = kpm_obs::probe::snapshot()
+                .into_iter()
+                .find(|rep| rep.kind == kind)
+                .expect("instrumented kernel recorded calls");
+            eprintln!(
+                "{stage:<9} R={r:<2} {:>7.2} GF/s  B_min {:.3} B/F",
+                rep.gflops(),
+                rep.min_bytes_per_flop()
+            );
+            points.push(StagePoint {
+                stage,
+                r,
+                calls: rep.calls,
+                gflops: rep.gflops(),
+                min_bf: rep.min_bytes_per_flop(),
+            });
+        }
+    }
+
+    let mut body = String::new();
+    let _ = writeln!(body, "{{");
+    let _ = writeln!(body, "  \"schema\": \"kpm-bench-stages-v1\",");
+    let _ = writeln!(
+        body,
+        "  \"matrix\": {{\"nx\": {nx}, \"ny\": {ny}, \"nz\": {nz}, \"rows\": {}, \"nnz\": {}}},",
+        h.nrows(),
+        h.nnz()
+    );
+    let _ = writeln!(body, "  \"moments\": {moments},");
+    let _ = writeln!(body, "  \"points\": [");
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 < points.len() { "," } else { "" };
+        let _ = writeln!(
+            body,
+            "    {{\"stage\": \"{}\", \"r\": {}, \"calls\": {}, \"gflops\": {}, \"min_bf\": {}}}{comma}",
+            p.stage,
+            p.r,
+            p.calls,
+            num(p.gflops),
+            num(p.min_bf)
+        );
+    }
+    let _ = writeln!(body, "  ]");
+    let _ = writeln!(body, "}}");
+
+    kpm_obs::json::parse(&body).expect("generated JSON must parse");
+    std::fs::write(&out, &body).expect("write output file");
+    eprintln!("wrote {out}");
+}

@@ -12,6 +12,7 @@
 
 use kpm_num::vector::{axpy, axpy_par, dot, dot_par, nrm2, nrm2_par, scal, scal_par};
 use kpm_num::{BlockVector, Complex64, KpmError, Vector};
+use kpm_obs::{metrics, span::span};
 use kpm_sparse::aug::{aug_spmmv_par, aug_spmv, aug_spmv_par};
 use kpm_sparse::gen::aug_spmmv_auto;
 use kpm_sparse::spmv::{spmv, spmv_par};
@@ -33,12 +34,7 @@ const DIVERGENCE_FACTOR: f64 = 1e3;
 /// Numerical guardrail applied every sweep in every variant: NaN/Inf in
 /// a moment partial aborts with `NonFinite`; exponential growth aborts
 /// with `SpectralBoundsViolated` carrying the offending iteration.
-fn check_partials(
-    iteration: usize,
-    even: f64,
-    odd: Complex64,
-    mu0: f64,
-) -> Result<(), KpmError> {
+fn check_partials(iteration: usize, even: f64, odd: Complex64, mu0: f64) -> Result<(), KpmError> {
     if !even.is_finite() {
         return Err(KpmError::NonFinite {
             context: "eta_even",
@@ -160,6 +156,10 @@ pub fn kpm_moments(
 ) -> Result<MomentSet, KpmError> {
     validate_square(h)?;
     params.validate()?;
+    let _sp = span("solver.run", "solver")
+        .arg("variant", format!("{variant:?}"))
+        .arg("moments", params.num_moments)
+        .arg("random", params.num_random);
     let starts = starting_vectors(h.nrows(), params);
 
     match variant {
@@ -272,6 +272,7 @@ fn single_run_naive(
     let minus_b = Complex64::real(-sf.b);
     let minus_one = Complex64::real(-1.0);
     for m in 0..params.iterations() {
+        let _sweep = span("solver.sweep", "solver");
         std::mem::swap(&mut v, &mut w); // v = ν_m, w = ν_{m-1}
         let pair = if par {
             spmv_par(h, &v, &mut u); // u = H v
@@ -304,6 +305,7 @@ fn single_run_aug(
     let (mut v, mut w, mu0, mu1) = init_recurrence(h, sf, v0, par);
     let mut eta = Vec::with_capacity(params.iterations());
     for m in 0..params.iterations() {
+        let _sweep = span("solver.sweep", "solver");
         std::mem::swap(&mut v, &mut w);
         let dots = if par {
             aug_spmv_par(h, sf.a, sf.b, &v, &mut w)
@@ -345,6 +347,7 @@ fn run_blocked_variant(
 
     let mut eta: Vec<Vec<(f64, Complex64)>> = vec![Vec::with_capacity(params.iterations()); r];
     for m in 0..params.iterations() {
+        let _sweep = span("solver.sweep", "solver");
         v.swap(&mut w);
         let dots = if par {
             aug_spmmv_par(h, sf.a, sf.b, &v, &mut w)
@@ -411,18 +414,22 @@ pub fn kpm_moments_checkpointed(
     let mut w: BlockVector;
     let start_iter: usize;
 
+    let restore_sp = span("solver.ckpt.restore", "ckpt");
+    let restore_t0 = std::time::Instant::now();
     match crate::checkpoint::latest_consistent(ckpt.store, n)? {
         Some(it) => {
-            let rck = ckpt.store.load_rank(it, 0)?.ok_or_else(|| {
-                KpmError::CheckpointMissing {
+            let rck = ckpt
+                .store
+                .load_rank(it, 0)?
+                .ok_or_else(|| KpmError::CheckpointMissing {
                     details: format!("rank 0 record at iteration {it}"),
-                }
-            })?;
-            let eck = ckpt.store.load_eta(it)?.ok_or_else(|| {
-                KpmError::CheckpointMissing {
+                })?;
+            let eck = ckpt
+                .store
+                .load_eta(it)?
+                .ok_or_else(|| KpmError::CheckpointMissing {
                     details: format!("eta record at iteration {it}"),
-                }
-            })?;
+                })?;
             if rck.width != r || eck.width != r || rck.row_end - rck.row_begin != n {
                 return Err(KpmError::CheckpointCorrupt {
                     details: "checkpoint geometry does not match this run".to_string(),
@@ -432,6 +439,11 @@ pub fn kpm_moments_checkpointed(
             w = block_from_interleaved(&rck.w, n, r);
             eta_flat = eck.eta;
             start_iter = it;
+            metrics::counter_inc("solver.ckpt.restores");
+            metrics::hist_record_ns(
+                "solver.ckpt.restore_ns",
+                restore_t0.elapsed().as_nanos() as u64,
+            );
         }
         None => {
             let starts = starting_vectors(n, params);
@@ -454,8 +466,10 @@ pub fn kpm_moments_checkpointed(
             start_iter = 0;
         }
     }
+    drop(restore_sp);
 
     for m in start_iter..iters {
+        let _sweep = span("solver.sweep", "solver");
         if start_iter == 0 && ckpt.crash_at == Some(m) {
             return Err(KpmError::RankCrashed { rank: 0 });
         }
@@ -472,6 +486,8 @@ pub fn kpm_moments_checkpointed(
         eta_flat.extend_from_slice(&dots.eta_odd);
         let done = m + 1;
         if done.is_multiple_of(ckpt.interval) && done < iters {
+            let _save_sp = span("solver.ckpt.save", "ckpt");
+            let save_t0 = std::time::Instant::now();
             ckpt.store.save_rank(&RankCheckpoint {
                 iteration: done,
                 rank: 0,
@@ -487,10 +503,17 @@ pub fn kpm_moments_checkpointed(
                 width: r,
                 eta: eta_flat.clone(),
             })?;
+            metrics::counter_inc("solver.ckpt.saves");
+            metrics::hist_record_ns("solver.ckpt.save_ns", save_t0.elapsed().as_nanos() as u64);
         }
     }
 
-    Ok(moments_from_flat_eta(&eta_flat, params.num_moments, r, iters))
+    Ok(moments_from_flat_eta(
+        &eta_flat,
+        params.num_moments,
+        r,
+        iters,
+    ))
 }
 
 /// Rebuilds a [`MomentSet`] from the flat η layout shared by the
@@ -520,7 +543,8 @@ fn block_from_interleaved(data: &[Complex64], rows: usize, width: usize) -> Bloc
     debug_assert_eq!(data.len(), rows * width);
     let mut b = BlockVector::zeros(rows, width);
     for i in 0..rows {
-        b.row_mut(i).copy_from_slice(&data[i * width..(i + 1) * width]);
+        b.row_mut(i)
+            .copy_from_slice(&data[i * width..(i + 1) * width]);
     }
     b
 }
@@ -605,7 +629,7 @@ mod tests {
         let sf = ScaleFactors::from_bounds(-2.0, 2.0, 0.05);
         let evs = chain_1d_eigenvalues(n, 1.0);
         let k_mode = 7usize; // arbitrary eigenmode (1-based k = 8)
-        // Eigenvector of the open chain: v_i ∝ sin((i+1) k π / (n+1)).
+                             // Eigenvector of the open chain: v_i ∝ sin((i+1) k π / (n+1)).
         let kq = (k_mode + 1) as f64 * std::f64::consts::PI / (n as f64 + 1.0);
         let mut v = Vector::from_vec(
             (0..n)
@@ -659,7 +683,13 @@ mod tests {
         };
         let err = kpm_moments(&h, sf, &p, KpmVariant::Naive).expect_err("odd M must be rejected");
         assert!(
-            matches!(err, KpmError::InvalidParams { what: "num_moments", .. }),
+            matches!(
+                err,
+                KpmError::InvalidParams {
+                    what: "num_moments",
+                    ..
+                }
+            ),
             "{err:?}"
         );
         assert!(err.to_string().contains("even"), "{err}");
@@ -676,7 +706,13 @@ mod tests {
             parallel: false,
         };
         let err = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv).expect_err("R = 0 is invalid");
-        assert!(matches!(err, KpmError::InvalidParams { what: "num_random", .. }));
+        assert!(matches!(
+            err,
+            KpmError::InvalidParams {
+                what: "num_random",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -688,7 +724,11 @@ mod tests {
         let err = kpm_moments(&h, sf, &params(128, 1), KpmVariant::Naive)
             .expect_err("divergence must be detected");
         match err {
-            KpmError::SpectralBoundsViolated { iteration, value, bound } => {
+            KpmError::SpectralBoundsViolated {
+                iteration,
+                value,
+                bound,
+            } => {
                 assert!(iteration < 128, "iteration {iteration} out of range");
                 assert!(value > bound, "value {value} <= bound {bound}");
             }
@@ -714,7 +754,11 @@ mod tests {
             crash_at: None,
         };
         let checkpointed = kpm_moments_checkpointed(&h, sf, &p, &ckpt).unwrap();
-        assert_eq!(plain.as_slice(), checkpointed.as_slice(), "not bitwise equal");
+        assert_eq!(
+            plain.as_slice(),
+            checkpointed.as_slice(),
+            "not bitwise equal"
+        );
     }
 
     #[test]
@@ -740,6 +784,10 @@ mod tests {
         let resumed = kpm_moments_checkpointed(&h, sf, &p, &crash_mid).unwrap();
         let diff = reference.max_abs_diff(&resumed);
         assert!(diff < 1e-12, "resume diverged from fault-free run: {diff}");
-        assert_eq!(reference.as_slice(), resumed.as_slice(), "not bitwise equal");
+        assert_eq!(
+            reference.as_slice(),
+            resumed.as_slice(),
+            "not bitwise equal"
+        );
     }
 }

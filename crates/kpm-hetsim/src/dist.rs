@@ -27,19 +27,18 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use kpm_num::{BlockVector, Complex64, KpmError, Vector};
+use kpm_obs::{metrics, span::span};
 use kpm_sparse::aug::{aug_spmmv_rect, spmmv_rect};
 use kpm_sparse::CrsMatrix;
 use kpm_topo::ScaleFactors;
 
-use kpm_core::checkpoint::{
-    latest_consistent, CheckpointStore, EtaCheckpoint, RankCheckpoint,
-};
+use kpm_core::checkpoint::{latest_consistent, CheckpointStore, EtaCheckpoint, RankCheckpoint};
 use kpm_core::moments::MomentSet;
 use kpm_core::solver::{moments_from_flat_eta, starting_vectors, KpmParams};
 
 use crate::decomp::{decompose, partition_rows, LocalProblem};
 use crate::fault::FaultPlan;
-use crate::runtime::{Communicator, World, WorldConfig};
+use crate::runtime::{Communicator, RankTelemetry, World, WorldConfig};
 
 /// Result of a distributed KPM run.
 #[derive(Debug, Clone)]
@@ -51,6 +50,9 @@ pub struct DistReport {
     pub halo_bytes: u64,
     /// Number of global reductions performed.
     pub global_reductions: usize,
+    /// Per-rank link/fault telemetry from the world that produced the
+    /// moments (the final world, for resilient runs), sorted by rank.
+    pub telemetry: Vec<RankTelemetry>,
 }
 
 /// Runs the distributed blocked KPM over `weights.len()` ranks.
@@ -96,19 +98,24 @@ pub fn distributed_kpm_faulty(
         // from hanging for long.
         cfg = cfg.with_faults(p).with_recv_timeout(Duration::from_secs(2));
     }
-    let outcome = World::run_config(cfg, |mut comm| {
+    let _sp = span("dist.run", "dist").arg("ranks", parts.len());
+    let mut outcome = World::run_config(cfg, |mut comm| {
         let local = &parts[comm.rank()];
         rank_main(&mut comm, local, sf, &starts, iters, reduce_every_iteration)
     });
+    let telemetry = std::mem::take(&mut outcome.telemetry);
     let results = outcome.into_results()?;
 
     // All ranks return identical reduced data; take rank 0's.
-    let (eta_flat, halo_bytes, global_reductions) =
-        results.into_iter().next().expect("world has at least rank 0");
+    let (eta_flat, halo_bytes, global_reductions) = results
+        .into_iter()
+        .next()
+        .expect("world has at least rank 0");
     Ok(DistReport {
         moments: moments_from_flat_eta(&eta_flat, params.num_moments, r, iters),
         halo_bytes,
         global_reductions,
+        telemetry,
     })
 }
 
@@ -149,13 +156,27 @@ fn rank_main(
     let mut halo_sent = 0u64;
 
     let slot_offsets = halo_slot_offsets(local);
-    let (mut v, mut w, mut eta_flat) =
-        init_rank_state(comm, local, sf, starts, &slot_offsets, &mut halo_sent, iters)?;
+    let (mut v, mut w, mut eta_flat) = init_rank_state(
+        comm,
+        local,
+        sf,
+        starts,
+        &slot_offsets,
+        &mut halo_sent,
+        iters,
+    )?;
 
     // --- Chebyshev loop. ---
     for m in 0..iters {
         v.swap(&mut w);
-        exchange_halo(comm, local, &mut v, &slot_offsets, &mut halo_sent, m as u64 + 1)?;
+        exchange_halo(
+            comm,
+            local,
+            &mut v,
+            &slot_offsets,
+            &mut halo_sent,
+            m as u64 + 1,
+        )?;
         let dots = aug_spmmv_rect(&local.matrix, sf.a, sf.b, &v, &mut w);
         if reduce_every_iteration {
             let mut pair: Vec<Complex64> = Vec::with_capacity(2 * r);
@@ -184,9 +205,7 @@ fn rank_main(
         reductions += 1;
         comm.allreduce_sum(&eta_flat)?
     };
-    let halo_total = comm
-        .allreduce_scalar(Complex64::real(halo_sent as f64))?
-        .re as u64;
+    let halo_total = comm.allreduce_scalar(Complex64::real(halo_sent as f64))?.re as u64;
     Ok((reduced, halo_total, reductions))
 }
 
@@ -427,6 +446,13 @@ pub fn distributed_kpm_resilient(
     let mut resumed_from: Vec<usize> = Vec::new();
 
     loop {
+        // Restart attempts get their own span so a recovered run shows
+        // exactly one `dist.restart` per world rebuild in the trace.
+        let _attempt_sp = if restarts > 0 {
+            Some(span("dist.restart", "dist").arg("attempt", restarts))
+        } else {
+            None
+        };
         let ranges = partition_rows(n, &weights_now, 4.min(n));
         let parts = decompose(h, &ranges);
         let size = parts.len();
@@ -450,7 +476,7 @@ pub fn distributed_kpm_resilient(
             wcfg = wcfg.with_faults(Arc::clone(p));
         }
         let resume_ref = resume.as_ref();
-        let outcome = World::run_config(wcfg, |mut comm| {
+        let mut outcome = World::run_config(wcfg, |mut comm| {
             let rank = comm.rank();
             rank_resilient(
                 &mut comm,
@@ -465,14 +491,18 @@ pub fn distributed_kpm_resilient(
         });
 
         if outcome.all_ok() {
+            let telemetry = std::mem::take(&mut outcome.telemetry);
             let results = outcome.into_results()?;
-            let (eta_flat, halo_bytes, global_reductions) =
-                results.into_iter().next().expect("world has at least rank 0");
+            let (eta_flat, halo_bytes, global_reductions) = results
+                .into_iter()
+                .next()
+                .expect("world has at least rank 0");
             return Ok(ResilientReport {
                 report: DistReport {
                     moments: moments_from_flat_eta(&eta_flat, params.num_moments, r, iters),
                     halo_bytes,
                     global_reductions,
+                    telemetry,
                 },
                 restarts,
                 resumed_from,
@@ -482,6 +512,7 @@ pub fn distributed_kpm_resilient(
 
         // Something died. Budget check, then rebuild the world.
         restarts += 1;
+        metrics::counter_inc("dist.restarts");
         if restarts > cfg.max_restarts {
             let last = outcome
                 .results
@@ -532,9 +563,11 @@ fn load_resume_state(
     r: usize,
     ranges: &[(usize, usize)],
 ) -> Result<ResumeState, KpmError> {
-    let eta = store.load_eta(it)?.ok_or_else(|| KpmError::CheckpointMissing {
-        details: format!("eta record at iteration {it}"),
-    })?;
+    let eta = store
+        .load_eta(it)?
+        .ok_or_else(|| KpmError::CheckpointMissing {
+            details: format!("eta record at iteration {it}"),
+        })?;
     if eta.width != r || eta.eta.len() != EtaCheckpoint::expected_len(it, r) {
         return Err(KpmError::CheckpointCorrupt {
             details: "eta checkpoint geometry does not match this run".to_string(),
@@ -545,9 +578,11 @@ fn load_resume_state(
     let mut w_global = vec![Complex64::default(); n * r];
     let mut halo_restored = 0u64;
     for rank in store.ranks_at(it)? {
-        let ck = store.load_rank(it, rank)?.ok_or_else(|| KpmError::CheckpointMissing {
-            details: format!("rank {rank} record at iteration {it}"),
-        })?;
+        let ck = store
+            .load_rank(it, rank)?
+            .ok_or_else(|| KpmError::CheckpointMissing {
+                details: format!("rank {rank} record at iteration {it}"),
+            })?;
         if ck.width != r || ck.row_end > n {
             return Err(KpmError::CheckpointCorrupt {
                 details: "rank checkpoint geometry does not match this run".to_string(),
@@ -615,8 +650,15 @@ fn rank_resilient(
         }
         None => {
             comm.crash_point(0)?;
-            let (v, w, eta_flat) =
-                init_rank_state(comm, local, sf, starts, &slot_offsets, &mut halo_sent, iters)?;
+            let (v, w, eta_flat) = init_rank_state(
+                comm,
+                local,
+                sf,
+                starts,
+                &slot_offsets,
+                &mut halo_sent,
+                iters,
+            )?;
             (v, w, eta_flat, 0)
         }
     };
@@ -624,7 +666,14 @@ fn rank_resilient(
     for m in start_iter..iters {
         comm.crash_point(m)?;
         v.swap(&mut w);
-        exchange_halo(comm, local, &mut v, &slot_offsets, &mut halo_sent, m as u64 + 1)?;
+        exchange_halo(
+            comm,
+            local,
+            &mut v,
+            &slot_offsets,
+            &mut halo_sent,
+            m as u64 + 1,
+        )?;
         let dots = aug_spmmv_rect(&local.matrix, sf.a, sf.b, &v, &mut w);
         eta_flat.extend(dots.eta_even.iter().map(|&x| Complex64::real(x)));
         eta_flat.extend_from_slice(&dots.eta_odd);
@@ -659,9 +708,7 @@ fn rank_resilient(
 
     let reduced = comm.allreduce_sum(&eta_flat)?;
     reductions += 1;
-    let halo_total = comm
-        .allreduce_scalar(Complex64::real(halo_sent as f64))?
-        .re as u64;
+    let halo_total = comm.allreduce_scalar(Complex64::real(halo_sent as f64))?.re as u64;
     Ok((reduced, halo_total, reductions))
 }
 
@@ -802,9 +849,8 @@ mod tests {
             max_restarts: 2,
             restart: RestartStrategy::SameRanks,
         };
-        let res =
-            distributed_kpm_resilient(&h, sf, &p, &[1.0, 1.0, 1.0], Some(plan), &cfg, &store)
-                .unwrap();
+        let res = distributed_kpm_resilient(&h, sf, &p, &[1.0, 1.0, 1.0], Some(plan), &cfg, &store)
+            .unwrap();
         assert_eq!(res.restarts, 1);
         assert_eq!(res.final_ranks, 3);
         assert_eq!(res.resumed_from.len(), 1);
@@ -827,9 +873,8 @@ mod tests {
             max_restarts: 2,
             restart: RestartStrategy::DropCrashed,
         };
-        let res =
-            distributed_kpm_resilient(&h, sf, &p, &[1.0, 1.0, 1.0], Some(plan), &cfg, &store)
-                .unwrap();
+        let res = distributed_kpm_resilient(&h, sf, &p, &[1.0, 1.0, 1.0], Some(plan), &cfg, &store)
+            .unwrap();
         assert_eq!(res.restarts, 1);
         assert_eq!(res.final_ranks, 2, "crashed rank was not dropped");
         let diff = reference.max_abs_diff(&res.report.moments);

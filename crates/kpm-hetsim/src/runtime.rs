@@ -34,6 +34,7 @@ use std::sync::{Arc, Barrier, Mutex};
 use std::time::{Duration, Instant};
 
 use kpm_num::{Complex64, KpmError};
+use kpm_obs::metrics;
 
 use crate::fault::FaultPlan;
 
@@ -79,6 +80,61 @@ struct WorldShared {
     /// Join handles of delay-injection timer threads.
     timers: Mutex<Vec<std::thread::JoinHandle<()>>>,
     faults: Option<Arc<FaultPlan>>,
+    /// Per-rank link telemetry, flushed when each communicator drops.
+    telemetry: Mutex<Vec<RankTelemetry>>,
+}
+
+/// Per-rank link/retry/fault telemetry, collected unconditionally
+/// (plain integer bumps on thread-local state) and surfaced through
+/// [`WorldOutcome::telemetry`]. When `kpm-obs` instrumentation is
+/// enabled the totals are also mirrored into the global metrics
+/// registry at rank teardown (`runtime.*` / `fault.injected.*`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RankTelemetry {
+    /// Which rank this row describes.
+    pub rank: usize,
+    /// Logical messages this rank successfully dispatched.
+    pub msgs_sent: u64,
+    /// Messages this rank's application consumed.
+    pub msgs_consumed: u64,
+    /// Replayed copies discarded by exactly-once dedup.
+    pub dup_discarded: u64,
+    /// Sends the fault plan dropped on the wire.
+    pub injected_drops: u64,
+    /// Sends the fault plan duplicated.
+    pub injected_dups: u64,
+    /// Sends the fault plan delayed.
+    pub injected_delays: u64,
+    /// Receive deadlines that expired (peer silent or gone).
+    pub recv_timeouts: u64,
+    /// Empty backoff slices waited inside `recv_timeout`.
+    pub backoff_slices: u64,
+    /// Messages parked in the out-of-order stash.
+    pub stashed: u64,
+    /// High-water mark of the stash depth.
+    pub stash_peak: u64,
+    /// True if this rank hit a scheduled crash point.
+    pub crashed: bool,
+}
+
+impl RankTelemetry {
+    /// Mirrors this rank's totals into the global metrics registry
+    /// (no-op while instrumentation is disabled).
+    fn publish(&self) {
+        metrics::counter_add("runtime.msg.sent", self.msgs_sent);
+        metrics::counter_add("runtime.msg.consumed", self.msgs_consumed);
+        metrics::counter_add("runtime.msg.dup_discarded", self.dup_discarded);
+        metrics::counter_add("fault.injected.drop", self.injected_drops);
+        metrics::counter_add("fault.injected.duplicate", self.injected_dups);
+        metrics::counter_add("fault.injected.delay", self.injected_delays);
+        metrics::counter_add("runtime.recv.timeout", self.recv_timeouts);
+        metrics::counter_add("runtime.recv.backoff_slices", self.backoff_slices);
+        metrics::counter_add("runtime.stash.stashed", self.stashed);
+        metrics::gauge_max("runtime.stash.peak", self.stash_peak as f64);
+        if self.crashed {
+            metrics::counter_inc("fault.injected.crash");
+        }
+    }
 }
 
 /// Per-rank communication endpoint.
@@ -99,6 +155,7 @@ pub struct Communicator {
     default_timeout: Option<Duration>,
     barrier: Arc<Barrier>,
     shared: Arc<WorldShared>,
+    tele: RankTelemetry,
 }
 
 impl Communicator {
@@ -131,6 +188,18 @@ impl Communicator {
             Some(plan) => plan.decide(self.rank, to, tag, seq),
             None => crate::fault::MessageFate::CLEAN,
         };
+        // Count every injected fault the plan decided on, even when a
+        // drop co-fires with a duplicate/delay, so per-rank telemetry
+        // totals equal `FaultPlan::stats` exactly.
+        if fate.drop {
+            self.tele.injected_drops += 1;
+        }
+        if fate.duplicate {
+            self.tele.injected_dups += 1;
+        }
+        if fate.delay.is_some() {
+            self.tele.injected_delays += 1;
+        }
         if fate.drop {
             // The message is lost on the wire: the sender cannot know.
             return Ok(());
@@ -151,6 +220,7 @@ impl Communicator {
         match fate.delay {
             Some(delay) => {
                 self.shared.ledger.sent.fetch_add(1, Ordering::Relaxed);
+                self.tele.msgs_sent += 1;
                 let sender = self.senders[to].clone();
                 let shared = Arc::clone(&self.shared);
                 let handle = std::thread::spawn(move || {
@@ -171,6 +241,7 @@ impl Communicator {
             None => match self.senders[to].send(msg) {
                 Ok(()) => {
                     self.shared.ledger.sent.fetch_add(1, Ordering::Relaxed);
+                    self.tele.msgs_sent += 1;
                     Ok(())
                 }
                 // A receiver may legitimately consume the replayed copy,
@@ -178,6 +249,7 @@ impl Communicator {
                 // the logical message still arrived exactly once.
                 Err(_) if replay_delivered => {
                     self.shared.ledger.sent.fetch_add(1, Ordering::Relaxed);
+                    self.tele.msgs_sent += 1;
                     Ok(())
                 }
                 Err(_) => Err(KpmError::SendFailed {
@@ -223,6 +295,7 @@ impl Communicator {
         loop {
             let now = Instant::now();
             if now >= deadline {
+                self.tele.recv_timeouts += 1;
                 return Err(KpmError::RankUnreachable {
                     rank: self.rank,
                     peer: from,
@@ -240,9 +313,11 @@ impl Communicator {
                     slice = BACKOFF_MIN;
                 }
                 Err(RecvTimeoutError::Timeout) => {
+                    self.tele.backoff_slices += 1;
                     slice = (slice * 2).min(BACKOFF_MAX);
                 }
                 Err(RecvTimeoutError::Disconnected) => {
+                    self.tele.recv_timeouts += 1;
                     return Err(KpmError::RankUnreachable {
                         rank: self.rank,
                         peer: from,
@@ -281,6 +356,7 @@ impl Communicator {
             .iter()
             .position(|m| m.from == from && m.tag == tag)?;
         self.shared.ledger.consumed.fetch_add(1, Ordering::Relaxed);
+        self.tele.msgs_consumed += 1;
         Some(self.stash.swap_remove(pos).data)
     }
 
@@ -295,10 +371,12 @@ impl Communicator {
         if !self.seen[msg.from].insert(msg.seq) {
             // Second copy of an already-arrived message (at-least-once
             // delivery): discard for exactly-once semantics.
+            self.tele.dup_discarded += 1;
             return Ok(None);
         }
         if msg.from == want_from && msg.tag == want_tag {
             self.shared.ledger.consumed.fetch_add(1, Ordering::Relaxed);
+            self.tele.msgs_consumed += 1;
             return Ok(Some(msg.data));
         }
         if self.stash.len() >= self.stash_capacity {
@@ -308,6 +386,8 @@ impl Communicator {
             });
         }
         self.stash.push(msg);
+        self.tele.stashed += 1;
+        self.tele.stash_peak = self.tele.stash_peak.max(self.stash.len() as u64);
         Ok(None)
     }
 
@@ -330,6 +410,7 @@ impl Communicator {
         if let Some(plan) = &self.shared.faults {
             if plan.crash_pending(self.rank, iteration) {
                 self.crashed = true;
+                self.tele.crashed = true;
                 return Err(KpmError::RankCrashed { rank: self.rank });
             }
         }
@@ -393,10 +474,18 @@ impl Drop for Communicator {
         }
         while let Ok(msg) = self.inbox.try_recv() {
             if !self.seen[msg.from].insert(msg.seq) {
+                self.tele.dup_discarded += 1;
                 continue; // duplicate of a delivered message
             }
             let _ = msg; // counted as sent, never consumed -> leak
         }
+        self.tele.rank = self.rank;
+        self.tele.publish();
+        self.shared
+            .telemetry
+            .lock()
+            .expect("telemetry registry lock")
+            .push(self.tele.clone());
     }
 }
 
@@ -453,6 +542,9 @@ pub struct WorldOutcome<T> {
     /// Logical messages sent but never delivered to the application.
     /// Zero for every correct protocol on a lossless plan.
     pub undelivered: u64,
+    /// Per-rank link/retry/fault telemetry, sorted by rank. Ranks whose
+    /// thread died without unwinding cleanly may be missing.
+    pub telemetry: Vec<RankTelemetry>,
 }
 
 impl<T> WorldOutcome<T> {
@@ -518,6 +610,7 @@ impl World {
             ledger: Ledger::default(),
             timers: Mutex::new(Vec::new()),
             faults: config.fault_plan.clone(),
+            telemetry: Mutex::new(Vec::new()),
         });
         let mut comms: Vec<Communicator> = receivers
             .into_iter()
@@ -535,6 +628,7 @@ impl World {
                 default_timeout: config.default_recv_timeout,
                 barrier: Arc::clone(&barrier),
                 shared: Arc::clone(&shared),
+                tele: RankTelemetry::default(),
             })
             .collect();
         drop(senders);
@@ -570,9 +664,13 @@ impl World {
         let sent = shared.ledger.sent.load(Ordering::SeqCst);
         let consumed = shared.ledger.consumed.load(Ordering::SeqCst);
         let expired = shared.ledger.expired.load(Ordering::SeqCst);
+        let mut telemetry =
+            std::mem::take(&mut *shared.telemetry.lock().expect("telemetry registry lock"));
+        telemetry.sort_by_key(|t| t.rank);
         WorldOutcome {
             results,
             undelivered: sent.saturating_sub(consumed + expired),
+            telemetry,
         }
     }
 }
@@ -729,7 +827,10 @@ mod tests {
             } else {
                 // Wait for a tag that sorts after 5 unmatched ones.
                 match comm.recv_timeout(0, 7, Duration::from_secs(5)) {
-                    Err(KpmError::StashOverflow { rank: 1, capacity: 4 }) => Ok(()),
+                    Err(KpmError::StashOverflow {
+                        rank: 1,
+                        capacity: 4,
+                    }) => Ok(()),
                     other => panic!("expected stash overflow, got {other:?}"),
                 }
             }
@@ -751,13 +852,16 @@ mod tests {
             for round in 0..20u64 {
                 for peer in 0..comm.size() {
                     if peer != comm.rank() {
-                        comm.send(peer, round, vec![c((comm.rank() * 100 + round as usize) as f64)])?;
+                        comm.send(
+                            peer,
+                            round,
+                            vec![c((comm.rank() * 100 + round as usize) as f64)],
+                        )?;
                     }
                 }
                 for peer in 0..comm.size() {
                     if peer != comm.rank() {
-                        let got =
-                            comm.recv_timeout(peer, round, Duration::from_secs(5))?;
+                        let got = comm.recv_timeout(peer, round, Duration::from_secs(5))?;
                         total += got[0].re;
                     }
                 }

@@ -1,0 +1,260 @@
+//! Typed metrics: counters, gauges, and log2-bucketed histograms, keyed
+//! by a dotted name (`runtime.msg.sent`, `solver.ckpt.save_ns`, ...).
+//!
+//! All mutation goes through free functions that first check
+//! [`crate::enabled`]; when instrumentation is off they return without
+//! touching the registry. The registry is one mutex-protected
+//! `BTreeMap`, which keeps snapshots deterministically ordered. Hot
+//! paths that would contend on the lock (the per-message runtime
+//! counters) accumulate locally and flush once per rank instead of
+//! calling in here per event.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Number of power-of-two histogram buckets: bucket `i` counts values
+/// `v` with `2^(i-1) < v <= 2^i` (bucket 0 holds `v <= 1`). 2^43 ns is
+/// about 2.4 hours — far beyond any latency this repo records.
+pub const HIST_BUCKETS: usize = 44;
+
+/// A latency/size distribution with log2 buckets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hist {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: f64,
+    /// Smallest recorded value.
+    pub min: f64,
+    /// Largest recorded value.
+    pub max: f64,
+    /// Log2 buckets; see [`HIST_BUCKETS`].
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+impl Hist {
+    fn new() -> Self {
+        Hist {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
+
+    fn record(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        let idx = if v <= 1.0 {
+            0
+        } else {
+            (v.log2().ceil() as usize).min(HIST_BUCKETS - 1)
+        };
+        self.buckets[idx] += 1;
+    }
+
+    /// Arithmetic mean of the recorded values.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing quantile `q` (0..=1); a
+    /// coarse estimate, exact to within one power of two.
+    pub fn quantile_upper(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target.max(1) {
+                return (1u64 << i) as f64;
+            }
+        }
+        self.max
+    }
+}
+
+/// One registered metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// Monotonically increasing count.
+    Counter(u64),
+    /// Last-set (or max-tracked) level.
+    Gauge(f64),
+    /// Distribution of recorded values (boxed: the bucket array is
+    /// large relative to the other variants).
+    Histogram(Box<Hist>),
+}
+
+fn registry() -> &'static Mutex<BTreeMap<String, Metric>> {
+    static REG: OnceLock<Mutex<BTreeMap<String, Metric>>> = OnceLock::new();
+    REG.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Adds `delta` to the counter `name`, creating it at zero first.
+pub fn counter_add(name: &str, delta: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    let mut reg = registry().lock().expect("metrics registry lock");
+    match reg
+        .entry(name.to_string())
+        .or_insert_with(|| Metric::Counter(0))
+    {
+        Metric::Counter(c) => *c += delta,
+        other => panic!("metric '{name}' is not a counter: {other:?}"),
+    }
+}
+
+/// Increments the counter `name` by one.
+pub fn counter_inc(name: &str) {
+    counter_add(name, 1);
+}
+
+/// Sets the gauge `name` to `value`.
+pub fn gauge_set(name: &str, value: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    let mut reg = registry().lock().expect("metrics registry lock");
+    match reg
+        .entry(name.to_string())
+        .or_insert_with(|| Metric::Gauge(value))
+    {
+        Metric::Gauge(g) => *g = value,
+        other => panic!("metric '{name}' is not a gauge: {other:?}"),
+    }
+}
+
+/// Raises the gauge `name` to `value` if it is below it (peak tracking,
+/// e.g. stash depth high-water mark).
+pub fn gauge_max(name: &str, value: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    let mut reg = registry().lock().expect("metrics registry lock");
+    match reg
+        .entry(name.to_string())
+        .or_insert_with(|| Metric::Gauge(value))
+    {
+        Metric::Gauge(g) => *g = g.max(value),
+        other => panic!("metric '{name}' is not a gauge: {other:?}"),
+    }
+}
+
+/// Records `value` into the histogram `name`.
+pub fn hist_record(name: &str, value: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    let mut reg = registry().lock().expect("metrics registry lock");
+    match reg
+        .entry(name.to_string())
+        .or_insert_with(|| Metric::Histogram(Box::new(Hist::new())))
+    {
+        Metric::Histogram(h) => h.record(value),
+        other => panic!("metric '{name}' is not a histogram: {other:?}"),
+    }
+}
+
+/// Records a duration (in nanoseconds) into the histogram `name`.
+pub fn hist_record_ns(name: &str, ns: u64) {
+    hist_record(name, ns as f64);
+}
+
+/// The current value of counter `name` (0 if absent or another type).
+/// Readable regardless of the enabled flag, so tests can assert after
+/// disabling.
+pub fn counter_value(name: &str) -> u64 {
+    let reg = registry().lock().expect("metrics registry lock");
+    match reg.get(name) {
+        Some(Metric::Counter(c)) => *c,
+        _ => 0,
+    }
+}
+
+/// The current value of gauge `name`, if present.
+pub fn gauge_value(name: &str) -> Option<f64> {
+    let reg = registry().lock().expect("metrics registry lock");
+    match reg.get(name) {
+        Some(Metric::Gauge(g)) => Some(*g),
+        _ => None,
+    }
+}
+
+/// A copy of every metric, ordered by name.
+pub fn snapshot() -> Vec<(String, Metric)> {
+    let reg = registry().lock().expect("metrics registry lock");
+    reg.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+}
+
+/// Clears the registry.
+pub(crate) fn reset() {
+    registry().lock().expect("metrics registry lock").clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock as serial;
+
+    #[test]
+    fn disabled_calls_do_not_register() {
+        let _g = serial();
+        crate::set_enabled(false);
+        crate::reset();
+        counter_inc("x");
+        gauge_set("y", 1.0);
+        hist_record("z", 2.0);
+        assert!(snapshot().is_empty());
+    }
+
+    #[test]
+    fn counters_gauges_histograms_accumulate() {
+        let _g = serial();
+        crate::reset();
+        let _on = crate::EnabledGuard::new();
+        counter_add("c", 2);
+        counter_inc("c");
+        gauge_max("g", 3.0);
+        gauge_max("g", 1.0);
+        for v in [100.0, 200.0, 400.0] {
+            hist_record("h", v);
+        }
+        assert_eq!(counter_value("c"), 3);
+        assert_eq!(gauge_value("g"), Some(3.0));
+        let snap = snapshot();
+        let h = snap
+            .iter()
+            .find_map(|(k, m)| match (k.as_str(), m) {
+                ("h", Metric::Histogram(h)) => Some(h.clone()),
+                _ => None,
+            })
+            .expect("histogram registered");
+        assert_eq!(h.count, 3);
+        assert_eq!(h.min, 100.0);
+        assert_eq!(h.max, 400.0);
+        assert!((h.mean() - 233.333).abs() < 0.01 * 233.0);
+        assert!(h.quantile_upper(0.5) >= 128.0);
+    }
+
+    #[test]
+    fn histogram_bucket_edges() {
+        let mut h = Hist::new();
+        h.record(1.0); // bucket 0
+        h.record(2.0); // bucket 1 (2^0 < v <= 2^1)
+        h.record(3.0); // bucket 2
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[1], 1);
+        assert_eq!(h.buckets[2], 1);
+    }
+}

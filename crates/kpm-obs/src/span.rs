@@ -1,0 +1,309 @@
+//! Hierarchical timing spans with a thread-safe registry.
+//!
+//! A span measures one region of work (a solver sweep, a checkpoint
+//! write, a restart attempt). Spans nest per thread: the innermost open
+//! span on the current thread becomes the parent of the next one, so
+//! the registry reconstructs the call tree without the caller wiring
+//! parent ids. Timing is monotonic ([`Instant`]) against a process-wide
+//! epoch; the epoch's wall-clock time ([`SystemTime`]) is captured once
+//! so exporters can anchor traces in real time.
+//!
+//! Guards are cheap when disabled: [`span`] returns an inert guard
+//! without reading the clock. The registry is bounded
+//! ([`MAX_SPANS`]) so pathological loops cannot exhaust memory; drops
+//! are counted and reported by [`dropped`].
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant, SystemTime};
+
+/// Hard cap on retained span records.
+pub const MAX_SPANS: usize = 1 << 18;
+
+/// A completed span.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Unique id (process-wide, monotonically assigned).
+    pub id: u64,
+    /// Id of the enclosing span on the same thread, if any.
+    pub parent: Option<u64>,
+    /// Span name, e.g. `solver.sweep`.
+    pub name: &'static str,
+    /// Category, e.g. `solver`, `dist`, `ckpt`.
+    pub cat: &'static str,
+    /// Observability thread id (dense, assigned per thread).
+    pub tid: u64,
+    /// Start time in microseconds since the obs epoch.
+    pub start_us: f64,
+    /// Duration in microseconds.
+    pub dur_us: f64,
+    /// Free-form annotations.
+    pub args: Vec<(&'static str, String)>,
+}
+
+struct SpanStore {
+    spans: Vec<SpanRecord>,
+    dropped: u64,
+    /// (tid, thread name) pairs in registration order.
+    threads: Vec<(u64, String)>,
+}
+
+fn store() -> &'static Mutex<SpanStore> {
+    static STORE: OnceLock<Mutex<SpanStore>> = OnceLock::new();
+    STORE.get_or_init(|| {
+        Mutex::new(SpanStore {
+            spans: Vec::new(),
+            dropped: 0,
+            threads: Vec::new(),
+        })
+    })
+}
+
+struct Epoch {
+    instant: Instant,
+    wall: SystemTime,
+}
+
+fn epoch() -> &'static Epoch {
+    static EPOCH: OnceLock<Epoch> = OnceLock::new();
+    EPOCH.get_or_init(|| Epoch {
+        instant: Instant::now(),
+        wall: SystemTime::now(),
+    })
+}
+
+/// Microseconds elapsed since the obs epoch (first use in the process).
+pub fn micros_since_epoch() -> f64 {
+    epoch().instant.elapsed().as_secs_f64() * 1e6
+}
+
+/// The wall-clock time of the obs epoch, as microseconds since the Unix
+/// epoch (best effort; 0 if the system clock predates 1970).
+pub fn epoch_unix_us() -> u64 {
+    epoch()
+        .wall
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .unwrap_or(Duration::ZERO)
+        .as_micros() as u64
+}
+
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static OPEN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    static TID: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// This thread's observability id, registering it (with its name) on
+/// first use.
+fn this_tid() -> u64 {
+    TID.with(|t| {
+        let cur = t.get();
+        if cur != 0 {
+            return cur;
+        }
+        let tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+        t.set(tid);
+        let name = std::thread::current()
+            .name()
+            .unwrap_or("unnamed")
+            .to_string();
+        store()
+            .lock()
+            .expect("span store lock")
+            .threads
+            .push((tid, name));
+        tid
+    })
+}
+
+/// An open span; completing (dropping) it records a [`SpanRecord`].
+/// Inert when instrumentation is disabled.
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+struct ActiveSpan {
+    id: u64,
+    parent: Option<u64>,
+    name: &'static str,
+    cat: &'static str,
+    tid: u64,
+    started: Instant,
+    start_us: f64,
+    args: Vec<(&'static str, String)>,
+}
+
+/// Opens a span named `name` in category `cat`. The guard records the
+/// span when dropped.
+pub fn span(name: &'static str, cat: &'static str) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard { active: None };
+    }
+    let tid = this_tid();
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = OPEN_STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        let parent = stack.last().copied();
+        stack.push(id);
+        parent
+    });
+    let start_us = micros_since_epoch();
+    SpanGuard {
+        active: Some(ActiveSpan {
+            id,
+            parent,
+            name,
+            cat,
+            tid,
+            started: Instant::now(),
+            start_us,
+            args: Vec::new(),
+        }),
+    }
+}
+
+impl SpanGuard {
+    /// Attaches an annotation. No-op on an inert guard.
+    pub fn arg(mut self, key: &'static str, value: impl std::fmt::Display) -> Self {
+        if let Some(a) = self.active.as_mut() {
+            a.args.push((key, value.to_string()));
+        }
+        self
+    }
+
+    /// True when the guard is actually recording.
+    pub fn is_recording(&self) -> bool {
+        self.active.is_some()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(a) = self.active.take() else {
+            return;
+        };
+        let dur_us = a.started.elapsed().as_secs_f64() * 1e6;
+        OPEN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            // Guards drop in LIFO order per thread; `retain` tolerates
+            // a guard outliving its scope through a mem::forget-free
+            // move.
+            if stack.last() == Some(&a.id) {
+                stack.pop();
+            } else {
+                stack.retain(|&x| x != a.id);
+            }
+        });
+        let mut st = store().lock().expect("span store lock");
+        if st.spans.len() >= MAX_SPANS {
+            st.dropped += 1;
+            return;
+        }
+        st.spans.push(SpanRecord {
+            id: a.id,
+            parent: a.parent,
+            name: a.name,
+            cat: a.cat,
+            tid: a.tid,
+            start_us: a.start_us,
+            dur_us,
+            args: a.args,
+        });
+    }
+}
+
+/// A copy of every recorded span, in completion order.
+pub fn snapshot() -> Vec<SpanRecord> {
+    store().lock().expect("span store lock").spans.clone()
+}
+
+/// Number of spans discarded after [`MAX_SPANS`] was reached.
+pub fn dropped() -> u64 {
+    store().lock().expect("span store lock").dropped
+}
+
+/// Registered `(tid, thread name)` pairs.
+pub fn threads() -> Vec<(u64, String)> {
+    store().lock().expect("span store lock").threads.clone()
+}
+
+/// Number of completed spans with the given name.
+pub fn count(name: &str) -> usize {
+    store()
+        .lock()
+        .expect("span store lock")
+        .spans
+        .iter()
+        .filter(|s| s.name == name)
+        .count()
+}
+
+/// Clears the span registry (records and drop counter; thread ids are
+/// kept, they stay valid for the process lifetime).
+pub(crate) fn reset() {
+    let mut st = store().lock().expect("span store lock");
+    st.spans.clear();
+    st.dropped = 0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock as serial;
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _g = serial();
+        crate::set_enabled(false);
+        crate::reset();
+        {
+            let _s = span("quiet", "test");
+        }
+        assert!(snapshot().is_empty());
+    }
+
+    #[test]
+    fn nesting_assigns_parents() {
+        let _g = serial();
+        crate::reset();
+        let _on = crate::EnabledGuard::new();
+        {
+            let _outer = span("outer", "test");
+            {
+                let _inner = span("inner", "test").arg("k", 7);
+            }
+        }
+        let spans = snapshot();
+        assert_eq!(spans.len(), 2);
+        let inner = spans.iter().find(|s| s.name == "inner").unwrap();
+        let outer = spans.iter().find(|s| s.name == "outer").unwrap();
+        assert_eq!(inner.parent, Some(outer.id));
+        assert_eq!(outer.parent, None);
+        assert_eq!(inner.args, vec![("k", "7".to_string())]);
+        assert!(inner.dur_us <= outer.dur_us);
+        assert!(outer.start_us <= inner.start_us);
+    }
+
+    #[test]
+    fn sibling_threads_get_distinct_tids() {
+        let _g = serial();
+        crate::reset();
+        let _on = crate::EnabledGuard::new();
+        let main_tid = {
+            let _s = span("main-side", "test");
+            this_tid()
+        };
+        let other_tid = std::thread::spawn(|| {
+            let _s = span("thread-side", "test");
+            this_tid()
+        })
+        .join()
+        .unwrap();
+        assert_ne!(main_tid, other_tid);
+        assert_eq!(count("main-side"), 1);
+        assert_eq!(count("thread-side"), 1);
+    }
+}

@@ -11,6 +11,7 @@
 //! sweep over a real [`CrsMatrix`] through the LLC simulator and reads
 //! off the DRAM volume.
 
+use kpm_obs::probe::KernelKind;
 use kpm_sparse::CrsMatrix;
 
 use crate::cachesim::{CacheConfig, MemoryHierarchy};
@@ -96,6 +97,77 @@ pub fn measure_omega(h: &CrsMatrix, r: usize, llc: CacheConfig) -> OmegaReport {
 /// Sweeps Ω over a list of block widths (the x-axis of paper Fig. 8).
 pub fn omega_sweep(h: &CrsMatrix, rs: &[usize], llc: CacheConfig) -> Vec<OmegaReport> {
     rs.iter().map(|&r| measure_omega(h, r, llc)).collect()
+}
+
+/// Replays `sweeps` back-to-back sweeps of the given kernel through an
+/// LLC and reports the *per-sweep* Ω — the live counterpart of
+/// [`measure_omega`] used by the achieved-vs-predicted telemetry report.
+///
+/// Unlike the cold single-sweep measurement, the cache is NOT reset
+/// between sweeps, so this captures the steady-state Ω an instrumented
+/// solver iteration actually sees. For working sets well above the LLC
+/// capacity the warm and cold values agree closely (only the first
+/// sweep's compulsory misses differ); for LLC-resident problems warm Ω
+/// drops below one, exactly as hardware counters would show.
+///
+/// Per-kernel address streams:
+/// * [`KernelKind::Spmv`] — matrix values + indices sequential, a
+///   gather of the `R`-row of `X` per non-zero, one write of the
+///   `R`-row of `Y` per row (minimum: `Nnz(Sd+Si) + 2·R·N·Sd`).
+/// * [`KernelKind::AugSpmv`] / [`KernelKind::AugSpmmv`] — the fused
+///   stream of [`measure_omega`] with the extra diagonal-shift re-read
+///   and the read-modify-write of `W` (minimum: `Nnz(Sd+Si) + 3·R·N·Sd`).
+pub fn measure_omega_kernel(
+    h: &CrsMatrix,
+    kind: KernelKind,
+    r: usize,
+    llc: CacheConfig,
+    sweeps: usize,
+) -> OmegaReport {
+    assert!(r >= 1, "block width must be >= 1");
+    assert!(sweeps >= 1, "need at least one sweep");
+    let n = h.nrows() as u64;
+    let nnz = h.nnz() as u64;
+    let sd = 16u64; // S_D
+    let si = 4u64; // S_I
+    let row_bytes = r as u64 * sd;
+
+    // Disjoint address regions: vals | cols | V (or X) | W (or Y).
+    let vals_base = 0u64;
+    let cols_base = vals_base + nnz * sd;
+    let v_base = cols_base + nnz * si;
+    let w_base = v_base + n * row_bytes;
+    let augmented = !matches!(kind, KernelKind::Spmv);
+
+    let mut mem = MemoryHierarchy::new(&[llc]);
+    for _ in 0..sweeps {
+        let mut k = 0u64;
+        for row in 0..h.nrows() {
+            for &c in h.row_cols(row) {
+                mem.read(vals_base + k * sd, sd as usize);
+                mem.read(cols_base + k * si, si as usize);
+                k += 1;
+                mem.read(v_base + c as u64 * row_bytes, row_bytes as usize);
+            }
+            if augmented {
+                // Diagonal shift re-reads V's own row; the recurrence
+                // reads the old W row before overwriting it.
+                mem.read(v_base + row as u64 * row_bytes, row_bytes as usize);
+                mem.read(w_base + row as u64 * row_bytes, row_bytes as usize);
+            }
+            mem.write(w_base + row as u64 * row_bytes, row_bytes as usize);
+        }
+    }
+    let report = mem.finish();
+
+    let v_min = kind.sweep_min_bytes(h.nrows(), h.nnz(), r);
+    let v_meas = report.memory_bytes / sweeps as u64;
+    OmegaReport {
+        r,
+        v_min,
+        v_meas,
+        omega: v_meas as f64 / v_min as f64,
+    }
 }
 
 #[cfg(test)]

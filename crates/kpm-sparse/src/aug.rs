@@ -23,6 +23,7 @@
 
 use kpm_num::summation::pairwise_sum_complex;
 use kpm_num::{BlockVector, Complex64};
+use kpm_obs::probe::{kernel_timer, KernelKind};
 use rayon::prelude::*;
 
 use crate::crs::CrsMatrix;
@@ -52,6 +53,7 @@ pub fn aug_spmv(h: &CrsMatrix, a: f64, b: f64, v: &[Complex64], w: &mut [Complex
     assert_eq!(v.len(), h.ncols(), "aug_spmv: v dimension mismatch");
     assert_eq!(w.len(), h.nrows(), "aug_spmv: w dimension mismatch");
     assert_eq!(h.nrows(), h.ncols(), "aug_spmv: matrix must be square");
+    let _probe = kernel_timer(KernelKind::AugSpmv, h.nrows(), h.nnz(), 1);
     let mut eta_even = 0.0;
     let mut eta_odd = Complex64::default();
     for r in 0..h.nrows() {
@@ -83,6 +85,7 @@ pub fn aug_spmv_par(
     assert_eq!(v.len(), h.ncols(), "aug_spmv_par: v dimension mismatch");
     assert_eq!(w.len(), h.nrows(), "aug_spmv_par: w dimension mismatch");
     assert_eq!(h.nrows(), h.ncols(), "aug_spmv_par: matrix must be square");
+    let _probe = kernel_timer(KernelKind::AugSpmv, h.nrows(), h.nnz(), 1);
     const ROWS_PER_CHUNK: usize = 1024;
     let partials: Vec<(f64, Complex64)> = w
         .par_chunks_mut(ROWS_PER_CHUNK)
@@ -124,6 +127,7 @@ pub fn aug_spmmv(
     w: &mut BlockVector,
 ) -> AugDotsBlock {
     let r_width = check_block_dims(h, v, w);
+    let _probe = kernel_timer(KernelKind::AugSpmmv, h.nrows(), h.nnz(), r_width);
     let mut eta_even = vec![0.0; r_width];
     let mut eta_odd = vec![Complex64::default(); r_width];
     let mut acc = vec![Complex64::default(); r_width];
@@ -161,6 +165,7 @@ pub fn aug_spmmv_par(
     w: &mut BlockVector,
 ) -> AugDotsBlock {
     let r_width = check_block_dims(h, v, w);
+    let _probe = kernel_timer(KernelKind::AugSpmmv, h.nrows(), h.nnz(), r_width);
     const ROWS_PER_CHUNK: usize = 512;
     let partials: Vec<(Vec<f64>, Vec<Complex64>)> = w
         .as_mut_slice()
@@ -211,6 +216,7 @@ pub fn aug_spmmv_par(
 /// extra two block sweeps cost.
 pub fn aug_spmmv_nodot(h: &CrsMatrix, a: f64, b: f64, v: &BlockVector, w: &mut BlockVector) {
     let r_width = check_block_dims(h, v, w);
+    let _probe = kernel_timer(KernelKind::AugSpmmv, h.nrows(), h.nnz(), r_width);
     let mut acc = vec![Complex64::default(); r_width];
     for r in 0..h.nrows() {
         let cols = h.row_cols(r);
@@ -234,6 +240,7 @@ pub fn aug_spmmv_nodot(h: &CrsMatrix, a: f64, b: f64, v: &BlockVector, w: &mut B
 /// Parallel variant of [`aug_spmmv_nodot`].
 pub fn aug_spmmv_nodot_par(h: &CrsMatrix, a: f64, b: f64, v: &BlockVector, w: &mut BlockVector) {
     let r_width = check_block_dims(h, v, w);
+    let _probe = kernel_timer(KernelKind::AugSpmmv, h.nrows(), h.nnz(), r_width);
     w.as_mut_slice()
         .par_chunks_mut(512 * r_width)
         .enumerate()
@@ -261,7 +268,11 @@ pub fn aug_spmmv_nodot_par(h: &CrsMatrix, a: f64, b: f64, v: &BlockVector, w: &m
 }
 
 fn check_block_dims(h: &CrsMatrix, v: &BlockVector, w: &BlockVector) -> usize {
-    assert_eq!(h.nrows(), h.ncols(), "augmented kernels need a square matrix");
+    assert_eq!(
+        h.nrows(),
+        h.ncols(),
+        "augmented kernels need a square matrix"
+    );
     assert_eq!(v.rows(), h.ncols(), "block v dimension mismatch");
     assert_eq!(w.rows(), h.nrows(), "block w dimension mismatch");
     assert_eq!(v.width(), w.width(), "block width mismatch");
@@ -286,11 +297,15 @@ pub fn aug_spmmv_rect(
     v: &BlockVector,
     w: &mut BlockVector,
 ) -> AugDotsBlock {
-    assert!(h.ncols() >= h.nrows(), "local matrix must have ncols >= nrows");
+    assert!(
+        h.ncols() >= h.nrows(),
+        "local matrix must have ncols >= nrows"
+    );
     assert_eq!(v.rows(), h.ncols(), "block v dimension mismatch");
     assert!(w.rows() >= h.nrows(), "block w too small");
     assert_eq!(v.width(), w.width(), "block width mismatch");
     let r_width = v.width();
+    let _probe = kernel_timer(KernelKind::AugSpmmv, h.nrows(), h.nnz(), r_width);
     let mut eta_even = vec![0.0; r_width];
     let mut eta_odd = vec![Complex64::default(); r_width];
     let mut acc = vec![Complex64::default(); r_width];
@@ -320,7 +335,10 @@ pub fn aug_spmmv_rect(
 /// Plain rectangular SpMMV `W[0..nrows] = H V` on the extended column
 /// space (used by the distributed initialization step).
 pub fn spmmv_rect(h: &CrsMatrix, v: &BlockVector, w: &mut BlockVector) {
-    assert!(h.ncols() >= h.nrows(), "local matrix must have ncols >= nrows");
+    assert!(
+        h.ncols() >= h.nrows(),
+        "local matrix must have ncols >= nrows"
+    );
     assert_eq!(v.rows(), h.ncols(), "block v dimension mismatch");
     assert!(w.rows() >= h.nrows(), "block w too small");
     assert_eq!(v.width(), w.width(), "block width mismatch");

@@ -12,6 +12,7 @@
 //! same structure as the paper's generated-kernel registry.
 
 use kpm_num::BlockVector;
+use kpm_obs::probe::{kernel_timer, KernelKind};
 
 use crate::aug::{aug_spmmv, AugDotsBlock};
 use crate::crs::CrsMatrix;
@@ -33,11 +34,16 @@ pub fn aug_spmmv_fixed<const R: usize>(
     v: &BlockVector,
     w: &mut BlockVector,
 ) -> AugDotsBlock {
-    assert_eq!(h.nrows(), h.ncols(), "augmented kernels need a square matrix");
+    assert_eq!(
+        h.nrows(),
+        h.ncols(),
+        "augmented kernels need a square matrix"
+    );
     assert_eq!(v.rows(), h.ncols(), "block v dimension mismatch");
     assert_eq!(w.rows(), h.nrows(), "block w dimension mismatch");
     assert_eq!(v.width(), R, "block width must equal the specialization");
     assert_eq!(w.width(), R, "block width must equal the specialization");
+    let _probe = kernel_timer(KernelKind::AugSpmmv, h.nrows(), h.nnz(), R);
 
     let mut eta_even = [0.0f64; R];
     let mut eta_odd = [kpm_num::complex::ZERO; R];
@@ -132,7 +138,10 @@ mod tests {
             let d_fix = aug_spmmv_auto(&h, 0.4, -0.15, &v, &mut w_fix);
             assert_eq!(w_dyn, w_fix, "R={r}");
             for j in 0..r {
-                assert!((d_dyn.eta_even[j] - d_fix.eta_even[j]).abs() < 1e-13, "R={r}");
+                assert!(
+                    (d_dyn.eta_even[j] - d_fix.eta_even[j]).abs() < 1e-13,
+                    "R={r}"
+                );
                 assert!(d_dyn.eta_odd[j].approx_eq(d_fix.eta_odd[j], 1e-13), "R={r}");
             }
         }

@@ -8,6 +8,7 @@
 //! access is the pattern the paper's Section IV-A warns about.
 
 use kpm_num::{BlockVector, Complex64};
+use kpm_obs::probe::{kernel_timer, KernelKind};
 use rayon::prelude::*;
 
 use crate::crs::CrsMatrix;
@@ -16,6 +17,7 @@ use crate::crs::CrsMatrix;
 pub fn spmv(a: &CrsMatrix, x: &[Complex64], y: &mut [Complex64]) {
     assert_eq!(x.len(), a.ncols(), "spmv: x dimension mismatch");
     assert_eq!(y.len(), a.nrows(), "spmv: y dimension mismatch");
+    let _probe = kernel_timer(KernelKind::Spmv, a.nrows(), a.nnz(), 1);
     #[allow(clippy::needless_range_loop)] // row index drives matrix and y
     for r in 0..a.nrows() {
         let cols = a.row_cols(r);
@@ -32,6 +34,7 @@ pub fn spmv(a: &CrsMatrix, x: &[Complex64], y: &mut [Complex64]) {
 pub fn spmv_par(a: &CrsMatrix, x: &[Complex64], y: &mut [Complex64]) {
     assert_eq!(x.len(), a.ncols(), "spmv_par: x dimension mismatch");
     assert_eq!(y.len(), a.nrows(), "spmv_par: y dimension mismatch");
+    let _probe = kernel_timer(KernelKind::Spmv, a.nrows(), a.nnz(), 1);
     y.par_iter_mut().enumerate().for_each(|(r, yr)| {
         let cols = a.row_cols(r);
         let vals = a.row_vals(r);
@@ -53,6 +56,7 @@ pub fn spmmv(a: &CrsMatrix, x: &BlockVector, y: &mut BlockVector) {
     assert_eq!(x.rows(), a.ncols(), "spmmv: x dimension mismatch");
     assert_eq!(y.rows(), a.nrows(), "spmmv: y dimension mismatch");
     assert_eq!(x.width(), y.width(), "spmmv: block width mismatch");
+    let _probe = kernel_timer(KernelKind::Spmv, a.nrows(), a.nnz(), x.width());
     let r_width = x.width();
     for r in 0..a.nrows() {
         let cols = a.row_cols(r);
@@ -73,6 +77,7 @@ pub fn spmmv_par(a: &CrsMatrix, x: &BlockVector, y: &mut BlockVector) {
     assert_eq!(x.rows(), a.ncols(), "spmmv_par: x dimension mismatch");
     assert_eq!(y.rows(), a.nrows(), "spmmv_par: y dimension mismatch");
     assert_eq!(x.width(), y.width(), "spmmv_par: block width mismatch");
+    let _probe = kernel_timer(KernelKind::Spmv, a.nrows(), a.nnz(), x.width());
     let r_width = x.width();
     y.as_mut_slice()
         .par_chunks_mut(r_width)

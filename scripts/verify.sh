@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate (referenced from ROADMAP.md).
+#
+# Runs the canonical build/test/lint line, a formatting check, and a
+# short smoke run of the instrumented `kpm report` roofline table on a
+# small topological-insulator lattice (budget: ~10 s).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: build + tests + clippy =="
+cargo build --release
+cargo test -q
+cargo test --workspace -q
+cargo clippy --workspace -- -D warnings
+
+echo "== formatting =="
+if cargo fmt --version >/dev/null 2>&1; then
+    cargo fmt --check
+else
+    echo "rustfmt unavailable; skipping format check"
+fi
+
+echo "== smoke: kpm report (achieved vs predicted roofline) =="
+./target/release/kpm report --nx 20 --ny 20 --nz 10 --moments 64 \
+    --random 8 --machine IVB --llc-mib 0.5
+
+echo "verify: OK"

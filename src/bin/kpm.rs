@@ -6,20 +6,34 @@
 //! kpm dos ti.mtx --moments 512 --random 16              # DOS as CSV
 //! kpm dos --nx 20 --ny 20 --nz 10                       # ... without a file
 //! kpm count ti.mtx --from -0.5 --to 0.5                 # eigenvalue count
+//! kpm report --nx 20 --ny 20 --nz 10 --random 8         # achieved vs model
 //! ```
 //!
 //! Matrices are exchanged in Matrix Market format (`coordinate complex
 //! hermitian/general`), so the tool interoperates with SuiteSparse-style
 //! collections.
+//!
+//! Every subcommand rejects flags it does not know (a typo like
+//! `--moment 512` fails instead of silently running with the default),
+//! and all diagnostics go to stderr so CSV output on stdout stays
+//! machine-clean. `--metrics-out FILE.jsonl` / `--trace-out FILE.json`
+//! enable the `kpm-obs` instrumentation and export its registry when
+//! the command finishes.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
+use std::path::Path;
 use std::process::ExitCode;
 
 use kpm_repro::core::dos::reconstruct;
 use kpm_repro::core::eigencount::count_from_moments;
 use kpm_repro::core::solver::{kpm_moments, KpmParams, KpmVariant};
 use kpm_repro::core::Kernel;
+use kpm_repro::obs;
+use kpm_repro::perfmodel::cachesim::CacheConfig;
+use kpm_repro::perfmodel::machine::Machine;
+use kpm_repro::perfmodel::omega::measure_omega_kernel;
+use kpm_repro::perfmodel::roofline::custom_roofline;
 use kpm_repro::sparse::{io as mmio, stats, CrsMatrix};
 use kpm_repro::topo::{ScaleFactors, TopoHamiltonian};
 
@@ -30,6 +44,7 @@ fn main() -> ExitCode {
         Some("info") => cmd_info(&args[1..]),
         Some("dos") => cmd_dos(&args[1..]),
         Some("count") => cmd_count(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
         Some("--help") | Some("-h") | None => {
             eprintln!("{USAGE}");
             Ok(())
@@ -49,7 +64,51 @@ const USAGE: &str = "usage:
   kpm generate --nx N --ny N --nz N [--potential dots] --out FILE.mtx
   kpm info FILE.mtx
   kpm dos [FILE.mtx | --nx N --ny N --nz N] [--moments M] [--random R] [--points K]
-  kpm count [FILE.mtx | --nx N --ny N --nz N] --from E --to E [--moments M] [--random R]";
+  kpm count [FILE.mtx | --nx N --ny N --nz N] --from E --to E [--moments M] [--random R]
+  kpm report [FILE.mtx | --nx N --ny N --nz N] [--moments M] [--random R]
+             [--machine IVB|SNB|K20m|K20X] [--llc-mib F] [--sweeps S]
+common:
+  --metrics-out FILE.jsonl   export the kpm-obs metrics registry
+  --trace-out FILE.json      export spans as a Chrome trace-event file";
+
+/// Flags shared by every matrix source.
+const MATRIX_FLAGS: &[&str] = &["--nx", "--ny", "--nz", "--potential"];
+/// Flags of the shared-memory solver.
+const SOLVER_FLAGS: &[&str] = &["--moments", "--random", "--seed"];
+/// Observability exports, accepted by every solver-running subcommand.
+const OBS_FLAGS: &[&str] = &["--metrics-out", "--trace-out"];
+
+/// Rejects any `--flag` not in `allowed` and any second positional
+/// argument, so typos fail loudly instead of silently running with a
+/// default value.
+fn check_args(args: &[String], allowed: &[&[&str]]) -> Result<(), String> {
+    let mut positionals = 0usize;
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if let Some(flag) = a.strip_prefix("--").map(|_| a.as_str()) {
+            if !allowed.iter().any(|set| set.contains(&flag)) {
+                let hint = allowed
+                    .iter()
+                    .flat_map(|set| set.iter())
+                    .find(|c| c.starts_with(flag) || flag.starts_with(**c))
+                    .map(|c| format!(" (did you mean {c}?)"))
+                    .unwrap_or_default();
+                return Err(format!("unknown flag '{flag}'{hint}\n{USAGE}"));
+            }
+            skip = true;
+            continue;
+        }
+        positionals += 1;
+        if positionals > 1 {
+            return Err(format!("unexpected extra argument '{a}'\n{USAGE}"));
+        }
+    }
+    Ok(())
+}
 
 /// `--flag value` lookup.
 fn opt<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -93,6 +152,41 @@ fn positional(args: &[String]) -> Option<&str> {
     None
 }
 
+/// The `--metrics-out` / `--trace-out` pair: enables instrumentation up
+/// front when either is requested and exports on [`ObsOutputs::export`].
+struct ObsOutputs {
+    metrics: Option<String>,
+    trace: Option<String>,
+}
+
+impl ObsOutputs {
+    fn from_args(args: &[String]) -> ObsOutputs {
+        let out = ObsOutputs {
+            metrics: opt(args, "--metrics-out").map(str::to_string),
+            trace: opt(args, "--trace-out").map(str::to_string),
+        };
+        if out.metrics.is_some() || out.trace.is_some() {
+            obs::reset();
+            obs::set_enabled(true);
+        }
+        out
+    }
+
+    fn export(&self) -> Result<(), String> {
+        if let Some(path) = &self.metrics {
+            obs::export::export_metrics_to_path(Path::new(path))
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote metrics to {path}");
+        }
+        if let Some(path) = &self.trace {
+            obs::export::export_trace_to_path(Path::new(path))
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote trace to {path}");
+        }
+        Ok(())
+    }
+}
+
 /// Loads the matrix: either a Matrix Market file (positional argument)
 /// or a generated topological-insulator system (`--nx/--ny/--nz`).
 fn load_matrix(args: &[String]) -> Result<CrsMatrix, String> {
@@ -124,6 +218,7 @@ fn solver_params(args: &[String]) -> Result<KpmParams, String> {
 }
 
 fn cmd_generate(args: &[String]) -> Result<(), String> {
+    check_args(args, &[MATRIX_FLAGS, &["--out"]])?;
     let out_path = opt(args, "--out").ok_or("generate needs --out FILE.mtx")?;
     let h = load_matrix(args)?;
     let file = File::create(out_path).map_err(|e| format!("cannot create {out_path}: {e}"))?;
@@ -138,6 +233,7 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_info(args: &[String]) -> Result<(), String> {
+    check_args(args, &[MATRIX_FLAGS])?;
     let h = load_matrix(args)?;
     let s = stats::analyze(&h, 8.max(h.nrows() / 100));
     println!("rows x cols   : {} x {}", s.nrows, s.ncols);
@@ -165,12 +261,17 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_dos(args: &[String]) -> Result<(), String> {
+    check_args(
+        args,
+        &[MATRIX_FLAGS, SOLVER_FLAGS, OBS_FLAGS, &["--points"]],
+    )?;
     let h = load_matrix(args)?;
     if !h.is_hermitian() {
         return Err("KPM-DOS needs a Hermitian matrix".into());
     }
     let params = solver_params(args)?;
     let points = opt_usize(args, "--points", 1024)?;
+    let outputs = ObsOutputs::from_args(args);
     let sf = ScaleFactors::from_gershgorin(&h, 0.01);
     eprintln!(
         "N = {}, Nnz = {}, M = {}, R = {}",
@@ -181,14 +282,29 @@ fn cmd_dos(args: &[String]) -> Result<(), String> {
     );
     let moments = kpm_moments(&h, sf, &params, KpmVariant::AugSpmmv).map_err(|e| e.to_string())?;
     let curve = reconstruct(&moments, Kernel::Jackson, sf, points);
-    println!("energy,dos");
-    for (e, v) in curve.energies.iter().zip(&curve.values) {
-        println!("{e},{v}");
+    // A closed pipe (`kpm dos ... | head`) must not abort the run: stop
+    // emitting rows but still write the requested metric/trace exports.
+    let out = std::io::stdout();
+    let mut out = std::io::BufWriter::new(out.lock());
+    let mut write_row = |line: std::fmt::Arguments| -> bool {
+        use std::io::Write as _;
+        out.write_fmt(line).and_then(|()| writeln!(out)).is_ok()
+    };
+    if write_row(format_args!("energy,dos")) {
+        for (e, v) in curve.energies.iter().zip(&curve.values) {
+            if !write_row(format_args!("{e},{v}")) {
+                break;
+            }
+        }
     }
-    Ok(())
+    outputs.export()
 }
 
 fn cmd_count(args: &[String]) -> Result<(), String> {
+    check_args(
+        args,
+        &[MATRIX_FLAGS, SOLVER_FLAGS, OBS_FLAGS, &["--from", "--to"]],
+    )?;
     let h = load_matrix(args)?;
     if !h.is_hermitian() {
         return Err("KPM-DOS needs a Hermitian matrix".into());
@@ -199,6 +315,7 @@ fn cmd_count(args: &[String]) -> Result<(), String> {
         return Err("--from must be below --to".into());
     }
     let params = solver_params(args)?;
+    let outputs = ObsOutputs::from_args(args);
     let sf = ScaleFactors::from_gershgorin(&h, 0.01);
     let moments = kpm_moments(&h, sf, &params, KpmVariant::AugSpmmv).map_err(|e| e.to_string())?;
     let count = count_from_moments(&moments, Kernel::Jackson, sf, h.nrows(), e_lo, e_hi);
@@ -206,7 +323,83 @@ fn cmd_count(args: &[String]) -> Result<(), String> {
         "estimated eigenvalues in [{e_lo}, {e_hi}]: {count:.1} of {}",
         h.nrows()
     );
-    Ok(())
+    outputs.export()
+}
+
+/// `kpm report` — runs all three solver variants instrumented and prints
+/// the achieved-vs-predicted roofline table: per-kernel achieved GF/s,
+/// minimum bytes/flop, the *live* Ω from a warm cachesim replay of the
+/// kernel's own address stream, and the model prediction
+/// `P* = min(P_MEM, P_LLC)` (paper Eq. 11) at that Ω.
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    check_args(
+        args,
+        &[
+            MATRIX_FLAGS,
+            SOLVER_FLAGS,
+            OBS_FLAGS,
+            &["--machine", "--llc-mib", "--sweeps"],
+        ],
+    )?;
+    let h = load_matrix(args)?;
+    if !h.is_hermitian() {
+        return Err("KPM-DOS needs a Hermitian matrix".into());
+    }
+    let params = solver_params(args)?;
+    let machine_name = opt(args, "--machine").unwrap_or("IVB");
+    let machine = Machine::by_name(machine_name)
+        .ok_or_else(|| format!("unknown machine '{machine_name}' (try: IVB, SNB, K20m, K20X)"))?;
+    let llc_mib = opt_f64(args, "--llc-mib")?.unwrap_or(machine.llc_mib);
+    if llc_mib <= 0.0 {
+        return Err("--llc-mib must be positive".into());
+    }
+    let llc = CacheConfig {
+        capacity_bytes: (llc_mib * 1024.0 * 1024.0) as usize,
+        line_bytes: 64,
+        ways: 16,
+    };
+    let sweeps = opt_usize(args, "--sweeps", 3)?.max(1);
+    let outputs = ObsOutputs::from_args(args);
+
+    // The report needs the probes regardless of the export flags.
+    obs::set_enabled(true);
+    let sf = ScaleFactors::from_gershgorin(&h, 0.01);
+    eprintln!(
+        "N = {}, Nnz = {}, M = {}, R = {}, machine = {}, LLC = {llc_mib} MiB",
+        h.nrows(),
+        h.nnz(),
+        params.num_moments,
+        params.num_random,
+        machine.name
+    );
+    for variant in [KpmVariant::Naive, KpmVariant::AugSpmv, KpmVariant::AugSpmmv] {
+        kpm_moments(&h, sf, &params, variant).map_err(|e| e.to_string())?;
+    }
+
+    let nnzr = h.nnz() as f64 / h.nrows() as f64;
+    println!("kernel     calls  width  achieved-GF/s  B_min(B/F)  omega-live  omega-pred  B_eff(B/F)  P*(GF/s)  %P*");
+    for rep in obs::probe::snapshot() {
+        let r = rep.width.max(1) as usize;
+        let live = measure_omega_kernel(&h, rep.kind, r, llc, sweeps);
+        let pred = measure_omega_kernel(&h, rep.kind, r, llc, 1);
+        let point = custom_roofline(&machine, nnzr, r, live.omega);
+        let b_eff = rep.min_bytes_per_flop() * live.omega;
+        let achieved = rep.gflops();
+        println!(
+            "{:<9} {:>6} {:>6}  {:>13.2}  {:>10.2}  {:>10.3}  {:>10.3}  {:>10.2}  {:>8.1}  {:>3.0}",
+            rep.kind.name(),
+            rep.calls,
+            r,
+            achieved,
+            rep.min_bytes_per_flop(),
+            live.omega,
+            pred.omega,
+            b_eff,
+            point.p_star,
+            100.0 * achieved / point.p_star
+        );
+    }
+    outputs.export()
 }
 
 #[cfg(test)]
@@ -251,5 +444,34 @@ mod tests {
     fn unknown_potential_rejected() {
         let a = args(&["--nx", "4", "--potential", "banana"]);
         assert!(load_matrix(&a).is_err());
+    }
+
+    #[test]
+    fn unknown_flag_rejected_with_hint() {
+        // The typo the strict parser exists for: --moment vs --moments.
+        let a = args(&["--nx", "4", "--moment", "512"]);
+        let err = check_args(&a, &[MATRIX_FLAGS, SOLVER_FLAGS]).unwrap_err();
+        assert!(err.contains("--moment"), "{err}");
+        assert!(err.contains("--moments"), "{err}");
+    }
+
+    #[test]
+    fn known_flags_and_one_positional_pass() {
+        let a = args(&["file.mtx", "--moments", "64", "--seed", "1"]);
+        assert!(check_args(&a, &[MATRIX_FLAGS, SOLVER_FLAGS]).is_ok());
+    }
+
+    #[test]
+    fn extra_positional_rejected() {
+        let a = args(&["file.mtx", "extra.mtx"]);
+        let err = check_args(&a, &[MATRIX_FLAGS]).unwrap_err();
+        assert!(err.contains("extra.mtx"), "{err}");
+    }
+
+    #[test]
+    fn flag_values_are_not_positionals() {
+        // "--from -0.5" must not count -0.5 as a positional.
+        let a = args(&["file.mtx", "--from", "-0.5", "--to", "0.5"]);
+        assert!(check_args(&a, &[&["--from", "--to"]]).is_ok());
     }
 }

@@ -1,0 +1,298 @@
+//! Tier-1 observability suite.
+//!
+//! Validates the `kpm-obs` instrumentation end to end: the exporters
+//! emit parseable JSONL/Chrome-trace documents, the solver records the
+//! expected span taxonomy and kernel probes, the live (warm cachesim
+//! replay) Ω agrees with the cold prediction on a deterministic
+//! workload, per-rank runtime telemetry reports the EXACT injected
+//! fault counts of a seeded plan, and a recovered resilient run logs
+//! exactly one restart span. The instrumentation flag and registries
+//! are process-global, so every test takes the same mutex.
+
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+use kpm_repro::core::checkpoint::MemoryCheckpointStore;
+use kpm_repro::core::solver::{kpm_moments, KpmParams, KpmVariant};
+use kpm_repro::hetsim::dist::{distributed_kpm_resilient, ResilienceConfig, RestartStrategy};
+use kpm_repro::hetsim::{FaultPlan, World, WorldConfig};
+use kpm_repro::num::Complex64;
+use kpm_repro::obs;
+use kpm_repro::obs::probe::KernelKind;
+use kpm_repro::perfmodel::cachesim::CacheConfig;
+use kpm_repro::perfmodel::omega::{measure_omega, measure_omega_kernel};
+use kpm_repro::topo::model::random_hermitian;
+use kpm_repro::topo::{ScaleFactors, TopoHamiltonian};
+
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+fn params(m: usize, r: usize) -> KpmParams {
+    KpmParams {
+        num_moments: m,
+        num_random: r,
+        seed: 2015,
+        parallel: false,
+    }
+}
+
+/// The probe crate duplicates the accounting constants (it depends on
+/// nothing); they must stay in sync with `kpm_num::accounting`.
+#[test]
+fn probe_constants_match_accounting() {
+    use kpm_repro::num::accounting;
+    assert_eq!(obs::probe::S_D as usize, accounting::S_D);
+    assert_eq!(obs::probe::S_I as usize, accounting::S_I);
+    assert_eq!(obs::probe::F_A as usize, accounting::F_A);
+    assert_eq!(obs::probe::F_M as usize, accounting::F_M);
+    // And the derived flop model: one aug sweep at width r equals the
+    // library's own accounting.
+    let (n, nnz, r) = (1000, 13_000, 8);
+    assert_eq!(
+        KernelKind::AugSpmmv.sweep_flops(n, nnz, r) as usize,
+        accounting::aug_spmmv_flops(n, nnz, r)
+    );
+}
+
+/// An instrumented solver run records the span taxonomy (one
+/// `solver.run`, one `solver.sweep` per iteration) and per-kernel
+/// probes whose modeled totals match the accounting formulas.
+#[test]
+fn solver_run_records_spans_and_probes() {
+    let _g = serial();
+    obs::reset();
+    obs::set_enabled(true);
+    let h = TopoHamiltonian::clean(4, 4, 2).assemble();
+    let sf = ScaleFactors::from_gershgorin(&h, 0.01);
+    let p = params(16, 2);
+    kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv).unwrap();
+    obs::set_enabled(false);
+
+    assert_eq!(obs::span::count("solver.run"), 1);
+    assert_eq!(obs::span::count("solver.sweep"), p.iterations());
+    let snap = obs::probe::snapshot();
+    let aug = snap
+        .iter()
+        .find(|rep| rep.kind == KernelKind::AugSpmmv)
+        .expect("aug_spmmv probe recorded");
+    // One aug_spmmv call per sweep, at the solver's block width.
+    assert_eq!(aug.calls as usize, p.iterations());
+    assert_eq!(aug.width as usize, p.num_random);
+    assert_eq!(
+        aug.flops,
+        aug.calls * KernelKind::AugSpmmv.sweep_flops(h.nrows(), h.nnz(), p.num_random)
+    );
+    assert_eq!(
+        aug.min_bytes,
+        aug.calls * KernelKind::AugSpmmv.sweep_min_bytes(h.nrows(), h.nnz(), p.num_random)
+    );
+}
+
+/// The JSONL metrics export and the Chrome trace-event export both
+/// parse with the crate's own JSON parser and carry the recorded data.
+#[test]
+fn jsonl_and_trace_exports_parse() {
+    let _g = serial();
+    obs::reset();
+    obs::set_enabled(true);
+    let h = TopoHamiltonian::clean(4, 4, 2).assemble();
+    let sf = ScaleFactors::from_gershgorin(&h, 0.01);
+    kpm_moments(&h, sf, &params(16, 2), KpmVariant::AugSpmmv).unwrap();
+    obs::metrics::counter_add("test.export.counter", 7);
+    obs::metrics::hist_record("test.export.hist", 250.0);
+    let jsonl = obs::export::metrics_jsonl_string();
+    let trace = obs::export::chrome_trace_string();
+    obs::set_enabled(false);
+
+    let mut types = Vec::new();
+    for line in jsonl.lines() {
+        let v = obs::json::parse(line).expect("every JSONL line parses");
+        types.push(v.get("type").and_then(|t| t.as_str()).unwrap().to_string());
+        if v.get("name").and_then(|n| n.as_str()) == Some("test.export.counter") {
+            assert_eq!(v.get("value").and_then(|x| x.as_f64()), Some(7.0));
+        }
+        if v.get("type").and_then(|t| t.as_str()) == Some("kernel") {
+            assert!(v.get("gflops").and_then(|x| x.as_f64()).is_some());
+            assert!(v.get("min_bf").and_then(|x| x.as_f64()).unwrap() > 0.0);
+        }
+    }
+    assert_eq!(types[0], "meta");
+    for want in ["counter", "histogram", "kernel"] {
+        assert!(types.iter().any(|t| t == want), "missing '{want}' line");
+    }
+
+    let doc = obs::json::parse(&trace).expect("trace parses");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|e| e.as_arr())
+        .expect("traceEvents array");
+    let phase = |v: &obs::json::Value| v.get("ph").and_then(|p| p.as_str()).map(str::to_string);
+    assert!(events.iter().any(|e| phase(e).as_deref() == Some("M")));
+    let sweeps = events
+        .iter()
+        .filter(|e| {
+            phase(e).as_deref() == Some("X")
+                && e.get("name").and_then(|n| n.as_str()) == Some("solver.sweep")
+        })
+        .count();
+    assert_eq!(sweeps, params(16, 2).iterations());
+}
+
+/// Acceptance: live Ω (warm multi-sweep replay of the kernel's address
+/// stream) agrees with the cold cachesim prediction within 15% on a
+/// deterministic workload whose working set exceeds the LLC.
+#[test]
+fn live_omega_agrees_with_cachesim_prediction() {
+    let h = TopoHamiltonian::clean(16, 16, 4).assemble();
+    let llc = CacheConfig {
+        capacity_bytes: 128 * 1024,
+        line_bytes: 64,
+        ways: 16,
+    };
+    for r in [4usize, 8] {
+        let live = measure_omega_kernel(&h, KernelKind::AugSpmmv, r, llc, 3);
+        let pred = measure_omega(&h, r, llc);
+        assert!(live.omega >= 1.0, "R={r}: live omega {} < 1", live.omega);
+        let rel = (live.omega / pred.omega - 1.0).abs();
+        assert!(
+            rel < 0.15,
+            "R={r}: live {} vs predicted {} ({}% apart)",
+            live.omega,
+            pred.omega,
+            100.0 * rel
+        );
+    }
+}
+
+/// Under a seeded fault plan the per-rank telemetry reports the EXACT
+/// injected drop/duplicate/delay counts the plan says it fired.
+#[test]
+fn fault_telemetry_matches_injected_counts_exactly() {
+    let _g = serial();
+    obs::reset();
+    obs::set_enabled(true);
+    let plan = Arc::new(
+        FaultPlan::new(5)
+            .with_message_drops(0.3)
+            .with_message_duplication(0.3)
+            .with_message_delays(0.3, Duration::from_millis(3)),
+    );
+    let outcome = World::run_config(
+        WorldConfig::new(2).with_faults(Arc::clone(&plan)),
+        |mut comm| {
+            if comm.rank() == 0 {
+                for tag in 0..60u64 {
+                    comm.send(1, tag, vec![Complex64::real(tag as f64)])?;
+                }
+            } else {
+                for tag in 0..60u64 {
+                    // Dropped messages never arrive; swallow the timeout.
+                    let _ = comm.recv_timeout(0, tag, Duration::from_millis(40));
+                }
+            }
+            Ok(0u8)
+        },
+    );
+    obs::set_enabled(false);
+    assert!(outcome.results.iter().all(|r| r.is_ok()));
+
+    let stats = plan.stats();
+    assert!(
+        stats.dropped > 0 && stats.duplicated > 0 && stats.delayed > 0,
+        "seeded plan injected nothing — test is vacuous: {stats:?}"
+    );
+    let sum = |f: fn(&kpm_repro::hetsim::runtime::RankTelemetry) -> u64| -> u64 {
+        outcome.telemetry.iter().map(f).sum()
+    };
+    assert_eq!(outcome.telemetry.len(), 2, "one telemetry row per rank");
+    assert_eq!(sum(|t| t.injected_drops), stats.dropped);
+    assert_eq!(sum(|t| t.injected_dups), stats.duplicated);
+    assert_eq!(sum(|t| t.injected_delays), stats.delayed);
+    // The mirrored global metrics agree with the ledger rows.
+    assert_eq!(
+        obs::metrics::counter_value("fault.injected.drop"),
+        stats.dropped
+    );
+    assert_eq!(
+        obs::metrics::counter_value("fault.injected.duplicate"),
+        stats.duplicated
+    );
+    assert_eq!(
+        obs::metrics::counter_value("fault.injected.delay"),
+        stats.delayed
+    );
+    // Exactly-once accounting: everything consumed was sent, and rank 1
+    // discarded every replayed duplicate that reached it.
+    assert_eq!(
+        sum(|t| t.msgs_sent),
+        obs::metrics::counter_value("runtime.msg.sent")
+    );
+    assert!(sum(|t| t.msgs_consumed) <= sum(|t| t.msgs_sent));
+}
+
+/// A resilient run that survives a crash logs exactly one `dist.restart`
+/// span, one `dist.restarts` counter tick, and one injected crash in
+/// both the plan stats and the mirrored metric.
+#[test]
+fn recovered_run_logs_one_restart_span() {
+    let _g = serial();
+    obs::reset();
+    obs::set_enabled(true);
+    let h = random_hermitian(120, 4, 21);
+    let sf = ScaleFactors::from_gershgorin(&h, 0.01);
+    let p = params(24, 2); // 11 sweeps
+    let crash_at = p.iterations() / 2;
+    let plan = Arc::new(FaultPlan::new(3).with_rank_crash(1, crash_at));
+    let store = MemoryCheckpointStore::new();
+    let cfg = ResilienceConfig {
+        checkpoint_interval: 3,
+        recv_timeout: Duration::from_millis(500),
+        max_restarts: 2,
+        restart: RestartStrategy::SameRanks,
+    };
+    let res = distributed_kpm_resilient(
+        &h,
+        sf,
+        &p,
+        &[1.0, 1.0],
+        Some(Arc::clone(&plan)),
+        &cfg,
+        &store,
+    )
+    .expect("crash must be survived");
+    obs::set_enabled(false);
+
+    assert_eq!(res.restarts, 1);
+    assert_eq!(obs::span::count("dist.restart"), 1);
+    assert_eq!(obs::metrics::counter_value("dist.restarts"), 1);
+    assert_eq!(plan.stats().crashed, 1);
+    assert_eq!(obs::metrics::counter_value("fault.injected.crash"), 1);
+    // The report carries the final (clean) world's telemetry: both ranks
+    // present, nobody crashed, and traffic balanced.
+    assert_eq!(res.report.telemetry.len(), 2);
+    assert!(res.report.telemetry.iter().all(|t| !t.crashed));
+    let sent: u64 = res.report.telemetry.iter().map(|t| t.msgs_sent).sum();
+    let consumed: u64 = res.report.telemetry.iter().map(|t| t.msgs_consumed).sum();
+    assert_eq!(sent, consumed, "final world leaked messages");
+}
+
+/// With instrumentation disabled nothing is recorded anywhere: no
+/// spans, no metrics, no kernel probes.
+#[test]
+fn disabled_instrumentation_is_inert() {
+    let _g = serial();
+    obs::reset();
+    obs::set_enabled(false);
+    let h = TopoHamiltonian::clean(4, 4, 2).assemble();
+    let sf = ScaleFactors::from_gershgorin(&h, 0.01);
+    kpm_moments(&h, sf, &params(16, 2), KpmVariant::AugSpmmv).unwrap();
+    assert_eq!(obs::span::snapshot().len(), 0);
+    assert_eq!(obs::probe::snapshot().len(), 0);
+    // The world telemetry ledger still works (plain counters), but the
+    // global metrics registry stays empty.
+    assert!(obs::metrics::snapshot().is_empty());
+}

@@ -53,7 +53,10 @@ fn fig10_dram_bound_at_r1_cache_bound_at_r32() {
     for kernel in [GpuKernel::PlainSpmmv, GpuKernel::AugNoDot] {
         let r1 = simulate(&d, &h, 1, kernel);
         assert_eq!(r1.timing.bottleneck, Bottleneck::Dram);
-        assert!((r1.timing.dram_gbs - 150.0).abs() < 1.0, "full DRAM bw at R=1");
+        assert!(
+            (r1.timing.dram_gbs - 150.0).abs() < 1.0,
+            "full DRAM bw at R=1"
+        );
         let r32 = simulate(&d, &h, 32, kernel);
         assert_ne!(r32.timing.bottleneck, Bottleneck::Dram);
         assert!(r32.timing.dram_gbs < 150.0);
@@ -86,7 +89,11 @@ fn fig11_headline_ratios() {
     // Total node speedup > 10x.
     assert!(s2.het_gflops / naive.cpu_gflops > 10.0);
     // Parallel efficiency 85-90% band (plus small model slack).
-    assert!(s2.efficiency > 0.83 && s2.efficiency < 0.95, "{}", s2.efficiency);
+    assert!(
+        s2.efficiency > 0.83 && s2.efficiency < 0.95,
+        "{}",
+        s2.efficiency
+    );
 }
 
 #[test]
@@ -95,7 +102,11 @@ fn fig12_reaches_100_tflops_at_1024_nodes() {
     let square = model.weak_scaling_square(1024);
     let last = square.last().unwrap();
     assert_eq!(last.nodes, 1024);
-    assert!(last.tflops > 100.0, "paper: >100 Tflop/s; got {}", last.tflops);
+    assert!(
+        last.tflops > 100.0,
+        "paper: >100 Tflop/s; got {}",
+        last.tflops
+    );
     // Largest Bar system: matrix with > 6.5e9 rows.
     let bar = model.weak_scaling_bar(1024);
     assert!(bar.last().unwrap().domain.rows() > 6_500_000_000 - 100_000_000);
@@ -105,7 +116,10 @@ fn fig12_reaches_100_tflops_at_1024_nodes() {
 fn fig12_square_dip_at_4_nodes_then_flat() {
     let model = ClusterModel::piz_daint(&bench_matrix(), 32);
     let pts = model.weak_scaling_square(1024);
-    assert!(pts[1].efficiency < pts[0].efficiency, "dip when y-cuts appear");
+    assert!(
+        pts[1].efficiency < pts[0].efficiency,
+        "dip when y-cuts appear"
+    );
     // After the dip the efficiency stays nearly constant.
     for w in pts[1..].windows(2) {
         assert!((w[0].efficiency - w[1].efficiency).abs() < 0.03);
@@ -142,4 +156,113 @@ fn roofline_consistency_between_modules() {
     let p9 = roofline(&IVB, b);
     let p11 = custom_roofline(&IVB, 13.0, 1, 1.0).p_star;
     assert!((p9 - p11).abs() < 1e-9);
+}
+
+// --- Cachesim/omega validation: measured traffic vs paper Eqs. 5-8 ---
+
+mod traffic_validation {
+    use kpm_repro::obs::probe::KernelKind;
+    use kpm_repro::perfmodel::cachesim::CacheConfig;
+    use kpm_repro::perfmodel::omega::{measure_omega, measure_omega_kernel, omega_sweep};
+    use kpm_repro::perfmodel::traffic::{stage1_solver_traffic, stage2_solver_traffic};
+    use kpm_repro::topo::TopoHamiltonian;
+
+    fn llc(kib: usize) -> CacheConfig {
+        CacheConfig {
+            capacity_bytes: kib * 1024,
+            line_bytes: 64,
+            ways: 16,
+        }
+    }
+
+    /// With an LLC far larger than the working set, the simulator's DRAM
+    /// traffic for one blocked sweep reproduces the analytic minimum
+    /// `M/2·[Nnz(Sd+Si) + 3·R·N·Sd]` (Eq. 5 at M = 2) within line
+    /// granularity.
+    #[test]
+    fn cold_measured_traffic_matches_minimum_formula() {
+        let h = TopoHamiltonian::clean(8, 8, 4).assemble();
+        for r in [4usize, 8, 16] {
+            let rep = measure_omega(&h, r, llc(64 * 1024));
+            let analytic = stage2_solver_traffic(h.nrows(), h.nnz(), r, 2) as u64;
+            assert_eq!(rep.v_min, analytic, "v_min must BE the Eq. 5 value");
+            let rel = (rep.v_meas as f64 / analytic as f64 - 1.0).abs();
+            assert!(
+                rel < 0.10,
+                "R={r}: measured {} vs analytic {analytic} ({}% apart)",
+                rep.v_meas,
+                100.0 * rel
+            );
+        }
+    }
+
+    /// The per-kernel minimum volumes agree with the traffic-model
+    /// stage formulas: aug kernels with Eq. 4's stage-1/stage-2 rows,
+    /// spmv with the matrix stream plus one read + one write vector.
+    #[test]
+    fn kernel_minimums_match_stage_formulas() {
+        let (n, nnz) = (16_000, 201_600);
+        assert_eq!(
+            KernelKind::AugSpmv.sweep_min_bytes(n, nnz, 1) as usize,
+            stage1_solver_traffic(n, nnz, 1, 2)
+        );
+        for r in [1usize, 4, 16, 32] {
+            assert_eq!(
+                KernelKind::AugSpmmv.sweep_min_bytes(n, nnz, r) as usize,
+                stage2_solver_traffic(n, nnz, r, 2)
+            );
+        }
+        // spmv: Nnz(Sd+Si) + 2·R·N·Sd (x read + y write).
+        assert_eq!(
+            KernelKind::Spmv.sweep_min_bytes(n, nnz, 4) as usize,
+            nnz * 20 + 2 * 4 * n * 16
+        );
+    }
+
+    /// Ω ≥ 1 across block widths whose rows are line-aligned (Eq. 8: the
+    /// simulator can never beat the minimum-traffic model), swept over
+    /// cache sizes from LLC-resident to far-too-small.
+    #[test]
+    fn omega_at_least_one_across_widths_and_cache_sizes() {
+        let h = TopoHamiltonian::clean(12, 12, 4).assemble();
+        for kib in [16usize, 128, 1024, 16 * 1024] {
+            for rep in omega_sweep(&h, &[4, 8, 16, 32], llc(kib)) {
+                assert!(
+                    rep.omega >= 0.99,
+                    "LLC {kib} KiB, R={}: omega {}",
+                    rep.r,
+                    rep.omega
+                );
+            }
+        }
+    }
+
+    /// Warm multi-sweep replay converges to the cold prediction when the
+    /// working set exceeds the LLC (nothing useful survives a sweep)...
+    #[test]
+    fn warm_replay_matches_cold_when_out_of_cache() {
+        let h = TopoHamiltonian::clean(16, 16, 4).assemble();
+        for kind in [KernelKind::Spmv, KernelKind::AugSpmmv] {
+            let cold = measure_omega_kernel(&h, kind, 8, llc(64), 1);
+            let warm = measure_omega_kernel(&h, kind, 8, llc(64), 3);
+            let rel = (warm.omega / cold.omega - 1.0).abs();
+            assert!(
+                rel < 0.15,
+                "{kind:?}: warm {} vs cold {} ({}% apart)",
+                warm.omega,
+                cold.omega,
+                100.0 * rel
+            );
+        }
+    }
+
+    /// ... and drops well below one when everything is LLC-resident:
+    /// after the compulsory first sweep the replay hits in cache, which
+    /// is exactly what hardware counters would report.
+    #[test]
+    fn warm_replay_drops_below_one_when_cache_resident() {
+        let h = TopoHamiltonian::clean(6, 6, 3).assemble();
+        let warm = measure_omega_kernel(&h, KernelKind::AugSpmmv, 4, llc(64 * 1024), 4);
+        assert!(warm.omega < 0.5, "omega = {}", warm.omega);
+    }
 }
