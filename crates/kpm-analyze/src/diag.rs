@@ -1,0 +1,119 @@
+//! Diagnostics: the lint engine's output type, human rendering, and
+//! hand-rolled machine-readable JSON (the workspace is offline, so no
+//! serde — same policy as `kpm-obs`).
+
+use std::fmt::Write as _;
+
+/// One finding: a rule violated at a file:line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The rule that fired (e.g. `no_panic`).
+    pub rule: &'static str,
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// What is wrong, in one sentence.
+    pub message: String,
+    /// How to silence the finding when it is intentional.
+    pub hint: String,
+}
+
+impl Diagnostic {
+    /// The standard suppression hint for `rule`.
+    pub fn suppression_hint(rule: &str) -> String {
+        format!("suppress with `// kpm::allow({rule}): <justification>` on or above the line")
+    }
+
+    /// `file:line: [rule] message` — the human-readable form.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}\n    hint: {}",
+            self.file, self.line, self.rule, self.message, self.hint
+        )
+    }
+}
+
+/// Escapes `s` for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the full report as one JSON document:
+/// `{"tool":"kpm-analyze","files_scanned":N,"diagnostics":[...]}`.
+pub fn render_json(diags: &[Diagnostic], files_scanned: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"tool\": \"kpm-analyze\",");
+    let _ = writeln!(out, "  \"files_scanned\": {files_scanned},");
+    let _ = writeln!(out, "  \"diagnostic_count\": {},", diags.len());
+    out.push_str("  \"diagnostics\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        let _ = write!(
+            out,
+            "\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\", \"hint\": \"{}\"",
+            json_escape(d.rule),
+            json_escape(&d.file),
+            d.line,
+            json_escape(&d.message),
+            json_escape(&d.hint)
+        );
+        out.push('}');
+    }
+    if !diags.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_quotes_and_controls() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let d = Diagnostic {
+            rule: "no_panic",
+            file: "crates/x/src/lib.rs".into(),
+            line: 7,
+            message: "call to `.unwrap()`".into(),
+            hint: Diagnostic::suppression_hint("no_panic"),
+        };
+        let j = render_json(&[d], 3);
+        assert!(j.contains("\"files_scanned\": 3"));
+        assert!(j.contains("\"diagnostic_count\": 1"));
+        assert!(j.contains("\"line\": 7"));
+        assert!(j.contains("kpm::allow(no_panic)"));
+    }
+
+    #[test]
+    fn empty_report_is_valid() {
+        let j = render_json(&[], 0);
+        assert!(j.contains("\"diagnostics\": []"));
+    }
+}

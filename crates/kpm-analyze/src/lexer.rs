@@ -1,0 +1,423 @@
+//! A minimal hand-rolled Rust lexer, sufficient for token-level lints.
+//!
+//! The lint engine does not need a full grammar — it needs to walk the
+//! token stream without being fooled by the places where naive text
+//! matching breaks: string literals (`"// not a comment"`), raw strings
+//! (`r#".unwrap()"#`), char literals vs. lifetimes (`'a'` vs. `'a`),
+//! nested block comments, and doc comments. This lexer handles exactly
+//! those, and records line spans so the rules can reason about comment
+//! adjacency (`// SAFETY:` placement, suppression markers).
+
+/// What a token is. Literal payloads are dropped — the rules only care
+/// about identifiers, punctuation, and comment text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// A single punctuation character (`.`, `!`, `{`, ...).
+    Punct(char),
+    /// Any string-like literal (`"…"`, `r#"…"#`, `b"…"`, `c"…"`).
+    Str,
+    /// A char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// A lifetime (`'a`, `'static`, `'_`).
+    Lifetime,
+    /// A numeric literal.
+    Num,
+    /// A non-doc `//` comment; payload is the text after the slashes.
+    LineComment(String),
+    /// A non-doc `/* */` comment; payload is the interior text.
+    BlockComment(String),
+    /// A doc comment (`///`, `//!`, `/** */`, `/*! */`).
+    DocComment(String),
+}
+
+/// One lexed token with its (1-based) line span.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token kind (and payload where the rules need it).
+    pub kind: TokKind,
+    /// 1-based line on which the token starts.
+    pub line: u32,
+    /// 1-based line on which the token ends (differs from `line` only
+    /// for multi-line block comments and string literals).
+    pub end_line: u32,
+}
+
+/// Lexes `src` into a token stream. Unterminated literals or comments
+/// are tolerated (the remainder of the file becomes one token): the
+/// lints must degrade gracefully, not crash, on code rustc would
+/// reject anyway.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Consumes one char, tracking the line counter.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokKind, start_line: u32) {
+        self.out.push(Token {
+            kind,
+            line: start_line,
+            end_line: self.line,
+        });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let start = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(start),
+                '/' if self.peek(1) == Some('*') => self.block_comment(start),
+                '"' => self.string_literal(start),
+                '\'' => self.char_or_lifetime(start),
+                c if c.is_ascii_digit() => self.number(start),
+                c if c.is_alphabetic() || c == '_' => self.ident(start),
+                c => {
+                    self.bump();
+                    self.push(TokKind::Punct(c), start);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, start: u32) {
+        self.bump();
+        self.bump(); // consume `//`
+                     // `///` (but not `////...`) and `//!` are doc comments.
+        let doc = match (self.peek(0), self.peek(1)) {
+            (Some('/'), Some('/')) => false,
+            (Some('/'), _) | (Some('!'), _) => true,
+            _ => false,
+        };
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        let kind = if doc {
+            TokKind::DocComment(text)
+        } else {
+            TokKind::LineComment(text)
+        };
+        self.push(kind, start);
+    }
+
+    fn block_comment(&mut self, start: u32) {
+        self.bump();
+        self.bump(); // consume `/*`
+                     // `/**` (but not `/***` or the degenerate `/**/`) and `/*!`.
+        let doc = match (self.peek(0), self.peek(1)) {
+            (Some('*'), Some('*')) | (Some('*'), Some('/')) => false,
+            (Some('*'), _) | (Some('!'), _) => true,
+            _ => false,
+        };
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+                text.push_str("/*");
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+                text.push_str("*/");
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        let kind = if doc {
+            TokKind::DocComment(text)
+        } else {
+            TokKind::BlockComment(text)
+        };
+        self.push(kind, start);
+    }
+
+    /// A plain `"…"` string with escape handling.
+    fn string_literal(&mut self, start: u32) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokKind::Str, start);
+    }
+
+    /// A raw string `r"…"` / `r#"…"#` with `hashes` leading `#`s; the
+    /// `r` (or `br`/`cr`) prefix and the hashes are already consumed.
+    fn raw_string_tail(&mut self, start: u32, hashes: usize) {
+        self.bump(); // opening quote
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                for i in 0..hashes {
+                    if self.peek(i) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(TokKind::Str, start);
+    }
+
+    /// Distinguishes `'a'` (char) from `'a` (lifetime): after the
+    /// quote, an escape or a `<char>'` pair is a char literal; an
+    /// identifier head without a closing quote is a lifetime.
+    fn char_or_lifetime(&mut self, start: u32) {
+        self.bump(); // the quote
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: skip the escape, then scan to
+                // the closing quote (covers \u{…} and \x…).
+                self.bump();
+                self.bump();
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(TokKind::Char, start);
+            }
+            Some(c) if (c.is_alphanumeric() || c == '_') && self.peek(1) != Some('\'') => {
+                while let Some(c) = self.peek(0) {
+                    if c.is_alphanumeric() || c == '_' {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.push(TokKind::Lifetime, start);
+            }
+            _ => {
+                // `'x'`, `'0'`, `' '`, `'('`, ...
+                self.bump();
+                self.bump(); // closing quote
+                self.push(TokKind::Char, start);
+            }
+        }
+    }
+
+    fn number(&mut self, start: u32) {
+        // Integer part (also covers 0x/0b/0o and suffixes like u64).
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // Fraction — only when followed by a digit, so `0..n` stays
+        // three tokens and `x.0.clone()` keeps its dots.
+        if self.peek(0) == Some('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+            while let Some(c) = self.peek(0) {
+                if c.is_alphanumeric() || c == '_' {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        // Exponent sign (`1e-3`): the trailing `e` was consumed above.
+        if (self.peek(0) == Some('-') || self.peek(0) == Some('+'))
+            && self
+                .chars
+                .get(self.pos.wrapping_sub(1))
+                .is_some_and(|c| *c == 'e' || *c == 'E')
+            && self.peek(1).is_some_and(|c| c.is_ascii_digit())
+        {
+            self.bump();
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_digit() || c == '_' {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.push(TokKind::Num, start);
+    }
+
+    fn ident(&mut self, start: u32) {
+        let mut name = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                name.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // String-literal prefixes: r"…", r#"…"#, b"…", br#"…"#, c"…",
+        // and the byte-char b'…'.
+        let is_prefix = matches!(name.as_str(), "r" | "b" | "br" | "c" | "cr" | "rb");
+        if is_prefix {
+            match self.peek(0) {
+                Some('"') => {
+                    self.string_literal(start);
+                    return;
+                }
+                Some('#') => {
+                    let mut hashes = 0;
+                    while self.peek(hashes) == Some('#') {
+                        hashes += 1;
+                    }
+                    if self.peek(hashes) == Some('"') {
+                        for _ in 0..hashes {
+                            self.bump();
+                        }
+                        self.raw_string_tail(start, hashes);
+                        return;
+                    }
+                }
+                Some('\'') if name == "b" => {
+                    self.char_or_lifetime(start);
+                    return;
+                }
+                _ => {}
+            }
+        }
+        self.push(TokKind::Ident(name), start);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn code_inside_strings_is_not_tokenized() {
+        let toks = idents(r#"let x = "foo.unwrap()"; y.unwrap();"#);
+        assert_eq!(toks, vec!["let", "x", "y", "unwrap"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_and_quotes() {
+        let toks = idents(r##"let s = r#"contains "quotes" and .unwrap()"#; done();"##);
+        assert_eq!(toks, vec!["let", "s", "done"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes = toks.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+        let chars = toks.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let toks = lex(r"let a = '\''; let b = '\n'; let c = '\u{1F600}';");
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Char).count(), 3);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = lex("/* outer /* inner */ still outer */ code()");
+        assert!(matches!(toks[0].kind, TokKind::BlockComment(_)));
+        assert_eq!(
+            toks.iter()
+                .filter(|t| matches!(t.kind, TokKind::Ident(_)))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn doc_vs_plain_comments() {
+        let toks = lex("/// doc\n//! inner doc\n// plain\n//// not doc\nx");
+        let docs = toks
+            .iter()
+            .filter(|t| matches!(t.kind, TokKind::DocComment(_)))
+            .count();
+        let plain = toks
+            .iter()
+            .filter(|t| matches!(t.kind, TokKind::LineComment(_)))
+            .count();
+        assert_eq!(docs, 2);
+        assert_eq!(plain, 2);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = lex("a\nb\n  c");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges_or_field_access() {
+        let toks = lex("for i in 0..n { x.0.clone(); let y = 1.5e-3; }");
+        let dots = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct('.'))
+            .count();
+        // `0..n` has two, `x.0.clone()` has two; `1.5e-3` has none left.
+        assert_eq!(dots, 4);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = idents(r#"let a = b"bytes"; let c = b'x'; end()"#);
+        assert_eq!(toks, vec!["let", "a", "let", "c", "end"]);
+    }
+}

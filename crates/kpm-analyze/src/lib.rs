@@ -1,0 +1,27 @@
+//! kpm-analyze: zero-dependency static analysis for the KPM
+//! workspace.
+//!
+//! Two subsystems share this crate:
+//!
+//! - [`lints`] — a token-level lint engine over hand-lexed Rust
+//!   source ([`lexer`]), enforcing the workspace's domain rules
+//!   (panic-freedom in kernel crates, `// SAFETY:` adjacency,
+//!   allocation-free hot loops, ordering discipline, doc coverage,
+//!   the kpm-obs disabled-path gate). Diagnostics ([`diag`]) render
+//!   both human `file:line` text and machine-readable JSON.
+//! - [`sched`] — a loom-style deterministic schedule explorer for
+//!   the hetsim runtime protocol (send/recv/timeout, stash, dedup,
+//!   checkpoint), proving deadlock-freedom and exactly-once delivery
+//!   across every interleaving of small rank models.
+//!
+//! `scripts/verify.sh` runs both as hard gates; see DESIGN.md §9.
+
+pub mod diag;
+pub mod lexer;
+pub mod lints;
+pub mod sched;
+pub mod workspace;
+
+pub use diag::{render_json, Diagnostic};
+pub use lints::{analyze_source, FileClass, FileInput, RULES};
+pub use workspace::run_workspace;

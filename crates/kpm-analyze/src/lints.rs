@@ -1,0 +1,915 @@
+//! The domain lint rules and the per-file analysis driver.
+//!
+//! Clippy cannot encode these rules (and this workspace is offline, so
+//! a custom rustc driver is off the table too); each rule is a small
+//! pass over the token stream of [`crate::lexer`], with shared context
+//! for test-code regions (`#[cfg(test)]` items, `#[test]` fns) and
+//! comment-based suppression markers.
+//!
+//! # Suppression syntax
+//!
+//! `// kpm::allow(rule_name): justification` silences `rule_name` on
+//! the same line and on the next line that contains code. (rustc only
+//! accepts `#[allow(tool::lint)]` attributes for *registered* tools,
+//! which needs an unstable feature, so the markers live in comments —
+//! the engine's lexer sees every comment anyway.) A marker naming an
+//! unknown rule is itself a diagnostic, with a did-you-mean hint.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::diag::Diagnostic;
+use crate::lexer::{lex, TokKind, Token};
+
+/// Crates whose non-test library code must be panic-free (`no_panic`).
+pub const KERNEL_CRATES: &[&str] = &["kpm-sparse", "kpm-num", "kpm-core", "kpm-hetsim"];
+
+/// Hot-kernel files checked for in-loop heap allocation.
+pub const HOT_KERNEL_FILES: &[&str] = &["spmv.rs", "aug.rs", "sell.rs"];
+
+/// The crate holding the instrumentation gate; `relaxed_store` is
+/// skipped there and `obs_gate` runs only there.
+pub const OBS_CRATE: &str = "kpm-obs";
+
+/// What kind of compilation target a file belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileClass {
+    /// Library code (`src/**`, excluding `src/bin`).
+    Lib,
+    /// Binary code (`src/bin/**`, `src/main.rs`).
+    Bin,
+    /// Integration tests (`tests/**`).
+    Test,
+    /// Benchmarks (`benches/**`).
+    Bench,
+    /// Examples (`examples/**`).
+    Example,
+}
+
+/// One file to analyze: its workspace-relative path, owning crate, and
+/// target class.
+#[derive(Debug, Clone)]
+pub struct FileInput {
+    /// Workspace-relative path (used in diagnostics).
+    pub path: String,
+    /// Name of the owning crate (`kpm-core`, ...; the root package is
+    /// `kpm-repro`).
+    pub crate_name: String,
+    /// Target class, which decides rule applicability.
+    pub class: FileClass,
+}
+
+/// A lint rule's identity and one-line summary.
+#[derive(Debug, Clone, Copy)]
+pub struct Rule {
+    /// Stable machine name, used in suppressions and JSON output.
+    pub name: &'static str,
+    /// One-line human summary.
+    pub summary: &'static str,
+}
+
+/// Every rule the engine knows, in evaluation order.
+pub const RULES: &[Rule] = &[
+    Rule {
+        name: "no_panic",
+        summary: "no unwrap/expect/panic!/unreachable!/todo!/unimplemented! in non-test \
+                  library code of the kernel crates",
+    },
+    Rule {
+        name: "safety_comment",
+        summary: "every `unsafe` block and `unsafe impl` is immediately preceded by a \
+                  `// SAFETY:` comment",
+    },
+    Rule {
+        name: "hot_loop_alloc",
+        summary: "no heap allocation (vec!/Vec::new/to_vec/clone/collect/format!/...) \
+                  inside loops of the hot kernel files",
+    },
+    Rule {
+        name: "relaxed_store",
+        summary: "no `Ordering::Relaxed` store/swap outside the kpm-obs gate",
+    },
+    Rule {
+        name: "doc_coverage",
+        summary: "public fn/struct/enum/trait items in library code carry doc comments",
+    },
+    Rule {
+        name: "obs_gate",
+        summary: "kpm-obs recording entry points check `enabled()` before taking a lock \
+                  or reading a clock",
+    },
+    Rule {
+        name: "unknown_suppression",
+        summary: "suppression markers must name an existing rule",
+    },
+];
+
+/// True if `name` is a known rule.
+pub fn is_rule(name: &str) -> bool {
+    RULES.iter().any(|r| r.name == name)
+}
+
+/// The known rule closest to `name` by edit distance (for the
+/// did-you-mean hint on misspelled suppressions).
+pub fn nearest_rule(name: &str) -> &'static str {
+    RULES
+        .iter()
+        .map(|r| (edit_distance(name, r.name), r.name))
+        .min_by_key(|(d, _)| *d)
+        .map(|(_, n)| n)
+        .unwrap_or("no_panic")
+}
+
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for i in 1..=a.len() {
+        cur[0] = i;
+        for j in 1..=b.len() {
+            let sub = prev[j - 1] + usize::from(a[i - 1] != b[j - 1]);
+            cur[j] = sub.min(prev[j] + 1).min(cur[j - 1] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Per-line facts derived from the token stream.
+#[derive(Debug, Clone, Copy, Default)]
+struct LineInfo {
+    /// Line contains at least one non-comment, non-attribute token.
+    has_code: bool,
+    /// Line lies inside an attribute (`#[...]`) span.
+    has_attr: bool,
+    /// Line carries a doc comment.
+    has_doc: bool,
+    /// Line carries any comment.
+    has_comment: bool,
+    /// Line carries a comment whose text starts with `SAFETY:`.
+    has_safety: bool,
+}
+
+/// A code token (comments stripped) with its line.
+#[derive(Debug, Clone)]
+struct CTok {
+    kind: TokKind,
+    line: u32,
+}
+
+impl CTok {
+    fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// Shared per-file context handed to each rule pass.
+struct Ctx<'a> {
+    input: &'a FileInput,
+    toks: Vec<CTok>,
+    lines: Vec<LineInfo>, // indexed by line - 1
+    test_lines: Vec<bool>,
+    /// rule name -> lines on which it is suppressed.
+    suppressed: HashMap<String, HashSet<u32>>,
+    diags: Vec<Diagnostic>,
+}
+
+impl Ctx<'_> {
+    fn line_info(&self, line: u32) -> LineInfo {
+        self.lines
+            .get(line as usize - 1)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    fn is_test_line(&self, line: u32) -> bool {
+        self.test_lines
+            .get(line as usize - 1)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    fn is_suppressed(&self, rule: &str, line: u32) -> bool {
+        self.suppressed
+            .get(rule)
+            .is_some_and(|lines| lines.contains(&line))
+    }
+
+    fn report(&mut self, rule: &'static str, line: u32, message: String) {
+        if self.is_suppressed(rule, line) {
+            return;
+        }
+        self.diags.push(Diagnostic {
+            rule,
+            file: self.input.path.clone(),
+            line,
+            message,
+            hint: Diagnostic::suppression_hint(rule),
+        });
+    }
+}
+
+/// Analyzes one source file and returns its diagnostics.
+pub fn analyze_source(input: &FileInput, src: &str) -> Vec<Diagnostic> {
+    let raw = lex(src);
+    let nlines = src.lines().count().max(1);
+    let mut ctx = build_ctx(input, &raw, nlines);
+
+    if applies_no_panic(input) {
+        no_panic(&mut ctx);
+    }
+    safety_comment(&mut ctx);
+    if applies_hot_loop(input) {
+        hot_loop_alloc(&mut ctx);
+    }
+    if input.crate_name != OBS_CRATE && matches!(input.class, FileClass::Lib | FileClass::Bin) {
+        relaxed_store(&mut ctx);
+    }
+    if input.class == FileClass::Lib {
+        doc_coverage(&mut ctx);
+    }
+    if input.crate_name == OBS_CRATE && input.class == FileClass::Lib {
+        obs_gate(&mut ctx);
+    }
+
+    let mut diags = ctx.diags;
+    diags.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    diags
+}
+
+fn applies_no_panic(input: &FileInput) -> bool {
+    input.class == FileClass::Lib && KERNEL_CRATES.contains(&input.crate_name.as_str())
+}
+
+fn applies_hot_loop(input: &FileInput) -> bool {
+    input.class == FileClass::Lib
+        && input.crate_name == "kpm-sparse"
+        && HOT_KERNEL_FILES
+            .iter()
+            .any(|f| input.path.ends_with(&format!("/{f}")))
+}
+
+// ---------------------------------------------------------------------
+// Context construction: line table, attribute spans, test regions,
+// suppression markers.
+// ---------------------------------------------------------------------
+
+fn build_ctx<'a>(input: &'a FileInput, raw: &[Token], nlines: usize) -> Ctx<'a> {
+    let mut lines = vec![LineInfo::default(); nlines.max(1)];
+    let mut toks: Vec<CTok> = Vec::with_capacity(raw.len());
+    let mut suppressed: HashMap<String, HashSet<u32>> = HashMap::new();
+    let mut diags = Vec::new();
+
+    let mark = |lines: &mut Vec<LineInfo>, from: u32, to: u32, f: &dyn Fn(&mut LineInfo)| {
+        for l in from..=to {
+            if let Some(info) = lines.get_mut(l as usize - 1) {
+                f(info);
+            }
+        }
+    };
+
+    // Pass 1: split comments from code, build the line table, collect
+    // suppression markers.
+    for t in raw {
+        match &t.kind {
+            TokKind::LineComment(text) | TokKind::BlockComment(text) => {
+                mark(&mut lines, t.line, t.end_line, &|i| i.has_comment = true);
+                if text.trim_start().starts_with("SAFETY:") {
+                    mark(&mut lines, t.line, t.end_line, &|i| i.has_safety = true);
+                }
+                collect_suppressions(text, t.line, &mut suppressed, &mut diags, input);
+            }
+            TokKind::DocComment(_) => {
+                mark(&mut lines, t.line, t.end_line, &|i| {
+                    i.has_doc = true;
+                    i.has_comment = true;
+                });
+            }
+            kind => {
+                toks.push(CTok {
+                    kind: kind.clone(),
+                    line: t.line,
+                });
+            }
+        }
+    }
+
+    // Pass 2: attribute spans (their tokens are not "code" for the
+    // purposes of comment-adjacency walks) and remaining code lines.
+    let attr_spans = find_attr_spans(&toks);
+    let mut in_attr = vec![false; toks.len()];
+    for &(s, e) in &attr_spans {
+        for slot in in_attr.iter_mut().take(e + 1).skip(s) {
+            *slot = true;
+        }
+        mark(&mut lines, toks[s].line, toks[e].line, &|i| {
+            i.has_attr = true
+        });
+    }
+    for (i, t) in toks.iter().enumerate() {
+        if !in_attr[i] {
+            mark(&mut lines, t.line, t.line, &|i| i.has_code = true);
+        }
+    }
+
+    // Pass 3: test regions from `#[cfg(test)]` / `#[test]` attributes.
+    let mut test_lines = vec![false; lines.len()];
+    for &(s, e) in &attr_spans {
+        if attr_is_test(&toks[s..=e]) {
+            if let Some((from, to)) = decorated_item_span(&toks, e + 1, &attr_spans) {
+                let (l0, l1) = (toks[s].line, toks[to].line.max(toks[from].line));
+                for l in l0..=l1 {
+                    if let Some(slot) = test_lines.get_mut(l as usize - 1) {
+                        *slot = true;
+                    }
+                }
+            }
+        }
+    }
+
+    // Resolve suppression markers onto lines: a marker applies to its
+    // own line and to the next line containing code.
+    let mut resolved: HashMap<String, HashSet<u32>> = HashMap::new();
+    for (rule, marker_lines) in suppressed {
+        let entry = resolved.entry(rule).or_default();
+        for l in marker_lines {
+            entry.insert(l);
+            for next in (l + 1)..=(lines.len() as u32) {
+                if lines[next as usize - 1].has_code {
+                    entry.insert(next);
+                    break;
+                }
+            }
+        }
+    }
+
+    Ctx {
+        input,
+        toks,
+        lines,
+        test_lines,
+        suppressed: resolved,
+        diags,
+    }
+}
+
+/// Records every `kpm::allow(rule)` marker found in `text`; unknown
+/// rule names become `unknown_suppression` diagnostics.
+fn collect_suppressions(
+    text: &str,
+    line: u32,
+    suppressed: &mut HashMap<String, HashSet<u32>>,
+    diags: &mut Vec<Diagnostic>,
+    input: &FileInput,
+) {
+    const MARKER: &str = "kpm::allow(";
+    let mut rest = text;
+    while let Some(pos) = rest.find(MARKER) {
+        rest = &rest[pos + MARKER.len()..];
+        let Some(close) = rest.find(')') else { break };
+        let rule = rest[..close].trim().to_string();
+        rest = &rest[close + 1..];
+        if is_rule(&rule) {
+            suppressed.entry(rule).or_default().insert(line);
+        } else {
+            let near = nearest_rule(&rule);
+            diags.push(Diagnostic {
+                rule: "unknown_suppression",
+                file: input.path.clone(),
+                line,
+                message: format!("suppression names unknown rule `{rule}`"),
+                hint: format!("did you mean `kpm::allow({near})`?"),
+            });
+        }
+    }
+}
+
+/// Index spans `(start, end)` of attribute token groups `#[...]` /
+/// `#![...]` in the code-token stream.
+fn find_attr_spans(toks: &[CTok]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_punct('#') {
+            let mut j = i + 1;
+            if j < toks.len() && toks[j].is_punct('!') {
+                j += 1;
+            }
+            if j < toks.len() && toks[j].is_punct('[') {
+                let mut depth = 0usize;
+                let mut k = j;
+                while k < toks.len() {
+                    if toks[k].is_punct('[') {
+                        depth += 1;
+                    } else if toks[k].is_punct(']') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    k += 1;
+                }
+                if k < toks.len() {
+                    spans.push((i, k));
+                    i = k + 1;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// True when the attribute tokens mark test-only code: `#[test]`,
+/// `#[cfg(test)]`, or a `cfg` mentioning `test` without `not(...)`.
+fn attr_is_test(attr: &[CTok]) -> bool {
+    let idents: Vec<&str> = attr.iter().filter_map(|t| t.ident()).collect();
+    match idents.first() {
+        Some(&"test") => idents.len() == 1,
+        Some(&"cfg") => idents.contains(&"test") && !idents.contains(&"not"),
+        _ => false,
+    }
+}
+
+/// The token span of the item an attribute at `start` decorates:
+/// skips further attributes, then extends to the matching `}` of the
+/// item's first top-level brace group, or to a top-level `;`.
+fn decorated_item_span(
+    toks: &[CTok],
+    start: usize,
+    attr_spans: &[(usize, usize)],
+) -> Option<(usize, usize)> {
+    let mut i = start;
+    // Skip any further attributes on the same item.
+    while let Some(&(_, e)) = attr_spans.iter().find(|&&(s, _)| s == i) {
+        i = e + 1;
+    }
+    let from = i;
+    let mut brace = 0usize;
+    while i < toks.len() {
+        match &toks[i].kind {
+            TokKind::Punct('{') => brace += 1,
+            TokKind::Punct('}') => {
+                brace = brace.saturating_sub(1);
+                if brace == 0 {
+                    return Some((from, i));
+                }
+            }
+            TokKind::Punct(';') if brace == 0 => return Some((from, i)),
+            _ => {}
+        }
+        i += 1;
+    }
+    Some((from, toks.len().saturating_sub(1)))
+}
+
+// ---------------------------------------------------------------------
+// Rule passes.
+// ---------------------------------------------------------------------
+
+/// Panicking constructs in non-test kernel-crate library code.
+fn no_panic(ctx: &mut Ctx<'_>) {
+    let mut findings = Vec::new();
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if ctx.is_test_line(t.line) {
+            continue;
+        }
+        let Some(name) = t.ident() else { continue };
+        let prev_dot = i > 0 && ctx.toks[i - 1].is_punct('.');
+        let next = ctx.toks.get(i + 1);
+        match name {
+            "unwrap" | "expect" if prev_dot && next.is_some_and(|n| n.is_punct('(')) => {
+                findings.push((
+                    t.line,
+                    format!("call to `.{name}()` in kernel-crate library code; return a typed `KpmError` instead"),
+                ));
+            }
+            "panic" | "unreachable" | "todo" | "unimplemented"
+                if next.is_some_and(|n| n.is_punct('!')) =>
+            {
+                findings.push((
+                    t.line,
+                    format!(
+                        "`{name}!` in kernel-crate library code; return a typed `KpmError` instead"
+                    ),
+                ));
+            }
+            _ => {}
+        }
+    }
+    for (line, msg) in findings {
+        ctx.report("no_panic", line, msg);
+    }
+}
+
+/// `unsafe` blocks / impls must be immediately preceded by `// SAFETY:`.
+fn safety_comment(ctx: &mut Ctx<'_>) {
+    let mut findings = Vec::new();
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if t.ident() != Some("unsafe") {
+            continue;
+        }
+        let what = match ctx.toks.get(i + 1) {
+            Some(n) if n.is_punct('{') => "unsafe block",
+            Some(n) if n.ident() == Some("impl") => "unsafe impl",
+            _ => continue, // `unsafe fn` declarations document their contract in rustdoc
+        };
+        if !has_adjacent_safety_comment(ctx, t.line) {
+            findings.push((
+                t.line,
+                format!("{what} without an immediately preceding `// SAFETY:` comment"),
+            ));
+        }
+    }
+    for (line, msg) in findings {
+        ctx.report("safety_comment", line, msg);
+    }
+}
+
+/// Walks upward from `line` through comment/attribute-only lines
+/// looking for a `SAFETY:` comment; the walk stops at the first code
+/// or blank line. The `unsafe` token's own line also counts (trailing
+/// or inline block comments).
+fn has_adjacent_safety_comment(ctx: &Ctx<'_>, line: u32) -> bool {
+    if ctx.line_info(line).has_safety {
+        return true;
+    }
+    let mut l = line.saturating_sub(1);
+    while l >= 1 {
+        let info = ctx.line_info(l);
+        if info.has_safety {
+            return true;
+        }
+        let skippable = !info.has_code && (info.has_comment || info.has_doc || info.has_attr);
+        if !skippable {
+            return false; // code line or blank line: the comment is not adjacent
+        }
+        l -= 1;
+    }
+    false
+}
+
+const ALLOC_METHODS: &[&str] = &["to_vec", "to_owned", "to_string", "clone", "collect"];
+const ALLOC_TYPES: &[(&str, &[&str])] = &[
+    ("Vec", &["new", "with_capacity", "from"]),
+    ("String", &["new", "with_capacity", "from"]),
+    ("Box", &["new"]),
+];
+const ALLOC_MACROS: &[&str] = &["vec", "format"];
+
+/// Heap allocation inside loops of the hot kernel files.
+fn hot_loop_alloc(ctx: &mut Ctx<'_>) {
+    let mut findings = Vec::new();
+    let mut brace_stack: Vec<bool> = Vec::new(); // true = loop body
+    let mut loop_depth = 0usize;
+    let mut pending_loop = false;
+    let mut paren = 0usize;
+
+    for i in 0..ctx.toks.len() {
+        let t = &ctx.toks[i];
+        let prev = i.checked_sub(1).map(|p| &ctx.toks[p]);
+        let next = ctx.toks.get(i + 1);
+        match &t.kind {
+            TokKind::Ident(name) => {
+                match name.as_str() {
+                    // `for` is a loop head unless it is `impl Trait for T`
+                    // (previous token an ident or `>`) or an HRTB
+                    // (`for<'a>`, next token `<`).
+                    "for" => {
+                        let prev_ty = prev.is_some_and(|p| p.ident().is_some() || p.is_punct('>'));
+                        let hrtb = next.is_some_and(|n| n.is_punct('<'));
+                        if !prev_ty && !hrtb {
+                            pending_loop = true;
+                        }
+                    }
+                    "while" | "loop" => pending_loop = true,
+                    _ => {}
+                }
+                if loop_depth > 0 && !ctx.is_test_line(t.line) {
+                    if let Some(msg) = alloc_at(ctx, i) {
+                        findings.push((t.line, msg));
+                    }
+                }
+            }
+            TokKind::Punct('(') | TokKind::Punct('[') => paren += 1,
+            TokKind::Punct(')') | TokKind::Punct(']') => paren = paren.saturating_sub(1),
+            TokKind::Punct('{') => {
+                let is_loop = pending_loop && paren == 0;
+                if is_loop {
+                    pending_loop = false;
+                    loop_depth += 1;
+                }
+                brace_stack.push(is_loop);
+            }
+            TokKind::Punct('}') => {
+                let was_loop = brace_stack.pop();
+                if was_loop == Some(true) {
+                    loop_depth = loop_depth.saturating_sub(1);
+                }
+            }
+            TokKind::Punct(';') if paren == 0 => pending_loop = false,
+            _ => {}
+        }
+    }
+    for (line, msg) in findings {
+        ctx.report("hot_loop_alloc", line, msg);
+    }
+}
+
+/// If the ident at `i` is an allocating construct, returns the message.
+fn alloc_at(ctx: &Ctx<'_>, i: usize) -> Option<String> {
+    let t = &ctx.toks[i];
+    let name = t.ident()?;
+    let prev_dot = i > 0 && ctx.toks[i - 1].is_punct('.');
+    let next = ctx.toks.get(i + 1);
+    if ALLOC_MACROS.contains(&name) && next.is_some_and(|n| n.is_punct('!')) {
+        return Some(format!(
+            "`{name}!` allocates inside a hot-kernel loop; hoist into a preallocated workspace"
+        ));
+    }
+    if prev_dot
+        && ALLOC_METHODS.contains(&name)
+        && next.is_some_and(|n| n.is_punct('(') || n.is_punct(':'))
+    {
+        return Some(format!(
+            "`.{name}()` allocates inside a hot-kernel loop; hoist into a preallocated workspace"
+        ));
+    }
+    if let Some((_, ctors)) = ALLOC_TYPES.iter().find(|(ty, _)| *ty == name) {
+        if next.is_some_and(|n| n.is_punct(':'))
+            && ctx.toks.get(i + 2).is_some_and(|n| n.is_punct(':'))
+            && ctx
+                .toks
+                .get(i + 3)
+                .and_then(|n| n.ident())
+                .is_some_and(|m| ctors.contains(&m))
+        {
+            let ctor = ctx.toks[i + 3].ident().unwrap_or_default();
+            return Some(format!(
+                "`{name}::{ctor}` allocates inside a hot-kernel loop; hoist into a \
+                 preallocated workspace"
+            ));
+        }
+    }
+    None
+}
+
+/// `Ordering::Relaxed` store/swap outside kpm-obs.
+fn relaxed_store(ctx: &mut Ctx<'_>) {
+    let mut findings = Vec::new();
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if ctx.is_test_line(t.line) {
+            continue;
+        }
+        let Some(name) = t.ident() else { continue };
+        if !matches!(name, "store" | "swap") {
+            continue;
+        }
+        let is_method_call = i > 0
+            && ctx.toks[i - 1].is_punct('.')
+            && ctx.toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+        if !is_method_call {
+            continue;
+        }
+        // Scan the argument list for `Relaxed`.
+        let mut depth = 0usize;
+        for a in &ctx.toks[i + 1..] {
+            match &a.kind {
+                TokKind::Punct('(') => depth += 1,
+                TokKind::Punct(')') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokKind::Ident(arg) if arg == "Relaxed" => {
+                    findings.push((
+                        t.line,
+                        format!(
+                            "`.{name}(…, Ordering::Relaxed)` outside the kpm-obs gate; \
+                             atomics that publish state need `Release`/`SeqCst` (relaxed \
+                             counters may only use load/fetch_add)"
+                        ),
+                    ));
+                    break;
+                }
+                _ => {}
+            }
+        }
+    }
+    for (line, msg) in findings {
+        ctx.report("relaxed_store", line, msg);
+    }
+}
+
+/// Doc-comment coverage for public items in library code.
+fn doc_coverage(ctx: &mut Ctx<'_>) {
+    let mut findings = Vec::new();
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if t.ident() != Some("pub") || ctx.is_test_line(t.line) {
+            continue;
+        }
+        // `pub(crate)` / `pub(super)` are not public API.
+        if ctx.toks.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            continue;
+        }
+        // Scan past qualifier keywords to the item keyword.
+        let mut j = i + 1;
+        let mut item = None;
+        while let Some(n) = ctx.toks.get(j) {
+            match n.ident() {
+                Some("unsafe") | Some("const") | Some("async") | Some("extern") => j += 1,
+                Some(k) => {
+                    item = Some((k.to_string(), j));
+                    break;
+                }
+                None if n.kind == TokKind::Str => j += 1, // extern "C"
+                None => break,
+            }
+        }
+        let Some((kind, j)) = item else { continue };
+        if !matches!(kind.as_str(), "fn" | "struct" | "enum" | "trait") {
+            continue;
+        }
+        // `const fn` already matched via qualifier skip; the name is
+        // the next ident.
+        let item_name = ctx
+            .toks
+            .get(j + 1)
+            .and_then(|n| n.ident())
+            .unwrap_or("<unnamed>")
+            .to_string();
+        if !has_adjacent_doc(ctx, t.line) {
+            findings.push((
+                t.line,
+                format!("public {kind} `{item_name}` has no doc comment"),
+            ));
+        }
+    }
+    for (line, msg) in findings {
+        ctx.report("doc_coverage", line, msg);
+    }
+}
+
+/// Walks upward from `line` through attribute/comment lines looking
+/// for a doc comment.
+fn has_adjacent_doc(ctx: &Ctx<'_>, line: u32) -> bool {
+    let mut l = line.saturating_sub(1);
+    while l >= 1 {
+        let info = ctx.line_info(l);
+        if info.has_doc {
+            return true;
+        }
+        let skippable = !info.has_code && (info.has_comment || info.has_attr);
+        if !skippable {
+            return false;
+        }
+        l -= 1;
+    }
+    false
+}
+
+/// kpm-obs recording entry points (public unit-returning fns) must
+/// check `enabled()` before taking the registry lock or reading the
+/// clock. Query/snapshot APIs return values, so they are exempt by
+/// shape; deliberate exceptions carry a suppression marker.
+fn obs_gate(ctx: &mut Ctx<'_>) {
+    let mut findings = Vec::new();
+    let mut i = 0;
+    while i < ctx.toks.len() {
+        let t = &ctx.toks[i];
+        if t.ident() != Some("pub")
+            || ctx.is_test_line(t.line)
+            || ctx.toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            i += 1;
+            continue;
+        }
+        // Find `fn` within the qualifier window.
+        let mut j = i + 1;
+        while ctx
+            .toks
+            .get(j)
+            .and_then(|n| n.ident())
+            .is_some_and(|k| matches!(k, "unsafe" | "const" | "async" | "extern"))
+        {
+            j += 1;
+        }
+        if ctx.toks.get(j).and_then(|n| n.ident()) != Some("fn") {
+            i += 1;
+            continue;
+        }
+        let fn_line = t.line;
+        let fn_name = ctx
+            .toks
+            .get(j + 1)
+            .and_then(|n| n.ident())
+            .unwrap_or("<unnamed>")
+            .to_string();
+        // Parameter list: first `(` after the name, to its match.
+        let Some(po) = (j + 1..ctx.toks.len()).find(|&k| ctx.toks[k].is_punct('(')) else {
+            i = j + 1;
+            continue;
+        };
+        let mut depth = 0usize;
+        let mut pc = po;
+        while pc < ctx.toks.len() {
+            if ctx.toks[pc].is_punct('(') {
+                depth += 1;
+            } else if ctx.toks[pc].is_punct(')') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            pc += 1;
+        }
+        // Signature tail up to the body brace: a `->` means the fn
+        // returns a value (query API) and is exempt.
+        let mut k = pc + 1;
+        let mut returns_value = false;
+        while k < ctx.toks.len() && !ctx.toks[k].is_punct('{') && !ctx.toks[k].is_punct(';') {
+            if ctx.toks[k].is_punct('-') && ctx.toks.get(k + 1).is_some_and(|n| n.is_punct('>')) {
+                returns_value = true;
+            }
+            k += 1;
+        }
+        if returns_value || k >= ctx.toks.len() || ctx.toks[k].is_punct(';') {
+            i = k + 1;
+            continue;
+        }
+        // Body span.
+        let body_start = k;
+        let mut bd = 0usize;
+        let mut be = body_start;
+        while be < ctx.toks.len() {
+            if ctx.toks[be].is_punct('{') {
+                bd += 1;
+            } else if ctx.toks[be].is_punct('}') {
+                bd -= 1;
+                if bd == 0 {
+                    break;
+                }
+            }
+            be += 1;
+        }
+        let body = &ctx.toks[body_start..=be.min(ctx.toks.len() - 1)];
+        let first_hot = body.iter().position(|b| is_lock_or_clock(body, b));
+        let first_gate = body
+            .windows(2)
+            .position(|w| w[0].ident() == Some("enabled") && w[1].is_punct('('));
+        if let Some(hot) = first_hot {
+            let gated = first_gate.is_some_and(|g| g < hot);
+            if !gated {
+                findings.push((
+                    fn_line,
+                    format!(
+                        "recording entry point `{fn_name}` takes a lock or reads the clock \
+                         without first checking `enabled()`; the disabled path must be a \
+                         single relaxed load"
+                    ),
+                ));
+            }
+        }
+        i = be + 1;
+    }
+    for (line, msg) in findings {
+        ctx.report("obs_gate", line, msg);
+    }
+}
+
+/// True when the token is the `lock` of `.lock(` or the `Instant` of
+/// `Instant::now`.
+fn is_lock_or_clock(body: &[CTok], t: &CTok) -> bool {
+    let idx = body
+        .iter()
+        .position(|b| std::ptr::eq(b, t))
+        .unwrap_or(usize::MAX);
+    if idx == usize::MAX {
+        return false;
+    }
+    match t.ident() {
+        Some("lock") => {
+            idx > 0
+                && body[idx - 1].is_punct('.')
+                && body.get(idx + 1).is_some_and(|n| n.is_punct('('))
+        }
+        Some("Instant") | Some("SystemTime") => {
+            body.get(idx + 1).is_some_and(|n| n.is_punct(':'))
+                && body.get(idx + 2).is_some_and(|n| n.is_punct(':'))
+                && body
+                    .get(idx + 3)
+                    .and_then(|n| n.ident())
+                    .is_some_and(|m| m == "now")
+        }
+        _ => false,
+    }
+}

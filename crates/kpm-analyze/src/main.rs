@@ -1,0 +1,91 @@
+//! CLI for the workspace lint engine.
+//!
+//! ```text
+//! cargo run -p kpm-analyze --              # human-readable findings
+//! cargo run -p kpm-analyze -- --json       # machine-readable report
+//! cargo run -p kpm-analyze -- --list-rules # rule names + summaries
+//! cargo run -p kpm-analyze -- --root PATH  # scan another workspace
+//! ```
+//!
+//! Exit status: 0 = clean, 1 = diagnostics found, 2 = usage/IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use kpm_analyze::{lints, render_json, run_workspace};
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut list_rules = false;
+    let mut root = PathBuf::from(".");
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--list-rules" => list_rules = true,
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("kpm-analyze: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: kpm-analyze [--json] [--list-rules] [--root PATH]\n\
+                     exit status: 0 clean, 1 diagnostics found, 2 usage/IO error"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("kpm-analyze: unknown flag `{other}` (see --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if list_rules {
+        for rule in lints::RULES {
+            println!("{:<20} {}", rule.name, rule.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // The scan root must look like the workspace (it needs Cargo.toml
+    // at minimum) so a typo'd --root fails loudly instead of
+    // reporting a clean empty scan.
+    if !root.join("Cargo.toml").is_file() {
+        eprintln!(
+            "kpm-analyze: `{}` does not contain a Cargo.toml; pass the workspace root via --root",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    match run_workspace(&root) {
+        Ok((diags, files_scanned)) => {
+            if json {
+                print!("{}", render_json(&diags, files_scanned));
+            } else {
+                for d in &diags {
+                    println!("{}", d.render());
+                }
+                println!(
+                    "kpm-analyze: {} file(s) scanned, {} diagnostic(s)",
+                    files_scanned,
+                    diags.len()
+                );
+            }
+            if diags.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("kpm-analyze: scan failed: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Workspace discovery: walks the repository, classifies every Rust
+//! source file by owning crate and target class, and runs the lint
+//! engine over the result.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::diag::Diagnostic;
+use crate::lints::{analyze_source, FileClass, FileInput};
+
+/// Directories under the workspace root that are never scanned: build
+/// output and the vendored dependency shims (external API surface, not
+/// ours to lint).
+const SKIP_DIRS: &[&str] = &["target", "shims", ".git"];
+
+/// Scans the workspace rooted at `root` and returns all diagnostics
+/// plus the number of files scanned.
+pub fn run_workspace(root: &Path) -> std::io::Result<(Vec<Diagnostic>, usize)> {
+    let mut files = Vec::new();
+    collect_crate(root, "kpm-repro", root, &mut files)?;
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in fs::read_dir(&crates_dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            if path.is_dir() {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                collect_crate(&path, &name, root, &mut files)?;
+            }
+        }
+    }
+    files.sort_by(|a, b| a.0.path.cmp(&b.0.path));
+
+    let mut diags = Vec::new();
+    let files_scanned = files.len();
+    for (input, abs) in files {
+        let src = fs::read_to_string(&abs)?;
+        diags.extend(analyze_source(&input, &src));
+    }
+    diags.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok((diags, files_scanned))
+}
+
+/// Collects the `.rs` files of one crate rooted at `crate_dir`.
+fn collect_crate(
+    crate_dir: &Path,
+    crate_name: &str,
+    ws_root: &Path,
+    out: &mut Vec<(FileInput, PathBuf)>,
+) -> std::io::Result<()> {
+    for (sub, class) in [
+        ("src", FileClass::Lib),
+        ("tests", FileClass::Test),
+        ("benches", FileClass::Bench),
+        ("examples", FileClass::Example),
+    ] {
+        let dir = crate_dir.join(sub);
+        if dir.is_dir() {
+            walk(&dir, crate_name, class, ws_root, out)?;
+        }
+    }
+    Ok(())
+}
+
+fn walk(
+    dir: &Path,
+    crate_name: &str,
+    class: FileClass,
+    ws_root: &Path,
+    out: &mut Vec<(FileInput, PathBuf)>,
+) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_str()) {
+                continue;
+            }
+            // src/bin targets are binaries, not library code.
+            let sub_class = if class == FileClass::Lib && name == "bin" {
+                FileClass::Bin
+            } else {
+                class
+            };
+            walk(&path, crate_name, sub_class, ws_root, out)?;
+        } else if name.ends_with(".rs") {
+            let file_class = if class == FileClass::Lib && name == "main.rs" {
+                FileClass::Bin
+            } else {
+                class
+            };
+            let rel = path
+                .strip_prefix(ws_root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push((
+                FileInput {
+                    path: rel,
+                    crate_name: crate_name.to_string(),
+                    class: file_class,
+                },
+                path,
+            ));
+        }
+    }
+    Ok(())
+}

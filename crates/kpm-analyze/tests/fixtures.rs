@@ -1,0 +1,578 @@
+//! Fixture tests for every lint rule: each rule is exercised on a
+//! violating fixture (hit), a conforming fixture (miss), and a
+//! suppressed fixture, plus the explorer's own positive and negative
+//! models.
+
+use kpm_analyze::lints::{analyze_source, FileClass, FileInput};
+use kpm_analyze::sched::{self, Config, Op, Violation};
+use kpm_analyze::Diagnostic;
+
+fn scan(crate_name: &str, class: FileClass, path: &str, src: &str) -> Vec<Diagnostic> {
+    let input = FileInput {
+        path: path.to_string(),
+        crate_name: crate_name.to_string(),
+        class,
+    };
+    analyze_source(&input, src)
+}
+
+fn kernel_lib(src: &str) -> Vec<Diagnostic> {
+    scan(
+        "kpm-sparse",
+        FileClass::Lib,
+        "crates/kpm-sparse/src/lib.rs",
+        src,
+    )
+}
+
+fn rules(diags: &[Diagnostic]) -> Vec<&'static str> {
+    diags.iter().map(|d| d.rule).collect()
+}
+
+// ------------------------------------------------------------- no_panic
+
+#[test]
+fn no_panic_hit_unwrap_and_macros() {
+    let src = r#"
+/// Doc.
+pub fn f(x: Option<u32>) -> u32 {
+    let y = x.unwrap();
+    if y > 3 { panic!("boom"); }
+    y
+}
+"#;
+    let diags = kernel_lib(src);
+    assert_eq!(rules(&diags), vec!["no_panic", "no_panic"]);
+    assert_eq!(diags[0].line, 4);
+    assert!(diags[0].message.contains(".unwrap()"));
+    assert_eq!(diags[1].line, 5);
+}
+
+#[test]
+fn no_panic_miss_in_test_code_and_non_kernel_crates() {
+    let src = r#"
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let v: Option<u32> = Some(1);
+        v.unwrap();
+        panic!("fine in tests");
+    }
+}
+"#;
+    assert!(kernel_lib(src).is_empty());
+    // Same panicking code outside a kernel crate is not flagged.
+    let src = "/// D.\npub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    assert!(scan(
+        "kpm-perfmodel",
+        FileClass::Lib,
+        "crates/kpm-perfmodel/src/lib.rs",
+        src
+    )
+    .is_empty());
+    // ... nor in a kernel crate's integration tests.
+    assert!(scan(
+        "kpm-sparse",
+        FileClass::Test,
+        "crates/kpm-sparse/tests/t.rs",
+        src
+    )
+    .is_empty());
+}
+
+#[test]
+fn no_panic_ident_without_call_is_not_flagged() {
+    let src = "/// D.\npub fn unwrap() {}\n";
+    assert!(kernel_lib(src).is_empty());
+}
+
+#[test]
+fn no_panic_suppressed_with_justification() {
+    let src = r#"
+/// Doc.
+pub fn f(x: Option<u32>) -> u32 {
+    // kpm::allow(no_panic): documented panicking wrapper
+    x.unwrap()
+}
+"#;
+    assert!(kernel_lib(src).is_empty());
+}
+
+// ------------------------------------------------------- safety_comment
+
+#[test]
+fn safety_comment_hit_block_and_impl() {
+    let src = r#"
+/// Doc.
+pub fn f(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+/// Doc.
+pub struct W(*mut u8);
+unsafe impl Send for W {}
+"#;
+    let diags = kernel_lib(src);
+    assert_eq!(rules(&diags), vec!["safety_comment", "safety_comment"]);
+    assert!(diags[0].message.contains("unsafe block"));
+    assert!(diags[1].message.contains("unsafe impl"));
+}
+
+#[test]
+fn safety_comment_miss_when_adjacent() {
+    let src = r#"
+/// Doc.
+pub fn f(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees p is valid for reads.
+    unsafe { *p }
+}
+/// Doc.
+pub struct W(*mut u8);
+// SAFETY: W owns its allocation exclusively.
+unsafe impl Send for W {}
+"#;
+    assert!(kernel_lib(src).is_empty());
+}
+
+#[test]
+fn safety_comment_not_adjacent_across_code_line() {
+    let src = r#"
+/// Doc.
+pub fn f(p: *const u8) -> u8 {
+    // SAFETY: stale comment, separated by a code line.
+    let _x = 1;
+    unsafe { *p }
+}
+"#;
+    let diags = kernel_lib(src);
+    assert_eq!(rules(&diags), vec!["safety_comment"]);
+}
+
+#[test]
+fn safety_comment_suppressed() {
+    let src = r#"
+/// Doc.
+pub fn f(p: *const u8) -> u8 {
+    // kpm::allow(safety_comment): invariant documented on the module
+    unsafe { *p }
+}
+"#;
+    assert!(kernel_lib(src).is_empty());
+}
+
+// ------------------------------------------------------- hot_loop_alloc
+
+fn hot_file(src: &str) -> Vec<Diagnostic> {
+    scan(
+        "kpm-sparse",
+        FileClass::Lib,
+        "crates/kpm-sparse/src/spmv.rs",
+        src,
+    )
+}
+
+#[test]
+fn hot_loop_alloc_hit_in_loop() {
+    let src = r#"
+/// Doc.
+pub fn f(xs: &[Vec<f64>]) -> f64 {
+    let mut acc = 0.0;
+    for x in xs {
+        let copy = x.to_vec();
+        let tmp = vec![0.0; 4];
+        acc += copy[0] + tmp[0];
+    }
+    acc
+}
+"#;
+    let diags = hot_file(src);
+    assert_eq!(rules(&diags), vec!["hot_loop_alloc", "hot_loop_alloc"]);
+    assert!(diags[0].message.contains(".to_vec()"));
+    assert!(diags[1].message.contains("`vec!`"));
+}
+
+#[test]
+fn hot_loop_alloc_miss_outside_loop_and_outside_hot_files() {
+    let src = r#"
+/// Doc.
+pub fn f(xs: &[f64]) -> Vec<f64> {
+    let mut out = xs.to_vec();
+    for x in &mut out {
+        *x += 1.0;
+    }
+    out
+}
+"#;
+    assert!(hot_file(src).is_empty());
+    // The same in-loop allocation in a non-hot file is allowed.
+    let src = "/// D.\npub fn f(xs: &[Vec<f64>]) { for x in xs { let _c = x.to_vec(); } }\n";
+    assert!(scan(
+        "kpm-sparse",
+        FileClass::Lib,
+        "crates/kpm-sparse/src/crs.rs",
+        src
+    )
+    .is_empty());
+}
+
+#[test]
+fn hot_loop_alloc_impl_trait_for_is_not_a_loop() {
+    let src = r#"
+/// Doc.
+pub struct S;
+impl Clone for S {
+    fn clone(&self) -> S {
+        let v = Vec::<u8>::new();
+        drop(v);
+        S
+    }
+}
+"#;
+    assert!(hot_file(src).is_empty());
+}
+
+#[test]
+fn hot_loop_alloc_suppressed() {
+    let src = r#"
+/// Doc.
+pub fn f(xs: &[Vec<f64>]) {
+    for x in xs {
+        // kpm::allow(hot_loop_alloc): cold setup loop, not the kernel
+        let _c = x.to_vec();
+    }
+}
+"#;
+    assert!(hot_file(src).is_empty());
+}
+
+// -------------------------------------------------------- relaxed_store
+
+#[test]
+fn relaxed_store_hit() {
+    let src = r#"
+/// Doc.
+pub fn publish(flag: &std::sync::atomic::AtomicBool) {
+    flag.store(true, std::sync::atomic::Ordering::Relaxed);
+}
+"#;
+    let diags = kernel_lib(src);
+    assert_eq!(rules(&diags), vec!["relaxed_store"]);
+    assert!(diags[0].message.contains("Relaxed"));
+}
+
+#[test]
+fn relaxed_store_miss_for_loads_seqcst_and_obs_crate() {
+    let src = r#"
+/// Doc.
+pub fn ok(flag: &std::sync::atomic::AtomicBool, n: &std::sync::atomic::AtomicU64) -> bool {
+    n.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    flag.store(true, std::sync::atomic::Ordering::SeqCst);
+    flag.load(std::sync::atomic::Ordering::Relaxed)
+}
+"#;
+    assert!(kernel_lib(src).is_empty());
+    let relaxed = "/// D.\npub fn f(flag: &std::sync::atomic::AtomicBool) {\n    flag.store(true, std::sync::atomic::Ordering::Relaxed);\n}\n";
+    assert!(scan(
+        "kpm-obs",
+        FileClass::Lib,
+        "crates/kpm-obs/src/lib.rs",
+        relaxed
+    )
+    .is_empty());
+}
+
+#[test]
+fn relaxed_store_suppressed() {
+    let src = r#"
+/// Doc.
+pub fn f(flag: &std::sync::atomic::AtomicBool) {
+    // kpm::allow(relaxed_store): flag is advisory, no data is published
+    flag.store(true, std::sync::atomic::Ordering::Relaxed);
+}
+"#;
+    assert!(kernel_lib(src).is_empty());
+}
+
+// --------------------------------------------------------- doc_coverage
+
+#[test]
+fn doc_coverage_hit_fn_struct_enum_trait() {
+    let src = "pub fn f() {}\npub struct S;\npub enum E { A }\npub trait T {}\n";
+    let diags = scan(
+        "kpm-topo",
+        FileClass::Lib,
+        "crates/kpm-topo/src/lib.rs",
+        src,
+    );
+    assert_eq!(
+        rules(&diags),
+        vec![
+            "doc_coverage",
+            "doc_coverage",
+            "doc_coverage",
+            "doc_coverage"
+        ]
+    );
+    assert!(diags[0].message.contains("`f`"));
+    assert!(diags[1].message.contains("`S`"));
+}
+
+#[test]
+fn doc_coverage_miss_documented_crate_private_and_tests() {
+    let src = r#"
+/// Documented.
+pub fn f() {}
+
+/// Documented, attribute between doc and item.
+#[inline]
+pub fn g() {}
+
+pub(crate) fn h() {}
+
+#[cfg(test)]
+mod tests {
+    pub fn test_helper() {}
+}
+"#;
+    assert!(scan(
+        "kpm-topo",
+        FileClass::Lib,
+        "crates/kpm-topo/src/lib.rs",
+        src
+    )
+    .is_empty());
+}
+
+#[test]
+fn doc_coverage_suppressed() {
+    let src = "// kpm::allow(doc_coverage): internal trampoline\npub fn f() {}\n";
+    assert!(scan(
+        "kpm-topo",
+        FileClass::Lib,
+        "crates/kpm-topo/src/lib.rs",
+        src
+    )
+    .is_empty());
+}
+
+// ------------------------------------------------------------- obs_gate
+
+fn obs_lib(src: &str) -> Vec<Diagnostic> {
+    scan(
+        "kpm-obs",
+        FileClass::Lib,
+        "crates/kpm-obs/src/metrics.rs",
+        src,
+    )
+}
+
+#[test]
+fn obs_gate_hit_ungated_lock_and_clock() {
+    let src = r#"
+/// Doc.
+pub fn counter_add(reg: &std::sync::Mutex<u64>, delta: u64) {
+    let mut g = reg.lock().unwrap_or_else(|e| e.into_inner());
+    *g += delta;
+}
+"#;
+    let diags = obs_lib(src);
+    assert_eq!(rules(&diags), vec!["obs_gate"]);
+    assert!(diags[0].message.contains("counter_add"));
+}
+
+#[test]
+fn obs_gate_miss_gated_or_value_returning() {
+    let src = r#"
+/// Gated recorder.
+pub fn counter_add(reg: &std::sync::Mutex<u64>, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut g = reg.lock().unwrap_or_else(|e| e.into_inner());
+    *g += delta;
+}
+
+/// Query APIs return values and may lock unconditionally.
+pub fn counter_value(reg: &std::sync::Mutex<u64>) -> u64 {
+    *reg.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn enabled() -> bool {
+    true
+}
+"#;
+    assert!(obs_lib(src).is_empty());
+}
+
+#[test]
+fn obs_gate_suppressed() {
+    let src = r#"
+/// Doc.
+// kpm::allow(obs_gate): shutdown path, called once
+pub fn flush(reg: &std::sync::Mutex<u64>) {
+    let _g = reg.lock().unwrap_or_else(|e| e.into_inner());
+}
+"#;
+    assert!(obs_lib(src).is_empty());
+}
+
+// -------------------------------------------------- unknown_suppression
+
+#[test]
+fn unknown_suppression_gets_did_you_mean() {
+    let src = "// kpm::allow(no_pancake): typo\n/// D.\npub fn f() {}\n";
+    let diags = kernel_lib(src);
+    assert_eq!(rules(&diags), vec!["unknown_suppression"]);
+    assert!(diags[0].message.contains("no_pancake"));
+    assert!(
+        diags[0].hint.contains("kpm::allow(no_panic)"),
+        "hint: {}",
+        diags[0].hint
+    );
+}
+
+#[test]
+fn diagnostics_render_file_line_and_hint() {
+    let src = "/// D.\npub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    let diags = kernel_lib(src);
+    assert_eq!(diags.len(), 1);
+    let text = diags[0].render();
+    assert!(
+        text.starts_with("crates/kpm-sparse/src/lib.rs:2:"),
+        "{text}"
+    );
+    assert!(text.contains("kpm::allow(no_panic)"));
+}
+
+// ------------------------------------------------------------ explorer
+
+#[test]
+fn explorer_two_rank_model_is_exactly_once_and_deadlock_free() {
+    let threads = sched::two_rank_dedup_model(8, Some(3));
+    let report = sched::explore(&threads, &Config::default());
+    assert!(report.clean(), "violations: {:?}", report.counterexamples);
+    assert!(!report.truncated);
+    assert!(
+        report.interleavings >= 1000,
+        "only {} interleavings",
+        report.interleavings
+    );
+}
+
+#[test]
+fn explorer_interleaving_count_is_seed_independent() {
+    let threads = sched::two_rank_dedup_model(4, None);
+    let a = sched::explore(
+        &threads,
+        &Config {
+            seed: 1,
+            ..Config::default()
+        },
+    );
+    let b = sched::explore(
+        &threads,
+        &Config {
+            seed: 99,
+            ..Config::default()
+        },
+    );
+    assert_eq!(a.interleavings, b.interleavings);
+    assert!(a.clean() && b.clean());
+}
+
+#[test]
+fn explorer_preemption_bound_prunes_schedules() {
+    let threads = sched::two_rank_dedup_model(6, None);
+    let full = sched::explore(&threads, &Config::default());
+    let bounded = sched::explore(
+        &threads,
+        &Config {
+            preemption_bound: Some(1),
+            ..Config::default()
+        },
+    );
+    assert!(bounded.clean());
+    assert!(bounded.interleavings < full.interleavings);
+    assert!(bounded.interleavings > 1);
+}
+
+#[test]
+fn explorer_catches_deadlock_with_trace() {
+    let report = sched::explore(&sched::deadlock_model(), &Config::default());
+    assert!(report.deadlocks > 0);
+    assert!(matches!(
+        report.counterexamples[0].violation,
+        Violation::Deadlock
+    ));
+}
+
+#[test]
+fn explorer_catches_double_delivery_without_dedup() {
+    let threads = sched::two_rank_dedup_model(3, Some(1));
+    let report = sched::explore(
+        &threads,
+        &Config {
+            model_dedup: false,
+            ..Config::default()
+        },
+    );
+    assert!(report.double_deliveries > 0);
+    assert!(report
+        .counterexamples
+        .iter()
+        .any(|c| matches!(c.violation, Violation::DoubleDelivery { from: 0, seq: 1 })));
+}
+
+#[test]
+fn explorer_catches_lost_message_on_timeout_path() {
+    let report = sched::explore(&sched::lost_message_model(), &Config::default());
+    assert!(report.lost_messages > 0);
+    assert!(report
+        .counterexamples
+        .iter()
+        .any(|c| matches!(c.violation, Violation::LostMessage { from: 0, seq: 0 })));
+    // Schedules where the message IS consumed also exist.
+    assert!(report.interleavings > report.lost_messages);
+}
+
+#[test]
+fn explorer_catches_checkpoint_version_regression() {
+    let report = sched::explore(&sched::racing_checkpoint_model(), &Config::default());
+    assert!(report.version_regressions > 0);
+    assert!(report.counterexamples.iter().any(|c| matches!(
+        c.violation,
+        Violation::VersionRegression { prev: 3, next: 1 }
+    )));
+}
+
+#[test]
+fn explorer_stash_roundtrip_is_exactly_once() {
+    use sched::TAG_MOMENTS;
+    let r0 = vec![
+        Op::StashPush {
+            tag: TAG_MOMENTS,
+            seq: 0,
+        },
+        Op::StashPush {
+            tag: TAG_MOMENTS,
+            seq: 1,
+        },
+    ];
+    let r1 = vec![Op::StashPop, Op::StashPop];
+    let report = sched::explore(&[r0, r1], &Config::default());
+    assert!(report.clean(), "violations: {:?}", report.counterexamples);
+}
+
+#[test]
+fn explorer_budget_truncates() {
+    let threads = sched::two_rank_dedup_model(8, None);
+    let report = sched::explore(
+        &threads,
+        &Config {
+            max_interleavings: 10,
+            ..Config::default()
+        },
+    );
+    assert!(report.truncated);
+    assert_eq!(report.interleavings, 10);
+}

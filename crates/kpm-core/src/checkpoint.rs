@@ -172,7 +172,11 @@ impl<'a> Dec<'a> {
             return Err(corrupt("record shorter than header + checksum"));
         }
         let (body, sum_bytes) = buf.split_at(buf.len() - 8);
-        let stored = u64::from_le_bytes(sum_bytes.try_into().expect("8 bytes"));
+        let stored = u64::from_le_bytes(
+            sum_bytes
+                .try_into()
+                .map_err(|_| corrupt("checksum field size"))?,
+        );
         if fnv1a(body) != stored {
             return Err(corrupt("checksum mismatch"));
         }
@@ -193,7 +197,11 @@ impl<'a> Dec<'a> {
         if end > self.buf.len() {
             return Err(corrupt("truncated integer field"));
         }
-        let x = u64::from_le_bytes(self.buf[self.pos..end].try_into().expect("8 bytes"));
+        let x = u64::from_le_bytes(
+            self.buf[self.pos..end]
+                .try_into()
+                .map_err(|_| corrupt("integer field size"))?,
+        );
         self.pos = end;
         Ok(x)
     }
@@ -336,14 +344,14 @@ impl MemoryCheckpointStore {
         let r: usize = self
             .ranks
             .lock()
-            .expect("rank store lock")
+            .unwrap_or_else(|e| e.into_inner())
             .values()
             .map(Vec::len)
             .sum();
         let e: usize = self
             .etas
             .lock()
-            .expect("eta store lock")
+            .unwrap_or_else(|e| e.into_inner())
             .values()
             .map(Vec::len)
             .sum();
@@ -353,7 +361,7 @@ impl MemoryCheckpointStore {
     /// Flips one byte of a stored rank record — test hook for the
     /// corruption-detection path.
     pub fn corrupt_rank(&self, iteration: usize, rank: usize) -> bool {
-        let mut map = self.ranks.lock().expect("rank store lock");
+        let mut map = self.ranks.lock().unwrap_or_else(|e| e.into_inner());
         match map.get_mut(&(iteration, rank)) {
             Some(bytes) if !bytes.is_empty() => {
                 let mid = bytes.len() / 2;
@@ -369,7 +377,7 @@ impl CheckpointStore for MemoryCheckpointStore {
     fn save_rank(&self, ck: &RankCheckpoint) -> Result<(), KpmError> {
         self.ranks
             .lock()
-            .expect("rank store lock")
+            .unwrap_or_else(|e| e.into_inner())
             .insert((ck.iteration, ck.rank), ck.encode());
         Ok(())
     }
@@ -377,7 +385,7 @@ impl CheckpointStore for MemoryCheckpointStore {
     fn save_eta(&self, ck: &EtaCheckpoint) -> Result<(), KpmError> {
         self.etas
             .lock()
-            .expect("eta store lock")
+            .unwrap_or_else(|e| e.into_inner())
             .insert(ck.iteration, ck.encode());
         Ok(())
     }
@@ -385,7 +393,7 @@ impl CheckpointStore for MemoryCheckpointStore {
     fn load_rank(&self, iteration: usize, rank: usize) -> Result<Option<RankCheckpoint>, KpmError> {
         self.ranks
             .lock()
-            .expect("rank store lock")
+            .unwrap_or_else(|e| e.into_inner())
             .get(&(iteration, rank))
             .map(|b| RankCheckpoint::decode(b))
             .transpose()
@@ -394,7 +402,7 @@ impl CheckpointStore for MemoryCheckpointStore {
     fn load_eta(&self, iteration: usize) -> Result<Option<EtaCheckpoint>, KpmError> {
         self.etas
             .lock()
-            .expect("eta store lock")
+            .unwrap_or_else(|e| e.into_inner())
             .get(&iteration)
             .map(|b| EtaCheckpoint::decode(b))
             .transpose()
@@ -404,7 +412,7 @@ impl CheckpointStore for MemoryCheckpointStore {
         let mut v: Vec<usize> = self
             .etas
             .lock()
-            .expect("eta store lock")
+            .unwrap_or_else(|e| e.into_inner())
             .keys()
             .copied()
             .collect();
@@ -416,7 +424,7 @@ impl CheckpointStore for MemoryCheckpointStore {
         let mut v: Vec<usize> = self
             .ranks
             .lock()
-            .expect("rank store lock")
+            .unwrap_or_else(|e| e.into_inner())
             .keys()
             .filter(|(it, _)| *it == iteration)
             .map(|(_, r)| *r)

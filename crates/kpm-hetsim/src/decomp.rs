@@ -91,6 +91,8 @@ pub fn decompose(h: &CrsMatrix, ranges: &[(usize, usize)]) -> Vec<LocalProblem> 
         ranges
             .iter()
             .position(|&(b, e)| row >= b && row < e)
+            // kpm::allow(no_panic): coverage is asserted on entry; ranges come
+            // from partition_rows, which tiles 0..nrows contiguously.
             .expect("row covered by some range")
     };
 
@@ -112,6 +114,9 @@ pub fn decompose(h: &CrsMatrix, ranges: &[(usize, usize)]) -> Vec<LocalProblem> 
             if g >= b && g < e {
                 (g - b) as u32
             } else {
+                // kpm::allow(no_panic): halo_columns(b, e) returns exactly the
+                // sorted non-local columns of rows b..e, so every non-local
+                // column in this row block is present by construction.
                 let idx = halo.binary_search(&gcol).expect("halo contains column");
                 (n_local + idx) as u32
             }

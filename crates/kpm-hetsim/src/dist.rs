@@ -110,7 +110,7 @@ pub fn distributed_kpm_faulty(
     let (eta_flat, halo_bytes, global_reductions) = results
         .into_iter()
         .next()
-        .expect("world has at least rank 0");
+        .ok_or(KpmError::RankCrashed { rank: 0 })?;
     Ok(DistReport {
         moments: moments_from_flat_eta(&eta_flat, params.num_moments, r, iters),
         halo_bytes,
@@ -496,7 +496,7 @@ pub fn distributed_kpm_resilient(
             let (eta_flat, halo_bytes, global_reductions) = results
                 .into_iter()
                 .next()
-                .expect("world has at least rank 0");
+                .ok_or(KpmError::RankCrashed { rank: 0 })?;
             return Ok(ResilientReport {
                 report: DistReport {
                     moments: moments_from_flat_eta(&eta_flat, params.num_moments, r, iters),

@@ -234,7 +234,7 @@ impl Communicator {
                 self.shared
                     .timers
                     .lock()
-                    .expect("timer registry lock")
+                    .unwrap_or_else(|e| e.into_inner())
                     .push(handle);
                 Ok(())
             }
@@ -484,7 +484,7 @@ impl Drop for Communicator {
         self.shared
             .telemetry
             .lock()
-            .expect("telemetry registry lock")
+            .unwrap_or_else(|e| e.into_inner())
             .push(self.tele.clone());
     }
 }
@@ -583,6 +583,8 @@ impl World {
         );
         outcome
             .into_results()
+            // kpm::allow(no_panic): World::run is the documented panicking
+            // compatibility wrapper; fault-tolerant callers use run_config.
             .expect("rank thread must not panic in World::run")
     }
 
@@ -639,17 +641,19 @@ impl World {
                 let fref = &f;
                 let rank = comm.rank;
                 let builder = std::thread::Builder::new().name(format!("kpm-rank-{rank}"));
-                handles.push((
-                    rank,
-                    builder
-                        .spawn_scoped(scope, move || fref(comm))
-                        .expect("spawn rank thread"),
-                ));
+                handles.push((rank, builder.spawn_scoped(scope, move || fref(comm))));
             }
             handles
                 .into_iter()
-                .map(|(rank, h)| match h.join() {
-                    Ok(result) => result,
+                .map(|(rank, h)| match h {
+                    Ok(h) => match h.join() {
+                        Ok(result) => result,
+                        Err(_) => Err(KpmError::RankCrashed { rank }),
+                    },
+                    // The OS refused the thread; report the rank as
+                    // crashed instead of tearing down the world (its
+                    // Communicator was dropped, so peers see a closed
+                    // inbox, exactly as after a real crash).
                     Err(_) => Err(KpmError::RankCrashed { rank }),
                 })
                 .collect()
@@ -657,7 +661,7 @@ impl World {
 
         // Let every in-flight delayed message land or expire before
         // settling the ledger.
-        let timers = std::mem::take(&mut *shared.timers.lock().expect("timer registry lock"));
+        let timers = std::mem::take(&mut *shared.timers.lock().unwrap_or_else(|e| e.into_inner()));
         for t in timers {
             let _ = t.join();
         }
@@ -665,7 +669,7 @@ impl World {
         let consumed = shared.ledger.consumed.load(Ordering::SeqCst);
         let expired = shared.ledger.expired.load(Ordering::SeqCst);
         let mut telemetry =
-            std::mem::take(&mut *shared.telemetry.lock().expect("telemetry registry lock"));
+            std::mem::take(&mut *shared.telemetry.lock().unwrap_or_else(|e| e.into_inner()));
         telemetry.sort_by_key(|t| t.rank);
         WorldOutcome {
             results,

@@ -24,9 +24,13 @@ pub struct AlignedVec {
     len: usize,
 }
 
-// SAFETY: AlignedVec owns its allocation exclusively; Complex64 is
-// Send + Sync plain data.
+// SAFETY: AlignedVec owns its allocation exclusively (the raw pointer
+// is never shared or aliased outside the struct), and Complex64 is
+// plain Send data, so moving the buffer to another thread is sound.
 unsafe impl Send for AlignedVec {}
+// SAFETY: shared access through &AlignedVec only ever produces
+// &[Complex64] reads (`as_slice`); mutation requires &mut self, so
+// concurrent shared use cannot race on the allocation.
 unsafe impl Sync for AlignedVec {}
 
 impl AlignedVec {
@@ -82,6 +86,9 @@ impl AlignedVec {
 
     fn layout(len: usize) -> Layout {
         Layout::from_size_align(len * std::mem::size_of::<Complex64>(), BUFFER_ALIGN)
+            // kpm::allow(no_panic): fails only on capacity overflow
+            // (len * 16 > isize::MAX), where Vec panics too; `layout`
+            // is also called from Drop, which cannot return an error.
             .expect("valid layout")
     }
 }

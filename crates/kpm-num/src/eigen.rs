@@ -99,12 +99,7 @@ impl DenseHermitian {
             }
         }
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&a, &b| {
-            self.get(a, a)
-                .re
-                .partial_cmp(&self.get(b, b).re)
-                .expect("finite eigenvalues")
-        });
+        order.sort_by(|&a, &b| self.get(a, a).re.total_cmp(&self.get(b, b).re));
         let evs: Vec<f64> = order.iter().map(|&i| self.get(i, i).re).collect();
         let vecs: Vec<Vec<Complex64>> = order
             .iter()

@@ -1,0 +1,44 @@
+//! Regression test for the `noop` build: with the feature on, the
+//! whole instrumentation layer must stay dark — `enabled()` is
+//! constant `false` even after `set_enabled(true)` or an
+//! `EnabledGuard`, and no recording entry point leaves a trace in any
+//! registry. Compiled (and run by `scripts/verify.sh`) only under
+//! `--features noop`; without the feature this file is empty.
+
+#![cfg(feature = "noop")]
+
+use kpm_obs::probe::KernelKind;
+
+#[test]
+fn enabled_is_constant_false_under_noop() {
+    assert!(!kpm_obs::enabled());
+    kpm_obs::set_enabled(true);
+    assert!(!kpm_obs::enabled(), "set_enabled must not defeat noop");
+    let _guard = kpm_obs::EnabledGuard::new();
+    assert!(!kpm_obs::enabled(), "EnabledGuard must not defeat noop");
+}
+
+#[test]
+fn recording_leaves_no_trace_under_noop() {
+    let _guard = kpm_obs::EnabledGuard::new();
+
+    kpm_obs::metrics::counter_add("noop.counter", 3);
+    kpm_obs::metrics::counter_inc("noop.counter");
+    kpm_obs::metrics::gauge_set("noop.gauge", 1.5);
+    kpm_obs::metrics::gauge_max("noop.gauge", 2.5);
+    kpm_obs::metrics::hist_record("noop.hist", 0.5);
+    assert_eq!(kpm_obs::metrics::counter_value("noop.counter"), 0);
+    assert_eq!(kpm_obs::metrics::gauge_value("noop.gauge"), None);
+    assert!(kpm_obs::metrics::snapshot().is_empty());
+
+    {
+        let span = kpm_obs::span::span("noop.span", "test").arg("k", 1);
+        assert!(!span.is_recording());
+    }
+    assert!(kpm_obs::span::snapshot().is_empty());
+    assert_eq!(kpm_obs::span::count("noop.span"), 0);
+
+    let timer = kpm_obs::probe::kernel_timer(KernelKind::AugSpmmv, 8, 32, 4);
+    assert!(timer.is_none(), "kernel_timer must not arm under noop");
+    assert!(kpm_obs::probe::snapshot().is_empty());
+}

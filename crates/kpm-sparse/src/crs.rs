@@ -37,6 +37,8 @@ impl CrsMatrix {
         cols: Vec<u32>,
         vals: Vec<Complex64>,
     ) -> Self {
+        // kpm::allow(no_panic): documented panicking wrapper; the fallible
+        // path is try_from_raw.
         Self::try_from_raw(nrows, ncols, row_ptr, cols, vals).unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -68,7 +70,7 @@ impl CrsMatrix {
                 format!("row_ptr must start at 0 (got {})", row_ptr[0]),
             ));
         }
-        let nnz = *row_ptr.last().unwrap() as usize;
+        let nnz = row_ptr[nrows] as usize;
         if nnz != cols.len() {
             return Err(bad(
                 "row_ptr",

@@ -44,6 +44,8 @@ impl SellMatrix {
     /// sorting window in rows and must be a multiple of `chunk_height`
     /// (or 1 for no sorting).
     pub fn from_crs(crs: &CrsMatrix, chunk_height: usize, sigma: usize) -> Self {
+        // kpm::allow(no_panic): documented panicking wrapper; the fallible
+        // path is try_from_crs.
         Self::try_from_crs(crs, chunk_height, sigma).unwrap_or_else(|e| panic!("{e}"))
     }
 

@@ -109,9 +109,9 @@ pub fn spmmv_colmajor(
     assert_eq!(y.rows(), a.nrows(), "spmmv_colmajor: y dimension mismatch");
     assert_eq!(x.width(), y.width(), "spmmv_colmajor: width mismatch");
     for j in 0..x.width() {
-        // Safe split: columns are disjoint contiguous ranges.
-        let xc = x.col(j).to_vec();
-        spmv(a, &xc, y.col_mut(j));
+        // x and y are distinct blocks, so borrowing x's column shared
+        // and y's exclusive needs no copy.
+        spmv(a, x.col(j), y.col_mut(j));
     }
 }
 

@@ -13,6 +13,26 @@ cargo test -q
 cargo test --workspace -q
 cargo clippy --workspace -- -D warnings
 
+echo "== static analysis: kpm-analyze lint gate =="
+# Hard gate: any diagnostic is a failure (non-zero exit). The JSON
+# report is kept as a build artifact for CI consumption either way.
+mkdir -p target
+if cargo run --release -q -p kpm-analyze -- --json > target/kpm-analyze-report.json; then
+    echo "kpm-analyze: clean ($(grep -o '"files_scanned": [0-9]*' target/kpm-analyze-report.json))"
+else
+    echo "kpm-analyze: diagnostics found (see target/kpm-analyze-report.json):"
+    cargo run --release -q -p kpm-analyze || true
+    exit 1
+fi
+
+echo "== static analysis: schedule-explorer model check =="
+# Exhausts >=1000 interleavings of the 2-rank send/recv/dedup model
+# (exactly-once + deadlock-freedom) plus the seeded-bug detectors.
+cargo test -q --test static_analysis
+
+echo "== kpm-obs noop build stays dark =="
+cargo test -q -p kpm-obs --features noop --test noop_gate
+
 echo "== formatting =="
 if cargo fmt --version >/dev/null 2>&1; then
     cargo fmt --check
