@@ -85,6 +85,11 @@ pub const RULES: &[Rule] = &[
                   inside loops of the hot kernel files",
     },
     Rule {
+        name: "par_lock",
+        summary: "no Mutex/RwLock acquisition inside `par_*` iterator statements of the \
+                  kernel crates — locks serialize the workers the statement just fanned out",
+    },
+    Rule {
         name: "relaxed_store",
         summary: "no `Ordering::Relaxed` store/swap outside the kpm-obs gate",
     },
@@ -229,6 +234,9 @@ pub fn analyze_source(input: &FileInput, src: &str) -> Vec<Diagnostic> {
     if applies_hot_loop(input) {
         hot_loop_alloc(&mut ctx);
     }
+    if applies_par_lock(input) {
+        par_lock(&mut ctx);
+    }
     if input.crate_name != OBS_CRATE && matches!(input.class, FileClass::Lib | FileClass::Bin) {
         relaxed_store(&mut ctx);
     }
@@ -254,6 +262,10 @@ fn applies_hot_loop(input: &FileInput) -> bool {
         && HOT_KERNEL_FILES
             .iter()
             .any(|f| input.path.ends_with(&format!("/{f}")))
+}
+
+fn applies_par_lock(input: &FileInput) -> bool {
+    input.class == FileClass::Lib && KERNEL_CRATES.contains(&input.crate_name.as_str())
 }
 
 // ---------------------------------------------------------------------
@@ -660,6 +672,88 @@ fn alloc_at(ctx: &Ctx<'_>, i: usize) -> Option<String> {
         }
     }
     None
+}
+
+/// Lock acquisition inside `par_*` iterator statements of the kernel
+/// crates. A `.lock()` (or a `Mutex`/`RwLock` value threaded into the
+/// closure) inside the statement that just fanned work out across the
+/// pool serializes the workers again — the classic way a "parallel"
+/// kernel quietly runs at single-thread speed. Deliberate uses (e.g. a
+/// gather point whose lock is taken once per chunk, not per element)
+/// carry a `kpm::allow(par_lock)` marker.
+fn par_lock(ctx: &mut Ctx<'_>) {
+    let mut findings = Vec::new();
+    let mut i = 0;
+    while i < ctx.toks.len() {
+        let t = &ctx.toks[i];
+        let is_par_call = t.ident().is_some_and(|n| n.starts_with("par_"))
+            && i > 0
+            && ctx.toks[i - 1].is_punct('.')
+            && ctx.toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+        if !is_par_call || ctx.is_test_line(t.line) {
+            i += 1;
+            continue;
+        }
+        // The parallel statement: from the `par_*` call to the `;` at
+        // this nesting level (or the `}` that closes the enclosing
+        // block for tail expressions). Everything in between — the
+        // adaptor chain and its closures — runs on the pool.
+        let mut depth = 0isize;
+        let mut j = i + 1;
+        let mut end = ctx.toks.len();
+        while j < ctx.toks.len() {
+            match &ctx.toks[j].kind {
+                TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('{') => depth += 1,
+                TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('}') => {
+                    depth -= 1;
+                    if depth < 0 {
+                        end = j;
+                        break;
+                    }
+                }
+                TokKind::Punct(';') if depth == 0 => {
+                    end = j;
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        for k in i..end.min(ctx.toks.len()) {
+            let a = &ctx.toks[k];
+            match a.ident() {
+                Some("lock") => {
+                    let is_call = k > 0
+                        && ctx.toks[k - 1].is_punct('.')
+                        && ctx.toks.get(k + 1).is_some_and(|n| n.is_punct('('));
+                    if is_call {
+                        findings.push((
+                            a.line,
+                            "`.lock()` inside a `par_*` statement serializes the worker \
+                             threads; accumulate per-chunk and reduce after the parallel \
+                             region"
+                                .to_string(),
+                        ));
+                    }
+                }
+                Some(ty @ ("Mutex" | "RwLock")) => {
+                    findings.push((
+                        a.line,
+                        format!(
+                            "`{ty}` referenced inside a `par_*` statement; shared locked \
+                             state serializes the worker threads — use per-chunk partials \
+                             and a post-region reduction"
+                        ),
+                    ));
+                }
+                _ => {}
+            }
+        }
+        i = end.max(i + 1);
+    }
+    for (line, msg) in findings {
+        ctx.report("par_lock", line, msg);
+    }
 }
 
 /// `Ordering::Relaxed` store/swap outside kpm-obs.

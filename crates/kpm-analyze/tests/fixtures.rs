@@ -245,6 +245,86 @@ pub fn f(xs: &[Vec<f64>]) {
     assert!(hot_file(src).is_empty());
 }
 
+// ------------------------------------------------------------- par_lock
+
+#[test]
+fn par_lock_hit_lock_and_mutex_in_par_statement() {
+    let src = r#"
+/// Doc.
+pub fn bad(xs: &[f64], out: &std::sync::Mutex<Vec<f64>>) {
+    xs.par_iter().for_each(|x| {
+        out.lock().unwrap().push(*x);
+    });
+}
+"#;
+    let diags = scan(
+        "kpm-num",
+        FileClass::Lib,
+        "crates/kpm-num/src/vector.rs",
+        src,
+    );
+    assert!(rules(&diags).contains(&"par_lock"), "{diags:?}");
+    assert!(diags
+        .iter()
+        .any(|d| d.rule == "par_lock" && d.message.contains("serializes")));
+}
+
+#[test]
+fn par_lock_miss_outside_par_and_outside_kernel_crates() {
+    // A lock in plain serial code is fine.
+    let serial = r#"
+/// Doc.
+pub fn ok(out: &std::sync::Mutex<Vec<f64>>) {
+    if let Ok(mut g) = out.lock() {
+        g.push(1.0);
+    }
+}
+"#;
+    assert!(kernel_lib(serial).is_empty());
+    // Per-chunk partials with a post-region reduction: the shape the
+    // rule exists to steer people toward.
+    let partials = r#"
+/// Doc.
+pub fn good(xs: &[f64]) -> f64 {
+    let partials: Vec<f64> = xs.par_chunks(1024).map(|c| c.iter().sum()).collect();
+    partials.iter().sum()
+}
+"#;
+    assert!(kernel_lib(partials).is_empty());
+    // The same locked pattern outside the kernel crates is not flagged.
+    let src = r#"
+/// Doc.
+pub fn bad(xs: &[f64], out: &std::sync::Mutex<Vec<f64>>) {
+    xs.par_iter().for_each(|x| { out.lock().unwrap().push(*x); });
+}
+"#;
+    assert!(scan(
+        "kpm-bench",
+        FileClass::Lib,
+        "crates/kpm-bench/src/lib.rs",
+        src
+    )
+    .is_empty());
+}
+
+#[test]
+fn par_lock_suppressed() {
+    let src = r#"
+/// Doc.
+pub fn gather(xs: &[f64], out: &std::sync::Mutex<Vec<f64>>) {
+    xs.par_chunks(4096).for_each(|c| {
+        // kpm::allow(par_lock): one lock per 4096-element chunk, not per element
+        out.lock().unwrap().extend_from_slice(c);
+    });
+}
+"#;
+    let diags = kernel_lib(src);
+    assert!(
+        diags.iter().all(|d| d.rule != "par_lock"),
+        "suppression must silence the in-closure lock: {diags:?}"
+    );
+}
+
 // -------------------------------------------------------- relaxed_store
 
 #[test]

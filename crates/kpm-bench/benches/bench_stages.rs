@@ -14,6 +14,7 @@ fn bench_stages(c: &mut Criterion) {
         num_random: 8,
         seed: 4,
         parallel: false,
+        threads: 0,
     };
     let mut g = c.benchmark_group("kpm_stages");
     for (name, variant) in [

@@ -60,6 +60,7 @@ fn main() {
             num_random: r,
             seed: 2015,
             parallel: true,
+            threads: 0,
         };
         for (stage, variant, kind) in stages {
             kpm_obs::reset();

@@ -1,0 +1,127 @@
+//! Emits `BENCH_threads.json`: achieved GF/s of the three optimization
+//! stages (naive SpMV, fused `aug_spmv`, blocked `aug_spmmv`) over
+//! worker-thread counts T ∈ {1, 2, 4, 8}.
+//!
+//! Each point runs the full instrumented solver with a pinned thread
+//! pool (`KpmParams::threads`) and reads the achieved rate from the
+//! `kpm-obs` kernel probes, exactly like `bench_stages_json`. The
+//! moments of every run are compared bitwise against the T = 1 run —
+//! the deterministic reduction tree means thread count may change the
+//! speed but never a single bit of the physics output.
+//!
+//! ```text
+//! bench_threads_json [--nx N] [--ny N] [--nz N] [--moments M]
+//!                    [--random R] [--out FILE]
+//! ```
+
+use std::fmt::Write as _;
+
+use kpm_bench::{arg_usize, benchmark_matrix};
+use kpm_core::solver::{kpm_moments, KpmParams, KpmVariant};
+use kpm_obs::json::num;
+use kpm_obs::probe::KernelKind;
+
+/// One (stage, threads) measurement.
+struct ThreadPoint {
+    stage: &'static str,
+    threads: usize,
+    calls: u64,
+    gflops: f64,
+}
+
+fn main() {
+    let nx = arg_usize("--nx", 20);
+    let ny = arg_usize("--ny", 20);
+    let nz = arg_usize("--nz", 10);
+    let moments = arg_usize("--moments", 64);
+    let r = arg_usize("--random", 16);
+    let out = std::env::args()
+        .collect::<Vec<_>>()
+        .windows(2)
+        .find(|w| w[0] == "--out")
+        .map(|w| w[1].clone())
+        .unwrap_or_else(|| "BENCH_threads.json".to_string());
+
+    let (h, sf) = benchmark_matrix(nx, ny, nz);
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!(
+        "matrix: N = {}, Nnz = {}, M = {moments}, R = {r}, host cores = {host_cores}",
+        h.nrows(),
+        h.nnz()
+    );
+    kpm_obs::set_enabled(true);
+
+    let stages: [(&str, KpmVariant, KernelKind); 3] = [
+        ("naive", KpmVariant::Naive, KernelKind::Spmv),
+        ("aug_spmv", KpmVariant::AugSpmv, KernelKind::AugSpmv),
+        ("aug_spmmv", KpmVariant::AugSpmmv, KernelKind::AugSpmmv),
+    ];
+    let mut points: Vec<ThreadPoint> = Vec::new();
+    for (stage, variant, kind) in stages {
+        let mut reference: Option<Vec<f64>> = None;
+        for threads in [1usize, 2, 4, 8] {
+            let params = KpmParams {
+                num_moments: moments,
+                num_random: r,
+                seed: 2015,
+                parallel: true,
+                threads,
+            };
+            kpm_obs::reset();
+            kpm_obs::set_enabled(true);
+            let set = kpm_moments(&h, sf, &params, variant).expect("solver run");
+            match &reference {
+                None => reference = Some(set.as_slice().to_vec()),
+                Some(baseline) => assert_eq!(
+                    baseline,
+                    &set.as_slice().to_vec(),
+                    "{stage}: moments at T={threads} differ from T=1"
+                ),
+            }
+            let rep = kpm_obs::probe::snapshot()
+                .into_iter()
+                .find(|rep| rep.kind == kind)
+                .expect("instrumented kernel recorded calls");
+            eprintln!("{stage:<9} T={threads:<2} {:>7.2} GF/s", rep.gflops());
+            points.push(ThreadPoint {
+                stage,
+                threads,
+                calls: rep.calls,
+                gflops: rep.gflops(),
+            });
+        }
+    }
+
+    let mut body = String::new();
+    let _ = writeln!(body, "{{");
+    let _ = writeln!(body, "  \"schema\": \"kpm-bench-threads-v1\",");
+    let _ = writeln!(
+        body,
+        "  \"matrix\": {{\"nx\": {nx}, \"ny\": {ny}, \"nz\": {nz}, \"rows\": {}, \"nnz\": {}}},",
+        h.nrows(),
+        h.nnz()
+    );
+    let _ = writeln!(body, "  \"moments\": {moments},");
+    let _ = writeln!(body, "  \"random\": {r},");
+    let _ = writeln!(body, "  \"host_cores\": {host_cores},");
+    let _ = writeln!(body, "  \"points\": [");
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 < points.len() { "," } else { "" };
+        let _ = writeln!(
+            body,
+            "    {{\"stage\": \"{}\", \"threads\": {}, \"calls\": {}, \"gflops\": {}}}{comma}",
+            p.stage,
+            p.threads,
+            p.calls,
+            num(p.gflops)
+        );
+    }
+    let _ = writeln!(body, "  ]");
+    let _ = writeln!(body, "}}");
+
+    kpm_obs::json::parse(&body).expect("generated JSON must parse");
+    std::fs::write(&out, &body).expect("write output file");
+    eprintln!("wrote {out}");
+}

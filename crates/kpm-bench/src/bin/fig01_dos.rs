@@ -31,6 +31,7 @@ fn main() {
         num_random: r,
         seed: 2015,
         parallel: true,
+        threads: 0,
     };
     let set = kpm_moments(&h, sf, &params, KpmVariant::AugSpmmv).unwrap();
     let curve = reconstruct(&set, Kernel::Jackson, sf, 2048);

@@ -159,6 +159,7 @@ mod tests {
             num_random: 4,
             seed: 5,
             parallel: false,
+            threads: 0,
         };
         let set = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv).unwrap();
         let curve = reconstruct(&set, Kernel::Jackson, sf, 1024);
@@ -179,6 +180,7 @@ mod tests {
             num_random: 8,
             seed: 6,
             parallel: false,
+            threads: 0,
         };
         let set = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv).unwrap();
         let curve = reconstruct(&set, Kernel::Jackson, sf, 600);
@@ -199,6 +201,7 @@ mod tests {
             num_random: 48,
             seed: 7,
             parallel: false,
+            threads: 0,
         };
         let set = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv).unwrap();
         let curve = reconstruct(&set, Kernel::Jackson, sf, 2048);

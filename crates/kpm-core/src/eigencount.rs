@@ -94,6 +94,7 @@ mod tests {
             num_random: r,
             seed: 60,
             parallel: false,
+            threads: 0,
         }
     }
 

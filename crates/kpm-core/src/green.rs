@@ -102,6 +102,7 @@ mod tests {
             num_random: 8,
             seed: 11,
             parallel: false,
+            threads: 0,
         };
         let set = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv).unwrap();
         let dos = reconstruct(&set, Kernel::Jackson, sf, 257);
@@ -148,6 +149,7 @@ mod tests {
             num_random: 16,
             seed: 12,
             parallel: false,
+            threads: 0,
         };
         let set = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv).unwrap();
         let g = Kernel::Jackson.coefficients(set.len());

@@ -82,6 +82,13 @@ pub struct KpmParams {
     pub seed: u64,
     /// Use the rayon-parallel kernels.
     pub parallel: bool,
+    /// Worker threads for the parallel kernels. `0` inherits the ambient
+    /// pool (the `KPM_THREADS` environment variable, else one worker per
+    /// available core); any other value pins a dedicated pool of that
+    /// size for the solver run. Moments are bitwise-identical for every
+    /// setting — the reduction tree is fixed by chunk boundaries, not by
+    /// the thread count.
+    pub threads: usize,
 }
 
 impl Default for KpmParams {
@@ -91,6 +98,7 @@ impl Default for KpmParams {
             num_random: 8,
             seed: 0x4B50_4D21, // "KPM!"
             parallel: true,
+            threads: 0,
         }
     }
 }
@@ -129,6 +137,25 @@ impl KpmParams {
     }
 }
 
+/// Runs `f` under the thread count the caller pinned: on a dedicated
+/// pool of `threads` workers when `threads > 0`, on the ambient pool
+/// otherwise. Building a small pool is cheap next to a solver run, and
+/// keeping it scoped here means nested calls (e.g. the distributed
+/// driver invoking per-rank solvers) compose without global state.
+fn with_threads<T>(threads: usize, f: impl FnOnce() -> T) -> Result<T, KpmError> {
+    if threads == 0 {
+        return Ok(f());
+    }
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .map_err(|e| KpmError::InvalidParams {
+            what: "threads",
+            details: format!("failed to build thread pool: {e}"),
+        })?;
+    Ok(pool.install(f))
+}
+
 /// Checks that `h` is square, as KPM requires.
 fn validate_square(h: &CrsMatrix) -> Result<(), KpmError> {
     if h.nrows() != h.ncols() {
@@ -162,11 +189,11 @@ pub fn kpm_moments(
         .arg("random", params.num_random);
     let starts = starting_vectors(h.nrows(), params);
 
-    match variant {
+    with_threads(params.threads, || match variant {
         KpmVariant::Naive => run_vector_variant(h, sf, params, &starts, false),
         KpmVariant::AugSpmv => run_vector_variant(h, sf, params, &starts, true),
         KpmVariant::AugSpmmv => run_blocked_variant(h, sf, params, &starts),
-    }
+    })?
 }
 
 /// The normalized random starting vectors — a pure function of the seed,
@@ -198,6 +225,7 @@ pub fn moments_from_start(
         num_random: 1,
         seed: 0,
         parallel,
+        threads: 0,
     };
     params.validate()?;
     single_run_aug(h, sf, &params, start)
@@ -396,6 +424,16 @@ pub fn kpm_moments_checkpointed(
     params: &KpmParams,
     ckpt: &SolverCheckpointing<'_>,
 ) -> Result<MomentSet, KpmError> {
+    with_threads(params.threads, || checkpointed_run(h, sf, params, ckpt))?
+}
+
+/// [`kpm_moments_checkpointed`] under the already-installed pool.
+fn checkpointed_run(
+    h: &CrsMatrix,
+    sf: ScaleFactors,
+    params: &KpmParams,
+    ckpt: &SolverCheckpointing<'_>,
+) -> Result<MomentSet, KpmError> {
     validate_square(h)?;
     params.validate()?;
     if ckpt.interval == 0 {
@@ -570,6 +608,7 @@ mod tests {
             num_random: r,
             seed: 1234,
             parallel: false,
+            threads: 0,
         }
     }
 
@@ -680,6 +719,7 @@ mod tests {
             num_random: 1,
             seed: 0,
             parallel: false,
+            threads: 0,
         };
         let err = kpm_moments(&h, sf, &p, KpmVariant::Naive).expect_err("odd M must be rejected");
         assert!(
@@ -704,6 +744,7 @@ mod tests {
             num_random: 0,
             seed: 0,
             parallel: false,
+            threads: 0,
         };
         let err = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv).expect_err("R = 0 is invalid");
         assert!(matches!(

@@ -735,6 +735,7 @@ mod tests {
             num_random: r,
             seed: 777,
             parallel: false,
+            threads: 0,
         }
     }
 

@@ -1,4 +1,4 @@
-//! Hierarchical timing spans with a thread-safe registry.
+//! Hierarchical timing spans with a thread-sharded registry.
 //!
 //! A span measures one region of work (a solver sweep, a checkpoint
 //! write, a restart attempt). Spans nest per thread: the innermost open
@@ -8,17 +8,22 @@
 //! epoch; the epoch's wall-clock time ([`SystemTime`]) is captured once
 //! so exporters can anchor traces in real time.
 //!
+//! Completing a span records it in the *current thread's* shard — a
+//! private buffer whose lock is uncontended on the hot path — so span
+//! recording does not serialize the worker threads of the parallel
+//! kernels. Readers ([`snapshot`], [`count`]) merge the shards on
+//! demand. Admission against the global [`MAX_SPANS`] cap goes through
+//! one atomic counter; overflow is counted and reported by [`dropped`].
+//!
 //! Guards are cheap when disabled: [`span`] returns an inert guard
-//! without reading the clock. The registry is bounded
-//! ([`MAX_SPANS`]) so pathological loops cannot exhaust memory; drops
-//! are counted and reported by [`dropped`].
+//! without reading the clock.
 
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant, SystemTime};
 
-/// Hard cap on retained span records.
+/// Hard cap on retained span records (across all threads).
 pub const MAX_SPANS: usize = 1 << 18;
 
 /// A completed span.
@@ -42,23 +47,28 @@ pub struct SpanRecord {
     pub args: Vec<(&'static str, String)>,
 }
 
-struct SpanStore {
-    spans: Vec<SpanRecord>,
-    dropped: u64,
-    /// (tid, thread name) pairs in registration order.
-    threads: Vec<(u64, String)>,
+/// One thread's private record buffer. The owning thread holds the lock
+/// only to push; readers take it only during merge operations.
+type Shard = Arc<Mutex<Vec<SpanRecord>>>;
+
+/// All shards ever registered (threads are registered on their first
+/// completed span and stay registered for the process lifetime).
+fn shards() -> &'static Mutex<Vec<Shard>> {
+    static SHARDS: OnceLock<Mutex<Vec<Shard>>> = OnceLock::new();
+    SHARDS.get_or_init(|| Mutex::new(Vec::new()))
 }
 
-fn store() -> &'static Mutex<SpanStore> {
-    static STORE: OnceLock<Mutex<SpanStore>> = OnceLock::new();
-    STORE.get_or_init(|| {
-        Mutex::new(SpanStore {
-            spans: Vec::new(),
-            dropped: 0,
-            threads: Vec::new(),
-        })
-    })
+/// `(tid, thread name)` pairs in registration order.
+fn thread_registry() -> &'static Mutex<Vec<(u64, String)>> {
+    static THREADS: OnceLock<Mutex<Vec<(u64, String)>>> = OnceLock::new();
+    THREADS.get_or_init(|| Mutex::new(Vec::new()))
 }
+
+/// Spans admitted so far; admission is a single `fetch_add` so the
+/// `MAX_SPANS` cap stays global without a global lock per record.
+static RECORDED: AtomicUsize = AtomicUsize::new(0);
+/// Spans discarded after the cap was reached.
+static DROPPED: AtomicU64 = AtomicU64::new(0);
 
 struct Epoch {
     instant: Instant,
@@ -94,6 +104,7 @@ static NEXT_TID: AtomicU64 = AtomicU64::new(1);
 thread_local! {
     static OPEN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
     static TID: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+    static MY_SHARD: RefCell<Option<Shard>> = const { RefCell::new(None) };
 }
 
 /// This thread's observability id, registering it (with its name) on
@@ -110,12 +121,28 @@ fn this_tid() -> u64 {
             .name()
             .unwrap_or("unnamed")
             .to_string();
-        store()
+        thread_registry()
             .lock()
-            .expect("span store lock")
-            .threads
+            .expect("span thread registry")
             .push((tid, name));
         tid
+    })
+}
+
+/// This thread's shard, created and registered on first use.
+fn my_shard() -> Shard {
+    MY_SHARD.with(|s| {
+        let mut slot = s.borrow_mut();
+        if let Some(shard) = slot.as_ref() {
+            return Arc::clone(shard);
+        }
+        let shard: Shard = Arc::new(Mutex::new(Vec::new()));
+        shards()
+            .lock()
+            .expect("span shard registry")
+            .push(Arc::clone(&shard));
+        *slot = Some(Arc::clone(&shard));
+        shard
     })
 }
 
@@ -197,12 +224,11 @@ impl Drop for SpanGuard {
                 stack.retain(|&x| x != a.id);
             }
         });
-        let mut st = store().lock().expect("span store lock");
-        if st.spans.len() >= MAX_SPANS {
-            st.dropped += 1;
+        if RECORDED.fetch_add(1, Ordering::Relaxed) >= MAX_SPANS {
+            DROPPED.fetch_add(1, Ordering::Relaxed);
             return;
         }
-        st.spans.push(SpanRecord {
+        my_shard().lock().expect("span shard").push(SpanRecord {
             id: a.id,
             parent: a.parent,
             name: a.name,
@@ -215,38 +241,56 @@ impl Drop for SpanGuard {
     }
 }
 
-/// A copy of every recorded span, in completion order.
+/// A copy of every recorded span, merged across threads and ordered by
+/// span id (i.e. by span-open order, which is deterministic for
+/// single-threaded recording and stable across snapshot calls).
 pub fn snapshot() -> Vec<SpanRecord> {
-    store().lock().expect("span store lock").spans.clone()
+    let mut all = Vec::new();
+    for shard in shards().lock().expect("span shard registry").iter() {
+        all.extend(shard.lock().expect("span shard").iter().cloned());
+    }
+    all.sort_by_key(|s| s.id);
+    all
 }
 
 /// Number of spans discarded after [`MAX_SPANS`] was reached.
 pub fn dropped() -> u64 {
-    store().lock().expect("span store lock").dropped
+    DROPPED.load(Ordering::Relaxed)
 }
 
 /// Registered `(tid, thread name)` pairs.
 pub fn threads() -> Vec<(u64, String)> {
-    store().lock().expect("span store lock").threads.clone()
+    thread_registry()
+        .lock()
+        .expect("span thread registry")
+        .clone()
 }
 
 /// Number of completed spans with the given name.
 pub fn count(name: &str) -> usize {
-    store()
+    shards()
         .lock()
-        .expect("span store lock")
-        .spans
+        .expect("span shard registry")
         .iter()
-        .filter(|s| s.name == name)
-        .count()
+        .map(|shard| {
+            shard
+                .lock()
+                .expect("span shard")
+                .iter()
+                .filter(|s| s.name == name)
+                .count()
+        })
+        .sum()
 }
 
-/// Clears the span registry (records and drop counter; thread ids are
-/// kept, they stay valid for the process lifetime).
+/// Clears the span registry (records and drop counter; thread ids and
+/// shards are kept, they stay valid for the process lifetime).
 pub(crate) fn reset() {
-    let mut st = store().lock().expect("span store lock");
-    st.spans.clear();
-    st.dropped = 0;
+    for shard in shards().lock().expect("span shard registry").iter() {
+        shard.lock().expect("span shard").clear();
+    }
+    RECORDED.store(0, Ordering::Relaxed);
+    DROPPED.store(0, Ordering::Relaxed);
 }
 
 #[cfg(test)]
@@ -305,5 +349,33 @@ mod tests {
         assert_ne!(main_tid, other_tid);
         assert_eq!(count("main-side"), 1);
         assert_eq!(count("thread-side"), 1);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_no_spans() {
+        let _g = serial();
+        crate::reset();
+        let _on = crate::EnabledGuard::new();
+        const THREADS: usize = 8;
+        const PER_THREAD: usize = 200;
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    for _ in 0..PER_THREAD {
+                        let _s = span("stress", "test");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(count("stress"), THREADS * PER_THREAD);
+        assert_eq!(dropped(), 0);
+        // Snapshot is merged across shards and ordered by id.
+        let snap = snapshot();
+        let stress: Vec<_> = snap.iter().filter(|s| s.name == "stress").collect();
+        assert_eq!(stress.len(), THREADS * PER_THREAD);
+        assert!(stress.windows(2).all(|w| w[0].id < w[1].id));
     }
 }

@@ -41,6 +41,11 @@ pub struct Machine {
     pub mem_bw_gbs: f64,
     /// Last-level cache capacity in MiB.
     pub llc_mib: f64,
+    /// Private per-core (CPU: L2; GPU: per-SMX L1/shared) cache in KiB —
+    /// the cache budget one thread can rely on without contending with
+    /// the other threads' matrix streams; drives the row-tile sizing of
+    /// the blocked kernels.
+    pub l2_kib: usize,
     /// Double-precision peak performance in Gflop/s.
     pub peak_gflops: f64,
     /// Calibrated LLC-limited ceiling for the augmented SpMMV kernel in
@@ -57,6 +62,7 @@ pub const IVB: Machine = Machine {
     cores: 10,
     mem_bw_gbs: 50.0,
     llc_mib: 25.0,
+    l2_kib: 256,
     peak_gflops: 176.0,
     llc_ceiling_gflops: 70.0,
 };
@@ -70,6 +76,7 @@ pub const SNB: Machine = Machine {
     cores: 8,
     mem_bw_gbs: 48.0,
     llc_mib: 20.0,
+    l2_kib: 256,
     peak_gflops: 166.4,
     // Sandy Bridge L3 sustains less kernel throughput than Ivy Bridge;
     // calibrated so the heterogeneous node lands at the paper's Fig. 11
@@ -86,6 +93,7 @@ pub const K20M: Machine = Machine {
     cores: 13,
     mem_bw_gbs: 150.0,
     llc_mib: 1.25,
+    l2_kib: 64,
     peak_gflops: 1174.0,
     llc_ceiling_gflops: 300.0,
 };
@@ -99,6 +107,7 @@ pub const K20X: Machine = Machine {
     cores: 14,
     mem_bw_gbs: 170.0,
     llc_mib: 1.5,
+    l2_kib: 64,
     peak_gflops: 1311.0,
     llc_ceiling_gflops: 330.0,
 };
@@ -117,6 +126,7 @@ pub const PHI: Machine = Machine {
     cores: 60,
     mem_bw_gbs: 150.0,
     llc_mib: 30.0,
+    l2_kib: 512,
     peak_gflops: 1010.9,
     llc_ceiling_gflops: 170.0,
 };
@@ -146,6 +156,27 @@ impl Machine {
     /// Looks a machine up by its paper name.
     pub fn by_name(name: &str) -> Option<Machine> {
         CATALOG.iter().copied().find(|m| m.name == name)
+    }
+
+    /// The per-thread cache budget in bytes the tile sizing of the
+    /// blocked kernels should work against: the private per-core cache.
+    /// (The LLC is shared with the other threads' matrix streams, so it
+    /// is *not* a reliable per-thread budget.)
+    pub fn tile_budget_bytes(&self) -> usize {
+        self.l2_kib * 1024
+    }
+
+    /// The row-tile height the model predicts for a blocked kernel of
+    /// width `r` on this machine (paper Section VII cache blocking).
+    pub fn spmmv_tile_rows(&self, r: usize) -> usize {
+        kpm_sparse::tile::tile_rows_for_budget(r, self.tile_budget_bytes())
+    }
+
+    /// Configures `kpm-sparse`'s process-global tile budget from this
+    /// machine's private cache, so subsequent blocked kernels tile for
+    /// this machine. Call once at startup.
+    pub fn apply_tile_budget(&self) {
+        kpm_sparse::tile::set_cache_bytes_per_thread(self.tile_budget_bytes());
     }
 }
 
@@ -214,6 +245,21 @@ mod tests {
     #[should_panic(expected = "core count out of range")]
     fn too_many_cores_panics() {
         IVB.peak_of_cores(11);
+    }
+
+    #[test]
+    fn tile_budget_tracks_private_cache() {
+        // Xeons: 256 KiB private L2 -> at R = 32 the predicted tile
+        // shrinks below the legacy 512-row chunk (the measured
+        // BENCH_stages regression), while R <= 8 keeps it.
+        assert_eq!(IVB.tile_budget_bytes(), 256 * 1024);
+        assert_eq!(IVB.spmmv_tile_rows(8), 512);
+        assert_eq!(IVB.spmmv_tile_rows(32), 128);
+        // K20: only 64 KiB per SMX -> even R = 16 pins to the floor.
+        assert!(K20M.spmmv_tile_rows(16) >= kpm_sparse::tile::MIN_TILE_ROWS);
+        assert!(K20M.spmmv_tile_rows(16) < IVB.spmmv_tile_rows(16));
+        // Wider private caches never predict smaller tiles.
+        assert!(PHI.spmmv_tile_rows(32) >= IVB.spmmv_tile_rows(32));
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //! the fused scalar products — they are the kernels of panel (b) of paper
 //! Fig. 10 and the baseline of the fused-dot ablation.
 
-use kpm_num::summation::pairwise_sum_complex;
+use kpm_num::summation::{pairwise_sum, pairwise_sum_complex};
 use kpm_num::{BlockVector, Complex64};
 use kpm_obs::probe::{kernel_timer, KernelKind};
 use rayon::prelude::*;
@@ -111,7 +111,7 @@ pub fn aug_spmv_par(
             (even, odd)
         })
         .collect();
-    let eta_even = partials.iter().map(|p| p.0).sum();
+    let eta_even = pairwise_sum(&partials.iter().map(|p| p.0).collect::<Vec<_>>());
     let eta_odd = pairwise_sum_complex(&partials.iter().map(|p| p.1).collect::<Vec<_>>());
     AugDots { eta_even, eta_odd }
 }
@@ -156,7 +156,13 @@ pub fn aug_spmmv(
     AugDotsBlock { eta_even, eta_odd }
 }
 
-/// Row-parallel augmented SpMMV.
+/// Row-parallel augmented SpMMV, tiled so each row block's `V`/`W`
+/// working set stays resident in the per-thread cache budget (see
+/// [`crate::tile`]; this is the fix for the measured `R = 32`
+/// throughput regression). The tile size depends only on `r_width` and
+/// the configured budget — never on the thread count — so the partial
+/// dot products sit on fixed boundaries and the reduced `eta` values
+/// are bitwise-identical for any number of threads.
 pub fn aug_spmmv_par(
     h: &CrsMatrix,
     a: f64,
@@ -166,13 +172,13 @@ pub fn aug_spmmv_par(
 ) -> AugDotsBlock {
     let r_width = check_block_dims(h, v, w);
     let _probe = kernel_timer(KernelKind::AugSpmmv, h.nrows(), h.nnz(), r_width);
-    const ROWS_PER_CHUNK: usize = 512;
+    let rows_per_tile = crate::tile::tile_rows(r_width);
     let partials: Vec<(Vec<f64>, Vec<Complex64>)> = w
         .as_mut_slice()
-        .par_chunks_mut(ROWS_PER_CHUNK * r_width)
+        .par_chunks_mut(rows_per_tile * r_width)
         .enumerate()
         .map(|(ci, wc)| {
-            let row0 = ci * ROWS_PER_CHUNK;
+            let row0 = ci * rows_per_tile;
             let mut even = vec![0.0; r_width];
             let mut odd = vec![Complex64::default(); r_width];
             let mut acc = vec![Complex64::default(); r_width];
@@ -237,15 +243,17 @@ pub fn aug_spmmv_nodot(h: &CrsMatrix, a: f64, b: f64, v: &BlockVector, w: &mut B
     }
 }
 
-/// Parallel variant of [`aug_spmmv_nodot`].
+/// Parallel variant of [`aug_spmmv_nodot`], tiled like
+/// [`aug_spmmv_par`].
 pub fn aug_spmmv_nodot_par(h: &CrsMatrix, a: f64, b: f64, v: &BlockVector, w: &mut BlockVector) {
     let r_width = check_block_dims(h, v, w);
     let _probe = kernel_timer(KernelKind::AugSpmmv, h.nrows(), h.nnz(), r_width);
+    let rows_per_tile = crate::tile::tile_rows(r_width);
     w.as_mut_slice()
-        .par_chunks_mut(512 * r_width)
+        .par_chunks_mut(rows_per_tile * r_width)
         .enumerate()
         .for_each(|(ci, wc)| {
-            let row0 = ci * 512;
+            let row0 = ci * rows_per_tile;
             let mut acc = vec![Complex64::default(); r_width];
             for (i, wrow) in wc.chunks_mut(r_width).enumerate() {
                 let r = row0 + i;

@@ -22,7 +22,9 @@
 //!   of the topological-insulator matrix structure,
 //! * [`io`] — Matrix Market reading/writing (std-only),
 //! * [`gen`] — width-specialized (const-generic) kernel instances, the
-//!   Rust analogue of the paper's custom code generator (Section IV-B).
+//!   Rust analogue of the paper's custom code generator (Section IV-B),
+//! * [`tile`] — cache-aware row-block tile sizing for the blocked
+//!   kernels (per-thread cache budget → rows per tile).
 
 pub mod aug;
 pub mod blocked;
@@ -33,6 +35,7 @@ pub mod io;
 pub mod sell;
 pub mod spmv;
 pub mod stats;
+pub mod tile;
 
 pub use coo::CooMatrix;
 pub use crs::CrsMatrix;

@@ -14,8 +14,30 @@
 //! benches.
 
 use kpm_num::{BlockVector, Complex64};
+use rayon::prelude::*;
 
 use crate::crs::CrsMatrix;
+
+/// How many SELL chunks one parallel work item processes: amortizes the
+/// per-item accumulator allocation and scheduling cost while leaving
+/// enough items for load balancing. Fixed (thread-count independent),
+/// so the parallel kernels write exactly what the serial ones write.
+const CHUNKS_PER_TASK: usize = 16;
+
+/// Shared write handle for the scattered `y` updates of the parallel
+/// SELL kernels.
+///
+/// Each SELL chunk writes the output rows `perm[lo..hi]` of its own row
+/// window, and `perm` is a permutation — so distinct chunks touch
+/// pairwise-disjoint output rows and the raw stores below never alias.
+struct ScatterPtr(*mut Complex64);
+
+// SAFETY: the pointer is only dereferenced at indices derived from a
+// permutation partitioned across tasks (disjoint writes, see above),
+// and `Complex64` is `Send`.
+unsafe impl Send for ScatterPtr {}
+// SAFETY: see the `Send` impl above.
+unsafe impl Sync for ScatterPtr {}
 
 /// A sparse matrix in SELL-C-σ format.
 #[derive(Debug, Clone)]
@@ -256,6 +278,116 @@ impl SellMatrix {
             }
         }
     }
+
+    /// Chunk-parallel SELL SpMV.
+    ///
+    /// The chunk space is partitioned statically into groups of
+    /// [`CHUNKS_PER_TASK`]; each group runs the same lockstep loop as
+    /// the serial kernel, so every output value is computed by the
+    /// identical floating-point sequence — the result is
+    /// bitwise-identical to [`SellMatrix::spmv`] for any thread count.
+    /// Output rows are disjoint across chunks because `perm` is a
+    /// permutation, which is what makes the scattered parallel writes
+    /// sound.
+    pub fn spmv_par(&self, x: &[Complex64], y: &mut [Complex64]) {
+        assert_eq!(x.len(), self.ncols, "spmv_par: x dimension mismatch");
+        assert_eq!(y.len(), self.nrows, "spmv_par: y dimension mismatch");
+        let c = self.chunk_height;
+        let y_out = ScatterPtr(y.as_mut_ptr());
+        let y_out = &y_out;
+        self.chunk_len
+            .par_chunks(CHUNKS_PER_TASK)
+            .enumerate()
+            .for_each(|(group, lens)| {
+                let mut acc = vec![Complex64::default(); c];
+                for (k, &len) in lens.iter().enumerate() {
+                    let ci = group * CHUNKS_PER_TASK + k;
+                    let base = self.chunk_ptr[ci] as usize;
+                    let len = len as usize;
+                    acc[..c].fill(Complex64::default());
+                    for j in 0..len {
+                        let off = base + j * c;
+                        #[allow(clippy::needless_range_loop)] // lockstep lane loop
+                        for lane in 0..c {
+                            let col = self.cols[off + lane] as usize;
+                            let val = self.vals[off + lane];
+                            acc[lane] = val.mul_add(x[col], acc[lane]);
+                        }
+                    }
+                    let lo = ci * c;
+                    #[allow(clippy::needless_range_loop)] // lockstep lane loop
+                    for lane in 0..c {
+                        let sell_row = lo + lane;
+                        if sell_row < self.nrows {
+                            let orig = self.perm[sell_row] as usize;
+                            // SAFETY: `orig` < nrows (perm entries are row
+                            // indices) and each output row is written by
+                            // exactly one chunk of one task (perm is a
+                            // permutation; chunks are partitioned
+                            // disjointly across tasks).
+                            unsafe { *y_out.0.add(orig) = acc[lane] };
+                        }
+                    }
+                }
+            });
+    }
+
+    /// Chunk-parallel SELL SpMMV; bitwise-identical to
+    /// [`SellMatrix::spmmv`] for any thread count (same argument as
+    /// [`SellMatrix::spmv_par`]).
+    pub fn spmmv_par(&self, x: &BlockVector, y: &mut BlockVector) {
+        assert_eq!(x.rows(), self.ncols, "spmmv_par: x dimension mismatch");
+        assert_eq!(y.rows(), self.nrows, "spmmv_par: y dimension mismatch");
+        assert_eq!(x.width(), y.width(), "spmmv_par: block width mismatch");
+        let c = self.chunk_height;
+        let r_width = x.width();
+        let y_out = ScatterPtr(y.as_mut_slice().as_mut_ptr());
+        let y_out = &y_out;
+        self.chunk_len
+            .par_chunks(CHUNKS_PER_TASK)
+            .enumerate()
+            .for_each(|(group, lens)| {
+                let mut acc = vec![Complex64::default(); c * r_width];
+                for (k, &len) in lens.iter().enumerate() {
+                    let ci = group * CHUNKS_PER_TASK + k;
+                    let base = self.chunk_ptr[ci] as usize;
+                    let len = len as usize;
+                    acc.fill(Complex64::default());
+                    for j in 0..len {
+                        let off = base + j * c;
+                        for lane in 0..c {
+                            let val = self.vals[off + lane];
+                            if val == Complex64::default() {
+                                continue; // padding
+                            }
+                            let col = self.cols[off + lane] as usize;
+                            let xrow = x.row(col);
+                            let arow = &mut acc[lane * r_width..(lane + 1) * r_width];
+                            for kk in 0..r_width {
+                                arow[kk] = val.mul_add(xrow[kk], arow[kk]);
+                            }
+                        }
+                    }
+                    let lo = ci * c;
+                    #[allow(clippy::needless_range_loop)] // lockstep lane loop
+                    for lane in 0..c {
+                        let sell_row = lo + lane;
+                        if sell_row < self.nrows {
+                            let orig = self.perm[sell_row] as usize;
+                            // SAFETY: row `orig` spans elements
+                            // `orig*r_width..(orig+1)*r_width` of the
+                            // row-major block; rows are written by exactly
+                            // one chunk of one task (perm is a permutation;
+                            // chunks are partitioned disjointly).
+                            let yrow = unsafe {
+                                std::slice::from_raw_parts_mut(y_out.0.add(orig * r_width), r_width)
+                            };
+                            yrow.copy_from_slice(&acc[lane * r_width..(lane + 1) * r_width]);
+                        }
+                    }
+                }
+            });
+    }
 }
 
 #[cfg(test)]
@@ -370,6 +502,49 @@ mod tests {
             let mut y = BlockVector::zeros(97, 5);
             sell.spmmv(&x, &mut y);
             assert!(y.max_abs_diff(&y_ref) < 1e-12, "C={c} sigma={sigma}");
+        }
+    }
+
+    #[test]
+    fn spmv_par_is_bitwise_equal_to_serial() {
+        let crs = random_crs(301, 301, 9, 21);
+        let mut rng = StdRng::seed_from_u64(22);
+        let x = Vector::random(301, &mut rng).into_vec();
+        for (c, sigma) in [(1usize, 1usize), (4, 8), (8, 32), (32, 32)] {
+            let sell = SellMatrix::from_crs(&crs, c, sigma);
+            let mut y_serial = vec![Complex64::default(); 301];
+            sell.spmv(&x, &mut y_serial);
+            for threads in [1usize, 2, 4] {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .build()
+                    .unwrap();
+                let mut y_par = vec![Complex64::default(); 301];
+                pool.install(|| sell.spmv_par(&x, &mut y_par));
+                assert_eq!(y_serial, y_par, "C={c} sigma={sigma} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn spmmv_par_is_bitwise_equal_to_serial() {
+        use kpm_num::BlockVector;
+        let crs = random_crs(203, 203, 7, 31);
+        let mut rng = StdRng::seed_from_u64(33);
+        let x = BlockVector::random(203, 8, &mut rng);
+        for (c, sigma) in [(1usize, 1usize), (4, 8), (16, 64)] {
+            let sell = SellMatrix::from_crs(&crs, c, sigma);
+            let mut y_serial = BlockVector::zeros(203, 8);
+            sell.spmmv(&x, &mut y_serial);
+            for threads in [1usize, 4] {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .build()
+                    .unwrap();
+                let mut y_par = BlockVector::zeros(203, 8);
+                pool.install(|| sell.spmmv_par(&x, &mut y_par));
+                assert_eq!(y_serial.max_abs_diff(&y_par), 0.0, "C={c} sigma={sigma}");
+            }
         }
     }
 

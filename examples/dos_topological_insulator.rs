@@ -41,6 +41,7 @@ fn main() {
         num_random: 8,
         seed: 7,
         parallel: true,
+        threads: 0,
     };
 
     // All three optimization stages compute the same moments — the

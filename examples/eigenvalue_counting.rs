@@ -24,6 +24,7 @@ fn main() {
         num_random: 64,
         seed: 22,
         parallel: true,
+        threads: 0,
     };
 
     let evs = exact_eigenvalues(&h);

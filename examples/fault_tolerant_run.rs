@@ -23,6 +23,7 @@ fn main() {
         num_random: 4,
         seed: 42,
         parallel: false,
+        threads: 0,
     };
     let reference =
         kpm_moments(&h, sf, &params, KpmVariant::AugSpmmv).expect("fault-free reference run");

@@ -22,6 +22,7 @@ fn main() {
         num_random: 8,
         seed: 99,
         parallel: false, // ranks are the parallelism here
+        threads: 0,
     };
 
     // Reference: single-process stage-2 solver.

@@ -30,6 +30,7 @@ fn main() {
         num_random: 16,
         seed: 1,
         parallel: true,
+        threads: 0,
     };
     let moments = kpm_moments(&h, sf, &params, KpmVariant::AugSpmmv).unwrap();
 

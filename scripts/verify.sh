@@ -13,6 +13,13 @@ cargo test -q
 cargo test --workspace -q
 cargo clippy --workspace -- -D warnings
 
+echo "== tier-1 under pinned thread counts (KPM_THREADS=1, 4) =="
+# The same workspace tests on a serial global pool and on a 4-worker
+# pool: results (moments, kernels, checkpoints) must be bitwise
+# identical in both, so every suite has to pass in both.
+KPM_THREADS=1 cargo test --workspace -q
+KPM_THREADS=4 cargo test --workspace -q
+
 echo "== static analysis: kpm-analyze lint gate =="
 # Hard gate: any diagnostic is a failure (non-zero exit). The JSON
 # report is kept as a build artifact for CI consumption either way.

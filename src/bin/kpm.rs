@@ -68,13 +68,17 @@ const USAGE: &str = "usage:
   kpm report [FILE.mtx | --nx N --ny N --nz N] [--moments M] [--random R]
              [--machine IVB|SNB|K20m|K20X] [--llc-mib F] [--sweeps S]
 common:
+  --threads T                worker threads (0 = KPM_THREADS env, else all cores)
   --metrics-out FILE.jsonl   export the kpm-obs metrics registry
   --trace-out FILE.json      export spans as a Chrome trace-event file";
 
 /// Flags shared by every matrix source.
 const MATRIX_FLAGS: &[&str] = &["--nx", "--ny", "--nz", "--potential"];
 /// Flags of the shared-memory solver.
-const SOLVER_FLAGS: &[&str] = &["--moments", "--random", "--seed"];
+const SOLVER_FLAGS: &[&str] = &["--moments", "--random", "--seed", "--threads"];
+/// `--threads` alone, for subcommands that do parallel work without the
+/// full solver parameter set.
+const THREADS_FLAGS: &[&str] = &["--threads"];
 /// Observability exports, accepted by every solver-running subcommand.
 const OBS_FLAGS: &[&str] = &["--metrics-out", "--trace-out"];
 
@@ -214,11 +218,12 @@ fn solver_params(args: &[String]) -> Result<KpmParams, String> {
         num_random: opt_usize(args, "--random", 8)?,
         seed: opt_usize(args, "--seed", 2015)? as u64,
         parallel: true,
+        threads: opt_usize(args, "--threads", 0)?,
     })
 }
 
 fn cmd_generate(args: &[String]) -> Result<(), String> {
-    check_args(args, &[MATRIX_FLAGS, &["--out"]])?;
+    check_args(args, &[MATRIX_FLAGS, THREADS_FLAGS, &["--out"]])?;
     let out_path = opt(args, "--out").ok_or("generate needs --out FILE.mtx")?;
     let h = load_matrix(args)?;
     let file = File::create(out_path).map_err(|e| format!("cannot create {out_path}: {e}"))?;
@@ -233,7 +238,7 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_info(args: &[String]) -> Result<(), String> {
-    check_args(args, &[MATRIX_FLAGS])?;
+    check_args(args, &[MATRIX_FLAGS, THREADS_FLAGS])?;
     let h = load_matrix(args)?;
     let s = stats::analyze(&h, 8.max(h.nrows() / 100));
     println!("rows x cols   : {} x {}", s.nrows, s.ncols);
@@ -417,6 +422,15 @@ mod tests {
         assert_eq!(opt_usize(&a, "--moments", 0).unwrap(), 64);
         assert_eq!(opt_usize(&a, "--missing", 7).unwrap(), 7);
         assert!(opt_usize(&args(&["--nx", "abc"]), "--nx", 0).is_err());
+    }
+
+    #[test]
+    fn threads_flag_reaches_solver_params() {
+        let a = args(&["--threads", "4"]);
+        assert_eq!(solver_params(&a).unwrap().threads, 4);
+        assert_eq!(solver_params(&args(&[])).unwrap().threads, 0);
+        assert!(check_args(&a, &[MATRIX_FLAGS, SOLVER_FLAGS]).is_ok());
+        assert!(check_args(&a, &[MATRIX_FLAGS, THREADS_FLAGS]).is_ok());
     }
 
     #[test]

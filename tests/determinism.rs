@@ -1,0 +1,105 @@
+//! Bitwise reproducibility of the solver under shared-memory
+//! parallelism.
+//!
+//! The parallel kernels pin their reduction-tree boundaries to fixed,
+//! caller-chosen chunk sizes — never to the thread count or to how the
+//! work-stealing pool happened to split the range. These tests are the
+//! contract: the moments of a KPM run are *bitwise identical* for any
+//! worker-thread count and across repeated runs, for every solver
+//! variant. `assert_eq!` on `f64` slices is deliberate; a 1-ulp
+//! difference is a failure.
+
+use kpm_repro::core::solver::{kpm_moments, KpmParams, KpmVariant};
+use kpm_repro::topo::{ScaleFactors, TopoHamiltonian};
+
+fn params(threads: usize) -> KpmParams {
+    KpmParams {
+        num_moments: 64,
+        num_random: 6,
+        seed: 20150527, // IPDPS 2015
+        parallel: true,
+        threads,
+    }
+}
+
+fn moments_at(threads: usize, variant: KpmVariant) -> Vec<f64> {
+    let h = TopoHamiltonian::clean(4, 4, 3).assemble();
+    let sf = ScaleFactors::from_gershgorin(&h, 0.01);
+    kpm_moments(&h, sf, &params(threads), variant)
+        .expect("solver run")
+        .into_vec()
+}
+
+#[test]
+fn moments_bitwise_identical_across_thread_counts() {
+    for variant in [KpmVariant::Naive, KpmVariant::AugSpmv, KpmVariant::AugSpmmv] {
+        let baseline = moments_at(1, variant);
+        assert!(baseline.iter().all(|m| m.is_finite()));
+        for threads in [2usize, 4, 8] {
+            let got = moments_at(threads, variant);
+            assert_eq!(baseline, got, "{variant:?} differs at {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn moments_bitwise_identical_across_repeated_runs() {
+    // Same thread count, repeated runs: the pool splits work
+    // nondeterministically (stealing races), the moments must not see it.
+    for variant in [KpmVariant::AugSpmv, KpmVariant::AugSpmmv] {
+        let first = moments_at(4, variant);
+        for _ in 0..3 {
+            assert_eq!(first, moments_at(4, variant), "{variant:?} is not stable");
+        }
+    }
+}
+
+#[test]
+fn parallel_matches_serial_kernels_bitwise() {
+    // The parallel kernels run the same per-chunk arithmetic as their
+    // serial twins, and the cross-chunk reductions are pinned to the
+    // same fixed boundaries — so even `parallel: false` agrees exactly
+    // for the fused variants.
+    let h = TopoHamiltonian::clean(4, 4, 3).assemble();
+    let sf = ScaleFactors::from_gershgorin(&h, 0.01);
+    for variant in [KpmVariant::AugSpmv, KpmVariant::AugSpmmv] {
+        let serial = kpm_moments(
+            &h,
+            sf,
+            &KpmParams {
+                parallel: false,
+                ..params(0)
+            },
+            variant,
+        )
+        .expect("serial run")
+        .into_vec();
+        let parallel = moments_at(4, variant);
+        assert_eq!(serial, parallel, "{variant:?} parallel != serial");
+    }
+}
+
+#[test]
+fn checkpointed_solver_is_thread_count_invariant() {
+    use kpm_repro::core::checkpoint::MemoryCheckpointStore;
+    use kpm_repro::core::solver::{kpm_moments_checkpointed, SolverCheckpointing};
+
+    let h = TopoHamiltonian::clean(4, 4, 2).assemble();
+    let sf = ScaleFactors::from_gershgorin(&h, 0.01);
+    let mut baseline = None;
+    for threads in [1usize, 4] {
+        let store = MemoryCheckpointStore::new();
+        let ckpt = SolverCheckpointing {
+            store: &store,
+            interval: 7,
+            crash_at: None,
+        };
+        let set = kpm_moments_checkpointed(&h, sf, &params(threads), &ckpt)
+            .expect("checkpointed run")
+            .into_vec();
+        match &baseline {
+            None => baseline = Some(set),
+            Some(b) => assert_eq!(b, &set, "checkpointed moments differ at {threads} threads"),
+        }
+    }
+}

@@ -15,6 +15,7 @@ fn params(m: usize, r: usize) -> KpmParams {
         num_random: r,
         seed: 31337,
         parallel: false,
+        threads: 0,
     }
 }
 

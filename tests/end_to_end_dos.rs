@@ -15,6 +15,7 @@ fn params(m: usize, r: usize) -> KpmParams {
         num_random: r,
         seed: 20150527, // IPDPS 2015
         parallel: true,
+        threads: 0,
     }
 }
 

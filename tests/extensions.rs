@@ -33,6 +33,7 @@ fn auto_weights_from_modelled_rates_balance_the_distributed_solver() {
         num_random: 2,
         seed: 42,
         parallel: false,
+        threads: 0,
     };
     let reference = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv).unwrap();
     let dist = distributed_kpm(&h, sf, &p, &weights, false).unwrap();
@@ -111,6 +112,7 @@ fn specialized_dispatch_active_in_solver_for_paper_widths() {
                 num_random: r,
                 seed: 9,
                 parallel: false,
+                threads: 0,
             },
             KpmVariant::AugSpmmv,
         )
@@ -123,6 +125,7 @@ fn specialized_dispatch_active_in_solver_for_paper_widths() {
                 num_random: r,
                 seed: 9,
                 parallel: true,
+                threads: 0,
             },
             KpmVariant::AugSpmmv,
         )

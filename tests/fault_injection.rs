@@ -29,6 +29,7 @@ fn params(m: usize, r: usize, seed: u64) -> KpmParams {
         num_random: r,
         seed,
         parallel: false,
+        threads: 0,
     }
 }
 

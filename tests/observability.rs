@@ -37,6 +37,7 @@ fn params(m: usize, r: usize) -> KpmParams {
         num_random: r,
         seed: 2015,
         parallel: false,
+        threads: 0,
     }
 }
 

@@ -146,7 +146,7 @@ proptest! {
     #[test]
     fn moments_bounded_and_mu0_unit(h in hermitian_matrix(), seed in any::<u64>()) {
         let sf = ScaleFactors::from_gershgorin(&h, 0.05);
-        let p = KpmParams { num_moments: 16, num_random: 2, seed, parallel: false };
+        let p = KpmParams { num_moments: 16, num_random: 2, seed, parallel: false, threads: 0 };
         let set = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv).unwrap();
         prop_assert!((set.as_slice()[0] - 1.0).abs() < 1e-10);
         for &mu in set.as_slice() {
@@ -237,7 +237,7 @@ proptest! {
         use kpm_repro::core::eigencount::window_fraction;
         use kpm_repro::core::solver::kpm_moments;
         let sf = ScaleFactors::from_gershgorin(&h, 0.05);
-        let p = KpmParams { num_moments: 16, num_random: 2, seed, parallel: false };
+        let p = KpmParams { num_moments: 16, num_random: 2, seed, parallel: false, threads: 0 };
         let set = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv).unwrap();
         let f = window_fraction(&set, kpm_repro::core::Kernel::Jackson, -0.5, 0.5);
         // Jackson-damped fractions stay within [-eps, 1+eps].
