@@ -1,0 +1,239 @@
+//! Emits `BENCH_formats.json`: the storage-format ablation of the
+//! augmented kernels — CRS against SELL-C-σ over a C × σ grid at block
+//! widths R ∈ {1, 8} — plus the autotuner's pick measured under the
+//! same harness.
+//!
+//! All candidates are measured **round-robin**: every rep times one
+//! sweep of each candidate back to back (after a full warm-up round),
+//! and each candidate's rate is the median of its reps. Sequential
+//! per-candidate timing would let slow thermal/contention drift on a
+//! shared host penalize whichever format happens to run last;
+//! interleaving spreads the drift across all of them equally. The
+//! paper's expectation (Section IV-A): SELL helps the single-vector
+//! `aug_spmv` through lane-level parallelism, while the blocked
+//! `aug_spmmv` already vectorizes across the block vector, so CRS and
+//! SELL should land within noise there and fill-in (β < 1) can only
+//! hurt.
+//!
+//! ```text
+//! bench_formats_json [--nx N] [--ny N] [--nz N] [--reps K]
+//!                    [--threads T] [--out FILE]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use kpm_bench::{arg_usize, benchmark_matrix, median};
+use kpm_num::accounting::aug_spmmv_flops;
+use kpm_num::{BlockVector, Complex64, Vector};
+use kpm_obs::json::num;
+use kpm_sparse::{autotune, AutotuneEnv, FormatSpec, KpmMatrix, SparseKernels};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One matrix handle under test.
+struct Candidate {
+    format: &'static str,
+    c: usize,
+    sigma: usize,
+    autotuned: bool,
+    m: KpmMatrix,
+}
+
+/// Median sustained GF/s of the parallel augmented kernel at width `r`
+/// for every candidate, timed round-robin (one sweep each per rep) so
+/// throughput drift on the host hits all candidates alike.
+fn measure_all(
+    cands: &[Candidate],
+    a: f64,
+    b: f64,
+    r: usize,
+    threads: usize,
+    reps: usize,
+) -> Vec<f64> {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("thread pool");
+    let n = cands[0].m.nrows();
+    let flops = aug_spmmv_flops(n, cands[0].m.nnz(), r) as f64;
+    let mut times: Vec<Vec<f64>> = vec![Vec::with_capacity(reps); cands.len()];
+    // Identical seeds per candidate: the kernels are bitwise identical
+    // across formats, so every candidate streams the same numbers.
+    if r == 1 {
+        let mut rng = StdRng::seed_from_u64(44);
+        let v = Vector::random(n, &mut rng).into_vec();
+        let mut ws: Vec<Vec<Complex64>> = cands
+            .iter()
+            .map(|_| {
+                let mut rng = StdRng::seed_from_u64(45);
+                Vector::random(n, &mut rng).into_vec()
+            })
+            .collect();
+        for rep in 0..=reps {
+            for (i, cand) in cands.iter().enumerate() {
+                let w = &mut ws[i];
+                let secs = pool.install(|| {
+                    let t0 = Instant::now();
+                    cand.m.aug_spmv_par(a, b, &v, w);
+                    t0.elapsed().as_secs_f64()
+                });
+                if rep > 0 {
+                    times[i].push(secs); // rep 0 is the warm-up round
+                }
+            }
+        }
+    } else {
+        let mut rng = StdRng::seed_from_u64(44);
+        let v = BlockVector::random(n, r, &mut rng);
+        let mut ws: Vec<BlockVector> = cands
+            .iter()
+            .map(|_| {
+                let mut rng = StdRng::seed_from_u64(45);
+                BlockVector::random(n, r, &mut rng)
+            })
+            .collect();
+        for rep in 0..=reps {
+            for (i, cand) in cands.iter().enumerate() {
+                let w = &mut ws[i];
+                let secs = pool.install(|| {
+                    let t0 = Instant::now();
+                    cand.m.aug_spmmv_par(a, b, &v, w);
+                    t0.elapsed().as_secs_f64()
+                });
+                if rep > 0 {
+                    times[i].push(secs);
+                }
+            }
+        }
+    }
+    times.iter_mut().map(|t| flops / median(t) / 1e9).collect()
+}
+
+fn main() {
+    let nx = arg_usize("--nx", 20);
+    let ny = arg_usize("--ny", 20);
+    let nz = arg_usize("--nz", 10);
+    let reps = arg_usize("--reps", 5).max(1);
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let threads = arg_usize("--threads", host_cores).max(1);
+    let out = std::env::args()
+        .collect::<Vec<_>>()
+        .windows(2)
+        .find(|w| w[0] == "--out")
+        .map(|w| w[1].clone())
+        .unwrap_or_else(|| "BENCH_formats.json".to_string());
+
+    let (h, sf) = benchmark_matrix(nx, ny, nz);
+    eprintln!(
+        "matrix: N = {}, Nnz = {}, T = {threads}, host cores = {host_cores}, reps = {reps}",
+        h.nrows(),
+        h.nnz()
+    );
+
+    // The grid: CRS (≡ SELL-1-1), then SELL over C × σ, then the
+    // autotuner's pick (short empirical probe included).
+    let mut cands: Vec<Candidate> = vec![Candidate {
+        format: "crs",
+        c: 1,
+        sigma: 1,
+        autotuned: false,
+        m: KpmMatrix::crs(h.clone()),
+    }];
+    for c in [4usize, 8, 16, 32] {
+        for sigma in [1usize, c, 4 * c] {
+            let spec = FormatSpec::Sell {
+                chunk_height: c,
+                sigma,
+            };
+            cands.push(Candidate {
+                format: spec.name(),
+                c,
+                sigma,
+                autotuned: false,
+                m: KpmMatrix::try_with_format(h.clone(), &spec).expect("valid grid spec"),
+            });
+        }
+    }
+    let choice = autotune(&h, &AutotuneEnv::generic(threads).with_probe_reps(3));
+    let (tc, tsigma) = match choice.format {
+        FormatSpec::Crs => (1, 1),
+        FormatSpec::Sell {
+            chunk_height,
+            sigma,
+        } => (chunk_height, sigma),
+    };
+    eprintln!(
+        "autotune: {} (chunks/task = {}, predicted beta = {:.3}, probed = {})",
+        choice.format, choice.chunks_per_task, choice.predicted_beta, choice.probed
+    );
+    cands.push(Candidate {
+        format: choice.format.name(),
+        c: tc,
+        sigma: tsigma,
+        autotuned: true,
+        m: choice.build(h.clone()).expect("tuner picks valid specs"),
+    });
+
+    let mut lines: Vec<String> = Vec::new();
+    for r in [1usize, 8] {
+        let rates = measure_all(&cands, sf.a, sf.b, r, threads, reps);
+        for (cand, gflops) in cands.iter().zip(&rates) {
+            let label = if cand.autotuned {
+                "autotuned".to_string()
+            } else if cand.format == "crs" {
+                "crs".to_string()
+            } else {
+                format!("sell-{}-{}", cand.c, cand.sigma)
+            };
+            eprintln!(
+                "{label:<11} R={r}  beta={:.3}  {gflops:>6.2} GF/s",
+                cand.m.beta()
+            );
+            lines.push(format!(
+                "    {{\"format\": \"{}\", \"c\": {}, \"sigma\": {}, \"r\": {}, \"beta\": {}, \"gflops\": {}, \"autotuned\": {}}}",
+                cand.format,
+                cand.c,
+                cand.sigma,
+                r,
+                num(cand.m.beta()),
+                num(*gflops),
+                cand.autotuned
+            ));
+        }
+    }
+
+    let mut body = String::new();
+    let _ = writeln!(body, "{{");
+    let _ = writeln!(body, "  \"schema\": \"kpm-bench-formats-v1\",");
+    let _ = writeln!(
+        body,
+        "  \"matrix\": {{\"nx\": {nx}, \"ny\": {ny}, \"nz\": {nz}, \"rows\": {}, \"nnz\": {}}},",
+        h.nrows(),
+        h.nnz()
+    );
+    let _ = writeln!(body, "  \"threads\": {threads},");
+    let _ = writeln!(body, "  \"host_cores\": {host_cores},");
+    let _ = writeln!(body, "  \"reps\": {reps},");
+    let _ = writeln!(
+        body,
+        "  \"autotune\": {{\"format\": \"{}\", \"c\": {tc}, \"sigma\": {tsigma}, \"chunks_per_task\": {}, \"predicted_beta\": {}, \"probed\": {}}},",
+        choice.format.name(),
+        choice.chunks_per_task,
+        num(choice.predicted_beta),
+        choice.probed
+    );
+    let _ = writeln!(body, "  \"points\": [");
+    for (i, line) in lines.iter().enumerate() {
+        let comma = if i + 1 < lines.len() { "," } else { "" };
+        let _ = writeln!(body, "{line}{comma}");
+    }
+    let _ = writeln!(body, "  ]");
+    let _ = writeln!(body, "}}");
+
+    kpm_obs::json::parse(&body).expect("generated JSON must parse");
+    std::fs::write(&out, &body).expect("write output file");
+    eprintln!("wrote {out}");
+}

@@ -26,6 +26,8 @@ struct StagePoint {
     calls: u64,
     gflops: f64,
     min_bf: f64,
+    format: &'static str,
+    beta: f64,
 }
 
 fn main() {
@@ -41,8 +43,11 @@ fn main() {
         .unwrap_or_else(|| "BENCH_stages.json".to_string());
 
     let (h, sf) = benchmark_matrix(nx, ny, nz);
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     eprintln!(
-        "matrix: N = {}, Nnz = {}, M = {moments}",
+        "matrix: N = {}, Nnz = {}, M = {moments}, host cores = {host_cores}",
         h.nrows(),
         h.nnz()
     );
@@ -81,13 +86,15 @@ fn main() {
                 calls: rep.calls,
                 gflops: rep.gflops(),
                 min_bf: rep.min_bytes_per_flop(),
+                format: rep.format.name(),
+                beta: rep.beta(),
             });
         }
     }
 
     let mut body = String::new();
     let _ = writeln!(body, "{{");
-    let _ = writeln!(body, "  \"schema\": \"kpm-bench-stages-v1\",");
+    let _ = writeln!(body, "  \"schema\": \"kpm-bench-stages-v2\",");
     let _ = writeln!(
         body,
         "  \"matrix\": {{\"nx\": {nx}, \"ny\": {ny}, \"nz\": {nz}, \"rows\": {}, \"nnz\": {}}},",
@@ -95,17 +102,20 @@ fn main() {
         h.nnz()
     );
     let _ = writeln!(body, "  \"moments\": {moments},");
+    let _ = writeln!(body, "  \"host_cores\": {host_cores},");
     let _ = writeln!(body, "  \"points\": [");
     for (i, p) in points.iter().enumerate() {
         let comma = if i + 1 < points.len() { "," } else { "" };
         let _ = writeln!(
             body,
-            "    {{\"stage\": \"{}\", \"r\": {}, \"calls\": {}, \"gflops\": {}, \"min_bf\": {}}}{comma}",
+            "    {{\"stage\": \"{}\", \"r\": {}, \"calls\": {}, \"gflops\": {}, \"min_bf\": {}, \"format\": \"{}\", \"beta\": {}}}{comma}",
             p.stage,
             p.r,
             p.calls,
             num(p.gflops),
-            num(p.min_bf)
+            num(p.min_bf),
+            p.format,
+            num(p.beta)
         );
     }
     let _ = writeln!(body, "  ]");

@@ -27,6 +27,8 @@ struct ThreadPoint {
     threads: usize,
     calls: u64,
     gflops: f64,
+    format: &'static str,
+    beta: f64,
 }
 
 fn main() {
@@ -62,6 +64,12 @@ fn main() {
     for (stage, variant, kind) in stages {
         let mut reference: Option<Vec<f64>> = None;
         for threads in [1usize, 2, 4, 8] {
+            if threads > host_cores {
+                eprintln!(
+                    "warning: T={threads} exceeds the {host_cores} host core(s); \
+                     expect oversubscribed (non-scaling) numbers"
+                );
+            }
             let params = KpmParams {
                 num_moments: moments,
                 num_random: r,
@@ -90,13 +98,15 @@ fn main() {
                 threads,
                 calls: rep.calls,
                 gflops: rep.gflops(),
+                format: rep.format.name(),
+                beta: rep.beta(),
             });
         }
     }
 
     let mut body = String::new();
     let _ = writeln!(body, "{{");
-    let _ = writeln!(body, "  \"schema\": \"kpm-bench-threads-v1\",");
+    let _ = writeln!(body, "  \"schema\": \"kpm-bench-threads-v2\",");
     let _ = writeln!(
         body,
         "  \"matrix\": {{\"nx\": {nx}, \"ny\": {ny}, \"nz\": {nz}, \"rows\": {}, \"nnz\": {}}},",
@@ -111,11 +121,13 @@ fn main() {
         let comma = if i + 1 < points.len() { "," } else { "" };
         let _ = writeln!(
             body,
-            "    {{\"stage\": \"{}\", \"threads\": {}, \"calls\": {}, \"gflops\": {}}}{comma}",
+            "    {{\"stage\": \"{}\", \"threads\": {}, \"calls\": {}, \"gflops\": {}, \"format\": \"{}\", \"beta\": {}}}{comma}",
             p.stage,
             p.threads,
             p.calls,
-            num(p.gflops)
+            num(p.gflops),
+            p.format,
+            num(p.beta)
         );
     }
     let _ = writeln!(body, "  ]");

@@ -13,10 +13,7 @@
 use kpm_num::vector::{axpy, axpy_par, dot, dot_par, nrm2, nrm2_par, scal, scal_par};
 use kpm_num::{BlockVector, Complex64, KpmError, Vector};
 use kpm_obs::{metrics, span::span};
-use kpm_sparse::aug::{aug_spmmv_par, aug_spmv, aug_spmv_par};
-use kpm_sparse::gen::aug_spmmv_auto;
-use kpm_sparse::spmv::{spmv, spmv_par};
-use kpm_sparse::CrsMatrix;
+use kpm_sparse::SparseKernels;
 use kpm_topo::ScaleFactors;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -157,7 +154,7 @@ fn with_threads<T>(threads: usize, f: impl FnOnce() -> T) -> Result<T, KpmError>
 }
 
 /// Checks that `h` is square, as KPM requires.
-fn validate_square(h: &CrsMatrix) -> Result<(), KpmError> {
+fn validate_square<M: SparseKernels + ?Sized>(h: &M) -> Result<(), KpmError> {
     if h.nrows() != h.ncols() {
         return Err(KpmError::InvalidMatrix {
             what: "shape",
@@ -175,8 +172,14 @@ fn validate_square(h: &CrsMatrix) -> Result<(), KpmError> {
 /// `μ_m ≈ tr[T_m(H̃)]/N` of the rescaled operator `H̃ = a(H − b·1)`
 /// averaged over `R` random unit vectors, using the chosen
 /// implementation stage.
-pub fn kpm_moments(
-    h: &CrsMatrix,
+///
+/// Generic over the storage format: pass a `CrsMatrix`, a `SellMatrix`,
+/// or a format-erased [`kpm_sparse::KpmMatrix`] — moments are
+/// bitwise-identical across formats (and across thread counts) because
+/// every [`SparseKernels`] implementation computes the same
+/// floating-point chain.
+pub fn kpm_moments<M: SparseKernels + ?Sized>(
+    h: &M,
     sf: ScaleFactors,
     params: &KpmParams,
     variant: KpmVariant,
@@ -212,8 +215,8 @@ pub fn starting_vectors(n: usize, params: &KpmParams) -> Vec<Vector> {
 /// Computes the moments `μ_m = ⟨φ|T_m(H̃)|φ⟩` of a *given* (not
 /// necessarily normalized) starting vector — the primitive behind local
 /// DOS and spectral functions, where the "trace" is over one state.
-pub fn moments_from_start(
-    h: &CrsMatrix,
+pub fn moments_from_start<M: SparseKernels + ?Sized>(
+    h: &M,
     sf: ScaleFactors,
     start: &Vector,
     num_moments: usize,
@@ -232,8 +235,8 @@ pub fn moments_from_start(
 }
 
 /// One KPM run in the naive (Fig. 3) or stage-1 (Fig. 4) formulation.
-fn run_vector_variant(
-    h: &CrsMatrix,
+fn run_vector_variant<M: SparseKernels + ?Sized>(
+    h: &M,
     sf: ScaleFactors,
     params: &KpmParams,
     starts: &[Vector],
@@ -255,8 +258,8 @@ fn run_vector_variant(
 ///
 /// Returns `(v, w, mu0, mu1)` with `v = ν₀`, `w = ν₁`. Implemented with
 /// the same BLAS-1 chain in every variant so that moments agree exactly.
-fn init_recurrence(
-    h: &CrsMatrix,
+fn init_recurrence<M: SparseKernels + ?Sized>(
+    h: &M,
     sf: ScaleFactors,
     v0: &Vector,
     parallel: bool,
@@ -265,14 +268,14 @@ fn init_recurrence(
     let v = v0.as_slice().to_vec();
     let mut w = vec![Complex64::default(); n];
     if parallel {
-        spmv_par(h, &v, &mut w);
+        h.spmv_par(&v, &mut w);
         axpy_par(Complex64::real(-sf.b), &v, &mut w);
         scal_par(Complex64::real(sf.a), &mut w);
         let mu0 = nrm2_par(&v);
         let mu1 = dot_par(&w, &v).re;
         (v, w, mu0, mu1)
     } else {
-        spmv(h, &v, &mut w);
+        h.spmv(&v, &mut w);
         axpy(Complex64::real(-sf.b), &v, &mut w);
         scal(Complex64::real(sf.a), &mut w);
         let mu0 = nrm2(&v);
@@ -284,8 +287,8 @@ fn init_recurrence(
 /// The naive KPM loop (paper Fig. 3): per iteration one `spmv()`, two
 /// `axpy()`, one `scal()`, one `nrm2()` and one `dot()` — the vectors
 /// stream through memory six times.
-fn single_run_naive(
-    h: &CrsMatrix,
+fn single_run_naive<M: SparseKernels + ?Sized>(
+    h: &M,
     sf: ScaleFactors,
     params: &KpmParams,
     v0: &Vector,
@@ -303,13 +306,13 @@ fn single_run_naive(
         let _sweep = span("solver.sweep", "solver");
         std::mem::swap(&mut v, &mut w); // v = ν_m, w = ν_{m-1}
         let pair = if par {
-            spmv_par(h, &v, &mut u); // u = H v
+            h.spmv_par(&v, &mut u); // u = H v
             axpy_par(minus_b, &v, &mut u); // u = u - b v
             scal_par(minus_one, &mut w); // w = -w
             axpy_par(two_a, &u, &mut w); // w = w + 2a u  (= ν_{m+1})
             (nrm2_par(&v), dot_par(&w, &v))
         } else {
-            spmv(h, &v, &mut u);
+            h.spmv(&v, &mut u);
             axpy(minus_b, &v, &mut u);
             scal(minus_one, &mut w);
             axpy(two_a, &u, &mut w);
@@ -323,8 +326,8 @@ fn single_run_naive(
 
 /// The stage-1 loop (paper Fig. 4): one fused `aug_spmv()` per
 /// iteration.
-fn single_run_aug(
-    h: &CrsMatrix,
+fn single_run_aug<M: SparseKernels + ?Sized>(
+    h: &M,
     sf: ScaleFactors,
     params: &KpmParams,
     v0: &Vector,
@@ -336,9 +339,9 @@ fn single_run_aug(
         let _sweep = span("solver.sweep", "solver");
         std::mem::swap(&mut v, &mut w);
         let dots = if par {
-            aug_spmv_par(h, sf.a, sf.b, &v, &mut w)
+            h.aug_spmv_par(sf.a, sf.b, &v, &mut w)
         } else {
-            aug_spmv(h, sf.a, sf.b, &v, &mut w)
+            h.aug_spmv(sf.a, sf.b, &v, &mut w)
         };
         check_partials(m, dots.eta_even, dots.eta_odd, mu0)?;
         eta.push((dots.eta_even, dots.eta_odd));
@@ -349,8 +352,8 @@ fn single_run_aug(
 /// The stage-2 loop (paper Fig. 5): all `R` random vectors advance
 /// together through one blocked `aug_spmmv()` per iteration; the matrix
 /// is streamed once per iteration instead of `R` times.
-fn run_blocked_variant(
-    h: &CrsMatrix,
+fn run_blocked_variant<M: SparseKernels + ?Sized>(
+    h: &M,
     sf: ScaleFactors,
     params: &KpmParams,
     starts: &[Vector],
@@ -378,11 +381,12 @@ fn run_blocked_variant(
         let _sweep = span("solver.sweep", "solver");
         v.swap(&mut w);
         let dots = if par {
-            aug_spmmv_par(h, sf.a, sf.b, &v, &mut w)
+            h.aug_spmmv_par(sf.a, sf.b, &v, &mut w)
         } else {
-            // Width-specialized kernel when one is compiled for this R
-            // (the paper's generated-kernel dispatch).
-            aug_spmmv_auto(h, sf.a, sf.b, &v, &mut w)
+            // The serial trait kernel; on CRS this routes through the
+            // width-specialized registry (the paper's generated-kernel
+            // dispatch).
+            h.aug_spmmv(sf.a, sf.b, &v, &mut w)
         };
         for (j, eta_j) in eta.iter_mut().enumerate() {
             check_partials(m, dots.eta_even[j], dots.eta_odd[j], mu0[j])?;
@@ -418,8 +422,8 @@ pub struct SolverCheckpointing<'a> {
 ///
 /// Because η values are recorded *as computed* and never recomputed, the
 /// resumed run reproduces the uninterrupted moments bit for bit.
-pub fn kpm_moments_checkpointed(
-    h: &CrsMatrix,
+pub fn kpm_moments_checkpointed<M: SparseKernels + ?Sized>(
+    h: &M,
     sf: ScaleFactors,
     params: &KpmParams,
     ckpt: &SolverCheckpointing<'_>,
@@ -428,8 +432,8 @@ pub fn kpm_moments_checkpointed(
 }
 
 /// [`kpm_moments_checkpointed`] under the already-installed pool.
-fn checkpointed_run(
-    h: &CrsMatrix,
+fn checkpointed_run<M: SparseKernels + ?Sized>(
+    h: &M,
     sf: ScaleFactors,
     params: &KpmParams,
     ckpt: &SolverCheckpointing<'_>,
@@ -513,9 +517,9 @@ fn checkpointed_run(
         }
         v.swap(&mut w);
         let dots = if params.parallel {
-            aug_spmmv_par(h, sf.a, sf.b, &v, &mut w)
+            h.aug_spmmv_par(sf.a, sf.b, &v, &mut w)
         } else {
-            aug_spmmv_auto(h, sf.a, sf.b, &v, &mut w)
+            h.aug_spmmv(sf.a, sf.b, &v, &mut w)
         };
         for j in 0..r {
             check_partials(m, dots.eta_even[j], dots.eta_odd[j], eta_flat[j].re)?;
@@ -779,6 +783,59 @@ mod tests {
         let err2 = kpm_moments(&h, sf, &params(128, 1), KpmVariant::AugSpmmv)
             .expect_err("blocked variant must also detect divergence");
         assert!(matches!(err2, KpmError::SpectralBoundsViolated { .. }));
+    }
+
+    #[test]
+    fn sell_moments_are_bitwise_equal_to_crs() {
+        use kpm_sparse::{FormatSpec, KpmMatrix, SellMatrix};
+        let h = random_hermitian(240, 4, 17);
+        let sf = ScaleFactors::from_gershgorin(&h, 0.01);
+        for parallel in [false, true] {
+            let mut p = params(32, 4);
+            p.parallel = parallel;
+            for variant in [KpmVariant::Naive, KpmVariant::AugSpmv, KpmVariant::AugSpmmv] {
+                let crs_set = kpm_moments(&h, sf, &p, variant).unwrap();
+                for (c, sigma) in [(4usize, 16usize), (8, 8), (32, 64)] {
+                    let sell = SellMatrix::from_crs(&h, c, sigma);
+                    let sell_set = kpm_moments(&sell, sf, &p, variant).unwrap();
+                    assert_eq!(
+                        crs_set.as_slice(),
+                        sell_set.as_slice(),
+                        "{variant:?} parallel={parallel} C={c} sigma={sigma}"
+                    );
+                }
+                // The format-erased handle agrees too.
+                let erased = KpmMatrix::try_with_format(
+                    h.clone(),
+                    &FormatSpec::Sell {
+                        chunk_height: 8,
+                        sigma: 32,
+                    },
+                )
+                .unwrap();
+                let erased_set = kpm_moments(&erased, sf, &p, variant).unwrap();
+                assert_eq!(crs_set.as_slice(), erased_set.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn checkpointed_run_accepts_sell_matrices() {
+        use crate::checkpoint::MemoryCheckpointStore;
+        use kpm_sparse::SellMatrix;
+        let h = random_hermitian(100, 4, 23);
+        let sf = ScaleFactors::from_gershgorin(&h, 0.01);
+        let p = params(24, 2);
+        let plain = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv).unwrap();
+        let sell = SellMatrix::from_crs(&h, 8, 16);
+        let store = MemoryCheckpointStore::new();
+        let ckpt = SolverCheckpointing {
+            store: &store,
+            interval: 4,
+            crash_at: None,
+        };
+        let checkpointed = kpm_moments_checkpointed(&sell, sf, &p, &ckpt).unwrap();
+        assert_eq!(plain.as_slice(), checkpointed.as_slice());
     }
 
     #[test]

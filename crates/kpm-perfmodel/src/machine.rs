@@ -168,15 +168,11 @@ impl Machine {
 
     /// The row-tile height the model predicts for a blocked kernel of
     /// width `r` on this machine (paper Section VII cache blocking).
+    /// Pass [`Machine::tile_budget_bytes`] to the `*_budget` kernel
+    /// variants (or a `KpmMatrix` handle) to make the kernels tile for
+    /// this machine — the budget is scoped per call, never global.
     pub fn spmmv_tile_rows(&self, r: usize) -> usize {
         kpm_sparse::tile::tile_rows_for_budget(r, self.tile_budget_bytes())
-    }
-
-    /// Configures `kpm-sparse`'s process-global tile budget from this
-    /// machine's private cache, so subsequent blocked kernels tile for
-    /// this machine. Call once at startup.
-    pub fn apply_tile_budget(&self) {
-        kpm_sparse::tile::set_cache_bytes_per_thread(self.tile_budget_bytes());
     }
 }
 

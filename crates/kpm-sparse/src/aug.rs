@@ -47,6 +47,11 @@ pub struct AugDotsBlock {
     pub eta_odd: Vec<Complex64>,
 }
 
+/// Fixed row-chunk height of the parallel single-vector dot reduction:
+/// partial `eta` sums sit on `ROWS_PER_CHUNK` boundaries regardless of
+/// thread count, and the SELL kernels replay the identical boundaries.
+pub(crate) const ROWS_PER_CHUNK: usize = 1024;
+
 /// Augmented SpMV (paper Fig. 4): `w <- 2a(H - b·1) v - w`, returning
 /// both Chebyshev scalar products computed on the fly.
 pub fn aug_spmv(h: &CrsMatrix, a: f64, b: f64, v: &[Complex64], w: &mut [Complex64]) -> AugDots {
@@ -54,6 +59,19 @@ pub fn aug_spmv(h: &CrsMatrix, a: f64, b: f64, v: &[Complex64], w: &mut [Complex
     assert_eq!(w.len(), h.nrows(), "aug_spmv: w dimension mismatch");
     assert_eq!(h.nrows(), h.ncols(), "aug_spmv: matrix must be square");
     let _probe = kernel_timer(KernelKind::AugSpmv, h.nrows(), h.nnz(), 1);
+    aug_spmv_core(h, a, b, v, w)
+}
+
+/// The unprobed serial single-vector kernel; shared by [`aug_spmv`] and
+/// the width-1 dispatch of the blocked entry points (which open their
+/// own probe under their own kernel kind).
+pub(crate) fn aug_spmv_core(
+    h: &CrsMatrix,
+    a: f64,
+    b: f64,
+    v: &[Complex64],
+    w: &mut [Complex64],
+) -> AugDots {
     let mut eta_even = 0.0;
     let mut eta_odd = Complex64::default();
     for r in 0..h.nrows() {
@@ -86,7 +104,17 @@ pub fn aug_spmv_par(
     assert_eq!(w.len(), h.nrows(), "aug_spmv_par: w dimension mismatch");
     assert_eq!(h.nrows(), h.ncols(), "aug_spmv_par: matrix must be square");
     let _probe = kernel_timer(KernelKind::AugSpmv, h.nrows(), h.nnz(), 1);
-    const ROWS_PER_CHUNK: usize = 1024;
+    aug_spmv_par_core(h, a, b, v, w)
+}
+
+/// The unprobed parallel single-vector kernel (see [`aug_spmv_core`]).
+pub(crate) fn aug_spmv_par_core(
+    h: &CrsMatrix,
+    a: f64,
+    b: f64,
+    v: &[Complex64],
+    w: &mut [Complex64],
+) -> AugDots {
     let partials: Vec<(f64, Complex64)> = w
         .par_chunks_mut(ROWS_PER_CHUNK)
         .enumerate()
@@ -116,6 +144,15 @@ pub fn aug_spmv_par(
     AugDots { eta_even, eta_odd }
 }
 
+/// A single-column [`AugDots`] result widened to the blocked form, for
+/// the width-1 dispatch of the blocked kernels.
+pub(crate) fn widen(d: AugDots) -> AugDotsBlock {
+    AugDotsBlock {
+        eta_even: vec![d.eta_even],
+        eta_odd: vec![d.eta_odd],
+    }
+}
+
 /// Augmented SpMMV (paper Fig. 5): the blocked form of [`aug_spmv`] over
 /// row-major block vectors of width `R`, with all `2R` scalar products
 /// accumulated on the fly.
@@ -128,6 +165,13 @@ pub fn aug_spmmv(
 ) -> AugDotsBlock {
     let r_width = check_block_dims(h, v, w);
     let _probe = kernel_timer(KernelKind::AugSpmmv, h.nrows(), h.nnz(), r_width);
+    if r_width == 1 {
+        // A width-1 row-major block vector is a plain contiguous vector;
+        // the fused single-vector kernel runs the identical flop chain
+        // without the per-row block bookkeeping (the measured R=1
+        // regression of BENCH_stages.json).
+        return widen(aug_spmv_core(h, a, b, v.as_slice(), w.as_mut_slice()));
+    }
     let mut eta_even = vec![0.0; r_width];
     let mut eta_odd = vec![Complex64::default(); r_width];
     let mut acc = vec![Complex64::default(); r_width];
@@ -170,9 +214,31 @@ pub fn aug_spmmv_par(
     v: &BlockVector,
     w: &mut BlockVector,
 ) -> AugDotsBlock {
+    aug_spmmv_par_budget(h, a, b, v, w, crate::tile::DEFAULT_CACHE_BYTES)
+}
+
+/// [`aug_spmmv_par`] against an explicit per-thread cache budget
+/// (bytes), which scopes the tile sizing to this call — concurrent
+/// solvers tuned for different machines cannot interfere. The budget
+/// fixes the reduction-tree boundaries, so results are
+/// bitwise-reproducible for a fixed budget and any thread count.
+pub fn aug_spmmv_par_budget(
+    h: &CrsMatrix,
+    a: f64,
+    b: f64,
+    v: &BlockVector,
+    w: &mut BlockVector,
+    cache_bytes: usize,
+) -> AugDotsBlock {
     let r_width = check_block_dims(h, v, w);
     let _probe = kernel_timer(KernelKind::AugSpmmv, h.nrows(), h.nnz(), r_width);
-    let rows_per_tile = crate::tile::tile_rows(r_width);
+    if r_width == 1 {
+        // Width-1 dispatch to the fused single-vector kernel (identical
+        // update chain; eta reduction uses the fixed 1024-row chunks of
+        // `aug_spmv_par` instead of width-1 tiles).
+        return widen(aug_spmv_par_core(h, a, b, v.as_slice(), w.as_mut_slice()));
+    }
+    let rows_per_tile = crate::tile::tile_rows_for_budget(r_width, cache_bytes);
     let partials: Vec<(Vec<f64>, Vec<Complex64>)> = w
         .as_mut_slice()
         .par_chunks_mut(rows_per_tile * r_width)
@@ -223,6 +289,10 @@ pub fn aug_spmmv_par(
 pub fn aug_spmmv_nodot(h: &CrsMatrix, a: f64, b: f64, v: &BlockVector, w: &mut BlockVector) {
     let r_width = check_block_dims(h, v, w);
     let _probe = kernel_timer(KernelKind::AugSpmmv, h.nrows(), h.nnz(), r_width);
+    if r_width == 1 {
+        aug_spmv_nodot_core(h, a, b, v.as_slice(), w.as_mut_slice());
+        return;
+    }
     let mut acc = vec![Complex64::default(); r_width];
     for r in 0..h.nrows() {
         let cols = h.row_cols(r);
@@ -243,12 +313,65 @@ pub fn aug_spmmv_nodot(h: &CrsMatrix, a: f64, b: f64, v: &BlockVector, w: &mut B
     }
 }
 
+/// The no-dot form of the single-vector update, for the width-1
+/// dispatch of [`aug_spmmv_nodot`].
+fn aug_spmv_nodot_core(h: &CrsMatrix, a: f64, b: f64, v: &[Complex64], w: &mut [Complex64]) {
+    for r in 0..h.nrows() {
+        let cols = h.row_cols(r);
+        let vals = h.row_vals(r);
+        let mut acc = Complex64::default();
+        for (hv, &c) in vals.iter().zip(cols) {
+            acc = hv.mul_add(v[c as usize], acc);
+        }
+        let vr = v[r];
+        w[r] = (acc - vr.scale(b)).scale(2.0 * a) - w[r];
+    }
+}
+
+/// Parallel no-dot form of the single-vector update, for the width-1
+/// dispatch of [`aug_spmmv_nodot_par`].
+fn aug_spmv_nodot_par_core(h: &CrsMatrix, a: f64, b: f64, v: &[Complex64], w: &mut [Complex64]) {
+    w.par_chunks_mut(ROWS_PER_CHUNK)
+        .enumerate()
+        .for_each(|(ci, wc)| {
+            let row0 = ci * ROWS_PER_CHUNK;
+            for (i, wr_slot) in wc.iter_mut().enumerate() {
+                let r = row0 + i;
+                let cols = h.row_cols(r);
+                let vals = h.row_vals(r);
+                let mut acc = Complex64::default();
+                for (hv, &c) in vals.iter().zip(cols) {
+                    acc = hv.mul_add(v[c as usize], acc);
+                }
+                let vr = v[r];
+                *wr_slot = (acc - vr.scale(b)).scale(2.0 * a) - *wr_slot;
+            }
+        });
+}
+
 /// Parallel variant of [`aug_spmmv_nodot`], tiled like
 /// [`aug_spmmv_par`].
 pub fn aug_spmmv_nodot_par(h: &CrsMatrix, a: f64, b: f64, v: &BlockVector, w: &mut BlockVector) {
+    aug_spmmv_nodot_par_budget(h, a, b, v, w, crate::tile::DEFAULT_CACHE_BYTES)
+}
+
+/// [`aug_spmmv_nodot_par`] against an explicit per-thread cache budget
+/// (bytes); see [`aug_spmmv_par_budget`].
+pub fn aug_spmmv_nodot_par_budget(
+    h: &CrsMatrix,
+    a: f64,
+    b: f64,
+    v: &BlockVector,
+    w: &mut BlockVector,
+    cache_bytes: usize,
+) {
     let r_width = check_block_dims(h, v, w);
     let _probe = kernel_timer(KernelKind::AugSpmmv, h.nrows(), h.nnz(), r_width);
-    let rows_per_tile = crate::tile::tile_rows(r_width);
+    if r_width == 1 {
+        aug_spmv_nodot_par_core(h, a, b, v.as_slice(), w.as_mut_slice());
+        return;
+    }
+    let rows_per_tile = crate::tile::tile_rows_for_budget(r_width, cache_bytes);
     w.as_mut_slice()
         .par_chunks_mut(rows_per_tile * r_width)
         .enumerate()

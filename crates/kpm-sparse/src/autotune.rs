@@ -1,0 +1,436 @@
+//! The C/σ autotuner for the SELL-C-σ kernels.
+//!
+//! Picks the storage format (CRS or SELL with a concrete chunk height
+//! `C` and sorting window `σ`), the parallel task granularity, and the
+//! per-thread cache budget from three inputs:
+//!
+//! 1. the **row-length distribution** of the assembled matrix, from
+//!    which the padding overhead `β` of every SELL shape is computed
+//!    *analytically* (the window sort is simulated on the length list —
+//!    no conversion is performed),
+//! 2. the **machine envelope** ([`AutotuneEnv`]): thread count, memory
+//!    bandwidth, peak compute and SIMD width, typically filled from the
+//!    kpm-perfmodel machine catalog,
+//! 3. optionally a short **empirical probe** that times the top
+//!    analytic candidates on the real matrix to break model ties.
+//!
+//! The analytic score folds the fill-in penalty into the paper's
+//! traffic terms (Eqs. 5–8 with `nnz` replaced by `nnz/β`) and models
+//! the compute side as latency-limited for short dependency chains:
+//! CRS processes one row at a time (a serial multiply–add chain), while
+//! SELL-C advances `C` independent chains in lockstep, approaching the
+//! machine's SIMD throughput as `C` reaches the SIMD width. The
+//! crossover — padding traffic versus chain parallelism — is exactly
+//! what the tuner resolves per matrix.
+//!
+//! Correctness is never at stake: every candidate computes bitwise-
+//! identical moments (see [`crate::aug_sell`]), so the tuner is free to
+//! pick aggressively.
+
+use std::time::Instant;
+
+use kpm_num::{Complex64, KpmError};
+
+use crate::crs::CrsMatrix;
+use crate::kernels::{FormatSpec, KpmMatrix, SparseKernels};
+use crate::sell::SellMatrix;
+
+/// Chunk heights the tuner considers (powers of two up to a GPU warp).
+pub const CANDIDATE_CHUNK_HEIGHTS: [usize; 5] = [1, 4, 8, 16, 32];
+
+/// The machine envelope the tuner scores candidates against.
+///
+/// Plain numbers — typically filled from the kpm-perfmodel machine
+/// catalog (`MachineModel::mem_bw_gbs` etc.), but kept free of that
+/// dependency so the tuner can run standalone.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AutotuneEnv {
+    /// Worker threads the solver will run with.
+    pub threads: usize,
+    /// Per-thread cache budget in bytes for the blocked tilings.
+    pub cache_bytes_per_thread: usize,
+    /// Achievable memory bandwidth in GB/s (all threads combined).
+    pub mem_bw_gbs: f64,
+    /// Peak double-precision rate in GF/s (all threads combined).
+    pub peak_gflops: f64,
+    /// SIMD lanes per double-precision operation (4 for AVX).
+    pub simd_lanes: usize,
+    /// Empirical probe sweeps per finalist (0 disables the probe).
+    pub probe_reps: usize,
+}
+
+impl AutotuneEnv {
+    /// A conservative single-socket default (IVB-class numbers) for
+    /// callers without a machine model at hand.
+    pub fn generic(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+            cache_bytes_per_thread: crate::tile::DEFAULT_CACHE_BYTES,
+            mem_bw_gbs: 40.0,
+            peak_gflops: 100.0,
+            simd_lanes: 4,
+            probe_reps: 0,
+        }
+    }
+
+    /// Builder-style probe enablement.
+    pub fn with_probe_reps(mut self, reps: usize) -> Self {
+        self.probe_reps = reps;
+        self
+    }
+}
+
+/// The tuner's decision, with the model quantities that justified it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AutotuneChoice {
+    /// The selected storage format.
+    pub format: FormatSpec,
+    /// Parallel task granularity for the SELL kernels (chunks per work
+    /// item; ignored for CRS).
+    pub chunks_per_task: usize,
+    /// Per-thread cache budget (bytes) for the blocked tilings.
+    pub cache_bytes: usize,
+    /// Analytically predicted occupancy `β = nnz / stored`.
+    pub predicted_beta: f64,
+    /// Modeled seconds per augmented SpMV sweep (the score minimized).
+    pub predicted_seconds: f64,
+    /// True if an empirical probe confirmed or overrode the analytic
+    /// ranking.
+    pub probed: bool,
+}
+
+impl AutotuneChoice {
+    /// Materializes the choice: converts `m` into the selected format
+    /// and attaches the tuned scheduling knobs.
+    pub fn build(&self, m: CrsMatrix) -> Result<KpmMatrix, KpmError> {
+        let mut h = KpmMatrix::try_with_format(m, &self.format)?.with_cache_bytes(self.cache_bytes);
+        h.set_chunks_per_task(self.chunks_per_task);
+        Ok(h)
+    }
+}
+
+/// Predicted stored-element count of SELL-C-σ for the given row-length
+/// list: simulates the per-window descending sort and sums the chunk
+/// maxima — exact, without building the matrix.
+fn predicted_stored(row_lens: &[usize], c: usize, sigma: usize) -> usize {
+    let mut lens = row_lens.to_vec();
+    if sigma > 1 {
+        for window in lens.chunks_mut(sigma) {
+            window.sort_unstable_by(|a, b| b.cmp(a));
+        }
+    }
+    lens.chunks(c)
+        .map(|chunk| chunk.iter().copied().max().unwrap_or(0) * c)
+        .sum()
+}
+
+/// FMA result latency in issue slots: how many independent
+/// accumulation chains one lane needs in flight to saturate its
+/// pipeline. A row's multiply–add chain is fully dependent, so CRS
+/// (one chain) runs at `1/(lanes · latency)` of peak while SELL-C
+/// interleaves `C` chains.
+const FMA_LATENCY: f64 = 4.0;
+
+/// Modeled seconds of one augmented SpMV sweep for a candidate shape.
+///
+/// Memory side: the Eq. 5-style sweep traffic with the matrix term
+/// scaled by `1/β` (each stored element, padding included, moves
+/// 20 bytes). Compute side: 8 flops per stored element issued on `C`
+/// independent chains; the effective rate is
+/// `peak · min(C / (L · latency), 1)` for `L` SIMD lanes — the
+/// latency-bound single-chain CRS limit versus SELL's lockstep chains.
+fn model_seconds(nrows: usize, stored: usize, env: &AutotuneEnv, c: usize) -> f64 {
+    const S_ELEM: f64 = 20.0; // value (16) + column index (4)
+    const S_D: f64 = 16.0;
+    let bytes = stored as f64 * S_ELEM + 3.0 * nrows as f64 * S_D;
+    let t_mem = bytes / (env.mem_bw_gbs.max(1e-9) * 1e9);
+    let flops = 8.0 * stored as f64 + 16.0 * nrows as f64;
+    let lanes = env.simd_lanes.max(1) as f64;
+    let chain_frac = (c as f64 / (lanes * FMA_LATENCY)).min(1.0);
+    let t_comp = flops / (env.peak_gflops.max(1e-9) * 1e9 * chain_frac);
+    t_mem.max(t_comp)
+}
+
+/// Task granularity for a SELL shape: enough work items to balance
+/// `threads` workers (≥ 4 per worker) without over-fragmenting.
+fn pick_chunks_per_task(n_chunks: usize, threads: usize) -> usize {
+    (n_chunks / (4 * threads.max(1)).max(1)).clamp(1, 64)
+}
+
+/// Picks the storage format and scheduling knobs for `m` under `env`.
+///
+/// Never fails: degenerate inputs (empty matrix, more lanes than rows)
+/// fall back to CRS. With `env.probe_reps > 0` the top analytic
+/// finalists are additionally timed on the real matrix and the fastest
+/// wins; otherwise the analytic ranking decides.
+pub fn autotune(m: &CrsMatrix, env: &AutotuneEnv) -> AutotuneChoice {
+    let nrows = m.nrows();
+    let nnz = m.nnz();
+    let row_lens: Vec<usize> = (0..nrows).map(|r| m.row_len(r)).collect();
+
+    let mut candidates: Vec<(FormatSpec, usize, f64)> = Vec::new(); // (spec, stored, seconds)
+    for &c in &CANDIDATE_CHUNK_HEIGHTS {
+        if c > nrows.max(1) {
+            continue;
+        }
+        if c == 1 {
+            // SELL-1-1 is CRS; score it as the CRS baseline.
+            let secs = model_seconds(nrows, nnz, env, 1);
+            candidates.push((FormatSpec::Crs, nnz, secs));
+            continue;
+        }
+        let mut seen_stored = usize::MAX;
+        for sigma in [1, c, 4 * c, 16 * c] {
+            if sigma > 1 && sigma.div_ceil(c) * c > nrows.next_multiple_of(c) {
+                continue; // window larger than the matrix: no new info
+            }
+            let stored = predicted_stored(&row_lens, c, sigma);
+            if stored >= seen_stored {
+                continue; // a smaller window already achieved this fill
+            }
+            seen_stored = stored;
+            let secs = model_seconds(nrows, stored, env, c);
+            candidates.push((
+                FormatSpec::Sell {
+                    chunk_height: c,
+                    sigma,
+                },
+                stored,
+                secs,
+            ));
+        }
+    }
+    if candidates.is_empty() {
+        candidates.push((FormatSpec::Crs, nnz, 0.0));
+    }
+    // Stable sort: on model ties the earlier (simpler: smaller C, then
+    // smaller σ) candidate wins.
+    candidates.sort_by(|a, b| a.2.total_cmp(&b.2));
+
+    let mut best = candidates[0];
+    let mut probed = false;
+    if env.probe_reps > 0 && nrows > 0 {
+        let mut finalists: Vec<(FormatSpec, usize, f64)> =
+            candidates.iter().copied().take(3).collect();
+        // The probe measures the CRS baseline almost for free; always
+        // include it so an empirical pick is never slower than not
+        // tuning at all, even when the analytic model ranks CRS last.
+        if !finalists.iter().any(|(f, _, _)| *f == FormatSpec::Crs) {
+            if let Some(crs) = candidates.iter().find(|(f, _, _)| *f == FormatSpec::Crs) {
+                finalists.push(*crs);
+            }
+        }
+        if let Some(win) = probe_finalists(m, &finalists, env) {
+            best = win;
+            probed = true;
+        }
+    }
+
+    let (format, stored, seconds) = best;
+    let chunks_per_task = match format {
+        FormatSpec::Crs => 1,
+        FormatSpec::Sell { chunk_height, .. } => {
+            pick_chunks_per_task(nrows.div_ceil(chunk_height), env.threads)
+        }
+    };
+    AutotuneChoice {
+        format,
+        chunks_per_task,
+        cache_bytes: env.cache_bytes_per_thread.max(1),
+        predicted_beta: if stored == 0 {
+            1.0
+        } else {
+            nnz as f64 / stored as f64
+        },
+        predicted_seconds: seconds,
+        probed,
+    }
+}
+
+/// Times the finalists' augmented SpMV on the real matrix and returns
+/// the fastest, with its measured seconds substituted for the model's.
+fn probe_finalists(
+    m: &CrsMatrix,
+    finalists: &[(FormatSpec, usize, f64)],
+    env: &AutotuneEnv,
+) -> Option<(FormatSpec, usize, f64)> {
+    let n = m.nrows();
+    // Deterministic, structureless probe vectors (no RNG dependency).
+    let v: Vec<Complex64> = (0..n)
+        .map(|i| Complex64::new(1.0 / (i + 1) as f64, 0.25 - (i % 7) as f64 * 0.05))
+        .collect();
+    let mut w = vec![Complex64::default(); n];
+    let mut best: Option<(FormatSpec, usize, f64)> = None;
+    for &(spec, stored, _) in finalists {
+        let sell = match spec {
+            FormatSpec::Sell {
+                chunk_height,
+                sigma,
+            } => {
+                // kpm::allow(hot_loop_convert): the probe intentionally builds each finalist once to time it.
+                match SellMatrix::try_from_crs(m, chunk_height, sigma) {
+                    Ok(s) => Some(s),
+                    Err(_) => continue,
+                }
+            }
+            FormatSpec::Crs => None,
+        };
+        let mut fastest = f64::INFINITY;
+        for _ in 0..env.probe_reps {
+            let t0 = Instant::now();
+            match &sell {
+                Some(s) => {
+                    if env.threads > 1 {
+                        SparseKernels::aug_spmv_par(s, 0.5, 0.0, &v, &mut w);
+                    } else {
+                        SparseKernels::aug_spmv(s, 0.5, 0.0, &v, &mut w);
+                    }
+                }
+                None => {
+                    if env.threads > 1 {
+                        SparseKernels::aug_spmv_par(m, 0.5, 0.0, &v, &mut w);
+                    } else {
+                        SparseKernels::aug_spmv(m, 0.5, 0.0, &v, &mut w);
+                    }
+                }
+            }
+            fastest = fastest.min(t0.elapsed().as_secs_f64());
+        }
+        if best.is_none_or(|(_, _, t)| fastest < t) {
+            best = Some((spec, stored, fastest));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+
+    /// A matrix with uniform row lengths: SELL pads nothing.
+    fn uniform_matrix(n: usize, len: usize) -> CrsMatrix {
+        let mut coo = CooMatrix::new(n, n);
+        for r in 0..n {
+            for k in 0..len {
+                coo.push(r, (r + k) % n, Complex64::real(1.0 + k as f64));
+            }
+        }
+        coo.to_crs()
+    }
+
+    /// Alternating short/long rows: unsorted SELL pads heavily, a σ
+    /// window ≥ the alternation period recovers most of it.
+    fn ragged_matrix(n: usize) -> CrsMatrix {
+        let mut coo = CooMatrix::new(n, n);
+        for r in 0..n {
+            let len = if r % 2 == 0 { 1 } else { 9 };
+            for k in 0..len {
+                coo.push(r, (r + k) % n, Complex64::real(1.0));
+            }
+        }
+        coo.to_crs()
+    }
+
+    #[test]
+    fn predicted_stored_matches_real_conversion() {
+        for m in [uniform_matrix(100, 5), ragged_matrix(96)] {
+            let lens: Vec<usize> = (0..m.nrows()).map(|r| m.row_len(r)).collect();
+            for (c, sigma) in [(4usize, 1usize), (4, 16), (8, 8), (8, 32), (32, 32)] {
+                let sell = SellMatrix::from_crs(&m, c, sigma);
+                assert_eq!(
+                    predicted_stored(&lens, c, sigma),
+                    sell.stored_elements(),
+                    "C={c} sigma={sigma}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sorting_window_improves_predicted_beta_on_ragged_rows() {
+        let m = ragged_matrix(128);
+        let lens: Vec<usize> = (0..m.nrows()).map(|r| m.row_len(r)).collect();
+        let unsorted = predicted_stored(&lens, 8, 1);
+        let sorted = predicted_stored(&lens, 8, 32);
+        assert!(sorted < unsorted);
+    }
+
+    #[test]
+    fn tuner_prefers_sell_when_compute_is_chain_limited() {
+        // Uniform rows: no padding penalty, so the chain-parallelism
+        // term makes any C > 1 strictly better than CRS in the model.
+        let m = uniform_matrix(256, 7);
+        let choice = autotune(&m, &AutotuneEnv::generic(1));
+        assert_eq!(choice.format.name(), "sell");
+        assert!((choice.predicted_beta - 1.0).abs() < 1e-12);
+        assert!(choice.predicted_seconds > 0.0);
+        assert!(!choice.probed);
+    }
+
+    #[test]
+    fn tuner_falls_back_to_crs_on_hostile_padding() {
+        // One very long row per 4-row group, lanes = 1: SELL buys no
+        // chain parallelism but pays the padding traffic.
+        let n = 64;
+        let mut coo = CooMatrix::new(n, n);
+        for r in 0..n {
+            let len = if r % 4 == 0 { 32 } else { 1 };
+            for k in 0..len {
+                coo.push(r, (r + k) % n, Complex64::real(1.0));
+            }
+        }
+        let m = coo.to_crs();
+        let mut env = AutotuneEnv::generic(1);
+        env.simd_lanes = 1; // no chain-parallelism reward
+        let choice = autotune(&m, &env);
+        assert_eq!(choice.format, FormatSpec::Crs);
+        assert_eq!(choice.chunks_per_task, 1);
+    }
+
+    #[test]
+    fn choice_builds_a_working_matrix() {
+        let m = uniform_matrix(90, 5);
+        let choice = autotune(&m, &AutotuneEnv::generic(2));
+        let h = choice.build(m.clone()).unwrap();
+        assert_eq!(SparseKernels::nrows(&h), 90);
+        assert_eq!(SparseKernels::format(&h), choice.format);
+        assert_eq!(h.cache_bytes(), choice.cache_bytes);
+        // Moments stay bitwise-identical to CRS regardless of choice.
+        let v: Vec<Complex64> = (0..90).map(|i| Complex64::real(0.01 * i as f64)).collect();
+        let mut w1 = vec![Complex64::default(); 90];
+        let mut w2 = w1.clone();
+        let d1 = SparseKernels::aug_spmv(&m, 0.4, 0.1, &v, &mut w1);
+        let d2 = SparseKernels::aug_spmv(&h, 0.4, 0.1, &v, &mut w2);
+        assert_eq!(w1, w2);
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn empirical_probe_runs_and_reports() {
+        let m = uniform_matrix(200, 6);
+        let env = AutotuneEnv::generic(1).with_probe_reps(2);
+        let choice = autotune(&m, &env);
+        assert!(choice.probed);
+        assert!(choice.predicted_seconds.is_finite());
+        // The probed winner must still build and agree with CRS.
+        let h = choice.build(m.clone()).unwrap();
+        let v: Vec<Complex64> = (0..200)
+            .map(|i| Complex64::real(1.0 / (i + 1) as f64))
+            .collect();
+        let mut w1 = vec![Complex64::default(); 200];
+        let mut w2 = w1.clone();
+        assert_eq!(
+            SparseKernels::aug_spmv(&m, 1.0, 0.0, &v, &mut w1),
+            SparseKernels::aug_spmv(&h, 1.0, 0.0, &v, &mut w2)
+        );
+        assert_eq!(w1, w2);
+    }
+
+    #[test]
+    fn chunks_per_task_balances_threads() {
+        assert_eq!(pick_chunks_per_task(1000, 4), 62);
+        assert_eq!(pick_chunks_per_task(8, 4), 1);
+        assert_eq!(pick_chunks_per_task(100_000, 1), 64);
+    }
+}

@@ -84,7 +84,10 @@ pub fn aug_spmmv_auto(
     w: &mut BlockVector,
 ) -> AugDotsBlock {
     match v.width() {
-        1 => aug_spmmv_fixed::<1>(h, a, b, v, w),
+        // Width 1 routes to the fused single-vector kernel via the
+        // dynamic entry (identical flop chain, no block bookkeeping) —
+        // the same dispatch the parallel blocked kernel performs.
+        1 => aug_spmmv(h, a, b, v, w),
         2 => aug_spmmv_fixed::<2>(h, a, b, v, w),
         4 => aug_spmmv_fixed::<4>(h, a, b, v, w),
         8 => aug_spmmv_fixed::<8>(h, a, b, v, w),

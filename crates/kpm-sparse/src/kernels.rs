@@ -1,0 +1,497 @@
+//! Format-pluggable kernel dispatch.
+//!
+//! [`SparseKernels`] abstracts the kernel family the KPM solver needs
+//! over the storage format, so the whole pipeline — moments, blocked
+//! runs, checkpointing, the distributed driver — runs unchanged on CRS
+//! or SELL-C-σ. [`KpmMatrix`] is the owning handle the drivers pass
+//! around: it carries the chosen representation plus the per-call
+//! tuning state (the cache budget for the blocked tilings) so tuning
+//! travels with the matrix instead of through global state.
+//!
+//! Every implementation of a given method computes the same
+//! floating-point chain (see [`crate::aug_sell`] for the SELL
+//! argument), so switching formats never changes results — only speed.
+
+use kpm_num::{BlockVector, Complex64, KpmError};
+
+use crate::aug::{self, AugDots, AugDotsBlock};
+use crate::aug_sell;
+use crate::crs::CrsMatrix;
+use crate::sell::SellMatrix;
+use crate::{gen, spmv};
+
+/// A sparse-matrix storage format selection, including the SELL shape
+/// parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FormatSpec {
+    /// Compressed Row Storage (SELL-1-1 in the paper's terminology).
+    Crs,
+    /// SELL-C-σ with the given chunk height and sorting window.
+    Sell {
+        /// The chunk height `C` (SIMD/warp width).
+        chunk_height: usize,
+        /// The sorting window `σ` (1 or a multiple of `C`).
+        sigma: usize,
+    },
+}
+
+impl FormatSpec {
+    /// Short format name for reports and JSON schemas.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FormatSpec::Crs => "crs",
+            FormatSpec::Sell { .. } => "sell",
+        }
+    }
+}
+
+impl std::fmt::Display for FormatSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FormatSpec::Crs => write!(f, "crs"),
+            FormatSpec::Sell {
+                chunk_height,
+                sigma,
+            } => write!(f, "sell-{chunk_height}-{sigma}"),
+        }
+    }
+}
+
+/// The kernel family the KPM solver requires of a storage format.
+///
+/// All methods are value-compatible across implementations; the
+/// augmented kernels are *bitwise*-compatible (serial ≡ serial, par ≡
+/// par at equal cache budget) — the guarantee the determinism tests
+/// pin down.
+pub trait SparseKernels: Sync {
+    /// Number of rows.
+    fn nrows(&self) -> usize;
+    /// Number of columns.
+    fn ncols(&self) -> usize;
+    /// Number of logical non-zeros (excluding any fill-in padding).
+    fn nnz(&self) -> usize;
+    /// Number of stored elements including format padding.
+    fn stored_elements(&self) -> usize;
+    /// Storage occupancy `β = nnz / stored` ∈ (0, 1].
+    fn beta(&self) -> f64 {
+        if self.stored_elements() == 0 {
+            1.0
+        } else {
+            self.nnz() as f64 / self.stored_elements() as f64
+        }
+    }
+    /// The storage format of this matrix.
+    fn format(&self) -> FormatSpec;
+
+    /// Serial `y = A x`.
+    fn spmv(&self, x: &[Complex64], y: &mut [Complex64]);
+    /// Parallel `y = A x`.
+    fn spmv_par(&self, x: &[Complex64], y: &mut [Complex64]);
+    /// Serial `Y = A X` over row-major blocks.
+    fn spmmv(&self, x: &BlockVector, y: &mut BlockVector);
+    /// Parallel `Y = A X` over row-major blocks.
+    fn spmmv_par(&self, x: &BlockVector, y: &mut BlockVector);
+
+    /// Serial augmented SpMV (paper Fig. 4).
+    fn aug_spmv(&self, a: f64, b: f64, v: &[Complex64], w: &mut [Complex64]) -> AugDots;
+    /// Parallel augmented SpMV.
+    fn aug_spmv_par(&self, a: f64, b: f64, v: &[Complex64], w: &mut [Complex64]) -> AugDots;
+    /// Serial augmented SpMMV (paper Fig. 5).
+    fn aug_spmmv(&self, a: f64, b: f64, v: &BlockVector, w: &mut BlockVector) -> AugDotsBlock;
+    /// Parallel augmented SpMMV.
+    fn aug_spmmv_par(&self, a: f64, b: f64, v: &BlockVector, w: &mut BlockVector) -> AugDotsBlock;
+    /// Serial augmented SpMMV without the fused scalar products.
+    fn aug_spmmv_nodot(&self, a: f64, b: f64, v: &BlockVector, w: &mut BlockVector);
+    /// Parallel augmented SpMMV without the fused scalar products.
+    fn aug_spmmv_nodot_par(&self, a: f64, b: f64, v: &BlockVector, w: &mut BlockVector);
+    /// Augmented SpMMV over a local rectangular row block (distributed
+    /// building block; serial — ranks parallelize across each other).
+    fn aug_spmmv_rect(&self, a: f64, b: f64, v: &BlockVector, w: &mut BlockVector) -> AugDotsBlock;
+    /// Plain rectangular SpMMV `W[0..nrows] = H V` (distributed
+    /// initialization).
+    fn spmmv_rect(&self, v: &BlockVector, w: &mut BlockVector);
+}
+
+impl SparseKernels for CrsMatrix {
+    fn nrows(&self) -> usize {
+        CrsMatrix::nrows(self)
+    }
+    fn ncols(&self) -> usize {
+        CrsMatrix::ncols(self)
+    }
+    fn nnz(&self) -> usize {
+        CrsMatrix::nnz(self)
+    }
+    fn stored_elements(&self) -> usize {
+        CrsMatrix::nnz(self)
+    }
+    fn format(&self) -> FormatSpec {
+        FormatSpec::Crs
+    }
+    fn spmv(&self, x: &[Complex64], y: &mut [Complex64]) {
+        spmv::spmv(self, x, y);
+    }
+    fn spmv_par(&self, x: &[Complex64], y: &mut [Complex64]) {
+        spmv::spmv_par(self, x, y);
+    }
+    fn spmmv(&self, x: &BlockVector, y: &mut BlockVector) {
+        spmv::spmmv(self, x, y);
+    }
+    fn spmmv_par(&self, x: &BlockVector, y: &mut BlockVector) {
+        spmv::spmmv_par(self, x, y);
+    }
+    fn aug_spmv(&self, a: f64, b: f64, v: &[Complex64], w: &mut [Complex64]) -> AugDots {
+        aug::aug_spmv(self, a, b, v, w)
+    }
+    fn aug_spmv_par(&self, a: f64, b: f64, v: &[Complex64], w: &mut [Complex64]) -> AugDots {
+        aug::aug_spmv_par(self, a, b, v, w)
+    }
+    fn aug_spmmv(&self, a: f64, b: f64, v: &BlockVector, w: &mut BlockVector) -> AugDotsBlock {
+        // Route through the width-specialized registry (Section IV-B).
+        gen::aug_spmmv_auto(self, a, b, v, w)
+    }
+    fn aug_spmmv_par(&self, a: f64, b: f64, v: &BlockVector, w: &mut BlockVector) -> AugDotsBlock {
+        aug::aug_spmmv_par(self, a, b, v, w)
+    }
+    fn aug_spmmv_nodot(&self, a: f64, b: f64, v: &BlockVector, w: &mut BlockVector) {
+        aug::aug_spmmv_nodot(self, a, b, v, w);
+    }
+    fn aug_spmmv_nodot_par(&self, a: f64, b: f64, v: &BlockVector, w: &mut BlockVector) {
+        aug::aug_spmmv_nodot_par(self, a, b, v, w);
+    }
+    fn aug_spmmv_rect(&self, a: f64, b: f64, v: &BlockVector, w: &mut BlockVector) -> AugDotsBlock {
+        aug::aug_spmmv_rect(self, a, b, v, w)
+    }
+    fn spmmv_rect(&self, v: &BlockVector, w: &mut BlockVector) {
+        aug::spmmv_rect(self, v, w);
+    }
+}
+
+impl SparseKernels for SellMatrix {
+    fn nrows(&self) -> usize {
+        SellMatrix::nrows(self)
+    }
+    fn ncols(&self) -> usize {
+        SellMatrix::ncols(self)
+    }
+    fn nnz(&self) -> usize {
+        SellMatrix::nnz(self)
+    }
+    fn stored_elements(&self) -> usize {
+        SellMatrix::stored_elements(self)
+    }
+    fn format(&self) -> FormatSpec {
+        FormatSpec::Sell {
+            chunk_height: self.chunk_height(),
+            sigma: self.sigma(),
+        }
+    }
+    fn spmv(&self, x: &[Complex64], y: &mut [Complex64]) {
+        SellMatrix::spmv(self, x, y);
+    }
+    fn spmv_par(&self, x: &[Complex64], y: &mut [Complex64]) {
+        SellMatrix::spmv_par(self, x, y);
+    }
+    fn spmmv(&self, x: &BlockVector, y: &mut BlockVector) {
+        SellMatrix::spmmv(self, x, y);
+    }
+    fn spmmv_par(&self, x: &BlockVector, y: &mut BlockVector) {
+        SellMatrix::spmmv_par(self, x, y);
+    }
+    fn aug_spmv(&self, a: f64, b: f64, v: &[Complex64], w: &mut [Complex64]) -> AugDots {
+        aug_sell::aug_spmv(self, a, b, v, w)
+    }
+    fn aug_spmv_par(&self, a: f64, b: f64, v: &[Complex64], w: &mut [Complex64]) -> AugDots {
+        aug_sell::aug_spmv_par(self, a, b, v, w)
+    }
+    fn aug_spmmv(&self, a: f64, b: f64, v: &BlockVector, w: &mut BlockVector) -> AugDotsBlock {
+        aug_sell::aug_spmmv(self, a, b, v, w)
+    }
+    fn aug_spmmv_par(&self, a: f64, b: f64, v: &BlockVector, w: &mut BlockVector) -> AugDotsBlock {
+        aug_sell::aug_spmmv_par(self, a, b, v, w)
+    }
+    fn aug_spmmv_nodot(&self, a: f64, b: f64, v: &BlockVector, w: &mut BlockVector) {
+        aug_sell::aug_spmmv_nodot(self, a, b, v, w);
+    }
+    fn aug_spmmv_nodot_par(&self, a: f64, b: f64, v: &BlockVector, w: &mut BlockVector) {
+        aug_sell::aug_spmmv_nodot_par(self, a, b, v, w);
+    }
+    fn aug_spmmv_rect(&self, a: f64, b: f64, v: &BlockVector, w: &mut BlockVector) -> AugDotsBlock {
+        aug_sell::aug_spmmv_rect(self, a, b, v, w)
+    }
+    fn spmmv_rect(&self, v: &BlockVector, w: &mut BlockVector) {
+        aug_sell::spmmv_rect(self, v, w);
+    }
+}
+
+/// The concrete storage behind a [`KpmMatrix`].
+#[derive(Debug, Clone)]
+enum Repr {
+    Crs(CrsMatrix),
+    Sell(SellMatrix),
+}
+
+/// An owning, format-erased matrix handle with its tuning state.
+///
+/// The per-thread cache budget for the blocked tilings rides on the
+/// handle (scoped, not global — see [`crate::tile`]); the SELL task
+/// granularity rides on the [`SellMatrix`] itself. Both are pure
+/// scheduling knobs: results are bitwise-independent of them except
+/// that the cache budget fixes the (thread-count-independent) reduction
+/// boundaries of the blocked parallel dots.
+#[derive(Debug, Clone)]
+pub struct KpmMatrix {
+    repr: Repr,
+    cache_bytes: usize,
+}
+
+impl KpmMatrix {
+    /// Wraps a CRS matrix at the default cache budget.
+    pub fn crs(m: CrsMatrix) -> Self {
+        Self {
+            repr: Repr::Crs(m),
+            cache_bytes: crate::tile::DEFAULT_CACHE_BYTES,
+        }
+    }
+
+    /// Wraps a SELL matrix at the default cache budget.
+    pub fn sell(m: SellMatrix) -> Self {
+        Self {
+            repr: Repr::Sell(m),
+            cache_bytes: crate::tile::DEFAULT_CACHE_BYTES,
+        }
+    }
+
+    /// Builds the requested format from an assembled CRS matrix.
+    ///
+    /// Fails (like [`SellMatrix::try_from_crs`]) when the SELL shape
+    /// parameters are invalid.
+    pub fn try_with_format(m: CrsMatrix, spec: &FormatSpec) -> Result<Self, KpmError> {
+        match *spec {
+            FormatSpec::Crs => Ok(Self::crs(m)),
+            FormatSpec::Sell {
+                chunk_height,
+                sigma,
+            } => {
+                let sell = SellMatrix::try_from_crs(&m, chunk_height, sigma)?;
+                Ok(Self::sell(sell))
+            }
+        }
+    }
+
+    /// Sets the per-thread cache budget (bytes) used by the blocked
+    /// parallel kernels, builder-style.
+    pub fn with_cache_bytes(mut self, bytes: usize) -> Self {
+        self.cache_bytes = bytes.max(1);
+        self
+    }
+
+    /// The per-thread cache budget (bytes) of the blocked tilings.
+    pub fn cache_bytes(&self) -> usize {
+        self.cache_bytes
+    }
+
+    /// Forwards the parallel task granularity to the SELL
+    /// representation (no-op on CRS).
+    pub fn set_chunks_per_task(&mut self, chunks: usize) {
+        if let Repr::Sell(m) = &mut self.repr {
+            m.set_chunks_per_task(chunks);
+        }
+    }
+
+    /// The CRS representation, if that is the active format.
+    pub fn as_crs(&self) -> Option<&CrsMatrix> {
+        match &self.repr {
+            Repr::Crs(m) => Some(m),
+            Repr::Sell(_) => None,
+        }
+    }
+
+    /// The SELL representation, if that is the active format.
+    pub fn as_sell(&self) -> Option<&SellMatrix> {
+        match &self.repr {
+            Repr::Crs(_) => None,
+            Repr::Sell(m) => Some(m),
+        }
+    }
+}
+
+macro_rules! dispatch {
+    ($self:ident, $m:ident => $e:expr) => {
+        match &$self.repr {
+            Repr::Crs($m) => $e,
+            Repr::Sell($m) => $e,
+        }
+    };
+}
+
+impl SparseKernels for KpmMatrix {
+    fn nrows(&self) -> usize {
+        dispatch!(self, m => m.nrows())
+    }
+    fn ncols(&self) -> usize {
+        dispatch!(self, m => m.ncols())
+    }
+    fn nnz(&self) -> usize {
+        dispatch!(self, m => m.nnz())
+    }
+    fn stored_elements(&self) -> usize {
+        dispatch!(self, m => SparseKernels::stored_elements(m))
+    }
+    fn format(&self) -> FormatSpec {
+        dispatch!(self, m => SparseKernels::format(m))
+    }
+    fn spmv(&self, x: &[Complex64], y: &mut [Complex64]) {
+        dispatch!(self, m => SparseKernels::spmv(m, x, y))
+    }
+    fn spmv_par(&self, x: &[Complex64], y: &mut [Complex64]) {
+        dispatch!(self, m => SparseKernels::spmv_par(m, x, y))
+    }
+    fn spmmv(&self, x: &BlockVector, y: &mut BlockVector) {
+        dispatch!(self, m => SparseKernels::spmmv(m, x, y))
+    }
+    fn spmmv_par(&self, x: &BlockVector, y: &mut BlockVector) {
+        dispatch!(self, m => SparseKernels::spmmv_par(m, x, y))
+    }
+    fn aug_spmv(&self, a: f64, b: f64, v: &[Complex64], w: &mut [Complex64]) -> AugDots {
+        dispatch!(self, m => SparseKernels::aug_spmv(m, a, b, v, w))
+    }
+    fn aug_spmv_par(&self, a: f64, b: f64, v: &[Complex64], w: &mut [Complex64]) -> AugDots {
+        dispatch!(self, m => SparseKernels::aug_spmv_par(m, a, b, v, w))
+    }
+    fn aug_spmmv(&self, a: f64, b: f64, v: &BlockVector, w: &mut BlockVector) -> AugDotsBlock {
+        dispatch!(self, m => SparseKernels::aug_spmmv(m, a, b, v, w))
+    }
+    fn aug_spmmv_par(&self, a: f64, b: f64, v: &BlockVector, w: &mut BlockVector) -> AugDotsBlock {
+        // Thread the handle's cache budget into the blocked tilings.
+        match &self.repr {
+            Repr::Crs(m) => aug::aug_spmmv_par_budget(m, a, b, v, w, self.cache_bytes),
+            Repr::Sell(m) => aug_sell::aug_spmmv_par_budget(m, a, b, v, w, self.cache_bytes),
+        }
+    }
+    fn aug_spmmv_nodot(&self, a: f64, b: f64, v: &BlockVector, w: &mut BlockVector) {
+        dispatch!(self, m => SparseKernels::aug_spmmv_nodot(m, a, b, v, w))
+    }
+    fn aug_spmmv_nodot_par(&self, a: f64, b: f64, v: &BlockVector, w: &mut BlockVector) {
+        match &self.repr {
+            Repr::Crs(m) => aug::aug_spmmv_nodot_par_budget(m, a, b, v, w, self.cache_bytes),
+            // The SELL no-dot kernel is scatter-only (no tiling), so
+            // there is no budget to thread.
+            Repr::Sell(m) => aug_sell::aug_spmmv_nodot_par(m, a, b, v, w),
+        }
+    }
+    fn aug_spmmv_rect(&self, a: f64, b: f64, v: &BlockVector, w: &mut BlockVector) -> AugDotsBlock {
+        dispatch!(self, m => SparseKernels::aug_spmmv_rect(m, a, b, v, w))
+    }
+    fn spmmv_rect(&self, v: &BlockVector, w: &mut BlockVector) {
+        dispatch!(self, m => SparseKernels::spmmv_rect(m, v, w))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_hermitian(n: usize, seed: u64) -> CrsMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut coo = CooMatrix::new(n, n);
+        for r in 0..n {
+            coo.push(r, r, Complex64::real(rng.gen_range(-1.0..1.0)));
+            for _ in 0..3 {
+                let c = rng.gen_range(0..n);
+                if c != r {
+                    let z = Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0));
+                    coo.push(r, c, z);
+                    coo.push(c, r, z.conj());
+                }
+            }
+        }
+        coo.to_crs()
+    }
+
+    #[test]
+    fn format_spec_reports_names() {
+        assert_eq!(FormatSpec::Crs.name(), "crs");
+        let s = FormatSpec::Sell {
+            chunk_height: 8,
+            sigma: 32,
+        };
+        assert_eq!(s.name(), "sell");
+        assert_eq!(s.to_string(), "sell-8-32");
+        assert_eq!(FormatSpec::Crs.to_string(), "crs");
+    }
+
+    #[test]
+    fn kpm_matrix_builds_requested_format() {
+        let h = random_hermitian(64, 1);
+        let crs = KpmMatrix::try_with_format(h.clone(), &FormatSpec::Crs).unwrap();
+        assert!(crs.as_crs().is_some() && crs.as_sell().is_none());
+        assert_eq!(SparseKernels::beta(&crs), 1.0);
+        let spec = FormatSpec::Sell {
+            chunk_height: 8,
+            sigma: 32,
+        };
+        let sell = KpmMatrix::try_with_format(h.clone(), &spec).unwrap();
+        assert!(sell.as_sell().is_some() && sell.as_crs().is_none());
+        assert_eq!(SparseKernels::format(&sell), spec);
+        assert!(SparseKernels::beta(&sell) <= 1.0);
+        assert!(KpmMatrix::try_with_format(
+            h,
+            &FormatSpec::Sell {
+                chunk_height: 4,
+                sigma: 6
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn trait_dispatch_matches_across_formats() {
+        let n = 150;
+        let h = random_hermitian(n, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let v: Vec<Complex64> = (0..n)
+            .map(|_| Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
+        let w0: Vec<Complex64> = (0..n)
+            .map(|_| Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
+        let crs = KpmMatrix::crs(h.clone());
+        let sell = KpmMatrix::try_with_format(
+            h,
+            &FormatSpec::Sell {
+                chunk_height: 4,
+                sigma: 16,
+            },
+        )
+        .unwrap();
+        let mut w1 = w0.clone();
+        let mut w2 = w0;
+        let d1 = SparseKernels::aug_spmv(&crs, 0.5, -0.1, &v, &mut w1);
+        let d2 = SparseKernels::aug_spmv(&sell, 0.5, -0.1, &v, &mut w2);
+        assert_eq!(w1, w2);
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn blocked_par_uses_handle_budget() {
+        let n = 600;
+        let h = random_hermitian(n, 4);
+        let r_width = 8;
+        let mut rng = StdRng::seed_from_u64(5);
+        let v = BlockVector::random(n, r_width, &mut rng);
+        let w0 = BlockVector::random(n, r_width, &mut rng);
+        let budget = 64 * 1024;
+        let crs = KpmMatrix::crs(h.clone()).with_cache_bytes(budget);
+        assert_eq!(crs.cache_bytes(), budget);
+        let mut w1 = w0.clone();
+        let mut w2 = w0;
+        let d1 = SparseKernels::aug_spmmv_par(&crs, 0.3, 0.2, &v, &mut w1);
+        let d2 = aug::aug_spmmv_par_budget(&h, 0.3, 0.2, &v, &mut w2, budget);
+        assert_eq!(w1.max_abs_diff(&w2), 0.0);
+        assert_eq!(d1, d2);
+    }
+}

@@ -21,22 +21,33 @@
 //!   bandwidth, row-length histograms) matching the paper's discussion
 //!   of the topological-insulator matrix structure,
 //! * [`io`] — Matrix Market reading/writing (std-only),
+//! * [`aug_sell`] — the augmented kernel family on SELL-C-σ matrices,
+//!   bitwise-identical to the CRS kernels for any `C`/`σ`/thread count,
 //! * [`gen`] — width-specialized (const-generic) kernel instances, the
 //!   Rust analogue of the paper's custom code generator (Section IV-B),
 //! * [`tile`] — cache-aware row-block tile sizing for the blocked
-//!   kernels (per-thread cache budget → rows per tile).
+//!   kernels (per-thread cache budget → rows per tile),
+//! * [`kernels`] — the format-pluggable [`SparseKernels`] trait and the
+//!   [`KpmMatrix`] handle the solver runs on,
+//! * [`autotune`] — the `C`/`σ`/task-granularity autotuner driven by the
+//!   row-length distribution and a machine model.
 
 pub mod aug;
+pub mod aug_sell;
+pub mod autotune;
 pub mod blocked;
 pub mod coo;
 pub mod crs;
 pub mod gen;
 pub mod io;
+pub mod kernels;
 pub mod sell;
 pub mod spmv;
 pub mod stats;
 pub mod tile;
 
+pub use autotune::{autotune, AutotuneChoice, AutotuneEnv};
 pub use coo::CooMatrix;
 pub use crs::CrsMatrix;
+pub use kernels::{FormatSpec, KpmMatrix, SparseKernels};
 pub use sell::SellMatrix;

@@ -14,15 +14,18 @@
 //! benches.
 
 use kpm_num::{BlockVector, Complex64};
+use kpm_obs::probe::{kernel_timer_fmt, KernelKind, ProbeFormat};
 use rayon::prelude::*;
 
 use crate::crs::CrsMatrix;
 
-/// How many SELL chunks one parallel work item processes: amortizes the
-/// per-item accumulator allocation and scheduling cost while leaving
-/// enough items for load balancing. Fixed (thread-count independent),
-/// so the parallel kernels write exactly what the serial ones write.
-const CHUNKS_PER_TASK: usize = 16;
+/// Default for how many SELL chunks one parallel work item processes:
+/// amortizes the per-item accumulator allocation and scheduling cost
+/// while leaving enough items for load balancing. Thread-count
+/// independent (the grouping never moves a computation between chunks),
+/// so the parallel kernels write exactly what the serial ones write for
+/// *any* grouping — which is why the autotuner may retune it freely.
+pub const DEFAULT_CHUNKS_PER_TASK: usize = 16;
 
 /// Shared write handle for the scattered `y` updates of the parallel
 /// SELL kernels.
@@ -30,7 +33,7 @@ const CHUNKS_PER_TASK: usize = 16;
 /// Each SELL chunk writes the output rows `perm[lo..hi]` of its own row
 /// window, and `perm` is a permutation — so distinct chunks touch
 /// pairwise-disjoint output rows and the raw stores below never alias.
-struct ScatterPtr(*mut Complex64);
+pub(crate) struct ScatterPtr(pub(crate) *mut Complex64);
 
 // SAFETY: the pointer is only dereferenced at indices derived from a
 // permutation partitioned across tasks (disjoint writes, see above),
@@ -47,16 +50,19 @@ pub struct SellMatrix {
     nnz: usize,
     chunk_height: usize,
     sigma: usize,
+    /// Parallel task granularity in chunks (tunable; never affects
+    /// results, only scheduling).
+    chunks_per_task: usize,
     /// `perm[i]` = original row stored at SELL row `i`.
-    perm: Vec<u32>,
+    pub(crate) perm: Vec<u32>,
     /// Chunk start offsets into `cols`/`vals`; length = n_chunks + 1.
-    chunk_ptr: Vec<u64>,
+    pub(crate) chunk_ptr: Vec<u64>,
     /// Per-chunk padded row length.
-    chunk_len: Vec<u32>,
+    pub(crate) chunk_len: Vec<u32>,
     /// Column indices, column-major within each chunk, zero-padded.
-    cols: Vec<u32>,
+    pub(crate) cols: Vec<u32>,
     /// Values, column-major within each chunk, zero-padded.
-    vals: Vec<Complex64>,
+    pub(crate) vals: Vec<Complex64>,
 }
 
 impl SellMatrix {
@@ -150,12 +156,32 @@ impl SellMatrix {
             nnz: crs.nnz(),
             chunk_height,
             sigma,
+            chunks_per_task: DEFAULT_CHUNKS_PER_TASK,
             perm,
             chunk_ptr,
             chunk_len,
             cols,
             vals,
         })
+    }
+
+    /// Parallel task granularity: how many chunks one work item of the
+    /// `*_par` kernels processes.
+    pub fn chunks_per_task(&self) -> usize {
+        self.chunks_per_task
+    }
+
+    /// Sets the parallel task granularity (clamped to >= 1). Purely a
+    /// scheduling knob: any value yields bitwise-identical results
+    /// because the grouping never moves a computation between chunks.
+    pub fn set_chunks_per_task(&mut self, chunks: usize) {
+        self.chunks_per_task = chunks.max(1);
+    }
+
+    /// Builder form of [`SellMatrix::set_chunks_per_task`].
+    pub fn with_chunks_per_task(mut self, chunks: usize) -> Self {
+        self.set_chunks_per_task(chunks);
+        self
     }
 
     /// Number of rows.
@@ -203,6 +229,14 @@ impl SellMatrix {
     pub fn spmv(&self, x: &[Complex64], y: &mut [Complex64]) {
         assert_eq!(x.len(), self.ncols, "spmv: x dimension mismatch");
         assert_eq!(y.len(), self.nrows, "spmv: y dimension mismatch");
+        let _probe = kernel_timer_fmt(
+            KernelKind::Spmv,
+            self.nrows,
+            self.nnz,
+            1,
+            self.stored_elements(),
+            ProbeFormat::Sell,
+        );
         let c = self.chunk_height;
         let n_chunks = self.chunk_ptr.len() - 1;
         let mut acc = vec![Complex64::default(); c];
@@ -243,6 +277,14 @@ impl SellMatrix {
         assert_eq!(x.rows(), self.ncols, "spmmv: x dimension mismatch");
         assert_eq!(y.rows(), self.nrows, "spmmv: y dimension mismatch");
         assert_eq!(x.width(), y.width(), "spmmv: block width mismatch");
+        let _probe = kernel_timer_fmt(
+            KernelKind::Spmv,
+            self.nrows,
+            self.nnz,
+            x.width(),
+            self.stored_elements(),
+            ProbeFormat::Sell,
+        );
         let c = self.chunk_height;
         let r_width = x.width();
         let n_chunks = self.chunk_ptr.len() - 1;
@@ -282,26 +324,35 @@ impl SellMatrix {
     /// Chunk-parallel SELL SpMV.
     ///
     /// The chunk space is partitioned statically into groups of
-    /// [`CHUNKS_PER_TASK`]; each group runs the same lockstep loop as
-    /// the serial kernel, so every output value is computed by the
-    /// identical floating-point sequence — the result is
-    /// bitwise-identical to [`SellMatrix::spmv`] for any thread count.
-    /// Output rows are disjoint across chunks because `perm` is a
-    /// permutation, which is what makes the scattered parallel writes
-    /// sound.
+    /// [`SellMatrix::chunks_per_task`]; each group runs the same
+    /// lockstep loop as the serial kernel, so every output value is
+    /// computed by the identical floating-point sequence — the result
+    /// is bitwise-identical to [`SellMatrix::spmv`] for any thread
+    /// count and any task granularity. Output rows are disjoint across
+    /// chunks because `perm` is a permutation, which is what makes the
+    /// scattered parallel writes sound.
     pub fn spmv_par(&self, x: &[Complex64], y: &mut [Complex64]) {
         assert_eq!(x.len(), self.ncols, "spmv_par: x dimension mismatch");
         assert_eq!(y.len(), self.nrows, "spmv_par: y dimension mismatch");
+        let _probe = kernel_timer_fmt(
+            KernelKind::Spmv,
+            self.nrows,
+            self.nnz,
+            1,
+            self.stored_elements(),
+            ProbeFormat::Sell,
+        );
         let c = self.chunk_height;
+        let cpt = self.chunks_per_task;
         let y_out = ScatterPtr(y.as_mut_ptr());
         let y_out = &y_out;
         self.chunk_len
-            .par_chunks(CHUNKS_PER_TASK)
+            .par_chunks(cpt)
             .enumerate()
             .for_each(|(group, lens)| {
                 let mut acc = vec![Complex64::default(); c];
                 for (k, &len) in lens.iter().enumerate() {
-                    let ci = group * CHUNKS_PER_TASK + k;
+                    let ci = group * cpt + k;
                     let base = self.chunk_ptr[ci] as usize;
                     let len = len as usize;
                     acc[..c].fill(Complex64::default());
@@ -339,17 +390,26 @@ impl SellMatrix {
         assert_eq!(x.rows(), self.ncols, "spmmv_par: x dimension mismatch");
         assert_eq!(y.rows(), self.nrows, "spmmv_par: y dimension mismatch");
         assert_eq!(x.width(), y.width(), "spmmv_par: block width mismatch");
+        let _probe = kernel_timer_fmt(
+            KernelKind::Spmv,
+            self.nrows,
+            self.nnz,
+            x.width(),
+            self.stored_elements(),
+            ProbeFormat::Sell,
+        );
         let c = self.chunk_height;
         let r_width = x.width();
+        let cpt = self.chunks_per_task;
         let y_out = ScatterPtr(y.as_mut_slice().as_mut_ptr());
         let y_out = &y_out;
         self.chunk_len
-            .par_chunks(CHUNKS_PER_TASK)
+            .par_chunks(cpt)
             .enumerate()
             .for_each(|(group, lens)| {
                 let mut acc = vec![Complex64::default(); c * r_width];
                 for (k, &len) in lens.iter().enumerate() {
-                    let ci = group * CHUNKS_PER_TASK + k;
+                    let ci = group * cpt + k;
                     let base = self.chunk_ptr[ci] as usize;
                     let len = len as usize;
                     acc.fill(Complex64::default());

@@ -21,14 +21,18 @@
 //! no dependency on the model crate; the budget is plumbed in as a
 //! number).
 //!
+//! The budget is **scoped, not global**: it travels with the kernel
+//! call (the `*_budget` kernel variants and the `KpmMatrix` handle's
+//! `cache_bytes`), so two concurrent solvers tuned for different
+//! machine models cannot stomp each other's tiling. There is no
+//! process-global mutable state in this module.
+//!
 //! Determinism: the tile size also fixes the boundaries of the
 //! per-tile partial dot products, so it must not depend on anything
-//! scheduling-related. It depends only on `R` and the configured
-//! budget, both fixed for a run — moments stay bitwise-identical for
-//! any thread count, and changing the budget is an explicit,
+//! scheduling-related. It depends only on `R` and the budget carried
+//! by the call, both fixed for a run — moments stay bitwise-identical
+//! for any thread count, and changing the budget is an explicit,
 //! documented way to change (only) the reduction tree.
-
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Default per-thread cache budget in bytes when none is configured:
 /// 256 KiB, the private per-core (L2) cache of the paper's Xeon
@@ -49,46 +53,21 @@ pub const MIN_TILE_ROWS: usize = 64;
 /// unchanged.
 pub const MAX_TILE_ROWS: usize = 512;
 
-/// The configured per-thread cache budget in bytes (0 = unset, use
-/// [`DEFAULT_CACHE_BYTES`]). Process-global: the budget describes the
-/// host, not a particular matrix.
-static CACHE_BYTES: AtomicUsize = AtomicUsize::new(0);
-
-/// Configures the per-thread cache budget the tile sizing works
-/// against. Call once at startup (CLI, bench harness) with a value
-/// derived from a machine model; 0 restores the default.
-///
-/// Changing the budget between solver runs changes the reduction-tree
-/// boundaries of subsequent runs (results remain within round-off, but
-/// bitwise reproducibility only holds for a fixed budget).
-pub fn set_cache_bytes_per_thread(bytes: usize) {
-    // kpm::allow(relaxed_store): a plain config value, read at kernel
-    // entry; no ordering relationship with other memory is needed.
-    CACHE_BYTES.store(bytes, Ordering::Relaxed);
-}
-
-/// The active per-thread cache budget in bytes.
-pub fn cache_bytes_per_thread() -> usize {
-    match CACHE_BYTES.load(Ordering::Relaxed) {
-        0 => DEFAULT_CACHE_BYTES,
-        b => b,
-    }
+/// Rows per tile for a blocked kernel of width `r_width` at the
+/// default per-thread cache budget ([`DEFAULT_CACHE_BYTES`]).
+pub fn tile_rows(r_width: usize) -> usize {
+    tile_rows_for_budget(r_width, DEFAULT_CACHE_BYTES)
 }
 
 /// Rows per tile for a blocked kernel of width `r_width`, such that the
 /// tile's block-vector working set (`2 · rows · r_width · 16` bytes for
-/// `V` and `W`) stays within [`BLOCK_VECTOR_SHARE`] of the per-thread
-/// cache budget, clamped to `[MIN_TILE_ROWS, MAX_TILE_ROWS]`.
+/// `V` and `W`) stays within [`BLOCK_VECTOR_SHARE`] of the given
+/// per-thread cache budget, clamped to `[MIN_TILE_ROWS, MAX_TILE_ROWS]`.
 ///
 /// For `R <= 8` at the default budget this saturates at
 /// [`MAX_TILE_ROWS`] — identical chunking to the pre-tiling kernels.
-pub fn tile_rows(r_width: usize) -> usize {
-    tile_rows_for_budget(r_width, cache_bytes_per_thread())
-}
-
-/// [`tile_rows`] against an explicit budget (the pure sizing function;
-/// also used by `kpm-perfmodel` to predict tile sizes for catalog
-/// machines).
+/// This is the pure sizing function; `kpm-perfmodel` also calls it to
+/// predict tile sizes for catalog machines.
 pub fn tile_rows_for_budget(r_width: usize, cache_bytes: usize) -> usize {
     let bytes_per_row = 2 * r_width.max(1) * 16;
     let budget = (cache_bytes as f64 * BLOCK_VECTOR_SHARE) as usize;
@@ -137,14 +116,15 @@ mod tests {
     }
 
     #[test]
-    fn budget_is_configurable_and_resettable() {
-        set_cache_bytes_per_thread(512 * 1024);
-        assert_eq!(cache_bytes_per_thread(), 512 * 1024);
-        let big = tile_rows(32);
-        set_cache_bytes_per_thread(0);
-        assert_eq!(cache_bytes_per_thread(), DEFAULT_CACHE_BYTES);
-        // A doubled budget doubles the tile; the default is smaller.
-        assert!(tile_rows(32) <= big);
+    fn budget_is_scoped_per_call() {
+        // Two "solvers" with different budgets get different tiles from
+        // the same pure function — no global to race on or reset.
+        let small = tile_rows_for_budget(32, 256 * 1024);
+        let big = tile_rows_for_budget(32, 1024 * 1024);
+        assert!(small < big);
+        // The default-budget convenience wrapper matches the explicit
+        // form, so callers can freely mix the two.
+        assert_eq!(tile_rows(32), tile_rows_for_budget(32, DEFAULT_CACHE_BYTES));
     }
 
     #[test]

@@ -47,8 +47,17 @@ else
     echo "rustfmt unavailable; skipping format check"
 fi
 
+echo "== determinism: bitwise moments across formats and thread counts =="
+# CRS and SELL-C-σ runs must agree bit for bit at every thread count;
+# the suite covers all three solver variants on both formats.
+cargo test -q --test determinism
+
 echo "== smoke: kpm report (achieved vs predicted roofline) =="
 ./target/release/kpm report --nx 20 --ny 20 --nz 10 --moments 64 \
     --random 8 --machine IVB --llc-mib 0.5
+
+echo "== smoke: kpm report on autotuned SELL-C-sigma =="
+./target/release/kpm report --nx 20 --ny 20 --nz 10 --moments 64 \
+    --random 8 --machine IVB --llc-mib 0.5 --format sell --autotune
 
 echo "verify: OK"

@@ -34,7 +34,9 @@ use kpm_repro::perfmodel::cachesim::CacheConfig;
 use kpm_repro::perfmodel::machine::Machine;
 use kpm_repro::perfmodel::omega::measure_omega_kernel;
 use kpm_repro::perfmodel::roofline::custom_roofline;
-use kpm_repro::sparse::{io as mmio, stats, CrsMatrix};
+use kpm_repro::sparse::{
+    autotune, io as mmio, stats, AutotuneEnv, CrsMatrix, FormatSpec, KpmMatrix, SparseKernels,
+};
 use kpm_repro::topo::{ScaleFactors, TopoHamiltonian};
 
 fn main() -> ExitCode {
@@ -69,6 +71,11 @@ const USAGE: &str = "usage:
              [--machine IVB|SNB|K20m|K20X] [--llc-mib F] [--sweeps S]
 common:
   --threads T                worker threads (0 = KPM_THREADS env, else all cores)
+  --format crs|sell          matrix storage format for the solver (default crs)
+  --sell-c C                 SELL chunk height (default 8)
+  --sell-sigma S             SELL sort window; 1 or a multiple of C (default 4C)
+  --autotune                 pick format, C, sigma and task grain from the
+                             row-length distribution and the machine model
   --metrics-out FILE.jsonl   export the kpm-obs metrics registry
   --trace-out FILE.json      export spans as a Chrome trace-event file";
 
@@ -81,6 +88,11 @@ const SOLVER_FLAGS: &[&str] = &["--moments", "--random", "--seed", "--threads"];
 const THREADS_FLAGS: &[&str] = &["--threads"];
 /// Observability exports, accepted by every solver-running subcommand.
 const OBS_FLAGS: &[&str] = &["--metrics-out", "--trace-out"];
+/// Storage-format selection, accepted by every solver-running
+/// subcommand.
+const FORMAT_FLAGS: &[&str] = &["--format", "--sell-c", "--sell-sigma", "--autotune"];
+/// Flags that take no value (presence toggles).
+const BOOLEAN_FLAGS: &[&str] = &["--autotune"];
 
 /// Rejects any `--flag` not in `allowed` and any second positional
 /// argument, so typos fail loudly instead of silently running with a
@@ -103,7 +115,7 @@ fn check_args(args: &[String], allowed: &[&[&str]]) -> Result<(), String> {
                     .unwrap_or_default();
                 return Err(format!("unknown flag '{flag}'{hint}\n{USAGE}"));
             }
-            skip = true;
+            skip = !BOOLEAN_FLAGS.contains(&flag);
             continue;
         }
         positionals += 1;
@@ -139,6 +151,11 @@ fn opt_f64(args: &[String], name: &str) -> Result<Option<f64>, String> {
     }
 }
 
+/// True when the presence-only `name` flag appears.
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
 /// The positional (non-flag) argument, if any.
 fn positional(args: &[String]) -> Option<&str> {
     let mut skip = false;
@@ -148,7 +165,7 @@ fn positional(args: &[String]) -> Option<&str> {
             continue;
         }
         if a.starts_with("--") {
-            skip = true;
+            skip = !BOOLEAN_FLAGS.contains(&a.as_str());
             continue;
         }
         return Some(a);
@@ -222,6 +239,69 @@ fn solver_params(args: &[String]) -> Result<KpmParams, String> {
     })
 }
 
+/// Worker threads a run will actually use: the explicit request, or the
+/// host's core count when `--threads 0` (the solver default).
+fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Applies the `--format`/`--sell-c`/`--sell-sigma`/`--autotune` flags:
+/// converts the assembled CRS matrix into the requested (or tuned)
+/// storage format behind the format-erased [`KpmMatrix`] handle.
+///
+/// With `--autotune` the tuner's machine envelope comes from `machine`
+/// when the subcommand has one (`kpm report --machine ...`), else from
+/// the conservative generic model.
+fn format_matrix(
+    args: &[String],
+    h: CrsMatrix,
+    threads: usize,
+    machine: Option<&Machine>,
+) -> Result<KpmMatrix, String> {
+    if has_flag(args, "--autotune") {
+        let t = resolve_threads(threads);
+        let mut env = AutotuneEnv::generic(t);
+        if let Some(m) = machine {
+            env.cache_bytes_per_thread = m.tile_budget_bytes();
+            env.mem_bw_gbs = m.mem_bw_gbs;
+            env.peak_gflops = m.peak_of_cores(t.min(m.cores));
+            env.simd_lanes = (m.simd_bytes / 16).max(1);
+        }
+        let choice = autotune(&h, &env);
+        eprintln!(
+            "autotune: format = {}, predicted beta = {:.3}, chunks/task = {}, \
+             modeled sweep = {:.1} us",
+            choice.format,
+            choice.predicted_beta,
+            choice.chunks_per_task,
+            choice.predicted_seconds * 1e6
+        );
+        return choice.build(h).map_err(|e| e.to_string());
+    }
+    match opt(args, "--format").unwrap_or("crs") {
+        "crs" => Ok(KpmMatrix::crs(h)),
+        "sell" => {
+            let c = opt_usize(args, "--sell-c", 8)?.max(1);
+            let sigma = opt_usize(args, "--sell-sigma", 4 * c)?;
+            KpmMatrix::try_with_format(
+                h,
+                &FormatSpec::Sell {
+                    chunk_height: c,
+                    sigma,
+                },
+            )
+            .map_err(|e| e.to_string())
+        }
+        other => Err(format!("unknown format '{other}' (try: crs, sell)")),
+    }
+}
+
 fn cmd_generate(args: &[String]) -> Result<(), String> {
     check_args(args, &[MATRIX_FLAGS, THREADS_FLAGS, &["--out"]])?;
     let out_path = opt(args, "--out").ok_or("generate needs --out FILE.mtx")?;
@@ -268,7 +348,13 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
 fn cmd_dos(args: &[String]) -> Result<(), String> {
     check_args(
         args,
-        &[MATRIX_FLAGS, SOLVER_FLAGS, OBS_FLAGS, &["--points"]],
+        &[
+            MATRIX_FLAGS,
+            SOLVER_FLAGS,
+            OBS_FLAGS,
+            FORMAT_FLAGS,
+            &["--points"],
+        ],
     )?;
     let h = load_matrix(args)?;
     if !h.is_hermitian() {
@@ -278,14 +364,16 @@ fn cmd_dos(args: &[String]) -> Result<(), String> {
     let points = opt_usize(args, "--points", 1024)?;
     let outputs = ObsOutputs::from_args(args);
     let sf = ScaleFactors::from_gershgorin(&h, 0.01);
+    let m = format_matrix(args, h, params.threads, None)?;
     eprintln!(
-        "N = {}, Nnz = {}, M = {}, R = {}",
-        h.nrows(),
-        h.nnz(),
+        "N = {}, Nnz = {}, M = {}, R = {}, format = {}",
+        m.nrows(),
+        m.nnz(),
         params.num_moments,
-        params.num_random
+        params.num_random,
+        m.format()
     );
-    let moments = kpm_moments(&h, sf, &params, KpmVariant::AugSpmmv).map_err(|e| e.to_string())?;
+    let moments = kpm_moments(&m, sf, &params, KpmVariant::AugSpmmv).map_err(|e| e.to_string())?;
     let curve = reconstruct(&moments, Kernel::Jackson, sf, points);
     // A closed pipe (`kpm dos ... | head`) must not abort the run: stop
     // emitting rows but still write the requested metric/trace exports.
@@ -308,7 +396,13 @@ fn cmd_dos(args: &[String]) -> Result<(), String> {
 fn cmd_count(args: &[String]) -> Result<(), String> {
     check_args(
         args,
-        &[MATRIX_FLAGS, SOLVER_FLAGS, OBS_FLAGS, &["--from", "--to"]],
+        &[
+            MATRIX_FLAGS,
+            SOLVER_FLAGS,
+            OBS_FLAGS,
+            FORMAT_FLAGS,
+            &["--from", "--to"],
+        ],
     )?;
     let h = load_matrix(args)?;
     if !h.is_hermitian() {
@@ -322,12 +416,11 @@ fn cmd_count(args: &[String]) -> Result<(), String> {
     let params = solver_params(args)?;
     let outputs = ObsOutputs::from_args(args);
     let sf = ScaleFactors::from_gershgorin(&h, 0.01);
-    let moments = kpm_moments(&h, sf, &params, KpmVariant::AugSpmmv).map_err(|e| e.to_string())?;
-    let count = count_from_moments(&moments, Kernel::Jackson, sf, h.nrows(), e_lo, e_hi);
-    println!(
-        "estimated eigenvalues in [{e_lo}, {e_hi}]: {count:.1} of {}",
-        h.nrows()
-    );
+    let m = format_matrix(args, h, params.threads, None)?;
+    let n = m.nrows();
+    let moments = kpm_moments(&m, sf, &params, KpmVariant::AugSpmmv).map_err(|e| e.to_string())?;
+    let count = count_from_moments(&moments, Kernel::Jackson, sf, n, e_lo, e_hi);
+    println!("estimated eigenvalues in [{e_lo}, {e_hi}]: {count:.1} of {n}");
     outputs.export()
 }
 
@@ -343,6 +436,7 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
             MATRIX_FLAGS,
             SOLVER_FLAGS,
             OBS_FLAGS,
+            FORMAT_FLAGS,
             &["--machine", "--llc-mib", "--sweeps"],
         ],
     )?;
@@ -369,34 +463,47 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
     // The report needs the probes regardless of the export flags.
     obs::set_enabled(true);
     let sf = ScaleFactors::from_gershgorin(&h, 0.01);
+    // Keep the CRS matrix for the cachesim replay; the solver runs on
+    // the (possibly converted) handle.
+    let m = format_matrix(args, h.clone(), params.threads, Some(&machine))?;
     eprintln!(
-        "N = {}, Nnz = {}, M = {}, R = {}, machine = {}, LLC = {llc_mib} MiB",
+        "N = {}, Nnz = {}, M = {}, R = {}, machine = {}, LLC = {llc_mib} MiB, format = {} (beta = {:.3})",
         h.nrows(),
         h.nnz(),
         params.num_moments,
         params.num_random,
-        machine.name
+        machine.name,
+        m.format(),
+        m.beta()
     );
     for variant in [KpmVariant::Naive, KpmVariant::AugSpmv, KpmVariant::AugSpmmv] {
-        kpm_moments(&h, sf, &params, variant).map_err(|e| e.to_string())?;
+        kpm_moments(&m, sf, &params, variant).map_err(|e| e.to_string())?;
     }
 
     let nnzr = h.nnz() as f64 / h.nrows() as f64;
-    println!("kernel     calls  width  achieved-GF/s  B_min(B/F)  omega-live  omega-pred  B_eff(B/F)  P*(GF/s)  %P*");
+    println!("kernel     fmt   calls  width   beta  achieved-GF/s  B_min(B/F)  B_pad(B/F)  omega-live  omega-pred  B_eff(B/F)  P*(GF/s)  %P*");
     for rep in obs::probe::snapshot() {
         let r = rep.width.max(1) as usize;
         let live = measure_omega_kernel(&h, rep.kind, r, llc, sweeps);
         let pred = measure_omega_kernel(&h, rep.kind, r, llc, 1);
         let point = custom_roofline(&machine, nnzr, r, live.omega);
         let b_eff = rep.min_bytes_per_flop() * live.omega;
+        let b_pad = if rep.flops == 0 {
+            0.0
+        } else {
+            rep.padded_bytes as f64 / rep.flops as f64
+        };
         let achieved = rep.gflops();
         println!(
-            "{:<9} {:>6} {:>6}  {:>13.2}  {:>10.2}  {:>10.3}  {:>10.3}  {:>10.2}  {:>8.1}  {:>3.0}",
+            "{:<9} {:<5} {:>5} {:>6}  {:>5.3}  {:>13.2}  {:>10.2}  {:>10.2}  {:>10.3}  {:>10.3}  {:>10.2}  {:>8.1}  {:>3.0}",
             rep.kind.name(),
+            rep.format.name(),
             rep.calls,
             r,
+            rep.beta(),
             achieved,
             rep.min_bytes_per_flop(),
+            b_pad,
             live.omega,
             pred.omega,
             b_eff,
@@ -487,5 +594,41 @@ mod tests {
         // "--from -0.5" must not count -0.5 as a positional.
         let a = args(&["file.mtx", "--from", "-0.5", "--to", "0.5"]);
         assert!(check_args(&a, &[&["--from", "--to"]]).is_ok());
+    }
+
+    #[test]
+    fn autotune_is_a_presence_flag() {
+        // A positional right after --autotune must not be swallowed as
+        // the flag's value.
+        let a = args(&["--autotune", "file.mtx"]);
+        assert!(check_args(&a, &[MATRIX_FLAGS, FORMAT_FLAGS]).is_ok());
+        assert_eq!(positional(&a), Some("file.mtx"));
+        assert!(has_flag(&a, "--autotune"));
+        assert!(!has_flag(&args(&["file.mtx"]), "--autotune"));
+    }
+
+    #[test]
+    fn format_flags_build_the_requested_matrix() {
+        let h = load_matrix(&args(&["--nx", "4", "--ny", "4", "--nz", "2"])).unwrap();
+        let crs = format_matrix(&args(&[]), h.clone(), 1, None).unwrap();
+        assert!(crs.as_crs().is_some());
+        let a = args(&["--format", "sell", "--sell-c", "4", "--sell-sigma", "16"]);
+        let sell = format_matrix(&a, h.clone(), 1, None).unwrap();
+        let s = sell.as_sell().expect("sell requested");
+        assert_eq!(s.chunk_height(), 4);
+        assert_eq!(s.sigma(), 16);
+        assert!(format_matrix(&args(&["--format", "ellpack"]), h.clone(), 1, None).is_err());
+        // Invalid sigma (not 1 or a multiple of C) must fail loudly.
+        let bad = args(&["--format", "sell", "--sell-c", "4", "--sell-sigma", "6"]);
+        assert!(format_matrix(&bad, h, 1, None).is_err());
+    }
+
+    #[test]
+    fn autotune_builds_a_square_handle() {
+        let h = load_matrix(&args(&["--nx", "4", "--ny", "4", "--nz", "2"])).unwrap();
+        let n = h.nrows();
+        let m = format_matrix(&args(&["--autotune"]), h, 1, None).unwrap();
+        assert_eq!(m.nrows(), n);
+        assert_eq!(m.ncols(), n);
     }
 }

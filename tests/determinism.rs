@@ -80,6 +80,31 @@ fn parallel_matches_serial_kernels_bitwise() {
 }
 
 #[test]
+fn sell_format_is_bitwise_identical_across_thread_counts() {
+    // The format dimension of the determinism contract: running the
+    // solver on a SELL-C-σ matrix must reproduce the CRS moments bit
+    // for bit, at every thread count and for every variant.
+    use kpm_repro::sparse::SellMatrix;
+    let h = TopoHamiltonian::clean(4, 4, 3).assemble();
+    let sf = ScaleFactors::from_gershgorin(&h, 0.01);
+    for variant in [KpmVariant::Naive, KpmVariant::AugSpmv, KpmVariant::AugSpmmv] {
+        let baseline = moments_at(1, variant);
+        for (c, sigma) in [(4usize, 16usize), (8, 8), (32, 64)] {
+            let sell = SellMatrix::from_crs(&h, c, sigma);
+            for threads in [1usize, 4] {
+                let got = kpm_moments(&sell, sf, &params(threads), variant)
+                    .expect("solver run")
+                    .into_vec();
+                assert_eq!(
+                    baseline, got,
+                    "{variant:?} on SELL-{c}-{sigma} differs at {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn checkpointed_solver_is_thread_count_invariant() {
     use kpm_repro::core::checkpoint::MemoryCheckpointStore;
     use kpm_repro::core::solver::{kpm_moments_checkpointed, SolverCheckpointing};

@@ -173,6 +173,82 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     #[test]
+    fn sell_aug_kernels_bitwise_equal_crs(h in hermitian_matrix(), c_idx in 0usize..4, s_idx in 0usize..3, r in 1usize..=4, seed in any::<u64>()) {
+        // The augmented SELL kernels must be *bitwise* identical to
+        // their CRS counterparts for any C, any sort window sigma, and
+        // any random row-length distribution (SELL-1-1 is the CRS
+        // degenerate case and is part of the grid).
+        use kpm_repro::sparse::aug_sell;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let c = [1usize, 4, 8, 32][c_idx];
+        let sigma = [1usize, c, 4 * c][s_idx];
+        let sell = SellMatrix::from_crs(&h, c, sigma);
+        let n = h.nrows();
+
+        // Single-vector augmented kernel.
+        let v = cvec(n, seed);
+        let w0 = cvec(n, seed.wrapping_add(7));
+        let mut w_crs = w0.clone();
+        let d_crs = aug_spmv(&h, 0.7, -0.2, &v, &mut w_crs);
+        let mut w_sell = w0;
+        let d_sell = aug_sell::aug_spmv(&sell, 0.7, -0.2, &v, &mut w_sell);
+        prop_assert_eq!(&w_crs, &w_sell);
+        prop_assert!(d_crs == d_sell, "aug_spmv dots differ for SELL-{}-{}", c, sigma);
+
+        // Blocked augmented kernel.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let vb = BlockVector::random(n, r, &mut rng);
+        let wb0 = BlockVector::random(n, r, &mut rng);
+        let mut wb_crs = wb0.clone();
+        let db_crs = aug_spmmv(&h, 0.7, -0.2, &vb, &mut wb_crs);
+        let mut wb_sell = wb0;
+        let db_sell = aug_sell::aug_spmmv(&sell, 0.7, -0.2, &vb, &mut wb_sell);
+        prop_assert_eq!(wb_crs, wb_sell);
+        prop_assert!(db_crs == db_sell, "aug_spmmv dots differ for SELL-{}-{}", c, sigma);
+    }
+
+    #[test]
+    fn sell_parallel_aug_kernels_bitwise_equal_crs_parallel(h in hermitian_matrix(), c_idx in 0usize..4, cpt in 1usize..=5, seed in any::<u64>()) {
+        // Parallel twins: same contract, for 1 and 4 worker threads and
+        // any SELL task granularity (chunks_per_task is a scheduling
+        // knob, never an arithmetic one).
+        use kpm_repro::sparse::aug::{aug_spmmv_par, aug_spmv_par};
+        use kpm_repro::sparse::aug_sell;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let c = [1usize, 4, 8, 32][c_idx];
+        let sell = SellMatrix::from_crs(&h, c, 4 * c).with_chunks_per_task(cpt);
+        let n = h.nrows();
+        let v = cvec(n, seed);
+        let w0 = cvec(n, seed.wrapping_add(11));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let vb = BlockVector::random(n, 3, &mut rng);
+        let wb0 = BlockVector::random(n, 3, &mut rng);
+        for threads in [1usize, 4] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("thread pool");
+            let (w_crs, d_crs, w_sell, d_sell, wb_crs, db_crs, wb_sell, db_sell) = pool.install(|| {
+                let mut w_crs = w0.clone();
+                let d_crs = aug_spmv_par(&h, 0.7, -0.2, &v, &mut w_crs);
+                let mut w_sell = w0.clone();
+                let d_sell = aug_sell::aug_spmv_par(&sell, 0.7, -0.2, &v, &mut w_sell);
+                let mut wb_crs = wb0.clone();
+                let db_crs = aug_spmmv_par(&h, 0.7, -0.2, &vb, &mut wb_crs);
+                let mut wb_sell = wb0.clone();
+                let db_sell = aug_sell::aug_spmmv_par(&sell, 0.7, -0.2, &vb, &mut wb_sell);
+                (w_crs, d_crs, w_sell, d_sell, wb_crs, db_crs, wb_sell, db_sell)
+            });
+            prop_assert_eq!(&w_crs, &w_sell);
+            prop_assert!(d_crs == d_sell, "parallel aug_spmv dots differ at T={}", threads);
+            prop_assert_eq!(wb_crs, wb_sell);
+            prop_assert!(db_crs == db_sell, "parallel aug_spmmv dots differ at T={}", threads);
+        }
+    }
+
+    #[test]
     fn warp_executor_equals_cpu_kernel(h in hermitian_matrix(), r in 1usize..=40, seed in any::<u64>()) {
         use kpm_repro::simgpu::warp_exec::aug_spmmv_warp_exec;
         use kpm_repro::simgpu::GpuDevice;
