@@ -21,7 +21,13 @@ use crate::diag::Diagnostic;
 use crate::lexer::{lex, TokKind, Token};
 
 /// Crates whose non-test library code must be panic-free (`no_panic`).
-pub const KERNEL_CRATES: &[&str] = &["kpm-sparse", "kpm-num", "kpm-core", "kpm-hetsim"];
+pub const KERNEL_CRATES: &[&str] = &[
+    "kpm-sparse",
+    "kpm-num",
+    "kpm-core",
+    "kpm-hetsim",
+    "kpm-service",
+];
 
 /// Hot-kernel files checked for in-loop heap allocation.
 pub const HOT_KERNEL_FILES: &[&str] = &["spmv.rs", "aug.rs", "sell.rs", "aug_sell.rs"];

@@ -14,7 +14,10 @@ fn main() {
         "Fig. 12 weak scaling, Square",
         &["nodes", "domain", "Tflop/s", "efficiency"],
     );
-    for p in model.weak_scaling_square(max_nodes) {
+    for p in model
+        .weak_scaling_square(max_nodes)
+        .expect("optimized stage")
+    {
         println!(
             "{}\t{}x{}x{}\t{:.2}\t{:.3}",
             p.nodes, p.domain.nx, p.domain.ny, p.domain.nz, p.tflops, p.efficiency
@@ -26,7 +29,7 @@ fn main() {
         "Fig. 12 weak scaling, Bar",
         &["nodes", "domain", "Tflop/s", "efficiency"],
     );
-    for p in model.weak_scaling_bar(max_nodes) {
+    for p in model.weak_scaling_bar(max_nodes).expect("optimized stage") {
         println!(
             "{}\t{}x{}x{}\t{:.2}\t{:.3}",
             p.nodes, p.domain.nx, p.domain.ny, p.domain.nz, p.tflops, p.efficiency
@@ -43,7 +46,10 @@ fn main() {
         ny: 400,
         nz: 40,
     };
-    for p in model.strong_scaling(domain, &[4, 16, 64, 256, 1024]) {
+    for p in model
+        .strong_scaling(domain, &[4, 16, 64, 256, 1024])
+        .expect("optimized stage")
+    {
         println!("{}\t{:.2}\t{:.3}", p.nodes, p.tflops, p.efficiency);
         println!("csv,fig12strong,{},{},{}", p.nodes, p.tflops, p.efficiency);
     }

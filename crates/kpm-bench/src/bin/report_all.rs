@@ -113,10 +113,10 @@ fn main() {
         "Fig. 12 (weak scaling)",
         &["case", "nodes", "Tflop/s", "eff"],
     );
-    for p in model.weak_scaling_square(1024) {
+    for p in model.weak_scaling_square(1024).expect("optimized stage") {
         println!("square\t{}\t{:.2}\t{:.3}", p.nodes, p.tflops, p.efficiency);
     }
-    for p in model.weak_scaling_bar(1024) {
+    for p in model.weak_scaling_bar(1024).expect("optimized stage") {
         println!("bar\t{}\t{:.2}\t{:.3}", p.nodes, p.tflops, p.efficiency);
     }
     let d = Domain {
@@ -124,11 +124,14 @@ fn main() {
         ny: 400,
         nz: 40,
     };
-    for p in model.strong_scaling(d, &[4, 16, 64, 256, 1024]) {
+    for p in model
+        .strong_scaling(d, &[4, 16, 64, 256, 1024])
+        .expect("optimized stage")
+    {
         println!("strong\t{}\t{:.2}\t{:.3}", p.nodes, p.tflops, p.efficiency);
     }
     print_header("Table III", &["version", "Tflop/s", "nodes", "node-h"]);
-    for row in model.table3() {
+    for row in model.table3().expect("optimized stage") {
         println!(
             "{}\t{:.1}\t{}\t{:.0}",
             row.version, row.tflops, row.nodes, row.node_hours

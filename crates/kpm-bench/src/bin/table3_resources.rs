@@ -13,7 +13,7 @@ fn main() {
         "Table III (largest system, R = 32, M = 2000)",
         &["version", "Tflop/s", "nodes", "node hours"],
     );
-    let rows = model.table3();
+    let rows = model.table3().expect("optimized stage");
     for row in &rows {
         println!(
             "{}\t{:.1}\t{}\t{:.0}",

@@ -101,17 +101,34 @@ pub trait CheckpointStore: Send + Sync {
     fn ranks_at(&self, iteration: usize) -> Result<Vec<usize>, KpmError>;
 }
 
-/// Finds the newest iteration that has an η record plus a *complete*
-/// tiling of rows `0..n` by rank records — the restart point.
+/// Finds the newest iteration that has a *decodable* η record plus a
+/// *complete* tiling of rows `0..n` by decodable rank records — the
+/// restart point.
+///
+/// Corruption tolerance: a record that fails validation (truncated
+/// write, bit rot, garbage file under a checkpoint name) disqualifies
+/// only itself, not the scan. A corrupt η skips that iteration; a
+/// corrupt rank record drops out of the tiling, and if the remaining
+/// spans no longer cover `0..n` the scan falls back to the next-older
+/// candidate. Only environmental errors (I/O, lock) abort the search.
 pub fn latest_consistent(store: &dyn CheckpointStore, n: usize) -> Result<Option<usize>, KpmError> {
     let mut iters = store.eta_iterations()?;
     iters.sort_unstable();
     for &it in iters.iter().rev() {
+        match store.load_eta(it) {
+            Ok(Some(_)) => {}
+            Ok(None) => continue,
+            Err(KpmError::CheckpointCorrupt { .. }) => continue,
+            Err(e) => return Err(e),
+        }
         let ranks = store.ranks_at(it)?;
         let mut spans: Vec<(usize, usize)> = Vec::with_capacity(ranks.len());
         for r in ranks {
-            if let Some(ck) = store.load_rank(it, r)? {
-                spans.push((ck.row_begin, ck.row_end));
+            match store.load_rank(it, r) {
+                Ok(Some(ck)) => spans.push((ck.row_begin, ck.row_end)),
+                Ok(None) => {}
+                Err(KpmError::CheckpointCorrupt { .. }) => {}
+                Err(e) => return Err(e),
             }
         }
         spans.sort_unstable();

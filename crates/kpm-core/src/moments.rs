@@ -87,6 +87,24 @@ impl MomentSet {
         self.mu
     }
 
+    /// The first `m` moments as a new set (same run count).
+    ///
+    /// Moment `μ_k` never depends on sweeps past `k/2`, so the prefix of
+    /// a longer run is *bitwise* the moments of a shorter run over the
+    /// same starting vectors — the property the service's moment cache
+    /// and degraded (reduced-`M`) answers rely on.
+    pub fn truncated(&self, m: usize) -> MomentSet {
+        assert!(
+            m <= self.mu.len(),
+            "cannot truncate {} to {m}",
+            self.mu.len()
+        );
+        Self {
+            mu: self.mu[..m].to_vec(),
+            runs: self.runs,
+        }
+    }
+
     /// Maximum absolute difference to another set (validation helper:
     /// all three solver variants must agree to rounding).
     pub fn max_abs_diff(&self, other: &MomentSet) -> f64 {

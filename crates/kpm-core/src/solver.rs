@@ -17,6 +17,7 @@ use kpm_sparse::SparseKernels;
 use kpm_topo::ScaleFactors;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rayon::prelude::*;
 
 use crate::checkpoint::{CheckpointStore, EtaCheckpoint, RankCheckpoint};
 use crate::moments::MomentSet;
@@ -399,6 +400,122 @@ fn run_blocked_variant<M: SparseKernels + ?Sized>(
         acc.accumulate(&MomentSet::from_eta(mu0[j], mu1[j], &eta[j]));
     }
     Ok(acc)
+}
+
+/// Columns per task when a batched solve runs in parallel.
+///
+/// Fixed (never derived from the thread count) so the column grouping —
+/// and therefore every floating-point chain — is identical no matter
+/// how many workers execute the groups.
+const BATCH_GROUP_COLS: usize = 8;
+
+/// Deadline-aware batched KPM runs over arbitrary starting vectors —
+/// the service front-end's solve primitive.
+///
+/// Column `j` of the result is **bitwise identical** to
+/// [`moments_from_start`]`(h, sf, &starts[j], num_moments, false)`
+/// regardless of the batch composition: every column runs the serial
+/// blocked kernel chain, whose per-column arithmetic is the single
+/// fused `aug_spmv` chain (see `kpm-sparse::aug`). `parallel` splits
+/// the batch into fixed groups of [`BATCH_GROUP_COLS`] columns solved
+/// concurrently; grouping never mixes columns arithmetically, so
+/// results are also bitwise-identical across thread counts.
+///
+/// `deadline` aborts the sweep loop with
+/// [`KpmError::DeadlineExceeded`] once the wall clock passes it — the
+/// hook the service uses to thread per-request budgets through the
+/// solver.
+pub fn kpm_batch_moments<M: SparseKernels + ?Sized>(
+    h: &M,
+    sf: ScaleFactors,
+    starts: &[Vector],
+    num_moments: usize,
+    parallel: bool,
+    deadline: Option<std::time::Instant>,
+) -> Result<Vec<MomentSet>, KpmError> {
+    validate_square(h)?;
+    KpmParams {
+        num_moments,
+        num_random: 1,
+        ..KpmParams::default()
+    }
+    .validate()?;
+    for v0 in starts {
+        if v0.len() != h.nrows() {
+            return Err(KpmError::InvalidParams {
+                what: "starts",
+                details: format!(
+                    "starting vector length {} does not match matrix dimension {}",
+                    v0.len(),
+                    h.nrows()
+                ),
+            });
+        }
+    }
+    let _sp = span("solver.batch", "solver")
+        .arg("columns", starts.len())
+        .arg("moments", num_moments);
+    if !parallel || starts.len() <= BATCH_GROUP_COLS {
+        let mut out = Vec::with_capacity(starts.len());
+        for group in starts.chunks(BATCH_GROUP_COLS) {
+            out.extend(batch_group_serial(h, sf, group, num_moments, deadline)?);
+        }
+        return Ok(out);
+    }
+    let groups: Result<Vec<Vec<MomentSet>>, KpmError> = starts
+        .par_chunks(BATCH_GROUP_COLS)
+        .map(|group| batch_group_serial(h, sf, group, num_moments, deadline))
+        .collect();
+    Ok(groups?.into_iter().flatten().collect())
+}
+
+/// One column group of a batched solve: the serial stage-2 recurrence
+/// over up to [`BATCH_GROUP_COLS`] columns. Serial by design — see
+/// [`kpm_batch_moments`] for the bitwise argument.
+fn batch_group_serial<M: SparseKernels + ?Sized>(
+    h: &M,
+    sf: ScaleFactors,
+    starts: &[Vector],
+    num_moments: usize,
+    deadline: Option<std::time::Instant>,
+) -> Result<Vec<MomentSet>, KpmError> {
+    let r = starts.len();
+    if r == 0 {
+        return Ok(Vec::new());
+    }
+    let iterations = num_moments / 2 - 1;
+    let mut mu0 = vec![0.0; r];
+    let mut mu1 = vec![0.0; r];
+    let mut v_cols = Vec::with_capacity(r);
+    let mut w_cols = Vec::with_capacity(r);
+    for (j, v0) in starts.iter().enumerate() {
+        let (v, w, m0, m1) = init_recurrence(h, sf, v0, false);
+        mu0[j] = m0;
+        mu1[j] = m1;
+        v_cols.push(Vector::from_vec(v));
+        w_cols.push(Vector::from_vec(w));
+    }
+    let mut v = BlockVector::from_columns(&v_cols);
+    let mut w = BlockVector::from_columns(&w_cols);
+
+    let mut eta: Vec<Vec<(f64, Complex64)>> = vec![Vec::with_capacity(iterations); r];
+    for m in 0..iterations {
+        if let Some(d) = deadline {
+            if std::time::Instant::now() >= d {
+                return Err(KpmError::DeadlineExceeded { iteration: m });
+            }
+        }
+        let _sweep = span("solver.sweep", "solver");
+        v.swap(&mut w);
+        let dots = h.aug_spmmv(sf.a, sf.b, &v, &mut w);
+        for (j, eta_j) in eta.iter_mut().enumerate() {
+            check_partials(m, dots.eta_even[j], dots.eta_odd[j], mu0[j])?;
+            eta_j.push((dots.eta_even[j], dots.eta_odd[j]));
+        }
+    }
+    Ok((0..r)
+        .map(|j| MomentSet::from_eta(mu0[j], mu1[j], &eta[j]))
+        .collect())
 }
 
 /// Checkpoint/restart policy for [`kpm_moments_checkpointed`].

@@ -15,6 +15,7 @@
 //!   synchronization surfaces; calibrated so removing the per-iteration
 //!   reduction buys the paper's 8% at 1024 nodes.
 
+use kpm_num::KpmError;
 use kpm_perfmodel::machine::{Machine, SNB};
 use kpm_simgpu::GpuDevice;
 use kpm_sparse::CrsMatrix;
@@ -129,13 +130,21 @@ impl ClusterModel {
     }
 
     /// Heterogeneous per-node rate of a stage, compute + PCIe only.
-    pub fn node_gflops(&self, stage: Stage) -> f64 {
+    ///
+    /// The cluster model is defined only for the optimized stages; a
+    /// silent fallback rate for the naive BLAS-1 chain would skew every
+    /// projection, so asking for it is a typed error.
+    pub fn node_gflops(&self, stage: Stage) -> Result<f64, KpmError> {
         match stage {
-            Stage::Stage1 => self.node_stage1_gflops,
-            Stage::Stage2 => self.node_stage2_gflops,
-            // kpm::allow(no_panic): the cluster model is defined only for the
-            // optimized stages; a silent fallback rate would skew every projection.
-            Stage::Naive => unimplemented!("cluster runs use the optimized stages"),
+            Stage::Stage1 => Ok(self.node_stage1_gflops),
+            Stage::Stage2 => Ok(self.node_stage2_gflops),
+            Stage::Naive => Err(KpmError::Unsupported {
+                what: "cluster stage",
+                details: "cluster projections are defined only for the optimized \
+                          stages (aug_spmv/aug_spmmv); the naive chain is never \
+                          run at cluster scale"
+                    .into(),
+            }),
         }
     }
 
@@ -157,10 +166,10 @@ impl ClusterModel {
         py: usize,
         stage: Stage,
         reduce_every_iteration: bool,
-    ) -> f64 {
+    ) -> Result<f64, KpmError> {
         let nodes = px * py;
         let flops = self.flops_per_node_sweep(domain, px, py);
-        let t_comp = flops / (self.node_gflops(stage) * 1e9);
+        let t_comp = flops / (self.node_gflops(stage)? * 1e9);
 
         // Network halo: 2 faces per decomposed direction. A face in x
         // carries (Ny_loc · Nz) lattice sites, 4 rows each, R wide,
@@ -194,9 +203,9 @@ impl ClusterModel {
             // except for a small non-overlappable startup chunk.
             let t_comm = t_net + t_pcie;
             let exposed = (t_comm - t_comp).max(0.05 * t_comm);
-            t_comp + exposed + t_reduce
+            Ok(t_comp + exposed + t_reduce)
         } else {
-            t_comp + t_net + t_pcie + t_reduce
+            Ok(t_comp + t_net + t_pcie + t_reduce)
         }
     }
 
@@ -214,17 +223,17 @@ impl ClusterModel {
         py: usize,
         stage: Stage,
         reduce_every_iteration: bool,
-    ) -> f64 {
-        let t = self.iteration_time(domain, px, py, stage, reduce_every_iteration);
+    ) -> Result<f64, KpmError> {
+        let t = self.iteration_time(domain, px, py, stage, reduce_every_iteration)?;
         let flops = self.flops_per_node_sweep(domain, px, py) * (px * py) as f64;
-        flops / t / 1e12
+        Ok(flops / t / 1e12)
     }
 
     /// Weak scaling, "Square" case (paper Fig. 12): base 400×100×40 on
     /// one node; at 4 nodes the tile becomes 400×400; afterwards node
     /// count quadruples while x and y double. Node counts: 1, 4, 16,
     /// 64, 256, 1024 (up to `max_nodes`).
-    pub fn weak_scaling_square(&self, max_nodes: usize) -> Vec<ScalingPoint> {
+    pub fn weak_scaling_square(&self, max_nodes: usize) -> Result<Vec<ScalingPoint>, KpmError> {
         let mut points = Vec::new();
         let mut nodes = 1usize;
         let mut domain = Domain {
@@ -234,7 +243,7 @@ impl ClusterModel {
         };
         let mut grid = (1usize, 1usize);
         while nodes <= max_nodes {
-            let tflops = self.sustained_tflops(domain, grid.0, grid.1, Stage::Stage2, false);
+            let tflops = self.sustained_tflops(domain, grid.0, grid.1, Stage::Stage2, false)?;
             points.push(ScalingPoint {
                 nodes,
                 domain,
@@ -256,12 +265,12 @@ impl ClusterModel {
                 grid = (grid.0 * 2, grid.1 * 2);
             }
         }
-        finalize_efficiency(points)
+        Ok(finalize_efficiency(points))
     }
 
     /// Weak scaling, "Bar" case: Ny = 100 and Nz = 40 fixed, Nx grows by
     /// 400 per node; 1-D decomposition along x.
-    pub fn weak_scaling_bar(&self, max_nodes: usize) -> Vec<ScalingPoint> {
+    pub fn weak_scaling_bar(&self, max_nodes: usize) -> Result<Vec<ScalingPoint>, KpmError> {
         let mut points = Vec::new();
         let mut nodes = 1usize;
         while nodes <= max_nodes {
@@ -270,7 +279,7 @@ impl ClusterModel {
                 ny: 100,
                 nz: 40,
             };
-            let tflops = self.sustained_tflops(domain, nodes, 1, Stage::Stage2, false);
+            let tflops = self.sustained_tflops(domain, nodes, 1, Stage::Stage2, false)?;
             points.push(ScalingPoint {
                 nodes,
                 domain,
@@ -279,32 +288,36 @@ impl ClusterModel {
             });
             nodes *= 4;
         }
-        finalize_efficiency(points)
+        Ok(finalize_efficiency(points))
     }
 
     /// Strong scaling of a fixed domain over the given node counts
     /// (near-square process grids).
-    pub fn strong_scaling(&self, domain: Domain, node_counts: &[usize]) -> Vec<ScalingPoint> {
+    pub fn strong_scaling(
+        &self,
+        domain: Domain,
+        node_counts: &[usize],
+    ) -> Result<Vec<ScalingPoint>, KpmError> {
         let points = node_counts
             .iter()
             .map(|&nodes| {
                 let (px, py) = near_square_grid(nodes);
-                let tflops = self.sustained_tflops(domain, px, py, Stage::Stage2, false);
-                ScalingPoint {
+                let tflops = self.sustained_tflops(domain, px, py, Stage::Stage2, false)?;
+                Ok(ScalingPoint {
                     nodes,
                     domain,
                     tflops,
                     efficiency: 0.0,
-                }
+                })
             })
-            .collect();
-        finalize_efficiency(points)
+            .collect::<Result<Vec<_>, KpmError>>()?;
+        Ok(finalize_efficiency(points))
     }
 
     /// Paper Table III: the largest system (Bar at 1024 nodes,
     /// N ≈ 6.5·10⁹) solved with R = 32, M = 2000 by the three solver
     /// variants.
-    pub fn table3(&self) -> Vec<Table3Row> {
+    pub fn table3(&self) -> Result<Vec<Table3Row>, KpmError> {
         let domain = Domain {
             nx: 400 * 1024,
             ny: 100,
@@ -324,7 +337,7 @@ impl ClusterModel {
                 nx: domain.nx, // same global system, fewer nodes
                 ..domain
             };
-            let tflops = self.sustained_tflops(scaled, px, py, Stage::Stage1, false);
+            let tflops = self.sustained_tflops(scaled, px, py, Stage::Stage1, false)?;
             rows.push(Table3Row {
                 version: "aug_spmv()",
                 tflops,
@@ -335,7 +348,7 @@ impl ClusterModel {
         // Blocked with a global reduction every iteration.
         {
             let nodes = 1024;
-            let tflops = self.sustained_tflops(domain, nodes, 1, Stage::Stage2, true);
+            let tflops = self.sustained_tflops(domain, nodes, 1, Stage::Stage2, true)?;
             rows.push(Table3Row {
                 version: "aug_spmmv()*",
                 tflops,
@@ -346,7 +359,7 @@ impl ClusterModel {
         // Blocked with a single reduction at the end.
         {
             let nodes = 1024;
-            let tflops = self.sustained_tflops(domain, nodes, 1, Stage::Stage2, false);
+            let tflops = self.sustained_tflops(domain, nodes, 1, Stage::Stage2, false)?;
             rows.push(Table3Row {
                 version: "aug_spmmv()",
                 tflops,
@@ -354,7 +367,7 @@ impl ClusterModel {
                 node_hours: total_flops / (tflops * 1e12) * nodes as f64 / 3600.0,
             });
         }
-        rows
+        Ok(rows)
     }
 }
 
@@ -390,7 +403,7 @@ mod tests {
     #[test]
     fn weak_scaling_square_reaches_paper_scale() {
         let m = model();
-        let pts = m.weak_scaling_square(1024);
+        let pts = m.weak_scaling_square(1024).expect("optimized stage");
         assert_eq!(pts.last().unwrap().nodes, 1024);
         let t = pts.last().unwrap().tflops;
         // Paper: > 100 Tflop/s on 1024 nodes.
@@ -406,8 +419,8 @@ mod tests {
         // to 4 nodes (paper: "drop in parallel efficiency in this
         // region").
         let m = model();
-        let sq = m.weak_scaling_square(4);
-        let bar = m.weak_scaling_bar(4);
+        let sq = m.weak_scaling_square(4).expect("optimized stage");
+        let bar = m.weak_scaling_bar(4).expect("optimized stage");
         assert!(bar[1].efficiency >= sq[1].efficiency);
         assert!(sq[1].efficiency < 1.0);
         assert!(sq[1].efficiency > 0.75, "{}", sq[1].efficiency);
@@ -416,10 +429,10 @@ mod tests {
     #[test]
     fn weak_scaling_efficiency_stays_high() {
         let m = model();
-        for p in m.weak_scaling_bar(1024) {
+        for p in m.weak_scaling_bar(1024).expect("optimized stage") {
             assert!(p.efficiency > 0.9, "bar {}: {}", p.nodes, p.efficiency);
         }
-        for p in m.weak_scaling_square(1024) {
+        for p in m.weak_scaling_square(1024).expect("optimized stage") {
             assert!(p.efficiency > 0.8, "square {}: {}", p.nodes, p.efficiency);
         }
     }
@@ -432,7 +445,9 @@ mod tests {
             ny: 400,
             nz: 40,
         };
-        let pts = m.strong_scaling(domain, &[4, 16, 64, 256]);
+        let pts = m
+            .strong_scaling(domain, &[4, 16, 64, 256])
+            .expect("optimized stage");
         for w in pts.windows(2) {
             assert!(w[1].efficiency <= w[0].efficiency + 1e-9);
             assert!(w[1].tflops > w[0].tflops, "still speeds up");
@@ -443,7 +458,7 @@ mod tests {
     #[test]
     fn table3_reproduces_paper_ordering_and_magnitudes() {
         let m = model();
-        let rows = m.table3();
+        let rows = m.table3().expect("optimized stage");
         assert_eq!(rows.len(), 3);
         let spmv = &rows[0];
         let star = &rows[1];
@@ -479,8 +494,12 @@ mod tests {
             ny: 6400,
             nz: 40,
         };
-        let t_plain = plain.sustained_tflops(d, 32, 32, Stage::Stage2, false);
-        let t_piped = piped.sustained_tflops(d, 32, 32, Stage::Stage2, false);
+        let t_plain = plain
+            .sustained_tflops(d, 32, 32, Stage::Stage2, false)
+            .expect("optimized stage");
+        let t_piped = piped
+            .sustained_tflops(d, 32, 32, Stage::Stage2, false)
+            .expect("optimized stage");
         assert!(t_piped > t_plain, "{t_piped} vs {t_plain}");
         // Strong-scaling tail benefits more (comm-dominated).
         let small = Domain {
@@ -488,11 +507,37 @@ mod tests {
             ny: 400,
             nz: 40,
         };
-        let s_plain = plain.strong_scaling(small, &[4, 256]);
-        let s_piped = piped.strong_scaling(small, &[4, 256]);
+        let s_plain = plain
+            .strong_scaling(small, &[4, 256])
+            .expect("optimized stage");
+        let s_piped = piped
+            .strong_scaling(small, &[4, 256])
+            .expect("optimized stage");
         let gain_small = s_piped[1].tflops / s_plain[1].tflops;
         let gain_big = t_piped / t_plain;
         assert!(gain_small >= gain_big, "{gain_small} vs {gain_big}");
+    }
+
+    #[test]
+    fn naive_stage_is_a_typed_error_not_a_panic() {
+        let m = model();
+        let d = Domain {
+            nx: 400,
+            ny: 100,
+            nz: 40,
+        };
+        assert!(matches!(
+            m.node_gflops(Stage::Naive),
+            Err(KpmError::Unsupported {
+                what: "cluster stage",
+                ..
+            })
+        ));
+        // The error propagates through every projection entry point.
+        assert!(m.iteration_time(d, 2, 2, Stage::Naive, false).is_err());
+        assert!(m.sustained_tflops(d, 2, 2, Stage::Naive, false).is_err());
+        // The optimized stages are untouched.
+        assert!(m.node_gflops(Stage::Stage2).expect("stage2") > 0.0);
     }
 
     #[test]

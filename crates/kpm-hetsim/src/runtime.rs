@@ -47,6 +47,22 @@ const BACKOFF_MIN: Duration = Duration::from_micros(200);
 /// Largest backoff slice of [`Communicator::recv_timeout`].
 const BACKOFF_MAX: Duration = Duration::from_millis(50);
 
+/// Multiplicative jitter on one backoff slice, scaling `base` by a
+/// factor in `[0.5, 1.5)` drawn from a splitmix64 stream advanced in
+/// `state`. Ranks that lose the same peer at the same instant would
+/// otherwise double their slices in lockstep and keep polling on the
+/// identical schedule; per-rank seeding decorrelates them while keeping
+/// each rank's schedule deterministic.
+fn jittered_backoff(base: Duration, state: &mut u64) -> Duration {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    let draw = (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    base.mul_f64(0.5 + draw)
+}
+
 /// A tagged message payload.
 #[derive(Debug, Clone)]
 pub struct Message {
@@ -152,6 +168,8 @@ pub struct Communicator {
     next_seq: Vec<u64>,
     /// Set once a simulated crash fired; all later traffic fails.
     crashed: bool,
+    /// Splitmix64 state driving [`jittered_backoff`], seeded per rank.
+    backoff_state: u64,
     default_timeout: Option<Duration>,
     barrier: Arc<Barrier>,
     shared: Arc<WorldShared>,
@@ -273,10 +291,12 @@ impl Communicator {
     }
 
     /// Receives with an explicit deadline. Polls the inbox with
-    /// exponentially growing backoff slices (200 µs up to 50 ms) and
-    /// returns `Err(KpmError::RankUnreachable)` once `timeout` has
-    /// elapsed without a matching message — the caller decides whether
-    /// to retry, restart from a checkpoint, or abort.
+    /// exponentially growing backoff slices (200 µs up to 50 ms, each
+    /// scaled by seeded per-rank jitter in `[0.5, 1.5)` so ranks do not
+    /// poll in lockstep) and returns `Err(KpmError::RankUnreachable)`
+    /// once `timeout` has elapsed without a matching message — the
+    /// caller decides whether to retry, restart from a checkpoint, or
+    /// abort.
     pub fn recv_timeout(
         &mut self,
         from: usize,
@@ -303,7 +323,8 @@ impl Communicator {
                     waited_ms: start.elapsed().as_millis() as u64,
                 });
             }
-            match self.inbox.recv_timeout(slice.min(deadline - now)) {
+            let wait = jittered_backoff(slice, &mut self.backoff_state).min(deadline - now);
+            match self.inbox.recv_timeout(wait) {
                 Ok(msg) => {
                     if let Some(data) = self.accept(msg, from, tag)? {
                         return Ok(data);
@@ -627,6 +648,7 @@ impl World {
                 seen: vec![HashSet::new(); size],
                 next_seq: vec![0; size],
                 crashed: false,
+                backoff_state: (rank as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15),
                 default_timeout: config.default_recv_timeout,
                 barrier: Arc::clone(&barrier),
                 shared: Arc::clone(&shared),
@@ -765,6 +787,39 @@ mod tests {
     fn single_rank_world() {
         let got = World::run(1, |mut comm| comm.allreduce_scalar(c(42.0)).unwrap().re);
         assert_eq!(got, vec![42.0]);
+    }
+
+    #[test]
+    fn backoff_jitter_varies_but_stays_deterministic() {
+        let base = Duration::from_micros(800);
+        let mut state = 0xdead_beef_u64;
+        let slices: Vec<Duration> = (0..16)
+            .map(|_| jittered_backoff(base, &mut state))
+            .collect();
+        // Every slice stays inside the documented [0.5, 1.5) band.
+        for s in &slices {
+            assert!(
+                *s >= base / 2 && *s < base * 3 / 2,
+                "jitter out of band: {s:?}"
+            );
+        }
+        // Successive slices are not identical: the stream really varies.
+        assert!(
+            slices.windows(2).any(|w| w[0] != w[1]),
+            "jitter produced a constant schedule"
+        );
+        // Same seed, same schedule: per-rank determinism.
+        let mut state2 = 0xdead_beef_u64;
+        let again: Vec<Duration> = (0..16)
+            .map(|_| jittered_backoff(base, &mut state2))
+            .collect();
+        assert_eq!(slices, again);
+        // A different seed decorrelates the schedule.
+        let mut state3 = 0x1234_5678_u64;
+        let other: Vec<Duration> = (0..16)
+            .map(|_| jittered_backoff(base, &mut state3))
+            .collect();
+        assert_ne!(slices, other);
     }
 
     #[test]

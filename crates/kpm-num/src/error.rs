@@ -78,6 +78,23 @@ pub enum KpmError {
     },
     /// An I/O failure in a file-backed checkpoint store.
     Io { details: String },
+    /// A per-request compute deadline expired while the solve was still
+    /// running. Carries the Chebyshev sweep index reached when the
+    /// budget ran out, so a degraded (truncated-`M`) answer can be
+    /// reasoned about.
+    DeadlineExceeded {
+        /// The sweep index (0-based) at which the deadline fired.
+        iteration: usize,
+    },
+    /// The requested operation is not defined for the given mode or
+    /// stage (e.g. asking the cluster performance model for the naive
+    /// variant's node rate).
+    Unsupported {
+        /// What was asked for.
+        what: &'static str,
+        /// Why it is not available.
+        details: String,
+    },
 }
 
 impl fmt::Display for KpmError {
@@ -141,6 +158,12 @@ impl fmt::Display for KpmError {
                 "gave up after {attempts} attempt(s); last error: {last_error}"
             ),
             KpmError::Io { details } => write!(f, "checkpoint I/O error: {details}"),
+            KpmError::DeadlineExceeded { iteration } => {
+                write!(f, "deadline exceeded at iteration {iteration}")
+            }
+            KpmError::Unsupported { what, details } => {
+                write!(f, "unsupported {what}: {details}")
+            }
         }
     }
 }

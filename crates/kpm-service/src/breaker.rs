@@ -1,0 +1,124 @@
+//! Per-route circuit breaker.
+//!
+//! A route is a `(matrix fingerprint, kernel)` pair. Consecutive
+//! non-retryable failures on a route trip its breaker open for a
+//! cooldown; while open, requests on that route answer from the moment
+//! cache (degraded) or fail fast with `CircuitOpen` instead of burning
+//! solver time on a route that keeps diverging (e.g. scale factors
+//! that do not cover the spectrum). After the cooldown one trial
+//! request is let through (half-open): success closes the breaker,
+//! failure re-opens it immediately.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// The `(fingerprint, kernel key)` route identifier.
+pub(crate) type RouteKey = (u64, u64);
+
+#[derive(Debug, Default)]
+struct RouteState {
+    consecutive_failures: u32,
+    open_until: Option<Instant>,
+}
+
+/// Breaker state over all routes the service has seen.
+#[derive(Debug)]
+pub(crate) struct CircuitBreaker {
+    routes: Mutex<HashMap<RouteKey, RouteState>>,
+    threshold: u32,
+    cooldown: Duration,
+}
+
+impl CircuitBreaker {
+    pub(crate) fn new(threshold: u32, cooldown: Duration) -> Self {
+        Self {
+            routes: Mutex::new(HashMap::new()),
+            threshold: threshold.max(1),
+            cooldown,
+        }
+    }
+
+    /// If the route's breaker is open, the remaining cooldown.
+    /// A breaker whose cooldown has elapsed flips to half-open: this
+    /// probe returns `None` (admit one trial) but leaves the failure
+    /// count primed so another failure re-opens it at once.
+    pub(crate) fn check(&self, route: RouteKey) -> Option<Duration> {
+        let mut routes = self.routes.lock().unwrap_or_else(|e| e.into_inner());
+        let state = routes.entry(route).or_default();
+        match state.open_until {
+            Some(until) => {
+                let now = Instant::now();
+                if now < until {
+                    Some(until - now)
+                } else {
+                    // Half-open: admit a trial, stay primed.
+                    state.open_until = None;
+                    state.consecutive_failures = self.threshold.saturating_sub(1);
+                    None
+                }
+            }
+            None => None,
+        }
+    }
+
+    /// Records a successful solve on the route, closing the breaker.
+    pub(crate) fn record_success(&self, route: RouteKey) {
+        let mut routes = self.routes.lock().unwrap_or_else(|e| e.into_inner());
+        let state = routes.entry(route).or_default();
+        state.consecutive_failures = 0;
+        state.open_until = None;
+    }
+
+    /// Records a non-retryable failure; returns true if this trip
+    /// opened the breaker.
+    pub(crate) fn record_failure(&self, route: RouteKey) -> bool {
+        let mut routes = self.routes.lock().unwrap_or_else(|e| e.into_inner());
+        let state = routes.entry(route).or_default();
+        state.consecutive_failures = state.consecutive_failures.saturating_add(1);
+        if state.consecutive_failures >= self.threshold && state.open_until.is_none() {
+            state.open_until = Some(Instant::now() + self.cooldown);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opens_after_threshold_and_recovers_half_open() {
+        let b = CircuitBreaker::new(2, Duration::from_millis(20));
+        let route = (1, 1);
+        assert!(b.check(route).is_none());
+        assert!(!b.record_failure(route));
+        assert!(b.record_failure(route), "second failure should open");
+        assert!(b.check(route).is_some(), "breaker must be open");
+        std::thread::sleep(Duration::from_millis(25));
+        // Half-open: one trial admitted, one more failure re-opens.
+        assert!(b.check(route).is_none());
+        assert!(b.record_failure(route), "failure in half-open re-opens");
+        assert!(b.check(route).is_some());
+    }
+
+    #[test]
+    fn success_closes_and_resets_the_count() {
+        let b = CircuitBreaker::new(2, Duration::from_secs(10));
+        let route = (9, 2);
+        b.record_failure(route);
+        b.record_success(route);
+        assert!(!b.record_failure(route), "count must restart after success");
+    }
+
+    #[test]
+    fn routes_are_independent() {
+        let b = CircuitBreaker::new(1, Duration::from_secs(10));
+        b.record_failure((1, 1));
+        assert!(b.check((1, 1)).is_some());
+        assert!(b.check((1, 2)).is_none(), "other kernel route unaffected");
+        assert!(b.check((2, 1)).is_none(), "other matrix route unaffected");
+    }
+}

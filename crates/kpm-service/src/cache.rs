@@ -1,0 +1,104 @@
+//! The moment cache behind graceful degradation.
+//!
+//! Keyed by `(matrix fingerprint, kernel, starting-vector spec)`; each
+//! entry stores the *longest* moment set ever computed for that key.
+//! Because moment `μ_k` never depends on sweeps past `k/2`, the prefix
+//! of a cached set is bitwise the answer a shorter run would have
+//! produced (`MomentSet::truncated`), so one entry serves every `M` up
+//! to its length: repeat queries answer instantly at full quality, and
+//! under overload or an open breaker a shorter prefix still yields a
+//! valid curve with a quantified broadening penalty.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use kpm_core::moments::MomentSet;
+
+/// `(fingerprint, kernel key, start-spec hash)`.
+pub(crate) type CacheKey = (u64, u64, u64);
+
+/// Bounded map from cache key to the best (longest) known moment set.
+#[derive(Debug)]
+pub(crate) struct MomentCache {
+    map: Mutex<HashMap<CacheKey, Arc<MomentSet>>>,
+    capacity: usize,
+}
+
+impl MomentCache {
+    pub(crate) fn new(capacity: usize) -> Self {
+        Self {
+            map: Mutex::new(HashMap::new()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The cached set for `key` if it covers at least `min_moments`.
+    pub(crate) fn lookup(&self, key: CacheKey, min_moments: usize) -> Option<Arc<MomentSet>> {
+        let map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        map.get(&key)
+            .filter(|set| set.len() >= min_moments)
+            .cloned()
+    }
+
+    /// Inserts `set` unless an at-least-as-long entry already exists.
+    /// At capacity, an arbitrary other entry is evicted (the cache is a
+    /// best-effort accelerator, not a store of record).
+    pub(crate) fn insert_if_better(&self, key: CacheKey, set: Arc<MomentSet>) {
+        let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(existing) = map.get(&key) {
+            if existing.len() >= set.len() {
+                return;
+            }
+        } else if map.len() >= self.capacity {
+            if let Some(&evict) = map.keys().next() {
+                map.remove(&evict);
+            }
+        }
+        map.insert(key, set);
+    }
+
+    /// Number of cached entries.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.map.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set_of_len(m: usize) -> Arc<MomentSet> {
+        Arc::new(MomentSet::zeros(m))
+    }
+
+    #[test]
+    fn longer_sets_replace_shorter_never_the_reverse() {
+        let c = MomentCache::new(8);
+        let key = (1, 1, 1);
+        c.insert_if_better(key, set_of_len(16));
+        c.insert_if_better(key, set_of_len(8));
+        assert_eq!(c.lookup(key, 2).expect("cached").len(), 16);
+        c.insert_if_better(key, set_of_len(32));
+        assert_eq!(c.lookup(key, 2).expect("cached").len(), 32);
+    }
+
+    #[test]
+    fn lookup_enforces_the_minimum_length() {
+        let c = MomentCache::new(8);
+        let key = (1, 2, 3);
+        c.insert_if_better(key, set_of_len(16));
+        assert!(c.lookup(key, 16).is_some());
+        assert!(c.lookup(key, 17).is_none());
+        assert!(c.lookup((9, 9, 9), 1).is_none());
+    }
+
+    #[test]
+    fn capacity_is_bounded() {
+        let c = MomentCache::new(4);
+        for k in 0..32u64 {
+            c.insert_if_better((k, 0, 0), set_of_len(4));
+        }
+        assert!(c.len() <= 4);
+    }
+}

@@ -178,6 +178,33 @@ impl CrsMatrix {
         &self.vals[self.row_ptr[r] as usize..self.row_ptr[r + 1] as usize]
     }
 
+    /// A stable 64-bit content fingerprint of the matrix: FNV-1a over
+    /// the dimensions, row pointers, column indices, and the raw bit
+    /// patterns of the values.
+    ///
+    /// Two matrices fingerprint equal exactly when they are the same
+    /// operator stored in the same order down to the last bit — the
+    /// identity the service front-end uses to coalesce concurrent
+    /// requests into one block solve and to key its moment cache.
+    /// Format-independent when computed from the assembled CRS source
+    /// (see `KpmMatrix::content_fingerprint`).
+    pub fn content_fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_u64(self.nrows as u64);
+        h.write_u64(self.ncols as u64);
+        for &p in &self.row_ptr {
+            h.write_u64(p);
+        }
+        for &c in &self.cols {
+            h.write_u64(c as u64);
+        }
+        for v in &self.vals {
+            h.write_u64(v.re.to_bits());
+            h.write_u64(v.im.to_bits());
+        }
+        h.finish()
+    }
+
     /// Entry `(r, c)`, or zero if not stored.
     pub fn get(&self, r: usize, c: usize) -> Complex64 {
         let cols = self.row_cols(r);
@@ -291,6 +318,29 @@ impl CrsMatrix {
         halo.sort_unstable();
         halo.dedup();
         halo
+    }
+}
+
+/// Incremental FNV-1a (64-bit) over `u64` words — the same hash family
+/// the checkpoint records use, hand-rolled because the build has no
+/// registry access. Word-at-a-time keeps it fast enough to fingerprint
+/// multi-million-row matrices once at registration.
+pub(crate) struct Fnv1a(u64);
+
+impl Fnv1a {
+    pub(crate) fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    pub(crate) fn write_u64(&mut self, word: u64) {
+        for byte in word.to_le_bytes() {
+            self.0 ^= byte as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
     }
 }
 

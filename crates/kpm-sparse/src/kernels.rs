@@ -243,23 +243,52 @@ enum Repr {
 pub struct KpmMatrix {
     repr: Repr,
     cache_bytes: usize,
+    fingerprint: u64,
 }
 
 impl KpmMatrix {
     /// Wraps a CRS matrix at the default cache budget.
     pub fn crs(m: CrsMatrix) -> Self {
+        let fingerprint = m.content_fingerprint();
         Self {
             repr: Repr::Crs(m),
             cache_bytes: crate::tile::DEFAULT_CACHE_BYTES,
+            fingerprint,
         }
     }
 
     /// Wraps a SELL matrix at the default cache budget.
+    ///
+    /// A directly-wrapped SELL matrix carries a *structural* fingerprint
+    /// (shape, fill, and SELL parameters under a distinct hash domain)
+    /// because the chunk-permuted storage no longer exposes the
+    /// assembled row order. Build through [`KpmMatrix::try_with_format`]
+    /// when the fingerprint must identify matrix *content* across
+    /// formats — the service registry always does.
     pub fn sell(m: SellMatrix) -> Self {
+        let mut h = crate::crs::Fnv1a::new();
+        h.write_u64(0x5e11_5e11_5e11_5e11); // SELL domain tag
+        h.write_u64(m.nrows() as u64);
+        h.write_u64(m.ncols() as u64);
+        h.write_u64(m.nnz() as u64);
+        h.write_u64(m.stored_elements() as u64);
+        h.write_u64(m.chunk_height() as u64);
+        h.write_u64(m.sigma() as u64);
+        let fingerprint = h.finish();
         Self {
             repr: Repr::Sell(m),
             cache_bytes: crate::tile::DEFAULT_CACHE_BYTES,
+            fingerprint,
         }
+    }
+
+    /// The content fingerprint identifying this operator (see
+    /// [`CrsMatrix::content_fingerprint`]). Computed from the assembled
+    /// CRS source in [`KpmMatrix::crs`] / [`KpmMatrix::try_with_format`],
+    /// so CRS and SELL handles built from the same assembly fingerprint
+    /// identically.
+    pub fn content_fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// Builds the requested format from an assembled CRS matrix.
@@ -273,8 +302,16 @@ impl KpmMatrix {
                 chunk_height,
                 sigma,
             } => {
+                // Fingerprint the assembled CRS content *before* the
+                // chunk permutation so CRS and SELL handles of the same
+                // operator share a fingerprint.
+                let fingerprint = m.content_fingerprint();
                 let sell = SellMatrix::try_from_crs(&m, chunk_height, sigma)?;
-                Ok(Self::sell(sell))
+                Ok(Self {
+                    repr: Repr::Sell(sell),
+                    cache_bytes: crate::tile::DEFAULT_CACHE_BYTES,
+                    fingerprint,
+                })
             }
         }
     }

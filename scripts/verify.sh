@@ -60,4 +60,23 @@ echo "== smoke: kpm report on autotuned SELL-C-sigma =="
 ./target/release/kpm report --nx 20 --ny 20 --nz 10 --moments 64 \
     --random 8 --machine IVB --llc-mib 0.5 --format sell --autotune
 
+echo "== service: chaos ledger (500 randomized schedules) =="
+# Exactly-once replies, bitwise batched moments, and a consistent
+# admitted==replied ledger under crashes, slow solves, lock poisoning,
+# deadline storms, and both shutdown modes.
+cargo test -q --test service_chaos
+
+echo "== smoke: kpm serve (batched mixed queries + typed backpressure) =="
+# A mixed DOS/LDOS batch must coalesce and answer, a zero-deadline
+# request must be shed with a typed reason and a retry hint, and the
+# final ledger must balance.
+./target/release/kpm generate --nx 4 --ny 4 --nz 2 --out target/verify-serve.mtx
+serve_out=$(printf 'dos 1 2 64\nldos 3 64\ndos 9 1 64 0\n' | \
+    ./target/release/kpm serve target/verify-serve.mtx)
+echo "$serve_out"
+echo "$serve_out" | grep -q '"status": "ok"'
+echo "$serve_out" | grep -q '"reason": "past_deadline"'
+echo "$serve_out" | grep -q '"retry_after_ms"'
+echo "$serve_out" | grep -q '"consistent": true'
+
 echo "verify: OK"

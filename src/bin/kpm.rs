@@ -34,6 +34,9 @@ use kpm_repro::perfmodel::cachesim::CacheConfig;
 use kpm_repro::perfmodel::machine::Machine;
 use kpm_repro::perfmodel::omega::measure_omega_kernel;
 use kpm_repro::perfmodel::roofline::custom_roofline;
+use kpm_repro::service::{
+    Admission, QueryKind, RejectReason, Request, Service, ServiceConfig, ShutdownMode,
+};
 use kpm_repro::sparse::{
     autotune, io as mmio, stats, AutotuneEnv, CrsMatrix, FormatSpec, KpmMatrix, SparseKernels,
 };
@@ -47,6 +50,7 @@ fn main() -> ExitCode {
         Some("dos") => cmd_dos(&args[1..]),
         Some("count") => cmd_count(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("--help") | Some("-h") | None => {
             eprintln!("{USAGE}");
             Ok(())
@@ -69,6 +73,11 @@ const USAGE: &str = "usage:
   kpm count [FILE.mtx | --nx N --ny N --nz N] --from E --to E [--moments M] [--random R]
   kpm report [FILE.mtx | --nx N --ny N --nz N] [--moments M] [--random R]
              [--machine IVB|SNB|K20m|K20X] [--llc-mib F] [--sweeps S]
+  kpm serve  [FILE.mtx | --nx N --ny N --nz N] [--workers W] [--queue Q]
+             [--width R] [--window-us U] [--deadline-ms D] [--points K]
+             [--kernel jackson|dirichlet|lorentz] [--lambda L]
+             (requests on stdin: 'dos SEED R M [MS]' | 'ldos SITE M [MS]'
+              | 'green SEED R M [MS]'; one JSON reply line per request)
 common:
   --threads T                worker threads (0 = KPM_THREADS env, else all cores)
   --format crs|sell          matrix storage format for the solver (default crs)
@@ -510,6 +519,241 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
             point.p_star,
             100.0 * achieved / point.p_star
         );
+    }
+    outputs.export()
+}
+
+/// Request lines accepted by `kpm serve` (one request per line; blank
+/// lines and `#` comments skipped; `quit` stops reading early):
+///
+/// ```text
+/// dos SEED R M [DEADLINE_MS]
+/// ldos SITE M [DEADLINE_MS]
+/// green SEED R M [DEADLINE_MS]
+/// ```
+fn parse_request_line(
+    line: &str,
+    matrix: u64,
+    kernel: Kernel,
+    points: usize,
+) -> Result<Option<Request>, String> {
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    let int = |s: &str| -> Result<u64, String> {
+        s.parse()
+            .map_err(|_| format!("bad number '{s}' in '{line}'"))
+    };
+    let deadline = |t: Option<&&str>| -> Result<Option<std::time::Duration>, String> {
+        t.map(|s| int(s).map(std::time::Duration::from_millis))
+            .transpose()
+    };
+    let (kind, num_moments, deadline) = match tokens.as_slice() {
+        [] => return Ok(None),
+        ["quit"] => return Ok(None),
+        ["dos", seed, r, m, rest @ ..] => (
+            QueryKind::Dos {
+                seed: int(seed)?,
+                num_random: int(r)? as usize,
+            },
+            int(m)? as usize,
+            deadline(rest.first())?,
+        ),
+        ["ldos", site, m, rest @ ..] => (
+            QueryKind::Ldos {
+                site: int(site)? as usize,
+            },
+            int(m)? as usize,
+            deadline(rest.first())?,
+        ),
+        ["green", seed, r, m, rest @ ..] => (
+            QueryKind::Green {
+                seed: int(seed)?,
+                num_random: int(r)? as usize,
+            },
+            int(m)? as usize,
+            deadline(rest.first())?,
+        ),
+        _ => return Err(format!("cannot parse request '{line}'\n{USAGE}")),
+    };
+    Ok(Some(Request {
+        matrix,
+        kind,
+        num_moments,
+        kernel,
+        points,
+        deadline,
+    }))
+}
+
+/// A scalar digest of the reconstructed curve, so smoke tests can
+/// assert the served numbers without shipping whole curves as JSON.
+fn curve_checksum(curve: &kpm_repro::service::Curve) -> f64 {
+    use kpm_repro::service::Curve;
+    match curve {
+        Curve::Dos(c) | Curve::Ldos(c) => c.values.iter().sum(),
+        Curve::Green(c) => c.values.iter().map(|v| v.norm_sqr().sqrt()).sum(),
+    }
+}
+
+/// One JSON reply line per request, in submission order.
+fn serve_reply_line(index: usize, resp: &kpm_repro::service::Response) -> String {
+    use kpm_repro::service::Outcome;
+    match &resp.outcome {
+        Outcome::Success(answer) => format!(
+            "{{\"request\": {index}, \"status\": \"ok\", \"m_served\": {}, \
+             \"cache_hit\": {}, \"batch_width\": {}, \"checksum\": {}}}",
+            answer.moments.len(),
+            resp.stats.cache_hit,
+            resp.stats.batch_width,
+            obs::json::num(curve_checksum(&answer.curve)),
+        ),
+        Outcome::Degraded { answer, info } => format!(
+            "{{\"request\": {index}, \"status\": \"degraded\", \"m_requested\": {}, \
+             \"m_served\": {}, \"extra_broadening\": {}, \"from_cache\": {}, \"checksum\": {}}}",
+            info.requested_moments,
+            info.served_moments,
+            obs::json::num(info.extra_broadening),
+            info.from_cache,
+            obs::json::num(curve_checksum(&answer.curve)),
+        ),
+        Outcome::Failed(e) => {
+            format!("{{\"request\": {index}, \"status\": \"error\", \"error\": \"{e}\"}}")
+        }
+    }
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    check_args(
+        args,
+        &[
+            MATRIX_FLAGS,
+            OBS_FLAGS,
+            FORMAT_FLAGS,
+            THREADS_FLAGS,
+            &[
+                "--workers",
+                "--queue",
+                "--width",
+                "--window-us",
+                "--deadline-ms",
+                "--points",
+                "--kernel",
+                "--lambda",
+            ],
+        ],
+    )?;
+    let h = load_matrix(args)?;
+    if !h.is_hermitian() {
+        return Err("KPM service needs a Hermitian matrix".into());
+    }
+    let points = opt_usize(args, "--points", 256)?;
+    let kernel = match opt(args, "--kernel").unwrap_or("jackson") {
+        "jackson" => Kernel::Jackson,
+        "dirichlet" => Kernel::Dirichlet,
+        "lorentz" => Kernel::Lorentz(opt_f64(args, "--lambda")?.unwrap_or(3.0)),
+        other => {
+            return Err(format!(
+                "unknown kernel '{other}' (try: jackson, dirichlet, lorentz)"
+            ))
+        }
+    };
+    let outputs = ObsOutputs::from_args(args);
+    let sf = ScaleFactors::from_gershgorin(&h, 0.01);
+    let threads = opt_usize(args, "--threads", 0)?;
+    let m = format_matrix(args, h, threads, None)?;
+
+    let config = ServiceConfig {
+        workers: opt_usize(args, "--workers", 2)?.max(1),
+        queue_capacity: opt_usize(args, "--queue", 64)?.max(1),
+        max_batch_width: opt_usize(args, "--width", 8)?.max(1),
+        batch_window: std::time::Duration::from_micros(opt_usize(args, "--window-us", 500)? as u64),
+        default_deadline: std::time::Duration::from_millis(
+            opt_usize(args, "--deadline-ms", 2000)?.max(1) as u64,
+        ),
+        ..ServiceConfig::default()
+    };
+    let svc = Service::start(config);
+    let fingerprint = svc.register_matrix(m, sf);
+    eprintln!(
+        "serving matrix {fingerprint:#018x}; reading requests from stdin (EOF or 'quit' drains and exits)"
+    );
+
+    // Submit everything first so concurrent same-matrix requests
+    // coalesce into block solves; replies print in submission order.
+    enum Slot {
+        Ticket(kpm_repro::service::Ticket),
+        Line(String),
+    }
+    let mut slots: Vec<Slot> = Vec::new();
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        use std::io::BufRead as _;
+        if stdin
+            .lock()
+            .read_line(&mut line)
+            .map_err(|e| e.to_string())?
+            == 0
+        {
+            break;
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        if trimmed == "quit" {
+            break;
+        }
+        let index = slots.len();
+        let req = parse_request_line(trimmed, fingerprint, kernel, points)?;
+        let Some(req) = req else { continue };
+        match svc.submit(req) {
+            Admission::Admitted(ticket) => slots.push(Slot::Ticket(ticket)),
+            Admission::Rejected {
+                retry_after,
+                reason,
+            } => {
+                let reason = match reason {
+                    RejectReason::QueueFull => "queue_full",
+                    RejectReason::PastDeadline => "past_deadline",
+                    RejectReason::ShuttingDown => "shutting_down",
+                };
+                slots.push(Slot::Line(format!(
+                    "{{\"request\": {index}, \"status\": \"rejected\", \"reason\": \"{reason}\", \
+                     \"retry_after_ms\": {}}}",
+                    obs::json::num(retry_after.as_secs_f64() * 1e3),
+                )));
+            }
+        }
+    }
+
+    for (index, slot) in slots.iter().enumerate() {
+        match slot {
+            Slot::Line(json) => println!("{json}"),
+            Slot::Ticket(ticket) => match ticket.wait() {
+                Some(resp) => println!("{}", serve_reply_line(index, &resp)),
+                None => println!(
+                    "{{\"request\": {index}, \"status\": \"error\", \"error\": \"service dropped the reply\"}}"
+                ),
+            },
+        }
+    }
+
+    let ledger = svc.shutdown(ShutdownMode::Drain);
+    println!(
+        "{{\"ledger\": {{\"admitted\": {}, \"replied\": {}, \"rejected\": {}, \"degraded\": {}, \
+         \"retried\": {}, \"hedged\": {}, \"cache_hits\": {}, \"consistent\": {}}}}}",
+        ledger.admitted,
+        ledger.replied,
+        ledger.rejected,
+        ledger.degraded,
+        ledger.retried,
+        ledger.hedged,
+        ledger.cache_hits,
+        ledger.consistent(),
+    );
+    if !ledger.consistent() {
+        return Err("service ledger imbalance: admitted != replied".into());
     }
     outputs.export()
 }

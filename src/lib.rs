@@ -11,6 +11,7 @@ pub use kpm_hetsim as hetsim;
 pub use kpm_num as num;
 pub use kpm_obs as obs;
 pub use kpm_perfmodel as perfmodel;
+pub use kpm_service as service;
 pub use kpm_simgpu as simgpu;
 pub use kpm_sparse as sparse;
 pub use kpm_topo as topo;

@@ -63,8 +63,8 @@ fn pipelined_cluster_beats_blocking_cluster_everywhere() {
     let plain = ClusterModel::piz_daint(&bench, 32);
     let piped = ClusterModel::piz_daint(&bench, 32).with_pipelining();
     for nodes in [4usize, 64, 1024] {
-        let sq_plain = plain.weak_scaling_square(nodes);
-        let sq_piped = piped.weak_scaling_square(nodes);
+        let sq_plain = plain.weak_scaling_square(nodes).expect("optimized stage");
+        let sq_piped = piped.weak_scaling_square(nodes).expect("optimized stage");
         let (a, b) = (sq_plain.last().unwrap(), sq_piped.last().unwrap());
         assert!(
             b.tflops >= a.tflops,

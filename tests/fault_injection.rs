@@ -170,6 +170,72 @@ fn checkpoint_crash_resume_roundtrip() {
     assert!(diff < 1e-12, "resume drifted by {diff}");
 }
 
+/// A corrupt checkpoint file — a truncated write or garbage bytes under
+/// a checkpoint name — must not abort restart discovery:
+/// `latest_consistent` skips the damaged record, lets the tiling check
+/// disqualify the iteration, and falls back to the previous consistent
+/// state. Direct loads still surface the damage as a typed error.
+#[test]
+fn corrupt_checkpoint_files_fall_back_to_older_consistent_state() {
+    use kpm_repro::core::checkpoint::{
+        CheckpointStore, DirCheckpointStore, EtaCheckpoint, RankCheckpoint,
+    };
+
+    let dir = std::env::temp_dir().join(format!("kpm-fault-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = DirCheckpointStore::new(&dir).expect("create store");
+    let n = 20usize;
+    let width = 2usize;
+    let save_full = |iteration: usize| {
+        for rank in 0..2usize {
+            let rows = n / 2;
+            let begin = rank * rows;
+            store
+                .save_rank(&RankCheckpoint {
+                    iteration,
+                    rank,
+                    row_begin: begin,
+                    row_end: begin + rows,
+                    width,
+                    halo_sent: 0,
+                    v: vec![Complex64::real(1.0); rows * width],
+                    w: vec![Complex64::real(2.0); rows * width],
+                })
+                .expect("save rank");
+        }
+        store
+            .save_eta(&EtaCheckpoint {
+                iteration,
+                width,
+                eta: vec![Complex64::real(0.5); EtaCheckpoint::expected_len(iteration, width)],
+            })
+            .expect("save eta");
+    };
+    save_full(4);
+    save_full(8);
+    assert_eq!(latest_consistent(&store, n).unwrap(), Some(8));
+
+    // Truncate one rank record of the newest iteration: its tiling of
+    // 0..n breaks, so discovery falls back to 4 instead of erroring.
+    let victim = dir.join("rank-00000008-0000.ckpt");
+    let bytes = std::fs::read(&victim).expect("read victim");
+    std::fs::write(&victim, &bytes[..bytes.len() / 2]).expect("truncate victim");
+    assert_eq!(latest_consistent(&store, n).unwrap(), Some(4));
+
+    // Direct loads still report the damage as typed corruption.
+    let err = store
+        .load_rank(8, 0)
+        .expect_err("truncated record must decode to a typed error");
+    assert!(matches!(err, KpmError::CheckpointCorrupt { .. }), "{err:?}");
+
+    // Replace the η record at 4 with garbage: iteration 4 is
+    // disqualified too and no consistent restart point remains.
+    std::fs::write(dir.join("eta-00000004.ckpt"), b"not a checkpoint at all")
+        .expect("write garbage");
+    assert_eq!(latest_consistent(&store, n).unwrap(), None);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// The out-of-order stash is bounded: a rank flooded with messages it
 /// never consumes reports `StashOverflow` instead of growing without
 /// limit.

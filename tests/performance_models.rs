@@ -99,7 +99,7 @@ fn fig11_headline_ratios() {
 #[test]
 fn fig12_reaches_100_tflops_at_1024_nodes() {
     let model = ClusterModel::piz_daint(&bench_matrix(), 32);
-    let square = model.weak_scaling_square(1024);
+    let square = model.weak_scaling_square(1024).expect("optimized stage");
     let last = square.last().unwrap();
     assert_eq!(last.nodes, 1024);
     assert!(
@@ -108,14 +108,14 @@ fn fig12_reaches_100_tflops_at_1024_nodes() {
         last.tflops
     );
     // Largest Bar system: matrix with > 6.5e9 rows.
-    let bar = model.weak_scaling_bar(1024);
+    let bar = model.weak_scaling_bar(1024).expect("optimized stage");
     assert!(bar.last().unwrap().domain.rows() > 6_500_000_000 - 100_000_000);
 }
 
 #[test]
 fn fig12_square_dip_at_4_nodes_then_flat() {
     let model = ClusterModel::piz_daint(&bench_matrix(), 32);
-    let pts = model.weak_scaling_square(1024);
+    let pts = model.weak_scaling_square(1024).expect("optimized stage");
     assert!(
         pts[1].efficiency < pts[0].efficiency,
         "dip when y-cuts appear"
@@ -129,7 +129,7 @@ fn fig12_square_dip_at_4_nodes_then_flat() {
 #[test]
 fn table3_within_factor_1p5_of_paper() {
     let model = ClusterModel::piz_daint(&bench_matrix(), 32);
-    let rows = model.table3();
+    let rows = model.table3().expect("optimized stage");
     let paper = [(14.9, 164.0), (107.0, 81.0), (116.0, 75.0)];
     for (row, (p_tflops, p_hours)) in rows.iter().zip(paper) {
         let tf_ratio = row.tflops / p_tflops;

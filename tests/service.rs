@@ -1,0 +1,371 @@
+//! Tier-1 suite for the KPM service runtime.
+//!
+//! Covers the service contract end to end: batched block solves are
+//! bitwise identical to the serial solver for any batch composition,
+//! repeat queries answer from the moment cache, backpressure and
+//! past-deadline rejections are typed and carry a `retry_after` hint,
+//! overload and solve-deadline pressure degrade gracefully (explicit
+//! annotation, quantified broadening penalty), and both shutdown modes
+//! reply to every admitted request.
+
+use std::time::Duration;
+
+use kpm_repro::core::kernels::Kernel;
+use kpm_repro::core::ldos::site_moments;
+use kpm_repro::core::moments::MomentSet;
+use kpm_repro::core::solver::{moments_from_start, starting_vectors, KpmParams};
+use kpm_repro::service::{
+    Admission, Answer, ChaosPlan, Outcome, QueryKind, RejectReason, Request, Response, Service,
+    ServiceConfig, ShutdownMode, Ticket,
+};
+use kpm_repro::sparse::{CrsMatrix, KpmMatrix};
+use kpm_repro::topo::{ScaleFactors, TopoHamiltonian};
+
+fn test_matrix() -> (CrsMatrix, ScaleFactors) {
+    let h = TopoHamiltonian::clean(3, 3, 2).assemble();
+    let sf = ScaleFactors::from_gershgorin(&h, 0.01);
+    (h, sf)
+}
+
+/// The serial ground truth for a trace query: accumulate
+/// `moments_from_start` over the solver's own starting vectors.
+fn serial_reference(h: &CrsMatrix, sf: ScaleFactors, seed: u64, r: usize, m: usize) -> MomentSet {
+    let params = KpmParams {
+        num_moments: m,
+        num_random: r,
+        seed,
+        parallel: false,
+        threads: 0,
+    };
+    let mut acc = MomentSet::zeros(m);
+    for v in &starting_vectors(h.nrows(), &params) {
+        acc.accumulate(&moments_from_start(h, sf, v, m, false).expect("serial solve"));
+    }
+    acc
+}
+
+fn answer_of(resp: &Response) -> &Answer {
+    match &resp.outcome {
+        Outcome::Success(a) => a,
+        Outcome::Degraded { answer, .. } => answer,
+        Outcome::Failed(e) => panic!("request {} failed: {e}", resp.id),
+    }
+}
+
+fn submit_ok(svc: &Service, req: Request) -> Ticket {
+    match svc.submit(req) {
+        Admission::Admitted(t) => t,
+        Admission::Rejected { reason, .. } => panic!("unexpected rejection: {reason:?}"),
+    }
+}
+
+fn dos_request(fp: u64, seed: u64, num_random: usize, m: usize) -> Request {
+    Request {
+        matrix: fp,
+        kind: QueryKind::Dos { seed, num_random },
+        num_moments: m,
+        kernel: Kernel::Jackson,
+        points: 16,
+        deadline: None,
+    }
+}
+
+/// Batched block solves are bitwise the serial solver, for a batch
+/// mixing DOS, LDOS and Green queries with different seeds, widths and
+/// moment counts — the service's central correctness guarantee.
+#[test]
+fn batched_answers_bitwise_match_serial_for_mixed_batches() {
+    let (h, sf) = test_matrix();
+    for parallel_solve in [false, true] {
+        let svc = Service::start(ServiceConfig {
+            workers: 2,
+            batch_window: Duration::from_millis(2),
+            parallel_solve,
+            ..ServiceConfig::default()
+        });
+        let fp = svc.register_matrix(KpmMatrix::crs(h.clone()), sf);
+
+        // Submit the whole mixed batch before waiting so the batcher
+        // coalesces it into block solves.
+        let t_dos_a = submit_ok(&svc, dos_request(fp, 1, 2, 32));
+        let t_dos_b = submit_ok(&svc, dos_request(fp, 2, 1, 16));
+        let t_ldos = submit_ok(
+            &svc,
+            Request {
+                matrix: fp,
+                kind: QueryKind::Ldos { site: 3 },
+                num_moments: 32,
+                kernel: Kernel::Jackson,
+                points: 16,
+                deadline: None,
+            },
+        );
+        let t_green = submit_ok(
+            &svc,
+            Request {
+                matrix: fp,
+                kind: QueryKind::Green {
+                    seed: 5,
+                    num_random: 2,
+                },
+                num_moments: 24,
+                kernel: Kernel::Lorentz(3.0),
+                points: 16,
+                deadline: None,
+            },
+        );
+
+        let r_dos_a = t_dos_a.wait().expect("dos a reply");
+        let r_dos_b = t_dos_b.wait().expect("dos b reply");
+        let r_ldos = t_ldos.wait().expect("ldos reply");
+        let r_green = t_green.wait().expect("green reply");
+
+        assert_eq!(
+            answer_of(&r_dos_a).moments.as_slice(),
+            serial_reference(&h, sf, 1, 2, 32).as_slice(),
+            "parallel={parallel_solve}: batched DOS moments differ from serial"
+        );
+        assert_eq!(
+            answer_of(&r_dos_b).moments.as_slice(),
+            serial_reference(&h, sf, 2, 1, 16).as_slice(),
+            "parallel={parallel_solve}: mixed-M member differs from serial"
+        );
+        assert_eq!(
+            answer_of(&r_ldos).moments.as_slice(),
+            site_moments(&h, sf, 3, 32).expect("serial ldos").as_slice(),
+            "parallel={parallel_solve}: batched LDOS moments differ from site_moments"
+        );
+        assert_eq!(
+            answer_of(&r_green).moments.as_slice(),
+            serial_reference(&h, sf, 5, 2, 24).as_slice(),
+            "parallel={parallel_solve}: batched Green moments differ from serial"
+        );
+
+        let ledger = svc.shutdown(ShutdownMode::Drain);
+        assert!(ledger.consistent(), "ledger must balance: {ledger:?}");
+        assert_eq!(ledger.admitted, 4);
+    }
+}
+
+/// A repeat of an identical query answers from the moment cache —
+/// bitwise the same moments, flagged as a cache hit, no second solve.
+#[test]
+fn repeat_queries_answer_from_the_moment_cache() {
+    let (h, sf) = test_matrix();
+    let svc = Service::start(ServiceConfig::default());
+    let fp = svc.register_matrix(KpmMatrix::crs(h.clone()), sf);
+
+    let first = submit_ok(&svc, dos_request(fp, 9, 1, 32))
+        .wait()
+        .expect("first");
+    assert!(!first.stats.cache_hit);
+    let second = submit_ok(&svc, dos_request(fp, 9, 1, 32))
+        .wait()
+        .expect("second");
+    assert!(
+        second.stats.cache_hit,
+        "identical repeat must hit the cache"
+    );
+    assert_eq!(
+        answer_of(&first).moments.as_slice(),
+        answer_of(&second).moments.as_slice(),
+        "cached answer must be bitwise the solved answer"
+    );
+
+    // A shorter repeat is served from the same entry (moment prefixes
+    // are bitwise shorter runs); it is full quality, not degraded.
+    let shorter = submit_ok(&svc, dos_request(fp, 9, 1, 16))
+        .wait()
+        .expect("shorter");
+    assert!(shorter.stats.cache_hit && !shorter.is_degraded());
+    assert_eq!(
+        answer_of(&shorter).moments.as_slice(),
+        &answer_of(&first).moments.as_slice()[..16],
+    );
+    svc.shutdown(ShutdownMode::Drain);
+}
+
+/// A deadline that cannot survive the batching window is rejected at
+/// admission with a positive `retry_after` hint, not admitted and
+/// doomed.
+#[test]
+fn past_deadline_requests_are_rejected_with_retry_after() {
+    let (h, sf) = test_matrix();
+    let svc = Service::start(ServiceConfig::default());
+    let fp = svc.register_matrix(KpmMatrix::crs(h), sf);
+    let mut req = dos_request(fp, 1, 1, 16);
+    req.deadline = Some(Duration::ZERO);
+    match svc.submit(req) {
+        Admission::Rejected {
+            retry_after,
+            reason,
+        } => {
+            assert_eq!(reason, RejectReason::PastDeadline);
+            assert!(retry_after > Duration::ZERO, "hint must be actionable");
+        }
+        Admission::Admitted(_) => panic!("zero-deadline request must be rejected"),
+    }
+    let ledger = svc.shutdown(ShutdownMode::Drain);
+    assert_eq!(ledger.rejected, 1);
+    assert!(ledger.consistent());
+}
+
+/// A full admission queue sheds load with typed `QueueFull` rejections
+/// while every admitted request still gets its reply.
+#[test]
+fn queue_full_backpressure_is_explicit_and_lossless() {
+    let (h, sf) = test_matrix();
+    let svc = Service::start(ServiceConfig {
+        workers: 1,
+        queue_capacity: 2,
+        chaos: Some(ChaosPlan::new(1).with_slow_solver(1.0, Duration::from_millis(10))),
+        ..ServiceConfig::default()
+    });
+    let fp = svc.register_matrix(KpmMatrix::crs(h), sf);
+
+    let mut tickets = Vec::new();
+    let mut rejections = 0u64;
+    for i in 0..30 {
+        match svc.submit(dos_request(fp, i, 1, 8)) {
+            Admission::Admitted(t) => tickets.push(t),
+            Admission::Rejected {
+                retry_after,
+                reason,
+            } => {
+                assert_eq!(reason, RejectReason::QueueFull);
+                assert!(retry_after > Duration::ZERO);
+                rejections += 1;
+            }
+        }
+    }
+    assert!(
+        rejections > 0,
+        "a 30-burst against capacity 2 must shed load"
+    );
+    let admitted = tickets.len() as u64;
+    for t in &tickets {
+        assert!(
+            t.wait_timeout(Duration::from_secs(30)).is_some(),
+            "admitted request lost under backpressure"
+        );
+    }
+    let ledger = svc.shutdown(ShutdownMode::Drain);
+    assert_eq!(ledger.admitted, admitted);
+    assert_eq!(ledger.rejected, rejections);
+    assert!(ledger.consistent());
+}
+
+/// When the solve blows its deadline but the cache holds a shorter run
+/// for the same query, the service degrades gracefully: the reply is a
+/// valid truncated-`M` answer with `degraded: true` and the broadening
+/// penalty quantified, bitwise equal to a serial run at the served `M`.
+#[test]
+fn solve_deadline_degrades_to_a_cached_shorter_answer() {
+    let (h, sf) = test_matrix();
+    let svc = Service::start(ServiceConfig {
+        workers: 1,
+        // Every solve attempt is slowed past the tight deadline below.
+        chaos: Some(ChaosPlan::new(2).with_slow_solver(1.0, Duration::from_millis(40))),
+        hedge_after: None,
+        ..ServiceConfig::default()
+    });
+    let fp = svc.register_matrix(KpmMatrix::crs(h.clone()), sf);
+
+    // Warm the cache at M=32 (the slow solver delays but the default
+    // deadline absorbs it).
+    let warm = submit_ok(&svc, dos_request(fp, 4, 1, 32))
+        .wait()
+        .expect("warm");
+    assert!(!warm.is_degraded());
+
+    // Now ask for M=64 with a deadline the injected slowdown must blow.
+    let mut req = dos_request(fp, 4, 1, 64);
+    req.deadline = Some(Duration::from_millis(25));
+    let resp = submit_ok(&svc, req).wait().expect("degraded reply");
+    match &resp.outcome {
+        Outcome::Degraded { answer, info } => {
+            assert!(info.from_cache);
+            assert_eq!(info.requested_moments, 64);
+            assert_eq!(info.served_moments, 32);
+            assert!(info.extra_broadening > 0.0, "penalty must be quantified");
+            assert_eq!(
+                answer.moments.as_slice(),
+                serial_reference(&h, sf, 4, 1, 32).as_slice(),
+                "degraded answer must still be bitwise a serial run at the served M"
+            );
+        }
+        other => panic!("expected a degraded cache answer, got {other:?}"),
+    }
+    let ledger = svc.shutdown(ShutdownMode::Drain);
+    assert!(ledger.consistent());
+    assert!(ledger.degraded >= 1);
+}
+
+/// Abort shutdown fails queued work fast — but every admitted request
+/// still receives exactly one terminal reply before `shutdown` returns.
+#[test]
+fn abort_shutdown_replies_to_every_admitted_request() {
+    let (h, sf) = test_matrix();
+    let svc = Service::start(ServiceConfig {
+        workers: 1,
+        chaos: Some(ChaosPlan::new(3).with_slow_solver(1.0, Duration::from_millis(20))),
+        ..ServiceConfig::default()
+    });
+    let fp = svc.register_matrix(KpmMatrix::crs(h), sf);
+    let tickets: Vec<Ticket> = (0..8)
+        .map(|i| submit_ok(&svc, dos_request(fp, i, 1, 16)))
+        .collect();
+    let ledger = svc.shutdown(ShutdownMode::Abort);
+    assert_eq!(ledger.admitted, 8);
+    assert!(
+        ledger.consistent(),
+        "abort must not lose replies: {ledger:?}"
+    );
+    for t in &tickets {
+        let resp = t
+            .wait_timeout(Duration::from_secs(5))
+            .expect("terminal reply must be buffered before shutdown returns");
+        // Exactly one reply per ticket.
+        assert!(t.rx.try_recv().is_err());
+        drop(resp);
+    }
+}
+
+/// Structural garbage (unknown matrix, odd moment counts, out-of-range
+/// sites) answers with typed errors through the normal reply path, so
+/// the ledger stays uniform.
+#[test]
+fn invalid_requests_fail_typed_through_the_reply_path() {
+    let (h, sf) = test_matrix();
+    let svc = Service::start(ServiceConfig::default());
+    let fp = svc.register_matrix(KpmMatrix::crs(h), sf);
+
+    let unknown = submit_ok(&svc, dos_request(0xdead_beef, 1, 1, 16))
+        .wait()
+        .expect("typed reply");
+    assert!(!unknown.is_answered());
+
+    let mut odd = dos_request(fp, 1, 1, 15);
+    odd.num_moments = 15;
+    let odd_resp = submit_ok(&svc, odd).wait().expect("typed reply");
+    assert!(!odd_resp.is_answered());
+
+    let bad_site = submit_ok(
+        &svc,
+        Request {
+            matrix: fp,
+            kind: QueryKind::Ldos { site: 10_000 },
+            num_moments: 16,
+            kernel: Kernel::Jackson,
+            points: 16,
+            deadline: None,
+        },
+    )
+    .wait()
+    .expect("typed reply");
+    assert!(!bad_site.is_answered());
+
+    let ledger = svc.shutdown(ShutdownMode::Drain);
+    assert_eq!(ledger.admitted, 3);
+    assert!(ledger.consistent());
+}
