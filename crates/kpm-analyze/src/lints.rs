@@ -114,6 +114,12 @@ pub const RULES: &[Rule] = &[
                   or reading a clock",
     },
     Rule {
+        name: "obs_label",
+        summary: "metric and span names handed to the kpm-obs registries are \
+                  dot-separated lowercase paths (`svc.queue.wait_ns`), so exports \
+                  group by subsystem and the Prometheus mangling stays invertible",
+    },
+    Rule {
         name: "unknown_suppression",
         summary: "suppression markers must name an existing rule",
     },
@@ -259,6 +265,9 @@ pub fn analyze_source(input: &FileInput, src: &str) -> Vec<Diagnostic> {
     }
     if input.crate_name == OBS_CRATE && input.class == FileClass::Lib {
         obs_gate(&mut ctx);
+    }
+    if matches!(input.class, FileClass::Lib | FileClass::Bin) {
+        obs_label(&mut ctx, src);
     }
 
     let mut diags = ctx.diags;
@@ -1043,6 +1052,91 @@ fn obs_gate(ctx: &mut Ctx<'_>) {
     }
     for (line, msg) in findings {
         ctx.report("obs_gate", line, msg);
+    }
+}
+
+/// Calls whose first string-literal argument is a metric/span/event
+/// name registered with `kpm-obs`. Method-call forms (`.record(`)
+/// never name registry entries and are skipped.
+const OBS_NAME_CALLS: &[&str] = &[
+    "span",
+    "record_manual",
+    "counter_add",
+    "counter_inc",
+    "gauge_set",
+    "gauge_max",
+    "hist_record",
+    "hist_record_ns",
+    "record",
+    "note",
+];
+
+/// True when `name` is a dot-separated lowercase path
+/// (`svc.queue.wait_ns`): at least two segments, each starting with a
+/// letter, using only `[a-z0-9_]`.
+fn is_obs_label(name: &str) -> bool {
+    let mut segments = 0usize;
+    for seg in name.split('.') {
+        let mut chars = seg.chars();
+        match chars.next() {
+            Some(c) if c.is_ascii_lowercase() => {}
+            _ => return false,
+        }
+        if !chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_') {
+            return false;
+        }
+        segments += 1;
+    }
+    segments >= 2
+}
+
+/// `obs_label`: every name handed to the kpm-obs registries —
+/// `span("...")`, `metrics::counter_add("...")`, `hist::record("...")`,
+/// `recorder::note("...")`, ... — is a dot-separated lowercase path, so
+/// trace viewers and the Prometheus exposition group by subsystem
+/// prefix. Scans raw source lines (the lexer drops string payloads);
+/// test code and comment lines are exempt.
+fn obs_label(ctx: &mut Ctx<'_>, src: &str) {
+    let mut findings = Vec::new();
+    for (idx, line) in src.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        if ctx.is_test_line(lineno) || line.trim_start().starts_with("//") {
+            continue;
+        }
+        let bytes = line.as_bytes();
+        for call in OBS_NAME_CALLS {
+            let mut from = 0usize;
+            while let Some(pos) = line[from..].find(call) {
+                let start = from + pos;
+                let after = start + call.len();
+                from = after;
+                // Identifier boundary before, `("` immediately after:
+                // `hist_record(` must not also match as `record(`, and
+                // `.note(`-style method calls are not registry names.
+                let prev = start.checked_sub(1).map(|p| bytes[p] as char);
+                if prev.is_some_and(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.') {
+                    continue;
+                }
+                let rest = &line[after..];
+                let Some(arg) = rest.strip_prefix("(\"") else {
+                    continue;
+                };
+                let Some(end) = arg.find('"') else { continue };
+                let name = &arg[..end];
+                if !is_obs_label(name) {
+                    findings.push((
+                        lineno,
+                        format!(
+                            "`{call}(\"{name}\", ...)`: kpm-obs names are dot-separated \
+                             lowercase paths like `svc.queue.wait_ns`"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    for (line, msg) in findings {
+        ctx.report("obs_label", line, msg);
     }
 }
 

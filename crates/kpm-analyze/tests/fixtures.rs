@@ -576,6 +576,77 @@ pub fn flush(reg: &std::sync::Mutex<u64>) {
     assert!(obs_lib(src).is_empty());
 }
 
+// ------------------------------------------------------------ obs_label
+
+#[test]
+fn obs_label_hit_undotted_uppercase_and_trailing_dot() {
+    let src = r#"
+/// Doc.
+pub fn f() {
+    kpm_obs::metrics::counter_add("admitted", 1);
+    kpm_obs::metrics::gauge_set("Svc.Queue", 1.0);
+    kpm_obs::hist::record("svc.latency.", 3);
+}
+"#;
+    let diags = scan(
+        "kpm-service",
+        FileClass::Lib,
+        "crates/kpm-service/src/service.rs",
+        src,
+    );
+    assert_eq!(rules(&diags), vec!["obs_label", "obs_label", "obs_label"]);
+    assert!(diags[0].message.contains("admitted"));
+    assert!(diags[0].message.contains("dot-separated"));
+}
+
+#[test]
+fn obs_label_miss_dotted_names_tests_and_method_calls() {
+    let src = r#"
+/// Doc.
+pub fn f(h: &mut Hist) {
+    kpm_obs::metrics::counter_add("svc.admitted", 1);
+    let _s = kpm_obs::span::span("svc.stage.queue", "service");
+    kpm_obs::recorder::note("chaos.crash", 7, "detail");
+    // A method call never names a registry entry:
+    h.record(12);
+    let _ = format!("plain string, not a name");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let _s = kpm_obs::span::span("outer", "test");
+    }
+}
+"#;
+    assert!(scan(
+        "kpm-service",
+        FileClass::Lib,
+        "crates/kpm-service/src/service.rs",
+        src,
+    )
+    .is_empty());
+}
+
+#[test]
+fn obs_label_suppressed() {
+    let src = r#"
+/// Doc.
+pub fn f() {
+    // kpm::allow(obs_label): legacy dashboard expects the flat name
+    kpm_obs::metrics::counter_add("admitted", 1);
+}
+"#;
+    assert!(scan(
+        "kpm-service",
+        FileClass::Lib,
+        "crates/kpm-service/src/service.rs",
+        src,
+    )
+    .is_empty());
+}
+
 // -------------------------------------------------- unknown_suppression
 
 #[test]

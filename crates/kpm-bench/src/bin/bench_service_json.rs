@@ -16,8 +16,16 @@
 //!
 //! ```text
 //! bench_service_json [--nx N] [--ny N] [--nz N] [--workers W]
-//!                    [--millis MS] [--out FILE]
+//!                    [--millis MS] [--out FILE] [--check BASELINE.json]
 //! ```
+//!
+//! `--check BASELINE.json` turns the run into a regression gate: after
+//! the sweep, the lowest-load (pre-saturation) p99 is compared against
+//! the committed baseline. The process exits nonzero if it regressed
+//! by more than 25% (plus a 1 ms absolute floor, so microsecond jitter
+//! on a fast host cannot trip the gate). Baselines recorded on a
+//! different host profile (`host_cores` mismatch) are skipped, not
+//! compared — a laptop cannot fail CI against a server's numbers.
 
 use std::fmt::Write as _;
 use std::sync::mpsc;
@@ -160,18 +168,66 @@ fn drive(
     }
 }
 
+/// The host profile stamped into the output: comparisons across
+/// different core counts are meaningless, so the regression gate keys
+/// on this.
+fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Compares this run's pre-saturation p99 against a committed baseline.
+/// Returns `Err` on a >25% regression, `Ok(false)` when the baseline is
+/// not comparable (different host profile or missing fields).
+fn check_baseline(baseline_path: &str, current_p99_ms: f64) -> Result<bool, String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
+    let doc = kpm_obs::json::parse(&text).map_err(|e| format!("{baseline_path}: {e}"))?;
+    use kpm_obs::json::Value;
+    let base_cores = doc.get("host_cores").and_then(Value::as_f64);
+    if base_cores != Some(host_cores() as f64) {
+        eprintln!(
+            "check: baseline host_cores {:?} != this host ({}); skipping comparison",
+            base_cores,
+            host_cores()
+        );
+        return Ok(false);
+    }
+    let base_p99 = doc
+        .get("points")
+        .and_then(Value::as_arr)
+        .and_then(|pts| pts.first())
+        .and_then(|p| p.get("p99_ms"))
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("{baseline_path}: no points[0].p99_ms"))?;
+    let limit = base_p99 * 1.25 + 1.0;
+    eprintln!(
+        "check: pre-saturation p99 {current_p99_ms:.3} ms vs baseline {base_p99:.3} ms \
+         (limit {limit:.3} ms)"
+    );
+    if current_p99_ms > limit {
+        return Err(format!(
+            "p99 regression: {current_p99_ms:.3} ms > 1.25 x baseline {base_p99:.3} ms + 1 ms"
+        ));
+    }
+    Ok(true)
+}
+
 fn main() {
     let nx = arg_usize("--nx", 8);
     let ny = arg_usize("--ny", 8);
     let nz = arg_usize("--nz", 4);
     let workers = arg_usize("--workers", 2);
     let millis = arg_usize("--millis", 400);
-    let out = std::env::args()
-        .collect::<Vec<_>>()
+    let argv: Vec<String> = std::env::args().collect();
+    let out = argv
         .windows(2)
         .find(|w| w[0] == "--out")
         .map(|w| w[1].clone())
         .unwrap_or_else(|| "BENCH_service.json".to_string());
+    let check = argv
+        .windows(2)
+        .find(|w| w[0] == "--check")
+        .map(|w| w[1].clone());
 
     let (h, sf) = benchmark_matrix(nx, ny, nz);
     let window = Duration::from_millis(millis as u64);
@@ -212,6 +268,7 @@ fn main() {
         h.nnz()
     );
     let _ = writeln!(body, "  \"workers\": {workers},");
+    let _ = writeln!(body, "  \"host_cores\": {},", host_cores());
     let _ = writeln!(body, "  \"window_ms\": {millis},");
     let _ = writeln!(body, "  \"moments\": 64,");
     let _ = writeln!(body, "  \"points\": [");
@@ -241,4 +298,15 @@ fn main() {
     kpm_obs::json::parse(&body).expect("generated JSON must parse");
     std::fs::write(&out, &body).expect("write output file");
     eprintln!("wrote {out}");
+
+    if let Some(baseline) = check {
+        match check_baseline(&baseline, points[0].p99_ms) {
+            Ok(true) => eprintln!("check: OK, within 25% of {baseline}"),
+            Ok(false) => {}
+            Err(msg) => {
+                eprintln!("check: FAIL: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

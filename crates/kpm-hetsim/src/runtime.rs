@@ -76,6 +76,10 @@ pub struct Message {
     /// duplicate copies reuse the original's number, so receivers
     /// deduplicate by `(from, seq)` and the leak ledger stays exact.
     seq: u64,
+    /// Sender's Lamport timestamp at send time (0 when tracing is
+    /// disabled). Receivers max-merge it into the global clock so
+    /// cross-rank span orderings reflect the happens-before relation.
+    clock: u64,
 }
 
 /// Message accounting shared by every rank of a world: `leaked = sent -
@@ -227,6 +231,7 @@ impl Communicator {
             tag,
             data,
             seq,
+            clock: kpm_obs::clock::tick(),
         };
         let mut replay_delivered = false;
         if fate.duplicate {
@@ -395,6 +400,9 @@ impl Communicator {
             self.tele.dup_discarded += 1;
             return Ok(None);
         }
+        // Lamport merge: pull the receiver's clock past the sender's
+        // stamp so subsequent spans on this rank order after the send.
+        kpm_obs::clock::observe(msg.clock);
         if msg.from == want_from && msg.tag == want_tag {
             self.shared.ledger.consumed.fetch_add(1, Ordering::Relaxed);
             self.tele.msgs_consumed += 1;

@@ -24,7 +24,7 @@ use std::path::Path;
 
 use crate::json::{escape, num};
 use crate::metrics::{self, Metric};
-use crate::{probe, span};
+use crate::{hist, probe, slo, span};
 
 /// Writes the metrics + kernel-probe snapshot as JSONL.
 pub fn write_metrics_jsonl<W: Write>(mut w: W) -> io::Result<()> {
@@ -73,6 +73,43 @@ pub fn write_metrics_jsonl<W: Write>(mut w: W) -> io::Result<()> {
             }
         }
     }
+    for (name, win) in hist::snapshot() {
+        for (scope, h) in [("total", win.total().clone()), ("window", win.window())] {
+            if h.count() == 0 {
+                continue;
+            }
+            let (p50, p90, p99, p999) = h.quartet();
+            writeln!(
+                w,
+                "{{\"type\":\"exact_histogram\",\"name\":\"{}\",\"scope\":\"{scope}\",\
+                 \"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\
+                 \"p50\":{p50},\"p90\":{p90},\"p99\":{p99},\"p999\":{p999}}}",
+                escape(&name),
+                h.count(),
+                h.sum(),
+                h.min(),
+                h.max(),
+                num(h.mean()),
+            )?;
+        }
+    }
+    for r in slo::snapshot() {
+        writeln!(
+            w,
+            "{{\"type\":\"slo\",\"route\":\"{}\",\"threshold_ns\":{},\"goal\":{},\
+             \"events\":{},\"breaches\":{},\"burn_rate\":{},\
+             \"window_events\":{},\"window_breaches\":{},\"window_burn_rate\":{}}}",
+            escape(&r.route),
+            r.threshold_ns,
+            num(r.goal),
+            r.events,
+            r.breaches,
+            num(r.burn_rate),
+            r.window_events,
+            r.window_breaches,
+            num(r.window_burn_rate),
+        )?;
+    }
     for rep in probe::snapshot() {
         writeln!(
             w,
@@ -101,22 +138,77 @@ pub fn metrics_jsonl_string() -> String {
     String::from_utf8(buf).expect("exporter emits UTF-8")
 }
 
+/// Process lane for a thread: hetsim rank threads (named
+/// `kpm-rank-N`) render under their own pid so chrome://tracing shows
+/// the simulated ranks as separate process lanes; everything else
+/// (main, pool workers, service batcher) shares the host-process lane.
+pub const HOST_PID: u64 = 1;
+/// Chrome-trace pid assigned to hetsim rank threads.
+pub const HETSIM_PID: u64 = 2;
+
+fn pid_for_thread(name: &str) -> u64 {
+    if name.starts_with("kpm-rank-") {
+        HETSIM_PID
+    } else {
+        HOST_PID
+    }
+}
+
 /// Writes every recorded span as a Chrome trace-event JSON document.
+/// Each registered thread keeps its own `tid`, and threads are mapped
+/// to process lanes by [`pid_for_thread`], with `process_name` /
+/// `thread_name` metadata so the viewer labels every lane.
 pub fn write_chrome_trace<W: Write>(mut w: W) -> io::Result<()> {
     write!(w, "{{\"traceEvents\":[")?;
     let mut first = true;
-    for (tid, name) in span::threads() {
+    let threads = span::threads();
+    let mut pids_seen: Vec<u64> = Vec::new();
+    for (_, name) in &threads {
+        let pid = pid_for_thread(name);
+        if !pids_seen.contains(&pid) {
+            pids_seen.push(pid);
+        }
+    }
+    if pids_seen.is_empty() {
+        pids_seen.push(HOST_PID);
+    }
+    for pid in &pids_seen {
+        if !first {
+            write!(w, ",")?;
+        }
+        first = false;
+        let pname = if *pid == HETSIM_PID {
+            "kpm-hetsim"
+        } else {
+            "kpm"
+        };
+        write!(
+            w,
+            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"process_name\",\
+             \"args\":{{\"name\":\"{pname}\"}}}}"
+        )?;
+    }
+    let mut pid_of_tid: Vec<(u64, u64)> = Vec::with_capacity(threads.len());
+    for (tid, name) in &threads {
+        let pid = pid_for_thread(name);
+        pid_of_tid.push((*tid, pid));
         if !first {
             write!(w, ",")?;
         }
         first = false;
         write!(
             w,
-            "{{\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"name\":\"thread_name\",\
+            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\
              \"args\":{{\"name\":\"{}\"}}}}",
-            escape(&name)
+            escape(name)
         )?;
     }
+    let lookup_pid = |tid: u64| {
+        pid_of_tid
+            .iter()
+            .find(|&&(t, _)| t == tid)
+            .map_or(HOST_PID, |&(_, p)| p)
+    };
     for s in span::snapshot() {
         if !first {
             write!(w, ",")?;
@@ -126,6 +218,16 @@ pub fn write_chrome_trace<W: Write>(mut w: W) -> io::Result<()> {
         if let Some(parent) = s.parent {
             let _ = write!(args, "\"parent\":\"{parent}\"");
         }
+        if s.trace != 0 {
+            if !args.is_empty() {
+                args.push(',');
+            }
+            let _ = write!(
+                args,
+                "\"trace\":\"{}\",\"lamport\":\"{}\"",
+                s.trace, s.lamport
+            );
+        }
         for (k, v) in &s.args {
             if !args.is_empty() {
                 args.push(',');
@@ -134,8 +236,9 @@ pub fn write_chrome_trace<W: Write>(mut w: W) -> io::Result<()> {
         }
         write!(
             w,
-            "{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"id\":\"{}\",\"name\":\"{}\",\
+            "{{\"ph\":\"X\",\"pid\":{},\"tid\":{},\"id\":\"{}\",\"name\":\"{}\",\
              \"cat\":\"{}\",\"ts\":{},\"dur\":{},\"args\":{{{args}}}}}",
+            lookup_pid(s.tid),
             s.tid,
             s.id,
             escape(s.name),

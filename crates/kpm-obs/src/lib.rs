@@ -31,10 +31,14 @@
 //! depend on it without cycles, and it stays compatible with the
 //! offline shim policy.
 
+pub mod clock;
 pub mod export;
+pub mod hist;
 pub mod json;
 pub mod metrics;
 pub mod probe;
+pub mod recorder;
+pub mod slo;
 pub mod span;
 
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -54,13 +58,18 @@ pub fn set_enabled(on: bool) {
     ENABLED.store(on, Ordering::Relaxed);
 }
 
-/// Clears every registry (spans, metrics, kernel probes). Intended for
+/// Clears every registry (spans, metrics, kernel probes, exact
+/// histograms, SLOs, Lamport clock, flight recorder). Intended for
 /// tests and for the CLI between measurement phases; does not change
 /// the enabled flag.
 pub fn reset() {
     span::reset();
     metrics::reset();
     probe::reset();
+    hist::reset();
+    slo::reset();
+    clock::reset();
+    recorder::reset();
 }
 
 /// RAII guard that enables instrumentation on construction and restores

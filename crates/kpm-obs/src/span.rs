@@ -39,6 +39,12 @@ pub struct SpanRecord {
     pub cat: &'static str,
     /// Observability thread id (dense, assigned per thread).
     pub tid: u64,
+    /// Request trace the span belongs to (0 = not part of a trace).
+    /// Inherited from the enclosing open span unless set explicitly.
+    pub trace: u64,
+    /// Lamport stamp assigned when the span opened (see
+    /// [`crate::clock`]); orders spans causally across hetsim ranks.
+    pub lamport: u64,
     /// Start time in microseconds since the obs epoch.
     pub start_us: f64,
     /// Duration in microseconds.
@@ -100,11 +106,28 @@ pub fn epoch_unix_us() -> u64 {
 
 static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
 static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+static NEXT_TRACE_ID: AtomicU64 = AtomicU64::new(1);
 
 thread_local! {
-    static OPEN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    /// `(span id, trace id)` of every open span on this thread.
+    static OPEN_STACK: RefCell<Vec<(u64, u64)>> = const { RefCell::new(Vec::new()) };
     static TID: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
     static MY_SHARD: RefCell<Option<Shard>> = const { RefCell::new(None) };
+}
+
+/// Mints a fresh process-unique trace id (never 0). Returns 0 when
+/// instrumentation is disabled so untraced replies are recognizable.
+pub fn mint_trace() -> u64 {
+    if !crate::enabled() {
+        return 0;
+    }
+    NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The calling thread's observability id (registering the thread on
+/// first use). Used by the flight recorder to shard its rings.
+pub fn current_tid() -> u64 {
+    this_tid()
 }
 
 /// This thread's observability id, registering it (with its name) on
@@ -158,25 +181,32 @@ struct ActiveSpan {
     name: &'static str,
     cat: &'static str,
     tid: u64,
+    trace: u64,
+    lamport: u64,
     started: Instant,
     start_us: f64,
     args: Vec<(&'static str, String)>,
 }
 
 /// Opens a span named `name` in category `cat`. The guard records the
-/// span when dropped.
+/// span when dropped. The span joins the trace of the innermost open
+/// span on this thread (override with [`SpanGuard::trace`]).
 pub fn span(name: &'static str, cat: &'static str) -> SpanGuard {
     if !crate::enabled() {
         return SpanGuard { active: None };
     }
     let tid = this_tid();
     let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
-    let parent = OPEN_STACK.with(|s| {
+    let (parent, trace) = OPEN_STACK.with(|s| {
         let mut stack = s.borrow_mut();
-        let parent = stack.last().copied();
-        stack.push(id);
-        parent
+        let (parent, trace) = match stack.last() {
+            Some(&(pid, ptrace)) => (Some(pid), ptrace),
+            None => (None, 0),
+        };
+        stack.push((id, trace));
+        (parent, trace)
     });
+    let lamport = crate::clock::tick();
     let start_us = micros_since_epoch();
     SpanGuard {
         active: Some(ActiveSpan {
@@ -185,6 +215,8 @@ pub fn span(name: &'static str, cat: &'static str) -> SpanGuard {
             name,
             cat,
             tid,
+            trace,
+            lamport,
             started: Instant::now(),
             start_us,
             args: Vec::new(),
@@ -197,6 +229,21 @@ impl SpanGuard {
     pub fn arg(mut self, key: &'static str, value: impl std::fmt::Display) -> Self {
         if let Some(a) = self.active.as_mut() {
             a.args.push((key, value.to_string()));
+        }
+        self
+    }
+
+    /// Assigns the span (and, through inheritance, any span opened
+    /// inside it on this thread) to `trace`. No-op on an inert guard.
+    pub fn trace(mut self, trace: u64) -> Self {
+        if let Some(a) = self.active.as_mut() {
+            a.trace = trace;
+            let id = a.id;
+            OPEN_STACK.with(|s| {
+                if let Some(entry) = s.borrow_mut().iter_mut().find(|(sid, _)| *sid == id) {
+                    entry.1 = trace;
+                }
+            });
         }
         self
     }
@@ -218,10 +265,10 @@ impl Drop for SpanGuard {
             // Guards drop in LIFO order per thread; `retain` tolerates
             // a guard outliving its scope through a mem::forget-free
             // move.
-            if stack.last() == Some(&a.id) {
+            if stack.last().map(|&(id, _)| id) == Some(a.id) {
                 stack.pop();
             } else {
-                stack.retain(|&x| x != a.id);
+                stack.retain(|&(id, _)| id != a.id);
             }
         });
         if RECORDED.fetch_add(1, Ordering::Relaxed) >= MAX_SPANS {
@@ -234,11 +281,53 @@ impl Drop for SpanGuard {
             name: a.name,
             cat: a.cat,
             tid: a.tid,
+            trace: a.trace,
+            lamport: a.lamport,
             start_us: a.start_us,
             dur_us,
             args: a.args,
         });
     }
+}
+
+/// Records a span retroactively from externally measured timestamps
+/// (`start_us`/`dur_us` in microseconds since the obs epoch). Used by
+/// the service to emit the per-stage breakdown of a request at reply
+/// time, when every stage boundary is finally known; the stages tile
+/// the root span exactly, so the reported sum matches the end-to-end
+/// latency by construction. Returns the new span id, or `None` when
+/// disabled or over the [`MAX_SPANS`] cap.
+#[allow(clippy::too_many_arguments)]
+pub fn record_manual(
+    name: &'static str,
+    cat: &'static str,
+    trace: u64,
+    parent: Option<u64>,
+    start_us: f64,
+    dur_us: f64,
+    args: Vec<(&'static str, String)>,
+) -> Option<u64> {
+    if !crate::enabled() {
+        return None;
+    }
+    if RECORDED.fetch_add(1, Ordering::Relaxed) >= MAX_SPANS {
+        DROPPED.fetch_add(1, Ordering::Relaxed);
+        return None;
+    }
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    my_shard().lock().expect("span shard").push(SpanRecord {
+        id,
+        parent,
+        name,
+        cat,
+        tid: this_tid(),
+        trace,
+        lamport: crate::clock::tick(),
+        start_us,
+        dur_us,
+        args,
+    });
+    Some(id)
 }
 
 /// A copy of every recorded span, merged across threads and ordered by

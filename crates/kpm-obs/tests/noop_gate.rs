@@ -42,3 +42,33 @@ fn recording_leaves_no_trace_under_noop() {
     assert!(timer.is_none(), "kernel_timer must not arm under noop");
     assert!(kpm_obs::probe::snapshot().is_empty());
 }
+
+#[test]
+fn tracing_layer_stays_dark_under_noop() {
+    let _guard = kpm_obs::EnabledGuard::new();
+
+    // Trace ids and the Lamport clock are compile-time zeros.
+    assert_eq!(kpm_obs::span::mint_trace(), 0);
+    assert_eq!(kpm_obs::clock::tick(), 0);
+    assert_eq!(kpm_obs::clock::observe(41), 0);
+    assert_eq!(kpm_obs::clock::current(), 0);
+
+    // Exact histograms, SLOs, and the flight recorder record nothing.
+    kpm_obs::hist::record("noop.hist_ns", 7);
+    assert!(kpm_obs::hist::snapshot().is_empty());
+    assert!(kpm_obs::hist::get("noop.hist_ns").is_none());
+    kpm_obs::slo::objective("dos", 1_000_000, 0.99);
+    kpm_obs::slo::observe("dos", 5_000_000);
+    assert!(kpm_obs::slo::snapshot().is_empty());
+    kpm_obs::recorder::note("noop.event", 1, "detail");
+    assert_eq!(kpm_obs::recorder::len(), 0);
+    assert!(kpm_obs::recorder::trigger_dump("reason").is_none());
+    assert_eq!(kpm_obs::recorder::dumps_triggered(), 0);
+
+    // Retroactive span recording refuses too.
+    assert_eq!(
+        kpm_obs::span::record_manual("noop.span", "test", 1, None, 0.0, 1.0, vec![]),
+        None
+    );
+    assert!(kpm_obs::span::snapshot().is_empty());
+}

@@ -56,6 +56,6 @@ mod queue;
 pub use chaos::{BatchFate, ChaosPlan, ChaosStats};
 pub use request::{
     Admission, Answer, Curve, DegradeInfo, Outcome, QueryKind, RejectReason, ReplyStats, Request,
-    Response, ServiceError, Ticket,
+    Response, ServiceError, StageBreakdown, Ticket,
 };
 pub use service::{LedgerSnapshot, Service, ServiceConfig, ShutdownMode};

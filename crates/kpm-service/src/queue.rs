@@ -27,6 +27,12 @@ pub(crate) type ReplySlot = Arc<Mutex<Option<mpsc::Sender<Response>>>>;
 pub(crate) struct Pending {
     pub(crate) id: u64,
     pub(crate) req: Request,
+    /// Trace id minted at admission (0 when tracing is disabled);
+    /// propagated through every stage span and onto the reply.
+    pub(crate) trace: u64,
+    /// Admission time in µs since the obs epoch (0 when tracing is
+    /// disabled) — the anchor the per-stage breakdown tiles from.
+    pub(crate) admitted_us: f64,
     pub(crate) enqueued_at: Instant,
     pub(crate) deadline_at: Instant,
     pub(crate) reply: ReplySlot,
@@ -208,6 +214,8 @@ mod tests {
                 points: 8,
                 deadline: None,
             },
+            trace: 0,
+            admitted_us: 0.0,
             enqueued_at: Instant::now(),
             deadline_at: Instant::now() + Duration::from_secs(1),
             reply: Arc::new(Mutex::new(Some(tx))),

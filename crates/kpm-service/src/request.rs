@@ -45,6 +45,15 @@ pub enum QueryKind {
 }
 
 impl QueryKind {
+    /// The SLO/metrics route name of the query kind.
+    pub fn route(&self) -> &'static str {
+        match self {
+            QueryKind::Dos { .. } => "dos",
+            QueryKind::Ldos { .. } => "ldos",
+            QueryKind::Green { .. } => "green",
+        }
+    }
+
     /// How many block-vector columns this query contributes to a batch.
     pub fn columns(&self) -> usize {
         match *self {
@@ -322,6 +331,15 @@ impl From<KpmError> for ServiceError {
 /// Per-request lifecycle accounting carried on every reply.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ReplyStats {
+    /// Trace id minted at admission (0 when tracing is disabled). The
+    /// same id tags every span of this request in the observability
+    /// registry, so a slow reply can be looked up in the trace export
+    /// or flight-recorder dump.
+    pub trace: u64,
+    /// Exact per-stage latency breakdown; the stages tile the
+    /// admission-to-reply interval, so `stages.total_us()` equals the
+    /// end-to-end latency.
+    pub stages: StageBreakdown,
     /// Time from admission to batch formation.
     pub queue_wait: Duration,
     /// Time spent in the (final) solve attempt; zero for cache hits.
@@ -336,6 +354,35 @@ pub struct ReplyStats {
     /// Column width of the carrying batch (1 for cache/immediate
     /// replies).
     pub batch_width: usize,
+}
+
+/// Exact per-stage latency breakdown of one request, in microseconds.
+///
+/// The four stages partition the admission-to-reply interval with no
+/// gaps or overlap: *queue* (admission until the batcher seals the
+/// request into a batch or answers it inline), *batch* (sealed batch
+/// waiting for a worker, including retry backoffs), *solve* (the final
+/// solve attempt), *reply* (reconstruction and delivery). Stages a
+/// request never reached are zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageBreakdown {
+    /// Admission → batch formation (or inline answer).
+    pub queue_us: f64,
+    /// Batch formation → solve start (worker wait, backoff, chaos
+    /// delays).
+    pub batch_us: f64,
+    /// The final solve attempt.
+    pub solve_us: f64,
+    /// Solve end (or last reached stage) → terminal reply delivered.
+    pub reply_us: f64,
+}
+
+impl StageBreakdown {
+    /// Sum of all stages — equals the end-to-end latency by
+    /// construction.
+    pub fn total_us(&self) -> f64 {
+        self.queue_us + self.batch_us + self.solve_us + self.reply_us
+    }
 }
 
 #[cfg(test)]

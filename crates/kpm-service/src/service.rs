@@ -28,7 +28,8 @@ use kpm_core::green::reconstruct_green;
 use kpm_core::moments::MomentSet;
 use kpm_core::solver::{kpm_batch_moments, starting_vectors, KpmParams};
 use kpm_num::{Complex64, KpmError, Vector};
-use kpm_obs::{metrics, span::span};
+use kpm_obs::span::{micros_since_epoch, mint_trace, record_manual, span};
+use kpm_obs::{hist as obs_hist, metrics, recorder, slo};
 use kpm_sparse::{KpmMatrix, SparseKernels};
 use kpm_topo::ScaleFactors;
 
@@ -38,8 +39,33 @@ use crate::chaos::ChaosPlan;
 use crate::queue::{AdmissionQueue, Pending, PopOutcome, PushOutcome};
 use crate::request::{
     kernel_key, splitmix, Admission, Answer, Curve, DegradeInfo, Outcome, QueryKind, RejectReason,
-    ReplyStats, Request, Response, ServiceError, Ticket,
+    ReplyStats, Request, Response, ServiceError, StageBreakdown, Ticket,
 };
+
+/// Epoch-relative µs timestamp for stage accounting; 0 (the "no mark"
+/// sentinel) when instrumentation is off, so the disabled path reads no
+/// clock.
+fn stage_now() -> f64 {
+    if kpm_obs::enabled() {
+        micros_since_epoch()
+    } else {
+        0.0
+    }
+}
+
+/// Stage-boundary timestamps accumulated along a request's path and
+/// resolved into a [`StageBreakdown`] at delivery. A zero field means
+/// the request never reached that stage.
+#[derive(Debug, Clone, Copy, Default)]
+struct StageMarks {
+    /// When the batcher sealed the request into a batch (or served an
+    /// inline fast path).
+    batched_us: f64,
+    /// When the final solve attempt started.
+    solve_start_us: f64,
+    /// When the final solve attempt returned.
+    solve_end_us: f64,
+}
 
 /// Orbitals per lattice site in the topological-insulator models — the
 /// column count of one LDOS query (matches `kpm_core::ldos`).
@@ -199,6 +225,9 @@ struct MatrixEntry {
 struct BatchMember {
     pending: Pending,
     queue_wait: Duration,
+    /// When the batcher sealed this member into the batch (µs since
+    /// the obs epoch; 0 when tracing is disabled).
+    batched_us: f64,
     col_start: usize,
     col_len: usize,
     m_solve: usize,
@@ -248,15 +277,23 @@ impl ServiceInner {
     }
 
     /// Delivers the terminal reply if this caller wins the slot race;
-    /// exactly one caller per request ever does.
-    fn deliver(&self, pending: &Pending, outcome: Outcome, stats: ReplyStats) {
+    /// exactly one caller per request ever does. Resolves the stage
+    /// marks into the per-stage breakdown and retroactively records the
+    /// request's root span plus its four stage spans — the stages tile
+    /// `[admission, reply]` exactly, so their sum equals the end-to-end
+    /// latency by construction.
+    fn deliver(&self, pending: &Pending, outcome: Outcome, stats: ReplyStats, marks: StageMarks) {
         let sender = pending
             .reply
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .take();
         let Some(tx) = sender else { return };
-        let _sp = span("svc.reply", "service").arg("id", pending.id);
+        let _sp = span("svc.reply", "service")
+            .arg("id", pending.id)
+            .trace(pending.trace);
+        let mut stats = stats;
+        stats.trace = pending.trace;
         if matches!(outcome, Outcome::Degraded { .. }) {
             self.ledger.degraded.fetch_add(1, Ordering::SeqCst);
             metrics::counter_inc("svc.degraded");
@@ -272,6 +309,95 @@ impl ServiceInner {
             "svc.latency_ns",
             pending.enqueued_at.elapsed().as_nanos() as u64,
         );
+        if pending.trace != 0 {
+            let trace = pending.trace;
+            let route = pending.req.kind.route();
+            let label = match &outcome {
+                Outcome::Success(_) => "success",
+                Outcome::Degraded { .. } => "degraded",
+                Outcome::Failed(_) => "failed",
+            };
+            let now_us = micros_since_epoch();
+            let t0 = pending.admitted_us.min(now_us);
+            let t1 = if marks.batched_us > 0.0 {
+                marks.batched_us.clamp(t0, now_us)
+            } else {
+                t0
+            };
+            let t2 = if marks.solve_start_us > 0.0 {
+                marks.solve_start_us.clamp(t1, now_us)
+            } else {
+                t1
+            };
+            let t3 = if marks.solve_end_us > 0.0 {
+                marks.solve_end_us.clamp(t2, now_us)
+            } else {
+                t2
+            };
+            stats.stages = StageBreakdown {
+                queue_us: t1 - t0,
+                batch_us: t2 - t1,
+                solve_us: t3 - t2,
+                reply_us: now_us - t3,
+            };
+            let root = record_manual(
+                "svc.request",
+                "service",
+                trace,
+                None,
+                t0,
+                now_us - t0,
+                vec![
+                    ("id", pending.id.to_string()),
+                    ("route", route.to_string()),
+                    ("outcome", label.to_string()),
+                ],
+            );
+            record_manual(
+                "svc.stage.queue",
+                "service",
+                trace,
+                root,
+                t0,
+                t1 - t0,
+                vec![],
+            );
+            record_manual(
+                "svc.stage.batch",
+                "service",
+                trace,
+                root,
+                t1,
+                t2 - t1,
+                vec![],
+            );
+            record_manual(
+                "svc.stage.solve",
+                "service",
+                trace,
+                root,
+                t2,
+                t3 - t2,
+                vec![],
+            );
+            record_manual(
+                "svc.stage.reply",
+                "service",
+                trace,
+                root,
+                t3,
+                now_us - t3,
+                vec![],
+            );
+            let latency_ns = ((now_us - t0) * 1e3).max(0.0) as u64;
+            obs_hist::record("svc.latency_ns", latency_ns);
+            slo::observe(route, latency_ns);
+            recorder::note(
+                "svc.terminal",
+                trace,
+                format_args!("id={} route={route} outcome={label}", pending.id),
+            );
+        }
         self.ledger.replied.fetch_add(1, Ordering::SeqCst);
         // The client may have dropped its ticket; the reply is still
         // terminal and accounted.
@@ -341,6 +467,7 @@ impl ServiceInner {
         pending: &Pending,
         queue_wait: Duration,
         allow_degraded: bool,
+        marks: StageMarks,
     ) -> bool {
         let req = &pending.req;
         let Some((set, served, degraded)) = self.cache_answer(req, allow_degraded) else {
@@ -364,6 +491,7 @@ impl ServiceInner {
                 batch_width: 0,
                 ..ReplyStats::default()
             },
+            marks,
         );
         true
     }
@@ -473,11 +601,14 @@ impl Service {
         }
 
         let id = inner.next_id.fetch_add(1, Ordering::SeqCst);
+        let trace = mint_trace();
         let (tx, rx) = mpsc::channel();
         let now = Instant::now();
         let pending = Pending {
             id,
             req,
+            trace,
+            admitted_us: stage_now(),
             enqueued_at: now,
             deadline_at: now + budget,
             reply: Arc::new(Mutex::new(Some(tx))),
@@ -490,7 +621,12 @@ impl Service {
         if let Err(e) = self.validate(&req) {
             inner.ledger.admitted.fetch_add(1, Ordering::SeqCst);
             metrics::counter_inc("svc.admitted");
-            inner.deliver(&pending, Outcome::Failed(e), ReplyStats::default());
+            inner.deliver(
+                &pending,
+                Outcome::Failed(e),
+                ReplyStats::default(),
+                StageMarks::default(),
+            );
             return Admission::Admitted(ticket);
         }
 
@@ -502,6 +638,7 @@ impl Service {
                 let count = inner.admissions.fetch_add(1, Ordering::SeqCst) + 1;
                 if let Some(chaos) = &inner.config.chaos {
                     if chaos.should_poison_queue(count) {
+                        recorder::note("chaos.poison", trace, "admission queue lock poisoned");
                         inner.queue.poison_lock();
                     }
                 }
@@ -735,6 +872,10 @@ fn batcher_loop(inner: &Arc<ServiceInner>, job_tx: &mpsc::Sender<Arc<BatchJob>>)
                                         &m.pending,
                                         Outcome::Failed(ServiceError::Shutdown),
                                         ReplyStats::default(),
+                                        StageMarks {
+                                            batched_us: m.batched_us,
+                                            ..StageMarks::default()
+                                        },
                                     );
                                 }
                                 job.done.store(true, Ordering::SeqCst);
@@ -761,6 +902,11 @@ fn batcher_loop(inner: &Arc<ServiceInner>, job_tx: &mpsc::Sender<Arc<BatchJob>>)
                 if dispatched.elapsed() >= hedge_after && !job.hedged.swap(true, Ordering::SeqCst) {
                     inner.ledger.hedged.fetch_add(1, Ordering::SeqCst);
                     metrics::counter_inc("svc.hedged");
+                    recorder::note(
+                        "svc.hedge",
+                        job.members.first().map_or(0, |m| m.pending.trace),
+                        format_args!("batch={} re-dispatched", job.id),
+                    );
                     let _ = job_tx.send(Arc::clone(job));
                 }
             }
@@ -777,6 +923,10 @@ fn fail_shutdown(inner: &ServiceInner, p: Pending) {
             queue_wait,
             ..ReplyStats::default()
         },
+        StageMarks {
+            batched_us: stage_now(),
+            ..StageMarks::default()
+        },
     );
 }
 
@@ -791,11 +941,16 @@ fn form_batch(inner: &Arc<ServiceInner>, group: Vec<Pending>) -> Option<BatchJob
     let Some(entry) = entry else {
         // Registry misses are normally caught at submit; if a race ever
         // got one here, answer it typed rather than dropping it.
+        let batched_us = stage_now();
         for p in group {
             inner.deliver(
                 &p,
                 Outcome::Failed(ServiceError::UnknownMatrix { fingerprint }),
                 ReplyStats::default(),
+                StageMarks {
+                    batched_us,
+                    ..StageMarks::default()
+                },
             );
         }
         return None;
@@ -805,6 +960,11 @@ fn form_batch(inner: &Arc<ServiceInner>, group: Vec<Pending>) -> Option<BatchJob
     let overload = depth as f64
         >= (inner.config.queue_capacity as f64 * inner.config.degrade_at_depth).max(1.0);
     let now = Instant::now();
+    let now_us = stage_now();
+    let marks = StageMarks {
+        batched_us: now_us,
+        ..StageMarks::default()
+    };
     let n = entry.matrix.nrows();
 
     let mut members: Vec<BatchMember> = Vec::new();
@@ -813,12 +973,19 @@ fn form_batch(inner: &Arc<ServiceInner>, group: Vec<Pending>) -> Option<BatchJob
     for p in group {
         let req = p.req;
         let queue_wait = now.saturating_duration_since(p.enqueued_at);
-        metrics::hist_record_ns("svc.queue_wait_ns", queue_wait.as_nanos() as u64);
+        metrics::hist_record_ns("svc.queue.wait_ns", queue_wait.as_nanos() as u64);
+        obs_hist::record("svc.queue.wait_ns", queue_wait.as_nanos() as u64);
 
         if now >= p.deadline_at {
             // Expired while queued: a cached (possibly degraded) answer
             // still beats a failure.
-            if !inner.try_cache_reply(&entry, &p, queue_wait, true) {
+            recorder::note(
+                "deadline.miss",
+                p.trace,
+                format_args!("id={} expired in queue after {:?}", p.id, queue_wait),
+            );
+            recorder::trigger_dump("deadline_miss");
+            if !inner.try_cache_reply(&entry, &p, queue_wait, true, marks) {
                 inner.deliver(
                     &p,
                     Outcome::Failed(ServiceError::DeadlineExceeded { stage: "queued" }),
@@ -826,12 +993,13 @@ fn form_batch(inner: &Arc<ServiceInner>, group: Vec<Pending>) -> Option<BatchJob
                         queue_wait,
                         ..ReplyStats::default()
                     },
+                    marks,
                 );
             }
             continue;
         }
         if let Some(cooldown) = inner.breaker.check(route_key(&req)) {
-            if !inner.try_cache_reply(&entry, &p, queue_wait, true) {
+            if !inner.try_cache_reply(&entry, &p, queue_wait, true, marks) {
                 inner.deliver(
                     &p,
                     Outcome::Failed(ServiceError::CircuitOpen { cooldown }),
@@ -839,13 +1007,14 @@ fn form_batch(inner: &Arc<ServiceInner>, group: Vec<Pending>) -> Option<BatchJob
                         queue_wait,
                         ..ReplyStats::default()
                     },
+                    marks,
                 );
             }
             continue;
         }
         // Full-quality cache hit — and under overload any usable cached
         // prefix — answers without solving.
-        if inner.try_cache_reply(&entry, &p, queue_wait, overload) {
+        if inner.try_cache_reply(&entry, &p, queue_wait, overload, marks) {
             continue;
         }
 
@@ -862,6 +1031,7 @@ fn form_batch(inner: &Arc<ServiceInner>, group: Vec<Pending>) -> Option<BatchJob
         members.push(BatchMember {
             pending: p,
             queue_wait,
+            batched_us: now_us,
             col_start,
             col_len,
             m_solve,
@@ -873,6 +1043,7 @@ fn form_batch(inner: &Arc<ServiceInner>, group: Vec<Pending>) -> Option<BatchJob
     }
     let id = inner.next_batch.fetch_add(1, Ordering::SeqCst);
     let _sp = span("svc.batch", "service")
+        .trace(members.first().map_or(0, |m| m.pending.trace))
         .arg("batch", id)
         .arg("width", columns.len())
         .arg("members", members.len());
@@ -932,6 +1103,7 @@ fn process_batch(
             slow: None,
         });
 
+    let trace0 = job.members.first().map_or(0, |m| m.pending.trace);
     if fate.crash {
         // Simulated worker crash mid-batch: the attempt dies without a
         // result and the batch re-enters the pool after a jittered
@@ -939,6 +1111,12 @@ fn process_batch(
         let attempts_used = job.attempts.fetch_add(1, Ordering::SeqCst) + 1;
         inner.ledger.retried.fetch_add(1, Ordering::SeqCst);
         metrics::counter_inc("svc.retried");
+        recorder::note(
+            "chaos.crash",
+            trace0,
+            format_args!("batch={} attempt={attempt}", job.id),
+        );
+        recorder::trigger_dump("chaos_crash");
         if attempts_used > inner.config.max_retries {
             if !job.done.swap(true, Ordering::SeqCst) {
                 for m in &job.members {
@@ -949,6 +1127,7 @@ fn process_batch(
                             last_error: KpmError::RankCrashed { rank: 0 }.to_string(),
                         }),
                         member_stats(m, job, Duration::ZERO),
+                        member_marks(m, 0.0, 0.0),
                     );
                 }
             }
@@ -966,12 +1145,18 @@ fn process_batch(
                     &m.pending,
                     Outcome::Failed(ServiceError::Shutdown),
                     member_stats(m, job, Duration::ZERO),
+                    member_marks(m, 0.0, 0.0),
                 );
             }
         }
         return;
     }
     if let Some(delay) = fate.slow {
+        recorder::note(
+            "chaos.slow",
+            trace0,
+            format_args!("batch={} delayed {delay:?}", job.id),
+        );
         std::thread::sleep(delay);
     }
 
@@ -982,9 +1167,13 @@ fn process_batch(
         .max()
         .unwrap_or_else(Instant::now);
     let _sp = span("svc.solve", "service")
+        .trace(trace0)
         .arg("batch", job.id)
+        .arg("rows", job.entry.matrix.nrows())
+        .arg("nnz", job.entry.matrix.nnz())
         .arg("width", job.columns.len())
         .arg("moments", job.m_max);
+    let solve_start_us = stage_now();
     let t0 = Instant::now();
     let result = kpm_batch_moments(
         &job.entry.matrix,
@@ -995,7 +1184,9 @@ fn process_batch(
         Some(deadline),
     );
     let solve = t0.elapsed();
+    let solve_end_us = stage_now();
     metrics::hist_record_ns("svc.solve_ns", solve.as_nanos() as u64);
+    obs_hist::record("svc.solve_ns", solve.as_nanos() as u64);
 
     if job.done.swap(true, Ordering::SeqCst) {
         return; // a hedged twin answered first (bitwise the same answer)
@@ -1003,12 +1194,14 @@ fn process_batch(
 
     match result {
         Ok(col_sets) => {
-            // EWMA of solve time feeds the retry_after hint.
+            // EWMA of solve time feeds the retry_after hint; exported
+            // as a gauge so the hint is auditable against measured
+            // queue waits.
             let old = inner.ewma_solve_ns.load(Ordering::SeqCst);
             let sample = solve.as_nanos() as u64;
-            inner
-                .ewma_solve_ns
-                .store(old - old / 8 + sample / 8, Ordering::SeqCst);
+            let ewma = old - old / 8 + sample / 8;
+            inner.ewma_solve_ns.store(ewma, Ordering::SeqCst);
+            metrics::gauge_set("svc.queue.ewma_solve_ns", ewma as f64);
             for m in &job.members {
                 let req = &m.pending.req;
                 let sets = &col_sets[m.col_start..m.col_start + m.col_len];
@@ -1030,27 +1223,48 @@ fn process_batch(
                     Outcome::Success(answer)
                 };
                 inner.breaker.record_success(route_key(req));
-                inner.deliver(&m.pending, outcome, member_stats(m, job, solve));
+                inner.deliver(
+                    &m.pending,
+                    outcome,
+                    member_stats(m, job, solve),
+                    member_marks(m, solve_start_us, solve_end_us),
+                );
             }
         }
         Err(KpmError::DeadlineExceeded { .. }) => {
+            recorder::note(
+                "deadline.miss",
+                trace0,
+                format_args!("batch={} expired mid-solve", job.id),
+            );
+            recorder::trigger_dump("deadline_miss");
             for m in &job.members {
-                if !inner.try_cache_reply(&job.entry, &m.pending, m.queue_wait, true) {
+                let marks = member_marks(m, solve_start_us, solve_end_us);
+                if !inner.try_cache_reply(&job.entry, &m.pending, m.queue_wait, true, marks) {
                     inner.deliver(
                         &m.pending,
                         Outcome::Failed(ServiceError::DeadlineExceeded { stage: "solve" }),
                         member_stats(m, job, solve),
+                        marks,
                     );
                 }
             }
         }
         Err(e) => {
             for m in &job.members {
-                inner.breaker.record_failure(route_key(&m.pending.req));
+                if inner.breaker.record_failure(route_key(&m.pending.req)) {
+                    recorder::note(
+                        "breaker.open",
+                        m.pending.trace,
+                        format_args!("route matrix={:#x}: {e}", m.pending.req.matrix),
+                    );
+                    recorder::trigger_dump("breaker_open");
+                }
                 inner.deliver(
                     &m.pending,
                     Outcome::Failed(ServiceError::Solver(e.clone())),
                     member_stats(m, job, solve),
+                    member_marks(m, solve_start_us, solve_end_us),
                 );
             }
         }
@@ -1065,5 +1279,14 @@ fn member_stats(m: &BatchMember, job: &BatchJob, solve: Duration) -> ReplyStats 
         hedged: job.hedged.load(Ordering::SeqCst),
         cache_hit: false,
         batch_width: job.columns.len(),
+        ..ReplyStats::default()
+    }
+}
+
+fn member_marks(m: &BatchMember, solve_start_us: f64, solve_end_us: f64) -> StageMarks {
+    StageMarks {
+        batched_us: m.batched_us,
+        solve_start_us,
+        solve_end_us,
     }
 }

@@ -40,6 +40,19 @@ cargo test -q --test static_analysis
 echo "== kpm-obs noop build stays dark =="
 cargo test -q -p kpm-obs --features noop --test noop_gate
 
+echo "== noop build: bitwise-identical moments =="
+# The compile-time noop feature must not perturb the numbers: a DOS
+# curve from a noop-built binary is bitwise identical to the
+# instrumented build's (both single-threaded; the noop build lives in
+# its own target dir so it cannot clobber the release artifacts).
+cargo build -q --bin kpm --features kpm-obs/noop --target-dir target/noop-verify
+./target/noop-verify/debug/kpm dos --nx 6 --ny 6 --nz 4 --moments 32 \
+    --random 2 --threads 1 > target/dos-noop.csv
+./target/release/kpm dos --nx 6 --ny 6 --nz 4 --moments 32 \
+    --random 2 --threads 1 > target/dos-live.csv
+cmp target/dos-noop.csv target/dos-live.csv
+echo "noop and instrumented DOS output are bitwise identical"
+
 echo "== formatting =="
 if cargo fmt --version >/dev/null 2>&1; then
     cargo fmt --check
@@ -78,5 +91,32 @@ echo "$serve_out" | grep -q '"status": "ok"'
 echo "$serve_out" | grep -q '"reason": "past_deadline"'
 echo "$serve_out" | grep -q '"retry_after_ms"'
 echo "$serve_out" | grep -q '"consistent": true'
+
+echo "== smoke: request tracing, kpm stats, kpm trace-report =="
+# An instrumented serve run must put a trace id and an exact stage
+# breakdown on every reply and burn rates on the ledger; the exports
+# must round-trip through the Prometheus exposition and the critical-
+# path analyzer (which fails on orphan spans).
+traced_out=$(printf 'dos 1 2 64\nldos 3 64\ngreen 2 1 32\n' | \
+    ./target/release/kpm serve target/verify-serve.mtx \
+        --metrics-out target/verify-metrics.jsonl \
+        --trace-out target/verify-trace.json \
+        --flight-recorder target/verify-flight)
+echo "$traced_out" | grep -q '"trace": '
+echo "$traced_out" | grep -q '"stages_us": '
+echo "$traced_out" | grep -q '"slo": '
+stats_out=$(./target/release/kpm stats target/verify-metrics.jsonl)
+echo "$stats_out" | grep -q '^kpm_svc_latency_ns{scope="total",quantile="0.99"}'
+echo "$stats_out" | grep -q '^kpm_slo_burn_rate{route="dos"}'
+report_out=$(./target/release/kpm trace-report target/verify-trace.json --machine IVB)
+echo "$report_out"
+echo "$report_out" | grep -q 'attribution: queue'
+
+echo "== bench: service p99 regression gate =="
+# Reruns the service load sweep and fails on a >25% pre-saturation p99
+# regression against the committed baseline (skipped automatically when
+# the host profile differs from the baseline's).
+./target/release/bench_service_json --out target/bench-service-check.json \
+    --check BENCH_service.json
 
 echo "verify: OK"

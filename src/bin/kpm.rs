@@ -51,6 +51,8 @@ fn main() -> ExitCode {
         Some("count") => cmd_count(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("trace-report") => cmd_trace_report(&args[1..]),
         Some("--help") | Some("-h") | None => {
             eprintln!("{USAGE}");
             Ok(())
@@ -76,8 +78,13 @@ const USAGE: &str = "usage:
   kpm serve  [FILE.mtx | --nx N --ny N --nz N] [--workers W] [--queue Q]
              [--width R] [--window-us U] [--deadline-ms D] [--points K]
              [--kernel jackson|dirichlet|lorentz] [--lambda L]
+             [--slo-ms MS] [--slo-goal G] [--flight-recorder PREFIX]
              (requests on stdin: 'dos SEED R M [MS]' | 'ldos SITE M [MS]'
               | 'green SEED R M [MS]'; one JSON reply line per request)
+  kpm stats  FILE.jsonl      (metrics JSONL -> Prometheus text exposition)
+  kpm trace-report FILE.json [--machine IVB|SNB|K20m|K20X] [--flight FILE.jsonl]
+             (per-request critical path + roofline attribution from a
+              Chrome trace export; optionally merges a flight-recorder dump)
 common:
   --threads T                worker threads (0 = KPM_THREADS env, else all cores)
   --format crs|sell          matrix storage format for the solver (default crs)
@@ -594,13 +601,33 @@ fn curve_checksum(curve: &kpm_repro::service::Curve) -> f64 {
     }
 }
 
+/// The trace id + exact per-stage latency breakdown carried on every
+/// traced reply, as a JSON fragment (empty when tracing is off).
+fn trace_fragment(stats: &kpm_repro::service::ReplyStats) -> String {
+    if stats.trace == 0 {
+        return String::new();
+    }
+    let s = &stats.stages;
+    format!(
+        ", \"trace\": {}, \"stages_us\": {{\"queue\": {}, \"batch\": {}, \
+         \"solve\": {}, \"reply\": {}, \"total\": {}}}",
+        stats.trace,
+        obs::json::num(s.queue_us),
+        obs::json::num(s.batch_us),
+        obs::json::num(s.solve_us),
+        obs::json::num(s.reply_us),
+        obs::json::num(s.total_us()),
+    )
+}
+
 /// One JSON reply line per request, in submission order.
 fn serve_reply_line(index: usize, resp: &kpm_repro::service::Response) -> String {
     use kpm_repro::service::Outcome;
+    let trace = trace_fragment(&resp.stats);
     match &resp.outcome {
         Outcome::Success(answer) => format!(
             "{{\"request\": {index}, \"status\": \"ok\", \"m_served\": {}, \
-             \"cache_hit\": {}, \"batch_width\": {}, \"checksum\": {}}}",
+             \"cache_hit\": {}, \"batch_width\": {}, \"checksum\": {}{trace}}}",
             answer.moments.len(),
             resp.stats.cache_hit,
             resp.stats.batch_width,
@@ -608,7 +635,7 @@ fn serve_reply_line(index: usize, resp: &kpm_repro::service::Response) -> String
         ),
         Outcome::Degraded { answer, info } => format!(
             "{{\"request\": {index}, \"status\": \"degraded\", \"m_requested\": {}, \
-             \"m_served\": {}, \"extra_broadening\": {}, \"from_cache\": {}, \"checksum\": {}}}",
+             \"m_served\": {}, \"extra_broadening\": {}, \"from_cache\": {}, \"checksum\": {}{trace}}}",
             info.requested_moments,
             info.served_moments,
             obs::json::num(info.extra_broadening),
@@ -616,7 +643,7 @@ fn serve_reply_line(index: usize, resp: &kpm_repro::service::Response) -> String
             obs::json::num(curve_checksum(&answer.curve)),
         ),
         Outcome::Failed(e) => {
-            format!("{{\"request\": {index}, \"status\": \"error\", \"error\": \"{e}\"}}")
+            format!("{{\"request\": {index}, \"status\": \"error\", \"error\": \"{e}\"{trace}}}")
         }
     }
 }
@@ -638,6 +665,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 "--points",
                 "--kernel",
                 "--lambda",
+                "--slo-ms",
+                "--slo-goal",
+                "--flight-recorder",
             ],
         ],
     )?;
@@ -657,6 +687,27 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         }
     };
     let outputs = ObsOutputs::from_args(args);
+    let flight_prefix = opt(args, "--flight-recorder").map(str::to_string);
+    let deadline_ms = opt_usize(args, "--deadline-ms", 2000)?.max(1);
+    // SLO threshold defaults to the deadline; burn rates > 1 on the
+    // closing ledger line mean the error budget is being consumed
+    // faster than the objective allows.
+    let slo_ms = opt_usize(args, "--slo-ms", deadline_ms)?.max(1);
+    let slo_goal = opt_f64(args, "--slo-goal")?.unwrap_or(0.99);
+    if flight_prefix.is_some() && outputs.metrics.is_none() && outputs.trace.is_none() {
+        // The recorder rides on the same runtime gate as the exporters.
+        obs::reset();
+        obs::set_enabled(true);
+    }
+    if obs::enabled() {
+        for route in ["dos", "ldos", "green"] {
+            obs::slo::objective(route, (slo_ms as u64).saturating_mul(1_000_000), slo_goal);
+        }
+        if let Some(prefix) = &flight_prefix {
+            obs::recorder::configure_dump(prefix);
+            obs::recorder::arm_sigterm();
+        }
+    }
     let sf = ScaleFactors::from_gershgorin(&h, 0.01);
     let threads = opt_usize(args, "--threads", 0)?;
     let m = format_matrix(args, h, threads, None)?;
@@ -666,9 +717,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         queue_capacity: opt_usize(args, "--queue", 64)?.max(1),
         max_batch_width: opt_usize(args, "--width", 8)?.max(1),
         batch_window: std::time::Duration::from_micros(opt_usize(args, "--window-us", 500)? as u64),
-        default_deadline: std::time::Duration::from_millis(
-            opt_usize(args, "--deadline-ms", 2000)?.max(1) as u64,
-        ),
+        default_deadline: std::time::Duration::from_millis(deadline_ms as u64),
         ..ServiceConfig::default()
     };
     let svc = Service::start(config);
@@ -739,10 +788,40 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         }
     }
 
+    if obs::recorder::sigterm_seen() {
+        if let Some(path) = obs::recorder::trigger_dump("sigterm") {
+            eprintln!("SIGTERM: wrote flight-recorder dump to {path}");
+        }
+    }
     let ledger = svc.shutdown(ShutdownMode::Drain);
+    // Per-route SLO burn rates ride on the ledger line: burn = (bad
+    // fraction) / (error budget), so > 1 means the objective is being
+    // missed. Empty when instrumentation is off.
+    let mut slo = String::new();
+    for r in obs::slo::snapshot() {
+        if r.events == 0 {
+            continue;
+        }
+        if !slo.is_empty() {
+            slo.push_str(", ");
+        }
+        let _ = std::fmt::Write::write_fmt(
+            &mut slo,
+            format_args!(
+                "{{\"route\": \"{}\", \"events\": {}, \"breaches\": {}, \"burn_rate\": {}, \
+                 \"window_burn_rate\": {}}}",
+                obs::json::escape(&r.route),
+                r.events,
+                r.breaches,
+                obs::json::num(r.burn_rate),
+                obs::json::num(r.window_burn_rate),
+            ),
+        );
+    }
     println!(
         "{{\"ledger\": {{\"admitted\": {}, \"replied\": {}, \"rejected\": {}, \"degraded\": {}, \
-         \"retried\": {}, \"hedged\": {}, \"cache_hits\": {}, \"consistent\": {}}}}}",
+         \"retried\": {}, \"hedged\": {}, \"cache_hits\": {}, \"consistent\": {}, \
+         \"slo\": [{slo}]}}}}",
         ledger.admitted,
         ledger.replied,
         ledger.rejected,
@@ -756,6 +835,475 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         return Err("service ledger imbalance: admitted != replied".into());
     }
     outputs.export()
+}
+
+/// Mangles a dotted kpm-obs metric name into a Prometheus-legal one:
+/// `svc.queue.wait_ns` becomes `kpm_svc_queue_wait_ns`.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("kpm_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// `kpm stats` — re-serializes a `kpm-obs-v1` metrics JSONL snapshot
+/// (written by `--metrics-out`) as a Prometheus text exposition on
+/// stdout. Pure file-to-file: no network listener, no added deps.
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    check_args(args, &[])?;
+    let path = positional(args).ok_or_else(|| format!("need a metrics FILE.jsonl\n{USAGE}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let num_of = |v: &obs::json::Value, key: &str| v.get(key).and_then(obs::json::Value::as_f64);
+    let fmt = obs::json::num;
+    let mut typed: Vec<String> = Vec::new();
+    let mut type_line = |name: &str, kind: &str| -> String {
+        if typed.iter().any(|t| t == name) {
+            String::new()
+        } else {
+            typed.push(name.to_string());
+            format!("# TYPE {name} {kind}\n")
+        }
+    };
+    let mut out = String::new();
+    use std::fmt::Write as _;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v = obs::json::parse(line).map_err(|e| format!("{path}: bad JSONL line: {e}"))?;
+        let kind = v
+            .get("type")
+            .and_then(obs::json::Value::as_str)
+            .unwrap_or("");
+        let name = v
+            .get("name")
+            .and_then(obs::json::Value::as_str)
+            .unwrap_or("");
+        match kind {
+            "counter" | "gauge" => {
+                let p = prom_name(name);
+                let _ = writeln!(
+                    out,
+                    "{}{p} {}",
+                    type_line(
+                        &p,
+                        if kind == "counter" {
+                            "counter"
+                        } else {
+                            "gauge"
+                        }
+                    ),
+                    fmt(num_of(&v, "value").unwrap_or(0.0)),
+                );
+            }
+            "histogram" => {
+                // Power-of-two bucket histogram -> native Prometheus
+                // histogram with cumulative `le` buckets.
+                let p = prom_name(name);
+                let _ = write!(out, "{}", type_line(&p, "histogram"));
+                let mut cumulative = 0.0;
+                if let Some(buckets) = v.get("buckets").and_then(obs::json::Value::as_arr) {
+                    for b in buckets {
+                        let (Some(upper), Some(count)) = (
+                            b.as_arr()
+                                .and_then(|a| a.first())
+                                .and_then(obs::json::Value::as_f64),
+                            b.as_arr()
+                                .and_then(|a| a.get(1))
+                                .and_then(obs::json::Value::as_f64),
+                        ) else {
+                            continue;
+                        };
+                        cumulative += count;
+                        let _ = writeln!(
+                            out,
+                            "{p}_bucket{{le=\"{}\"}} {}",
+                            fmt(upper),
+                            fmt(cumulative)
+                        );
+                    }
+                }
+                let count = num_of(&v, "count").unwrap_or(0.0);
+                let _ = writeln!(out, "{p}_bucket{{le=\"+Inf\"}} {}", fmt(count));
+                let _ = writeln!(out, "{p}_sum {}", fmt(num_of(&v, "sum").unwrap_or(0.0)));
+                let _ = writeln!(out, "{p}_count {}", fmt(count));
+            }
+            "exact_histogram" => {
+                // Log-linear exact-percentile histogram -> Prometheus
+                // summary with a `scope` label (total vs sliding window).
+                let p = prom_name(name);
+                let scope = v
+                    .get("scope")
+                    .and_then(obs::json::Value::as_str)
+                    .unwrap_or("total");
+                let _ = write!(out, "{}", type_line(&p, "summary"));
+                for (q, key) in [
+                    ("0.5", "p50"),
+                    ("0.9", "p90"),
+                    ("0.99", "p99"),
+                    ("0.999", "p999"),
+                ] {
+                    let _ = writeln!(
+                        out,
+                        "{p}{{scope=\"{scope}\",quantile=\"{q}\"}} {}",
+                        fmt(num_of(&v, key).unwrap_or(0.0)),
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "{p}_sum{{scope=\"{scope}\"}} {}\n{p}_count{{scope=\"{scope}\"}} {}",
+                    fmt(num_of(&v, "sum").unwrap_or(0.0)),
+                    fmt(num_of(&v, "count").unwrap_or(0.0)),
+                );
+            }
+            "slo" => {
+                let route = v
+                    .get("route")
+                    .and_then(obs::json::Value::as_str)
+                    .unwrap_or("");
+                for (metric, key, mkind) in [
+                    ("kpm_slo_events_total", "events", "counter"),
+                    ("kpm_slo_breaches_total", "breaches", "counter"),
+                    ("kpm_slo_goal", "goal", "gauge"),
+                    ("kpm_slo_burn_rate", "burn_rate", "gauge"),
+                    ("kpm_slo_window_burn_rate", "window_burn_rate", "gauge"),
+                ] {
+                    let _ = writeln!(
+                        out,
+                        "{}{metric}{{route=\"{route}\"}} {}",
+                        type_line(metric, mkind),
+                        fmt(num_of(&v, key).unwrap_or(0.0)),
+                    );
+                }
+            }
+            "kernel" => {
+                let k = v
+                    .get("kernel")
+                    .and_then(obs::json::Value::as_str)
+                    .unwrap_or("");
+                for (metric, key, mkind) in [
+                    ("kpm_kernel_calls_total", "calls", "counter"),
+                    ("kpm_kernel_seconds_total", "seconds", "counter"),
+                    ("kpm_kernel_gflops", "gflops", "gauge"),
+                    ("kpm_kernel_min_balance_bytes_per_flop", "min_bf", "gauge"),
+                ] {
+                    let _ = writeln!(
+                        out,
+                        "{}{metric}{{kernel=\"{k}\"}} {}",
+                        type_line(metric, mkind),
+                        fmt(num_of(&v, key).unwrap_or(0.0)),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+    print!("{out}");
+    Ok(())
+}
+
+/// One span as reconstructed from a Chrome trace export or a
+/// flight-recorder dump.
+struct ReportSpan {
+    id: u64,
+    parent: Option<u64>,
+    name: String,
+    trace: u64,
+    lamport: u64,
+    tid: u64,
+    ts_us: f64,
+    dur_us: f64,
+    args: Vec<(String, String)>,
+}
+
+impl ReportSpan {
+    fn arg_f64(&self, key: &str) -> Option<f64> {
+        self.args
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.parse().ok())
+    }
+
+    fn arg_str(&self, key: &str) -> Option<&str> {
+        self.args
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Extracts traced spans from a Chrome trace-event document.
+fn spans_from_chrome(doc: &obs::json::Value) -> Result<Vec<ReportSpan>, String> {
+    use obs::json::Value;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_arr)
+        .ok_or("not a Chrome trace: missing traceEvents")?;
+    let mut spans = Vec::new();
+    for e in events {
+        if e.get("ph").and_then(Value::as_str) != Some("X") {
+            continue;
+        }
+        let args = e.get("args");
+        let arg_u64 = |key: &str| -> Option<u64> {
+            args.and_then(|a| a.get(key))
+                .and_then(Value::as_str)
+                .and_then(|s| s.parse().ok())
+        };
+        let mut extra = Vec::new();
+        if let Some(Value::Obj(pairs)) = args {
+            for (k, v) in pairs {
+                if matches!(k.as_str(), "parent" | "trace" | "lamport") {
+                    continue;
+                }
+                if let Some(s) = v.as_str() {
+                    extra.push((k.clone(), s.to_string()));
+                }
+            }
+        }
+        spans.push(ReportSpan {
+            id: e
+                .get("id")
+                .and_then(Value::as_str)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0),
+            parent: arg_u64("parent"),
+            name: e
+                .get("name")
+                .and_then(Value::as_str)
+                .unwrap_or("")
+                .to_string(),
+            trace: arg_u64("trace").unwrap_or(0),
+            lamport: arg_u64("lamport").unwrap_or(0),
+            tid: e.get("tid").and_then(Value::as_f64).unwrap_or(0.0) as u64,
+            ts_us: e.get("ts").and_then(Value::as_f64).unwrap_or(0.0),
+            dur_us: e.get("dur").and_then(Value::as_f64).unwrap_or(0.0),
+            args: extra,
+        });
+    }
+    Ok(spans)
+}
+
+/// Extracts spans from a `kpm-flight-v1` flight-recorder JSONL dump.
+fn spans_from_flight(text: &str) -> Result<Vec<ReportSpan>, String> {
+    use obs::json::Value;
+    let mut spans = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v = obs::json::parse(line).map_err(|e| format!("bad flight JSONL line: {e}"))?;
+        if v.get("type").and_then(Value::as_str) != Some("span") {
+            continue;
+        }
+        let mut extra = Vec::new();
+        if let Some(Value::Obj(pairs)) = v.get("args") {
+            for (k, av) in pairs {
+                if let Some(s) = av.as_str() {
+                    extra.push((k.clone(), s.to_string()));
+                }
+            }
+        }
+        spans.push(ReportSpan {
+            id: v.get("id").and_then(Value::as_f64).unwrap_or(0.0) as u64,
+            parent: v.get("parent").and_then(Value::as_f64).map(|p| p as u64),
+            name: v
+                .get("name")
+                .and_then(Value::as_str)
+                .unwrap_or("")
+                .to_string(),
+            trace: v.get("trace").and_then(Value::as_f64).unwrap_or(0.0) as u64,
+            lamport: v.get("lamport").and_then(Value::as_f64).unwrap_or(0.0) as u64,
+            tid: v.get("tid").and_then(Value::as_f64).unwrap_or(0.0) as u64,
+            ts_us: v.get("ts_us").and_then(Value::as_f64).unwrap_or(0.0),
+            dur_us: v.get("dur_us").and_then(Value::as_f64).unwrap_or(0.0),
+            args: extra,
+        });
+    }
+    Ok(spans)
+}
+
+/// `kpm trace-report` — reconstructs the per-request critical path from
+/// a Chrome trace export (and optionally a flight-recorder dump),
+/// checks that the stage breakdown tiles each request's end-to-end
+/// latency, and attributes solve wall time to the roofline model.
+fn cmd_trace_report(args: &[String]) -> Result<(), String> {
+    check_args(args, &[&["--machine", "--flight", "--paths"]])?;
+    let path = positional(args).ok_or_else(|| format!("need a trace FILE.json\n{USAGE}"))?;
+    let machine_name = opt(args, "--machine").unwrap_or("IVB");
+    let machine = Machine::by_name(machine_name)
+        .ok_or_else(|| format!("unknown machine '{machine_name}' (try: IVB, SNB, K20m, K20X)"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = obs::json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let mut spans = spans_from_chrome(&doc)?;
+    if let Some(flight) = opt(args, "--flight") {
+        let ftext =
+            std::fs::read_to_string(flight).map_err(|e| format!("cannot read {flight}: {e}"))?;
+        let extra = spans_from_flight(&ftext)?;
+        // Chrome export and flight dump overlap; keep one copy per id.
+        for s in extra {
+            if !spans.iter().any(|have| have.id == s.id) {
+                spans.push(s);
+            }
+        }
+    }
+
+    let mut traces: Vec<u64> = spans.iter().map(|s| s.trace).filter(|&t| t != 0).collect();
+    traces.sort_unstable();
+    traces.dedup();
+    if traces.is_empty() {
+        println!("no traced requests in {path} (serve with --trace-out and tracing enabled)");
+        return Ok(());
+    }
+
+    println!(
+        "machine = {} (peak {:.0} GF/s, bw {:.0} GB/s); {} traced request(s)",
+        machine.name,
+        machine.peak_gflops,
+        machine.mem_bw_gbs,
+        traces.len()
+    );
+    println!(
+        "{:<7} {:>6} {:>9} {:>10} {:>9} {:>9} {:>9} {:>9} {:>7} {:>7} {:>9} {:>8}",
+        "trace",
+        "route",
+        "outcome",
+        "e2e_us",
+        "queue",
+        "batch",
+        "solve",
+        "reply",
+        "cover%",
+        "orphan",
+        "B_min",
+        "P*(GF/s)"
+    );
+    let (mut sum_e2e, mut sums) = (0.0f64, [0.0f64; 4]);
+    let mut worst_cover = f64::INFINITY;
+    let mut total_orphans = 0usize;
+    for &trace in &traces {
+        let mut mine: Vec<&ReportSpan> = spans.iter().filter(|s| s.trace == trace).collect();
+        // Lamport order is the causal order across threads and hetsim
+        // ranks; wall-clock ties (retroactive stage spans) break by ts.
+        mine.sort_by(|a, b| {
+            (a.lamport, a.ts_us)
+                .partial_cmp(&(b.lamport, b.ts_us))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let root = mine.iter().find(|s| s.name == "svc.request");
+        let stage = |name: &str| -> f64 {
+            mine.iter()
+                .filter(|s| s.name == name)
+                .map(|s| s.dur_us)
+                .sum()
+        };
+        let stages = [
+            stage("svc.stage.queue"),
+            stage("svc.stage.batch"),
+            stage("svc.stage.solve"),
+            stage("svc.stage.reply"),
+        ];
+        let stage_sum: f64 = stages.iter().sum();
+        let e2e = root.map_or(stage_sum, |r| r.dur_us);
+        let cover = if e2e > 0.0 {
+            100.0 * stage_sum / e2e
+        } else {
+            100.0
+        };
+        worst_cover = worst_cover.min(cover);
+        // A parent in another trace is legitimate causality (one batch
+        // solve serves several requests); an orphan is a parent id that
+        // resolves nowhere in the whole pool.
+        let orphans = mine
+            .iter()
+            .filter(|s| {
+                s.parent
+                    .map(|p| !spans.iter().any(|q| q.id == p))
+                    .unwrap_or(false)
+            })
+            .count();
+        total_orphans += orphans;
+        // The carrying block solve: this trace's own svc.solve span, or
+        // the shared one reached by walking up from the reply span.
+        let ancestor_solve = || -> Option<&ReportSpan> {
+            let mut cur = mine.iter().find(|s| s.name == "svc.reply")?.parent;
+            for _ in 0..16 {
+                let s = spans.iter().find(|q| Some(q.id) == cur)?;
+                if s.name == "svc.solve" {
+                    return Some(s);
+                }
+                cur = s.parent;
+            }
+            None
+        };
+        let solve_span = mine
+            .iter()
+            .find(|s| s.name == "svc.solve")
+            .copied()
+            .or_else(ancestor_solve);
+        let roof = solve_span.and_then(|s| {
+            let rows = s.arg_f64("rows")?;
+            let nnz = s.arg_f64("nnz")?;
+            let width = s.arg_f64("width")? as usize;
+            if rows <= 0.0 {
+                return None;
+            }
+            Some(custom_roofline(&machine, nnz / rows, width.max(1), 1.0))
+        });
+        println!(
+            "{:<7} {:>6} {:>9} {:>10.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>7.1} {:>7} {:>9} {:>8}",
+            trace,
+            root.and_then(|r| r.arg_str("route")).unwrap_or("?"),
+            root.and_then(|r| r.arg_str("outcome")).unwrap_or("?"),
+            e2e,
+            stages[0],
+            stages[1],
+            stages[2],
+            stages[3],
+            cover,
+            orphans,
+            roof.map_or("-".to_string(), |p| format!("{:.2}", p.balance)),
+            roof.map_or("-".to_string(), |p| format!("{:.1}", p.p_star)),
+        );
+        sum_e2e += e2e;
+        for (acc, s) in sums.iter_mut().zip(stages) {
+            *acc += s;
+        }
+        if has_flag(args, "--paths") {
+            for s in &mine {
+                println!(
+                    "    L{:<6} {:<18} tid={} ts={:.1} dur={:.1}us",
+                    s.lamport, s.name, s.tid, s.ts_us, s.dur_us
+                );
+            }
+        }
+    }
+    if sum_e2e > 0.0 {
+        println!(
+            "attribution: queue {:.1}%  batch {:.1}%  solve {:.1}%  reply {:.1}%  \
+             (stage sum covers {:.1}% of wall time; worst request {:.1}%)",
+            100.0 * sums[0] / sum_e2e,
+            100.0 * sums[1] / sum_e2e,
+            100.0 * sums[2] / sum_e2e,
+            100.0 * sums[3] / sum_e2e,
+            100.0 * sums.iter().sum::<f64>() / sum_e2e,
+            worst_cover,
+        );
+    }
+    if total_orphans > 0 {
+        return Err(format!(
+            "{total_orphans} orphan span(s): parent ids missing from their own trace"
+        ));
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -297,3 +297,282 @@ fn disabled_instrumentation_is_inert() {
     // global metrics registry stays empty.
     assert!(obs::metrics::snapshot().is_empty());
 }
+
+// ---------------------------------------------------------------------
+// PR 7: exact-percentile histograms, sliding windows, request tracing,
+// and the flight recorder.
+// ---------------------------------------------------------------------
+
+/// Nearest-rank quantile on a sorted sample vector: the oracle the
+/// log-linear histogram is checked against.
+fn oracle_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[rank as usize - 1]
+}
+
+/// The HDR-style histogram reports p50/p90/p99/p999 within its
+/// documented relative-error bound against a sorted-vector oracle, on
+/// pathological distributions: constant, extreme bimodal, power-law
+/// tails, dense sequential, and the sub-linear exact range.
+#[test]
+fn exact_histogram_quantiles_match_sorted_oracle() {
+    let distributions: Vec<Vec<u64>> = vec![
+        vec![42; 10_000], // constant
+        {
+            // Extreme bimodal: 99% fast, 1% five decades slower.
+            let mut v = vec![120u64; 9_900];
+            v.extend(std::iter::repeat_n(17_000_000_000u64, 100));
+            v
+        },
+        (0..64)
+            .map(|k| 1u64 << (k % 40))
+            .cycle()
+            .take(8_000)
+            .collect(), // power-law
+        (1..=10_000u64).collect(),                // sequential
+        (0..31u64).cycle().take(5_000).collect(), // exact sub-linear range
+        vec![u64::MAX, 0, 1],                     // extremes
+    ];
+    for (i, mut sample) in distributions.into_iter().enumerate() {
+        let mut h = obs::hist::ExactHist::new();
+        for &v in &sample {
+            h.record(v);
+        }
+        sample.sort_unstable();
+        assert_eq!(h.count(), sample.len() as u64, "dist {i}: count");
+        assert_eq!(h.min(), sample[0], "dist {i}: min is exact");
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let oracle = oracle_quantile(&sample, q);
+            let got = h.value_at_quantile(q);
+            let err = (got as f64 - oracle as f64).abs() / (oracle.max(1) as f64);
+            assert!(
+                err <= obs::hist::ExactHist::MAX_RELATIVE_ERROR,
+                "dist {i} q={q}: got {got}, oracle {oracle}, rel err {err:.5}"
+            );
+            if oracle < 32 {
+                assert_eq!(got, oracle, "dist {i} q={q}: sub-linear range is exact");
+            }
+        }
+    }
+}
+
+/// The sliding window drops samples once they age out of the slot
+/// ring, while the cumulative total keeps everything.
+#[test]
+fn sliding_window_expires_old_samples() {
+    let mut w = obs::hist::Windowed::new();
+    for _ in 0..5 {
+        w.record(100);
+    }
+    assert_eq!(w.window().count(), 5, "fresh samples are in the window");
+    for _ in 0..obs::hist::WINDOW_SLOTS {
+        w.advance();
+    }
+    assert_eq!(w.window().count(), 0, "window forgot the old samples");
+    assert_eq!(w.total().count(), 5, "the total keeps them");
+    w.record(7);
+    assert_eq!(w.window().count(), 1);
+    assert_eq!(w.window().min(), 7);
+    assert_eq!(w.total().count(), 6);
+}
+
+/// Every admitted request carries a complete trace: a nonzero trace
+/// id on the reply, an exact stage breakdown whose sum equals the
+/// request's end-to-end wall time (within 5%), a `svc.request` root
+/// span, four stage spans, and no orphan parent pointers anywhere.
+#[test]
+fn service_replies_carry_complete_traces_and_stage_tilings() {
+    use kpm_repro::service::{Admission, QueryKind, Request, Service, ServiceConfig, ShutdownMode};
+    use kpm_repro::sparse::KpmMatrix;
+
+    let _g = serial();
+    obs::reset();
+    obs::set_enabled(true);
+    let h = TopoHamiltonian::clean(4, 4, 2).assemble();
+    let sf = ScaleFactors::from_gershgorin(&h, 0.01);
+    let svc = Service::start(ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    });
+    let fp = svc.register_matrix(KpmMatrix::crs(h), sf);
+    let kinds = [
+        QueryKind::Dos {
+            seed: 1,
+            num_random: 2,
+        },
+        QueryKind::Ldos { site: 3 },
+        QueryKind::Green {
+            seed: 2,
+            num_random: 1,
+        },
+        QueryKind::Dos {
+            seed: 1,
+            num_random: 2,
+        }, // cache-hit candidate
+    ];
+    let mut traces = Vec::new();
+    for kind in kinds {
+        let admission = svc.submit(Request {
+            matrix: fp,
+            kind,
+            num_moments: 24,
+            kernel: kpm_repro::core::Kernel::Jackson,
+            points: 16,
+            deadline: None,
+        });
+        let Admission::Admitted(ticket) = admission else {
+            panic!("uncontended submit was rejected");
+        };
+        let resp = ticket.wait().expect("exactly-once reply");
+        assert_ne!(resp.stats.trace, 0, "traced reply carries its id");
+        let s = resp.stats.stages;
+        assert!(s.total_us() > 0.0, "stage breakdown is populated");
+        for part in [s.queue_us, s.batch_us, s.solve_us, s.reply_us] {
+            assert!(part >= 0.0, "stages are non-negative");
+        }
+        traces.push(resp.stats.trace);
+    }
+    svc.shutdown(ShutdownMode::Drain);
+
+    let spans = obs::span::snapshot();
+    for &trace in &traces {
+        let mine: Vec<_> = spans.iter().filter(|s| s.trace == trace).collect();
+        let root = mine
+            .iter()
+            .find(|s| s.name == "svc.request")
+            .unwrap_or_else(|| panic!("trace {trace} has no svc.request root"));
+        let mut stage_sum = 0.0;
+        for stage in [
+            "svc.stage.queue",
+            "svc.stage.batch",
+            "svc.stage.solve",
+            "svc.stage.reply",
+        ] {
+            let sp = mine
+                .iter()
+                .find(|s| s.name == stage)
+                .unwrap_or_else(|| panic!("trace {trace} is missing {stage}"));
+            assert_eq!(sp.parent, Some(root.id), "{stage} hangs off the root");
+            stage_sum += sp.dur_us;
+        }
+        assert!(
+            (stage_sum - root.dur_us).abs() <= 0.05 * root.dur_us.max(1.0),
+            "trace {trace}: stages sum to {stage_sum} us but e2e is {} us",
+            root.dur_us
+        );
+        // No orphans: every parent pointer resolves in the full pool
+        // (stage parents in-trace; batch/solve spans may be shared).
+        for s in &mine {
+            if let Some(p) = s.parent {
+                assert!(
+                    spans.iter().any(|q| q.id == p),
+                    "trace {trace}: span {} has orphan parent {p}",
+                    s.id
+                );
+            }
+        }
+    }
+    obs::set_enabled(false);
+}
+
+/// A chaos-injected worker crash triggers an automatic flight-recorder
+/// dump: a `kpm-flight-v1` JSONL file whose every line parses and
+/// whose event stream contains the crash marker.
+#[test]
+fn flight_recorder_dumps_on_chaos_crash() {
+    use kpm_repro::service::{
+        Admission, ChaosPlan, QueryKind, Request, Service, ServiceConfig, ShutdownMode,
+    };
+    use kpm_repro::sparse::KpmMatrix;
+
+    let _g = serial();
+    obs::reset();
+    obs::set_enabled(true);
+    let dir = std::env::temp_dir().join(format!("kpm-flight-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let prefix = dir.join("flight");
+    obs::recorder::configure_dump(prefix.to_str().expect("utf-8 temp path"));
+
+    let h = TopoHamiltonian::clean(4, 4, 2).assemble();
+    let sf = ScaleFactors::from_gershgorin(&h, 0.01);
+    let svc = Service::start(ServiceConfig {
+        workers: 1,
+        max_retries: 0,
+        chaos: Some(ChaosPlan::new(77).with_worker_crashes(1.0)),
+        ..ServiceConfig::default()
+    });
+    let fp = svc.register_matrix(KpmMatrix::crs(h), sf);
+    let admission = svc.submit(Request {
+        matrix: fp,
+        kind: QueryKind::Dos {
+            seed: 5,
+            num_random: 1,
+        },
+        num_moments: 16,
+        kernel: kpm_repro::core::Kernel::Jackson,
+        points: 16,
+        deadline: None,
+    });
+    let Admission::Admitted(ticket) = admission else {
+        panic!("submit rejected");
+    };
+    let resp = ticket.wait().expect("terminal reply even under chaos");
+    assert_ne!(resp.stats.trace, 0, "failed replies are traced too");
+    svc.shutdown(ShutdownMode::Drain);
+
+    assert!(
+        obs::recorder::dumps_triggered() > 0,
+        "chaos crash must trigger an automatic dump"
+    );
+    let dumps: Vec<_> = std::fs::read_dir(&dir)
+        .expect("dump dir")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".jsonl"))
+        .collect();
+    assert!(!dumps.is_empty(), "dump file written");
+    let text = std::fs::read_to_string(dumps[0].path()).expect("read dump");
+    let mut crash_seen = false;
+    for (i, line) in text.lines().enumerate() {
+        let v = obs::json::parse(line).unwrap_or_else(|e| panic!("dump line {i}: {e}"));
+        if i == 0 {
+            assert_eq!(
+                v.get("schema").and_then(obs::json::Value::as_str),
+                Some("kpm-flight-v1")
+            );
+        }
+        if v.get("kind").and_then(obs::json::Value::as_str) == Some("chaos.crash") {
+            crash_seen = true;
+        }
+    }
+    assert!(crash_seen, "dump records the chaos.crash event");
+    let _ = std::fs::remove_dir_all(&dir);
+    obs::set_enabled(false);
+}
+
+/// The per-route SLO ledger counts breaches and reports burn rates
+/// against the configured objective.
+#[test]
+fn slo_burn_rate_counts_breaches() {
+    let _g = serial();
+    obs::reset();
+    obs::set_enabled(true);
+    // 99% of requests under 1 ms.
+    obs::slo::objective("dos", 1_000_000, 0.99);
+    for _ in 0..98 {
+        obs::slo::observe("dos", 500_000);
+    }
+    obs::slo::observe("dos", 2_000_000);
+    obs::slo::observe("dos", 3_000_000);
+    let snap = obs::slo::snapshot();
+    let r = snap
+        .iter()
+        .find(|r| r.route == "dos")
+        .expect("dos objective");
+    assert_eq!(r.events, 100);
+    assert_eq!(r.breaches, 2);
+    // 2% bad over a 1% budget: burning 2x.
+    assert!((r.burn_rate - 2.0).abs() < 1e-9, "burn {}", r.burn_rate);
+    obs::set_enabled(false);
+}

@@ -191,7 +191,6 @@ fn randomized_chaos_schedules_never_lose_an_admitted_request() {
                 std::thread::sleep(Duration::from_micros(rng.below(400)));
             }
         }
-        drop(submit);
 
         let mode = if rng.chance(0.5) {
             ShutdownMode::Drain
