@@ -1,0 +1,195 @@
+//! Finding baseline ("ratchet"): a committed snapshot of accepted
+//! findings that the verify gate subtracts before failing. New
+//! findings — anything not in the snapshot — fail the build, so the
+//! count can only ratchet down: fixing a finding and leaving its stale
+//! entry behind is surfaced too, as the entry no longer matches
+//! anything.
+//!
+//! Format is line-oriented and diff-friendly: one `rule<TAB>file<TAB>
+//! message` entry per line, `#` comments and blank lines ignored.
+//! Line *numbers* are deliberately excluded from the match key so an
+//! unrelated edit shifting code downward does not invalidate the
+//! baseline; two identical findings in one file consume two entries
+//! (multiset semantics).
+
+use std::collections::HashMap;
+
+use crate::diag::Diagnostic;
+
+/// One accepted finding, matched by rule + file + message.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Entry {
+    /// Rule name, e.g. `panic_path`.
+    pub rule: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// The finding's message text, verbatim.
+    pub message: String,
+}
+
+/// The outcome of subtracting a baseline from a scan.
+#[derive(Debug)]
+pub struct Applied {
+    /// Findings not covered by the baseline — these fail the gate.
+    pub fresh: Vec<Diagnostic>,
+    /// Number of findings the baseline absorbed.
+    pub matched: usize,
+    /// Baseline entries that matched nothing: the underlying finding
+    /// was fixed, so the entry should be deleted (ratchet down).
+    pub stale: Vec<Entry>,
+}
+
+/// Parses baseline `text`; returns `Err` with a 1-based line number
+/// on a malformed entry so the gate fails loudly instead of silently
+/// accepting everything.
+pub fn parse(text: &str) -> Result<Vec<Entry>, u32> {
+    let mut entries = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = raw.splitn(3, '\t');
+        match (parts.next(), parts.next(), parts.next()) {
+            (Some(rule), Some(file), Some(message)) if !rule.trim().is_empty() => {
+                entries.push(Entry {
+                    rule: rule.trim().to_string(),
+                    file: file.trim().to_string(),
+                    message: message.to_string(),
+                });
+            }
+            _ => return Err(i as u32 + 1),
+        }
+    }
+    Ok(entries)
+}
+
+/// Renders `diags` as baseline text, with a header explaining the
+/// contract to whoever opens the file.
+pub fn render(diags: &[Diagnostic]) -> String {
+    let mut out = String::from(
+        "# kpm-analyze finding baseline (ratchet). One accepted finding per line:\n\
+         #   rule<TAB>file<TAB>message\n\
+         # The verify gate fails on any finding NOT listed here, and reports\n\
+         # entries that no longer match anything so they can be deleted.\n\
+         # Regenerate with: cargo run -p kpm-analyze -- --write-baseline ANALYZE_BASELINE.txt\n",
+    );
+    for d in diags {
+        out.push_str(d.rule);
+        out.push('\t');
+        out.push_str(&d.file);
+        out.push('\t');
+        // Tabs/newlines inside a message would split the entry; the
+        // renderer flattens them to spaces (parse trims nothing from
+        // the message, so round-tripping such a finding still matches
+        // because apply() normalizes the same way).
+        out.push_str(&normalize(&d.message));
+        out.push('\n');
+    }
+    out
+}
+
+fn normalize(msg: &str) -> String {
+    msg.replace(['\t', '\n'], " ")
+}
+
+/// Subtracts `baseline` from `diags` with multiset semantics.
+pub fn apply(diags: &[Diagnostic], baseline: &[Entry]) -> Applied {
+    let mut budget: HashMap<&Entry, usize> = HashMap::new();
+    for e in baseline {
+        *budget.entry(e).or_insert(0) += 1;
+    }
+    let mut fresh = Vec::new();
+    let mut matched = 0;
+    for d in diags {
+        let key = Entry {
+            rule: d.rule.to_string(),
+            file: d.file.clone(),
+            message: normalize(&d.message),
+        };
+        match budget.get_mut(&key) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                matched += 1;
+            }
+            _ => fresh.push(d.clone()),
+        }
+    }
+    let mut stale = Vec::new();
+    for (e, n) in budget {
+        for _ in 0..n {
+            stale.push(e.clone());
+        }
+    }
+    stale.sort_by(|a, b| (&a.file, &a.rule, &a.message).cmp(&(&b.file, &b.rule, &b.message)));
+    Applied {
+        fresh,
+        matched,
+        stale,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(rule: &'static str, file: &str, line: u32, message: &str) -> Diagnostic {
+        Diagnostic {
+            rule,
+            file: file.into(),
+            line,
+            message: message.into(),
+            hint: String::new(),
+        }
+    }
+
+    #[test]
+    fn round_trip_absorbs_findings() {
+        let diags = vec![
+            diag("no_panic", "a.rs", 3, "call to `.unwrap()`"),
+            diag("lock_order", "b.rs", 9, "lock cycle"),
+        ];
+        let entries = parse(&render(&diags)).expect("parses");
+        assert_eq!(entries.len(), 2);
+        let applied = apply(&diags, &entries);
+        assert!(applied.fresh.is_empty());
+        assert_eq!(applied.matched, 2);
+        assert!(applied.stale.is_empty());
+    }
+
+    #[test]
+    fn line_drift_still_matches() {
+        let before = diag("no_panic", "a.rs", 3, "call to `.unwrap()`");
+        let entries = parse(&render(std::slice::from_ref(&before))).expect("parses");
+        let after = diag("no_panic", "a.rs", 57, "call to `.unwrap()`");
+        assert!(apply(&[after], &entries).fresh.is_empty());
+    }
+
+    #[test]
+    fn fresh_finding_survives_and_stale_entry_reported() {
+        let entries = parse("no_panic\ta.rs\tgone finding\n").expect("parses");
+        let fresh = diag("det_reduce", "c.rs", 2, "non-deterministic sum");
+        let applied = apply(std::slice::from_ref(&fresh), &entries);
+        assert_eq!(applied.fresh.len(), 1);
+        assert_eq!(applied.fresh[0].rule, "det_reduce");
+        assert_eq!(applied.stale.len(), 1);
+        assert_eq!(applied.stale[0].message, "gone finding");
+    }
+
+    #[test]
+    fn multiset_counts_duplicates() {
+        let d = diag("no_panic", "a.rs", 1, "call to `.unwrap()`");
+        let entries = parse(&render(std::slice::from_ref(&d))).expect("parses");
+        // Two identical findings, one baseline entry: one stays fresh.
+        let applied = apply(&[d.clone(), d], &entries);
+        assert_eq!(applied.matched, 1);
+        assert_eq!(applied.fresh.len(), 1);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored_malformed_rejected() {
+        assert!(parse("# header\n\n  # more\n").expect("parses").is_empty());
+        assert_eq!(parse("no tabs here\n"), Err(1));
+        assert_eq!(parse("# ok\nrule_only\tfile\n"), Err(2));
+    }
+}

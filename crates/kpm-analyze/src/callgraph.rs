@@ -1,0 +1,502 @@
+//! A workspace-wide call graph over parsed [`crate::ast`] files.
+//!
+//! Resolution is name-based and deliberately over-approximate: a
+//! `Type::method(..)` call links to every workspace method of that
+//! name on that type, a free call links to free functions by name
+//! (same file, then same crate, then workspace-wide), and a
+//! `recv.method(..)` call links to every workspace method of that
+//! name. Over-approximation is the safe direction for the reachability
+//! passes (`panic_path`, `blocking_in_hot`); the blocklist below keeps
+//! ubiquitous std names from wiring the whole workspace together.
+//!
+//! Test functions are never resolution targets: non-test code does not
+//! call test helpers, and a name collision with one would otherwise
+//! fabricate edges into `#[cfg(test)]` modules.
+
+use std::collections::HashMap;
+
+use crate::ast;
+use crate::lints::FileClass;
+
+/// Method names too generic to resolve by name alone — std trait
+/// methods and container operations that would connect unrelated
+/// types.
+const METHOD_RESOLVE_BLOCKLIST: &[&str] = &[
+    "abs",
+    "add",
+    "and_then",
+    "as_bytes",
+    "as_mut",
+    "as_ref",
+    "as_slice",
+    "as_str",
+    "borrow",
+    "borrow_mut",
+    "build",
+    "clamp",
+    "clear",
+    "clone",
+    "cmp",
+    "collect",
+    "contains",
+    "contains_key",
+    "copied",
+    "count",
+    "dedup",
+    "default",
+    "drain",
+    "drop",
+    "ends_with",
+    "entry",
+    "enumerate",
+    "eq",
+    "extend",
+    "filter",
+    "filter_map",
+    "find",
+    "flat_map",
+    "flatten",
+    "fmt",
+    "fold",
+    "from",
+    "get",
+    "get_mut",
+    "get_or_insert_with",
+    "hash",
+    "insert",
+    "into",
+    "into_iter",
+    "is_empty",
+    "is_finite",
+    "is_nan",
+    "is_some",
+    "is_none",
+    "iter",
+    "iter_mut",
+    "join",
+    "keys",
+    "last",
+    "len",
+    "lock",
+    "map",
+    "map_err",
+    "max",
+    "min",
+    "new",
+    "next",
+    "ok",
+    "ok_or",
+    "ok_or_else",
+    "or",
+    "or_default",
+    "or_else",
+    "or_insert_with",
+    "parse",
+    "partial_cmp",
+    "pop",
+    "position",
+    "powi",
+    "powf",
+    "push",
+    "push_str",
+    "read",
+    "remove",
+    "resize",
+    "rev",
+    "reverse",
+    "send",
+    "set",
+    "skip",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "split",
+    "sqrt",
+    "starts_with",
+    "step_by",
+    "sum",
+    "swap",
+    "take",
+    "to_owned",
+    "to_string",
+    "to_vec",
+    "trim",
+    "truncate",
+    "unwrap",
+    "unwrap_or",
+    "unwrap_or_default",
+    "unwrap_or_else",
+    "values",
+    "window",
+    "windows",
+    "write",
+    "zip",
+];
+
+/// Per-file input to call-graph construction.
+pub struct FileFns<'a> {
+    /// Index of the file in the workspace scan order.
+    pub file_idx: usize,
+    /// Crate directory name (e.g. `kpm-num`).
+    pub crate_name: String,
+    /// The file's class.
+    pub class: FileClass,
+    /// Workspace-relative path, for messages.
+    pub path: String,
+    /// Parsed functions.
+    pub ast: &'a ast::File,
+    /// Per-line test flags (1-based line `l` at index `l - 1`).
+    pub test_lines: &'a [bool],
+}
+
+/// One function in the workspace, flattened across files.
+pub struct FnNode {
+    /// Index of the owning file (into the `FileFns` slice order).
+    pub file_idx: usize,
+    /// Index into that file's [`ast::File::fns`].
+    pub fn_idx: usize,
+    /// Crate directory name.
+    pub crate_name: String,
+    /// Workspace-relative path of the owning file.
+    pub path: String,
+    /// Function name.
+    pub name: String,
+    /// Enclosing `impl`/`trait` type for methods.
+    pub self_type: Option<String>,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// True for functions inside `#[cfg(test)]`/`#[test]` regions or
+    /// test-class files.
+    pub is_test: bool,
+    /// The owning file's class.
+    pub class: FileClass,
+}
+
+impl FnNode {
+    /// Display name: `Type::name` for methods, `name` otherwise.
+    pub fn display(&self) -> String {
+        match &self.self_type {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// A resolved call site.
+pub struct CallEdge {
+    /// Index of the callee in [`CallGraph::fns`].
+    pub to: usize,
+    /// Line of the call site in the caller's file.
+    pub line: u32,
+}
+
+/// The workspace call graph.
+pub struct CallGraph {
+    /// Every function, in file order.
+    pub fns: Vec<FnNode>,
+    /// Outgoing edges per function (parallel to `fns`).
+    pub edges: Vec<Vec<CallEdge>>,
+}
+
+impl CallGraph {
+    /// Builds the graph from every parsed file in the workspace.
+    pub fn build(files: &[FileFns<'_>]) -> CallGraph {
+        let mut fns: Vec<FnNode> = Vec::new();
+        for f in files {
+            for (fn_idx, d) in f.ast.fns.iter().enumerate() {
+                let in_test_region = f
+                    .test_lines
+                    .get(d.line as usize - 1)
+                    .copied()
+                    .unwrap_or(false);
+                fns.push(FnNode {
+                    file_idx: f.file_idx,
+                    fn_idx,
+                    crate_name: f.crate_name.clone(),
+                    path: f.path.clone(),
+                    name: d.name.clone(),
+                    self_type: d.self_type.clone(),
+                    line: d.line,
+                    is_test: f.class == FileClass::Test || in_test_region,
+                    class: f.class,
+                });
+            }
+        }
+
+        // Resolution index: only non-test Lib/Bin functions are
+        // targets — bench/example helpers are never called by product
+        // code, and a name collision with one would fabricate edges.
+        let mut by_name: HashMap<&str, Vec<usize>> = HashMap::new();
+        for (i, n) in fns.iter().enumerate() {
+            if !n.is_test && matches!(n.class, FileClass::Lib | FileClass::Bin) {
+                by_name.entry(n.name.as_str()).or_default().push(i);
+            }
+        }
+
+        let file_of: HashMap<usize, &FileFns<'_>> = files.iter().map(|f| (f.file_idx, f)).collect();
+        let crate_names: Vec<String> = files
+            .iter()
+            .map(|f| f.crate_name.replace('-', "_"))
+            .collect();
+
+        let mut edges: Vec<Vec<CallEdge>> = (0..fns.len()).map(|_| Vec::new()).collect();
+        for (caller, node) in fns.iter().enumerate() {
+            let file = file_of[&node.file_idx];
+            let def = &file.ast.fns[node.fn_idx];
+            let mut out: Vec<CallEdge> = Vec::new();
+            def.body.walk(&mut |e| {
+                resolve_site(e, node, &fns, &by_name, &crate_names, &mut out);
+            });
+            // Dedup (to) keeping the first (earliest) site.
+            out.sort_by_key(|e| (e.to, e.line));
+            out.dedup_by_key(|e| e.to);
+            edges[caller] = out;
+        }
+
+        CallGraph { fns, edges }
+    }
+
+    /// Breadth-first reachability from the seed functions.
+    pub fn reachable(&self, seeds: impl IntoIterator<Item = usize>) -> Vec<bool> {
+        let mut seen = vec![false; self.fns.len()];
+        let mut queue: Vec<usize> = seeds.into_iter().collect();
+        for &s in &queue {
+            seen[s] = true;
+        }
+        while let Some(f) = queue.pop() {
+            for e in &self.edges[f] {
+                if !seen[e.to] {
+                    seen[e.to] = true;
+                    queue.push(e.to);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Index of the function defined at `(file_idx, fn_idx)`.
+    pub fn find(&self, file_idx: usize, fn_idx: usize) -> Option<usize> {
+        self.fns
+            .iter()
+            .position(|n| n.file_idx == file_idx && n.fn_idx == fn_idx)
+    }
+}
+
+/// Resolves one expression atom into call edges, if it is a call.
+fn resolve_site(
+    e: &ast::Expr,
+    caller: &FnNode,
+    fns: &[FnNode],
+    by_name: &HashMap<&str, Vec<usize>>,
+    crate_names: &[String],
+    out: &mut Vec<CallEdge>,
+) {
+    match e {
+        ast::Expr::Call { path, line, .. } => {
+            let Some(name) = path.last() else { return };
+            let Some(cands) = by_name.get(name.as_str()) else {
+                return;
+            };
+            let qual = path.len().checked_sub(2).map(|i| path[i].as_str());
+            match qual {
+                // `Type::method(..)` — an uppercase qualifier names the
+                // impl type exactly.
+                Some(q) if q.chars().next().is_some_and(char::is_uppercase) => {
+                    for &c in cands {
+                        if fns[c].self_type.as_deref() == Some(q) {
+                            out.push(CallEdge { to: c, line: *line });
+                        }
+                    }
+                }
+                // `self::f` / `crate::f` / `module::f` / `kpm_num::f` —
+                // free functions; a crate-name qualifier restricts to
+                // that crate, `crate`/`self`/`super` to the caller's.
+                Some(q) => {
+                    let target_crate = if q == "crate" || q == "self" || q == "super" {
+                        Some(caller.crate_name.replace('-', "_"))
+                    } else if crate_names.iter().any(|c| c == q) {
+                        Some(q.to_string())
+                    } else {
+                        None
+                    };
+                    for &c in cands {
+                        let n = &fns[c];
+                        if n.self_type.is_some() {
+                            continue;
+                        }
+                        if let Some(tc) = &target_crate {
+                            if n.crate_name.replace('-', "_") != *tc {
+                                continue;
+                            }
+                        }
+                        out.push(CallEdge { to: c, line: *line });
+                    }
+                }
+                // Unqualified `f(..)` — same file, then same crate,
+                // then any free fn (covers `use`-imported names).
+                None => {
+                    let free: Vec<usize> = cands
+                        .iter()
+                        .copied()
+                        .filter(|&c| fns[c].self_type.is_none())
+                        .collect();
+                    let same_file: Vec<usize> = free
+                        .iter()
+                        .copied()
+                        .filter(|&c| fns[c].file_idx == caller.file_idx)
+                        .collect();
+                    let same_crate: Vec<usize> = free
+                        .iter()
+                        .copied()
+                        .filter(|&c| fns[c].crate_name == caller.crate_name)
+                        .collect();
+                    let tier = if !same_file.is_empty() {
+                        same_file
+                    } else if !same_crate.is_empty() {
+                        same_crate
+                    } else {
+                        free
+                    };
+                    for c in tier {
+                        out.push(CallEdge { to: c, line: *line });
+                    }
+                }
+            }
+        }
+        ast::Expr::MethodCall { name, line, .. } => {
+            if METHOD_RESOLVE_BLOCKLIST.contains(&name.as_str()) {
+                return;
+            }
+            let Some(cands) = by_name.get(name.as_str()) else {
+                return;
+            };
+            let methods: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&c| fns[c].self_type.is_some())
+                .collect();
+            let same_crate: Vec<usize> = methods
+                .iter()
+                .copied()
+                .filter(|&c| fns[c].crate_name == caller.crate_name)
+                .collect();
+            let tier = if !same_crate.is_empty() {
+                same_crate
+            } else {
+                methods
+            };
+            for c in tier {
+                out.push(CallEdge { to: c, line: *line });
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::parse;
+
+    fn graph_one(src: &str) -> CallGraph {
+        let file = parse(src);
+        let test_lines = vec![false; 512];
+        let files = vec![FileFns {
+            file_idx: 0,
+            crate_name: "kpm-num".to_string(),
+            class: FileClass::Lib,
+            path: "crates/kpm-num/src/x.rs".to_string(),
+            ast: &file,
+            test_lines: &test_lines,
+        }];
+        CallGraph::build(&files)
+    }
+
+    fn idx(g: &CallGraph, name: &str) -> usize {
+        g.fns.iter().position(|f| f.name == name).unwrap()
+    }
+
+    #[test]
+    fn free_calls_link_within_file() {
+        let g = graph_one("fn a() { b(); }\nfn b() {}\n");
+        let (a, b) = (idx(&g, "a"), idx(&g, "b"));
+        assert!(g.edges[a].iter().any(|e| e.to == b));
+        assert!(g.edges[b].is_empty());
+    }
+
+    #[test]
+    fn qualified_type_calls_resolve_to_methods() {
+        let g = graph_one(
+            "struct S;\nimpl S { fn go(&self) { helper(); } }\nfn helper() {}\nfn top() { S::go(); }\n",
+        );
+        let (top, go, helper) = (idx(&g, "top"), idx(&g, "go"), idx(&g, "helper"));
+        assert!(g.edges[top].iter().any(|e| e.to == go));
+        assert!(g.edges[go].iter().any(|e| e.to == helper));
+        let reach = g.reachable([top]);
+        assert!(reach[helper]);
+    }
+
+    #[test]
+    fn blocklisted_method_names_do_not_link() {
+        let g = graph_one("struct S;\nimpl S { fn clone(&self) { danger(); } }\nfn danger() {}\nfn top(s: S) { s.clone(); }\n");
+        let top = idx(&g, "top");
+        assert!(g.edges[top].is_empty(), "clone must not resolve by name");
+    }
+
+    #[test]
+    fn method_calls_resolve_by_name() {
+        let g =
+            graph_one("struct S;\nimpl S { fn solve(&self) {} }\nfn top(s: S) { s.solve(); }\n");
+        let (top, solve) = (idx(&g, "top"), idx(&g, "solve"));
+        assert!(g.edges[top].iter().any(|e| e.to == solve));
+    }
+
+    #[test]
+    fn test_fns_are_not_targets() {
+        let file = parse("fn a() { helper(); }\nfn helper() {}\n");
+        let mut test_lines = vec![false; 8];
+        test_lines[1] = true; // line 2: helper is in a test region
+        let files = vec![FileFns {
+            file_idx: 0,
+            crate_name: "kpm-num".to_string(),
+            class: FileClass::Lib,
+            path: "x.rs".to_string(),
+            ast: &file,
+            test_lines: &test_lines,
+        }];
+        let g = CallGraph::build(&files);
+        let a = g.fns.iter().position(|f| f.name == "a").unwrap();
+        assert!(g.edges[a].is_empty());
+    }
+
+    #[test]
+    fn crate_qualified_calls_restrict_to_that_crate() {
+        let f1 = parse("fn shared() {}\n");
+        let f2 = parse("fn shared() {}\nfn top() { kpm_num::shared(); }\n");
+        let t = vec![false; 16];
+        let files = vec![
+            FileFns {
+                file_idx: 0,
+                crate_name: "kpm-num".to_string(),
+                class: FileClass::Lib,
+                path: "a.rs".to_string(),
+                ast: &f1,
+                test_lines: &t,
+            },
+            FileFns {
+                file_idx: 1,
+                crate_name: "kpm-core".to_string(),
+                class: FileClass::Lib,
+                path: "b.rs".to_string(),
+                ast: &f2,
+                test_lines: &t,
+            },
+        ];
+        let g = CallGraph::build(&files);
+        let top = g.fns.iter().position(|f| f.name == "top").unwrap();
+        assert_eq!(g.edges[top].len(), 1);
+        let callee = &g.fns[g.edges[top][0].to];
+        assert_eq!(callee.crate_name, "kpm-num");
+    }
+}

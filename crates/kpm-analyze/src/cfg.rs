@@ -1,0 +1,351 @@
+//! Per-function control-flow graphs over the [`crate::ast`] tree.
+//!
+//! The lock-order pass needs path sensitivity the AST alone cannot
+//! give: a `MutexGuard` bound by `let` lives until its lexical scope
+//! ends, branch arms must not leak held-lock facts into each other,
+//! and loop bodies feed back into themselves. The CFG models exactly
+//! that and nothing more — straight-line blocks of expression atoms,
+//! branch/loop/return edges, and explicit [`Node::ScopeEnd`] markers
+//! where `let`-bound values (lock guards) die.
+//!
+//! Nested control flow *inside* a single atom (e.g. an `if` buried in
+//! a call argument) is not split into blocks; passes walk the atom and
+//! treat it as one step. That over-approximates ordering within a
+//! statement, which is the conservative direction for deadlock
+//! detection.
+
+use crate::ast::{Block, Expr, FnDef};
+
+/// One step inside a basic block.
+pub enum Node<'a> {
+    /// Evaluate an expression atom.
+    Expr {
+        /// The atom (passes walk into it for nested calls/chains).
+        expr: &'a Expr,
+        /// Lexical scope owning any value the atom produces.
+        scope: u32,
+        /// True when the enclosing statement `let`-binds the value —
+        /// a lock guard acquired here is held until the scope ends;
+        /// unbound guards are temporaries dropped at statement end.
+        bound: bool,
+        /// The `let` binding's name when it is a simple identifier,
+        /// so an explicit `drop(name)` can release the value early.
+        name: Option<&'a str>,
+    },
+    /// The given lexical scope ends; `let`-bound values it owns die.
+    ScopeEnd(u32),
+}
+
+/// A basic block: straight-line nodes plus successor edges.
+#[derive(Default)]
+pub struct BasicBlock<'a> {
+    /// Steps executed in order.
+    pub nodes: Vec<Node<'a>>,
+    /// Indices of successor blocks.
+    pub succs: Vec<usize>,
+}
+
+/// A function CFG. Block `0` is the entry, block `1` the single exit.
+pub struct Cfg<'a> {
+    /// All basic blocks; unreachable blocks may exist after `return`.
+    pub blocks: Vec<BasicBlock<'a>>,
+}
+
+/// Index of the entry block.
+pub const ENTRY: usize = 0;
+/// Index of the exit block.
+pub const EXIT: usize = 1;
+
+impl<'a> Cfg<'a> {
+    /// Builds the CFG for one function body.
+    pub fn build(f: &'a FnDef) -> Cfg<'a> {
+        let mut b = Builder {
+            blocks: vec![BasicBlock::default(), BasicBlock::default()],
+            next_scope: 0,
+            loops: Vec::new(),
+        };
+        let last = b.block(&f.body, ENTRY);
+        b.edge(last, EXIT);
+        Cfg { blocks: b.blocks }
+    }
+
+    /// Blocks in reverse postorder from the entry — a good iteration
+    /// order for forward dataflow fixpoints.
+    pub fn rpo(&self) -> Vec<usize> {
+        let n = self.blocks.len();
+        let mut seen = vec![false; n];
+        let mut post = Vec::with_capacity(n);
+        // Iterative DFS with an explicit edge cursor per frame.
+        let mut stack = vec![(ENTRY, 0usize)];
+        seen[ENTRY] = true;
+        while let Some(&mut (bb, ref mut cursor)) = stack.last_mut() {
+            if let Some(&s) = self.blocks[bb].succs.get(*cursor) {
+                *cursor += 1;
+                if !seen[s] {
+                    seen[s] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(bb);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        post
+    }
+}
+
+struct Builder<'a> {
+    blocks: Vec<BasicBlock<'a>>,
+    next_scope: u32,
+    /// Stack of enclosing loops as `(continue_target, break_target)`.
+    loops: Vec<(usize, usize)>,
+}
+
+impl<'a> Builder<'a> {
+    fn fresh(&mut self) -> usize {
+        self.blocks.push(BasicBlock::default());
+        self.blocks.len() - 1
+    }
+
+    fn scope(&mut self) -> u32 {
+        self.next_scope += 1;
+        self.next_scope
+    }
+
+    fn edge(&mut self, from: usize, to: usize) {
+        if !self.blocks[from].succs.contains(&to) {
+            self.blocks[from].succs.push(to);
+        }
+    }
+
+    /// Lowers a `{ .. }` block: opens a fresh scope, lowers each
+    /// statement, ends the scope. Returns the block the control flow
+    /// falls out of.
+    fn block(&mut self, b: &'a Block, mut cur: usize) -> usize {
+        let sc = self.scope();
+        for stmt in &b.stmts {
+            let bound = stmt.binding.is_some();
+            let name = stmt.binding.as_deref();
+            for e in &stmt.exprs {
+                cur = self.expr(e, cur, sc, bound, name);
+            }
+        }
+        self.blocks[cur].nodes.push(Node::ScopeEnd(sc));
+        cur
+    }
+
+    /// Lowers one expression atom, splitting blocks at control flow.
+    fn expr(
+        &mut self,
+        e: &'a Expr,
+        cur: usize,
+        scope: u32,
+        bound: bool,
+        name: Option<&'a str>,
+    ) -> usize {
+        match e {
+            Expr::If { arms, else_arm, .. } => {
+                // Conditions evaluate before the branch; an `if let`
+                // that acquires a lock in its condition holds it
+                // across the arms, so condition values live in a
+                // scope that ends at the join.
+                let head_sc = self.scope();
+                let mut pre = cur;
+                for (cond, _) in arms {
+                    for c in cond {
+                        pre = self.expr(c, pre, head_sc, true, None);
+                    }
+                }
+                let join = self.fresh();
+                for (_, arm) in arms {
+                    let entry = self.fresh();
+                    self.edge(pre, entry);
+                    let out = self.block(arm, entry);
+                    self.edge(out, join);
+                }
+                if let Some(arm) = else_arm {
+                    let entry = self.fresh();
+                    self.edge(pre, entry);
+                    let out = self.block(arm, entry);
+                    self.edge(out, join);
+                } else {
+                    self.edge(pre, join);
+                }
+                self.blocks[join].nodes.push(Node::ScopeEnd(head_sc));
+                join
+            }
+            Expr::Match { head, arms, .. } => {
+                let head_sc = self.scope();
+                let mut pre = cur;
+                for h in head {
+                    pre = self.expr(h, pre, head_sc, true, None);
+                }
+                let join = self.fresh();
+                if arms.is_empty() {
+                    self.edge(pre, join);
+                }
+                for arm in arms {
+                    let entry = self.fresh();
+                    self.edge(pre, entry);
+                    let out = self.block(arm, entry);
+                    self.edge(out, join);
+                }
+                self.blocks[join].nodes.push(Node::ScopeEnd(head_sc));
+                join
+            }
+            Expr::Loop { head, body, .. } => {
+                // head block <-> body, with a break target after.
+                let head_bb = self.fresh();
+                let exit_bb = self.fresh();
+                let head_sc = self.scope();
+                self.edge(cur, head_bb);
+                // A `while let Ok(g) = m.lock()` head re-binds (and so
+                // re-acquires) each iteration: the previous iteration's
+                // head values die when control returns to the head.
+                self.blocks[head_bb].nodes.push(Node::ScopeEnd(head_sc));
+                let mut h = head_bb;
+                for e in head {
+                    h = self.expr(e, h, head_sc, true, None);
+                }
+                let body_entry = self.fresh();
+                self.edge(h, body_entry);
+                self.edge(h, exit_bb); // condition false / iterator done
+                self.loops.push((head_bb, exit_bb));
+                let body_out = self.block(body, body_entry);
+                self.loops.pop();
+                self.edge(body_out, head_bb); // back edge
+                self.blocks[exit_bb].nodes.push(Node::ScopeEnd(head_sc));
+                exit_bb
+            }
+            Expr::BlockExpr(b) => self.block(b, cur),
+            Expr::Closure { body, .. } => {
+                // Inline the body: workspace closures are iterator and
+                // scope bodies that run where they are written; for
+                // lock analysis, executing "here" is the conservative
+                // assumption.
+                self.block(body, cur)
+            }
+            Expr::Ret(_) => {
+                self.edge(cur, EXIT);
+                self.fresh() // unreachable continuation
+            }
+            Expr::Brk(_) => {
+                let target = self.loops.last().map_or(EXIT, |&(_, brk)| brk);
+                self.edge(cur, target);
+                self.fresh()
+            }
+            Expr::Cont(_) => {
+                let target = self.loops.last().map_or(EXIT, |&(cont, _)| cont);
+                self.edge(cur, target);
+                self.fresh()
+            }
+            _ => {
+                self.blocks[cur].nodes.push(Node::Expr {
+                    expr: e,
+                    scope,
+                    bound,
+                    name,
+                });
+                cur
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::parse;
+
+    fn cfg_of(src: &str) -> (crate::ast::File, usize) {
+        let file = parse(src);
+        assert_eq!(file.fns.len(), 1, "fixture must define one fn");
+        (file, 0)
+    }
+
+    #[test]
+    fn straight_line_fn_is_entry_to_exit() {
+        let (file, i) = cfg_of("fn f() { a(); b(); }");
+        let cfg = Cfg::build(&file.fns[i]);
+        assert!(cfg.blocks[ENTRY].succs.contains(&EXIT));
+        let exprs = cfg.blocks[ENTRY]
+            .nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Expr { .. }))
+            .count();
+        assert_eq!(exprs, 2);
+    }
+
+    #[test]
+    fn if_else_branches_and_rejoins() {
+        let (file, i) = cfg_of("fn f() { if c() { a(); } else { b(); } d(); }");
+        let cfg = Cfg::build(&file.fns[i]);
+        // Entry must have two successors (two arms) and both arms must
+        // rejoin at a block that eventually reaches EXIT.
+        assert_eq!(cfg.blocks[ENTRY].succs.len(), 2);
+        let rpo = cfg.rpo();
+        assert!(rpo.contains(&EXIT));
+    }
+
+    #[test]
+    fn loop_has_back_edge_and_break_target() {
+        let (file, i) = cfg_of("fn f() { while c() { if d() { break; } a(); } b(); }");
+        let cfg = Cfg::build(&file.fns[i]);
+        // Some block must loop back to an earlier block.
+        let back = cfg
+            .blocks
+            .iter()
+            .enumerate()
+            .any(|(b, blk)| blk.succs.iter().any(|&s| s != EXIT && s <= b));
+        assert!(back, "expected a back edge");
+        assert!(cfg.rpo().contains(&EXIT));
+    }
+
+    #[test]
+    fn return_edges_to_exit_block() {
+        let (file, i) = cfg_of("fn f() { if c() { return; } a(); }");
+        let cfg = Cfg::build(&file.fns[i]);
+        // The return arm's block must list EXIT as successor.
+        let ret_edges = cfg
+            .blocks
+            .iter()
+            .filter(|b| b.succs.contains(&EXIT))
+            .count();
+        assert!(ret_edges >= 2, "return arm and fall-through both exit");
+    }
+
+    #[test]
+    fn let_bound_atoms_are_marked_bound() {
+        let (file, i) = cfg_of("fn f() { let g = m.lock(); use_it(g); }");
+        let cfg = Cfg::build(&file.fns[i]);
+        let mut bound_seen = false;
+        let mut unbound_seen = false;
+        for blk in &cfg.blocks {
+            for n in &blk.nodes {
+                if let Node::Expr { bound, .. } = n {
+                    if *bound {
+                        bound_seen = true;
+                    } else {
+                        unbound_seen = true;
+                    }
+                }
+            }
+        }
+        assert!(bound_seen && unbound_seen);
+    }
+
+    #[test]
+    fn scopes_end_in_innermost_block() {
+        let (file, i) = cfg_of("fn f() { { let g = m.lock(); } a(); }");
+        let cfg = Cfg::build(&file.fns[i]);
+        let scope_ends = cfg
+            .blocks
+            .iter()
+            .flat_map(|b| &b.nodes)
+            .filter(|n| matches!(n, Node::ScopeEnd(_)))
+            .count();
+        // Inner block scope + fn body scope.
+        assert!(scope_ends >= 2);
+    }
+}

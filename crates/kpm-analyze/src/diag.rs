@@ -35,7 +35,7 @@ impl Diagnostic {
 }
 
 /// Escapes `s` for inclusion in a JSON string literal.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -56,11 +56,57 @@ fn json_escape(s: &str) -> String {
 /// Renders the full report as one JSON document:
 /// `{"tool":"kpm-analyze","files_scanned":N,"diagnostics":[...]}`.
 pub fn render_json(diags: &[Diagnostic], files_scanned: usize) -> String {
+    render_json_with(diags, files_scanned, &[], &[])
+}
+
+/// [`render_json`] plus the per-rule finding counts and per-pass
+/// timing the workspace driver collects: adds a `"rule_counts"`
+/// object (every registered rule, zeros included) and a `"passes"`
+/// array of `{"name", "ms"}` in execution order.
+pub fn render_json_report(report: &crate::workspace::Report) -> String {
+    render_json_with(
+        &report.diags,
+        report.files_scanned,
+        &report.rule_counts,
+        &report.passes,
+    )
+}
+
+fn render_json_with(
+    diags: &[Diagnostic],
+    files_scanned: usize,
+    rule_counts: &[(&'static str, usize)],
+    passes: &[(&'static str, f64)],
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"tool\": \"kpm-analyze\",");
     let _ = writeln!(out, "  \"files_scanned\": {files_scanned},");
     let _ = writeln!(out, "  \"diagnostic_count\": {},", diags.len());
+    if !rule_counts.is_empty() {
+        out.push_str("  \"rule_counts\": {");
+        for (i, (rule, n)) in rule_counts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    \"{}\": {n}", json_escape(rule));
+        }
+        out.push_str("\n  },\n");
+    }
+    if !passes.is_empty() {
+        out.push_str("  \"passes\": [");
+        for (i, (name, ms)) in passes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"name\": \"{}\", \"ms\": {ms:.3}}}",
+                json_escape(name)
+            );
+        }
+        out.push_str("\n  ],\n");
+    }
     out.push_str("  \"diagnostics\": [");
     for (i, d) in diags.iter().enumerate() {
         if i > 0 {

@@ -89,6 +89,17 @@ impl Lexer {
     }
 
     fn run(mut self) -> Vec<Token> {
+        // A shebang (`#!/usr/bin/env ...`) is only special as the very
+        // first bytes of the file, and only when it is not the start of
+        // an inner attribute (`#![...]`). Skip the whole line so the
+        // token table starts in sync on line 2.
+        if self.peek(0) == Some('#') && self.peek(1) == Some('!') && self.peek(2) != Some('[') {
+            while let Some(c) = self.bump() {
+                if c == '\n' {
+                    break;
+                }
+            }
+        }
         while let Some(c) = self.peek(0) {
             let start = self.line;
             match c {
@@ -305,6 +316,26 @@ impl Lexer {
                     self.string_literal(start);
                     return;
                 }
+                // Raw identifier `r#type`: keep the `r#` in the payload
+                // so rules never confuse it with the bare keyword
+                // (`r#loop` is a variable, not a loop head).
+                Some('#')
+                    if name == "r"
+                        && self.peek(1).is_some_and(|c| c.is_alphabetic() || c == '_') =>
+                {
+                    self.bump(); // the `#`
+                    name.push('#');
+                    while let Some(c) = self.peek(0) {
+                        if c.is_alphanumeric() || c == '_' {
+                            name.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.push(TokKind::Ident(name), start);
+                    return;
+                }
                 Some('#') => {
                     let mut hashes = 0;
                     while self.peek(hashes) == Some('#') {
@@ -419,5 +450,66 @@ mod tests {
     fn byte_strings_and_byte_chars() {
         let toks = idents(r#"let a = b"bytes"; let c = b'x'; end()"#);
         assert_eq!(toks, vec!["let", "a", "let", "c", "end"]);
+    }
+
+    // ------------------------------------------------ edge-case fixtures
+    //
+    // Each fixture is a token-table desync hazard: if the lexer loses
+    // its place inside the construct, the trailing sentinel tokens
+    // come out wrong and the assertion fails.
+
+    #[test]
+    fn nested_block_comment_markers_inside_raw_strings_do_not_desync() {
+        // The `/* /* */` inside the raw string must stay literal text:
+        // the comment-nesting counter must never see it.
+        let toks = lex(r###"let s = r##"/* /* unbalanced "# */ "##; sentinel()"###);
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Str).count(),
+            1,
+            "raw string swallowed or split"
+        );
+        let toks = idents(r###"let s = r##"/* /* unbalanced "# */ "##; sentinel()"###);
+        assert_eq!(toks, vec!["let", "s", "sentinel"]);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_single_idents() {
+        let toks = idents("let r#type = r#match; r#loop.f(); sentinel()");
+        assert_eq!(
+            toks,
+            vec!["let", "r#type", "r#match", "r#loop", "f", "sentinel"]
+        );
+        // `r#loop` must NOT look like the `loop` keyword, and the `#`
+        // must not leak out as punctuation (which would desync
+        // attribute-span detection).
+        let toks = lex("let r#loop = 1;");
+        assert!(!toks.iter().any(|t| t.kind == TokKind::Punct('#')));
+    }
+
+    #[test]
+    fn byte_string_escapes_do_not_terminate_early() {
+        // `\"` and `\\` inside byte strings must not close the literal.
+        let toks = idents(r#"let a = b"quote \" backslash \\ tail"; sentinel()"#);
+        assert_eq!(toks, vec!["let", "a", "sentinel"]);
+        let toks = idents(r#"let a = b"\x00\xff"; let b = c"nul \u{0}"; sentinel()"#);
+        assert_eq!(toks, vec!["let", "a", "let", "b", "sentinel"]);
+    }
+
+    #[test]
+    fn shebang_first_line_is_skipped_without_desync() {
+        let toks = lex("#!/usr/bin/env run-cargo-script\nfn main() {}");
+        let names: Vec<&str> = toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(names, vec!["fn", "main"]);
+        // Line numbers still track: `fn` is on line 2.
+        assert_eq!(toks[0].line, 2);
+        // An inner attribute `#![...]` on line 1 is NOT a shebang.
+        let toks = lex("#![allow(dead_code)]\nfn main() {}");
+        assert!(toks.iter().any(|t| t.kind == TokKind::Punct('#')));
     }
 }

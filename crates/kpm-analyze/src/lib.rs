@@ -16,12 +16,19 @@
 //!
 //! `scripts/verify.sh` runs both as hard gates; see DESIGN.md §9.
 
+pub mod ast;
+pub mod baseline;
+pub mod callgraph;
+pub mod cfg;
 pub mod diag;
 pub mod lexer;
 pub mod lints;
+pub mod passes;
+pub mod sarif;
 pub mod sched;
 pub mod workspace;
 
-pub use diag::{render_json, Diagnostic};
+pub use diag::{render_json, render_json_report, Diagnostic};
 pub use lints::{analyze_source, FileClass, FileInput, RULES};
-pub use workspace::run_workspace;
+pub use sarif::render_sarif;
+pub use workspace::{analyze_sources, analyze_workspace, run_workspace, Report};

@@ -15,7 +15,7 @@
 //! the engine's lexer sees every comment anyway.) A marker naming an
 //! unknown rule is itself a diagnostic, with a did-you-mean hint.
 
-use std::collections::{HashMap, HashSet};
+use std::cell::Cell;
 
 use crate::diag::Diagnostic;
 use crate::lexer::{lex, TokKind, Token};
@@ -123,6 +123,39 @@ pub const RULES: &[Rule] = &[
         name: "unknown_suppression",
         summary: "suppression markers must name an existing rule",
     },
+    Rule {
+        name: "lock_order",
+        summary: "lock acquisition order is globally consistent — a cycle in the \
+                  workspace lock graph (built over per-function CFGs and the call \
+                  graph) is a potential deadlock",
+    },
+    Rule {
+        name: "atomic_order",
+        summary: "atomic store/load pairs agree on ordering (no Relaxed publish \
+                  under an Acquire consumer and vice versa), and SeqCst stays \
+                  reserved for the service Ledger",
+    },
+    Rule {
+        name: "det_reduce",
+        summary: "no `.sum()`/`.reduce()`/`.fold()`/`.product()` on `par_*` chains in \
+                  kernel crates — combine fixed-chunk partials in index order \
+                  (`kpm_num::pairwise_sum`) to keep reductions bitwise-deterministic",
+    },
+    Rule {
+        name: "panic_path",
+        summary: "kernel-crate library paths do not reach a panic transitively \
+                  through callees (interprocedural extension of `no_panic`)",
+    },
+    Rule {
+        name: "blocking_in_hot",
+        summary: "no lock/channel-recv/IO reachable (directly or via the call \
+                  graph) from loops and `par_*` closures of the hot kernel files",
+    },
+    Rule {
+        name: "unused_suppression",
+        summary: "every `kpm::allow` marker still silences at least one finding; \
+                  stale markers must be deleted",
+    },
 ];
 
 /// True if `name` is a known rule.
@@ -192,14 +225,61 @@ impl CTok {
     }
 }
 
+/// One resolved `kpm::allow(rule)` marker with usage tracking.
+#[derive(Debug)]
+pub struct Marker {
+    /// The rule the marker names.
+    pub rule: String,
+    /// Line the marker comment starts on.
+    pub marker_line: u32,
+    /// Lines the marker covers: its own plus the next code line.
+    pub lines: Vec<u32>,
+    /// Findings this marker has silenced (interior-mutable so passes
+    /// can record hits through a shared reference).
+    pub hits: Cell<u32>,
+}
+
+/// All suppression markers of one file, with per-marker hit counts so
+/// the `unused_suppression` audit can flag markers that never fire.
+#[derive(Debug, Default)]
+pub struct Suppressions {
+    /// Markers in source order.
+    pub markers: Vec<Marker>,
+}
+
+impl Suppressions {
+    /// True when `rule` is suppressed at `line`; records the hit on
+    /// the first covering marker.
+    pub fn allows(&self, rule: &str, line: u32) -> bool {
+        for m in &self.markers {
+            if m.rule == rule && m.lines.contains(&line) {
+                m.hits.set(m.hits.get() + 1);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Alias of [`Suppressions::allows`] used by the dataflow passes
+    /// when vetting a *source site* (e.g. `panic_path` honoring a
+    /// `kpm::allow(no_panic)` or `kpm::allow(panic_path)` marker on a
+    /// panicking line so it does not propagate through the call
+    /// graph). Passes only consult a marker when a real site matched
+    /// its line, so the consult counts as the marker's use — without
+    /// this, a propagation-only marker would always look stale to the
+    /// `unused_suppression` audit.
+    pub fn peek(&self, rule: &str, line: u32) -> bool {
+        self.allows(rule, line)
+    }
+}
+
 /// Shared per-file context handed to each rule pass.
 struct Ctx<'a> {
     input: &'a FileInput,
     toks: Vec<CTok>,
     lines: Vec<LineInfo>, // indexed by line - 1
     test_lines: Vec<bool>,
-    /// rule name -> lines on which it is suppressed.
-    suppressed: HashMap<String, HashSet<u32>>,
+    suppressed: Suppressions,
     diags: Vec<Diagnostic>,
 }
 
@@ -219,9 +299,7 @@ impl Ctx<'_> {
     }
 
     fn is_suppressed(&self, rule: &str, line: u32) -> bool {
-        self.suppressed
-            .get(rule)
-            .is_some_and(|lines| lines.contains(&line))
+        self.suppressed.allows(rule, line)
     }
 
     fn report(&mut self, rule: &'static str, line: u32, message: String) {
@@ -238,8 +316,48 @@ impl Ctx<'_> {
     }
 }
 
-/// Analyzes one source file and returns its diagnostics.
+/// The per-file state the workspace AST passes consume: token-rule
+/// diagnostics plus the parsed AST, test regions, and suppression
+/// markers with live hit counts.
+#[derive(Debug)]
+pub struct FileAnalysis {
+    /// The file's identity (path, crate, class).
+    pub input: FileInput,
+    /// Parsed functions.
+    pub ast: crate::ast::File,
+    /// Per-line test flags (1-based line `l` at index `l - 1`).
+    pub test_lines: Vec<bool>,
+    /// Suppression markers with hit tracking.
+    pub sup: Suppressions,
+    /// Token-rule diagnostics (AST-pass findings are appended by the
+    /// workspace driver).
+    pub diags: Vec<Diagnostic>,
+}
+
+impl FileAnalysis {
+    /// True when `line` lies in a `#[cfg(test)]`/`#[test]` region or
+    /// the whole file is a test target.
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.input.class == FileClass::Test
+            || self
+                .test_lines
+                .get(line as usize - 1)
+                .copied()
+                .unwrap_or(false)
+    }
+}
+
+/// Analyzes one source file and returns its diagnostics — token rules
+/// plus the AST/call-graph passes run on the file alone. The full
+/// workspace driver ([`crate::workspace`]) runs the same passes with
+/// cross-file resolution.
 pub fn analyze_source(input: &FileInput, src: &str) -> Vec<Diagnostic> {
+    crate::workspace::analyze_sources(vec![(input.clone(), src.to_string())]).diags
+}
+
+/// Runs the token rules on one file and prepares the state the
+/// workspace AST passes consume.
+pub fn analyze_file(input: &FileInput, src: &str) -> FileAnalysis {
     let raw = lex(src);
     let nlines = src.lines().count().max(1);
     let mut ctx = build_ctx(input, &raw, nlines);
@@ -272,7 +390,13 @@ pub fn analyze_source(input: &FileInput, src: &str) -> Vec<Diagnostic> {
 
     let mut diags = ctx.diags;
     diags.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
-    diags
+    FileAnalysis {
+        input: input.clone(),
+        ast: crate::ast::parse(src),
+        test_lines: ctx.test_lines,
+        sup: ctx.suppressed,
+        diags,
+    }
 }
 
 fn applies_no_panic(input: &FileInput) -> bool {
@@ -306,7 +430,7 @@ fn applies_hot_loop_convert(input: &FileInput) -> bool {
 fn build_ctx<'a>(input: &'a FileInput, raw: &[Token], nlines: usize) -> Ctx<'a> {
     let mut lines = vec![LineInfo::default(); nlines.max(1)];
     let mut toks: Vec<CTok> = Vec::with_capacity(raw.len());
-    let mut suppressed: HashMap<String, HashSet<u32>> = HashMap::new();
+    let mut raw_markers: Vec<(String, u32)> = Vec::new();
     let mut diags = Vec::new();
 
     let mark = |lines: &mut Vec<LineInfo>, from: u32, to: u32, f: &dyn Fn(&mut LineInfo)| {
@@ -326,7 +450,7 @@ fn build_ctx<'a>(input: &'a FileInput, raw: &[Token], nlines: usize) -> Ctx<'a> 
                 if text.trim_start().starts_with("SAFETY:") {
                     mark(&mut lines, t.line, t.end_line, &|i| i.has_safety = true);
                 }
-                collect_suppressions(text, t.line, &mut suppressed, &mut diags, input);
+                collect_suppressions(text, t.line, &mut raw_markers, &mut diags, input);
             }
             TokKind::DocComment(_) => {
                 mark(&mut lines, t.line, t.end_line, &|i| {
@@ -377,19 +501,24 @@ fn build_ctx<'a>(input: &'a FileInput, raw: &[Token], nlines: usize) -> Ctx<'a> 
     }
 
     // Resolve suppression markers onto lines: a marker applies to its
-    // own line and to the next line containing code.
-    let mut resolved: HashMap<String, HashSet<u32>> = HashMap::new();
-    for (rule, marker_lines) in suppressed {
-        let entry = resolved.entry(rule).or_default();
-        for l in marker_lines {
-            entry.insert(l);
-            for next in (l + 1)..=(lines.len() as u32) {
-                if lines[next as usize - 1].has_code {
-                    entry.insert(next);
-                    break;
-                }
+    // own line through the next line containing code, inclusive of
+    // comment lines in between (so a `kpm::allow(unused_suppression)`
+    // marker can vet a — deliberately kept — stale marker below it).
+    let mut markers = Vec::new();
+    for (rule, l) in raw_markers {
+        let mut covered = vec![l];
+        for next in (l + 1)..=(lines.len() as u32) {
+            covered.push(next);
+            if lines[next as usize - 1].has_code {
+                break;
             }
         }
+        markers.push(Marker {
+            rule,
+            marker_line: l,
+            lines: covered,
+            hits: Cell::new(0),
+        });
     }
 
     Ctx {
@@ -397,7 +526,7 @@ fn build_ctx<'a>(input: &'a FileInput, raw: &[Token], nlines: usize) -> Ctx<'a> 
         toks,
         lines,
         test_lines,
-        suppressed: resolved,
+        suppressed: Suppressions { markers },
         diags,
     }
 }
@@ -407,7 +536,7 @@ fn build_ctx<'a>(input: &'a FileInput, raw: &[Token], nlines: usize) -> Ctx<'a> 
 fn collect_suppressions(
     text: &str,
     line: u32,
-    suppressed: &mut HashMap<String, HashSet<u32>>,
+    raw_markers: &mut Vec<(String, u32)>,
     diags: &mut Vec<Diagnostic>,
     input: &FileInput,
 ) {
@@ -419,7 +548,7 @@ fn collect_suppressions(
         let rule = rest[..close].trim().to_string();
         rest = &rest[close + 1..];
         if is_rule(&rule) {
-            suppressed.entry(rule).or_default().insert(line);
+            raw_markers.push((rule, line));
         } else {
             let near = nearest_rule(&rule);
             diags.push(Diagnostic {

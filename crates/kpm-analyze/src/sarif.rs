@@ -1,0 +1,106 @@
+//! SARIF 2.1.0 export: renders a [`crate::workspace::Report`] as a
+//! Static Analysis Results Interchange Format document so findings
+//! plug into standard viewers (GitHub code scanning, VS Code SARIF
+//! panels) without a bespoke adapter. Hand-rolled like the rest of the
+//! crate's JSON — the workspace is offline, so no serde.
+//!
+//! The document carries one run: the tool driver lists every
+//! registered rule (id + short description) and each diagnostic
+//! becomes an error-level `result` with a single physical location.
+//! `scripts/verify.sh` writes this to `target/kpm-analyze.sarif` on
+//! every gate run.
+
+use std::fmt::Write as _;
+
+use crate::diag::json_escape;
+use crate::lints::RULES;
+use crate::workspace::Report;
+
+/// Renders `report` as a complete SARIF 2.1.0 document.
+pub fn render_sarif(report: &Report) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"kpm-analyze\",\n");
+    out.push_str("          \"rules\": [");
+    for (i, rule) in RULES.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}",
+            json_escape(rule.name),
+            json_escape(rule.summary)
+        );
+    }
+    out.push_str("\n          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [");
+    for (i, d) in report.diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n        {{\n          \"ruleId\": \"{}\",\n          \"level\": \"error\",\n          \
+             \"message\": {{\"text\": \"{}\"}},\n          \"locations\": [\n            \
+             {{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \
+             \"region\": {{\"startLine\": {}}}}}}}\n          ]\n        }}",
+            json_escape(d.rule),
+            json_escape(&d.message),
+            json_escape(&d.file),
+            d.line.max(1)
+        );
+    }
+    if !report.diags.is_empty() {
+        out.push_str("\n      ");
+    }
+    out.push_str("]\n    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Diagnostic;
+
+    fn report(diags: Vec<Diagnostic>) -> Report {
+        Report {
+            diags,
+            files_scanned: 1,
+            rule_counts: Vec::new(),
+            passes: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn sarif_document_shape() {
+        let doc = render_sarif(&report(vec![Diagnostic {
+            rule: "lock_order",
+            file: "crates/x/src/lib.rs".into(),
+            line: 12,
+            message: "lock cycle \"a\" -> \"b\"".into(),
+            hint: String::new(),
+        }]));
+        assert!(doc.contains("\"version\": \"2.1.0\""));
+        assert!(doc.contains("sarif-2.1.0.json"));
+        assert!(doc.contains("\"ruleId\": \"lock_order\""));
+        assert!(doc.contains("\"startLine\": 12"));
+        assert!(doc.contains("\"uri\": \"crates/x/src/lib.rs\""));
+        // Escaped message survives round-tripping through the writer.
+        assert!(doc.contains("lock cycle \\\"a\\\" -> \\\"b\\\""));
+        // Every registered rule is described in the driver block.
+        for rule in RULES {
+            assert!(doc.contains(&format!("\"id\": \"{}\"", rule.name)));
+        }
+    }
+
+    #[test]
+    fn empty_results_array_is_valid() {
+        let doc = render_sarif(&report(Vec::new()));
+        assert!(doc.contains("\"results\": []"));
+    }
+}

@@ -177,7 +177,7 @@ impl FaultPlan {
         for spec in &self.crashes {
             if spec.rank == rank
                 && iteration >= spec.at_iteration
-                && !spec.triggered.swap(true, Ordering::SeqCst)
+                && !spec.triggered.swap(true, Ordering::AcqRel)
             {
                 self.crashed.fetch_add(1, Ordering::Relaxed);
                 return true;

@@ -695,9 +695,9 @@ impl World {
         for t in timers {
             let _ = t.join();
         }
-        let sent = shared.ledger.sent.load(Ordering::SeqCst);
-        let consumed = shared.ledger.consumed.load(Ordering::SeqCst);
-        let expired = shared.ledger.expired.load(Ordering::SeqCst);
+        let sent = shared.ledger.sent.load(Ordering::Relaxed);
+        let consumed = shared.ledger.consumed.load(Ordering::Relaxed);
+        let expired = shared.ledger.expired.load(Ordering::Relaxed);
         let mut telemetry =
             std::mem::take(&mut *shared.telemetry.lock().unwrap_or_else(|e| e.into_inner()));
         telemetry.sort_by_key(|t| t.rank);

@@ -10,7 +10,7 @@
 //! calling in here per event.
 
 use std::collections::BTreeMap;
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, OnceLock, PoisonError};
 
 /// Number of power-of-two histogram buckets: bucket `i` counts values
 /// `v` with `2^(i-1) < v <= 2^i` (bucket 0 holds `v <= 1`). 2^43 ns is
@@ -105,12 +105,14 @@ pub fn counter_add(name: &str, delta: u64) {
     if !crate::enabled() {
         return;
     }
-    let mut reg = registry().lock().expect("metrics registry lock");
+    let mut reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
     match reg
         .entry(name.to_string())
         .or_insert_with(|| Metric::Counter(0))
     {
         Metric::Counter(c) => *c += delta,
+        // kpm::allow(panic_path): metric-kind confusion is a programmer error (one name,
+        // two kinds) caught by the first test that records it, not a data-dependent path.
         other => panic!("metric '{name}' is not a counter: {other:?}"),
     }
 }
@@ -125,12 +127,14 @@ pub fn gauge_set(name: &str, value: f64) {
     if !crate::enabled() {
         return;
     }
-    let mut reg = registry().lock().expect("metrics registry lock");
+    let mut reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
     match reg
         .entry(name.to_string())
         .or_insert_with(|| Metric::Gauge(value))
     {
         Metric::Gauge(g) => *g = value,
+        // kpm::allow(panic_path): metric-kind confusion is a programmer error (one name,
+        // two kinds) caught by the first test that records it, not a data-dependent path.
         other => panic!("metric '{name}' is not a gauge: {other:?}"),
     }
 }
@@ -141,12 +145,14 @@ pub fn gauge_max(name: &str, value: f64) {
     if !crate::enabled() {
         return;
     }
-    let mut reg = registry().lock().expect("metrics registry lock");
+    let mut reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
     match reg
         .entry(name.to_string())
         .or_insert_with(|| Metric::Gauge(value))
     {
         Metric::Gauge(g) => *g = g.max(value),
+        // kpm::allow(panic_path): metric-kind confusion is a programmer error (one name,
+        // two kinds) caught by the first test that records it, not a data-dependent path.
         other => panic!("metric '{name}' is not a gauge: {other:?}"),
     }
 }
@@ -156,12 +162,14 @@ pub fn hist_record(name: &str, value: f64) {
     if !crate::enabled() {
         return;
     }
-    let mut reg = registry().lock().expect("metrics registry lock");
+    let mut reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
     match reg
         .entry(name.to_string())
         .or_insert_with(|| Metric::Histogram(Box::new(Hist::new())))
     {
         Metric::Histogram(h) => h.record(value),
+        // kpm::allow(panic_path): metric-kind confusion is a programmer error (one name,
+        // two kinds) caught by the first test that records it, not a data-dependent path.
         other => panic!("metric '{name}' is not a histogram: {other:?}"),
     }
 }
@@ -175,7 +183,7 @@ pub fn hist_record_ns(name: &str, ns: u64) {
 /// Readable regardless of the enabled flag, so tests can assert after
 /// disabling.
 pub fn counter_value(name: &str) -> u64 {
-    let reg = registry().lock().expect("metrics registry lock");
+    let reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
     match reg.get(name) {
         Some(Metric::Counter(c)) => *c,
         _ => 0,
@@ -184,7 +192,7 @@ pub fn counter_value(name: &str) -> u64 {
 
 /// The current value of gauge `name`, if present.
 pub fn gauge_value(name: &str) -> Option<f64> {
-    let reg = registry().lock().expect("metrics registry lock");
+    let reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
     match reg.get(name) {
         Some(Metric::Gauge(g)) => Some(*g),
         _ => None,
@@ -193,13 +201,16 @@ pub fn gauge_value(name: &str) -> Option<f64> {
 
 /// A copy of every metric, ordered by name.
 pub fn snapshot() -> Vec<(String, Metric)> {
-    let reg = registry().lock().expect("metrics registry lock");
+    let reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
     reg.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
 }
 
 /// Clears the registry.
 pub(crate) fn reset() {
-    registry().lock().expect("metrics registry lock").clear();
+    registry()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clear();
 }
 
 #[cfg(test)]

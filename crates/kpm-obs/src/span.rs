@@ -20,7 +20,7 @@
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::time::{Duration, Instant, SystemTime};
 
 /// Hard cap on retained span records (across all threads).
@@ -146,7 +146,7 @@ fn this_tid() -> u64 {
             .to_string();
         thread_registry()
             .lock()
-            .expect("span thread registry")
+            .unwrap_or_else(PoisonError::into_inner)
             .push((tid, name));
         tid
     })
@@ -162,7 +162,7 @@ fn my_shard() -> Shard {
         let shard: Shard = Arc::new(Mutex::new(Vec::new()));
         shards()
             .lock()
-            .expect("span shard registry")
+            .unwrap_or_else(PoisonError::into_inner)
             .push(Arc::clone(&shard));
         *slot = Some(Arc::clone(&shard));
         shard
@@ -275,18 +275,21 @@ impl Drop for SpanGuard {
             DROPPED.fetch_add(1, Ordering::Relaxed);
             return;
         }
-        my_shard().lock().expect("span shard").push(SpanRecord {
-            id: a.id,
-            parent: a.parent,
-            name: a.name,
-            cat: a.cat,
-            tid: a.tid,
-            trace: a.trace,
-            lamport: a.lamport,
-            start_us: a.start_us,
-            dur_us,
-            args: a.args,
-        });
+        my_shard()
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(SpanRecord {
+                id: a.id,
+                parent: a.parent,
+                name: a.name,
+                cat: a.cat,
+                tid: a.tid,
+                trace: a.trace,
+                lamport: a.lamport,
+                start_us: a.start_us,
+                dur_us,
+                args: a.args,
+            });
     }
 }
 
@@ -315,18 +318,21 @@ pub fn record_manual(
         return None;
     }
     let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
-    my_shard().lock().expect("span shard").push(SpanRecord {
-        id,
-        parent,
-        name,
-        cat,
-        tid: this_tid(),
-        trace,
-        lamport: crate::clock::tick(),
-        start_us,
-        dur_us,
-        args,
-    });
+    my_shard()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .push(SpanRecord {
+            id,
+            parent,
+            name,
+            cat,
+            tid: this_tid(),
+            trace,
+            lamport: crate::clock::tick(),
+            start_us,
+            dur_us,
+            args,
+        });
     Some(id)
 }
 
@@ -335,8 +341,18 @@ pub fn record_manual(
 /// single-threaded recording and stable across snapshot calls).
 pub fn snapshot() -> Vec<SpanRecord> {
     let mut all = Vec::new();
-    for shard in shards().lock().expect("span shard registry").iter() {
-        all.extend(shard.lock().expect("span shard").iter().cloned());
+    for shard in shards()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .iter()
+    {
+        all.extend(
+            shard
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .iter()
+                .cloned(),
+        );
     }
     all.sort_by_key(|s| s.id);
     all
@@ -351,7 +367,7 @@ pub fn dropped() -> u64 {
 pub fn threads() -> Vec<(u64, String)> {
     thread_registry()
         .lock()
-        .expect("span thread registry")
+        .unwrap_or_else(PoisonError::into_inner)
         .clone()
 }
 
@@ -359,12 +375,12 @@ pub fn threads() -> Vec<(u64, String)> {
 pub fn count(name: &str) -> usize {
     shards()
         .lock()
-        .expect("span shard registry")
+        .unwrap_or_else(PoisonError::into_inner)
         .iter()
         .map(|shard| {
             shard
                 .lock()
-                .expect("span shard")
+                .unwrap_or_else(PoisonError::into_inner)
                 .iter()
                 .filter(|s| s.name == name)
                 .count()
@@ -375,8 +391,12 @@ pub fn count(name: &str) -> usize {
 /// Clears the span registry (records and drop counter; thread ids and
 /// shards are kept, they stay valid for the process lifetime).
 pub(crate) fn reset() {
-    for shard in shards().lock().expect("span shard registry").iter() {
-        shard.lock().expect("span shard").clear();
+    for shard in shards()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .iter()
+    {
+        shard.lock().unwrap_or_else(PoisonError::into_inner).clear();
     }
     RECORDED.store(0, Ordering::Relaxed);
     DROPPED.store(0, Ordering::Relaxed);

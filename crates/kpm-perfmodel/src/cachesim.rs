@@ -101,12 +101,18 @@ impl CacheLevel {
                 return Probe::Hit;
             }
         }
-        // Miss: pick invalid way or the LRU victim.
+        // Miss: pick invalid way or the LRU victim. A degenerate
+        // zero-way config never allocates, so the line just streams
+        // through without displacing anything.
         self.misses += 1;
-        let victim = ways
+        let Some(victim) = ways
             .iter_mut()
             .min_by_key(|w| if w.valid { w.stamp } else { 0 })
-            .expect("cache has at least one way");
+        else {
+            return Probe::Miss {
+                victim_dirty: false,
+            };
+        };
         let victim_dirty = victim.valid && victim.dirty;
         if victim_dirty {
             self.writebacks += 1;

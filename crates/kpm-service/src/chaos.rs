@@ -100,12 +100,12 @@ impl ChaosPlan {
         );
         let crash = self.crash_prob > 0.0 && draw(&mut state) < self.crash_prob;
         if crash {
-            self.counters.crashes.fetch_add(1, Ordering::SeqCst);
+            self.counters.crashes.fetch_add(1, Ordering::Relaxed);
             // A crashed attempt never reaches the solver; no slow draw.
             return BatchFate { crash, slow: None };
         }
         let slow = if self.slow_prob > 0.0 && draw(&mut state) < self.slow_prob {
-            self.counters.slowdowns.fetch_add(1, Ordering::SeqCst);
+            self.counters.slowdowns.fetch_add(1, Ordering::Relaxed);
             Some(self.slow_for)
         } else {
             None
@@ -118,7 +118,7 @@ impl ChaosPlan {
     /// monotonic).
     pub(crate) fn should_poison_queue(&self, count: u64) -> bool {
         if self.poison_queue_after == Some(count) {
-            self.counters.poisonings.fetch_add(1, Ordering::SeqCst);
+            self.counters.poisonings.fetch_add(1, Ordering::Relaxed);
             true
         } else {
             false
@@ -128,9 +128,9 @@ impl ChaosPlan {
     /// Snapshot of what has been injected so far.
     pub fn stats(&self) -> ChaosStats {
         ChaosStats {
-            crashes: self.counters.crashes.load(Ordering::SeqCst),
-            slowdowns: self.counters.slowdowns.load(Ordering::SeqCst),
-            poisonings: self.counters.poisonings.load(Ordering::SeqCst),
+            crashes: self.counters.crashes.load(Ordering::Relaxed),
+            slowdowns: self.counters.slowdowns.load(Ordering::Relaxed),
+            poisonings: self.counters.poisonings.load(Ordering::Relaxed),
         }
     }
 }

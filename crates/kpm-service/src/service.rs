@@ -264,13 +264,13 @@ struct ServiceInner {
 
 impl ServiceInner {
     fn state(&self) -> u8 {
-        self.state.load(Ordering::SeqCst)
+        self.state.load(Ordering::Acquire)
     }
 
     /// Client-side backoff hint: the work already queued divided by the
     /// worker pool's observed solve rate, plus one batch window.
     fn retry_after(&self, depth: usize) -> Duration {
-        let per = Duration::from_nanos(self.ewma_solve_ns.load(Ordering::SeqCst));
+        let per = Duration::from_nanos(self.ewma_solve_ns.load(Ordering::Acquire));
         let workers = self.config.workers.max(1) as u32;
         let backlog = per.saturating_mul(depth as u32 + 1) / workers;
         (self.config.batch_window + backlog).max(Duration::from_millis(1))
@@ -600,7 +600,7 @@ impl Service {
             };
         }
 
-        let id = inner.next_id.fetch_add(1, Ordering::SeqCst);
+        let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
         let trace = mint_trace();
         let (tx, rx) = mpsc::channel();
         let now = Instant::now();
@@ -635,7 +635,7 @@ impl Service {
                 inner.ledger.admitted.fetch_add(1, Ordering::SeqCst);
                 metrics::counter_inc("svc.admitted");
                 metrics::gauge_max("svc.queue_depth", depth as f64);
-                let count = inner.admissions.fetch_add(1, Ordering::SeqCst) + 1;
+                let count = inner.admissions.fetch_add(1, Ordering::Relaxed) + 1;
                 if let Some(chaos) = &inner.config.chaos {
                     if chaos.should_poison_queue(count) {
                         recorder::note("chaos.poison", trace, "admission queue lock poisoned");
@@ -746,12 +746,12 @@ impl Service {
             ShutdownMode::Drain => DRAIN,
             ShutdownMode::Abort => ABORT,
         };
-        self.inner.state.store(state, Ordering::SeqCst);
+        self.inner.state.store(state, Ordering::Release);
         self.inner.queue.close();
         if let Some(b) = self.batcher.take() {
             let _ = b.join();
         }
-        self.inner.stop_workers.store(true, Ordering::SeqCst);
+        self.inner.stop_workers.store(true, Ordering::Release);
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
@@ -878,7 +878,7 @@ fn batcher_loop(inner: &Arc<ServiceInner>, job_tx: &mpsc::Sender<Arc<BatchJob>>)
                                         },
                                     );
                                 }
-                                job.done.store(true, Ordering::SeqCst);
+                                job.done.store(true, Ordering::Release);
                             }
                         }
                     }
@@ -886,7 +886,7 @@ fn batcher_loop(inner: &Arc<ServiceInner>, job_tx: &mpsc::Sender<Arc<BatchJob>>)
             }
             PopOutcome::TimedOut => {}
             PopOutcome::Closed => {
-                inflight.retain(|(job, _)| !job.done.load(Ordering::SeqCst));
+                inflight.retain(|(job, _)| !job.done.load(Ordering::Acquire));
                 if inflight.is_empty() {
                     break;
                 }
@@ -896,10 +896,10 @@ fn batcher_loop(inner: &Arc<ServiceInner>, job_tx: &mpsc::Sender<Arc<BatchJob>>)
             }
         }
         // Hedge stragglers and forget completed batches.
-        inflight.retain(|(job, _)| !job.done.load(Ordering::SeqCst));
+        inflight.retain(|(job, _)| !job.done.load(Ordering::Acquire));
         if let Some(hedge_after) = inner.config.hedge_after {
             for (job, dispatched) in &inflight {
-                if dispatched.elapsed() >= hedge_after && !job.hedged.swap(true, Ordering::SeqCst) {
+                if dispatched.elapsed() >= hedge_after && !job.hedged.swap(true, Ordering::AcqRel) {
                     inner.ledger.hedged.fetch_add(1, Ordering::SeqCst);
                     metrics::counter_inc("svc.hedged");
                     recorder::note(
@@ -1041,7 +1041,7 @@ fn form_batch(inner: &Arc<ServiceInner>, group: Vec<Pending>) -> Option<BatchJob
     if members.is_empty() {
         return None;
     }
-    let id = inner.next_batch.fetch_add(1, Ordering::SeqCst);
+    let id = inner.next_batch.fetch_add(1, Ordering::Relaxed);
     let _sp = span("svc.batch", "service")
         .trace(members.first().map_or(0, |m| m.pending.trace))
         .arg("batch", id)
@@ -1075,7 +1075,7 @@ fn worker_loop(
         match msg {
             Ok(job) => process_batch(inner, &job, job_tx),
             Err(mpsc::RecvTimeoutError::Timeout) => {
-                if inner.stop_workers.load(Ordering::SeqCst) {
+                if inner.stop_workers.load(Ordering::Acquire) {
                     break;
                 }
             }
@@ -1089,10 +1089,10 @@ fn process_batch(
     job: &Arc<BatchJob>,
     job_tx: &mpsc::Sender<Arc<BatchJob>>,
 ) {
-    if job.done.load(Ordering::SeqCst) {
+    if job.done.load(Ordering::Acquire) {
         return; // stale hedged/retried duplicate
     }
-    let attempt = job.attempts.load(Ordering::SeqCst);
+    let attempt = job.attempts.load(Ordering::Relaxed);
     let fate = inner
         .config
         .chaos
@@ -1108,7 +1108,7 @@ fn process_batch(
         // Simulated worker crash mid-batch: the attempt dies without a
         // result and the batch re-enters the pool after a jittered
         // backoff — or fails typed once the retry budget is gone.
-        let attempts_used = job.attempts.fetch_add(1, Ordering::SeqCst) + 1;
+        let attempts_used = job.attempts.fetch_add(1, Ordering::Relaxed) + 1;
         inner.ledger.retried.fetch_add(1, Ordering::SeqCst);
         metrics::counter_inc("svc.retried");
         recorder::note(
@@ -1118,7 +1118,7 @@ fn process_batch(
         );
         recorder::trigger_dump("chaos_crash");
         if attempts_used > inner.config.max_retries {
-            if !job.done.swap(true, Ordering::SeqCst) {
+            if !job.done.swap(true, Ordering::AcqRel) {
                 for m in &job.members {
                     inner.deliver(
                         &m.pending,
@@ -1139,7 +1139,7 @@ fn process_batch(
             attempts_used,
             inner.config.seed ^ job.id.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ attempts_used as u64,
         ));
-        if job_tx.send(Arc::clone(job)).is_err() && !job.done.swap(true, Ordering::SeqCst) {
+        if job_tx.send(Arc::clone(job)).is_err() && !job.done.swap(true, Ordering::AcqRel) {
             for m in &job.members {
                 inner.deliver(
                     &m.pending,
@@ -1188,7 +1188,7 @@ fn process_batch(
     metrics::hist_record_ns("svc.solve_ns", solve.as_nanos() as u64);
     obs_hist::record("svc.solve_ns", solve.as_nanos() as u64);
 
-    if job.done.swap(true, Ordering::SeqCst) {
+    if job.done.swap(true, Ordering::AcqRel) {
         return; // a hedged twin answered first (bitwise the same answer)
     }
 
@@ -1197,10 +1197,10 @@ fn process_batch(
             // EWMA of solve time feeds the retry_after hint; exported
             // as a gauge so the hint is auditable against measured
             // queue waits.
-            let old = inner.ewma_solve_ns.load(Ordering::SeqCst);
+            let old = inner.ewma_solve_ns.load(Ordering::Acquire);
             let sample = solve.as_nanos() as u64;
             let ewma = old - old / 8 + sample / 8;
-            inner.ewma_solve_ns.store(ewma, Ordering::SeqCst);
+            inner.ewma_solve_ns.store(ewma, Ordering::Release);
             metrics::gauge_set("svc.queue.ewma_solve_ns", ewma as f64);
             for m in &job.members {
                 let req = &m.pending.req;
@@ -1275,8 +1275,8 @@ fn member_stats(m: &BatchMember, job: &BatchJob, solve: Duration) -> ReplyStats 
     ReplyStats {
         queue_wait: m.queue_wait,
         solve,
-        retries: job.attempts.load(Ordering::SeqCst),
-        hedged: job.hedged.load(Ordering::SeqCst),
+        retries: job.attempts.load(Ordering::Relaxed),
+        hedged: job.hedged.load(Ordering::Acquire),
         cache_hit: false,
         batch_width: job.columns.len(),
         ..ReplyStats::default()

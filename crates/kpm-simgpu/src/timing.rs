@@ -48,8 +48,8 @@ pub fn evaluate(device: &GpuDevice, kernel: GpuKernel, traffic: GpuTraffic) -> T
         (t_tex, Bottleneck::Tex),
     ]
     .into_iter()
-    .max_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"))
-    .expect("three candidates");
+    .max_by(|a, b| a.0.total_cmp(&b.0))
+    .unwrap_or((t_dram, Bottleneck::Dram));
     assert!(seconds > 0.0, "empty launch");
     Timing {
         seconds,

@@ -3,10 +3,14 @@
 //! Two hard guarantees ride in this suite:
 //!
 //! 1. **The workspace is lint-clean**: `kpm-analyze` finds zero
-//!    diagnostics over every crate. Any new panic path in a kernel
-//!    crate, undocumented `unsafe`, hot-loop allocation, relaxed
-//!    store, missing doc, or ungated kpm-obs entry point fails CI
-//!    here (and in `scripts/verify.sh`, which also runs the CLI).
+//!    diagnostics over every crate — the token rules (panic paths,
+//!    undocumented `unsafe`, hot-loop allocations, relaxed stores,
+//!    doc coverage, kpm-obs gating) plus the AST/call-graph dataflow
+//!    passes (`lock_order`, `atomic_order`, `det_reduce`,
+//!    `panic_path`, `blocking_in_hot`) and the stale-suppression
+//!    audit. Any regression fails CI here (and in
+//!    `scripts/verify.sh`, which also runs the CLI against the
+//!    `ANALYZE_BASELINE.txt` ratchet and emits SARIF).
 //! 2. **The hetsim runtime protocol model is verified**: the schedule
 //!    explorer exhausts ≥1000 distinct interleavings of the 2-rank
 //!    send/recv/dedup model (and a 3-rank pipeline under a preemption
@@ -36,6 +40,24 @@ fn workspace_is_lint_clean() {
         "kpm-analyze found {} diagnostic(s):\n{}",
         diags.len(),
         rendered.join("\n")
+    );
+}
+
+#[test]
+fn committed_baseline_parses_and_carries_no_stale_entries() {
+    // The ratchet file must stay machine-readable, and every entry in
+    // it must still match a live finding — a fixed finding's entry is
+    // supposed to be deleted, not left to mask a future regression.
+    let text = std::fs::read_to_string(workspace_root().join("ANALYZE_BASELINE.txt"))
+        .expect("ANALYZE_BASELINE.txt is committed at the workspace root");
+    let entries = kpm_analyze::baseline::parse(&text)
+        .unwrap_or_else(|line| panic!("malformed baseline entry at line {line}"));
+    let (diags, _) = run_workspace(workspace_root()).expect("workspace scan");
+    let applied = kpm_analyze::baseline::apply(&diags, &entries);
+    assert!(
+        applied.stale.is_empty(),
+        "stale baseline entries (findings fixed — delete the lines): {:?}",
+        applied.stale
     );
 }
 
