@@ -1227,17 +1227,12 @@ mod tests {
             if let Expr::MethodCall { name, recv, .. } = e {
                 if name == "sum" {
                     let mut r: &Expr = recv;
-                    loop {
-                        match r {
-                            Expr::MethodCall { name, recv, .. } => {
-                                if name == "par_iter" {
-                                    found = true;
-                                    break;
-                                }
-                                r = recv;
-                            }
-                            _ => break,
+                    while let Expr::MethodCall { name, recv, .. } = r {
+                        if name == "par_iter" {
+                            found = true;
+                            break;
                         }
+                        r = recv;
                     }
                 }
             }

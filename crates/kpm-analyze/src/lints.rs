@@ -30,7 +30,14 @@ pub const KERNEL_CRATES: &[&str] = &[
 ];
 
 /// Hot-kernel files checked for in-loop heap allocation.
-pub const HOT_KERNEL_FILES: &[&str] = &["spmv.rs", "aug.rs", "sell.rs", "aug_sell.rs"];
+pub const HOT_KERNEL_FILES: &[&str] = &[
+    "spmv.rs",
+    "aug.rs",
+    "sell.rs",
+    "aug_sell.rs",
+    "stencil.rs",
+    "power.rs",
+];
 
 /// The crate holding the instrumentation gate; `relaxed_store` is
 /// skipped there and `obs_gate` runs only there.

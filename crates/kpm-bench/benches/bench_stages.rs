@@ -15,6 +15,7 @@ fn bench_stages(c: &mut Criterion) {
         seed: 4,
         parallel: false,
         threads: 0,
+        power: 1,
     };
     let mut g = c.benchmark_group("kpm_stages");
     for (name, variant) in [

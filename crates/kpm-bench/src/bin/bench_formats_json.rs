@@ -23,7 +23,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use kpm_bench::{arg_usize, benchmark_matrix, median};
+use kpm_bench::{arg_usize, benchmark_matrix, guard_baseline_stamp, median};
 use kpm_num::accounting::aug_spmmv_flops;
 use kpm_num::{BlockVector, Complex64, Vector};
 use kpm_obs::json::num;
@@ -125,6 +125,7 @@ fn main() {
         .find(|w| w[0] == "--out")
         .map(|w| w[1].clone())
         .unwrap_or_else(|| "BENCH_formats.json".to_string());
+    guard_baseline_stamp(&out, "BENCH_formats.json", host_cores);
 
     let (h, sf) = benchmark_matrix(nx, ny, nz);
     eprintln!(
@@ -159,7 +160,9 @@ fn main() {
     }
     let choice = autotune(&h, &AutotuneEnv::generic(threads).with_probe_reps(3));
     let (tc, tsigma) = match choice.format {
-        FormatSpec::Crs => (1, 1),
+        // The grid tuner only sees assembled formats; the matrix-free
+        // stencil never reaches this bin (no lattice generator here).
+        FormatSpec::Crs | FormatSpec::Stencil => (1, 1),
         FormatSpec::Sell {
             chunk_height,
             sigma,

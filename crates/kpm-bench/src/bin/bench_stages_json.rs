@@ -66,6 +66,7 @@ fn main() {
             seed: 2015,
             parallel: true,
             threads: 0,
+            power: 1,
         };
         for (stage, variant, kind) in stages {
             kpm_obs::reset();

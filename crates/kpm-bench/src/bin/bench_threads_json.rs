@@ -16,7 +16,7 @@
 
 use std::fmt::Write as _;
 
-use kpm_bench::{arg_usize, benchmark_matrix};
+use kpm_bench::{arg_usize, benchmark_matrix, guard_baseline_stamp};
 use kpm_core::solver::{kpm_moments, KpmParams, KpmVariant};
 use kpm_obs::json::num;
 use kpm_obs::probe::KernelKind;
@@ -48,6 +48,7 @@ fn main() {
     let host_cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    guard_baseline_stamp(&out, "BENCH_threads.json", host_cores);
     eprintln!(
         "matrix: N = {}, Nnz = {}, M = {moments}, R = {r}, host cores = {host_cores}",
         h.nrows(),
@@ -76,6 +77,7 @@ fn main() {
                 seed: 2015,
                 parallel: true,
                 threads,
+                power: 1,
             };
             kpm_obs::reset();
             kpm_obs::set_enabled(true);

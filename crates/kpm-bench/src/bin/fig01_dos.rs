@@ -32,6 +32,7 @@ fn main() {
         seed: 2015,
         parallel: true,
         threads: 0,
+        power: 1,
     };
     let set = kpm_moments(&h, sf, &params, KpmVariant::AugSpmmv).unwrap();
     let curve = reconstruct(&set, Kernel::Jackson, sf, 2048);

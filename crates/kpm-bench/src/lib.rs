@@ -127,6 +127,39 @@ pub fn arg_flag(name: &str) -> bool {
     std::env::args().any(|a| a == name)
 }
 
+/// Refuses to overwrite a committed baseline-gating artifact with
+/// numbers captured on a single-core host: parallel-scaling claims
+/// measured there are meaningless, and a stamped baseline would gate
+/// future runs against them. Scratch captures (any other `--out` path)
+/// stay allowed, as does an explicit `KPM_BENCH_ALLOW_SINGLE_CORE=1`
+/// override; see EXPERIMENTS.md for the multi-core capture path.
+pub fn guard_baseline_stamp(out: &str, baseline_name: &str, host_cores: usize) {
+    if host_cores > 1 {
+        return;
+    }
+    let is_baseline = std::path::Path::new(out)
+        .file_name()
+        .is_some_and(|f| f == baseline_name);
+    if !is_baseline {
+        return;
+    }
+    if std::env::var("KPM_BENCH_ALLOW_SINGLE_CORE").as_deref() == Ok("1") {
+        eprintln!(
+            "warning: stamping {baseline_name} from a single-core host \
+             (KPM_BENCH_ALLOW_SINGLE_CORE=1)"
+        );
+        return;
+    }
+    eprintln!(
+        "error: refusing to stamp baseline artifact {baseline_name} from a \
+         single-core host — thread-scaling numbers need real cores.\n\
+         Capture on a multi-core machine (see EXPERIMENTS.md), write to a \
+         scratch file with --out, or set KPM_BENCH_ALLOW_SINGLE_CORE=1 to \
+         override."
+    );
+    std::process::exit(2);
+}
+
 /// Prints one aligned header row.
 pub fn print_header(title: &str, cols: &[&str]) {
     println!("\n=== {title} ===");

@@ -160,6 +160,7 @@ mod tests {
             seed: 5,
             parallel: false,
             threads: 0,
+            power: 1,
         };
         let set = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv).unwrap();
         let curve = reconstruct(&set, Kernel::Jackson, sf, 1024);
@@ -181,6 +182,7 @@ mod tests {
             seed: 6,
             parallel: false,
             threads: 0,
+            power: 1,
         };
         let set = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv).unwrap();
         let curve = reconstruct(&set, Kernel::Jackson, sf, 600);
@@ -202,6 +204,7 @@ mod tests {
             seed: 7,
             parallel: false,
             threads: 0,
+            power: 1,
         };
         let set = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv).unwrap();
         let curve = reconstruct(&set, Kernel::Jackson, sf, 2048);

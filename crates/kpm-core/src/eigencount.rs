@@ -95,6 +95,7 @@ mod tests {
             seed: 60,
             parallel: false,
             threads: 0,
+            power: 1,
         }
     }
 

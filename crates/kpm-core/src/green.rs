@@ -103,6 +103,7 @@ mod tests {
             seed: 11,
             parallel: false,
             threads: 0,
+            power: 1,
         };
         let set = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv).unwrap();
         let dos = reconstruct(&set, Kernel::Jackson, sf, 257);
@@ -150,6 +151,7 @@ mod tests {
             seed: 12,
             parallel: false,
             threads: 0,
+            power: 1,
         };
         let set = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv).unwrap();
         let g = Kernel::Jackson.coefficients(set.len());

@@ -87,6 +87,14 @@ pub struct KpmParams {
     /// setting — the reduction tree is fixed by chunk boundaries, not by
     /// the thread count.
     pub threads: usize,
+    /// Matrix-power depth `p` (≥ 1): the blocked solver advances up to
+    /// `p` Chebyshev iterations per `aug_spmmv_power` call, letting a
+    /// level-blocked kernel stream the matrix once per `p` sweeps.
+    /// Purely a scheduling knob — moments are bitwise-identical for
+    /// every value (the power kernels reproduce the plain sweeps bit
+    /// for bit, and fall back to them when the operator does not
+    /// level). The naive/fused single-vector variants ignore it.
+    pub power: usize,
 }
 
 impl Default for KpmParams {
@@ -97,6 +105,7 @@ impl Default for KpmParams {
             seed: 0x4B50_4D21, // "KPM!"
             parallel: true,
             threads: 0,
+            power: 1,
         }
     }
 }
@@ -129,6 +138,12 @@ impl KpmParams {
             return Err(KpmError::InvalidParams {
                 what: "num_random",
                 details: "need at least one random vector".to_string(),
+            });
+        }
+        if self.power < 1 {
+            return Err(KpmError::InvalidParams {
+                what: "power",
+                details: "power-blocking depth must be >= 1".to_string(),
             });
         }
         Ok(())
@@ -230,6 +245,7 @@ pub fn moments_from_start<M: SparseKernels + ?Sized>(
         seed: 0,
         parallel,
         threads: 0,
+        power: 1,
     };
     params.validate()?;
     single_run_aug(h, sf, &params, start)
@@ -377,21 +393,31 @@ fn run_blocked_variant<M: SparseKernels + ?Sized>(
     let mut v = BlockVector::from_columns(&v_cols);
     let mut w = BlockVector::from_columns(&w_cols);
 
-    let mut eta: Vec<Vec<(f64, Complex64)>> = vec![Vec::with_capacity(params.iterations()); r];
-    for m in 0..params.iterations() {
+    let iters = params.iterations();
+    let mut eta: Vec<Vec<(f64, Complex64)>> = vec![Vec::with_capacity(iters); r];
+    let mut m = 0;
+    while m < iters {
         let _sweep = span("solver.sweep", "solver");
-        v.swap(&mut w);
-        let dots = if par {
-            h.aug_spmmv_par(sf.a, sf.b, &v, &mut w)
+        // Advance up to `power` iterations per matrix sweep. The power
+        // kernels own the `v`/`w` swap (their contract maps
+        // (x_{k-1}, x_k) to (x_{k+p-1}, x_{k+p})), and their trait
+        // default is literally `p × { swap; aug_spmmv }`, so `power: 1`
+        // reproduces the classic loop bit for bit.
+        let p = params.power.max(1).min(iters - m);
+        let dots_vec = if par {
+            h.aug_spmmv_power_par(p, sf.a, sf.b, &mut v, &mut w)
         } else {
             // The serial trait kernel; on CRS this routes through the
             // width-specialized registry (the paper's generated-kernel
             // dispatch).
-            h.aug_spmmv(sf.a, sf.b, &v, &mut w)
+            h.aug_spmmv_power(p, sf.a, sf.b, &mut v, &mut w)
         };
-        for (j, eta_j) in eta.iter_mut().enumerate() {
-            check_partials(m, dots.eta_even[j], dots.eta_odd[j], mu0[j])?;
-            eta_j.push((dots.eta_even[j], dots.eta_odd[j]));
+        for dots in dots_vec {
+            for (j, eta_j) in eta.iter_mut().enumerate() {
+                check_partials(m, dots.eta_even[j], dots.eta_odd[j], mu0[j])?;
+                eta_j.push((dots.eta_even[j], dots.eta_odd[j]));
+            }
+            m += 1;
         }
     }
 
@@ -433,10 +459,28 @@ pub fn kpm_batch_moments<M: SparseKernels + ?Sized>(
     parallel: bool,
     deadline: Option<std::time::Instant>,
 ) -> Result<Vec<MomentSet>, KpmError> {
+    kpm_batch_moments_power(h, sf, starts, num_moments, parallel, deadline, 1)
+}
+
+/// [`kpm_batch_moments`] with a matrix-power depth: each group advances
+/// up to `power` Chebyshev iterations per matrix sweep through the
+/// level-blocked `aug_spmmv_power` kernel. Results are bitwise
+/// identical to `power = 1`; only the deadline check coarsens to one
+/// test per power chunk.
+pub fn kpm_batch_moments_power<M: SparseKernels + ?Sized>(
+    h: &M,
+    sf: ScaleFactors,
+    starts: &[Vector],
+    num_moments: usize,
+    parallel: bool,
+    deadline: Option<std::time::Instant>,
+    power: usize,
+) -> Result<Vec<MomentSet>, KpmError> {
     validate_square(h)?;
     KpmParams {
         num_moments,
         num_random: 1,
+        power: power.max(1),
         ..KpmParams::default()
     }
     .validate()?;
@@ -458,13 +502,20 @@ pub fn kpm_batch_moments<M: SparseKernels + ?Sized>(
     if !parallel || starts.len() <= BATCH_GROUP_COLS {
         let mut out = Vec::with_capacity(starts.len());
         for group in starts.chunks(BATCH_GROUP_COLS) {
-            out.extend(batch_group_serial(h, sf, group, num_moments, deadline)?);
+            out.extend(batch_group_serial(
+                h,
+                sf,
+                group,
+                num_moments,
+                deadline,
+                power,
+            )?);
         }
         return Ok(out);
     }
     let groups: Result<Vec<Vec<MomentSet>>, KpmError> = starts
         .par_chunks(BATCH_GROUP_COLS)
-        .map(|group| batch_group_serial(h, sf, group, num_moments, deadline))
+        .map(|group| batch_group_serial(h, sf, group, num_moments, deadline, power))
         .collect();
     Ok(groups?.into_iter().flatten().collect())
 }
@@ -478,6 +529,7 @@ fn batch_group_serial<M: SparseKernels + ?Sized>(
     starts: &[Vector],
     num_moments: usize,
     deadline: Option<std::time::Instant>,
+    power: usize,
 ) -> Result<Vec<MomentSet>, KpmError> {
     let r = starts.len();
     if r == 0 {
@@ -499,18 +551,22 @@ fn batch_group_serial<M: SparseKernels + ?Sized>(
     let mut w = BlockVector::from_columns(&w_cols);
 
     let mut eta: Vec<Vec<(f64, Complex64)>> = vec![Vec::with_capacity(iterations); r];
-    for m in 0..iterations {
+    let mut m = 0;
+    while m < iterations {
         if let Some(d) = deadline {
             if std::time::Instant::now() >= d {
                 return Err(KpmError::DeadlineExceeded { iteration: m });
             }
         }
         let _sweep = span("solver.sweep", "solver");
-        v.swap(&mut w);
-        let dots = h.aug_spmmv(sf.a, sf.b, &v, &mut w);
-        for (j, eta_j) in eta.iter_mut().enumerate() {
-            check_partials(m, dots.eta_even[j], dots.eta_odd[j], mu0[j])?;
-            eta_j.push((dots.eta_even[j], dots.eta_odd[j]));
+        let p = power.max(1).min(iterations - m);
+        let dots_vec = h.aug_spmmv_power(p, sf.a, sf.b, &mut v, &mut w);
+        for dots in dots_vec {
+            for (j, eta_j) in eta.iter_mut().enumerate() {
+                check_partials(m, dots.eta_even[j], dots.eta_odd[j], mu0[j])?;
+                eta_j.push((dots.eta_even[j], dots.eta_odd[j]));
+            }
+            m += 1;
         }
     }
     Ok((0..r)
@@ -627,23 +683,40 @@ fn checkpointed_run<M: SparseKernels + ?Sized>(
     }
     drop(restore_sp);
 
-    for m in start_iter..iters {
+    let mut m = start_iter;
+    while m < iters {
         let _sweep = span("solver.sweep", "solver");
         if start_iter == 0 && ckpt.crash_at == Some(m) {
             return Err(KpmError::RankCrashed { rank: 0 });
         }
-        v.swap(&mut w);
-        let dots = if params.parallel {
-            h.aug_spmmv_par(sf.a, sf.b, &v, &mut w)
-        } else {
-            h.aug_spmmv(sf.a, sf.b, &v, &mut w)
-        };
-        for j in 0..r {
-            check_partials(m, dots.eta_even[j], dots.eta_odd[j], eta_flat[j].re)?;
-            eta_flat.push(Complex64::real(dots.eta_even[j]));
+        // Power chunks are clamped so saves still land exactly on
+        // checkpoint-interval boundaries and an injected crash fires at
+        // its precise iteration (the chunk stops just before it, the
+        // next loop entry reports the crash). Clamping never changes
+        // bits — the power kernels are iteration-exact at any `p`.
+        let mut p = params.power.max(1).min(iters - m);
+        p = p.min(ckpt.interval - m % ckpt.interval);
+        if start_iter == 0 {
+            if let Some(c) = ckpt.crash_at {
+                if c > m {
+                    p = p.min(c - m);
+                }
+            }
         }
-        eta_flat.extend_from_slice(&dots.eta_odd);
-        let done = m + 1;
+        let dots_vec = if params.parallel {
+            h.aug_spmmv_power_par(p, sf.a, sf.b, &mut v, &mut w)
+        } else {
+            h.aug_spmmv_power(p, sf.a, sf.b, &mut v, &mut w)
+        };
+        for dots in dots_vec {
+            for j in 0..r {
+                check_partials(m, dots.eta_even[j], dots.eta_odd[j], eta_flat[j].re)?;
+                eta_flat.push(Complex64::real(dots.eta_even[j]));
+            }
+            eta_flat.extend_from_slice(&dots.eta_odd);
+            m += 1;
+        }
+        let done = m;
         if done.is_multiple_of(ckpt.interval) && done < iters {
             let _save_sp = span("solver.ckpt.save", "ckpt");
             let save_t0 = std::time::Instant::now();
@@ -730,6 +803,7 @@ mod tests {
             seed: 1234,
             parallel: false,
             threads: 0,
+            power: 1,
         }
     }
 
@@ -841,6 +915,7 @@ mod tests {
             seed: 0,
             parallel: false,
             threads: 0,
+            power: 1,
         };
         let err = kpm_moments(&h, sf, &p, KpmVariant::Naive).expect_err("odd M must be rejected");
         assert!(
@@ -866,6 +941,7 @@ mod tests {
             seed: 0,
             parallel: false,
             threads: 0,
+            power: 1,
         };
         let err = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv).expect_err("R = 0 is invalid");
         assert!(matches!(

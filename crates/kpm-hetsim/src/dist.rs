@@ -792,6 +792,7 @@ mod tests {
             seed: 777,
             parallel: false,
             threads: 0,
+            power: 1,
         }
     }
 

@@ -37,6 +37,10 @@ pub enum ProbeFormat {
     Crs,
     /// SELL-C-σ with zero fill-in padding (stored >= nnz).
     Sell,
+    /// Matrix-free stencil: rows regenerated on the fly, no stored
+    /// elements — the matrix term vanishes from the byte model while
+    /// the flop model keeps the logical `nnz`.
+    Stencil,
 }
 
 impl ProbeFormat {
@@ -45,6 +49,7 @@ impl ProbeFormat {
         match self {
             ProbeFormat::Crs => "crs",
             ProbeFormat::Sell => "sell",
+            ProbeFormat::Stencil => "stencil",
         }
     }
 
@@ -52,14 +57,15 @@ impl ProbeFormat {
         match self {
             ProbeFormat::Crs => 0,
             ProbeFormat::Sell => 1,
+            ProbeFormat::Stencil => 2,
         }
     }
 
     fn from_index(i: u64) -> Self {
-        if i == 1 {
-            ProbeFormat::Sell
-        } else {
-            ProbeFormat::Crs
+        match i {
+            1 => ProbeFormat::Sell,
+            2 => ProbeFormat::Stencil,
+            _ => ProbeFormat::Crs,
         }
     }
 }
@@ -231,11 +237,18 @@ pub fn kernel_timer_fmt(
     if !crate::enabled() {
         return None;
     }
+    // A matrix-free format never streams matrix elements: its byte
+    // model uses nnz = 0 (pure vector traffic) while the flop model
+    // keeps the logical non-zero count.
+    let (byte_nnz, byte_stored) = match format {
+        ProbeFormat::Stencil => (0, 0),
+        _ => (nnz, stored),
+    };
     Some(KernelTimer {
         slot: &SLOTS[kind.index()],
         flops: kind.sweep_flops(rows, nnz, width),
-        min_bytes: kind.sweep_min_bytes(rows, nnz, width),
-        padded_bytes: kind.sweep_padded_bytes(rows, nnz, stored, width),
+        min_bytes: kind.sweep_min_bytes(rows, byte_nnz, width),
+        padded_bytes: kind.sweep_padded_bytes(rows, byte_nnz, byte_stored, width),
         rows: rows as u64,
         nnz: nnz as u64,
         stored: stored as u64,
@@ -431,6 +444,30 @@ mod tests {
         assert_eq!(rep.stored, rep.nnz);
         assert_eq!(rep.padded_bytes, rep.min_bytes);
         assert_eq!(rep.beta(), 1.0);
+    }
+
+    #[test]
+    fn stencil_probe_drops_matrix_traffic() {
+        let _g = serial();
+        crate::reset();
+        let _on = crate::EnabledGuard::new();
+        {
+            let _t = kernel_timer_fmt(KernelKind::AugSpmmv, 100, 1300, 4, 0, ProbeFormat::Stencil);
+        }
+        let rep = &snapshot()[0];
+        assert_eq!(rep.format, ProbeFormat::Stencil);
+        // Flops keep the logical nnz; bytes are pure vector traffic.
+        assert_eq!(rep.flops, KernelKind::AugSpmmv.sweep_flops(100, 1300, 4));
+        assert_eq!(
+            rep.min_bytes,
+            KernelKind::AugSpmmv.sweep_min_bytes(100, 0, 4)
+        );
+        assert_eq!(rep.padded_bytes, rep.min_bytes);
+        assert_eq!(
+            rep.beta(),
+            1.0,
+            "no stored elements: occupancy degenerates to 1"
+        );
     }
 
     #[test]

@@ -8,6 +8,12 @@
 //! to its length: repeat queries answer instantly at full quality, and
 //! under overload or an open breaker a shorter prefix still yields a
 //! valid curve with a quantified broadening penalty.
+//!
+//! Eviction is true LRU: every hit (lookup) and refresh (insert)
+//! stamps the entry with a monotonic tick, and at capacity the entry
+//! with the oldest tick goes. Keys a route keeps re-querying therefore
+//! survive a burst of one-off requests, which matters because a cached
+//! prefix is what keeps degraded answers bitwise-reproducible.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -17,50 +23,99 @@ use kpm_core::moments::MomentSet;
 /// `(fingerprint, kernel key, start-spec hash)`.
 pub(crate) type CacheKey = (u64, u64, u64);
 
-/// Bounded map from cache key to the best (longest) known moment set.
+/// One cached moment set plus its last-touched tick.
+#[derive(Debug)]
+struct Entry {
+    set: Arc<MomentSet>,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<CacheKey, Entry>,
+    /// Monotonic touch counter; incremented under the lock, so ties
+    /// are impossible and eviction order is deterministic.
+    tick: u64,
+}
+
+impl Inner {
+    fn touch(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+}
+
+/// Bounded LRU map from cache key to the best (longest) known moment
+/// set.
 #[derive(Debug)]
 pub(crate) struct MomentCache {
-    map: Mutex<HashMap<CacheKey, Arc<MomentSet>>>,
+    inner: Mutex<Inner>,
     capacity: usize,
 }
 
 impl MomentCache {
     pub(crate) fn new(capacity: usize) -> Self {
         Self {
-            map: Mutex::new(HashMap::new()),
+            inner: Mutex::new(Inner::default()),
             capacity: capacity.max(1),
         }
     }
 
     /// The cached set for `key` if it covers at least `min_moments`.
+    /// A hit refreshes the entry's recency; a too-short entry does not
+    /// count as a use (the caller goes on to compute a longer set,
+    /// whose insert restamps it anyway).
     pub(crate) fn lookup(&self, key: CacheKey, min_moments: usize) -> Option<Arc<MomentSet>> {
-        let map = self.map.lock().unwrap_or_else(|e| e.into_inner());
-        map.get(&key)
-            .filter(|set| set.len() >= min_moments)
-            .cloned()
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let tick = inner.touch();
+        let entry = inner.map.get_mut(&key)?;
+        if entry.set.len() < min_moments {
+            return None;
+        }
+        entry.last_used = tick;
+        Some(Arc::clone(&entry.set))
     }
 
-    /// Inserts `set` unless an at-least-as-long entry already exists.
-    /// At capacity, an arbitrary other entry is evicted (the cache is a
-    /// best-effort accelerator, not a store of record).
+    /// Inserts `set` unless an at-least-as-long entry already exists;
+    /// either way the key becomes the most recently used. At capacity
+    /// the least-recently-used other entry is evicted.
     pub(crate) fn insert_if_better(&self, key: CacheKey, set: Arc<MomentSet>) {
-        let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
-        if let Some(existing) = map.get(&key) {
-            if existing.len() >= set.len() {
-                return;
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let tick = inner.touch();
+        if let Some(existing) = inner.map.get_mut(&key) {
+            existing.last_used = tick;
+            if existing.set.len() < set.len() {
+                existing.set = set;
             }
-        } else if map.len() >= self.capacity {
-            if let Some(&evict) = map.keys().next() {
-                map.remove(&evict);
+            return;
+        }
+        if inner.map.len() >= self.capacity {
+            if let Some(&evict) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k)
+            {
+                inner.map.remove(&evict);
             }
         }
-        map.insert(key, set);
+        inner.map.insert(
+            key,
+            Entry {
+                set,
+                last_used: tick,
+            },
+        );
     }
 
     /// Number of cached entries.
     #[cfg(test)]
     pub(crate) fn len(&self) -> usize {
-        self.map.lock().unwrap_or_else(|e| e.into_inner()).len()
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .map
+            .len()
     }
 }
 
@@ -100,5 +155,44 @@ mod tests {
             c.insert_if_better((k, 0, 0), set_of_len(4));
         }
         assert!(c.len() <= 4);
+    }
+
+    #[test]
+    fn eviction_is_least_recently_used() {
+        let c = MomentCache::new(3);
+        c.insert_if_better((1, 0, 0), set_of_len(4));
+        c.insert_if_better((2, 0, 0), set_of_len(4));
+        c.insert_if_better((3, 0, 0), set_of_len(4));
+        // Touch 1 and 2; 3 is now the LRU entry.
+        assert!(c.lookup((1, 0, 0), 1).is_some());
+        assert!(c.lookup((2, 0, 0), 1).is_some());
+        c.insert_if_better((4, 0, 0), set_of_len(4));
+        assert!(c.lookup((3, 0, 0), 1).is_none(), "LRU entry evicted");
+        assert!(c.lookup((1, 0, 0), 1).is_some());
+        assert!(c.lookup((2, 0, 0), 1).is_some());
+        assert!(c.lookup((4, 0, 0), 1).is_some());
+
+        // A refreshing insert (same key, shorter set) also counts as a
+        // use and keeps the longer cached set: after touching 4 and 1,
+        // key 2 is the LRU entry and goes next.
+        c.insert_if_better((4, 0, 0), set_of_len(2));
+        c.insert_if_better((1, 0, 0), set_of_len(2));
+        c.insert_if_better((5, 0, 0), set_of_len(4));
+        assert!(c.lookup((2, 0, 0), 1).is_none(), "new LRU entry evicted");
+        assert_eq!(c.lookup((1, 0, 0), 1).expect("cached").len(), 4);
+        assert!(c.lookup((4, 0, 0), 1).is_some());
+        assert!(c.lookup((5, 0, 0), 1).is_some());
+    }
+
+    #[test]
+    fn too_short_hits_do_not_refresh_recency() {
+        let c = MomentCache::new(2);
+        c.insert_if_better((1, 0, 0), set_of_len(4));
+        c.insert_if_better((2, 0, 0), set_of_len(4));
+        // A miss on length must not promote key 1 over key 2.
+        assert!(c.lookup((1, 0, 0), 99).is_none());
+        c.insert_if_better((3, 0, 0), set_of_len(4));
+        assert!(c.lookup((1, 0, 0), 1).is_none(), "stale entry evicted");
+        assert!(c.lookup((2, 0, 0), 1).is_some());
     }
 }

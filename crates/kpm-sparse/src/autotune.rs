@@ -29,11 +29,12 @@
 
 use std::time::Instant;
 
-use kpm_num::{Complex64, KpmError};
+use kpm_num::{BlockVector, Complex64, KpmError};
 
 use crate::crs::CrsMatrix;
 use crate::kernels::{FormatSpec, KpmMatrix, SparseKernels};
 use crate::sell::SellMatrix;
+use crate::stencil::StencilMatrix;
 
 /// Chunk heights the tuner considers (powers of two up to a GPU warp).
 pub const CANDIDATE_CHUNK_HEIGHTS: [usize; 5] = [1, 4, 8, 16, 32];
@@ -131,24 +132,51 @@ fn predicted_stored(row_lens: &[usize], c: usize, sigma: usize) -> usize {
 /// interleaves `C` chains.
 const FMA_LATENCY: f64 = 4.0;
 
-/// Modeled seconds of one augmented SpMV sweep for a candidate shape.
+/// Compute-side inflation of the matrix-free stencil kernels: each
+/// entry is *regenerated* (neighbour lookup, insertion sort, merge)
+/// rather than loaded, roughly doubling the per-entry instruction
+/// stream. Biases the model against stencil when compute-bound and for
+/// it when memory-bound — the trade the format exists to win.
+const STENCIL_REGEN_FLOP_FACTOR: f64 = 2.0;
+
+/// Modeled seconds of one augmented sweep *iteration* for a candidate.
 ///
-/// Memory side: the Eq. 5-style sweep traffic with the matrix term
-/// scaled by `1/β` (each stored element, padding included, moves
-/// 20 bytes). Compute side: 8 flops per stored element issued on `C`
-/// independent chains; the effective rate is
-/// `peak · min(C / (L · latency), 1)` for `L` SIMD lanes — the
-/// latency-bound single-chain CRS limit versus SELL's lockstep chains.
-fn model_seconds(nrows: usize, stored: usize, env: &AutotuneEnv, c: usize) -> f64 {
+/// Memory side: the Eq. 5-style traffic with the matrix term streaming
+/// `stored` elements (padding included, 20 bytes each) once per
+/// `power` iterations — the level-blocked matrix-power divisor; the
+/// matrix-free stencil passes `stored = 0` and the term vanishes
+/// outright. The three vector streams are paid every iteration.
+/// Compute side: 8 flops per processed element (`flop_elems`, times
+/// the regeneration factor for stencil) issued on `C` independent
+/// chains; the effective rate is `peak · min(C / (L · latency), 1)`
+/// for `L` SIMD lanes — the latency-bound single-chain CRS/stencil
+/// limit versus SELL's lockstep chains. The FMA chain term is
+/// unchanged by power blocking: the wavefront reorders iterations, not
+/// the per-row dependency chain.
+pub fn model_seconds_fmt(
+    nrows: usize,
+    flop_elems: usize,
+    stored: usize,
+    env: &AutotuneEnv,
+    c: usize,
+    power: usize,
+    regen_factor: f64,
+) -> f64 {
     const S_ELEM: f64 = 20.0; // value (16) + column index (4)
     const S_D: f64 = 16.0;
-    let bytes = stored as f64 * S_ELEM + 3.0 * nrows as f64 * S_D;
+    let bytes = stored as f64 * S_ELEM / power.max(1) as f64 + 3.0 * nrows as f64 * S_D;
     let t_mem = bytes / (env.mem_bw_gbs.max(1e-9) * 1e9);
-    let flops = 8.0 * stored as f64 + 16.0 * nrows as f64;
+    let flops = (8.0 * flop_elems as f64) * regen_factor + 16.0 * nrows as f64;
     let lanes = env.simd_lanes.max(1) as f64;
     let chain_frac = (c as f64 / (lanes * FMA_LATENCY)).min(1.0);
     let t_comp = flops / (env.peak_gflops.max(1e-9) * 1e9 * chain_frac);
     t_mem.max(t_comp)
+}
+
+/// Modeled seconds of one augmented SpMV sweep for a CRS/SELL shape
+/// (no power blocking).
+fn model_seconds(nrows: usize, stored: usize, env: &AutotuneEnv, c: usize) -> f64 {
+    model_seconds_fmt(nrows, stored, stored, env, c, 1, 1.0)
 }
 
 /// Task granularity for a SELL shape: enough work items to balance
@@ -163,19 +191,50 @@ fn pick_chunks_per_task(n_chunks: usize, threads: usize) -> usize {
 /// fall back to CRS. With `env.probe_reps > 0` the top analytic
 /// finalists are additionally timed on the real matrix and the fastest
 /// wins; otherwise the analytic ranking decides.
+///
+/// Shorthand for [`autotune_formats`] with no stencil source and no
+/// power blocking.
 pub fn autotune(m: &CrsMatrix, env: &AutotuneEnv) -> AutotuneChoice {
+    autotune_formats(m, env, None, 1)
+}
+
+/// Picks among all three storage formats for `m` under `env`, at
+/// matrix-power depth `power`.
+///
+/// `stencil` supplies the matrix-free representation when the operator
+/// is a known lattice stencil; without one only CRS/SELL compete.
+/// `power ≥ 2` divides the matrix-traffic term of the formats the
+/// level-blocked kernels support (CRS and stencil) — SELL has no row
+/// view and always streams per iteration. The empirical probe (when
+/// enabled) still always times the CRS baseline, so a probed choice is
+/// never slower than not tuning at all.
+pub fn autotune_formats(
+    m: &CrsMatrix,
+    env: &AutotuneEnv,
+    stencil: Option<&StencilMatrix>,
+    power: usize,
+) -> AutotuneChoice {
     let nrows = m.nrows();
     let nnz = m.nnz();
+    let power = power.max(1);
     let row_lens: Vec<usize> = (0..nrows).map(|r| m.row_len(r)).collect();
 
     let mut candidates: Vec<(FormatSpec, usize, f64)> = Vec::new(); // (spec, stored, seconds)
+    if stencil.is_some() {
+        // Matrix-free: no stored elements, pure vector traffic;
+        // regeneration inflates the compute side and the per-row chain
+        // is as serial as CRS.
+        let secs = model_seconds_fmt(nrows, nnz, 0, env, 1, power, STENCIL_REGEN_FLOP_FACTOR);
+        candidates.push((FormatSpec::Stencil, 0, secs));
+    }
     for &c in &CANDIDATE_CHUNK_HEIGHTS {
         if c > nrows.max(1) {
             continue;
         }
         if c == 1 {
-            // SELL-1-1 is CRS; score it as the CRS baseline.
-            let secs = model_seconds(nrows, nnz, env, 1);
+            // SELL-1-1 is CRS; score it as the CRS baseline (with the
+            // power divisor — CRS supports the level-blocked kernels).
+            let secs = model_seconds_fmt(nrows, nnz, nnz, env, 1, power, 1.0);
             candidates.push((FormatSpec::Crs, nnz, secs));
             continue;
         }
@@ -220,7 +279,7 @@ pub fn autotune(m: &CrsMatrix, env: &AutotuneEnv) -> AutotuneChoice {
                 finalists.push(*crs);
             }
         }
-        if let Some(win) = probe_finalists(m, &finalists, env) {
+        if let Some(win) = probe_finalists(m, &finalists, env, stencil, power) {
             best = win;
             probed = true;
         }
@@ -228,7 +287,7 @@ pub fn autotune(m: &CrsMatrix, env: &AutotuneEnv) -> AutotuneChoice {
 
     let (format, stored, seconds) = best;
     let chunks_per_task = match format {
-        FormatSpec::Crs => 1,
+        FormatSpec::Crs | FormatSpec::Stencil => 1,
         FormatSpec::Sell { chunk_height, .. } => {
             pick_chunks_per_task(nrows.div_ceil(chunk_height), env.threads)
         }
@@ -247,12 +306,25 @@ pub fn autotune(m: &CrsMatrix, env: &AutotuneEnv) -> AutotuneChoice {
     }
 }
 
-/// Times the finalists' augmented SpMV on the real matrix and returns
-/// the fastest, with its measured seconds substituted for the model's.
+/// Block width of the matrix-power probe: small enough to build
+/// cheaply, wide enough that the wavefront's window reuse shows.
+const PROBE_POWER_WIDTH: usize = 2;
+
+/// Times the finalists on the real matrix and returns the fastest,
+/// with its measured seconds substituted for the model's.
+///
+/// At `power == 1` this times the single-vector augmented SpMV on the
+/// bare format. At `power ≥ 2` it times the *actual* solver kernel —
+/// [`SparseKernels::aug_spmmv_power`] on a [`KpmMatrix`] handle,
+/// normalized per iteration — because the level-blocked wavefront only
+/// exists behind the handle; probing the bare formats would always
+/// miss the very effect the depth is meant to buy.
 fn probe_finalists(
     m: &CrsMatrix,
     finalists: &[(FormatSpec, usize, f64)],
     env: &AutotuneEnv,
+    stencil: Option<&StencilMatrix>,
+    power: usize,
 ) -> Option<(FormatSpec, usize, f64)> {
     let n = m.nrows();
     // Deterministic, structureless probe vectors (no RNG dependency).
@@ -260,41 +332,53 @@ fn probe_finalists(
         .map(|i| Complex64::new(1.0 / (i + 1) as f64, 0.25 - (i % 7) as f64 * 0.05))
         .collect();
     let mut w = vec![Complex64::default(); n];
+    let (mut vb, mut wb) = if power >= 2 {
+        let mut vb = BlockVector::zeros(n, PROBE_POWER_WIDTH);
+        let mut wb = BlockVector::zeros(n, PROBE_POWER_WIDTH);
+        for (i, z) in v.iter().enumerate() {
+            for j in 0..PROBE_POWER_WIDTH {
+                vb.set(i, j, z.scale(1.0 + j as f64));
+                wb.set(i, j, z.conj());
+            }
+        }
+        (vb, wb)
+    } else {
+        (BlockVector::zeros(0, 1), BlockVector::zeros(0, 1))
+    };
     let mut best: Option<(FormatSpec, usize, f64)> = None;
     for &(spec, stored, _) in finalists {
-        let sell = match spec {
+        let handle = match spec {
             FormatSpec::Sell {
                 chunk_height,
                 sigma,
-            } => {
                 // kpm::allow(hot_loop_convert): the probe intentionally builds each finalist once to time it.
-                match SellMatrix::try_from_crs(m, chunk_height, sigma) {
-                    Ok(s) => Some(s),
-                    Err(_) => continue,
-                }
-            }
-            FormatSpec::Crs => None,
+            } => match SellMatrix::try_from_crs(m, chunk_height, sigma) {
+                Ok(s) => KpmMatrix::sell(s),
+                Err(_) => continue,
+            },
+            FormatSpec::Stencil => match stencil {
+                Some(st) => KpmMatrix::stencil(st.clone()),
+                None => continue,
+            },
+            FormatSpec::Crs => KpmMatrix::crs(m.clone()),
         };
+        let handle = handle.with_cache_bytes(env.cache_bytes_per_thread.max(1));
         let mut fastest = f64::INFINITY;
         for _ in 0..env.probe_reps {
             let t0 = Instant::now();
-            match &sell {
-                Some(s) => {
-                    if env.threads > 1 {
-                        SparseKernels::aug_spmv_par(s, 0.5, 0.0, &v, &mut w);
-                    } else {
-                        SparseKernels::aug_spmv(s, 0.5, 0.0, &v, &mut w);
-                    }
+            if power >= 2 {
+                if env.threads > 1 {
+                    handle.aug_spmmv_power_par(power, 0.5, 0.0, &mut vb, &mut wb);
+                } else {
+                    handle.aug_spmmv_power(power, 0.5, 0.0, &mut vb, &mut wb);
                 }
-                None => {
-                    if env.threads > 1 {
-                        SparseKernels::aug_spmv_par(m, 0.5, 0.0, &v, &mut w);
-                    } else {
-                        SparseKernels::aug_spmv(m, 0.5, 0.0, &v, &mut w);
-                    }
-                }
+            } else if env.threads > 1 {
+                handle.aug_spmv_par(0.5, 0.0, &v, &mut w);
+            } else {
+                handle.aug_spmv(0.5, 0.0, &v, &mut w);
             }
-            fastest = fastest.min(t0.elapsed().as_secs_f64());
+            let per_iter = t0.elapsed().as_secs_f64() / power.max(1) as f64;
+            fastest = fastest.min(per_iter);
         }
         if best.is_none_or(|(_, _, t)| fastest < t) {
             best = Some((spec, stored, fastest));
@@ -432,5 +516,111 @@ mod tests {
         assert_eq!(pick_chunks_per_task(1000, 4), 62);
         assert_eq!(pick_chunks_per_task(8, 4), 1);
         assert_eq!(pick_chunks_per_task(100_000, 1), 64);
+    }
+
+    /// A small TI-shaped stencil (diagonal hop blocks) plus its
+    /// explicit CRS twin, for the format-grid tests.
+    fn toy_stencil(nx: usize, ny: usize, nz: usize) -> (StencilMatrix, CrsMatrix) {
+        let sites = nx * ny * nz;
+        let onsite: Vec<[Complex64; 4]> = (0..sites)
+            .map(|s| {
+                let v = s as f64 * 0.125 - 1.0;
+                [
+                    Complex64::real(v + 2.0),
+                    Complex64::real(v + 2.0),
+                    Complex64::real(v - 2.0),
+                    Complex64::real(v - 2.0),
+                ]
+            })
+            .collect();
+        let mut hop = [[[Complex64::default(); 4]; 4]; 6];
+        for (b, block) in hop.iter_mut().enumerate() {
+            for (o, row) in block.iter_mut().enumerate() {
+                row[o] = Complex64::new(-0.5, 0.05 * b as f64);
+            }
+        }
+        let st = StencilMatrix::new(nx, ny, nz, [true, true, false], onsite, &hop);
+        let crs = st.to_crs();
+        (st, crs)
+    }
+
+    #[test]
+    fn stencil_wins_when_memory_bound() {
+        // Starved bandwidth, ample compute: the matrix-traffic term
+        // dominates and the matrix-free candidate (which pays none)
+        // must win despite its regeneration flop inflation.
+        let (st, m) = toy_stencil(4, 4, 6);
+        let mut env = AutotuneEnv::generic(1);
+        env.mem_bw_gbs = 1.0;
+        env.peak_gflops = 10_000.0;
+        let choice = autotune_formats(&m, &env, Some(&st), 1);
+        assert_eq!(choice.format, FormatSpec::Stencil);
+        assert_eq!(choice.chunks_per_task, 1);
+        assert!((choice.predicted_beta - 1.0).abs() < 1e-12);
+        // Without the stencil source the same envelope settles on CRS.
+        let no_st = autotune_formats(&m, &env, None, 1);
+        assert_ne!(no_st.format, FormatSpec::Stencil);
+        assert!(choice.predicted_seconds < no_st.predicted_seconds);
+    }
+
+    #[test]
+    fn power_blocking_divides_the_crs_matrix_traffic() {
+        // Memory-bound envelope: the p-deep matrix-power divisor cuts
+        // the modeled CRS score, and SELL (which has no level-blocked
+        // kernels) gets no such discount — so deeper p keeps CRS ahead.
+        let (_, m) = toy_stencil(4, 4, 6);
+        let mut env = AutotuneEnv::generic(1);
+        env.mem_bw_gbs = 1.0;
+        env.peak_gflops = 10_000.0;
+        let p1 = autotune_formats(&m, &env, None, 1);
+        let p4 = autotune_formats(&m, &env, None, 4);
+        assert_eq!(p1.format, FormatSpec::Crs);
+        assert_eq!(p4.format, FormatSpec::Crs);
+        assert!(
+            p4.predicted_seconds < p1.predicted_seconds,
+            "p=4 {} !< p=1 {}",
+            p4.predicted_seconds,
+            p1.predicted_seconds
+        );
+        // The discount is bounded by the vector streams, which are paid
+        // every iteration: the score cannot drop below that floor.
+        let vector_floor = 3.0 * m.nrows() as f64 * 16.0 / (env.mem_bw_gbs * 1e9);
+        assert!(p4.predicted_seconds >= vector_floor);
+    }
+
+    #[test]
+    fn probe_with_stencil_candidate_stays_sound() {
+        // The empirical probe must time the matrix-free finalist
+        // without crashing, keep the CRS baseline in the heat, and
+        // return a choice the caller can act on (Stencil is built by
+        // the caller from the lattice; everything else via build()).
+        let (st, m) = toy_stencil(4, 4, 4);
+        let mut env = AutotuneEnv::generic(1).with_probe_reps(2);
+        env.mem_bw_gbs = 1.0;
+        env.peak_gflops = 10_000.0; // analytic ranking puts stencil first
+        let choice = autotune_formats(&m, &env, Some(&st), 2);
+        assert!(choice.probed);
+        assert!(choice.predicted_seconds.is_finite());
+        match choice.format {
+            FormatSpec::Stencil => assert!((choice.predicted_beta - 1.0).abs() < 1e-12),
+            _ => {
+                let h = choice.build(m.clone()).unwrap();
+                assert_eq!(SparseKernels::nrows(&h), m.nrows());
+            }
+        }
+    }
+
+    #[test]
+    fn build_rejects_the_matrix_free_format() {
+        // A Stencil choice cannot be materialized from a bare CRS
+        // matrix — the lattice is gone. The caller (the CLI) holds the
+        // TopoHamiltonian and constructs the handle itself.
+        let (st, m) = toy_stencil(3, 3, 3);
+        let mut env = AutotuneEnv::generic(1);
+        env.mem_bw_gbs = 1.0;
+        env.peak_gflops = 10_000.0;
+        let choice = autotune_formats(&m, &env, Some(&st), 1);
+        assert_eq!(choice.format, FormatSpec::Stencil);
+        assert!(choice.build(m).is_err());
     }
 }

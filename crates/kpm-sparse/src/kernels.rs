@@ -12,12 +12,16 @@
 //! floating-point chain (see [`crate::aug_sell`] for the SELL
 //! argument), so switching formats never changes results — only speed.
 
+use std::sync::{Arc, OnceLock};
+
 use kpm_num::{BlockVector, Complex64, KpmError};
 
 use crate::aug::{self, AugDots, AugDotsBlock};
 use crate::aug_sell;
 use crate::crs::CrsMatrix;
+use crate::power::{self, LevelSet};
 use crate::sell::SellMatrix;
+use crate::stencil::{self, StencilMatrix};
 use crate::{gen, spmv};
 
 /// A sparse-matrix storage format selection, including the SELL shape
@@ -33,6 +37,11 @@ pub enum FormatSpec {
         /// The sorting window `σ` (1 or a multiple of `C`).
         sigma: usize,
     },
+    /// Matrix-free stencil: rows regenerated on the fly from the
+    /// lattice geometry ([`crate::stencil`]). Only constructible from a
+    /// known stencil operator (the kpm-topo Hamiltonian), never from an
+    /// assembled CRS matrix.
+    Stencil,
 }
 
 impl FormatSpec {
@@ -41,6 +50,7 @@ impl FormatSpec {
         match self {
             FormatSpec::Crs => "crs",
             FormatSpec::Sell { .. } => "sell",
+            FormatSpec::Stencil => "stencil",
         }
     }
 }
@@ -53,6 +63,7 @@ impl std::fmt::Display for FormatSpec {
                 chunk_height,
                 sigma,
             } => write!(f, "sell-{chunk_height}-{sigma}"),
+            FormatSpec::Stencil => write!(f, "stencil"),
         }
     }
 }
@@ -110,6 +121,51 @@ pub trait SparseKernels: Sync {
     /// Plain rectangular SpMMV `W[0..nrows] = H V` (distributed
     /// initialization).
     fn spmmv_rect(&self, v: &BlockVector, w: &mut BlockVector);
+
+    /// `p` consecutive Chebyshev iterations in one call (serial).
+    ///
+    /// On entry `(v, w)` hold `(x_{k−1}, x_k)`; on exit `(x_{k+p−1},
+    /// x_{k+p})`, with one dots block per iteration — bitwise-identical
+    /// to `p` swap-and-[`SparseKernels::aug_spmmv`] steps, which is
+    /// exactly what this default does. Implementations may overlap the
+    /// iterations (level-blocked matrix-power sweeps) as long as the
+    /// bits stay the same.
+    fn aug_spmmv_power(
+        &self,
+        p: usize,
+        a: f64,
+        b: f64,
+        v: &mut BlockVector,
+        w: &mut BlockVector,
+    ) -> Vec<AugDotsBlock> {
+        assert!(p >= 1, "power depth must be at least 1");
+        let mut out = Vec::with_capacity(p);
+        for _ in 0..p {
+            v.swap(w);
+            out.push(self.aug_spmmv(a, b, v, w));
+        }
+        out
+    }
+
+    /// `p` consecutive Chebyshev iterations in one call (parallel);
+    /// same contract as [`SparseKernels::aug_spmmv_power`] relative to
+    /// the parallel kernels at the handle's cache budget.
+    fn aug_spmmv_power_par(
+        &self,
+        p: usize,
+        a: f64,
+        b: f64,
+        v: &mut BlockVector,
+        w: &mut BlockVector,
+    ) -> Vec<AugDotsBlock> {
+        assert!(p >= 1, "power depth must be at least 1");
+        let mut out = Vec::with_capacity(p);
+        for _ in 0..p {
+            v.swap(w);
+            out.push(self.aug_spmmv_par(a, b, v, w));
+        }
+        out
+    }
 }
 
 impl SparseKernels for CrsMatrix {
@@ -224,11 +280,68 @@ impl SparseKernels for SellMatrix {
     }
 }
 
+impl SparseKernels for StencilMatrix {
+    fn nrows(&self) -> usize {
+        StencilMatrix::nrows(self)
+    }
+    fn ncols(&self) -> usize {
+        StencilMatrix::ncols(self)
+    }
+    fn nnz(&self) -> usize {
+        StencilMatrix::nnz(self)
+    }
+    fn stored_elements(&self) -> usize {
+        0
+    }
+    fn format(&self) -> FormatSpec {
+        FormatSpec::Stencil
+    }
+    fn spmv(&self, x: &[Complex64], y: &mut [Complex64]) {
+        stencil::spmv(self, x, y);
+    }
+    fn spmv_par(&self, x: &[Complex64], y: &mut [Complex64]) {
+        stencil::spmv_par(self, x, y);
+    }
+    fn spmmv(&self, x: &BlockVector, y: &mut BlockVector) {
+        stencil::spmmv(self, x, y);
+    }
+    fn spmmv_par(&self, x: &BlockVector, y: &mut BlockVector) {
+        stencil::spmmv_par(self, x, y);
+    }
+    fn aug_spmv(&self, a: f64, b: f64, v: &[Complex64], w: &mut [Complex64]) -> AugDots {
+        stencil::aug_spmv(self, a, b, v, w)
+    }
+    fn aug_spmv_par(&self, a: f64, b: f64, v: &[Complex64], w: &mut [Complex64]) -> AugDots {
+        stencil::aug_spmv_par(self, a, b, v, w)
+    }
+    fn aug_spmmv(&self, a: f64, b: f64, v: &BlockVector, w: &mut BlockVector) -> AugDotsBlock {
+        stencil::aug_spmmv(self, a, b, v, w)
+    }
+    fn aug_spmmv_par(&self, a: f64, b: f64, v: &BlockVector, w: &mut BlockVector) -> AugDotsBlock {
+        stencil::aug_spmmv_par(self, a, b, v, w)
+    }
+    fn aug_spmmv_nodot(&self, a: f64, b: f64, v: &BlockVector, w: &mut BlockVector) {
+        stencil::aug_spmmv_nodot(self, a, b, v, w);
+    }
+    fn aug_spmmv_nodot_par(&self, a: f64, b: f64, v: &BlockVector, w: &mut BlockVector) {
+        stencil::aug_spmmv_nodot_par(self, a, b, v, w);
+    }
+    fn aug_spmmv_rect(&self, a: f64, b: f64, v: &BlockVector, w: &mut BlockVector) -> AugDotsBlock {
+        stencil::aug_spmmv_rect(self, a, b, v, w)
+    }
+    fn spmmv_rect(&self, v: &BlockVector, w: &mut BlockVector) {
+        stencil::spmmv_rect(self, v, w);
+    }
+}
+
 /// The concrete storage behind a [`KpmMatrix`].
 #[derive(Debug, Clone)]
 enum Repr {
     Crs(CrsMatrix),
     Sell(SellMatrix),
+    // Boxed: the inline hop-block tables make this variant ~20x the
+    // size of the other two.
+    Stencil(Box<StencilMatrix>),
 }
 
 /// An owning, format-erased matrix handle with its tuning state.
@@ -244,17 +357,42 @@ pub struct KpmMatrix {
     repr: Repr,
     cache_bytes: usize,
     fingerprint: u64,
+    /// Budget (bytes) for the level-blocked power kernels' live vector
+    /// window; a pure go/no-go gate, never a correctness input.
+    power_budget_bytes: usize,
+    /// Lazily-built level set for the power kernels (`None` inside the
+    /// cell when the structure does not level — e.g. SELL, or a matrix
+    /// without structural symmetry).
+    levels: OnceLock<Option<Arc<LevelSet>>>,
 }
 
 impl KpmMatrix {
+    fn from_parts(repr: Repr, fingerprint: u64) -> Self {
+        Self {
+            repr,
+            cache_bytes: crate::tile::DEFAULT_CACHE_BYTES,
+            fingerprint,
+            power_budget_bytes: power::DEFAULT_POWER_BUDGET_BYTES,
+            levels: OnceLock::new(),
+        }
+    }
+
     /// Wraps a CRS matrix at the default cache budget.
     pub fn crs(m: CrsMatrix) -> Self {
         let fingerprint = m.content_fingerprint();
-        Self {
-            repr: Repr::Crs(m),
-            cache_bytes: crate::tile::DEFAULT_CACHE_BYTES,
-            fingerprint,
-        }
+        Self::from_parts(Repr::Crs(m), fingerprint)
+    }
+
+    /// Wraps a matrix-free stencil operator at the default cache
+    /// budget.
+    ///
+    /// The fingerprint is the *content* fingerprint of the CRS build of
+    /// the same lattice ([`StencilMatrix::content_fingerprint`]), so a
+    /// stencil handle and a CRS handle of the same operator coalesce in
+    /// the service registry and share moment-cache entries.
+    pub fn stencil(m: StencilMatrix) -> Self {
+        let fingerprint = m.content_fingerprint();
+        Self::from_parts(Repr::Stencil(Box::new(m)), fingerprint)
     }
 
     /// Wraps a SELL matrix at the default cache budget.
@@ -275,11 +413,7 @@ impl KpmMatrix {
         h.write_u64(m.chunk_height() as u64);
         h.write_u64(m.sigma() as u64);
         let fingerprint = h.finish();
-        Self {
-            repr: Repr::Sell(m),
-            cache_bytes: crate::tile::DEFAULT_CACHE_BYTES,
-            fingerprint,
-        }
+        Self::from_parts(Repr::Sell(m), fingerprint)
     }
 
     /// The content fingerprint identifying this operator (see
@@ -294,7 +428,11 @@ impl KpmMatrix {
     /// Builds the requested format from an assembled CRS matrix.
     ///
     /// Fails (like [`SellMatrix::try_from_crs`]) when the SELL shape
-    /// parameters are invalid.
+    /// parameters are invalid, and always for [`FormatSpec::Stencil`]:
+    /// an assembled matrix no longer knows the lattice geometry, so the
+    /// matrix-free format must be built from the stencil source (see
+    /// `TopoHamiltonian::stencil_matrix` in kpm-topo) and wrapped with
+    /// [`KpmMatrix::stencil`].
     pub fn try_with_format(m: CrsMatrix, spec: &FormatSpec) -> Result<Self, KpmError> {
         match *spec {
             FormatSpec::Crs => Ok(Self::crs(m)),
@@ -307,12 +445,15 @@ impl KpmMatrix {
                 // operator share a fingerprint.
                 let fingerprint = m.content_fingerprint();
                 let sell = SellMatrix::try_from_crs(&m, chunk_height, sigma)?;
-                Ok(Self {
-                    repr: Repr::Sell(sell),
-                    cache_bytes: crate::tile::DEFAULT_CACHE_BYTES,
-                    fingerprint,
-                })
+                Ok(Self::from_parts(Repr::Sell(sell), fingerprint))
             }
+            FormatSpec::Stencil => Err(KpmError::InvalidParams {
+                what: "format",
+                details: "the stencil format is matrix-free and cannot be built from an \
+                          assembled matrix; construct it from the lattice stencil and wrap \
+                          with KpmMatrix::stencil"
+                    .into(),
+            }),
         }
     }
 
@@ -328,8 +469,23 @@ impl KpmMatrix {
         self.cache_bytes
     }
 
+    /// Sets the budget (bytes) for the level-blocked power kernels'
+    /// live vector window, builder-style. Callers with a machine model
+    /// derive it from `Machine::l2_kib` × thread count; the gate only
+    /// decides whether the wavefront path is *profitable* — both paths
+    /// produce identical bits.
+    pub fn with_power_budget_bytes(mut self, bytes: usize) -> Self {
+        self.power_budget_bytes = bytes.max(1);
+        self
+    }
+
+    /// The power-window budget (bytes) of the level-blocked kernels.
+    pub fn power_budget_bytes(&self) -> usize {
+        self.power_budget_bytes
+    }
+
     /// Forwards the parallel task granularity to the SELL
-    /// representation (no-op on CRS).
+    /// representation (no-op on the other formats).
     pub fn set_chunks_per_task(&mut self, chunks: usize) {
         if let Repr::Sell(m) = &mut self.repr {
             m.set_chunks_per_task(chunks);
@@ -340,16 +496,48 @@ impl KpmMatrix {
     pub fn as_crs(&self) -> Option<&CrsMatrix> {
         match &self.repr {
             Repr::Crs(m) => Some(m),
-            Repr::Sell(_) => None,
+            _ => None,
         }
     }
 
     /// The SELL representation, if that is the active format.
     pub fn as_sell(&self) -> Option<&SellMatrix> {
         match &self.repr {
-            Repr::Crs(_) => None,
             Repr::Sell(m) => Some(m),
+            _ => None,
         }
+    }
+
+    /// The matrix-free stencil representation, if that is the active
+    /// format.
+    pub fn as_stencil(&self) -> Option<&StencilMatrix> {
+        match &self.repr {
+            Repr::Stencil(m) => Some(m.as_ref()),
+            _ => None,
+        }
+    }
+
+    /// The level set of this operator, built (once) on first use;
+    /// `None` when the format has no row view (SELL) or the structure
+    /// does not level.
+    pub fn level_set(&self) -> Option<&LevelSet> {
+        self.levels
+            .get_or_init(|| match &self.repr {
+                Repr::Crs(m) => LevelSet::build(m).map(Arc::new),
+                Repr::Stencil(m) => LevelSet::build(m.as_ref()).map(Arc::new),
+                Repr::Sell(_) => None,
+            })
+            .as_deref()
+    }
+
+    /// The level set, but only when a depth-`p` wavefront over width
+    /// `r_width` is worth running under the power-window budget.
+    fn power_levels(&self, p: usize, r_width: usize) -> Option<&LevelSet> {
+        if p < 2 {
+            return None;
+        }
+        let ls = self.level_set()?;
+        power::power_feasible(ls, p, r_width, self.power_budget_bytes).then_some(ls)
     }
 }
 
@@ -358,6 +546,10 @@ macro_rules! dispatch {
         match &$self.repr {
             Repr::Crs($m) => $e,
             Repr::Sell($m) => $e,
+            Repr::Stencil(boxed) => {
+                let $m = boxed.as_ref();
+                $e
+            }
         }
     };
 }
@@ -404,6 +596,7 @@ impl SparseKernels for KpmMatrix {
         match &self.repr {
             Repr::Crs(m) => aug::aug_spmmv_par_budget(m, a, b, v, w, self.cache_bytes),
             Repr::Sell(m) => aug_sell::aug_spmmv_par_budget(m, a, b, v, w, self.cache_bytes),
+            Repr::Stencil(m) => stencil::aug_spmmv_par_budget(m, a, b, v, w, self.cache_bytes),
         }
     }
     fn aug_spmmv_nodot(&self, a: f64, b: f64, v: &BlockVector, w: &mut BlockVector) {
@@ -415,6 +608,9 @@ impl SparseKernels for KpmMatrix {
             // The SELL no-dot kernel is scatter-only (no tiling), so
             // there is no budget to thread.
             Repr::Sell(m) => aug_sell::aug_spmmv_nodot_par(m, a, b, v, w),
+            Repr::Stencil(m) => {
+                stencil::aug_spmmv_nodot_par_budget(m, a, b, v, w, self.cache_bytes)
+            }
         }
     }
     fn aug_spmmv_rect(&self, a: f64, b: f64, v: &BlockVector, w: &mut BlockVector) -> AugDotsBlock {
@@ -422,6 +618,65 @@ impl SparseKernels for KpmMatrix {
     }
     fn spmmv_rect(&self, v: &BlockVector, w: &mut BlockVector) {
         dispatch!(self, m => SparseKernels::spmmv_rect(m, v, w))
+    }
+    fn aug_spmmv_power(
+        &self,
+        p: usize,
+        a: f64,
+        b: f64,
+        v: &mut BlockVector,
+        w: &mut BlockVector,
+    ) -> Vec<AugDotsBlock> {
+        assert!(p >= 1, "power depth must be at least 1");
+        if let Some(ls) = self.power_levels(p, v.width()) {
+            match &self.repr {
+                Repr::Crs(m) => return power::aug_spmmv_power(m, ls, p, a, b, v, w),
+                Repr::Stencil(m) => return power::aug_spmmv_power(m.as_ref(), ls, p, a, b, v, w),
+                Repr::Sell(_) => {} // no row view; fall through
+            }
+        }
+        let mut out = Vec::with_capacity(p);
+        for _ in 0..p {
+            v.swap(w);
+            out.push(SparseKernels::aug_spmmv(self, a, b, v, w));
+        }
+        out
+    }
+    fn aug_spmmv_power_par(
+        &self,
+        p: usize,
+        a: f64,
+        b: f64,
+        v: &mut BlockVector,
+        w: &mut BlockVector,
+    ) -> Vec<AugDotsBlock> {
+        assert!(p >= 1, "power depth must be at least 1");
+        if let Some(ls) = self.power_levels(p, v.width()) {
+            match &self.repr {
+                Repr::Crs(m) => {
+                    return power::aug_spmmv_power_par(m, ls, p, a, b, v, w, self.cache_bytes)
+                }
+                Repr::Stencil(m) => {
+                    return power::aug_spmmv_power_par(
+                        m.as_ref(),
+                        ls,
+                        p,
+                        a,
+                        b,
+                        v,
+                        w,
+                        self.cache_bytes,
+                    )
+                }
+                Repr::Sell(_) => {}
+            }
+        }
+        let mut out = Vec::with_capacity(p);
+        for _ in 0..p {
+            v.swap(w);
+            out.push(SparseKernels::aug_spmmv_par(self, a, b, v, w));
+        }
+        out
     }
 }
 

@@ -29,6 +29,11 @@
 //!   kernels (per-thread cache budget → rows per tile),
 //! * [`kernels`] — the format-pluggable [`SparseKernels`] trait and the
 //!   [`KpmMatrix`] handle the solver runs on,
+//! * [`stencil`] — the matrix-free topological-insulator stencil
+//!   format: rows are regenerated on the fly inside the kernels, so the
+//!   matrix stream disappears from the traffic balance entirely,
+//! * [`power`] — level-blocked Chebyshev matrix-power kernels that run
+//!   `p` iterations per matrix traversal behind `aug_spmmv_power`,
 //! * [`autotune`] — the `C`/`σ`/task-granularity autotuner driven by the
 //!   row-length distribution and a machine model.
 
@@ -41,13 +46,17 @@ pub mod crs;
 pub mod gen;
 pub mod io;
 pub mod kernels;
+pub mod power;
 pub mod sell;
 pub mod spmv;
 pub mod stats;
+pub mod stencil;
 pub mod tile;
 
-pub use autotune::{autotune, AutotuneChoice, AutotuneEnv};
+pub use autotune::{autotune, autotune_formats, AutotuneChoice, AutotuneEnv};
 pub use coo::CooMatrix;
 pub use crs::CrsMatrix;
 pub use kernels::{FormatSpec, KpmMatrix, SparseKernels};
+pub use power::{LevelSet, PowerRows, RowBuf};
 pub use sell::SellMatrix;
+pub use stencil::StencilMatrix;

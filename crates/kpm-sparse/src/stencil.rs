@@ -1,0 +1,1056 @@
+//! Matrix-free stencil storage for the topological-insulator operator.
+//!
+//! The paper's roofline analysis makes the matrix stream the dominant
+//! traffic term (`N_nz ≈ 13·N` elements of 20 bytes each per sweep).
+//! [`StencilMatrix`] removes that term outright: instead of streaming
+//! stored `(col, val)` pairs, every kernel *regenerates* the row from
+//! the lattice geometry — per site one on-site diagonal (64 bytes) plus
+//! six precomputed 4×4 hopping-block row templates shared by all sites.
+//! β effectively drops to pure vector traffic; `stored_elements()` is 0
+//! and the probes model zero matrix bytes.
+//!
+//! Bitwise contract: the regenerated row is *identical* — column order,
+//! duplicate merging, zero filtering and all — to the row the kpm-topo
+//! assembly writes into CRS for the same lattice, so every kernel here
+//! reuses the exact floating-point chain of [`crate::aug`] /
+//! [`crate::spmv`] and produces bit-identical vectors and dot products
+//! (serial ≡ serial, parallel ≡ parallel at equal cache budget). The
+//! determinism and property suites pin this down against the CRS build.
+//!
+//! The row generator mirrors the assembly loop of kpm-topo
+//! `hamiltonian.rs`: gather the on-site entry first, then for each
+//! direction the `+ê_j` partner (`T_j†`) and the `−ê_j` partner
+//! (`T_j`), sort by column, merge duplicates (possible only on
+//! extent-2 periodic axes where `n+ê_j == n−ê_j`; IEEE addition of the
+//! two candidates is commutative, so the unstable sort in the assembly
+//! cannot produce different bits). Entries that are exactly zero are
+//! filtered *before* the merge, exactly like the assembly.
+
+use kpm_num::summation::{pairwise_sum, pairwise_sum_complex};
+use kpm_num::{BlockVector, Complex64};
+use kpm_obs::probe::{kernel_timer_fmt, KernelKind, ProbeFormat};
+use rayon::prelude::*;
+
+use crate::aug::{widen, AugDots, AugDotsBlock, ROWS_PER_CHUNK};
+
+/// Upper bound on regenerated row length: 1 on-site entry plus six
+/// hopping blocks contributing at most 4 entries per orbital row.
+pub const MAX_ROW_ENTRIES: usize = 32;
+
+/// One orbital row of a 4×4 hopping block, pre-filtered to its
+/// non-zero entries (column offset within the block, value).
+#[derive(Debug, Clone, Copy, Default)]
+struct HopRow {
+    len: u8,
+    cols: [u8; 4],
+    vals: [Complex64; 4],
+}
+
+/// A matrix-free representation of the nearest-neighbour 4-orbital
+/// lattice operator (paper Eq. 1): rows are regenerated on the fly
+/// from `O(1)` stencil data instead of streamed from memory.
+///
+/// Construction takes the on-site *diagonals* per site and the six raw
+/// hopping blocks in assembly order (`+ê_j` H.c. partner before `−ê_j`
+/// for each direction); see [`StencilMatrix::new`]. kpm-topo provides
+/// a builder (`TopoHamiltonian::stencil_matrix`) that feeds it the
+/// exact blocks its CRS assembly uses.
+#[derive(Debug, Clone)]
+pub struct StencilMatrix {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    periodic: [bool; 3],
+    /// Diagonal of the on-site block, per site (the TI on-site block
+    /// `V·Γ⁰ + 2Γ¹` is exactly diagonal).
+    onsite_diag: Vec<[Complex64; 4]>,
+    /// Row templates: `[2j]` is the `+ê_j` block (`T_j†`), `[2j+1]`
+    /// the `−ê_j` block (`T_j`), each split into 4 orbital rows.
+    hop_rows: [[HopRow; 4]; 6],
+    nnz: usize,
+}
+
+impl StencilMatrix {
+    /// Builds the stencil operator.
+    ///
+    /// * `onsite_diag[site]` — the diagonal of the on-site 4×4 block
+    ///   (the block must be diagonal; off-diagonal on-site structure is
+    ///   not representable and is the caller's contract to uphold),
+    /// * `hop_blocks` — the six 4×4 hopping blocks in assembly order:
+    ///   index `2j` holds the `+ê_j` partner and `2j+1` the `−ê_j`
+    ///   partner for direction `j ∈ {0,1,2}` (x, y, z),
+    /// * `periodic` — per-axis boundary conditions; extent-1 axes are
+    ///   always treated as open (a periodic wrap would be a self-loop),
+    ///   matching the lattice neighbour rules.
+    pub fn new(
+        nx: usize,
+        ny: usize,
+        nz: usize,
+        periodic: [bool; 3],
+        onsite_diag: Vec<[Complex64; 4]>,
+        hop_blocks: &[[[Complex64; 4]; 4]; 6],
+    ) -> Self {
+        assert!(
+            nx > 0 && ny > 0 && nz > 0,
+            "lattice extents must be positive"
+        );
+        assert_eq!(
+            onsite_diag.len(),
+            nx * ny * nz,
+            "one on-site diagonal per site"
+        );
+        let mut hop_rows = [[HopRow::default(); 4]; 6];
+        for (b, block) in hop_blocks.iter().enumerate() {
+            for (o, row) in block.iter().enumerate() {
+                let hr = &mut hop_rows[b][o];
+                for (p, &val) in row.iter().enumerate() {
+                    // The same pre-merge zero filter the assembly applies.
+                    if val != Complex64::default() {
+                        hr.cols[hr.len as usize] = p as u8;
+                        hr.vals[hr.len as usize] = val;
+                        hr.len += 1;
+                    }
+                }
+            }
+        }
+        let mut m = Self {
+            nx,
+            ny,
+            nz,
+            periodic,
+            onsite_diag,
+            hop_rows,
+            nnz: 0,
+        };
+        // Count logical non-zeros by running the row generator once.
+        let mut gen = RowGen::new(&m);
+        let mut cols = [0u32; MAX_ROW_ENTRIES];
+        let mut vals = [Complex64::default(); MAX_ROW_ENTRIES];
+        let mut nnz = 0;
+        for r in 0..4 * m.sites() {
+            nnz += gen.row(r, &mut cols, &mut vals);
+        }
+        m.nnz = nnz;
+        m
+    }
+
+    /// Number of lattice sites.
+    pub fn sites(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// Matrix dimension `N = 4 · Nx · Ny · Nz`.
+    pub fn nrows(&self) -> usize {
+        4 * self.sites()
+    }
+
+    /// The operator is square by construction.
+    pub fn ncols(&self) -> usize {
+        self.nrows()
+    }
+
+    /// Number of logical non-zeros of the regenerated operator.
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Lattice extents `(Nx, Ny, Nz)`.
+    pub fn shape(&self) -> (usize, usize, usize) {
+        (self.nx, self.ny, self.nz)
+    }
+
+    /// Per-axis periodicity flags.
+    pub fn periodic(&self) -> [bool; 3] {
+        self.periodic
+    }
+
+    /// The content fingerprint of the *assembled* operator: identical
+    /// to [`crate::crs::CrsMatrix::content_fingerprint`] of the CRS
+    /// build of the same lattice, so service-side request coalescing
+    /// and moment caching work across the CRS/stencil format boundary.
+    pub fn content_fingerprint(&self) -> u64 {
+        let n = self.nrows();
+        let mut row_ptr: Vec<u64> = Vec::with_capacity(n + 1);
+        let mut all_cols: Vec<u32> = Vec::with_capacity(self.nnz);
+        let mut all_vals: Vec<Complex64> = Vec::with_capacity(self.nnz);
+        row_ptr.push(0);
+        let mut gen = RowGen::new(self);
+        let mut cols = [0u32; MAX_ROW_ENTRIES];
+        let mut vals = [Complex64::default(); MAX_ROW_ENTRIES];
+        for r in 0..n {
+            let len = gen.row(r, &mut cols, &mut vals);
+            all_cols.extend_from_slice(&cols[..len]);
+            all_vals.extend_from_slice(&vals[..len]);
+            row_ptr.push(all_cols.len() as u64);
+        }
+        let mut h = crate::crs::Fnv1a::new();
+        h.write_u64(n as u64);
+        h.write_u64(n as u64);
+        for &p in &row_ptr {
+            h.write_u64(p);
+        }
+        for &c in &all_cols {
+            h.write_u64(c as u64);
+        }
+        for v in &all_vals {
+            h.write_u64(v.re.to_bits());
+            h.write_u64(v.im.to_bits());
+        }
+        h.finish()
+    }
+
+    /// Assembles the regenerated rows into an explicit CRS matrix
+    /// (testing/interop; the kernels never materialize this).
+    pub fn to_crs(&self) -> crate::crs::CrsMatrix {
+        let n = self.nrows();
+        let mut row_ptr: Vec<u64> = Vec::with_capacity(n + 1);
+        let mut all_cols: Vec<u32> = Vec::with_capacity(self.nnz);
+        let mut all_vals: Vec<Complex64> = Vec::with_capacity(self.nnz);
+        row_ptr.push(0);
+        let mut gen = RowGen::new(self);
+        let mut cols = [0u32; MAX_ROW_ENTRIES];
+        let mut vals = [Complex64::default(); MAX_ROW_ENTRIES];
+        for r in 0..n {
+            let len = gen.row(r, &mut cols, &mut vals);
+            all_cols.extend_from_slice(&cols[..len]);
+            all_vals.extend_from_slice(&vals[..len]);
+            row_ptr.push(all_cols.len() as u64);
+        }
+        crate::crs::CrsMatrix::from_raw(n, n, row_ptr, all_cols, all_vals)
+    }
+
+    /// Neighbour site in `±ê_j`, mirroring the lattice rules: periodic
+    /// axes wrap, open axes (and extent-1 axes unconditionally) drop
+    /// the bond. `dir` indexes the six partners in assembly order.
+    #[inline]
+    fn neighbor(&self, x: usize, y: usize, z: usize, dir: usize) -> Option<u32> {
+        let axis = dir / 2;
+        let forward = dir.is_multiple_of(2);
+        let (extent, coord) = match axis {
+            0 => (self.nx, x),
+            1 => (self.ny, y),
+            _ => (self.nz, z),
+        };
+        if extent == 1 {
+            return None;
+        }
+        let moved = if forward {
+            if coord + 1 < extent {
+                coord + 1
+            } else if self.periodic[axis] {
+                0
+            } else {
+                return None;
+            }
+        } else if coord > 0 {
+            coord - 1
+        } else if self.periodic[axis] {
+            extent - 1
+        } else {
+            return None;
+        };
+        let site = match axis {
+            0 => moved + self.nx * (y + self.ny * z),
+            1 => x + self.nx * (moved + self.ny * z),
+            _ => x + self.nx * (y + self.ny * moved),
+        };
+        Some(site as u32)
+    }
+}
+
+/// Streaming row generator with a per-site neighbour cache (the four
+/// orbital rows of a site share one geometry lookup). Each worker
+/// chunk owns its own generator — no shared mutable state.
+struct RowGen<'a> {
+    m: &'a StencilMatrix,
+    site: usize,
+    neigh: [Option<u32>; 6],
+}
+
+impl<'a> RowGen<'a> {
+    #[inline]
+    fn new(m: &'a StencilMatrix) -> Self {
+        Self {
+            m,
+            site: usize::MAX,
+            neigh: [None; 6],
+        }
+    }
+
+    /// Regenerates row `r` into the scratch arrays (sorted by column,
+    /// duplicates merged, zeros filtered) and returns its length.
+    #[inline]
+    fn row(
+        &mut self,
+        r: usize,
+        cols: &mut [u32; MAX_ROW_ENTRIES],
+        vals: &mut [Complex64; MAX_ROW_ENTRIES],
+    ) -> usize {
+        self.m
+            .regen_row(r, &mut self.site, &mut self.neigh, cols, vals)
+    }
+}
+
+impl StencilMatrix {
+    /// Regenerates row `r` with a caller-held site cache — the shared
+    /// engine behind [`RowGen`] and the power kernels' row source.
+    #[inline]
+    pub(crate) fn regen_row(
+        &self,
+        r: usize,
+        cached_site: &mut usize,
+        neigh: &mut [Option<u32>; 6],
+        cols: &mut [u32; MAX_ROW_ENTRIES],
+        vals: &mut [Complex64; MAX_ROW_ENTRIES],
+    ) -> usize {
+        let m = self;
+        let site = r / 4;
+        let o = r % 4;
+        if site != *cached_site {
+            let x = site % m.nx;
+            let y = (site / m.nx) % m.ny;
+            let z = site / (m.nx * m.ny);
+            for (dir, slot) in neigh.iter_mut().enumerate() {
+                *slot = m.neighbor(x, y, z, dir);
+            }
+            *cached_site = site;
+        }
+        let mut n = 0;
+        let d = m.onsite_diag[site][o];
+        if d != Complex64::default() {
+            cols[n] = (4 * site + o) as u32;
+            vals[n] = d;
+            n += 1;
+        }
+        for (dir, neigh) in neigh.iter().enumerate() {
+            if let Some(ns) = neigh {
+                let hr = &m.hop_rows[dir][o];
+                let base = 4 * ns;
+                for e in 0..hr.len as usize {
+                    cols[n] = base + hr.cols[e] as u32;
+                    vals[n] = hr.vals[e];
+                    n += 1;
+                }
+            }
+        }
+        // Insertion sort by column (13 nearly-sorted entries).
+        for i in 1..n {
+            let (c, v) = (cols[i], vals[i]);
+            let mut j = i;
+            while j > 0 && cols[j - 1] > c {
+                cols[j] = cols[j - 1];
+                vals[j] = vals[j - 1];
+                j -= 1;
+            }
+            cols[j] = c;
+            vals[j] = v;
+        }
+        // Merge duplicate columns (at most pairs; addition of the two
+        // partners is order-independent down to the bit).
+        let mut out = 0;
+        let mut k = 0;
+        while k < n {
+            let c = cols[k];
+            let mut acc = vals[k];
+            k += 1;
+            while k < n && cols[k] == c {
+                acc += vals[k];
+                k += 1;
+            }
+            cols[out] = c;
+            vals[out] = acc;
+            out += 1;
+        }
+        out
+    }
+}
+
+fn check_vec_dims(m: &StencilMatrix, v: &[Complex64], w: &[Complex64], what: &str) {
+    assert_eq!(v.len(), m.ncols(), "{what}: v dimension mismatch");
+    assert_eq!(w.len(), m.nrows(), "{what}: w dimension mismatch");
+}
+
+fn check_block_dims(m: &StencilMatrix, v: &BlockVector, w: &BlockVector) -> usize {
+    assert_eq!(v.rows(), m.ncols(), "block v dimension mismatch");
+    assert_eq!(w.rows(), m.nrows(), "block w dimension mismatch");
+    assert_eq!(v.width(), w.width(), "block width mismatch");
+    v.width()
+}
+
+/// Matrix-free augmented SpMV; the floating-point chain of
+/// [`crate::aug::aug_spmv`] over regenerated rows.
+pub fn aug_spmv(
+    m: &StencilMatrix,
+    a: f64,
+    b: f64,
+    v: &[Complex64],
+    w: &mut [Complex64],
+) -> AugDots {
+    check_vec_dims(m, v, w, "aug_spmv");
+    let _probe = kernel_timer_fmt(
+        KernelKind::AugSpmv,
+        m.nrows(),
+        m.nnz(),
+        1,
+        0,
+        ProbeFormat::Stencil,
+    );
+    aug_spmv_core(m, a, b, v, w)
+}
+
+pub(crate) fn aug_spmv_core(
+    m: &StencilMatrix,
+    a: f64,
+    b: f64,
+    v: &[Complex64],
+    w: &mut [Complex64],
+) -> AugDots {
+    let mut gen = RowGen::new(m);
+    let mut cols = [0u32; MAX_ROW_ENTRIES];
+    let mut vals = [Complex64::default(); MAX_ROW_ENTRIES];
+    let mut eta_even = 0.0;
+    let mut eta_odd = Complex64::default();
+    for (r, wr_slot) in w.iter_mut().enumerate() {
+        let len = gen.row(r, &mut cols, &mut vals);
+        let mut acc = Complex64::default();
+        for (hv, &c) in vals[..len].iter().zip(&cols[..len]) {
+            acc = hv.mul_add(v[c as usize], acc);
+        }
+        let vr = v[r];
+        let wr = (acc - vr.scale(b)).scale(2.0 * a) - *wr_slot;
+        *wr_slot = wr;
+        eta_even += vr.norm_sqr();
+        eta_odd = wr.conj().mul_add(vr, eta_odd);
+    }
+    AugDots { eta_even, eta_odd }
+}
+
+/// Row-parallel matrix-free augmented SpMV; identical reduction
+/// boundaries (1024-row chunks, pairwise combine) to
+/// [`crate::aug::aug_spmv_par`].
+pub fn aug_spmv_par(
+    m: &StencilMatrix,
+    a: f64,
+    b: f64,
+    v: &[Complex64],
+    w: &mut [Complex64],
+) -> AugDots {
+    check_vec_dims(m, v, w, "aug_spmv_par");
+    let _probe = kernel_timer_fmt(
+        KernelKind::AugSpmv,
+        m.nrows(),
+        m.nnz(),
+        1,
+        0,
+        ProbeFormat::Stencil,
+    );
+    aug_spmv_par_core(m, a, b, v, w)
+}
+
+pub(crate) fn aug_spmv_par_core(
+    m: &StencilMatrix,
+    a: f64,
+    b: f64,
+    v: &[Complex64],
+    w: &mut [Complex64],
+) -> AugDots {
+    let partials: Vec<(f64, Complex64)> = w
+        .par_chunks_mut(ROWS_PER_CHUNK)
+        .enumerate()
+        .map(|(ci, wc)| {
+            let row0 = ci * ROWS_PER_CHUNK;
+            let mut gen = RowGen::new(m);
+            let mut cols = [0u32; MAX_ROW_ENTRIES];
+            let mut vals = [Complex64::default(); MAX_ROW_ENTRIES];
+            let mut even = 0.0;
+            let mut odd = Complex64::default();
+            for (i, wr_slot) in wc.iter_mut().enumerate() {
+                let r = row0 + i;
+                let len = gen.row(r, &mut cols, &mut vals);
+                let mut acc = Complex64::default();
+                for (hv, &c) in vals[..len].iter().zip(&cols[..len]) {
+                    acc = hv.mul_add(v[c as usize], acc);
+                }
+                let vr = v[r];
+                let wr = (acc - vr.scale(b)).scale(2.0 * a) - *wr_slot;
+                *wr_slot = wr;
+                even += vr.norm_sqr();
+                odd = wr.conj().mul_add(vr, odd);
+            }
+            (even, odd)
+        })
+        .collect();
+    let eta_even = pairwise_sum(&partials.iter().map(|p| p.0).collect::<Vec<_>>());
+    let eta_odd = pairwise_sum_complex(&partials.iter().map(|p| p.1).collect::<Vec<_>>());
+    AugDots { eta_even, eta_odd }
+}
+
+/// Matrix-free augmented SpMMV (serial blocked form).
+pub fn aug_spmmv(
+    m: &StencilMatrix,
+    a: f64,
+    b: f64,
+    v: &BlockVector,
+    w: &mut BlockVector,
+) -> AugDotsBlock {
+    let r_width = check_block_dims(m, v, w);
+    let _probe = kernel_timer_fmt(
+        KernelKind::AugSpmmv,
+        m.nrows(),
+        m.nnz(),
+        r_width,
+        0,
+        ProbeFormat::Stencil,
+    );
+    if r_width == 1 {
+        return widen(aug_spmv_core(m, a, b, v.as_slice(), w.as_mut_slice()));
+    }
+    let mut gen = RowGen::new(m);
+    let mut cols = [0u32; MAX_ROW_ENTRIES];
+    let mut vals = [Complex64::default(); MAX_ROW_ENTRIES];
+    let mut eta_even = vec![0.0; r_width];
+    let mut eta_odd = vec![Complex64::default(); r_width];
+    let mut acc = vec![Complex64::default(); r_width];
+    for r in 0..m.nrows() {
+        let len = gen.row(r, &mut cols, &mut vals);
+        acc.fill(Complex64::default());
+        for (hv, &c) in vals[..len].iter().zip(&cols[..len]) {
+            let xrow = v.row(c as usize);
+            for j in 0..r_width {
+                acc[j] = hv.mul_add(xrow[j], acc[j]);
+            }
+        }
+        let vrow = v.row(r);
+        let wrow = w.row_mut(r);
+        for j in 0..r_width {
+            let vr = vrow[j];
+            let wr = (acc[j] - vr.scale(b)).scale(2.0 * a) - wrow[j];
+            wrow[j] = wr;
+            eta_even[j] += vr.norm_sqr();
+            eta_odd[j] = wr.conj().mul_add(vr, eta_odd[j]);
+        }
+    }
+    AugDotsBlock { eta_even, eta_odd }
+}
+
+/// Row-parallel matrix-free augmented SpMMV at the default cache
+/// budget.
+pub fn aug_spmmv_par(
+    m: &StencilMatrix,
+    a: f64,
+    b: f64,
+    v: &BlockVector,
+    w: &mut BlockVector,
+) -> AugDotsBlock {
+    aug_spmmv_par_budget(m, a, b, v, w, crate::tile::DEFAULT_CACHE_BYTES)
+}
+
+/// Row-parallel matrix-free augmented SpMMV; identical tile boundaries
+/// (and hence reduction tree) to [`crate::aug::aug_spmmv_par_budget`].
+pub fn aug_spmmv_par_budget(
+    m: &StencilMatrix,
+    a: f64,
+    b: f64,
+    v: &BlockVector,
+    w: &mut BlockVector,
+    cache_bytes: usize,
+) -> AugDotsBlock {
+    let r_width = check_block_dims(m, v, w);
+    let _probe = kernel_timer_fmt(
+        KernelKind::AugSpmmv,
+        m.nrows(),
+        m.nnz(),
+        r_width,
+        0,
+        ProbeFormat::Stencil,
+    );
+    if r_width == 1 {
+        return widen(aug_spmv_par_core(m, a, b, v.as_slice(), w.as_mut_slice()));
+    }
+    let rows_per_tile = crate::tile::tile_rows_for_budget(r_width, cache_bytes);
+    let partials: Vec<(Vec<f64>, Vec<Complex64>)> = w
+        .as_mut_slice()
+        .par_chunks_mut(rows_per_tile * r_width)
+        .enumerate()
+        .map(|(ci, wc)| {
+            let row0 = ci * rows_per_tile;
+            let mut gen = RowGen::new(m);
+            let mut cols = [0u32; MAX_ROW_ENTRIES];
+            let mut vals = [Complex64::default(); MAX_ROW_ENTRIES];
+            let mut even = vec![0.0; r_width];
+            let mut odd = vec![Complex64::default(); r_width];
+            let mut acc = vec![Complex64::default(); r_width];
+            for (i, wrow) in wc.chunks_mut(r_width).enumerate() {
+                let r = row0 + i;
+                let len = gen.row(r, &mut cols, &mut vals);
+                acc.fill(Complex64::default());
+                for (hv, &c) in vals[..len].iter().zip(&cols[..len]) {
+                    let xrow = v.row(c as usize);
+                    for j in 0..r_width {
+                        acc[j] = hv.mul_add(xrow[j], acc[j]);
+                    }
+                }
+                let vrow = v.row(r);
+                for j in 0..r_width {
+                    let vr = vrow[j];
+                    let wr = (acc[j] - vr.scale(b)).scale(2.0 * a) - wrow[j];
+                    wrow[j] = wr;
+                    even[j] += vr.norm_sqr();
+                    odd[j] = wr.conj().mul_add(vr, odd[j]);
+                }
+            }
+            (even, odd)
+        })
+        .collect();
+    let mut eta_even = vec![0.0; r_width];
+    let mut eta_odd = vec![Complex64::default(); r_width];
+    for (even, odd) in &partials {
+        for j in 0..r_width {
+            eta_even[j] += even[j];
+            eta_odd[j] += odd[j];
+        }
+    }
+    AugDotsBlock { eta_even, eta_odd }
+}
+
+/// Matrix-free augmented SpMMV without the fused scalar products.
+pub fn aug_spmmv_nodot(m: &StencilMatrix, a: f64, b: f64, v: &BlockVector, w: &mut BlockVector) {
+    let r_width = check_block_dims(m, v, w);
+    let _probe = kernel_timer_fmt(
+        KernelKind::AugSpmmv,
+        m.nrows(),
+        m.nnz(),
+        r_width,
+        0,
+        ProbeFormat::Stencil,
+    );
+    if r_width == 1 {
+        aug_spmv_nodot_core(m, a, b, v.as_slice(), w.as_mut_slice());
+        return;
+    }
+    let mut gen = RowGen::new(m);
+    let mut cols = [0u32; MAX_ROW_ENTRIES];
+    let mut vals = [Complex64::default(); MAX_ROW_ENTRIES];
+    let mut acc = vec![Complex64::default(); r_width];
+    for r in 0..m.nrows() {
+        let len = gen.row(r, &mut cols, &mut vals);
+        acc.fill(Complex64::default());
+        for (hv, &c) in vals[..len].iter().zip(&cols[..len]) {
+            let xrow = v.row(c as usize);
+            for j in 0..r_width {
+                acc[j] = hv.mul_add(xrow[j], acc[j]);
+            }
+        }
+        let vrow = v.row(r);
+        let wrow = w.row_mut(r);
+        for j in 0..r_width {
+            let vr = vrow[j];
+            wrow[j] = (acc[j] - vr.scale(b)).scale(2.0 * a) - wrow[j];
+        }
+    }
+}
+
+fn aug_spmv_nodot_core(m: &StencilMatrix, a: f64, b: f64, v: &[Complex64], w: &mut [Complex64]) {
+    let mut gen = RowGen::new(m);
+    let mut cols = [0u32; MAX_ROW_ENTRIES];
+    let mut vals = [Complex64::default(); MAX_ROW_ENTRIES];
+    for (r, wr_slot) in w.iter_mut().enumerate() {
+        let len = gen.row(r, &mut cols, &mut vals);
+        let mut acc = Complex64::default();
+        for (hv, &c) in vals[..len].iter().zip(&cols[..len]) {
+            acc = hv.mul_add(v[c as usize], acc);
+        }
+        let vr = v[r];
+        *wr_slot = (acc - vr.scale(b)).scale(2.0 * a) - *wr_slot;
+    }
+}
+
+fn aug_spmv_nodot_par_core(
+    m: &StencilMatrix,
+    a: f64,
+    b: f64,
+    v: &[Complex64],
+    w: &mut [Complex64],
+) {
+    w.par_chunks_mut(ROWS_PER_CHUNK)
+        .enumerate()
+        .for_each(|(ci, wc)| {
+            let row0 = ci * ROWS_PER_CHUNK;
+            let mut gen = RowGen::new(m);
+            let mut cols = [0u32; MAX_ROW_ENTRIES];
+            let mut vals = [Complex64::default(); MAX_ROW_ENTRIES];
+            for (i, wr_slot) in wc.iter_mut().enumerate() {
+                let r = row0 + i;
+                let len = gen.row(r, &mut cols, &mut vals);
+                let mut acc = Complex64::default();
+                for (hv, &c) in vals[..len].iter().zip(&cols[..len]) {
+                    acc = hv.mul_add(v[c as usize], acc);
+                }
+                let vr = v[r];
+                *wr_slot = (acc - vr.scale(b)).scale(2.0 * a) - *wr_slot;
+            }
+        });
+}
+
+/// Parallel no-dot matrix-free augmented SpMMV at the default budget.
+pub fn aug_spmmv_nodot_par(
+    m: &StencilMatrix,
+    a: f64,
+    b: f64,
+    v: &BlockVector,
+    w: &mut BlockVector,
+) {
+    aug_spmmv_nodot_par_budget(m, a, b, v, w, crate::tile::DEFAULT_CACHE_BYTES)
+}
+
+/// Parallel no-dot matrix-free augmented SpMMV against an explicit
+/// per-thread cache budget.
+pub fn aug_spmmv_nodot_par_budget(
+    m: &StencilMatrix,
+    a: f64,
+    b: f64,
+    v: &BlockVector,
+    w: &mut BlockVector,
+    cache_bytes: usize,
+) {
+    let r_width = check_block_dims(m, v, w);
+    let _probe = kernel_timer_fmt(
+        KernelKind::AugSpmmv,
+        m.nrows(),
+        m.nnz(),
+        r_width,
+        0,
+        ProbeFormat::Stencil,
+    );
+    if r_width == 1 {
+        aug_spmv_nodot_par_core(m, a, b, v.as_slice(), w.as_mut_slice());
+        return;
+    }
+    let rows_per_tile = crate::tile::tile_rows_for_budget(r_width, cache_bytes);
+    w.as_mut_slice()
+        .par_chunks_mut(rows_per_tile * r_width)
+        .enumerate()
+        .for_each(|(ci, wc)| {
+            let row0 = ci * rows_per_tile;
+            let mut gen = RowGen::new(m);
+            let mut cols = [0u32; MAX_ROW_ENTRIES];
+            let mut vals = [Complex64::default(); MAX_ROW_ENTRIES];
+            let mut acc = vec![Complex64::default(); r_width];
+            for (i, wrow) in wc.chunks_mut(r_width).enumerate() {
+                let r = row0 + i;
+                let len = gen.row(r, &mut cols, &mut vals);
+                acc.fill(Complex64::default());
+                for (hv, &c) in vals[..len].iter().zip(&cols[..len]) {
+                    let xrow = v.row(c as usize);
+                    for j in 0..r_width {
+                        acc[j] = hv.mul_add(xrow[j], acc[j]);
+                    }
+                }
+                let vrow = v.row(r);
+                for j in 0..r_width {
+                    let vr = vrow[j];
+                    wrow[j] = (acc[j] - vr.scale(b)).scale(2.0 * a) - wrow[j];
+                }
+            }
+        });
+}
+
+/// Rectangular augmented SpMMV; the stencil operator is always square,
+/// so this is the serial blocked sweep with the rect kernel's exact
+/// shape (no width-1 dispatch), matching
+/// [`crate::aug::aug_spmmv_rect`] on square inputs.
+pub fn aug_spmmv_rect(
+    m: &StencilMatrix,
+    a: f64,
+    b: f64,
+    v: &BlockVector,
+    w: &mut BlockVector,
+) -> AugDotsBlock {
+    assert_eq!(v.rows(), m.ncols(), "block v dimension mismatch");
+    assert!(w.rows() >= m.nrows(), "block w too small");
+    assert_eq!(v.width(), w.width(), "block width mismatch");
+    let r_width = v.width();
+    let _probe = kernel_timer_fmt(
+        KernelKind::AugSpmmv,
+        m.nrows(),
+        m.nnz(),
+        r_width,
+        0,
+        ProbeFormat::Stencil,
+    );
+    let mut gen = RowGen::new(m);
+    let mut cols = [0u32; MAX_ROW_ENTRIES];
+    let mut vals = [Complex64::default(); MAX_ROW_ENTRIES];
+    let mut eta_even = vec![0.0; r_width];
+    let mut eta_odd = vec![Complex64::default(); r_width];
+    let mut acc = vec![Complex64::default(); r_width];
+    for r in 0..m.nrows() {
+        let len = gen.row(r, &mut cols, &mut vals);
+        acc.fill(Complex64::default());
+        for (hv, &c) in vals[..len].iter().zip(&cols[..len]) {
+            let xrow = v.row(c as usize);
+            for j in 0..r_width {
+                acc[j] = hv.mul_add(xrow[j], acc[j]);
+            }
+        }
+        let vrow = v.row(r);
+        let wrow = w.row_mut(r);
+        for j in 0..r_width {
+            let vr = vrow[j];
+            let wr = (acc[j] - vr.scale(b)).scale(2.0 * a) - wrow[j];
+            wrow[j] = wr;
+            eta_even[j] += vr.norm_sqr();
+            eta_odd[j] = wr.conj().mul_add(vr, eta_odd[j]);
+        }
+    }
+    AugDotsBlock { eta_even, eta_odd }
+}
+
+/// `y = A x` with regenerated rows (serial).
+pub fn spmv(m: &StencilMatrix, x: &[Complex64], y: &mut [Complex64]) {
+    check_vec_dims(m, x, y, "spmv");
+    let _probe = kernel_timer_fmt(
+        KernelKind::Spmv,
+        m.nrows(),
+        m.nnz(),
+        1,
+        0,
+        ProbeFormat::Stencil,
+    );
+    let mut gen = RowGen::new(m);
+    let mut cols = [0u32; MAX_ROW_ENTRIES];
+    let mut vals = [Complex64::default(); MAX_ROW_ENTRIES];
+    for (r, yr) in y.iter_mut().enumerate() {
+        let len = gen.row(r, &mut cols, &mut vals);
+        let mut acc = Complex64::default();
+        for (hv, &c) in vals[..len].iter().zip(&cols[..len]) {
+            acc = hv.mul_add(x[c as usize], acc);
+        }
+        *yr = acc;
+    }
+}
+
+/// `y = A x` with regenerated rows (row-parallel; per-row writes, no
+/// reduction, trivially bitwise).
+pub fn spmv_par(m: &StencilMatrix, x: &[Complex64], y: &mut [Complex64]) {
+    check_vec_dims(m, x, y, "spmv_par");
+    let _probe = kernel_timer_fmt(
+        KernelKind::Spmv,
+        m.nrows(),
+        m.nnz(),
+        1,
+        0,
+        ProbeFormat::Stencil,
+    );
+    y.par_iter_mut().enumerate().for_each(|(r, yr)| {
+        let mut gen = RowGen::new(m);
+        let mut cols = [0u32; MAX_ROW_ENTRIES];
+        let mut vals = [Complex64::default(); MAX_ROW_ENTRIES];
+        let len = gen.row(r, &mut cols, &mut vals);
+        let mut acc = Complex64::default();
+        for (hv, &c) in vals[..len].iter().zip(&cols[..len]) {
+            acc = hv.mul_add(x[c as usize], acc);
+        }
+        *yr = acc;
+    });
+}
+
+/// `Y = A X` with regenerated rows (serial blocked).
+pub fn spmmv(m: &StencilMatrix, x: &BlockVector, y: &mut BlockVector) {
+    let r_width = check_block_dims(m, x, y);
+    let _probe = kernel_timer_fmt(
+        KernelKind::Spmv,
+        m.nrows(),
+        m.nnz(),
+        r_width,
+        0,
+        ProbeFormat::Stencil,
+    );
+    let mut gen = RowGen::new(m);
+    let mut cols = [0u32; MAX_ROW_ENTRIES];
+    let mut vals = [Complex64::default(); MAX_ROW_ENTRIES];
+    for r in 0..m.nrows() {
+        let len = gen.row(r, &mut cols, &mut vals);
+        let yrow = y.row_mut(r);
+        yrow.fill(Complex64::default());
+        for (hv, &c) in vals[..len].iter().zip(&cols[..len]) {
+            let xrow = x.row(c as usize);
+            for j in 0..r_width {
+                yrow[j] = hv.mul_add(xrow[j], yrow[j]);
+            }
+        }
+    }
+}
+
+/// `Y = A X` with regenerated rows (row-parallel blocked).
+pub fn spmmv_par(m: &StencilMatrix, x: &BlockVector, y: &mut BlockVector) {
+    let r_width = check_block_dims(m, x, y);
+    let _probe = kernel_timer_fmt(
+        KernelKind::Spmv,
+        m.nrows(),
+        m.nnz(),
+        r_width,
+        0,
+        ProbeFormat::Stencil,
+    );
+    y.as_mut_slice()
+        .par_chunks_mut(r_width)
+        .enumerate()
+        .for_each(|(r, yrow)| {
+            let mut gen = RowGen::new(m);
+            let mut cols = [0u32; MAX_ROW_ENTRIES];
+            let mut vals = [Complex64::default(); MAX_ROW_ENTRIES];
+            let len = gen.row(r, &mut cols, &mut vals);
+            yrow.fill(Complex64::default());
+            for (hv, &c) in vals[..len].iter().zip(&cols[..len]) {
+                let xrow = x.row(c as usize);
+                for j in 0..r_width {
+                    yrow[j] = hv.mul_add(xrow[j], yrow[j]);
+                }
+            }
+        });
+}
+
+/// Rectangular plain SpMMV; square on the stencil operator.
+pub fn spmmv_rect(m: &StencilMatrix, v: &BlockVector, w: &mut BlockVector) {
+    assert_eq!(v.rows(), m.ncols(), "block v dimension mismatch");
+    assert!(w.rows() >= m.nrows(), "block w too small");
+    assert_eq!(v.width(), w.width(), "block width mismatch");
+    let r_width = v.width();
+    let mut gen = RowGen::new(m);
+    let mut cols = [0u32; MAX_ROW_ENTRIES];
+    let mut vals = [Complex64::default(); MAX_ROW_ENTRIES];
+    for r in 0..m.nrows() {
+        let len = gen.row(r, &mut cols, &mut vals);
+        let wrow = w.row_mut(r);
+        wrow.fill(Complex64::default());
+        for (hv, &c) in vals[..len].iter().zip(&cols[..len]) {
+            let xrow = v.row(c as usize);
+            for j in 0..r_width {
+                wrow[j] = hv.mul_add(xrow[j], wrow[j]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kpm_num::complex::I;
+
+    /// A tiny hand-built stencil: diagonal hop blocks so expected
+    /// values are easy to state; geometry checks use the paper default
+    /// boundaries (periodic x/y, open z).
+    fn toy(nx: usize, ny: usize, nz: usize, periodic: [bool; 3]) -> StencilMatrix {
+        let sites = nx * ny * nz;
+        let onsite: Vec<[Complex64; 4]> = (0..sites)
+            .map(|s| {
+                let v = s as f64 * 0.25 - 1.0;
+                [
+                    Complex64::real(v + 2.0),
+                    Complex64::real(v + 2.0),
+                    Complex64::real(v - 2.0),
+                    Complex64::real(v - 2.0),
+                ]
+            })
+            .collect();
+        let mut hop = [[[Complex64::default(); 4]; 4]; 6];
+        for (b, block) in hop.iter_mut().enumerate() {
+            for (o, row) in block.iter_mut().enumerate() {
+                row[o] = Complex64::real(-0.5) + I.scale(0.1 * b as f64);
+                row[3 - o] = I.scale(0.5);
+            }
+        }
+        StencilMatrix::new(nx, ny, nz, periodic, onsite, &hop)
+    }
+
+    #[test]
+    fn dimensions_and_nnz() {
+        let m = toy(4, 3, 3, [true, true, false]);
+        assert_eq!(m.nrows(), 4 * 4 * 3 * 3);
+        assert_eq!(m.ncols(), m.nrows());
+        // Interior rows: 1 onsite + 6 neighbours x 2 entries.
+        let crs = m.to_crs();
+        assert_eq!(crs.nnz(), m.nnz());
+        assert!(crs.max_row_len() <= 13);
+    }
+
+    #[test]
+    fn rows_match_explicit_crs() {
+        let m = toy(3, 4, 2, [true, false, true]);
+        let crs = m.to_crs();
+        let mut gen = RowGen::new(&m);
+        let mut cols = [0u32; MAX_ROW_ENTRIES];
+        let mut vals = [Complex64::default(); MAX_ROW_ENTRIES];
+        for r in 0..m.nrows() {
+            let len = gen.row(r, &mut cols, &mut vals);
+            assert_eq!(&cols[..len], crs.row_cols(r), "row {r}");
+            assert_eq!(&vals[..len], crs.row_vals(r), "row {r}");
+            // Columns strictly ascending after the merge.
+            for k in 1..len {
+                assert!(cols[k] > cols[k - 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn extent_two_periodic_axis_merges_duplicates() {
+        // nx = 2 periodic: +x and -x land on the same neighbour, so the
+        // pair of hopping entries per column must be merged into one.
+        let m = toy(2, 3, 3, [true, true, false]);
+        let crs = m.to_crs();
+        for r in 0..m.nrows() {
+            let cols = crs.row_cols(r);
+            for k in 1..cols.len() {
+                assert!(cols[k] > cols[k - 1], "duplicate column in row {r}");
+            }
+        }
+        assert_eq!(crs.nnz(), m.nnz());
+    }
+
+    #[test]
+    fn kernels_match_crs_bitwise() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let m = toy(4, 4, 3, [true, true, false]);
+        let crs = m.to_crs();
+        let n = m.nrows();
+        let mut rng = StdRng::seed_from_u64(7);
+        let v = BlockVector::random(n, 4, &mut rng);
+        let w0 = BlockVector::random(n, 4, &mut rng);
+
+        let mut w1 = w0.clone();
+        let mut w2 = w0.clone();
+        let d1 = aug_spmmv(&m, 0.4, -0.2, &v, &mut w1);
+        let d2 = crate::gen::aug_spmmv_auto(&crs, 0.4, -0.2, &v, &mut w2);
+        assert_eq!(w1.max_abs_diff(&w2), 0.0);
+        assert_eq!(d1, d2);
+
+        let mut w1 = w0.clone();
+        let mut w2 = w0;
+        let d1 = aug_spmmv_par(&m, 0.4, -0.2, &v, &mut w1);
+        let d2 = crate::aug::aug_spmmv_par(&crs, 0.4, -0.2, &v, &mut w2);
+        assert_eq!(w1.max_abs_diff(&w2), 0.0);
+        assert_eq!(d1, d2);
+
+        let vs = v.column(0).into_vec();
+        let mut y1 = vec![Complex64::default(); n];
+        let mut y2 = y1.clone();
+        spmv(&m, &vs, &mut y1);
+        crate::spmv::spmv(&crs, &vs, &mut y2);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn fingerprint_matches_crs_build() {
+        let m = toy(3, 3, 4, [true, true, false]);
+        assert_eq!(m.content_fingerprint(), m.to_crs().content_fingerprint());
+    }
+
+    #[test]
+    #[should_panic(expected = "one on-site diagonal per site")]
+    fn wrong_onsite_length_panics() {
+        let hop = [[[Complex64::default(); 4]; 4]; 6];
+        StencilMatrix::new(2, 2, 2, [true; 3], vec![[Complex64::default(); 4]; 7], &hop);
+    }
+}

@@ -13,10 +13,10 @@
 //! per orbital row), matching the paper's `N_nz ≈ 13·N`.
 
 use kpm_num::Complex64;
-use kpm_sparse::CrsMatrix;
+use kpm_sparse::{CrsMatrix, StencilMatrix};
 
 use crate::gamma::{dagger, hopping_block, onsite_block, Gamma};
-use crate::lattice::Lattice3D;
+use crate::lattice::{Boundary, Lattice3D};
 use crate::potential::Potential;
 
 /// Spectral rescaling `H̃ = a(H - b·1)` (paper Section II).
@@ -179,6 +179,56 @@ impl TopoHamiltonian {
         }
 
         CrsMatrix::from_raw(dim, dim, row_ptr, cols, vals)
+    }
+
+    /// Builds the matrix-free stencil representation of the same
+    /// operator.
+    ///
+    /// The stencil regenerates each row from the lattice geometry, the
+    /// per-site on-site diagonals, and the six hopping blocks — the
+    /// very inputs [`TopoHamiltonian::assemble`] consumes — using the
+    /// identical gather/sort/merge, so rows (and therefore every kernel
+    /// result) are bitwise-identical to the CRS build and the two
+    /// share a content fingerprint (asserted by the tests below and
+    /// the workspace determinism suite).
+    pub fn stencil_matrix(&self) -> StencilMatrix {
+        let lat = &self.lattice;
+        let t_blocks: [Gamma; 3] = [
+            hopping_block(self.t, 1),
+            hopping_block(self.t, 2),
+            hopping_block(self.t, 3),
+        ];
+        let t_dagger: [Gamma; 3] = [
+            dagger(&t_blocks[0]),
+            dagger(&t_blocks[1]),
+            dagger(&t_blocks[2]),
+        ];
+        // Direction layout of StencilMatrix: 2j = +ê_j (the H.c. block
+        // T_j†), 2j+1 = −ê_j (the incoming block T_j) — the gather
+        // order of assemble().
+        let mut hop = [[[Complex64::default(); 4]; 4]; 6];
+        for j in 0..3 {
+            hop[2 * j] = t_dagger[j];
+            hop[2 * j + 1] = t_blocks[j];
+        }
+        let onsite: Vec<[Complex64; 4]> = (0..lat.sites())
+            .map(|site| {
+                let (x, y, z) = lat.coords(site);
+                let block = onsite_block(self.potential.value(lat, x, y, z));
+                // The on-site block is exactly diagonal (Γ⁰ and Γ¹ are);
+                // the stencil stores only the diagonal.
+                debug_assert!(
+                    (0..4).all(|o| (0..4).all(|p| o == p || block[o][p] == Complex64::default()))
+                );
+                [block[0][0], block[1][1], block[2][2], block[3][3]]
+            })
+            .collect();
+        let periodic = [
+            lat.boundary[0] == Boundary::Periodic,
+            lat.boundary[1] == Boundary::Periodic,
+            lat.boundary[2] == Boundary::Periodic,
+        ];
+        StencilMatrix::new(lat.nx, lat.ny, lat.nz, periodic, onsite, &hop)
     }
 
     /// The four Bloch eigenvalues of the translation-invariant system
@@ -382,6 +432,62 @@ mod tests {
                 .any(|d| (d.offset - xwrap).abs() <= 3),
             "x wrap-around diagonal near {xwrap} expected"
         );
+    }
+
+    #[test]
+    fn stencil_matrix_is_bitwise_identical_to_assembly() {
+        // Every row of the regenerated stencil must equal the assembled
+        // CRS row exactly — same columns, same bits — across boundary
+        // conditions, potentials, and the duplicate-merging extent-2
+        // periodic case.
+        for ham in [
+            TopoHamiltonian::clean(4, 3, 3),
+            TopoHamiltonian::quantum_dot_superlattice(5, 4, 2),
+            TopoHamiltonian {
+                lattice: Lattice3D::periodic(3, 4, 3),
+                t: 0.7,
+                potential: Potential::Disorder {
+                    width: 1.0,
+                    seed: 3,
+                },
+            },
+            TopoHamiltonian {
+                lattice: Lattice3D::periodic(2, 3, 3),
+                t: 1.3,
+                potential: Potential::Uniform(0.25),
+            },
+        ] {
+            let crs = ham.assemble();
+            let st = ham.stencil_matrix();
+            assert_eq!(st.nrows(), crs.nrows());
+            assert_eq!(st.nnz(), crs.nnz());
+            let regen = st.to_crs();
+            for r in 0..crs.nrows() {
+                assert_eq!(regen.row_cols(r), crs.row_cols(r), "row {r}");
+                assert_eq!(regen.row_vals(r), crs.row_vals(r), "row {r}");
+            }
+            // Equal rows imply equal content fingerprints: stencil and
+            // CRS handles of one operator coalesce in the service.
+            assert_eq!(st.content_fingerprint(), crs.content_fingerprint());
+        }
+    }
+
+    #[test]
+    fn stencil_kernels_match_crs_on_the_ti_operator() {
+        use kpm_num::BlockVector;
+        use kpm_sparse::SparseKernels;
+        let ham = TopoHamiltonian::quantum_dot_superlattice(6, 5, 3);
+        let crs = ham.assemble();
+        let st = ham.stencil_matrix();
+        let n = crs.nrows();
+        let mut rng = rand::rngs::mock::StepRng::new(7, 0x9E3779B97F4A7C15);
+        let v = BlockVector::random(n, 4, &mut rng);
+        let w0 = BlockVector::random(n, 4, &mut rng);
+        let (mut w1, mut w2) = (w0.clone(), w0);
+        let d1 = SparseKernels::aug_spmmv(&crs, 0.4, -0.05, &v, &mut w1);
+        let d2 = SparseKernels::aug_spmmv(&st, 0.4, -0.05, &v, &mut w2);
+        assert_eq!(w1.max_abs_diff(&w2), 0.0);
+        assert_eq!(d1, d2);
     }
 
     #[test]

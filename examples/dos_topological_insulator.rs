@@ -42,6 +42,7 @@ fn main() {
         seed: 7,
         parallel: true,
         threads: 0,
+        power: 1,
     };
 
     // All three optimization stages compute the same moments — the

@@ -25,6 +25,7 @@ fn main() {
         seed: 22,
         parallel: true,
         threads: 0,
+        power: 1,
     };
 
     let evs = exact_eigenvalues(&h);

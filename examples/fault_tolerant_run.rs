@@ -24,6 +24,7 @@ fn main() {
         seed: 42,
         parallel: false,
         threads: 0,
+        power: 1,
     };
     let reference =
         kpm_moments(&h, sf, &params, KpmVariant::AugSpmmv).expect("fault-free reference run");

@@ -23,6 +23,7 @@ fn main() {
         seed: 99,
         parallel: false, // ranks are the parallelism here
         threads: 0,
+        power: 1,
     };
 
     // Reference: single-process stage-2 solver.

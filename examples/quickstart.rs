@@ -31,6 +31,7 @@ fn main() {
         seed: 1,
         parallel: true,
         threads: 0,
+        power: 1,
     };
     let moments = kpm_moments(&h, sf, &params, KpmVariant::AugSpmmv).unwrap();
 

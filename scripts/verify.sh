@@ -117,6 +117,14 @@ step "smoke: kpm report on autotuned SELL-C-sigma"
 ./target/release/kpm report --nx 20 --ny 20 --nz 10 --moments 64 \
     --random 8 --machine IVB --llc-mib 0.5 --format sell --autotune
 
+step "smoke: kpm report on matrix-free stencil with level-blocked powers"
+# The third storage format (matrix-free stencil) plus p=2 wavefront
+# blocking must run end to end; the lattice is deep enough (nz=10)
+# for the level schedule to engage rather than fall back.
+./target/release/kpm report --nx 20 --ny 20 --nz 10 --moments 64 \
+    --random 8 --machine IVB --llc-mib 0.5 --format stencil \
+    --power-blocking 2
+
 step "service: chaos ledger (500 randomized schedules)"
 # Exactly-once replies, bitwise batched moments, and a consistent
 # admitted==replied ledger under crashes, slow solves, lock poisoning,

@@ -38,7 +38,8 @@ use kpm_repro::service::{
     Admission, QueryKind, RejectReason, Request, Service, ServiceConfig, ShutdownMode,
 };
 use kpm_repro::sparse::{
-    autotune, io as mmio, stats, AutotuneEnv, CrsMatrix, FormatSpec, KpmMatrix, SparseKernels,
+    autotune_formats, io as mmio, stats, AutotuneEnv, CrsMatrix, FormatSpec, KpmMatrix,
+    SparseKernels,
 };
 use kpm_repro::topo::{ScaleFactors, TopoHamiltonian};
 
@@ -87,9 +88,12 @@ const USAGE: &str = "usage:
               Chrome trace export; optionally merges a flight-recorder dump)
 common:
   --threads T                worker threads (0 = KPM_THREADS env, else all cores)
-  --format crs|sell          matrix storage format for the solver (default crs)
+  --format crs|sell|stencil  matrix storage format for the solver (default crs;
+                             stencil is matrix-free and needs --nx/--ny/--nz)
   --sell-c C                 SELL chunk height (default 8)
   --sell-sigma S             SELL sort window; 1 or a multiple of C (default 4C)
+  --power-blocking P         Chebyshev iterations per matrix sweep via the
+                             level-blocked kernels (default 1; bitwise-invariant)
   --autotune                 pick format, C, sigma and task grain from the
                              row-length distribution and the machine model
   --metrics-out FILE.jsonl   export the kpm-obs metrics registry
@@ -106,7 +110,13 @@ const THREADS_FLAGS: &[&str] = &["--threads"];
 const OBS_FLAGS: &[&str] = &["--metrics-out", "--trace-out"];
 /// Storage-format selection, accepted by every solver-running
 /// subcommand.
-const FORMAT_FLAGS: &[&str] = &["--format", "--sell-c", "--sell-sigma", "--autotune"];
+const FORMAT_FLAGS: &[&str] = &[
+    "--format",
+    "--sell-c",
+    "--sell-sigma",
+    "--power-blocking",
+    "--autotune",
+];
 /// Flags that take no value (presence toggles).
 const BOOLEAN_FLAGS: &[&str] = &["--autotune"];
 
@@ -225,11 +235,15 @@ impl ObsOutputs {
 }
 
 /// Loads the matrix: either a Matrix Market file (positional argument)
-/// or a generated topological-insulator system (`--nx/--ny/--nz`).
-fn load_matrix(args: &[String]) -> Result<CrsMatrix, String> {
+/// or a generated topological-insulator system (`--nx/--ny/--nz`). The
+/// generator is also returned so matrix-free formats can regenerate
+/// the stencil instead of reading the assembled rows.
+fn load_matrix(args: &[String]) -> Result<(CrsMatrix, Option<TopoHamiltonian>), String> {
     if let Some(path) = positional(args) {
         let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
-        return mmio::read(BufReader::new(file)).map_err(|e| e.to_string());
+        return mmio::read(BufReader::new(file))
+            .map(|m| (m, None))
+            .map_err(|e| e.to_string());
     }
     let nx = opt_usize(args, "--nx", 0)?;
     if nx == 0 {
@@ -242,7 +256,7 @@ fn load_matrix(args: &[String]) -> Result<CrsMatrix, String> {
         Some(other) => return Err(format!("unknown potential '{other}' (try: dots)")),
         None => TopoHamiltonian::clean(nx, ny, nz),
     };
-    Ok(ham.assemble())
+    Ok((ham.assemble(), Some(ham)))
 }
 
 fn solver_params(args: &[String]) -> Result<KpmParams, String> {
@@ -252,6 +266,7 @@ fn solver_params(args: &[String]) -> Result<KpmParams, String> {
         seed: opt_usize(args, "--seed", 2015)? as u64,
         parallel: true,
         threads: opt_usize(args, "--threads", 0)?,
+        power: opt_usize(args, "--power-blocking", 1)?.max(1),
     })
 }
 
@@ -267,19 +282,35 @@ fn resolve_threads(requested: usize) -> usize {
     }
 }
 
-/// Applies the `--format`/`--sell-c`/`--sell-sigma`/`--autotune` flags:
-/// converts the assembled CRS matrix into the requested (or tuned)
-/// storage format behind the format-erased [`KpmMatrix`] handle.
+/// Applies the `--format`/`--sell-c`/`--sell-sigma`/`--power-blocking`/
+/// `--autotune` flags: converts the assembled CRS matrix into the
+/// requested (or tuned) storage format behind the format-erased
+/// [`KpmMatrix`] handle.
 ///
 /// With `--autotune` the tuner's machine envelope comes from `machine`
 /// when the subcommand has one (`kpm report --machine ...`), else from
-/// the conservative generic model.
+/// the conservative generic model. The matrix-free stencil format is a
+/// candidate whenever the matrix came from a generated lattice (`ham`),
+/// and `--power-blocking P` both feeds the tuner's matrix-traffic
+/// divisor and sizes the level-window budget from the machine's cache.
 fn format_matrix(
     args: &[String],
     h: CrsMatrix,
+    ham: Option<&TopoHamiltonian>,
     threads: usize,
     machine: Option<&Machine>,
 ) -> Result<KpmMatrix, String> {
+    let power = opt_usize(args, "--power-blocking", 1)?.max(1);
+    // The window of p blocked vector levels must fit in cache; scale
+    // the budget with the machine's per-thread tile budget when one is
+    // named, else keep the conservative built-in default.
+    let budget = machine.map(|m| m.tile_budget_bytes() * resolve_threads(threads));
+    let finish = |mut km: KpmMatrix| -> KpmMatrix {
+        if let Some(b) = budget {
+            km = km.with_power_budget_bytes(b);
+        }
+        km
+    };
     if has_flag(args, "--autotune") {
         let t = resolve_threads(threads);
         let mut env = AutotuneEnv::generic(t);
@@ -289,19 +320,26 @@ fn format_matrix(
             env.peak_gflops = m.peak_of_cores(t.min(m.cores));
             env.simd_lanes = (m.simd_bytes / 16).max(1);
         }
-        let choice = autotune(&h, &env);
+        let stencil = ham.map(|hm| hm.stencil_matrix());
+        let choice = autotune_formats(&h, &env, stencil.as_ref(), power);
         eprintln!(
             "autotune: format = {}, predicted beta = {:.3}, chunks/task = {}, \
-             modeled sweep = {:.1} us",
+             modeled sweep = {:.1} us (power = {power})",
             choice.format,
             choice.predicted_beta,
             choice.chunks_per_task,
             choice.predicted_seconds * 1e6
         );
-        return choice.build(h).map_err(|e| e.to_string());
+        if matches!(choice.format, FormatSpec::Stencil) {
+            let st = stencil.expect("the tuner only scores stencil when one exists");
+            return Ok(finish(
+                KpmMatrix::stencil(st).with_cache_bytes(choice.cache_bytes),
+            ));
+        }
+        return choice.build(h).map(finish).map_err(|e| e.to_string());
     }
     match opt(args, "--format").unwrap_or("crs") {
-        "crs" => Ok(KpmMatrix::crs(h)),
+        "crs" => Ok(finish(KpmMatrix::crs(h))),
         "sell" => {
             let c = opt_usize(args, "--sell-c", 8)?.max(1);
             let sigma = opt_usize(args, "--sell-sigma", 4 * c)?;
@@ -312,16 +350,27 @@ fn format_matrix(
                     sigma,
                 },
             )
+            .map(finish)
             .map_err(|e| e.to_string())
         }
-        other => Err(format!("unknown format '{other}' (try: crs, sell)")),
+        "stencil" => match ham {
+            Some(hm) => Ok(finish(KpmMatrix::stencil(hm.stencil_matrix()))),
+            None => Err(
+                "--format stencil is matrix-free: it regenerates the lattice stencil and \
+                 cannot be built from a FILE.mtx source (use --nx/--ny/--nz)"
+                    .into(),
+            ),
+        },
+        other => Err(format!(
+            "unknown format '{other}' (try: crs, sell, stencil)"
+        )),
     }
 }
 
 fn cmd_generate(args: &[String]) -> Result<(), String> {
     check_args(args, &[MATRIX_FLAGS, THREADS_FLAGS, &["--out"]])?;
     let out_path = opt(args, "--out").ok_or("generate needs --out FILE.mtx")?;
-    let h = load_matrix(args)?;
+    let (h, _) = load_matrix(args)?;
     let file = File::create(out_path).map_err(|e| format!("cannot create {out_path}: {e}"))?;
     let mut w = BufWriter::new(file);
     mmio::write_hermitian(&h, &mut w).map_err(|e| e.to_string())?;
@@ -335,7 +384,7 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
 
 fn cmd_info(args: &[String]) -> Result<(), String> {
     check_args(args, &[MATRIX_FLAGS, THREADS_FLAGS])?;
-    let h = load_matrix(args)?;
+    let (h, _) = load_matrix(args)?;
     let s = stats::analyze(&h, 8.max(h.nrows() / 100));
     println!("rows x cols   : {} x {}", s.nrows, s.ncols);
     println!("non-zeros     : {} ({:.2} per row)", s.nnz, s.avg_row_len);
@@ -372,7 +421,7 @@ fn cmd_dos(args: &[String]) -> Result<(), String> {
             &["--points"],
         ],
     )?;
-    let h = load_matrix(args)?;
+    let (h, ham) = load_matrix(args)?;
     if !h.is_hermitian() {
         return Err("KPM-DOS needs a Hermitian matrix".into());
     }
@@ -380,7 +429,7 @@ fn cmd_dos(args: &[String]) -> Result<(), String> {
     let points = opt_usize(args, "--points", 1024)?;
     let outputs = ObsOutputs::from_args(args);
     let sf = ScaleFactors::from_gershgorin(&h, 0.01);
-    let m = format_matrix(args, h, params.threads, None)?;
+    let m = format_matrix(args, h, ham.as_ref(), params.threads, None)?;
     eprintln!(
         "N = {}, Nnz = {}, M = {}, R = {}, format = {}",
         m.nrows(),
@@ -420,7 +469,7 @@ fn cmd_count(args: &[String]) -> Result<(), String> {
             &["--from", "--to"],
         ],
     )?;
-    let h = load_matrix(args)?;
+    let (h, ham) = load_matrix(args)?;
     if !h.is_hermitian() {
         return Err("KPM-DOS needs a Hermitian matrix".into());
     }
@@ -432,7 +481,7 @@ fn cmd_count(args: &[String]) -> Result<(), String> {
     let params = solver_params(args)?;
     let outputs = ObsOutputs::from_args(args);
     let sf = ScaleFactors::from_gershgorin(&h, 0.01);
-    let m = format_matrix(args, h, params.threads, None)?;
+    let m = format_matrix(args, h, ham.as_ref(), params.threads, None)?;
     let n = m.nrows();
     let moments = kpm_moments(&m, sf, &params, KpmVariant::AugSpmmv).map_err(|e| e.to_string())?;
     let count = count_from_moments(&moments, Kernel::Jackson, sf, n, e_lo, e_hi);
@@ -456,7 +505,7 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
             &["--machine", "--llc-mib", "--sweeps"],
         ],
     )?;
-    let h = load_matrix(args)?;
+    let (h, ham) = load_matrix(args)?;
     if !h.is_hermitian() {
         return Err("KPM-DOS needs a Hermitian matrix".into());
     }
@@ -481,7 +530,13 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
     let sf = ScaleFactors::from_gershgorin(&h, 0.01);
     // Keep the CRS matrix for the cachesim replay; the solver runs on
     // the (possibly converted) handle.
-    let m = format_matrix(args, h.clone(), params.threads, Some(&machine))?;
+    let m = format_matrix(
+        args,
+        h.clone(),
+        ham.as_ref(),
+        params.threads,
+        Some(&machine),
+    )?;
     eprintln!(
         "N = {}, Nnz = {}, M = {}, R = {}, machine = {}, LLC = {llc_mib} MiB, format = {} (beta = {:.3})",
         h.nrows(),
@@ -497,7 +552,7 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
     }
 
     let nnzr = h.nnz() as f64 / h.nrows() as f64;
-    println!("kernel     fmt   calls  width   beta  achieved-GF/s  B_min(B/F)  B_pad(B/F)  omega-live  omega-pred  B_eff(B/F)  P*(GF/s)  %P*");
+    println!("kernel     fmt   calls  width   beta  achieved-GF/s  GB-moved  GB/s   B_min(B/F)  B_pad(B/F)  omega-live  omega-pred  B_eff(B/F)  P*(GF/s)  %P*");
     for rep in obs::probe::snapshot() {
         let r = rep.width.max(1) as usize;
         let live = measure_omega_kernel(&h, rep.kind, r, llc, sweeps);
@@ -510,14 +565,22 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
             rep.padded_bytes as f64 / rep.flops as f64
         };
         let achieved = rep.gflops();
+        let gb_moved = rep.min_bytes as f64 / 1e9;
+        let gb_per_s = if rep.seconds > 0.0 {
+            gb_moved / rep.seconds
+        } else {
+            0.0
+        };
         println!(
-            "{:<9} {:<5} {:>5} {:>6}  {:>5.3}  {:>13.2}  {:>10.2}  {:>10.2}  {:>10.3}  {:>10.3}  {:>10.2}  {:>8.1}  {:>3.0}",
+            "{:<9} {:<5} {:>5} {:>6}  {:>5.3}  {:>13.2}  {:>8.3}  {:>5.1}  {:>10.2}  {:>10.2}  {:>10.3}  {:>10.3}  {:>10.2}  {:>8.1}  {:>3.0}",
             rep.kind.name(),
             rep.format.name(),
             rep.calls,
             r,
             rep.beta(),
             achieved,
+            gb_moved,
+            gb_per_s,
             rep.min_bytes_per_flop(),
             b_pad,
             live.omega,
@@ -671,7 +734,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             ],
         ],
     )?;
-    let h = load_matrix(args)?;
+    let (h, ham) = load_matrix(args)?;
     if !h.is_hermitian() {
         return Err("KPM service needs a Hermitian matrix".into());
     }
@@ -710,7 +773,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
     let sf = ScaleFactors::from_gershgorin(&h, 0.01);
     let threads = opt_usize(args, "--threads", 0)?;
-    let m = format_matrix(args, h, threads, None)?;
+    let m = format_matrix(args, h, ham.as_ref(), threads, None)?;
 
     let config = ServiceConfig {
         workers: opt_usize(args, "--workers", 2)?.max(1),
@@ -718,6 +781,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         max_batch_width: opt_usize(args, "--width", 8)?.max(1),
         batch_window: std::time::Duration::from_micros(opt_usize(args, "--window-us", 500)? as u64),
         default_deadline: std::time::Duration::from_millis(deadline_ms as u64),
+        power: opt_usize(args, "--power-blocking", 1)?.max(1),
         ..ServiceConfig::default()
     };
     let svc = Service::start(config);
@@ -1343,9 +1407,10 @@ mod tests {
     #[test]
     fn load_generated_matrix() {
         let a = args(&["--nx", "4", "--ny", "4", "--nz", "2"]);
-        let h = load_matrix(&a).unwrap();
+        let (h, ham) = load_matrix(&a).unwrap();
         assert_eq!(h.nrows(), 4 * 4 * 4 * 2);
         assert!(h.is_hermitian());
+        assert!(ham.is_some(), "generated sources keep their generator");
     }
 
     #[test]
@@ -1401,26 +1466,57 @@ mod tests {
 
     #[test]
     fn format_flags_build_the_requested_matrix() {
-        let h = load_matrix(&args(&["--nx", "4", "--ny", "4", "--nz", "2"])).unwrap();
-        let crs = format_matrix(&args(&[]), h.clone(), 1, None).unwrap();
+        let (h, ham) = load_matrix(&args(&["--nx", "4", "--ny", "4", "--nz", "2"])).unwrap();
+        let crs = format_matrix(&args(&[]), h.clone(), ham.as_ref(), 1, None).unwrap();
         assert!(crs.as_crs().is_some());
         let a = args(&["--format", "sell", "--sell-c", "4", "--sell-sigma", "16"]);
-        let sell = format_matrix(&a, h.clone(), 1, None).unwrap();
+        let sell = format_matrix(&a, h.clone(), ham.as_ref(), 1, None).unwrap();
         let s = sell.as_sell().expect("sell requested");
         assert_eq!(s.chunk_height(), 4);
         assert_eq!(s.sigma(), 16);
-        assert!(format_matrix(&args(&["--format", "ellpack"]), h.clone(), 1, None).is_err());
+        assert!(format_matrix(
+            &args(&["--format", "ellpack"]),
+            h.clone(),
+            ham.as_ref(),
+            1,
+            None
+        )
+        .is_err());
         // Invalid sigma (not 1 or a multiple of C) must fail loudly.
         let bad = args(&["--format", "sell", "--sell-c", "4", "--sell-sigma", "6"]);
-        assert!(format_matrix(&bad, h, 1, None).is_err());
+        assert!(format_matrix(&bad, h.clone(), ham.as_ref(), 1, None).is_err());
+
+        // The matrix-free stencil needs the generator: fine with one,
+        // a typed error without (FILE.mtx sources).
+        let st = args(&["--format", "stencil"]);
+        let stencil = format_matrix(&st, h.clone(), ham.as_ref(), 1, None).unwrap();
+        assert!(stencil.as_stencil().is_some());
+        assert_eq!(stencil.nrows(), h.nrows());
+        let err = format_matrix(&st, h, None, 1, None).unwrap_err();
+        assert!(err.contains("matrix-free"), "{err}");
     }
 
     #[test]
     fn autotune_builds_a_square_handle() {
-        let h = load_matrix(&args(&["--nx", "4", "--ny", "4", "--nz", "2"])).unwrap();
+        let (h, ham) = load_matrix(&args(&["--nx", "4", "--ny", "4", "--nz", "2"])).unwrap();
         let n = h.nrows();
-        let m = format_matrix(&args(&["--autotune"]), h, 1, None).unwrap();
+        let m = format_matrix(&args(&["--autotune"]), h, ham.as_ref(), 1, None).unwrap();
         assert_eq!(m.nrows(), n);
         assert_eq!(m.ncols(), n);
+    }
+
+    #[test]
+    fn power_blocking_flag_reaches_solver_params() {
+        let a = args(&["--power-blocking", "4"]);
+        assert_eq!(solver_params(&a).unwrap().power, 4);
+        assert_eq!(solver_params(&args(&[])).unwrap().power, 1);
+        // 0 clamps to 1 (the plain sweep) instead of failing.
+        assert_eq!(
+            solver_params(&args(&["--power-blocking", "0"]))
+                .unwrap()
+                .power,
+            1
+        );
+        assert!(check_args(&a, &[MATRIX_FLAGS, FORMAT_FLAGS]).is_ok());
     }
 }

@@ -19,6 +19,7 @@ fn params(threads: usize) -> KpmParams {
         seed: 20150527, // IPDPS 2015
         parallel: true,
         threads,
+        power: 1,
     }
 }
 
@@ -125,6 +126,103 @@ fn checkpointed_solver_is_thread_count_invariant() {
         match &baseline {
             None => baseline = Some(set),
             Some(b) => assert_eq!(b, &set, "checkpointed moments differ at {threads} threads"),
+        }
+    }
+}
+
+#[test]
+fn stencil_and_power_grid_is_bitwise_identical() {
+    // The acceptance grid of the matrix-free + power-blocking work:
+    // {crs, sell, stencil} × {p = 1, 2, 4} × {1, 2, 4, 8 threads} must
+    // all reproduce the plain CRS moments bit for bit. The lattice is
+    // elongated along the slow axis so the level set is deep enough for
+    // the wavefront schedule to actually engage at p = 4 (the test
+    // asserts that, so it cannot silently degrade into fallback-only
+    // coverage).
+    use kpm_repro::sparse::{KpmMatrix, SellMatrix};
+    let ham = TopoHamiltonian::clean(3, 3, 12);
+    let h = ham.assemble();
+    let sf = ScaleFactors::from_gershgorin(&h, 0.01);
+    let baseline = kpm_moments(&h, sf, &params(1), KpmVariant::AugSpmmv)
+        .expect("baseline run")
+        .into_vec();
+
+    let handles: Vec<(&str, KpmMatrix)> = vec![
+        ("crs", KpmMatrix::crs(h.clone())),
+        ("sell", KpmMatrix::sell(SellMatrix::from_crs(&h, 8, 32))),
+        ("stencil", KpmMatrix::stencil(ham.stencil_matrix())),
+    ];
+    let levels = handles[0].1.level_set().expect("lattice operator levels");
+    assert!(
+        levels.n_levels() >= 6,
+        "need >= p + 2 levels for the p = 4 wavefront to engage (got {})",
+        levels.n_levels()
+    );
+
+    for (name, m) in &handles {
+        for power in [1usize, 2, 4] {
+            for threads in [1usize, 2, 4, 8] {
+                let p = KpmParams {
+                    power,
+                    ..params(threads)
+                };
+                let got = kpm_moments(m, sf, &p, KpmVariant::AugSpmmv)
+                    .expect("solver run")
+                    .into_vec();
+                assert_eq!(
+                    baseline, got,
+                    "{name} moments differ at power {power}, {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn power_blocked_checkpoint_restart_is_bitwise_identical() {
+    // Crash a power-blocked run mid-way, resume from the checkpoint,
+    // and compare against an uninterrupted p = 1 run: the wavefront
+    // clamps its chunks to checkpoint boundaries, so the saved
+    // (v, w, η) state — and therefore the recovered moments — are
+    // bitwise those of the plain solver.
+    use kpm_repro::core::checkpoint::MemoryCheckpointStore;
+    use kpm_repro::core::solver::{kpm_moments_checkpointed, SolverCheckpointing};
+    use kpm_repro::num::KpmError;
+    use kpm_repro::sparse::KpmMatrix;
+
+    let ham = TopoHamiltonian::clean(3, 3, 12);
+    let h = ham.assemble();
+    let sf = ScaleFactors::from_gershgorin(&h, 0.01);
+    let reference = kpm_moments(&h, sf, &params(1), KpmVariant::AugSpmmv)
+        .expect("reference run")
+        .into_vec();
+
+    for power in [2usize, 4] {
+        for m in [
+            &KpmMatrix::crs(h.clone()),
+            &KpmMatrix::stencil(ham.stencil_matrix()),
+        ] {
+            let p = KpmParams { power, ..params(1) };
+            let store = MemoryCheckpointStore::new();
+            let ckpt = SolverCheckpointing {
+                store: &store,
+                interval: 5,
+                crash_at: Some(17),
+            };
+            let err = kpm_moments_checkpointed(m, sf, &p, &ckpt).expect_err("injected crash");
+            assert!(matches!(err, KpmError::RankCrashed { .. }), "{err:?}");
+            let resumed = SolverCheckpointing {
+                store: &store,
+                interval: 5,
+                crash_at: Some(17), // ignored on resume
+            };
+            let got = kpm_moments_checkpointed(m, sf, &p, &resumed)
+                .expect("resumed run")
+                .into_vec();
+            assert_eq!(
+                reference, got,
+                "power {power} checkpoint/restart diverged from the plain run"
+            );
         }
     }
 }

@@ -16,6 +16,7 @@ fn params(m: usize, r: usize) -> KpmParams {
         seed: 31337,
         parallel: false,
         threads: 0,
+        power: 1,
     }
 }
 

@@ -16,6 +16,7 @@ fn params(m: usize, r: usize) -> KpmParams {
         seed: 20150527, // IPDPS 2015
         parallel: true,
         threads: 0,
+        power: 1,
     }
 }
 

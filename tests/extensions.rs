@@ -34,6 +34,7 @@ fn auto_weights_from_modelled_rates_balance_the_distributed_solver() {
         seed: 42,
         parallel: false,
         threads: 0,
+        power: 1,
     };
     let reference = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv).unwrap();
     let dist = distributed_kpm(&h, sf, &p, &weights, false).unwrap();
@@ -113,6 +114,7 @@ fn specialized_dispatch_active_in_solver_for_paper_widths() {
                 seed: 9,
                 parallel: false,
                 threads: 0,
+                power: 1,
             },
             KpmVariant::AugSpmmv,
         )
@@ -126,6 +128,7 @@ fn specialized_dispatch_active_in_solver_for_paper_widths() {
                 seed: 9,
                 parallel: true,
                 threads: 0,
+                power: 1,
             },
             KpmVariant::AugSpmmv,
         )

@@ -30,6 +30,7 @@ fn params(m: usize, r: usize, seed: u64) -> KpmParams {
         seed,
         parallel: false,
         threads: 0,
+        power: 1,
     }
 }
 

@@ -31,6 +31,7 @@ fn kpm_moments_identical_on_loaded_matrix() {
         seed: 5,
         parallel: false,
         threads: 0,
+        power: 1,
     };
     let sf = ScaleFactors::from_gershgorin(&h, 0.01);
     let a = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv).unwrap();

@@ -38,6 +38,7 @@ fn params(m: usize, r: usize) -> KpmParams {
         seed: 2015,
         parallel: false,
         threads: 0,
+        power: 1,
     }
 }
 

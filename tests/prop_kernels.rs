@@ -9,7 +9,7 @@ use kpm_repro::num::{BlockVector, Complex64, Vector};
 use kpm_repro::sparse::aug::{aug_spmmv, aug_spmv};
 use kpm_repro::sparse::spmv::{spmmv, spmv};
 use kpm_repro::sparse::{CooMatrix, CrsMatrix, SellMatrix};
-use kpm_repro::topo::ScaleFactors;
+use kpm_repro::topo::{ScaleFactors, TopoHamiltonian};
 use proptest::prelude::*;
 
 /// Strategy: a random Hermitian matrix of dimension `4..=40` with a few
@@ -32,6 +32,19 @@ fn hermitian_matrix() -> impl Strategy<Value = CrsMatrix> {
             }
         }
         coo.to_crs()
+    })
+}
+
+/// Strategy: a random TI lattice — clean or quantum-dot potential, with
+/// the z extent allowed to run long so the level set is deep enough for
+/// the matrix-power wavefront to engage on some of the cases.
+fn lattice() -> impl Strategy<Value = TopoHamiltonian> {
+    (2usize..=4, 2usize..=4, 2usize..=10, any::<bool>()).prop_map(|(nx, ny, nz, dots)| {
+        if dots {
+            TopoHamiltonian::quantum_dot_superlattice(nx, ny, nz)
+        } else {
+            TopoHamiltonian::clean(nx, ny, nz)
+        }
     })
 }
 
@@ -146,7 +159,7 @@ proptest! {
     #[test]
     fn moments_bounded_and_mu0_unit(h in hermitian_matrix(), seed in any::<u64>()) {
         let sf = ScaleFactors::from_gershgorin(&h, 0.05);
-        let p = KpmParams { num_moments: 16, num_random: 2, seed, parallel: false, threads: 0 };
+        let p = KpmParams { num_moments: 16, num_random: 2, seed, parallel: false, threads: 0, power: 1 };
         let set = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv).unwrap();
         prop_assert!((set.as_slice()[0] - 1.0).abs() < 1e-10);
         for &mu in set.as_slice() {
@@ -313,12 +326,156 @@ proptest! {
         use kpm_repro::core::eigencount::window_fraction;
         use kpm_repro::core::solver::kpm_moments;
         let sf = ScaleFactors::from_gershgorin(&h, 0.05);
-        let p = KpmParams { num_moments: 16, num_random: 2, seed, parallel: false, threads: 0 };
+        let p = KpmParams { num_moments: 16, num_random: 2, seed, parallel: false, threads: 0, power: 1 };
         let set = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv).unwrap();
         let f = window_fraction(&set, kpm_repro::core::Kernel::Jackson, -0.5, 0.5);
         // Jackson-damped fractions stay within [-eps, 1+eps].
         prop_assert!(f > -1e-6 && f < 1.0 + 1e-6, "fraction {f}");
         let whole = window_fraction(&set, kpm_repro::core::Kernel::Jackson, -1.0, 1.0);
         prop_assert!((whole - 1.0).abs() < 1e-9);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn stencil_kernels_bitwise_equal_crs(ham in lattice(), r in 1usize..=4, seed in any::<u64>()) {
+        // The matrix-free stencil regenerates rows from the lattice
+        // geometry; every kernel result must be *bitwise* equal to the
+        // assembled CRS operator — any lattice shape, any block width,
+        // any thread count.
+        use kpm_repro::sparse::aug::{aug_spmmv_par, aug_spmv_par};
+        use kpm_repro::sparse::SparseKernels;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let h = ham.assemble();
+        let st = ham.stencil_matrix();
+        prop_assert_eq!(st.nrows(), h.nrows());
+        prop_assert_eq!(SparseKernels::nnz(&st), h.nnz());
+        let n = h.nrows();
+
+        // Single-vector augmented kernel.
+        let v = cvec(n, seed);
+        let w0 = cvec(n, seed.wrapping_add(3));
+        let mut w_crs = w0.clone();
+        let d_crs = aug_spmv(&h, 0.7, -0.2, &v, &mut w_crs);
+        let mut w_st = w0.clone();
+        let d_st = st.aug_spmv(0.7, -0.2, &v, &mut w_st);
+        prop_assert_eq!(&w_crs, &w_st);
+        prop_assert!(d_crs == d_st, "stencil aug_spmv dots differ");
+
+        // Blocked augmented kernel.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let vb = BlockVector::random(n, r, &mut rng);
+        let wb0 = BlockVector::random(n, r, &mut rng);
+        let mut wb_crs = wb0.clone();
+        let db_crs = aug_spmmv(&h, 0.7, -0.2, &vb, &mut wb_crs);
+        let mut wb_st = wb0.clone();
+        let db_st = st.aug_spmmv(0.7, -0.2, &vb, &mut wb_st);
+        prop_assert_eq!(&wb_crs, &wb_st);
+        prop_assert!(db_crs == db_st, "stencil aug_spmmv dots differ");
+
+        // Parallel twins at 1 and 4 worker threads.
+        for threads in [1usize, 4] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("thread pool");
+            let (w_p_crs, d_p_crs, w_p_st, d_p_st, wb_p_crs, db_p_crs, wb_p_st, db_p_st) =
+                pool.install(|| {
+                    let mut w_p_crs = w0.clone();
+                    let d_p_crs = aug_spmv_par(&h, 0.7, -0.2, &v, &mut w_p_crs);
+                    let mut w_p_st = w0.clone();
+                    let d_p_st = st.aug_spmv_par(0.7, -0.2, &v, &mut w_p_st);
+                    let mut wb_p_crs = wb0.clone();
+                    let db_p_crs = aug_spmmv_par(&h, 0.7, -0.2, &vb, &mut wb_p_crs);
+                    let mut wb_p_st = wb0.clone();
+                    let db_p_st = st.aug_spmmv_par(0.7, -0.2, &vb, &mut wb_p_st);
+                    (w_p_crs, d_p_crs, w_p_st, d_p_st, wb_p_crs, db_p_crs, wb_p_st, db_p_st)
+                });
+            prop_assert_eq!(&w_p_crs, &w_p_st);
+            prop_assert!(d_p_crs == d_p_st, "parallel stencil aug_spmv dots differ at T={}", threads);
+            prop_assert_eq!(&wb_p_crs, &wb_p_st);
+            prop_assert!(db_p_crs == db_p_st, "parallel stencil aug_spmmv dots differ at T={}", threads);
+        }
+    }
+
+    #[test]
+    fn power_kernel_equals_serial_sweeps(ham in lattice(), p_idx in 0usize..3, r in 1usize..=3, seed in any::<u64>()) {
+        // aug_spmmv_power(p) must equal p explicit swap-and-sweep steps
+        // bit for bit — whether the handle takes the level-blocked
+        // wavefront or falls back to plain sweeps, and at any thread
+        // count.
+        use kpm_repro::sparse::{KpmMatrix, SparseKernels};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let p = [1usize, 2, 4][p_idx];
+        let h = ham.assemble();
+        let n = h.nrows();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let v0 = BlockVector::random(n, r, &mut rng);
+        let w0 = BlockVector::random(n, r, &mut rng);
+
+        // Reference: p explicit swap-and-sweep steps on plain CRS. The
+        // parallel kernels pin their fused-dot reduction to fixed chunk
+        // boundaries, which beyond one chunk associate differently from
+        // the single serial stream — so the parallel branch gets its own
+        // (thread-count-invariant) parallel-sweep reference.
+        let mut v_ref = v0.clone();
+        let mut w_ref = w0.clone();
+        let mut dots_ref = Vec::with_capacity(p);
+        for _ in 0..p {
+            v_ref.swap(&mut w_ref);
+            dots_ref.push(aug_spmmv(&h, 0.7, -0.2, &v_ref, &mut w_ref));
+        }
+        let dots_ref_par = {
+            use kpm_repro::sparse::aug::aug_spmmv_par;
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(1)
+                .build()
+                .expect("thread pool");
+            let (v_pr, w_pr, dots) = pool.install(|| {
+                let mut v_pr = v0.clone();
+                let mut w_pr = w0.clone();
+                let mut dots = Vec::with_capacity(p);
+                for _ in 0..p {
+                    v_pr.swap(&mut w_pr);
+                    dots.push(aug_spmmv_par(&h, 0.7, -0.2, &v_pr, &mut w_pr));
+                }
+                (v_pr, w_pr, dots)
+            });
+            prop_assert_eq!(&v_pr, &v_ref);
+            prop_assert_eq!(&w_pr, &w_ref);
+            dots
+        };
+
+        for m in [KpmMatrix::crs(h.clone()), KpmMatrix::stencil(ham.stencil_matrix())] {
+            let mut v = v0.clone();
+            let mut w = w0.clone();
+            let dots = m.aug_spmmv_power(p, 0.7, -0.2, &mut v, &mut w);
+            prop_assert_eq!(&v, &v_ref);
+            prop_assert_eq!(&w, &w_ref);
+            prop_assert!(dots == dots_ref, "{:?} power dots differ at p={}", m.format(), p);
+
+            for threads in [1usize, 4] {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .build()
+                    .expect("thread pool");
+                let (v, w, dots) = pool.install(|| {
+                    let mut v = v0.clone();
+                    let mut w = w0.clone();
+                    let dots = m.aug_spmmv_power_par(p, 0.7, -0.2, &mut v, &mut w);
+                    (v, w, dots)
+                });
+                prop_assert_eq!(&v, &v_ref);
+                prop_assert_eq!(&w, &w_ref);
+                prop_assert!(
+                    dots == dots_ref_par,
+                    "{:?} parallel power dots differ at p={}, T={}", m.format(), p, threads
+                );
+            }
+        }
     }
 }

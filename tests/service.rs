@@ -36,6 +36,7 @@ fn serial_reference(h: &CrsMatrix, sf: ScaleFactors, seed: u64, r: usize, m: usi
         seed,
         parallel: false,
         threads: 0,
+        power: 1,
     };
     let mut acc = MomentSet::zeros(m);
     for v in &starting_vectors(h.nrows(), &params) {

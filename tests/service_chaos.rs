@@ -74,6 +74,7 @@ fn probe_reference(h: &CrsMatrix, sf: ScaleFactors) -> MomentSet {
         seed: 7,
         parallel: false,
         threads: 0,
+        power: 1,
     };
     let mut acc = MomentSet::zeros(12);
     for v in &starting_vectors(h.nrows(), &params) {
@@ -114,6 +115,7 @@ fn random_config(rng: &mut Rng, schedule: u64) -> ServiceConfig {
         breaker_cooldown: Duration::from_micros(200),
         cache_capacity: 8,
         parallel_solve: schedule.is_multiple_of(2),
+        power: 1 + (schedule % 3) as usize,
         seed: schedule,
         chaos: Some(chaos),
     }
