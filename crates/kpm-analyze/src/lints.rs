@@ -35,6 +35,7 @@ pub const HOT_KERNEL_FILES: &[&str] = &[
     "aug.rs",
     "sell.rs",
     "aug_sell.rs",
+    "aug_sell_simd.rs",
     "stencil.rs",
     "power.rs",
 ];
@@ -157,6 +158,12 @@ pub const RULES: &[Rule] = &[
         name: "blocking_in_hot",
         summary: "no lock/channel-recv/IO reachable (directly or via the call \
                   graph) from loops and `par_*` closures of the hot kernel files",
+    },
+    Rule {
+        name: "simd_scalar_tail",
+        summary: "every `chunks_exact`/`chunks_exact_mut` lane split in the hot kernel \
+                  files consumes its `remainder()`/`into_remainder()` in the same \
+                  function body — a dropped tail silently skips the last partial group",
     },
     Rule {
         name: "unused_suppression",
@@ -375,6 +382,7 @@ pub fn analyze_file(input: &FileInput, src: &str) -> FileAnalysis {
     safety_comment(&mut ctx);
     if applies_hot_loop(input) {
         hot_loop_alloc(&mut ctx);
+        simd_scalar_tail(&mut ctx);
     }
     if applies_hot_loop_convert(input) {
         hot_loop_convert(&mut ctx);
@@ -883,6 +891,84 @@ fn alloc_at(ctx: &Ctx<'_>, i: usize) -> Option<String> {
         }
     }
     None
+}
+
+const TAIL_SPLITS: &[&str] = &["chunks_exact", "chunks_exact_mut"];
+const TAIL_HANDLERS: &[&str] = &["remainder", "into_remainder"];
+
+/// `simd_scalar_tail`: a `chunks_exact` / `chunks_exact_mut` split in a
+/// hot kernel file whose function body never consumes the iterator's
+/// `remainder()` / `into_remainder()`. The split is how the SIMD lane
+/// loops are written (full groups vectorized, leftover lanes scalar);
+/// forgetting the tail does not fail to compile — it silently drops the
+/// last `len mod LANES` elements, which for the SELL kernels means
+/// whole matrix rows vanish from the accumulation.
+fn simd_scalar_tail(ctx: &mut Ctx<'_>) {
+    let mut findings = Vec::new();
+    let mut i = 0;
+    while i < ctx.toks.len() {
+        if ctx.toks[i].ident() != Some("fn") {
+            i += 1;
+            continue;
+        }
+        // Body span: the first `{` after the signature (a `;` first
+        // means a bodiless trait method), to its matching `}`.
+        let Some(open) = (i + 1..ctx.toks.len())
+            .find(|&k| ctx.toks[k].is_punct('{') || ctx.toks[k].is_punct(';'))
+        else {
+            break;
+        };
+        if ctx.toks[open].is_punct(';') {
+            i = open + 1;
+            continue;
+        }
+        let mut depth = 0usize;
+        let mut close = open;
+        while close < ctx.toks.len() {
+            if ctx.toks[close].is_punct('{') {
+                depth += 1;
+            } else if ctx.toks[close].is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            close += 1;
+        }
+        let body = &ctx.toks[open..=close.min(ctx.toks.len() - 1)];
+        let method_call = |k: usize, names: &[&str]| {
+            body[k].ident().is_some_and(|n| names.contains(&n))
+                && k > 0
+                && body[k - 1].is_punct('.')
+                && body.get(k + 1).is_some_and(|n| n.is_punct('('))
+        };
+        let splits: Vec<u32> = (0..body.len())
+            .filter(|&k| method_call(k, TAIL_SPLITS) && !ctx.is_test_line(body[k].line))
+            .map(|k| body[k].line)
+            .collect();
+        let handled = (0..body.len()).any(|k| method_call(k, TAIL_HANDLERS));
+        if !handled {
+            for line in splits {
+                findings.push((
+                    line,
+                    "`chunks_exact` splits the lanes but the function never consumes \
+                     `remainder()`/`into_remainder()`; handle the scalar tail in the \
+                     same function body"
+                        .to_string(),
+                ));
+            }
+        }
+        // Nested fns are re-scanned on their own `fn` token; advancing
+        // past the outer body would skip them.
+        i += 1;
+    }
+    // An unhandled split inside a nested fn surfaces once from the
+    // inner scan and once from the enclosing body — keep one.
+    findings.sort();
+    findings.dedup();
+    for (line, msg) in findings {
+        ctx.report("simd_scalar_tail", line, msg);
+    }
 }
 
 /// Lock acquisition inside `par_*` iterator statements of the kernel

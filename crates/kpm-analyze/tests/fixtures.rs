@@ -245,6 +245,103 @@ pub fn f(xs: &[Vec<f64>]) {
     assert!(hot_file(src).is_empty());
 }
 
+// ---------------------------------------------------- simd_scalar_tail
+
+fn simd_file(src: &str) -> Vec<Diagnostic> {
+    scan(
+        "kpm-sparse",
+        FileClass::Lib,
+        "crates/kpm-sparse/src/aug_sell_simd.rs",
+        src,
+    )
+}
+
+#[test]
+fn simd_scalar_tail_hit_when_remainder_is_dropped() {
+    let src = r#"
+/// Doc.
+pub fn f(a: &mut [f64]) {
+    for g in a.chunks_exact_mut(4) {
+        g[0] += 1.0;
+    }
+}
+"#;
+    let diags = simd_file(src);
+    assert_eq!(rules(&diags), vec!["simd_scalar_tail"]);
+    assert_eq!(diags[0].line, 4);
+    assert!(diags[0].message.contains("remainder"));
+}
+
+#[test]
+fn simd_scalar_tail_miss_when_tail_is_handled_or_file_is_cold() {
+    // The canonical shape: full groups vectorized, leftover elements
+    // consumed from the same iterator's remainder in the same fn.
+    let src = r#"
+/// Doc.
+pub fn f(a: &mut [f64]) {
+    let mut groups = a.chunks_exact_mut(4);
+    for g in groups.by_ref() {
+        g[0] += 1.0;
+    }
+    for x in groups.into_remainder() {
+        *x += 1.0;
+    }
+}
+"#;
+    assert!(simd_file(src).is_empty());
+    // A handler in one fn does not vet a dropped tail in another.
+    let src = r#"
+/// Doc.
+pub fn good(a: &mut [f64]) {
+    let mut groups = a.chunks_exact_mut(4);
+    for g in groups.by_ref() { g[0] += 1.0; }
+    for x in groups.into_remainder() { *x += 1.0; }
+}
+/// Doc.
+pub fn bad(a: &[f64]) -> f64 {
+    let mut s = 0.0;
+    for g in a.chunks_exact(4) { s += g[0]; }
+    s
+}
+"#;
+    assert_eq!(rules(&simd_file(src)), vec!["simd_scalar_tail"]);
+    // The same dropped tail outside the hot kernel files is allowed.
+    let src = "/// D.\npub fn f(a: &[f64]) -> f64 { a.chunks_exact(4).map(|g| g[0]).sum() }\n";
+    assert!(scan(
+        "kpm-sparse",
+        FileClass::Lib,
+        "crates/kpm-sparse/src/crs.rs",
+        src
+    )
+    .is_empty());
+    // Test code is exempt: exactness is often the point of a test.
+    let src = r#"
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let a = [1.0f64; 7];
+        for g in a.chunks_exact(4) { let _ = g[0]; }
+    }
+}
+"#;
+    assert!(simd_file(src).is_empty());
+}
+
+#[test]
+fn simd_scalar_tail_suppressed() {
+    let src = r#"
+/// Doc.
+pub fn f(a: &mut [f64]) {
+    // kpm::allow(simd_scalar_tail): caller pads `a` to a lane multiple
+    for g in a.chunks_exact_mut(4) {
+        g[0] += 1.0;
+    }
+}
+"#;
+    assert!(simd_file(src).is_empty());
+}
+
 // ----------------------------------------------------- hot_loop_convert
 
 #[test]

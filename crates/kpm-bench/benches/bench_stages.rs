@@ -16,6 +16,7 @@ fn bench_stages(c: &mut Criterion) {
         parallel: false,
         threads: 0,
         power: 1,
+        first_touch: false,
     };
     let mut g = c.benchmark_group("kpm_stages");
     for (name, variant) in [

@@ -27,7 +27,7 @@ use kpm_bench::{arg_usize, benchmark_matrix, guard_baseline_stamp, median};
 use kpm_num::accounting::aug_spmmv_flops;
 use kpm_num::{BlockVector, Complex64, Vector};
 use kpm_obs::json::num;
-use kpm_sparse::{autotune, AutotuneEnv, FormatSpec, KpmMatrix, SparseKernels};
+use kpm_sparse::{autotune, simd, AutotuneEnv, FormatSpec, KpmMatrix, SparseKernels};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -180,37 +180,67 @@ fn main() {
         m: choice.build(h.clone()).expect("tuner picks valid specs"),
     });
 
+    // The full grid is measured under every scalar-vs-SIMD ×
+    // first-touch combination: both knobs are placement/issue-width
+    // properties that never change a result, so the ablation shows
+    // their speed effect per format. First-touch candidates are
+    // re-placed clones of the same handles.
     let mut lines: Vec<String> = Vec::new();
-    for r in [1usize, 8] {
-        let rates = measure_all(&cands, sf.a, sf.b, r, threads, reps);
-        for (cand, gflops) in cands.iter().zip(&rates) {
-            let label = if cand.autotuned {
-                "autotuned".to_string()
-            } else if cand.format == "crs" {
-                "crs".to_string()
+    for simd_on in [false, true] {
+        for first_touch in [false, true] {
+            simd::set_enabled(simd_on);
+            let placed: Vec<Candidate>;
+            let cfg_cands: &[Candidate] = if first_touch {
+                placed = cands
+                    .iter()
+                    .map(|c| Candidate {
+                        format: c.format,
+                        c: c.c,
+                        sigma: c.sigma,
+                        autotuned: c.autotuned,
+                        m: c.m.clone().with_first_touch(true),
+                    })
+                    .collect();
+                &placed
             } else {
-                format!("sell-{}-{}", cand.c, cand.sigma)
+                &cands
             };
-            eprintln!(
-                "{label:<11} R={r}  beta={:.3}  {gflops:>6.2} GF/s",
-                cand.m.beta()
-            );
-            lines.push(format!(
-                "    {{\"format\": \"{}\", \"c\": {}, \"sigma\": {}, \"r\": {}, \"beta\": {}, \"gflops\": {}, \"autotuned\": {}}}",
-                cand.format,
-                cand.c,
-                cand.sigma,
-                r,
-                num(cand.m.beta()),
-                num(*gflops),
-                cand.autotuned
-            ));
+            for r in [1usize, 8] {
+                let rates = measure_all(cfg_cands, sf.a, sf.b, r, threads, reps);
+                for (cand, gflops) in cfg_cands.iter().zip(&rates) {
+                    let label = if cand.autotuned {
+                        "autotuned".to_string()
+                    } else if cand.format == "crs" {
+                        "crs".to_string()
+                    } else {
+                        format!("sell-{}-{}", cand.c, cand.sigma)
+                    };
+                    eprintln!(
+                        "{label:<11} R={r} simd={simd_on} ft={first_touch}  beta={:.3}  {gflops:>6.2} GF/s",
+                        cand.m.beta()
+                    );
+                    lines.push(format!(
+                        "    {{\"format\": \"{}\", \"c\": {}, \"sigma\": {}, \"r\": {}, \"beta\": {}, \"gflops\": {}, \"autotuned\": {}, \"simd\": {}, \"simd_lanes\": {}, \"first_touch\": {}}}",
+                        cand.format,
+                        cand.c,
+                        cand.sigma,
+                        r,
+                        num(cand.m.beta()),
+                        num(*gflops),
+                        cand.autotuned,
+                        simd_on,
+                        simd::active_lanes(),
+                        first_touch
+                    ));
+                }
+            }
         }
     }
+    simd::set_enabled(true);
 
     let mut body = String::new();
     let _ = writeln!(body, "{{");
-    let _ = writeln!(body, "  \"schema\": \"kpm-bench-formats-v1\",");
+    let _ = writeln!(body, "  \"schema\": \"kpm-bench-formats-v3\",");
     let _ = writeln!(
         body,
         "  \"matrix\": {{\"nx\": {nx}, \"ny\": {ny}, \"nz\": {nz}, \"rows\": {}, \"nnz\": {}}},",
@@ -220,6 +250,9 @@ fn main() {
     let _ = writeln!(body, "  \"threads\": {threads},");
     let _ = writeln!(body, "  \"host_cores\": {host_cores},");
     let _ = writeln!(body, "  \"reps\": {reps},");
+    let _ = writeln!(body, "  \"simd_compiled\": {},", simd::compiled());
+    let _ = writeln!(body, "  \"simd_lanes\": {},", simd::lanes());
+    let _ = writeln!(body, "  \"first_touch\": false,");
     let _ = writeln!(
         body,
         "  \"autotune\": {{\"format\": \"{}\", \"c\": {tc}, \"sigma\": {tsigma}, \"chunks_per_task\": {}, \"predicted_beta\": {}, \"probed\": {}}},",

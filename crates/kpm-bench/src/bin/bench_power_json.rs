@@ -24,13 +24,18 @@
 //!                  [--threads T] [--power-budget-mb M] [--out FILE]
 //! ```
 //!
-//! Unlike the thread-scaling benches this artifact makes no
-//! multi-core claim, so it may be stamped from a single-core host.
+//! Like the other baseline-gating artifacts, the committed
+//! `BENCH_power.json` may not be stamped from a single-core host: the
+//! parallel power kernels' level-blocked scheduling (and its
+//! interaction with the cache budget) is exactly what the artifact
+//! claims to measure, and a one-core run degenerates every candidate
+//! to the serial wavefront. Scratch `--out` paths stay allowed, as
+//! does `KPM_BENCH_ALLOW_SINGLE_CORE=1`.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use kpm_bench::{arg_usize, median};
+use kpm_bench::{arg_usize, guard_baseline_stamp, median};
 use kpm_num::accounting::aug_spmmv_flops;
 use kpm_num::BlockVector;
 use kpm_obs::json::num;
@@ -109,6 +114,7 @@ fn main() {
         .find(|w| w[0] == "--out")
         .map(|w| w[1].clone())
         .unwrap_or_else(|| "BENCH_power.json".to_string());
+    guard_baseline_stamp(&out, "BENCH_power.json", host_cores);
 
     let ham = TopoHamiltonian::clean(nx, ny, nz);
     let h = ham.assemble();
@@ -241,7 +247,7 @@ fn main() {
 
     let mut body = String::new();
     let _ = writeln!(body, "{{");
-    let _ = writeln!(body, "  \"schema\": \"kpm-bench-power-v1\",");
+    let _ = writeln!(body, "  \"schema\": \"kpm-bench-power-v3\",");
     let _ = writeln!(
         body,
         "  \"matrix\": {{\"nx\": {nx}, \"ny\": {ny}, \"nz\": {nz}, \"rows\": {}, \"nnz\": {}}},",
@@ -251,6 +257,13 @@ fn main() {
     let _ = writeln!(body, "  \"threads\": {threads},");
     let _ = writeln!(body, "  \"host_cores\": {host_cores},");
     let _ = writeln!(body, "  \"reps\": {reps},");
+    let _ = writeln!(
+        body,
+        "  \"simd_compiled\": {},",
+        kpm_sparse::simd::compiled()
+    );
+    let _ = writeln!(body, "  \"simd_lanes\": {},", kpm_sparse::simd::lanes());
+    let _ = writeln!(body, "  \"first_touch\": false,");
     let _ = writeln!(body, "  \"power_budget_bytes\": {budget},");
     let _ = writeln!(
         body,

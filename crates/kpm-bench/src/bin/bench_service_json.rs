@@ -260,7 +260,7 @@ fn main() {
 
     let mut body = String::new();
     let _ = writeln!(body, "{{");
-    let _ = writeln!(body, "  \"schema\": \"kpm-bench-service-v1\",");
+    let _ = writeln!(body, "  \"schema\": \"kpm-bench-service-v3\",");
     let _ = writeln!(
         body,
         "  \"matrix\": {{\"nx\": {nx}, \"ny\": {ny}, \"nz\": {nz}, \"rows\": {}, \"nnz\": {}}},",
@@ -271,6 +271,13 @@ fn main() {
     let _ = writeln!(body, "  \"host_cores\": {},", host_cores());
     let _ = writeln!(body, "  \"window_ms\": {millis},");
     let _ = writeln!(body, "  \"moments\": 64,");
+    let _ = writeln!(
+        body,
+        "  \"simd_compiled\": {},",
+        kpm_sparse::simd::compiled()
+    );
+    let _ = writeln!(body, "  \"simd_lanes\": {},", kpm_sparse::simd::lanes());
+    let _ = writeln!(body, "  \"first_touch\": false,");
     let _ = writeln!(body, "  \"points\": [");
     for (i, p) in points.iter().enumerate() {
         let comma = if i + 1 < points.len() { "," } else { "" };

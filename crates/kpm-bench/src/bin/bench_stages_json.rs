@@ -67,6 +67,7 @@ fn main() {
             parallel: true,
             threads: 0,
             power: 1,
+            first_touch: false,
         };
         for (stage, variant, kind) in stages {
             kpm_obs::reset();
@@ -95,7 +96,7 @@ fn main() {
 
     let mut body = String::new();
     let _ = writeln!(body, "{{");
-    let _ = writeln!(body, "  \"schema\": \"kpm-bench-stages-v2\",");
+    let _ = writeln!(body, "  \"schema\": \"kpm-bench-stages-v3\",");
     let _ = writeln!(
         body,
         "  \"matrix\": {{\"nx\": {nx}, \"ny\": {ny}, \"nz\": {nz}, \"rows\": {}, \"nnz\": {}}},",
@@ -104,6 +105,13 @@ fn main() {
     );
     let _ = writeln!(body, "  \"moments\": {moments},");
     let _ = writeln!(body, "  \"host_cores\": {host_cores},");
+    let _ = writeln!(
+        body,
+        "  \"simd_compiled\": {},",
+        kpm_sparse::simd::compiled()
+    );
+    let _ = writeln!(body, "  \"simd_lanes\": {},", kpm_sparse::simd::lanes());
+    let _ = writeln!(body, "  \"first_touch\": false,");
     let _ = writeln!(body, "  \"points\": [");
     for (i, p) in points.iter().enumerate() {
         let comma = if i + 1 < points.len() { "," } else { "" };

@@ -1,13 +1,21 @@
 //! Emits `BENCH_threads.json`: achieved GF/s of the three optimization
 //! stages (naive SpMV, fused `aug_spmv`, blocked `aug_spmmv`) over
-//! worker-thread counts T ∈ {1, 2, 4, 8}.
+//! worker-thread counts T ∈ {1, 2, 4, 8}, plus a scalar-vs-SIMD ×
+//! first-touch placement grid at the widest usable thread count.
 //!
 //! Each point runs the full instrumented solver with a pinned thread
 //! pool (`KpmParams::threads`) and reads the achieved rate from the
 //! `kpm-obs` kernel probes, exactly like `bench_stages_json`. The
 //! moments of every run are compared bitwise against the T = 1 run —
-//! the deterministic reduction tree means thread count may change the
-//! speed but never a single bit of the physics output.
+//! the deterministic reduction tree means thread count, lane count and
+//! page placement may change the speed but never a single bit of the
+//! physics output.
+//!
+//! Every placement point also carries the autotuner's model-validation
+//! number for the probed CRS kernel: `chain_gap = chain_frac_model −
+//! chain_frac_measured`, the signed error of the chain-parallelism
+//! fraction the tuner's machine model predicted for this build (see
+//! `kpm_sparse::ProbePoint`).
 //!
 //! ```text
 //! bench_threads_json [--nx N] [--ny N] [--nz N] [--moments M]
@@ -20,6 +28,7 @@ use kpm_bench::{arg_usize, benchmark_matrix, guard_baseline_stamp};
 use kpm_core::solver::{kpm_moments, KpmParams, KpmVariant};
 use kpm_obs::json::num;
 use kpm_obs::probe::KernelKind;
+use kpm_sparse::{autotune_formats_report, simd, AutotuneEnv, FormatSpec, KpmMatrix};
 
 /// One (stage, threads) measurement.
 struct ThreadPoint {
@@ -29,6 +38,16 @@ struct ThreadPoint {
     gflops: f64,
     format: &'static str,
     beta: f64,
+}
+
+/// One (simd, first_touch) placement measurement at fixed T.
+struct PlacementPoint {
+    simd: bool,
+    simd_lanes: usize,
+    first_touch: bool,
+    threads: usize,
+    gflops: f64,
+    chain_gap: f64,
 }
 
 fn main() {
@@ -50,9 +69,12 @@ fn main() {
         .unwrap_or(1);
     guard_baseline_stamp(&out, "BENCH_threads.json", host_cores);
     eprintln!(
-        "matrix: N = {}, Nnz = {}, M = {moments}, R = {r}, host cores = {host_cores}",
+        "matrix: N = {}, Nnz = {}, M = {moments}, R = {r}, host cores = {host_cores}, \
+         simd lanes = {} (compiled: {})",
         h.nrows(),
-        h.nnz()
+        h.nnz(),
+        simd::lanes(),
+        simd::compiled()
     );
     kpm_obs::set_enabled(true);
 
@@ -62,6 +84,7 @@ fn main() {
         ("aug_spmmv", KpmVariant::AugSpmmv, KernelKind::AugSpmmv),
     ];
     let mut points: Vec<ThreadPoint> = Vec::new();
+    let mut spmmv_reference: Option<Vec<f64>> = None;
     for (stage, variant, kind) in stages {
         let mut reference: Option<Vec<f64>> = None;
         for threads in [1usize, 2, 4, 8] {
@@ -78,6 +101,7 @@ fn main() {
                 parallel: true,
                 threads,
                 power: 1,
+                first_touch: false,
             };
             kpm_obs::reset();
             kpm_obs::set_enabled(true);
@@ -104,11 +128,77 @@ fn main() {
                 beta: rep.beta(),
             });
         }
+        if stage == "aug_spmmv" {
+            spmmv_reference = reference;
+        }
     }
+
+    // Scalar-vs-SIMD × first-touch grid for the blocked stage at the
+    // widest tested thread count the host really has. Each point must
+    // reproduce the thread-sweep moments bit for bit — both knobs are
+    // pure performance properties.
+    let t_cfg = host_cores.clamp(1, 8);
+    let spmmv_reference = spmmv_reference.expect("aug_spmmv sweep ran");
+    let mut placement: Vec<PlacementPoint> = Vec::new();
+    for simd_on in [false, true] {
+        for first_touch in [false, true] {
+            simd::set_enabled(simd_on);
+            let hm = KpmMatrix::crs(h.clone()).with_first_touch(first_touch);
+            let params = KpmParams {
+                num_moments: moments,
+                num_random: r,
+                seed: 2015,
+                parallel: true,
+                threads: t_cfg,
+                power: 1,
+                first_touch,
+            };
+            kpm_obs::reset();
+            kpm_obs::set_enabled(true);
+            let set = kpm_moments(&hm, sf, &params, KpmVariant::AugSpmmv).expect("solver run");
+            assert_eq!(
+                &spmmv_reference,
+                &set.as_slice().to_vec(),
+                "aug_spmmv: moments with simd={simd_on} first_touch={first_touch} \
+                 differ from the scalar caller-placed run"
+            );
+            let rep = kpm_obs::probe::snapshot()
+                .into_iter()
+                .find(|rep| rep.kind == KernelKind::AugSpmmv)
+                .expect("instrumented kernel recorded calls");
+            // Model validation under the same lane setting: probe the
+            // finalists and read the CRS point's chain_frac gap.
+            let env = AutotuneEnv::generic(t_cfg).with_probe_reps(2);
+            let (_, report) = autotune_formats_report(&h, &env, None, 1);
+            let chain_gap = report
+                .iter()
+                .find(|p| p.format == FormatSpec::Crs)
+                .map(|p| p.chain_gap)
+                .unwrap_or(0.0);
+            eprintln!(
+                "aug_spmmv T={t_cfg:<2} simd={} ({} lane(s)) first-touch={} \
+                 {:>7.2} GF/s  chain_gap={:+.3}",
+                simd_on,
+                simd::active_lanes(),
+                first_touch,
+                rep.gflops(),
+                chain_gap
+            );
+            placement.push(PlacementPoint {
+                simd: simd_on,
+                simd_lanes: simd::active_lanes(),
+                first_touch,
+                threads: t_cfg,
+                gflops: rep.gflops(),
+                chain_gap,
+            });
+        }
+    }
+    simd::set_enabled(true);
 
     let mut body = String::new();
     let _ = writeln!(body, "{{");
-    let _ = writeln!(body, "  \"schema\": \"kpm-bench-threads-v2\",");
+    let _ = writeln!(body, "  \"schema\": \"kpm-bench-threads-v3\",");
     let _ = writeln!(
         body,
         "  \"matrix\": {{\"nx\": {nx}, \"ny\": {ny}, \"nz\": {nz}, \"rows\": {}, \"nnz\": {}}},",
@@ -118,6 +208,9 @@ fn main() {
     let _ = writeln!(body, "  \"moments\": {moments},");
     let _ = writeln!(body, "  \"random\": {r},");
     let _ = writeln!(body, "  \"host_cores\": {host_cores},");
+    let _ = writeln!(body, "  \"simd_compiled\": {},", simd::compiled());
+    let _ = writeln!(body, "  \"simd_lanes\": {},", simd::lanes());
+    let _ = writeln!(body, "  \"first_touch\": false,");
     let _ = writeln!(body, "  \"points\": [");
     for (i, p) in points.iter().enumerate() {
         let comma = if i + 1 < points.len() { "," } else { "" };
@@ -130,6 +223,21 @@ fn main() {
             num(p.gflops),
             p.format,
             num(p.beta)
+        );
+    }
+    let _ = writeln!(body, "  ],");
+    let _ = writeln!(body, "  \"placement_points\": [");
+    for (i, p) in placement.iter().enumerate() {
+        let comma = if i + 1 < placement.len() { "," } else { "" };
+        let _ = writeln!(
+            body,
+            "    {{\"stage\": \"aug_spmmv\", \"threads\": {}, \"simd\": {}, \"simd_lanes\": {}, \"first_touch\": {}, \"gflops\": {}, \"chain_gap\": {}}}{comma}",
+            p.threads,
+            p.simd,
+            p.simd_lanes,
+            p.first_touch,
+            num(p.gflops),
+            num(p.chain_gap)
         );
     }
     let _ = writeln!(body, "  ]");

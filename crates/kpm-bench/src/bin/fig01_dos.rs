@@ -33,6 +33,7 @@ fn main() {
         parallel: true,
         threads: 0,
         power: 1,
+        first_touch: false,
     };
     let set = kpm_moments(&h, sf, &params, KpmVariant::AugSpmmv).unwrap();
     let curve = reconstruct(&set, Kernel::Jackson, sf, 2048);

@@ -161,6 +161,7 @@ mod tests {
             parallel: false,
             threads: 0,
             power: 1,
+            first_touch: false,
         };
         let set = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv).unwrap();
         let curve = reconstruct(&set, Kernel::Jackson, sf, 1024);
@@ -183,6 +184,7 @@ mod tests {
             parallel: false,
             threads: 0,
             power: 1,
+            first_touch: false,
         };
         let set = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv).unwrap();
         let curve = reconstruct(&set, Kernel::Jackson, sf, 600);
@@ -205,6 +207,7 @@ mod tests {
             parallel: false,
             threads: 0,
             power: 1,
+            first_touch: false,
         };
         let set = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv).unwrap();
         let curve = reconstruct(&set, Kernel::Jackson, sf, 2048);

@@ -96,6 +96,7 @@ mod tests {
             parallel: false,
             threads: 0,
             power: 1,
+            first_touch: false,
         }
     }
 

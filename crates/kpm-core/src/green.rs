@@ -104,6 +104,7 @@ mod tests {
             parallel: false,
             threads: 0,
             power: 1,
+            first_touch: false,
         };
         let set = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv).unwrap();
         let dos = reconstruct(&set, Kernel::Jackson, sf, 257);
@@ -152,6 +153,7 @@ mod tests {
             parallel: false,
             threads: 0,
             power: 1,
+            first_touch: false,
         };
         let set = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv).unwrap();
         let g = Kernel::Jackson.coefficients(set.len());

@@ -95,6 +95,12 @@ pub struct KpmParams {
     /// for bit, and fall back to them when the operator does not
     /// level). The naive/fused single-vector variants ignore it.
     pub power: usize,
+    /// NUMA-style first-touch placement: re-place the matrix's hot
+    /// arrays and fault each block vector's row ranges from the pinned
+    /// pool workers that stream them, so on multi-socket hosts pages
+    /// land on the node that reads them. A pure placement property —
+    /// moments are bitwise-identical with the flag on or off.
+    pub first_touch: bool,
 }
 
 impl Default for KpmParams {
@@ -106,6 +112,7 @@ impl Default for KpmParams {
             parallel: true,
             threads: 0,
             power: 1,
+            first_touch: false,
         }
     }
 }
@@ -246,9 +253,28 @@ pub fn moments_from_start<M: SparseKernels + ?Sized>(
         parallel,
         threads: 0,
         power: 1,
+        first_touch: false,
     };
     params.validate()?;
     single_run_aug(h, sf, &params, start)
+}
+
+/// Builds a block vector from equal-length columns, optionally placing
+/// its pages NUMA-locally first: allocate untouched, fault each
+/// contiguous row range from the pinned pool worker that will stream it
+/// ([`kpm_sparse::fault_block_rows`]), then fill. The filled values are
+/// identical either way — placement is a pure performance property.
+fn block_from_columns(cols: &[Vector], first_touch: bool) -> BlockVector {
+    if !first_touch {
+        return BlockVector::from_columns(cols);
+    }
+    let rows = cols.first().map_or(0, |c| c.len());
+    let mut v = BlockVector::zeros(rows, cols.len());
+    kpm_sparse::fault_block_rows(&mut v, 0);
+    for (j, col) in cols.iter().enumerate() {
+        v.set_column(j, col);
+    }
+    v
 }
 
 /// One KPM run in the naive (Fig. 3) or stage-1 (Fig. 4) formulation.
@@ -390,8 +416,9 @@ fn run_blocked_variant<M: SparseKernels + ?Sized>(
         v_cols.push(Vector::from_vec(v));
         w_cols.push(Vector::from_vec(w));
     }
-    let mut v = BlockVector::from_columns(&v_cols);
-    let mut w = BlockVector::from_columns(&w_cols);
+    let ft = params.first_touch && par;
+    let mut v = block_from_columns(&v_cols, ft);
+    let mut w = block_from_columns(&w_cols, ft);
 
     let iters = params.iterations();
     let mut eta: Vec<Vec<(f64, Complex64)>> = vec![Vec::with_capacity(iters); r];
@@ -673,8 +700,9 @@ fn checkpointed_run<M: SparseKernels + ?Sized>(
                 v_cols.push(Vector::from_vec(vv));
                 w_cols.push(Vector::from_vec(ww));
             }
-            v = BlockVector::from_columns(&v_cols);
-            w = BlockVector::from_columns(&w_cols);
+            let ft = params.first_touch && params.parallel;
+            v = block_from_columns(&v_cols, ft);
+            w = block_from_columns(&w_cols, ft);
             eta_flat = Vec::with_capacity(2 * r + iters * 2 * r);
             eta_flat.extend_from_slice(&mu0);
             eta_flat.extend_from_slice(&mu1);
@@ -804,6 +832,7 @@ mod tests {
             parallel: false,
             threads: 0,
             power: 1,
+            first_touch: false,
         }
     }
 
@@ -828,6 +857,28 @@ mod tests {
         p.parallel = true;
         let parallel = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv).unwrap();
         assert!(serial.max_abs_diff(&parallel) < 1e-9);
+    }
+
+    #[test]
+    fn first_touch_is_bitwise_neutral_in_the_solver() {
+        // First-touch only changes *where* pages land, never what is in
+        // them, so moments must match bit for bit — across serial and
+        // parallel, and across a pinned multi-worker pool.
+        let h = random_hermitian(300, 4, 17);
+        let sf = ScaleFactors::from_gershgorin(&h, 0.01);
+        for (parallel, threads) in [(false, 0), (true, 0), (true, 4)] {
+            let mut p = params(32, 3);
+            p.parallel = parallel;
+            p.threads = threads;
+            let base = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv).unwrap();
+            p.first_touch = true;
+            let placed = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv).unwrap();
+            assert_eq!(
+                base.as_slice(),
+                placed.as_slice(),
+                "parallel={parallel} threads={threads}"
+            );
+        }
     }
 
     #[test]
@@ -916,6 +967,7 @@ mod tests {
             parallel: false,
             threads: 0,
             power: 1,
+            first_touch: false,
         };
         let err = kpm_moments(&h, sf, &p, KpmVariant::Naive).expect_err("odd M must be rejected");
         assert!(
@@ -942,6 +994,7 @@ mod tests {
             parallel: false,
             threads: 0,
             power: 1,
+            first_touch: false,
         };
         let err = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv).expect_err("R = 0 is invalid");
         assert!(matches!(

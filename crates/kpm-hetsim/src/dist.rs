@@ -793,6 +793,7 @@ mod tests {
             parallel: false,
             threads: 0,
             power: 1,
+            first_touch: false,
         }
     }
 

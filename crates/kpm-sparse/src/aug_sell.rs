@@ -45,6 +45,7 @@ use kpm_obs::probe::{kernel_timer_fmt, KernelKind, ProbeFormat};
 use rayon::prelude::*;
 
 use crate::aug::{widen, AugDots, AugDotsBlock, ROWS_PER_CHUNK};
+use crate::aug_sell_simd::{accum_chunk, axpy_row};
 use crate::sell::{ScatterPtr, SellMatrix};
 
 /// Chunks per σ-window: the serial kernels accumulate the fused dot
@@ -78,6 +79,7 @@ pub fn aug_spmv(m: &SellMatrix, a: f64, b: f64, v: &[Complex64], w: &mut [Comple
 
 /// One chunk of the fused single-vector update (serial path).
 #[inline]
+#[allow(clippy::too_many_arguments)] // internal kernel body
 fn scatter_chunk(
     m: &SellMatrix,
     ci: usize,
@@ -86,21 +88,12 @@ fn scatter_chunk(
     v: &[Complex64],
     w: &mut [Complex64],
     acc: &mut [Complex64],
+    use_simd: bool,
 ) {
     let c = m.chunk_height();
     let base = m.chunk_ptr[ci] as usize;
     let len = m.chunk_len[ci] as usize;
-    acc[..c].fill(Complex64::default());
-    for j in 0..len {
-        let off = base + j * c;
-        #[allow(clippy::needless_range_loop)] // lockstep lane loop
-        for lane in 0..c {
-            let col = m.cols[off + lane] as usize;
-            let val = m.vals[off + lane];
-            // Padding entries have val == 0, so the FMA is a no-op.
-            acc[lane] = val.mul_add(v[col], acc[lane]);
-        }
-    }
+    accum_chunk(&m.cols, &m.vals, base, len, c, v, acc, use_simd);
     let lo = ci * c;
     #[allow(clippy::needless_range_loop)] // lockstep lane loop
     for lane in 0..c {
@@ -166,6 +159,7 @@ pub fn aug_spmmv(
     let nrows = m.nrows();
     let n_chunks = m.chunk_ptr.len() - 1;
     let win = window_chunks(m);
+    let use_simd = crate::simd::active();
     let mut acc = vec![Complex64::default(); c * r_width];
     let mut eta_even = vec![0.0; r_width];
     let mut eta_odd = vec![Complex64::default(); r_width];
@@ -173,7 +167,7 @@ pub fn aug_spmmv(
     while ci < n_chunks {
         let w_end = (ci + win).min(n_chunks);
         for cj in ci..w_end {
-            scatter_chunk_block(m, cj, a, b, v, w, &mut acc);
+            scatter_chunk_block(m, cj, a, b, v, w, &mut acc, use_simd);
         }
         for r in (ci * c)..(w_end * c).min(nrows) {
             let vrow = v.row(r);
@@ -202,6 +196,7 @@ fn aug_spmv_core_sell(
     let nrows = m.nrows();
     let n_chunks = m.chunk_ptr.len() - 1;
     let win = window_chunks(m);
+    let use_simd = crate::simd::active();
     let mut acc = vec![Complex64::default(); c];
     let mut eta_even = 0.0;
     let mut eta_odd = Complex64::default();
@@ -209,7 +204,7 @@ fn aug_spmv_core_sell(
     while ci < n_chunks {
         let w_end = (ci + win).min(n_chunks);
         for cj in ci..w_end {
-            scatter_chunk(m, cj, a, b, v, w, &mut acc);
+            scatter_chunk(m, cj, a, b, v, w, &mut acc, use_simd);
         }
         for r in (ci * c)..(w_end * c).min(nrows) {
             let vr = v[r];
@@ -225,6 +220,7 @@ fn aug_spmv_core_sell(
 /// updated `w` rows; dot accumulation happens in the caller's window
 /// replay.
 #[inline]
+#[allow(clippy::too_many_arguments)] // internal kernel body
 fn scatter_chunk_block(
     m: &SellMatrix,
     ci: usize,
@@ -233,6 +229,7 @@ fn scatter_chunk_block(
     v: &BlockVector,
     w: &mut BlockVector,
     acc: &mut [Complex64],
+    use_simd: bool,
 ) {
     let c = m.chunk_height();
     let r_width = v.width();
@@ -249,9 +246,7 @@ fn scatter_chunk_block(
             let col = m.cols[off + lane] as usize;
             let xrow = v.row(col);
             let arow = &mut acc[lane * r_width..(lane + 1) * r_width];
-            for k in 0..r_width {
-                arow[k] = val.mul_add(xrow[k], arow[k]);
-            }
+            axpy_row(val, xrow, arow, use_simd);
         }
     }
     let lo = ci * c;
@@ -362,6 +357,7 @@ fn aug_spmv_par_unprobed(
     let c = m.chunk_height();
     let cpt = m.chunks_per_task();
     let nrows = m.nrows();
+    let use_simd = crate::simd::active();
     {
         let w_out = ScatterPtr(w.as_mut_ptr());
         let w_out = &w_out;
@@ -374,16 +370,7 @@ fn aug_spmv_par_unprobed(
                     let ci = group * cpt + k;
                     let base = m.chunk_ptr[ci] as usize;
                     let len = len as usize;
-                    acc[..c].fill(Complex64::default());
-                    for j in 0..len {
-                        let off = base + j * c;
-                        #[allow(clippy::needless_range_loop)] // lockstep lane loop
-                        for lane in 0..c {
-                            let col = m.cols[off + lane] as usize;
-                            let val = m.vals[off + lane];
-                            acc[lane] = val.mul_add(v[col], acc[lane]);
-                        }
-                    }
+                    accum_chunk(&m.cols, &m.vals, base, len, c, v, &mut acc, use_simd);
                     let lo = ci * c;
                     #[allow(clippy::needless_range_loop)] // lockstep lane loop
                     for lane in 0..c {
@@ -430,6 +417,7 @@ fn scatter_par_block(m: &SellMatrix, a: f64, b: f64, v: &BlockVector, w: &mut Bl
     let r_width = v.width();
     let cpt = m.chunks_per_task();
     let nrows = m.nrows();
+    let use_simd = crate::simd::active();
     let w_out = ScatterPtr(w.as_mut_slice().as_mut_ptr());
     let w_out = &w_out;
     m.chunk_len
@@ -452,9 +440,7 @@ fn scatter_par_block(m: &SellMatrix, a: f64, b: f64, v: &BlockVector, w: &mut Bl
                         let col = m.cols[off + lane] as usize;
                         let xrow = v.row(col);
                         let arow = &mut acc[lane * r_width..(lane + 1) * r_width];
-                        for kk in 0..r_width {
-                            arow[kk] = val.mul_add(xrow[kk], arow[kk]);
-                        }
+                        axpy_row(val, xrow, arow, use_simd);
                     }
                 }
                 let lo = ci * c;
@@ -497,17 +483,18 @@ pub fn aug_spmmv_nodot(m: &SellMatrix, a: f64, b: f64, v: &BlockVector, w: &mut 
         ProbeFormat::Sell,
     );
     let n_chunks = m.chunk_ptr.len() - 1;
+    let use_simd = crate::simd::active();
     if r_width == 1 {
         let mut acc = vec![Complex64::default(); m.chunk_height()];
         let (vs, ws) = (v.as_slice(), w.as_mut_slice());
         for ci in 0..n_chunks {
-            scatter_chunk(m, ci, a, b, vs, ws, &mut acc);
+            scatter_chunk(m, ci, a, b, vs, ws, &mut acc, use_simd);
         }
         return;
     }
     let mut acc = vec![Complex64::default(); m.chunk_height() * r_width];
     for ci in 0..n_chunks {
-        scatter_chunk_block(m, ci, a, b, v, w, &mut acc);
+        scatter_chunk_block(m, ci, a, b, v, w, &mut acc, use_simd);
     }
 }
 
@@ -566,9 +553,10 @@ pub fn aug_spmmv_rect(
         ProbeFormat::Sell,
     );
     let n_chunks = m.chunk_ptr.len() - 1;
+    let use_simd = crate::simd::active();
     let mut acc = vec![Complex64::default(); m.chunk_height() * r_width];
     for ci in 0..n_chunks {
-        scatter_chunk_block(m, ci, a, b, v, w, &mut acc);
+        scatter_chunk_block(m, ci, a, b, v, w, &mut acc, use_simd);
     }
     // Dot replay over all local rows in original order (one "window":
     // the rect kernel is serial, so no boundary constraints apply).
@@ -600,6 +588,7 @@ pub fn spmmv_rect(m: &SellMatrix, v: &BlockVector, w: &mut BlockVector) {
     let c = m.chunk_height();
     let r_width = v.width();
     let n_chunks = m.chunk_ptr.len() - 1;
+    let use_simd = crate::simd::active();
     let mut acc = vec![Complex64::default(); c * r_width];
     for ci in 0..n_chunks {
         let base = m.chunk_ptr[ci] as usize;
@@ -615,9 +604,7 @@ pub fn spmmv_rect(m: &SellMatrix, v: &BlockVector, w: &mut BlockVector) {
                 let col = m.cols[off + lane] as usize;
                 let xrow = v.row(col);
                 let arow = &mut acc[lane * r_width..(lane + 1) * r_width];
-                for k in 0..r_width {
-                    arow[k] = val.mul_add(xrow[k], arow[k]);
-                }
+                axpy_row(val, xrow, arow, use_simd);
             }
         }
         let lo = ci * c;

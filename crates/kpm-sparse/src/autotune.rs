@@ -62,14 +62,17 @@ pub struct AutotuneEnv {
 
 impl AutotuneEnv {
     /// A conservative single-socket default (IVB-class numbers) for
-    /// callers without a machine model at hand.
+    /// callers without a machine model at hand. The SIMD width is the
+    /// one quantity *this* binary knows better than any catalog: it is
+    /// taken from [`crate::simd::lanes`] — the lane count the kernels
+    /// were actually compiled with — instead of a hardcoded guess.
     pub fn generic(threads: usize) -> Self {
         Self {
             threads: threads.max(1),
             cache_bytes_per_thread: crate::tile::DEFAULT_CACHE_BYTES,
             mem_bw_gbs: 40.0,
             peak_gflops: 100.0,
-            simd_lanes: 4,
+            simd_lanes: crate::simd::lanes(),
             probe_reps: 0,
         }
     }
@@ -108,6 +111,33 @@ impl AutotuneChoice {
         h.set_chunks_per_task(self.chunks_per_task);
         Ok(h)
     }
+}
+
+/// One empirical probe measurement next to the model's view of the
+/// same point — the validation record behind the bench JSON
+/// `chain_gap` fields.
+///
+/// The chain fractions compare the model's FMA-chain term against what
+/// the probe actually sustained: `chain_frac_model` is the analytic
+/// `min(C / (lanes · latency), 1)`, `chain_frac_measured` is the
+/// fraction of peak implied by the measured time under the same flop
+/// count, and `chain_gap` is their difference — positive when the
+/// model promised more chain parallelism than the run delivered.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbePoint {
+    /// The format this point timed.
+    pub format: FormatSpec,
+    /// Modeled seconds per sweep iteration.
+    pub modeled_seconds: f64,
+    /// Fastest measured seconds per sweep iteration.
+    pub measured_seconds: f64,
+    /// The model's chain fraction for this shape.
+    pub chain_frac_model: f64,
+    /// Fraction of peak the probe sustained (`flops / (peak · t)`,
+    /// capped at 1).
+    pub chain_frac_measured: f64,
+    /// `chain_frac_model − chain_frac_measured`.
+    pub chain_gap: f64,
 }
 
 /// Predicted stored-element count of SELL-C-σ for the given row-length
@@ -214,6 +244,20 @@ pub fn autotune_formats(
     stencil: Option<&StencilMatrix>,
     power: usize,
 ) -> AutotuneChoice {
+    autotune_formats_report(m, env, stencil, power).0
+}
+
+/// [`autotune_formats`] plus the per-finalist [`ProbePoint`] report:
+/// one point per format the empirical probe timed (empty when
+/// `env.probe_reps == 0`), so callers can compare the model's
+/// chain-fraction prediction against the measurement it was validated
+/// by. The choice itself is identical to [`autotune_formats`].
+pub fn autotune_formats_report(
+    m: &CrsMatrix,
+    env: &AutotuneEnv,
+    stencil: Option<&StencilMatrix>,
+    power: usize,
+) -> (AutotuneChoice, Vec<ProbePoint>) {
     let nrows = m.nrows();
     let nnz = m.nnz();
     let power = power.max(1);
@@ -268,6 +312,7 @@ pub fn autotune_formats(
 
     let mut best = candidates[0];
     let mut probed = false;
+    let mut report = Vec::new();
     if env.probe_reps > 0 && nrows > 0 {
         let mut finalists: Vec<(FormatSpec, usize, f64)> =
             candidates.iter().copied().take(3).collect();
@@ -279,7 +324,9 @@ pub fn autotune_formats(
                 finalists.push(*crs);
             }
         }
-        if let Some(win) = probe_finalists(m, &finalists, env, stencil, power) {
+        let (win, points) = probe_finalists(m, &finalists, env, stencil, power);
+        report = points;
+        if let Some(win) = win {
             best = win;
             probed = true;
         }
@@ -292,7 +339,7 @@ pub fn autotune_formats(
             pick_chunks_per_task(nrows.div_ceil(chunk_height), env.threads)
         }
     };
-    AutotuneChoice {
+    let choice = AutotuneChoice {
         format,
         chunks_per_task,
         cache_bytes: env.cache_bytes_per_thread.max(1),
@@ -303,15 +350,17 @@ pub fn autotune_formats(
         },
         predicted_seconds: seconds,
         probed,
-    }
+    };
+    (choice, report)
 }
 
 /// Block width of the matrix-power probe: small enough to build
 /// cheaply, wide enough that the wavefront's window reuse shows.
 const PROBE_POWER_WIDTH: usize = 2;
 
-/// Times the finalists on the real matrix and returns the fastest,
-/// with its measured seconds substituted for the model's.
+/// Times the finalists on the real matrix and returns the fastest
+/// (with its measured seconds substituted for the model's) plus one
+/// [`ProbePoint`] per finalist actually timed.
 ///
 /// At `power == 1` this times the single-vector augmented SpMV on the
 /// bare format. At `power ≥ 2` it times the *actual* solver kernel —
@@ -325,7 +374,7 @@ fn probe_finalists(
     env: &AutotuneEnv,
     stencil: Option<&StencilMatrix>,
     power: usize,
-) -> Option<(FormatSpec, usize, f64)> {
+) -> (Option<(FormatSpec, usize, f64)>, Vec<ProbePoint>) {
     let n = m.nrows();
     // Deterministic, structureless probe vectors (no RNG dependency).
     let v: Vec<Complex64> = (0..n)
@@ -346,7 +395,9 @@ fn probe_finalists(
         (BlockVector::zeros(0, 1), BlockVector::zeros(0, 1))
     };
     let mut best: Option<(FormatSpec, usize, f64)> = None;
-    for &(spec, stored, _) in finalists {
+    let mut points = Vec::with_capacity(finalists.len());
+    let width = if power >= 2 { PROBE_POWER_WIDTH } else { 1 } as f64;
+    for &(spec, stored, modeled) in finalists {
         let handle = match spec {
             FormatSpec::Sell {
                 chunk_height,
@@ -380,11 +431,36 @@ fn probe_finalists(
             let per_iter = t0.elapsed().as_secs_f64() / power.max(1) as f64;
             fastest = fastest.min(per_iter);
         }
+        let chunk_height = match spec {
+            FormatSpec::Sell { chunk_height, .. } => chunk_height,
+            _ => 1,
+        };
+        let regen = if spec == FormatSpec::Stencil {
+            STENCIL_REGEN_FLOP_FACTOR
+        } else {
+            1.0
+        };
+        let flops = (8.0 * m.nnz() as f64 * regen + 16.0 * m.nrows() as f64) * width;
+        let lanes = env.simd_lanes.max(1) as f64;
+        let chain_frac_model = (chunk_height as f64 / (lanes * FMA_LATENCY)).min(1.0);
+        let chain_frac_measured = if fastest.is_finite() && fastest > 0.0 {
+            (flops / (env.peak_gflops.max(1e-9) * 1e9 * fastest)).min(1.0)
+        } else {
+            0.0
+        };
+        points.push(ProbePoint {
+            format: spec,
+            modeled_seconds: modeled,
+            measured_seconds: fastest,
+            chain_frac_model,
+            chain_frac_measured,
+            chain_gap: chain_frac_model - chain_frac_measured,
+        });
         if best.is_none_or(|(_, _, t)| fastest < t) {
             best = Some((spec, stored, fastest));
         }
     }
-    best
+    (best, points)
 }
 
 #[cfg(test)]
@@ -445,7 +521,9 @@ mod tests {
         // Uniform rows: no padding penalty, so the chain-parallelism
         // term makes any C > 1 strictly better than CRS in the model.
         let m = uniform_matrix(256, 7);
-        let choice = autotune(&m, &AutotuneEnv::generic(1));
+        let mut env = AutotuneEnv::generic(1);
+        env.simd_lanes = 4; // pin: `generic` reports the build's real lanes
+        let choice = autotune(&m, &env);
         assert_eq!(choice.format.name(), "sell");
         assert!((choice.predicted_beta - 1.0).abs() < 1e-12);
         assert!(choice.predicted_seconds > 0.0);
@@ -509,6 +587,30 @@ mod tests {
             SparseKernels::aug_spmv(&h, 1.0, 0.0, &v, &mut w2)
         );
         assert_eq!(w1, w2);
+    }
+
+    #[test]
+    fn probe_report_carries_chain_gap_per_point() {
+        let m = uniform_matrix(200, 6);
+        let env = AutotuneEnv::generic(1).with_probe_reps(2);
+        let (choice, report) = autotune_formats_report(&m, &env, None, 1);
+        assert!(choice.probed);
+        assert!(!report.is_empty());
+        // The CRS baseline is always in the probed set.
+        assert!(report.iter().any(|p| p.format == FormatSpec::Crs));
+        for p in &report {
+            assert!(p.measured_seconds.is_finite() && p.measured_seconds > 0.0);
+            assert!(p.modeled_seconds > 0.0);
+            assert!((0.0..=1.0).contains(&p.chain_frac_model));
+            assert!((0.0..=1.0).contains(&p.chain_frac_measured));
+            let gap = p.chain_frac_model - p.chain_frac_measured;
+            assert!((p.chain_gap - gap).abs() < 1e-15);
+        }
+        // Without the probe the report is empty and the choice agrees
+        // with the plain entry point.
+        let (analytic, empty) = autotune_formats_report(&m, &AutotuneEnv::generic(1), None, 1);
+        assert!(empty.is_empty());
+        assert_eq!(analytic, autotune(&m, &AutotuneEnv::generic(1)));
     }
 
     #[test]

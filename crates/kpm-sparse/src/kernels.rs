@@ -360,6 +360,10 @@ pub struct KpmMatrix {
     /// Budget (bytes) for the level-blocked power kernels' live vector
     /// window; a pure go/no-go gate, never a correctness input.
     power_budget_bytes: usize,
+    /// True once the storage arrays have been re-placed under the
+    /// first-touch policy ([`KpmMatrix::with_first_touch`]); a pure
+    /// placement property, never a correctness input.
+    first_touch: bool,
     /// Lazily-built level set for the power kernels (`None` inside the
     /// cell when the structure does not level — e.g. SELL, or a matrix
     /// without structural symmetry).
@@ -373,6 +377,7 @@ impl KpmMatrix {
             cache_bytes: crate::tile::DEFAULT_CACHE_BYTES,
             fingerprint,
             power_budget_bytes: power::DEFAULT_POWER_BUDGET_BYTES,
+            first_touch: false,
             levels: OnceLock::new(),
         }
     }
@@ -482,6 +487,31 @@ impl KpmMatrix {
     /// The power-window budget (bytes) of the level-blocked kernels.
     pub fn power_budget_bytes(&self) -> usize {
         self.power_budget_bytes
+    }
+
+    /// Re-places the storage arrays under the NUMA first-touch policy,
+    /// builder-style: each array range the parallel kernels stream is
+    /// copied into a fresh untouched allocation by the pinned pool
+    /// worker that will stream it (see [`crate::placement`]), so its
+    /// pages land on that worker's memory node. A no-op for the
+    /// matrix-free stencil (there are no arrays to place) and when
+    /// `on` is false. Contents are bitwise-unchanged either way.
+    pub fn with_first_touch(mut self, on: bool) -> Self {
+        if on && !self.first_touch {
+            match &mut self.repr {
+                Repr::Crs(m) => m.first_touch_refault(),
+                Repr::Sell(m) => m.first_touch_refault(),
+                Repr::Stencil(_) => {}
+            }
+        }
+        self.first_touch = on;
+        self
+    }
+
+    /// True when the storage arrays were placed under the first-touch
+    /// policy.
+    pub fn first_touch(&self) -> bool {
+        self.first_touch
     }
 
     /// Forwards the parallel task granularity to the SELL
@@ -766,6 +796,43 @@ mod tests {
         let d2 = SparseKernels::aug_spmv(&sell, 0.5, -0.1, &v, &mut w2);
         assert_eq!(w1, w2);
         assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn first_touch_is_bitwise_neutral() {
+        let n = 500;
+        let h = random_hermitian(n, 9);
+        let mut rng = StdRng::seed_from_u64(10);
+        let v: Vec<Complex64> = (0..n)
+            .map(|_| Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
+        let w0: Vec<Complex64> = (0..n)
+            .map(|_| Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
+        let spec = FormatSpec::Sell {
+            chunk_height: 8,
+            sigma: 32,
+        };
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        for spec in [FormatSpec::Crs, spec] {
+            let base = KpmMatrix::try_with_format(h.clone(), &spec).unwrap();
+            let placed = pool.install(|| {
+                KpmMatrix::try_with_format(h.clone(), &spec)
+                    .unwrap()
+                    .with_first_touch(true)
+            });
+            assert!(!base.first_touch());
+            assert!(placed.first_touch());
+            let mut w1 = w0.clone();
+            let mut w2 = w0.clone();
+            let d1 = SparseKernels::aug_spmv_par(&base, 0.5, -0.1, &v, &mut w1);
+            let d2 = pool.install(|| SparseKernels::aug_spmv_par(&placed, 0.5, -0.1, &v, &mut w2));
+            assert_eq!(w1, w2, "{spec}");
+            assert_eq!(d1, d2, "{spec}");
+        }
     }
 
     #[test]

@@ -1,3 +1,5 @@
+#![cfg_attr(feature = "simd", feature(portable_simd))]
+
 //! Sparse-matrix substrate for the KPM reproduction.
 //!
 //! Provides the matrix storage formats and multiplication kernels the
@@ -35,10 +37,20 @@
 //! * [`power`] — level-blocked Chebyshev matrix-power kernels that run
 //!   `p` iterations per matrix traversal behind `aug_spmmv_power`,
 //! * [`autotune`] — the `C`/`σ`/task-granularity autotuner driven by the
-//!   row-length distribution and a machine model.
+//!   row-length distribution and a machine model,
+//! * [`simd`] — build-time (`--features simd`) and runtime configuration
+//!   of the explicit vector lanes: compiled lane width and the global
+//!   scalar/vector toggle the benches flip,
+//! * [`aug_sell_simd`] — the lane-mapped inner loops of the SELL-C-σ and
+//!   blocked kernels (`C` is the lane dimension; scalar tails everywhere),
+//!   bitwise-identical to the scalar bodies by construction,
+//! * [`placement`] — NUMA-style first-touch placement: hot arrays are
+//!   allocated untouched and each range is first written by the pool
+//!   worker the stable part→worker assignment gives it.
 
 pub mod aug;
 pub mod aug_sell;
+pub mod aug_sell_simd;
 pub mod autotune;
 pub mod blocked;
 pub mod coo;
@@ -46,17 +58,22 @@ pub mod crs;
 pub mod gen;
 pub mod io;
 pub mod kernels;
+pub mod placement;
 pub mod power;
 pub mod sell;
+pub mod simd;
 pub mod spmv;
 pub mod stats;
 pub mod stencil;
 pub mod tile;
 
-pub use autotune::{autotune, autotune_formats, AutotuneChoice, AutotuneEnv};
+pub use autotune::{
+    autotune, autotune_formats, autotune_formats_report, AutotuneChoice, AutotuneEnv, ProbePoint,
+};
 pub use coo::CooMatrix;
 pub use crs::CrsMatrix;
 pub use kernels::{FormatSpec, KpmMatrix, SparseKernels};
+pub use placement::{fault_block_rows, Placement};
 pub use power::{LevelSet, PowerRows, RowBuf};
 pub use sell::SellMatrix;
 pub use stencil::StencilMatrix;

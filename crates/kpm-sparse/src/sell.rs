@@ -17,7 +17,9 @@ use kpm_num::{BlockVector, Complex64};
 use kpm_obs::probe::{kernel_timer_fmt, KernelKind, ProbeFormat};
 use rayon::prelude::*;
 
+use crate::aug_sell_simd::{accum_chunk, axpy_row};
 use crate::crs::CrsMatrix;
+use crate::placement::{self, Placement, RangePtr};
 
 /// Default for how many SELL chunks one parallel work item processes:
 /// amortizes the per-item accumulator allocation and scheduling cost
@@ -85,6 +87,21 @@ impl SellMatrix {
         chunk_height: usize,
         sigma: usize,
     ) -> Result<Self, kpm_num::KpmError> {
+        Self::try_from_crs_placed(crs, chunk_height, sigma, Placement::Caller)
+    }
+
+    /// [`SellMatrix::try_from_crs`] with an explicit [`Placement`]: with
+    /// [`Placement::FirstTouch`] the chunk arrays are allocated
+    /// untouched and each group of [`DEFAULT_CHUNKS_PER_TASK`] chunks is
+    /// filled by its pinned pool worker (group `g` → worker
+    /// `g % threads`), so pages land on the NUMA node that streams
+    /// them. The stored bytes are identical either way.
+    pub fn try_from_crs_placed(
+        crs: &CrsMatrix,
+        chunk_height: usize,
+        sigma: usize,
+        placement: Placement,
+    ) -> Result<Self, kpm_num::KpmError> {
         if chunk_height < 1 {
             return Err(kpm_num::KpmError::InvalidParams {
                 what: "chunk_height",
@@ -126,27 +143,49 @@ impl SellMatrix {
             chunk_ptr.push(total);
         }
 
-        let mut cols = vec![0u32; total as usize];
-        let mut vals = vec![Complex64::default(); total as usize];
-        #[allow(clippy::needless_range_loop)] // chunk index drives several arrays
-        for ci in 0..n_chunks {
-            let base = chunk_ptr[ci] as usize;
-            let lo = ci * chunk_height;
-            for lane in 0..chunk_height {
-                let sell_row = lo + lane;
-                if sell_row >= nrows {
-                    continue; // padding lanes of the last chunk stay zero
+        let mut cols = placement::zeroed_vec::<u32>(total as usize);
+        let mut vals = placement::zeroed_vec::<Complex64>(total as usize);
+        match placement {
+            Placement::Caller => {
+                for ci in 0..n_chunks {
+                    let (lo, hi) = (chunk_ptr[ci] as usize, chunk_ptr[ci + 1] as usize);
+                    fill_chunk(
+                        crs,
+                        &perm,
+                        nrows,
+                        chunk_height,
+                        ci,
+                        &mut cols[lo..hi],
+                        &mut vals[lo..hi],
+                    );
                 }
-                let orig = perm[sell_row] as usize;
-                let rc = crs.row_cols(orig);
-                let rv = crs.row_vals(orig);
-                for (j, (&c, &v)) in rc.iter().zip(rv).enumerate() {
-                    // Column-major within the chunk: element j of lane
-                    // `lane` lives at base + j*C + lane.
-                    let idx = base + j * chunk_height + lane;
-                    cols[idx] = c;
-                    vals[idx] = v;
-                }
+            }
+            Placement::FirstTouch => {
+                let groups = n_chunks.div_ceil(DEFAULT_CHUNKS_PER_TASK);
+                let col_out = RangePtr(cols.as_mut_ptr());
+                let val_out = RangePtr(vals.as_mut_ptr());
+                let (col_out, val_out) = (&col_out, &val_out);
+                let (perm_ref, ptr_ref) = (&perm, &chunk_ptr);
+                rayon::run_pinned(groups, |g| {
+                    let clo = g * DEFAULT_CHUNKS_PER_TASK;
+                    let chi = (clo + DEFAULT_CHUNKS_PER_TASK).min(n_chunks);
+                    for ci in clo..chi {
+                        let lo = ptr_ref[ci] as usize;
+                        let n = (ptr_ref[ci + 1] - ptr_ref[ci]) as usize;
+                        // SAFETY: chunk element spans
+                        // [chunk_ptr[ci], chunk_ptr[ci+1]) are pairwise
+                        // disjoint across chunks, chunks are partitioned
+                        // disjointly across parts, and `cols`/`vals`
+                        // outlive the blocking `run_pinned` call.
+                        let (ccols, cvals) = unsafe {
+                            (
+                                std::slice::from_raw_parts_mut(col_out.0.add(lo), n),
+                                std::slice::from_raw_parts_mut(val_out.0.add(lo), n),
+                            )
+                        };
+                        fill_chunk(crs, perm_ref, nrows, chunk_height, ci, ccols, cvals);
+                    }
+                });
             }
         }
 
@@ -163,6 +202,26 @@ impl SellMatrix {
             cols,
             vals,
         })
+    }
+
+    /// Re-places the chunk arrays with first-touch ownership: fresh
+    /// untouched allocations, each chunk-group range (the granularity
+    /// the parallel kernels stream at) copied into place by its pinned
+    /// worker. Contents are bitwise-unchanged; only page placement
+    /// moves. Used by [`crate::kernels::KpmMatrix::with_first_touch`]
+    /// on an already-built matrix.
+    pub fn first_touch_refault(&mut self) {
+        let n_chunks = self.chunk_ptr.len().saturating_sub(1);
+        let cpt = self.chunks_per_task.max(1);
+        let groups = n_chunks.div_ceil(cpt).max(1);
+        let ptr = &self.chunk_ptr;
+        let range_of = |g: usize| {
+            let clo = (g * cpt).min(n_chunks);
+            let chi = (clo + cpt).min(n_chunks);
+            (ptr[clo] as usize, ptr[chi] as usize)
+        };
+        self.cols = placement::refault_copy_by(&self.cols, groups, range_of);
+        self.vals = placement::refault_copy_by(&self.vals, groups, range_of);
     }
 
     /// Parallel task granularity: how many chunks one work item of the
@@ -239,21 +298,12 @@ impl SellMatrix {
         );
         let c = self.chunk_height;
         let n_chunks = self.chunk_ptr.len() - 1;
+        let use_simd = crate::simd::active();
         let mut acc = vec![Complex64::default(); c];
         for ci in 0..n_chunks {
             let base = self.chunk_ptr[ci] as usize;
             let len = self.chunk_len[ci] as usize;
-            acc[..c].fill(Complex64::default());
-            for j in 0..len {
-                let off = base + j * c;
-                #[allow(clippy::needless_range_loop)] // lockstep lane loop
-                for lane in 0..c {
-                    let col = self.cols[off + lane] as usize;
-                    let val = self.vals[off + lane];
-                    // Padding entries have val == 0, so the FMA is a no-op.
-                    acc[lane] = val.mul_add(x[col], acc[lane]);
-                }
-            }
+            accum_chunk(&self.cols, &self.vals, base, len, c, x, &mut acc, use_simd);
             let lo = ci * c;
             #[allow(clippy::needless_range_loop)] // lockstep lane loop
             for lane in 0..c {
@@ -288,6 +338,7 @@ impl SellMatrix {
         let c = self.chunk_height;
         let r_width = x.width();
         let n_chunks = self.chunk_ptr.len() - 1;
+        let use_simd = crate::simd::active();
         let mut acc = vec![Complex64::default(); c * r_width];
         for ci in 0..n_chunks {
             let base = self.chunk_ptr[ci] as usize;
@@ -303,9 +354,7 @@ impl SellMatrix {
                     let col = self.cols[off + lane] as usize;
                     let xrow = x.row(col);
                     let arow = &mut acc[lane * r_width..(lane + 1) * r_width];
-                    for k in 0..r_width {
-                        arow[k] = val.mul_add(xrow[k], arow[k]);
-                    }
+                    axpy_row(val, xrow, arow, use_simd);
                 }
             }
             let lo = ci * c;
@@ -344,6 +393,7 @@ impl SellMatrix {
         );
         let c = self.chunk_height;
         let cpt = self.chunks_per_task;
+        let use_simd = crate::simd::active();
         let y_out = ScatterPtr(y.as_mut_ptr());
         let y_out = &y_out;
         self.chunk_len
@@ -355,16 +405,7 @@ impl SellMatrix {
                     let ci = group * cpt + k;
                     let base = self.chunk_ptr[ci] as usize;
                     let len = len as usize;
-                    acc[..c].fill(Complex64::default());
-                    for j in 0..len {
-                        let off = base + j * c;
-                        #[allow(clippy::needless_range_loop)] // lockstep lane loop
-                        for lane in 0..c {
-                            let col = self.cols[off + lane] as usize;
-                            let val = self.vals[off + lane];
-                            acc[lane] = val.mul_add(x[col], acc[lane]);
-                        }
-                    }
+                    accum_chunk(&self.cols, &self.vals, base, len, c, x, &mut acc, use_simd);
                     let lo = ci * c;
                     #[allow(clippy::needless_range_loop)] // lockstep lane loop
                     for lane in 0..c {
@@ -401,6 +442,7 @@ impl SellMatrix {
         let c = self.chunk_height;
         let r_width = x.width();
         let cpt = self.chunks_per_task;
+        let use_simd = crate::simd::active();
         let y_out = ScatterPtr(y.as_mut_slice().as_mut_ptr());
         let y_out = &y_out;
         self.chunk_len
@@ -423,9 +465,7 @@ impl SellMatrix {
                             let col = self.cols[off + lane] as usize;
                             let xrow = x.row(col);
                             let arow = &mut acc[lane * r_width..(lane + 1) * r_width];
-                            for kk in 0..r_width {
-                                arow[kk] = val.mul_add(xrow[kk], arow[kk]);
-                            }
+                            axpy_row(val, xrow, arow, use_simd);
                         }
                     }
                     let lo = ci * c;
@@ -447,6 +487,38 @@ impl SellMatrix {
                     }
                 }
             });
+    }
+}
+
+/// Writes one chunk's column-major payload: `ccols`/`cvals` are the
+/// chunk's element span (`chunk_ptr[ci]..chunk_ptr[ci+1]`), with
+/// element `j` of lane `lane` at local index `j·C + lane`. Padding
+/// slots keep their zero initialization.
+fn fill_chunk(
+    crs: &CrsMatrix,
+    perm: &[u32],
+    nrows: usize,
+    chunk_height: usize,
+    ci: usize,
+    ccols: &mut [u32],
+    cvals: &mut [Complex64],
+) {
+    let lo = ci * chunk_height;
+    for lane in 0..chunk_height {
+        let sell_row = lo + lane;
+        if sell_row >= nrows {
+            continue; // padding lanes of the last chunk stay zero
+        }
+        let orig = perm[sell_row] as usize;
+        let rc = crs.row_cols(orig);
+        let rv = crs.row_vals(orig);
+        for (j, (&c, &v)) in rc.iter().zip(rv).enumerate() {
+            // Column-major within the chunk: element j of lane
+            // `lane` lives at j*C + lane.
+            let idx = j * chunk_height + lane;
+            ccols[idx] = c;
+            cvals[idx] = v;
+        }
     }
 }
 

@@ -1,0 +1,94 @@
+//! Build-time and runtime configuration of the explicit SIMD lanes.
+//!
+//! The `simd` cargo feature compiles the portable-`std::simd` variants
+//! of the hot kernels ([`crate::aug_sell_simd`]); without it the same
+//! entry points compile to their scalar bodies. Because both variants
+//! replay the exact scalar operation order per lane (see the module
+//! docs of [`crate::aug_sell_simd`]), the choice is purely a
+//! performance knob — results are bitwise-identical either way, which
+//! is also why a *runtime* toggle is safe to expose: one binary can
+//! bench scalar-vs-SIMD back to back ([`set_enabled`]).
+//!
+//! Lane width is reported by [`lanes`]: the `f64` lane count of the
+//! compiled vector type (8 under AVX-512, 4 otherwise) or 1 for scalar
+//! builds. The autotuner's machine envelope and the `kpm report`
+//! roofline table read this instead of hardcoding a width, so the
+//! model describes the build that actually runs.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Master switch for the vector kernel paths; defaults to on so a
+/// `--features simd` build vectorizes out of the box.
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// True when this crate was compiled with the `simd` cargo feature
+/// (portable `std::simd`, nightly toolchains only).
+pub fn compiled() -> bool {
+    cfg!(feature = "simd")
+}
+
+/// `f64` lane count of the compiled kernel variant: 8 under AVX-512,
+/// 4 otherwise, 1 for scalar builds.
+pub fn lanes() -> usize {
+    crate::aug_sell_simd::LANES
+}
+
+/// Enables or disables the vector paths at runtime. Purely a
+/// performance knob: scalar and SIMD bodies are bitwise-identical, so
+/// flipping this mid-run can never change a result.
+///
+/// `Release` store pairing with the `Acquire` load in [`active`]: a
+/// thread observing the new value also observes everything the setter
+/// did before flipping the switch.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Release);
+}
+
+/// Current state of the runtime switch (regardless of whether the
+/// vector paths were compiled at all).
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Acquire)
+}
+
+/// True when the kernels will actually take the vector paths: compiled
+/// with the `simd` feature *and* the runtime switch is on. Kernels
+/// hoist this once per call, so a sweep never mixes paths mid-matrix.
+pub fn active() -> bool {
+    compiled() && enabled()
+}
+
+/// Lane count the kernels will actually use right now: the compiled
+/// width when the vector paths are [`active`], 1 otherwise. This is
+/// what performance models should read — a disabled runtime switch
+/// makes an 8-lane build behave like a scalar one.
+pub fn active_lanes() -> usize {
+    if active() {
+        lanes()
+    } else {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lanes_match_the_build() {
+        if compiled() {
+            assert!(lanes() == 4 || lanes() == 8, "lanes = {}", lanes());
+        } else {
+            assert_eq!(lanes(), 1);
+        }
+    }
+
+    #[test]
+    fn runtime_toggle_gates_active() {
+        set_enabled(false);
+        assert!(!active());
+        assert!(!enabled());
+        set_enabled(true);
+        assert!(enabled());
+        assert_eq!(active(), compiled());
+    }
+}

@@ -32,6 +32,7 @@ use kpm_obs::probe::{kernel_timer_fmt, KernelKind, ProbeFormat};
 use rayon::prelude::*;
 
 use crate::aug::{widen, AugDots, AugDotsBlock, ROWS_PER_CHUNK};
+use crate::aug_sell_simd::axpy_row;
 
 /// Upper bound on regenerated row length: 1 on-site entry plus six
 /// hopping blocks contributing at most 4 entries per orbital row.
@@ -505,6 +506,7 @@ pub fn aug_spmmv(
     if r_width == 1 {
         return widen(aug_spmv_core(m, a, b, v.as_slice(), w.as_mut_slice()));
     }
+    let use_simd = crate::simd::active();
     let mut gen = RowGen::new(m);
     let mut cols = [0u32; MAX_ROW_ENTRIES];
     let mut vals = [Complex64::default(); MAX_ROW_ENTRIES];
@@ -515,10 +517,7 @@ pub fn aug_spmmv(
         let len = gen.row(r, &mut cols, &mut vals);
         acc.fill(Complex64::default());
         for (hv, &c) in vals[..len].iter().zip(&cols[..len]) {
-            let xrow = v.row(c as usize);
-            for j in 0..r_width {
-                acc[j] = hv.mul_add(xrow[j], acc[j]);
-            }
+            axpy_row(*hv, v.row(c as usize), &mut acc, use_simd);
         }
         let vrow = v.row(r);
         let wrow = w.row_mut(r);
@@ -568,6 +567,7 @@ pub fn aug_spmmv_par_budget(
         return widen(aug_spmv_par_core(m, a, b, v.as_slice(), w.as_mut_slice()));
     }
     let rows_per_tile = crate::tile::tile_rows_for_budget(r_width, cache_bytes);
+    let use_simd = crate::simd::active();
     let partials: Vec<(Vec<f64>, Vec<Complex64>)> = w
         .as_mut_slice()
         .par_chunks_mut(rows_per_tile * r_width)
@@ -585,10 +585,7 @@ pub fn aug_spmmv_par_budget(
                 let len = gen.row(r, &mut cols, &mut vals);
                 acc.fill(Complex64::default());
                 for (hv, &c) in vals[..len].iter().zip(&cols[..len]) {
-                    let xrow = v.row(c as usize);
-                    for j in 0..r_width {
-                        acc[j] = hv.mul_add(xrow[j], acc[j]);
-                    }
+                    axpy_row(*hv, v.row(c as usize), &mut acc, use_simd);
                 }
                 let vrow = v.row(r);
                 for j in 0..r_width {
@@ -628,6 +625,7 @@ pub fn aug_spmmv_nodot(m: &StencilMatrix, a: f64, b: f64, v: &BlockVector, w: &m
         aug_spmv_nodot_core(m, a, b, v.as_slice(), w.as_mut_slice());
         return;
     }
+    let use_simd = crate::simd::active();
     let mut gen = RowGen::new(m);
     let mut cols = [0u32; MAX_ROW_ENTRIES];
     let mut vals = [Complex64::default(); MAX_ROW_ENTRIES];
@@ -636,10 +634,7 @@ pub fn aug_spmmv_nodot(m: &StencilMatrix, a: f64, b: f64, v: &BlockVector, w: &m
         let len = gen.row(r, &mut cols, &mut vals);
         acc.fill(Complex64::default());
         for (hv, &c) in vals[..len].iter().zip(&cols[..len]) {
-            let xrow = v.row(c as usize);
-            for j in 0..r_width {
-                acc[j] = hv.mul_add(xrow[j], acc[j]);
-            }
+            axpy_row(*hv, v.row(c as usize), &mut acc, use_simd);
         }
         let vrow = v.row(r);
         let wrow = w.row_mut(r);
@@ -727,6 +722,7 @@ pub fn aug_spmmv_nodot_par_budget(
         return;
     }
     let rows_per_tile = crate::tile::tile_rows_for_budget(r_width, cache_bytes);
+    let use_simd = crate::simd::active();
     w.as_mut_slice()
         .par_chunks_mut(rows_per_tile * r_width)
         .enumerate()
@@ -741,10 +737,7 @@ pub fn aug_spmmv_nodot_par_budget(
                 let len = gen.row(r, &mut cols, &mut vals);
                 acc.fill(Complex64::default());
                 for (hv, &c) in vals[..len].iter().zip(&cols[..len]) {
-                    let xrow = v.row(c as usize);
-                    for j in 0..r_width {
-                        acc[j] = hv.mul_add(xrow[j], acc[j]);
-                    }
+                    axpy_row(*hv, v.row(c as usize), &mut acc, use_simd);
                 }
                 let vrow = v.row(r);
                 for j in 0..r_width {
@@ -778,6 +771,7 @@ pub fn aug_spmmv_rect(
         0,
         ProbeFormat::Stencil,
     );
+    let use_simd = crate::simd::active();
     let mut gen = RowGen::new(m);
     let mut cols = [0u32; MAX_ROW_ENTRIES];
     let mut vals = [Complex64::default(); MAX_ROW_ENTRIES];
@@ -788,10 +782,7 @@ pub fn aug_spmmv_rect(
         let len = gen.row(r, &mut cols, &mut vals);
         acc.fill(Complex64::default());
         for (hv, &c) in vals[..len].iter().zip(&cols[..len]) {
-            let xrow = v.row(c as usize);
-            for j in 0..r_width {
-                acc[j] = hv.mul_add(xrow[j], acc[j]);
-            }
+            axpy_row(*hv, v.row(c as usize), &mut acc, use_simd);
         }
         let vrow = v.row(r);
         let wrow = w.row_mut(r);
@@ -866,6 +857,7 @@ pub fn spmmv(m: &StencilMatrix, x: &BlockVector, y: &mut BlockVector) {
         0,
         ProbeFormat::Stencil,
     );
+    let use_simd = crate::simd::active();
     let mut gen = RowGen::new(m);
     let mut cols = [0u32; MAX_ROW_ENTRIES];
     let mut vals = [Complex64::default(); MAX_ROW_ENTRIES];
@@ -874,10 +866,7 @@ pub fn spmmv(m: &StencilMatrix, x: &BlockVector, y: &mut BlockVector) {
         let yrow = y.row_mut(r);
         yrow.fill(Complex64::default());
         for (hv, &c) in vals[..len].iter().zip(&cols[..len]) {
-            let xrow = x.row(c as usize);
-            for j in 0..r_width {
-                yrow[j] = hv.mul_add(xrow[j], yrow[j]);
-            }
+            axpy_row(*hv, x.row(c as usize), yrow, use_simd);
         }
     }
 }
@@ -893,6 +882,7 @@ pub fn spmmv_par(m: &StencilMatrix, x: &BlockVector, y: &mut BlockVector) {
         0,
         ProbeFormat::Stencil,
     );
+    let use_simd = crate::simd::active();
     y.as_mut_slice()
         .par_chunks_mut(r_width)
         .enumerate()
@@ -903,10 +893,7 @@ pub fn spmmv_par(m: &StencilMatrix, x: &BlockVector, y: &mut BlockVector) {
             let len = gen.row(r, &mut cols, &mut vals);
             yrow.fill(Complex64::default());
             for (hv, &c) in vals[..len].iter().zip(&cols[..len]) {
-                let xrow = x.row(c as usize);
-                for j in 0..r_width {
-                    yrow[j] = hv.mul_add(xrow[j], yrow[j]);
-                }
+                axpy_row(*hv, x.row(c as usize), yrow, use_simd);
             }
         });
 }
@@ -916,7 +903,7 @@ pub fn spmmv_rect(m: &StencilMatrix, v: &BlockVector, w: &mut BlockVector) {
     assert_eq!(v.rows(), m.ncols(), "block v dimension mismatch");
     assert!(w.rows() >= m.nrows(), "block w too small");
     assert_eq!(v.width(), w.width(), "block width mismatch");
-    let r_width = v.width();
+    let use_simd = crate::simd::active();
     let mut gen = RowGen::new(m);
     let mut cols = [0u32; MAX_ROW_ENTRIES];
     let mut vals = [Complex64::default(); MAX_ROW_ENTRIES];
@@ -925,10 +912,7 @@ pub fn spmmv_rect(m: &StencilMatrix, v: &BlockVector, w: &mut BlockVector) {
         let wrow = w.row_mut(r);
         wrow.fill(Complex64::default());
         for (hv, &c) in vals[..len].iter().zip(&cols[..len]) {
-            let xrow = v.row(c as usize);
-            for j in 0..r_width {
-                wrow[j] = hv.mul_add(xrow[j], wrow[j]);
-            }
+            axpy_row(*hv, v.row(c as usize), wrow, use_simd);
         }
     }
 }

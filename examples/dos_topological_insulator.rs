@@ -43,6 +43,7 @@ fn main() {
         parallel: true,
         threads: 0,
         power: 1,
+        first_touch: false,
     };
 
     // All three optimization stages compute the same moments — the

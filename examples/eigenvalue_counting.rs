@@ -26,6 +26,7 @@ fn main() {
         parallel: true,
         threads: 0,
         power: 1,
+        first_touch: false,
     };
 
     let evs = exact_eigenvalues(&h);

@@ -25,6 +25,7 @@ fn main() {
         parallel: false,
         threads: 0,
         power: 1,
+        first_touch: false,
     };
     let reference =
         kpm_moments(&h, sf, &params, KpmVariant::AugSpmmv).expect("fault-free reference run");

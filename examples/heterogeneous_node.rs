@@ -24,6 +24,7 @@ fn main() {
         parallel: false, // ranks are the parallelism here
         threads: 0,
         power: 1,
+        first_touch: false,
     };
 
     // Reference: single-process stage-2 solver.

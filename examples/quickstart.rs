@@ -32,6 +32,7 @@ fn main() {
         parallel: true,
         threads: 0,
         power: 1,
+        first_touch: false,
     };
     let moments = kpm_moments(&h, sf, &params, KpmVariant::AugSpmmv).unwrap();
 

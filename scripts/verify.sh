@@ -53,6 +53,21 @@ step "tier-1 under pinned thread counts (KPM_THREADS=1, 4)"
 KPM_THREADS=1 cargo test --workspace -q
 KPM_THREADS=4 cargo test --workspace -q
 
+step "tier-1 under --features simd (nightly; explicit vector bodies)"
+# The same tier-1 test line through the explicit SIMD kernel bodies:
+# moments must stay bitwise identical, so every suite has to pass
+# unchanged. portable_simd needs nightly; when no nightly toolchain is
+# installed the scalar fallback is the only build and the leg is
+# skipped. A separate target dir keeps the feature-flagged artifacts
+# from clobbering the release build (same pattern as the noop leg).
+# Nightly clippy lint sets drift, so the clippy gate stays stable-only.
+if cargo +nightly --version >/dev/null 2>&1; then
+    cargo +nightly test -q --features simd --target-dir target/simd-verify
+    cargo +nightly test -q --workspace --features simd --target-dir target/simd-verify
+else
+    echo "no nightly toolchain; skipping the simd feature leg"
+fi
+
 step "static analysis: kpm-analyze gate (AST + dataflow passes, SARIF, ratchet)"
 # Hard gate: any finding not covered by the committed baseline
 # (ANALYZE_BASELINE.txt) is a failure. The machine-readable JSON report
@@ -124,6 +139,15 @@ step "smoke: kpm report on matrix-free stencil with level-blocked powers"
 ./target/release/kpm report --nx 20 --ny 20 --nz 10 --moments 64 \
     --random 8 --machine IVB --llc-mib 0.5 --format stencil \
     --power-blocking 2
+
+step "smoke: kpm report with the simd/first-touch runtime toggles"
+# --simd on a scalar build warns (stderr) and runs scalar; --first-touch
+# re-places the matrix and block vectors. Either way the report must run
+# end to end and print the lanes/first-touch banner fields.
+simd_report=$(./target/release/kpm report --nx 20 --ny 20 --nz 10 --moments 64 \
+    --random 8 --machine IVB --llc-mib 0.5 --simd --first-touch 2>&1)
+echo "$simd_report" | grep -q 'lanes = '
+echo "$simd_report" | grep -q 'first-touch = on'
 
 step "service: chaos ledger (500 randomized schedules)"
 # Exactly-once replies, bitwise batched moments, and a consistent

@@ -30,6 +30,20 @@ pub fn current_num_threads() -> usize {
     pool::current_registry().num_threads()
 }
 
+/// Runs `body(p)` for every part `p` in `[0, parts)` on the current
+/// pool, with the **stable assignment** part `p` → worker
+/// `p % threads`: pinned parts are never stolen, so the same part
+/// index always executes on the same OS thread (serial pools and calls
+/// from inside a worker run all parts inline). Blocks until every part
+/// has run; panics propagate to the caller.
+///
+/// This is the deterministic chunk→worker mapping surface the
+/// first-touch (NUMA) placement paths fault memory through. Not part
+/// of the real `rayon` API.
+pub fn run_pinned(parts: usize, body: impl Fn(usize) + Sync) {
+    pool::run_pinned(parts, &body);
+}
+
 /// Error type returned by [`ThreadPoolBuilder::build`]; never produced.
 #[derive(Debug)]
 pub struct ThreadPoolBuildError;

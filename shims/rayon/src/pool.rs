@@ -67,6 +67,11 @@ struct Queues {
     locals: Vec<VecDeque<Chunk>>,
     /// Entry queue for new jobs from non-worker threads.
     injector: VecDeque<Chunk>,
+    /// Owner-pinned chunks: worker `i` pops `pinned[i]` first and no
+    /// other worker ever steals from it — the stable part→worker
+    /// assignment behind [`Registry::run_pinned`] that the first-touch
+    /// placement paths rely on.
+    pinned: Vec<VecDeque<Chunk>>,
     shutdown: bool,
 }
 
@@ -88,6 +93,7 @@ impl Registry {
             queues: Mutex::new(Queues {
                 locals: (0..n).map(|_| VecDeque::new()).collect(),
                 injector: VecDeque::new(),
+                pinned: (0..n).map(|_| VecDeque::new()).collect(),
                 shutdown: false,
             }),
             work_cv: Condvar::new(),
@@ -156,18 +162,66 @@ impl Registry {
             });
         }
         self.work_cv.notify_all();
-        let mut done = batch.done.lock().expect("batch done flag");
-        while !*done {
-            done = batch.done_cv.wait(done).expect("batch done flag");
+        wait_batch(&batch);
+    }
+
+    /// Executes `body(p)` for every part `p` in `[0, parts)` with the
+    /// **stable assignment** part `p` → worker `p % threads`: each part
+    /// is queued on its worker's pinned deque, which no other worker
+    /// ever steals from. Blocks until every part has run; panics from
+    /// part bodies propagate to the caller.
+    ///
+    /// This is the chunk→worker mapping surface the first-touch
+    /// placement paths fault memory through: the same part index always
+    /// reaches the same OS thread (serial registries and calls from
+    /// inside a worker run all parts inline on the current thread).
+    pub(crate) fn run_pinned(self: &Arc<Self>, parts: usize, body: &(dyn Fn(usize) + Sync)) {
+        if parts == 0 {
+            return;
         }
-        drop(done);
-        if batch.panicked.load(Ordering::SeqCst) {
-            let payload = batch.payload.lock().expect("panic payload").take();
-            match payload {
-                Some(p) => resume_unwind(p),
-                None => panic!("parallel job panicked"),
+        if self.threads <= 1 || IS_WORKER.with(|w| w.get()) {
+            for p in 0..parts {
+                body(p);
+            }
+            return;
+        }
+        let range_body = |lo: usize, hi: usize| {
+            for p in lo..hi {
+                body(p);
+            }
+        };
+        let range_body: &(dyn Fn(usize, usize) + Sync) = &range_body;
+        // SAFETY: same argument as in `run`: `wait_batch` below blocks
+        // until `pending` hits zero, i.e. until every queued chunk has
+        // executed, so no worker touches the erased body (or the
+        // `range_body` closure on this stack frame) after this call
+        // returns.
+        let body: &'static Body = unsafe {
+            std::mem::transmute::<&(dyn Fn(usize, usize) + Sync), &'static Body>(range_body)
+        };
+        let batch = Arc::new(Batch {
+            body,
+            // Grain 1 + single-part chunks: `execute` never splits a
+            // pinned chunk, so it runs exactly on its assigned worker.
+            grain: 1,
+            pending: AtomicUsize::new(parts),
+            panicked: AtomicBool::new(false),
+            payload: Mutex::new(None),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+        });
+        {
+            let mut q = self.queues.lock().expect("pool queues");
+            for p in 0..parts {
+                q.pinned[p % self.threads].push_back(Chunk {
+                    batch: Arc::clone(&batch),
+                    lo: p,
+                    hi: p + 1,
+                });
             }
         }
+        self.work_cv.notify_all();
+        wait_batch(&batch);
     }
 
     /// Splits a chunk down to the batch grain (sharing the upper halves
@@ -223,7 +277,30 @@ fn worker_loop(id: usize, registry: &Arc<Registry>) {
     }
 }
 
+/// Blocks until `batch` completes, then re-throws a captured panic on
+/// the calling thread. Shared tail of [`Registry::run`] and
+/// [`Registry::run_pinned`].
+fn wait_batch(batch: &Batch) {
+    let mut done = batch.done.lock().expect("batch done flag");
+    while !*done {
+        done = batch.done_cv.wait(done).expect("batch done flag");
+    }
+    drop(done);
+    if batch.panicked.load(Ordering::SeqCst) {
+        let payload = batch.payload.lock().expect("panic payload").take();
+        match payload {
+            Some(p) => resume_unwind(p),
+            None => panic!("parallel job panicked"),
+        }
+    }
+}
+
 fn pop_any(q: &mut Queues, id: usize) -> Option<Chunk> {
+    // Pinned chunks first: they are this worker's by assignment and
+    // never offered to thieves.
+    if let Some(c) = q.pinned[id].pop_front() {
+        return Some(c);
+    }
     if let Some(c) = q.locals[id].pop_back() {
         return Some(c);
     }
@@ -305,6 +382,12 @@ pub(crate) fn run(len: usize, body: &(dyn Fn(usize, usize) + Sync)) {
     current_registry().run(len, body);
 }
 
+/// Runs `body(p)` for each part on the current registry with the
+/// stable part→worker assignment (see [`Registry::run_pinned`]).
+pub(crate) fn run_pinned(parts: usize, body: &(dyn Fn(usize) + Sync)) {
+    current_registry().run_pinned(parts, body);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -330,6 +413,90 @@ mod tests {
             seen.lock().unwrap().push(std::thread::current().id());
         });
         assert_eq!(seen.into_inner().unwrap(), vec![caller]);
+    }
+
+    #[test]
+    fn run_pinned_covers_each_part_once() {
+        let (registry, handles) = Registry::new(4);
+        let hits: Vec<AtomicUsize> = (0..257).map(|_| AtomicUsize::new(0)).collect();
+        registry.run_pinned(hits.len(), &|p| {
+            hits[p].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+        registry.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn run_pinned_assignment_is_stable() {
+        // Pinned chunks are never stolen, so part p always executes on
+        // worker p % threads: across parts and across repeated calls,
+        // parts congruent mod the thread count see the same OS thread.
+        let threads = 3;
+        let (registry, handles) = Registry::new(threads);
+        let parts = 12;
+        let mut runs: Vec<Vec<std::thread::ThreadId>> = Vec::new();
+        for _ in 0..3 {
+            let ids = Mutex::new(vec![None; parts]);
+            registry.run_pinned(parts, &|p| {
+                ids.lock().unwrap()[p] = Some(std::thread::current().id());
+            });
+            let ids: Vec<_> = ids.into_inner().unwrap().into_iter().flatten().collect();
+            assert_eq!(ids.len(), parts);
+            for p in 0..parts {
+                assert_eq!(ids[p], ids[p % threads], "part {p} migrated");
+            }
+            runs.push(ids);
+        }
+        assert_eq!(runs[0], runs[1]);
+        assert_eq!(runs[1], runs[2]);
+        registry.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn run_pinned_serial_registry_runs_inline() {
+        let (registry, handles) = Registry::new(1);
+        assert!(handles.is_empty());
+        let caller = std::thread::current().id();
+        let seen = Mutex::new(Vec::new());
+        registry.run_pinned(5, &|p| {
+            assert!(p < 5);
+            seen.lock().unwrap().push(std::thread::current().id());
+        });
+        assert_eq!(seen.into_inner().unwrap(), vec![caller; 5]);
+    }
+
+    #[test]
+    fn run_pinned_propagates_panics() {
+        let (registry, handles) = Registry::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            registry.run_pinned(8, &|p| {
+                if p == 5 {
+                    panic!("pinned boom {p}");
+                }
+            });
+        }));
+        let payload = result.expect_err("pinned panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("pinned boom 5"), "payload: {msg}");
+        // The registry stays usable afterwards.
+        let hits = AtomicUsize::new(0);
+        registry.run_pinned(4, &|_| {
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 4);
+        registry.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
     }
 
     #[test]

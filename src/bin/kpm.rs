@@ -96,6 +96,13 @@ common:
                              level-blocked kernels (default 1; bitwise-invariant)
   --autotune                 pick format, C, sigma and task grain from the
                              row-length distribution and the machine model
+  --simd / --no-simd         force the explicit-SIMD kernel bodies on/off
+                             (on by default when built with --features simd;
+                             --simd on a scalar build warns and runs scalar;
+                             moments are bitwise-identical either way)
+  --first-touch              NUMA first-touch placement: fault matrix chunks
+                             and block-vector rows from the workers that
+                             stream them (placement only; bitwise-identical)
   --metrics-out FILE.jsonl   export the kpm-obs metrics registry
   --trace-out FILE.json      export spans as a Chrome trace-event file";
 
@@ -116,9 +123,12 @@ const FORMAT_FLAGS: &[&str] = &[
     "--sell-sigma",
     "--power-blocking",
     "--autotune",
+    "--simd",
+    "--no-simd",
+    "--first-touch",
 ];
 /// Flags that take no value (presence toggles).
-const BOOLEAN_FLAGS: &[&str] = &["--autotune"];
+const BOOLEAN_FLAGS: &[&str] = &["--autotune", "--simd", "--no-simd", "--first-touch"];
 
 /// Rejects any `--flag` not in `allowed` and any second positional
 /// argument, so typos fail loudly instead of silently running with a
@@ -267,7 +277,29 @@ fn solver_params(args: &[String]) -> Result<KpmParams, String> {
         parallel: true,
         threads: opt_usize(args, "--threads", 0)?,
         power: opt_usize(args, "--power-blocking", 1)?.max(1),
+        first_touch: has_flag(args, "--first-touch"),
     })
+}
+
+/// Applies the `--simd`/`--no-simd` runtime toggle. The SIMD bodies are
+/// on by default whenever the binary was built with them; `--simd` on a
+/// scalar build warns (the request cannot be honored) and runs scalar.
+fn apply_simd_flags(args: &[String]) -> Result<(), String> {
+    if has_flag(args, "--simd") && has_flag(args, "--no-simd") {
+        return Err("--simd and --no-simd are mutually exclusive".into());
+    }
+    if has_flag(args, "--no-simd") {
+        kpm_repro::sparse::simd::set_enabled(false);
+    } else if has_flag(args, "--simd") {
+        kpm_repro::sparse::simd::set_enabled(true);
+        if !kpm_repro::sparse::simd::compiled() {
+            eprintln!(
+                "kpm: --simd requested but this binary was built without \
+                 `--features simd`; running the scalar kernels (1 lane)"
+            );
+        }
+    }
+    Ok(())
 }
 
 /// Worker threads a run will actually use: the explicit request, or the
@@ -300,7 +332,9 @@ fn format_matrix(
     threads: usize,
     machine: Option<&Machine>,
 ) -> Result<KpmMatrix, String> {
+    apply_simd_flags(args)?;
     let power = opt_usize(args, "--power-blocking", 1)?.max(1);
+    let first_touch = has_flag(args, "--first-touch");
     // The window of p blocked vector levels must fit in cache; scale
     // the budget with the machine's per-thread tile budget when one is
     // named, else keep the conservative built-in default.
@@ -308,6 +342,9 @@ fn format_matrix(
     let finish = |mut km: KpmMatrix| -> KpmMatrix {
         if let Some(b) = budget {
             km = km.with_power_budget_bytes(b);
+        }
+        if first_touch {
+            km = km.with_first_touch(true);
         }
         km
     };
@@ -318,7 +355,11 @@ fn format_matrix(
             env.cache_bytes_per_thread = m.tile_budget_bytes();
             env.mem_bw_gbs = m.mem_bw_gbs;
             env.peak_gflops = m.peak_of_cores(t.min(m.cores));
-            env.simd_lanes = (m.simd_bytes / 16).max(1);
+            // The chain-parallelism reward reflects what this binary
+            // can actually issue — the compiled lane count (1 for
+            // scalar builds or under --no-simd) — not the machine's
+            // nominal register width, which the build may not use.
+            env.simd_lanes = kpm_repro::sparse::simd::active_lanes();
         }
         let stencil = ham.map(|hm| hm.stencil_matrix());
         let choice = autotune_formats(&h, &env, stencil.as_ref(), power);
@@ -538,14 +579,17 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
         Some(&machine),
     )?;
     eprintln!(
-        "N = {}, Nnz = {}, M = {}, R = {}, machine = {}, LLC = {llc_mib} MiB, format = {} (beta = {:.3})",
+        "N = {}, Nnz = {}, M = {}, R = {}, machine = {}, LLC = {llc_mib} MiB, format = {} \
+         (beta = {:.3}, lanes = {}, first-touch = {})",
         h.nrows(),
         h.nnz(),
         params.num_moments,
         params.num_random,
         machine.name,
         m.format(),
-        m.beta()
+        m.beta(),
+        kpm_repro::sparse::simd::active_lanes(),
+        if m.first_touch() { "on" } else { "off" }
     );
     for variant in [KpmVariant::Naive, KpmVariant::AugSpmv, KpmVariant::AugSpmmv] {
         kpm_moments(&m, sf, &params, variant).map_err(|e| e.to_string())?;
@@ -1518,5 +1562,32 @@ mod tests {
             1
         );
         assert!(check_args(&a, &[MATRIX_FLAGS, FORMAT_FLAGS]).is_ok());
+    }
+
+    #[test]
+    fn simd_and_first_touch_flags_parse() {
+        let a = args(&["--simd", "--first-touch", "file.mtx"]);
+        assert!(check_args(&a, &[MATRIX_FLAGS, FORMAT_FLAGS]).is_ok());
+        assert_eq!(positional(&a), Some("file.mtx"));
+        assert!(solver_params(&a).unwrap().first_touch);
+        assert!(!solver_params(&args(&[])).unwrap().first_touch);
+        // The two runtime toggles contradict each other.
+        let both = args(&["--simd", "--no-simd"]);
+        assert!(apply_simd_flags(&both).is_err());
+    }
+
+    #[test]
+    fn first_touch_flag_replaces_the_matrix_in_place() {
+        let (h, ham) = load_matrix(&args(&["--nx", "4", "--ny", "4", "--nz", "2"])).unwrap();
+        let a = args(&["--format", "sell", "--first-touch"]);
+        let sf = ScaleFactors::from_gershgorin(&h, 0.01);
+        let m = format_matrix(&a, h.clone(), ham.as_ref(), 1, None).unwrap();
+        assert!(m.first_touch());
+        // Placement never changes results: same moments as the plain build.
+        let plain = format_matrix(&args(&["--format", "sell"]), h, ham.as_ref(), 1, None).unwrap();
+        let p = solver_params(&args(&["--moments", "16", "--random", "2"])).unwrap();
+        let a_set = kpm_moments(&m, sf, &p, KpmVariant::AugSpmmv).unwrap();
+        let b_set = kpm_moments(&plain, sf, &p, KpmVariant::AugSpmmv).unwrap();
+        assert_eq!(a_set.as_slice(), b_set.as_slice());
     }
 }

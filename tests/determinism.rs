@@ -20,6 +20,7 @@ fn params(threads: usize) -> KpmParams {
         parallel: true,
         threads,
         power: 1,
+        first_touch: false,
     }
 }
 
@@ -176,6 +177,107 @@ fn stencil_and_power_grid_is_bitwise_identical() {
             }
         }
     }
+}
+
+#[test]
+fn simd_toggle_grid_is_bitwise_identical() {
+    // The lane dimension of the determinism contract: the explicit-SIMD
+    // kernel bodies replay the scalar operation order per lane, so
+    // toggling them at runtime — across formats, thread counts, power
+    // depths and first-touch placement — must reproduce the scalar CRS
+    // moments bit for bit. On a scalar build both arms run the same
+    // code and the test pins the toggle's neutrality; under
+    // `--features simd` it is the real vector-vs-scalar comparison.
+    use kpm_repro::sparse::{simd, KpmMatrix, SellMatrix};
+    let ham = TopoHamiltonian::clean(3, 3, 12);
+    let h = ham.assemble();
+    let sf = ScaleFactors::from_gershgorin(&h, 0.01);
+    simd::set_enabled(false);
+    let baseline = kpm_moments(&h, sf, &params(1), KpmVariant::AugSpmmv)
+        .expect("scalar baseline")
+        .into_vec();
+
+    let handles: Vec<(&str, KpmMatrix)> = vec![
+        ("crs", KpmMatrix::crs(h.clone())),
+        (
+            "sell-4-16",
+            KpmMatrix::sell(SellMatrix::from_crs(&h, 4, 16)),
+        ),
+        (
+            "sell-8-32",
+            KpmMatrix::sell(SellMatrix::from_crs(&h, 8, 32)),
+        ),
+        ("stencil", KpmMatrix::stencil(ham.stencil_matrix())),
+    ];
+    for simd_on in [false, true] {
+        simd::set_enabled(simd_on);
+        for (name, m) in &handles {
+            for threads in [1usize, 4] {
+                for power in [1usize, 4] {
+                    let first_touch = threads == 4; // one placed cell per row
+                    let m = m.clone().with_first_touch(first_touch);
+                    let p = KpmParams {
+                        power,
+                        first_touch,
+                        ..params(threads)
+                    };
+                    let got = kpm_moments(&m, sf, &p, KpmVariant::AugSpmmv)
+                        .expect("solver run")
+                        .into_vec();
+                    assert_eq!(
+                        baseline, got,
+                        "{name} differs with simd={simd_on} threads={threads} \
+                         power={power} first_touch={first_touch}"
+                    );
+                }
+            }
+        }
+    }
+    simd::set_enabled(true);
+}
+
+#[test]
+fn simd_checkpoint_restart_is_bitwise_identical() {
+    // Crash with the SIMD bodies enabled, resume with them disabled:
+    // the checkpointed (v, w, η) state is bitwise, so a restart under a
+    // different lane configuration must still reproduce the scalar
+    // uninterrupted run exactly.
+    use kpm_repro::core::checkpoint::MemoryCheckpointStore;
+    use kpm_repro::core::solver::{kpm_moments_checkpointed, SolverCheckpointing};
+    use kpm_repro::num::KpmError;
+    use kpm_repro::sparse::simd;
+
+    let h = TopoHamiltonian::clean(4, 4, 2).assemble();
+    let sf = ScaleFactors::from_gershgorin(&h, 0.01);
+    simd::set_enabled(false);
+    let reference = kpm_moments(&h, sf, &params(1), KpmVariant::AugSpmmv)
+        .expect("reference run")
+        .into_vec();
+
+    simd::set_enabled(true);
+    let store = MemoryCheckpointStore::new();
+    let ckpt = SolverCheckpointing {
+        store: &store,
+        interval: 5,
+        crash_at: Some(12),
+    };
+    let err = kpm_moments_checkpointed(&h, sf, &params(2), &ckpt).expect_err("injected crash");
+    assert!(matches!(err, KpmError::RankCrashed { .. }), "{err:?}");
+
+    simd::set_enabled(false);
+    let resumed = SolverCheckpointing {
+        store: &store,
+        interval: 5,
+        crash_at: Some(12), // ignored on resume
+    };
+    let got = kpm_moments_checkpointed(&h, sf, &params(2), &resumed)
+        .expect("resumed run")
+        .into_vec();
+    simd::set_enabled(true);
+    assert_eq!(
+        reference, got,
+        "simd-crash / scalar-resume diverged from the scalar run"
+    );
 }
 
 #[test]

@@ -17,6 +17,7 @@ fn params(m: usize, r: usize) -> KpmParams {
         parallel: false,
         threads: 0,
         power: 1,
+        first_touch: false,
     }
 }
 

@@ -17,6 +17,7 @@ fn params(m: usize, r: usize) -> KpmParams {
         parallel: true,
         threads: 0,
         power: 1,
+        first_touch: false,
     }
 }
 

@@ -35,6 +35,7 @@ fn auto_weights_from_modelled_rates_balance_the_distributed_solver() {
         parallel: false,
         threads: 0,
         power: 1,
+        first_touch: false,
     };
     let reference = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv).unwrap();
     let dist = distributed_kpm(&h, sf, &p, &weights, false).unwrap();
@@ -115,6 +116,7 @@ fn specialized_dispatch_active_in_solver_for_paper_widths() {
                 parallel: false,
                 threads: 0,
                 power: 1,
+                first_touch: false,
             },
             KpmVariant::AugSpmmv,
         )
@@ -129,6 +131,7 @@ fn specialized_dispatch_active_in_solver_for_paper_widths() {
                 parallel: true,
                 threads: 0,
                 power: 1,
+                first_touch: false,
             },
             KpmVariant::AugSpmmv,
         )

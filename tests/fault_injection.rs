@@ -31,6 +31,7 @@ fn params(m: usize, r: usize, seed: u64) -> KpmParams {
         parallel: false,
         threads: 0,
         power: 1,
+        first_touch: false,
     }
 }
 

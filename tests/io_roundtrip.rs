@@ -32,6 +32,7 @@ fn kpm_moments_identical_on_loaded_matrix() {
         parallel: false,
         threads: 0,
         power: 1,
+        first_touch: false,
     };
     let sf = ScaleFactors::from_gershgorin(&h, 0.01);
     let a = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv).unwrap();

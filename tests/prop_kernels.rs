@@ -159,7 +159,7 @@ proptest! {
     #[test]
     fn moments_bounded_and_mu0_unit(h in hermitian_matrix(), seed in any::<u64>()) {
         let sf = ScaleFactors::from_gershgorin(&h, 0.05);
-        let p = KpmParams { num_moments: 16, num_random: 2, seed, parallel: false, threads: 0, power: 1 };
+        let p = KpmParams { num_moments: 16, num_random: 2, seed, parallel: false, threads: 0, power: 1, first_touch: false };
         let set = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv).unwrap();
         prop_assert!((set.as_slice()[0] - 1.0).abs() < 1e-10);
         for &mu in set.as_slice() {
@@ -262,6 +262,49 @@ proptest! {
     }
 
     #[test]
+    fn simd_sell_kernels_bitwise_equal_crs_with_ragged_tails(h in hermitian_matrix(), c_idx in 0usize..4, r in 1usize..=5, seed in any::<u64>()) {
+        // The lane dimension of the SELL kernels is the chunk height C;
+        // the blocked gathers vectorize along the block width r. Odd
+        // C (and matrices whose row count is not a multiple of C) force
+        // the scalar remainder tails of both dimensions, and the random
+        // n in 4..=40 guarantees a short final chunk on most cases. The
+        // vector bodies must still match scalar CRS bit for bit — with
+        // the runtime toggle in either position. On a scalar build both
+        // arms compile to the same code and the test pins the degenerate
+        // case; under `--features simd` it is the real comparison.
+        use kpm_repro::sparse::{aug_sell, simd};
+        let c = [3usize, 5, 7, 8][c_idx]; // odd heights: remainder lanes
+        let sell = SellMatrix::from_crs(&h, c, c); // sigma = C keeps odd C valid
+        let n = h.nrows();
+        let v = cvec(n, seed);
+        let w0 = cvec(n, seed.wrapping_add(3));
+        let mut rng = {
+            use rand::SeedableRng;
+            rand::rngs::StdRng::seed_from_u64(seed)
+        };
+        let vb = BlockVector::random(n, r, &mut rng);
+        let wb0 = BlockVector::random(n, r, &mut rng);
+
+        let mut w_crs = w0.clone();
+        let d_crs = aug_spmv(&h, 0.7, -0.2, &v, &mut w_crs);
+        let mut wb_crs = wb0.clone();
+        let db_crs = aug_spmmv(&h, 0.7, -0.2, &vb, &mut wb_crs);
+
+        for simd_on in [false, true] {
+            simd::set_enabled(simd_on);
+            let mut w_sell = w0.clone();
+            let d_sell = aug_sell::aug_spmv(&sell, 0.7, -0.2, &v, &mut w_sell);
+            let mut wb_sell = wb0.clone();
+            let db_sell = aug_sell::aug_spmmv(&sell, 0.7, -0.2, &vb, &mut wb_sell);
+            prop_assert_eq!(&w_crs, &w_sell);
+            prop_assert!(d_crs == d_sell, "aug_spmv dots differ for SELL-{}-{} simd={}", c, c, simd_on);
+            prop_assert_eq!(&wb_crs, &wb_sell);
+            prop_assert!(db_crs == db_sell, "aug_spmmv dots differ for SELL-{}-{} simd={}", c, c, simd_on);
+        }
+        simd::set_enabled(true);
+    }
+
+    #[test]
     fn warp_executor_equals_cpu_kernel(h in hermitian_matrix(), r in 1usize..=40, seed in any::<u64>()) {
         use kpm_repro::simgpu::warp_exec::aug_spmmv_warp_exec;
         use kpm_repro::simgpu::GpuDevice;
@@ -326,7 +369,7 @@ proptest! {
         use kpm_repro::core::eigencount::window_fraction;
         use kpm_repro::core::solver::kpm_moments;
         let sf = ScaleFactors::from_gershgorin(&h, 0.05);
-        let p = KpmParams { num_moments: 16, num_random: 2, seed, parallel: false, threads: 0, power: 1 };
+        let p = KpmParams { num_moments: 16, num_random: 2, seed, parallel: false, threads: 0, power: 1, first_touch: false };
         let set = kpm_moments(&h, sf, &p, KpmVariant::AugSpmmv).unwrap();
         let f = window_fraction(&set, kpm_repro::core::Kernel::Jackson, -0.5, 0.5);
         // Jackson-damped fractions stay within [-eps, 1+eps].

@@ -37,6 +37,7 @@ fn serial_reference(h: &CrsMatrix, sf: ScaleFactors, seed: u64, r: usize, m: usi
         parallel: false,
         threads: 0,
         power: 1,
+        first_touch: false,
     };
     let mut acc = MomentSet::zeros(m);
     for v in &starting_vectors(h.nrows(), &params) {

@@ -75,6 +75,7 @@ fn probe_reference(h: &CrsMatrix, sf: ScaleFactors) -> MomentSet {
         parallel: false,
         threads: 0,
         power: 1,
+        first_touch: false,
     };
     let mut acc = MomentSet::zeros(12);
     for v in &starting_vectors(h.nrows(), &params) {
